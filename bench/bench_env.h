@@ -1,0 +1,153 @@
+#ifndef ROBOPT_BENCH_BENCH_ENV_H_
+#define ROBOPT_BENCH_BENCH_ENV_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/baseline_optimizers.h"
+#include "common/strings.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "tdgen/tdgen.h"
+#include "workloads/queries.h"
+
+namespace robopt::bench {
+
+/// Everything a reproduction bench needs: the simulated cluster, a
+/// TDGEN-trained runtime model (cached on disk so the suite trains once per
+/// platform count), the three optimizers, and ground-truth helpers.
+class BenchEnv {
+ public:
+  explicit BenchEnv(int num_platforms)
+      : registry(PlatformRegistry::Default(num_platforms)),
+        schema(&registry),
+        cost(&registry),
+        executor(&registry, &cost),
+        well_tuned(&registry, &cost, CostModel::Tuning::kWellTuned),
+        simply_tuned(&registry, &cost, CostModel::Tuning::kSimplyTuned) {
+    RegisterWorkloadKernels();
+    forest = LoadOrTrain(num_platforms);
+    oracle = std::make_unique<MlCostOracle>(forest.get());
+    robopt = std::make_unique<RoboptOptimizer>(&registry, &schema,
+                                               oracle.get());
+    rheemix = std::make_unique<RheemixOptimizer>(&registry, &schema,
+                                                 &well_tuned);
+    rheem_ml = std::make_unique<RheemMlOptimizer>(&registry, &schema,
+                                                  forest.get());
+  }
+
+  /// True (virtual-clock) runtime of an execution plan in seconds.
+  double TrueRuntime(const ExecutionPlan& plan,
+                     const Cardinalities& cards) const {
+    return cost.PlanCost(plan, cards).total_s;
+  }
+
+  /// Single-platform execution plan using each platform's default variants.
+  /// Driver-side collection sources (Java-only in Rheem) fall back to their
+  /// sole platform, as Rheem's single-platform mode does; any other
+  /// unsupported operator makes the platform inapplicable (NaN -> "n/a").
+  double SinglePlatformRuntime(const LogicalPlan& plan,
+                               const Cardinalities& cards,
+                               PlatformId platform) const {
+    ExecutionPlan exec(&plan, &registry);
+    for (const LogicalOperator& op : plan.operators()) {
+      const auto& alts = registry.AlternativesFor(op.kind);
+      int chosen = -1;
+      for (size_t a = 0; a < alts.size(); ++a) {
+        if (alts[a].platform == platform && alts[a].variant == 0) {
+          chosen = static_cast<int>(a);
+        }
+      }
+      if (chosen < 0) {
+        if ((op.kind == LogicalOpKind::kCollectionSource ||
+             op.kind == LogicalOpKind::kCollectionSink) &&
+            !alts.empty()) {
+          chosen = 0;  // The driver-side collection.
+        } else {
+          return std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+      exec.Assign(op.id, chosen);
+    }
+    return TrueRuntime(exec, cards);
+  }
+
+  /// Comma-separated names of the platforms an execution plan uses.
+  std::string PlatformsOf(const ExecutionPlan& plan) const {
+    std::vector<std::string> names;
+    for (PlatformId p : plan.PlatformsUsed()) {
+      names.push_back(registry.platform(p).name);
+    }
+    return JoinStrings(names, "+");
+  }
+
+  PlatformRegistry registry;
+  FeatureSchema schema;
+  VirtualCost cost;
+  Executor executor;
+  CostModel well_tuned;
+  CostModel simply_tuned;
+  std::unique_ptr<RandomForest> forest;
+  std::unique_ptr<MlCostOracle> oracle;
+  std::unique_ptr<RoboptOptimizer> robopt;
+  std::unique_ptr<RheemixOptimizer> rheemix;
+  std::unique_ptr<RheemMlOptimizer> rheem_ml;
+
+ private:
+  std::unique_ptr<RandomForest> LoadOrTrain(int num_platforms) {
+    const std::string cache =
+        "robopt_model_k" + std::to_string(num_platforms) + ".forest";
+    auto loaded = std::make_unique<RandomForest>();
+    if (std::getenv("ROBOPT_NO_MODEL_CACHE") == nullptr &&
+        loaded->Load(cache).ok()) {
+      std::fprintf(stderr, "[bench] loaded cached runtime model %s\n",
+                   cache.c_str());
+      return loaded;
+    }
+    std::fprintf(stderr,
+                 "[bench] training runtime model with TDGEN (%d platforms) "
+                 "...\n",
+                 num_platforms);
+    TdgenOptions options;
+    options.plans_per_shape = 28;
+    options.max_operators = 22;
+    options.max_structures_per_plan = 48;
+    options.cardinality_grid = {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+    options.executed_points = {0, 1, 2, 4, 6, 7};
+    options.loop_iterations = 60;
+    options.seed = 20200416;  // ICDE 2020 :-)
+    RegressionMetrics holdout;
+    TdgenReport report;
+    auto model = TrainRuntimeModel(&registry, &schema, &executor, options,
+                                   &holdout, &report);
+    if (!model.ok()) {
+      std::fprintf(stderr, "model training failed: %s\n",
+                   model.status().ToString().c_str());
+      std::abort();
+    }
+    std::fprintf(stderr,
+                 "[bench] TDGEN: %zu jobs (%zu executed, %zu imputed); "
+                 "holdout r2=%.3f spearman=%.3f\n",
+                 report.jobs_total, report.jobs_executed, report.jobs_imputed,
+                 holdout.r2, holdout.spearman);
+    (void)(*model)->Save(cache);
+    return std::move(model).value();
+  }
+};
+
+/// Formats a runtime like the paper's figures: seconds, "OOM" or ">1h".
+inline std::string Runtime(double seconds) {
+  if (std::isnan(seconds)) return "n/a";
+  if (!std::isfinite(seconds)) return "OOM";
+  if (seconds > 3600.0) return ">1h";
+  return FormatDouble(seconds, seconds < 10 ? 2 : 0);
+}
+
+}  // namespace robopt::bench
+
+#endif  // ROBOPT_BENCH_BENCH_ENV_H_

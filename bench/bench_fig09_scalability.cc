@@ -1,0 +1,167 @@
+// Reproduces Figure 9: optimization latency scalability.
+//  (a) latency vs. #operators (5..80) on 2 platforms for Exhaustive,
+//      RHEEMix, Rheem-ML and Robopt;
+//  (b)-(d) latency vs. #platforms (2..5) at 5, 20 and 80 operators for
+//      Exhaustive (5 ops only), RHEEMix and Robopt.
+// Also reports Rheem-ML's vectorization share of optimization time (the
+// paper measured 47%).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/cost_model.h"
+#include "baseline/traditional_enumerator.h"
+#include "bench/bench_env.h"
+#include "common/stopwatch.h"
+#include "core/priority_enumeration.h"
+#include "workloads/synthetic.h"
+
+namespace robopt::bench {
+namespace {
+
+struct Setup {
+  PlatformRegistry registry;
+  FeatureSchema schema;
+  VirtualCost cost;
+  Executor executor;
+  CostModel cost_model;
+  std::unique_ptr<RandomForest> forest;
+  std::unique_ptr<MlCostOracle> oracle;
+
+  explicit Setup(int k)
+      : registry(PlatformRegistry::Synthetic(k)),
+        schema(&registry),
+        cost(&registry),
+        executor(&registry, &cost),
+        cost_model(&registry, &cost, CostModel::Tuning::kWellTuned) {
+    // A lightly trained forest suffices: these benches time the
+    // enumeration, not plan quality.
+    TdgenOptions options;
+    options.plans_per_shape = 3;
+    options.max_operators = 10;
+    options.max_structures_per_plan = 12;
+    options.cardinality_grid = {1e3, 1e5, 1e7};
+    options.executed_points = {0, 1, 2};
+    options.seed = 99;
+    auto model = TrainRuntimeModel(&registry, &schema, &executor, options);
+    if (!model.ok()) std::abort();
+    forest = std::move(model).value();
+    oracle = std::make_unique<MlCostOracle>(forest.get());
+  }
+};
+
+constexpr int kRepeats = 5;
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+double RoboptMs(Setup& setup, const EnumerationContext& ctx) {
+  std::vector<double> ms;
+  for (int r = 0; r < kRepeats; ++r) {
+    Stopwatch watch;
+    PriorityEnumerator enumerator(&ctx, setup.oracle.get());
+    (void)enumerator.Run();
+    ms.push_back(watch.ElapsedMillis());
+  }
+  return Median(ms);
+}
+
+double ExhaustiveMs(Setup& setup, const EnumerationContext& ctx) {
+  std::vector<double> ms;
+  for (int r = 0; r < kRepeats; ++r) {
+    Stopwatch watch;
+    EnumeratorOptions options;
+    options.prune = PruneMode::kNone;
+    options.max_vectors = 5u * 1000u * 1000u;
+    PriorityEnumerator enumerator(&ctx, setup.oracle.get(), options);
+    auto result = enumerator.Run();
+    if (!result.ok()) return -1.0;  // Search space too large.
+    ms.push_back(watch.ElapsedMillis());
+  }
+  return Median(ms);
+}
+
+double TraditionalMs(Setup& setup, const EnumerationContext& ctx,
+                     TraditionalOracle oracle, double* vectorize_share) {
+  std::vector<double> ms;
+  for (int r = 0; r < kRepeats; ++r) {
+    Stopwatch watch;
+    TraditionalOptions options;
+    options.oracle = oracle;
+    TraditionalEnumerator enumerator(&ctx, &setup.cost_model,
+                                     setup.forest.get(), options);
+    auto result = enumerator.Run();
+    ms.push_back(watch.ElapsedMillis());
+    if (result.ok() && vectorize_share != nullptr &&
+        result->stats.total_ms > 0) {
+      *vectorize_share = result->stats.vectorize_ms / result->stats.total_ms;
+    }
+  }
+  return Median(ms);
+}
+
+std::string Cell(double ms) {
+  if (ms < 0) return "     n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.2f", ms);
+  return buf;
+}
+
+void Main() {
+  std::printf("=== Figure 9(a): latency (ms) vs #operators, 2 platforms "
+              "===\n");
+  Setup two(2);
+  std::printf("%-6s %10s %10s %10s %10s %12s\n", "#ops", "Exhaustive",
+              "RHEEMix", "Rheem-ML", "Robopt", "vec-share");
+  for (int num_ops : {5, 20, 40, 80}) {
+    LogicalPlan plan = MakeSyntheticPipeline(num_ops, 1e7, 3);
+    auto ctx = EnumerationContext::Make(&plan, &two.registry, &two.schema);
+    if (!ctx.ok()) continue;
+    double share = 0.0;
+    const double exhaustive =
+        num_ops <= 20 ? ExhaustiveMs(two, ctx.value()) : -1.0;
+    const double rheemix =
+        TraditionalMs(two, ctx.value(), TraditionalOracle::kCostModel,
+                      nullptr);
+    const double rheem_ml = TraditionalMs(two, ctx.value(),
+                                          TraditionalOracle::kMlModel,
+                                          &share);
+    const double robopt = RoboptMs(two, ctx.value());
+    std::printf("%-6d %10s %10s %10s %10s %10.0f%%\n", num_ops,
+                Cell(exhaustive).c_str(), Cell(rheemix).c_str(),
+                Cell(rheem_ml).c_str(), Cell(robopt).c_str(), share * 100);
+  }
+
+  for (int num_ops : {5, 20, 80}) {
+    std::printf("\n=== Figure 9(%c): latency (ms) vs #platforms, %d "
+                "operators ===\n",
+                num_ops == 5 ? 'b' : (num_ops == 20 ? 'c' : 'd'), num_ops);
+    std::printf("%-8s %10s %10s %10s\n", "#plats", "Exhaustive", "RHEEMix",
+                "Robopt");
+    for (int k = 2; k <= 5; ++k) {
+      Setup setup(k);
+      LogicalPlan plan = MakeSyntheticPipeline(num_ops, 1e7, 3);
+      auto ctx =
+          EnumerationContext::Make(&plan, &setup.registry, &setup.schema);
+      if (!ctx.ok()) continue;
+      const double exhaustive =
+          num_ops <= 5 ? ExhaustiveMs(setup, ctx.value()) : -1.0;
+      const double rheemix = TraditionalMs(
+          setup, ctx.value(), TraditionalOracle::kCostModel, nullptr);
+      const double robopt = RoboptMs(setup, ctx.value());
+      std::printf("%-8d %10s %10s %10s\n", k, Cell(exhaustive).c_str(),
+                  Cell(rheemix).c_str(), Cell(robopt).c_str());
+    }
+  }
+  std::printf("\nPaper's shape: Robopt scales best; Rheem-ML pays up to 11x "
+              "over Robopt (≈47%% of its time re-vectorizing subplans); the "
+              "RHEEMix gap widens with operators and platforms.\n");
+}
+
+}  // namespace
+}  // namespace robopt::bench
+
+int main() { robopt::bench::Main(); }

@@ -1,0 +1,75 @@
+// Reproduces Figure 10: the effectiveness of the priority-based enumeration
+// against classic top-down and bottom-up strategies, on join trees with
+// 2..5 joins over 3 and 5 platforms. All strategies use the same boundary
+// pruning; the priority changes only the concatenation order, and with it
+// how many subplan vectors get materialized.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/linear_oracle.h"
+#include "core/priority_enumeration.h"
+#include "workloads/synthetic.h"
+
+namespace robopt::bench {
+namespace {
+
+struct Measurement {
+  double ms = 0.0;
+  size_t vectors = 0;
+};
+
+Measurement Measure(const EnumerationContext& ctx, const CostOracle& oracle,
+                    PriorityMode mode) {
+  std::vector<double> samples;
+  Measurement out;
+  for (int r = 0; r < 5; ++r) {
+    Stopwatch watch;
+    EnumeratorOptions options;
+    options.priority = mode;
+    PriorityEnumerator enumerator(&ctx, &oracle, options);
+    auto result = enumerator.Run();
+    samples.push_back(watch.ElapsedMillis());
+    if (result.ok()) out.vectors = result->stats.vectors_created;
+  }
+  std::sort(samples.begin(), samples.end());
+  out.ms = samples[samples.size() / 2];
+  return out;
+}
+
+void Main() {
+  std::printf("=== Figure 10: priority-based vs top-down vs bottom-up "
+              "enumeration (join trees) ===\n");
+  std::printf("%-8s %-8s %12s %12s %12s %16s\n", "#plats", "#joins",
+              "Robopt(ms)", "TopDown(ms)", "BottomUp(ms)",
+              "vectors R/T/B");
+  for (int k : {3, 5}) {
+    PlatformRegistry registry = PlatformRegistry::Synthetic(k);
+    FeatureSchema schema(&registry);
+    LinearFeatureOracle oracle(schema, 23);
+    for (int joins = 2; joins <= 5; ++joins) {
+      LogicalPlan plan = MakeSyntheticJoinTree(joins, 1e7, 11);
+      auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+      if (!ctx.ok()) continue;
+      const Measurement paper =
+          Measure(ctx.value(), oracle, PriorityMode::kPaper);
+      const Measurement top =
+          Measure(ctx.value(), oracle, PriorityMode::kTopDown);
+      const Measurement bottom =
+          Measure(ctx.value(), oracle, PriorityMode::kBottomUp);
+      std::printf("%-8d %-8d %12.2f %12.2f %12.2f   %zu/%zu/%zu\n", k, joins,
+                  paper.ms, top.ms, bottom.ms, paper.vectors, top.vectors,
+                  bottom.vectors);
+    }
+  }
+  std::printf("\nPaper's shape: the priority-based order materializes the "
+              "fewest subplans; its advantage grows with joins and "
+              "platforms (up to 2.5x vs top-down, 8.5x vs bottom-up).\n");
+}
+
+}  // namespace
+}  // namespace robopt::bench
+
+int main() { robopt::bench::Main(); }

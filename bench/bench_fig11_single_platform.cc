@@ -1,0 +1,180 @@
+// Reproduces Figure 11 and Table III: single-platform execution mode. For
+// each query and input size, the per-platform ground-truth runtimes (the
+// bars) plus the platform chosen by RHEEMix (the red triangle) and by Robopt
+// (the green triangle). Table III summarizes each optimizer's max/average
+// distance from the optimal runtime.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_env.h"
+#include "plan/cardinality.h"
+
+namespace robopt::bench {
+namespace {
+
+struct Summary {
+  double rheemix_max = 0.0;
+  double rheemix_sum = 0.0;
+  double robopt_max = 0.0;
+  double robopt_sum = 0.0;
+  int cases = 0;
+  int rheemix_optimal = 0;
+  int robopt_optimal = 0;
+};
+
+void RunSweep(BenchEnv& env, const std::string& query,
+              const std::vector<std::pair<std::string, LogicalPlan>>& sweep,
+              Summary* summary, int* total_cases, int* rheemix_best,
+              int* robopt_best) {
+  std::printf("\n--- %s ---\n", query.c_str());
+  std::printf("%-12s", "size");
+  for (const Platform& platform : env.registry.platforms()) {
+    std::printf(" %10s", platform.name.c_str());
+  }
+  std::printf(" %10s %10s\n", "RHEEMix", "Robopt");
+
+  for (const auto& [label, plan] : sweep) {
+    const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+    std::vector<double> runtimes;
+    double best = std::numeric_limits<double>::infinity();
+    for (const Platform& platform : env.registry.platforms()) {
+      const double s = env.SinglePlatformRuntime(plan, cards, platform.id);
+      runtimes.push_back(s);
+      best = std::min(best, s);
+    }
+
+    OptimizeOptions options;
+    options.single_platform = true;
+    auto rheemix = env.rheemix->Optimize(plan, &cards, options);
+    auto robopt = env.robopt->Optimize(plan, &cards, options);
+    if (!rheemix.ok() || !robopt.ok()) {
+      std::printf("%-12s optimization failed\n", label.c_str());
+      continue;
+    }
+    const double rheemix_s = runtimes[rheemix->chosen_platform];
+    const double robopt_s = runtimes[robopt->chosen_platform];
+
+    std::printf("%-12s", label.c_str());
+    for (size_t p = 0; p < runtimes.size(); ++p) {
+      std::string cell = Runtime(runtimes[p]);
+      if (p == rheemix->chosen_platform) cell += "*";   // RHEEMix pick.
+      if (p == robopt->chosen_platform) cell += "+";    // Robopt pick.
+      std::printf(" %10s", cell.c_str());
+    }
+    std::printf(" %10s %10s\n", Runtime(rheemix_s).c_str(),
+                Runtime(robopt_s).c_str());
+
+    // Runs beyond one hour were aborted in the paper's testbed; exclude
+    // them from the Table III distances just as the paper does.
+    if (std::isfinite(best) && std::isfinite(rheemix_s) &&
+        std::isfinite(robopt_s) && best <= 3600.0 && rheemix_s <= 3600.0 &&
+        robopt_s <= 3600.0) {
+      const double rheemix_diff = rheemix_s - best;
+      const double robopt_diff = robopt_s - best;
+      summary->rheemix_max = std::max(summary->rheemix_max, rheemix_diff);
+      summary->rheemix_sum += rheemix_diff;
+      summary->robopt_max = std::max(summary->robopt_max, robopt_diff);
+      summary->robopt_sum += robopt_diff;
+      ++summary->cases;
+      ++*total_cases;
+      if (rheemix_diff <= best * 0.02 + 0.5) ++*rheemix_best;
+      if (robopt_diff <= best * 0.02 + 0.5) ++*robopt_best;
+      if (rheemix_diff <= best * 0.02 + 0.5) ++summary->rheemix_optimal;
+      if (robopt_diff <= best * 0.02 + 0.5) ++summary->robopt_optimal;
+    }
+  }
+}
+
+void Main() {
+  std::printf("=== Figure 11: single-platform execution mode "
+              "(* = RHEEMix pick, + = Robopt pick) ===\n");
+  BenchEnv env(3);
+
+  std::map<std::string, Summary> summaries;
+  int total_cases = 0;
+  int rheemix_best = 0;
+  int robopt_best = 0;
+
+  auto sweep = [&](const std::string& name,
+                   std::vector<std::pair<std::string, LogicalPlan>> plans) {
+    RunSweep(env, name, plans, &summaries[name], &total_cases, &rheemix_best,
+             &robopt_best);
+  };
+
+  sweep("(a) WordCount",
+        {{"30MB", MakeWordCountPlan(0.03)},
+         {"300MB", MakeWordCountPlan(0.3)},
+         {"1.5GB", MakeWordCountPlan(1.5)},
+         {"6GB", MakeWordCountPlan(6)},
+         {"24GB", MakeWordCountPlan(24)},
+         {"1TB", MakeWordCountPlan(1000)}});
+  sweep("(b) Word2NVec",
+        {{"3MB", MakeWord2NVecPlan(3)},
+         {"30MB", MakeWord2NVecPlan(30)},
+         {"60MB", MakeWord2NVecPlan(60)},
+         {"90MB", MakeWord2NVecPlan(90)},
+         {"150MB", MakeWord2NVecPlan(150)}});
+  sweep("(c) SimWords",
+        {{"3MB", MakeSimWordsPlan(3)},
+         {"30MB", MakeSimWordsPlan(30)},
+         {"60MB", MakeSimWordsPlan(60)},
+         {"90MB", MakeSimWordsPlan(90)},
+         {"150MB", MakeSimWordsPlan(150)}});
+  sweep("(d) Aggregate (TPC-H Q1)",
+        {{"1GB", MakeTpchQ1Plan(1)},
+         {"10GB", MakeTpchQ1Plan(10)},
+         {"100GB", MakeTpchQ1Plan(100)},
+         {"200GB", MakeTpchQ1Plan(200)},
+         {"1TB", MakeTpchQ1Plan(1000)}});
+  sweep("(e) Join (TPC-H Q3)",
+        {{"1GB", MakeTpchQ3Plan(1)},
+         {"10GB", MakeTpchQ3Plan(10)},
+         {"100GB", MakeTpchQ3Plan(100)},
+         {"200GB", MakeTpchQ3Plan(200)},
+         {"1TB", MakeTpchQ3Plan(1000)}});
+  sweep("(f) K-means",
+        {{"36MB", MakeKmeansPlan(36, 100, 100)},
+         {"361MB", MakeKmeansPlan(361, 100, 100)},
+         {"3.6GB", MakeKmeansPlan(3610, 100, 100)},
+         {"1TB", MakeKmeansPlan(1e6, 100, 100)}});
+  sweep("(g) SGD",
+        {{"740MB", MakeSgdPlan(0.74, 100, 1000)},
+         {"1.85GB", MakeSgdPlan(1.85, 100, 1000)},
+         {"3.7GB", MakeSgdPlan(3.7, 100, 1000)},
+         {"7.4GB", MakeSgdPlan(7.4, 100, 1000)},
+         {"14.8GB", MakeSgdPlan(14.8, 100, 1000)},
+         {"1TB", MakeSgdPlan(1000, 100, 1000)}});
+  sweep("(h) CrocoPR",
+        {{"200MB", MakeCrocoPrPlan(0.2, 10)},
+         {"1GB", MakeCrocoPrPlan(1, 10)},
+         {"5GB", MakeCrocoPrPlan(5, 10)},
+         {"10GB", MakeCrocoPrPlan(10, 10)},
+         {"20GB", MakeCrocoPrPlan(20, 10)},
+         {"1TB", MakeCrocoPrPlan(1000, 10)}});
+
+  std::printf("\n=== Table III: runtime distance from the optimal platform "
+              "(seconds) ===\n");
+  std::printf("%-26s %12s %12s %12s %12s\n", "Query", "RHEEMix max",
+              "RHEEMix avg", "Robopt max", "Robopt avg");
+  for (const auto& [name, s] : summaries) {
+    if (s.cases == 0) continue;
+    std::printf("%-26s %12.1f %12.1f %12.1f %12.1f\n", name.c_str(),
+                s.rheemix_max, s.rheemix_sum / s.cases, s.robopt_max,
+                s.robopt_sum / s.cases);
+  }
+  std::printf("\nFastest-platform hit rate: Robopt %d/%d (%.0f%%), RHEEMix "
+              "%d/%d (%.0f%%). Paper: 84%% vs 43%%.\n",
+              robopt_best, total_cases, 100.0 * robopt_best / total_cases,
+              rheemix_best, total_cases, 100.0 * rheemix_best / total_cases);
+}
+
+}  // namespace
+}  // namespace robopt::bench
+
+int main() { robopt::bench::Main(); }

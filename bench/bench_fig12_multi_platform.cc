@@ -1,0 +1,88 @@
+// Reproduces Figure 12: multi-platform execution mode. K-means sweeping the
+// number of centroids, SGD sweeping the batch size, CrocoPR sweeping
+// iterations from HDFS and from Postgres. For each configuration: the best
+// single-platform runtimes, and the plans chosen by RHEEMix and Robopt with
+// their true runtimes and platform combinations.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_env.h"
+#include "plan/cardinality.h"
+
+namespace robopt::bench {
+namespace {
+
+void RunCase(BenchEnv& env, const std::string& label,
+             const LogicalPlan& plan) {
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  std::printf("%-14s", label.c_str());
+  for (const Platform& platform : env.registry.platforms()) {
+    std::printf(" %9s",
+                Runtime(env.SinglePlatformRuntime(plan, cards, platform.id))
+                    .c_str());
+  }
+  auto rheemix = env.rheemix->Optimize(plan, &cards);
+  auto robopt = env.robopt->Optimize(plan, &cards);
+  if (!rheemix.ok() || !robopt.ok()) {
+    std::printf("  optimization failed (%s / %s)\n",
+                rheemix.status().ToString().c_str(),
+                robopt.status().ToString().c_str());
+    return;
+  }
+  std::printf("  | RHEEMix %8s on %-18s | Robopt %8s on %-18s\n",
+              Runtime(env.TrueRuntime(rheemix->plan, cards)).c_str(),
+              env.PlatformsOf(rheemix->plan).c_str(),
+              Runtime(env.TrueRuntime(robopt->plan, cards)).c_str(),
+              env.PlatformsOf(robopt->plan).c_str());
+}
+
+void Header(BenchEnv& env, const std::string& title,
+            const std::string& param) {
+  std::printf("\n--- %s ---\n%-14s", title.c_str(), param.c_str());
+  for (const Platform& platform : env.registry.platforms()) {
+    std::printf(" %9s", platform.name.c_str());
+  }
+  std::printf("\n");
+}
+
+void Main() {
+  std::printf("=== Figure 12: multi-platform execution mode ===\n");
+  {
+    BenchEnv env(3);
+    Header(env, "(a) K-means, 361MB, 100 iterations", "#centroids");
+    for (int centroids : {10, 100, 1000}) {
+      RunCase(env, std::to_string(centroids),
+              MakeKmeansPlan(361, centroids, 100));
+    }
+    Header(env, "(b) SGD, 740MB, 1000 iterations", "batch size");
+    for (int batch : {1, 100, 1000}) {
+      RunCase(env, std::to_string(batch), MakeSgdPlan(0.74, batch, 1000));
+    }
+    Header(env, "(c) CrocoPR-HDFS, 1GB", "#iterations");
+    for (int iterations : {1, 10, 100}) {
+      RunCase(env, std::to_string(iterations),
+              MakeCrocoPrPlan(1.0, iterations));
+    }
+  }
+  {
+    BenchEnv env(4);  // + Postgres.
+    Header(env, "(d) CrocoPR-PG, 1GB (dirty data in Postgres)",
+           "#iterations");
+    for (int iterations : {1, 10, 100}) {
+      RunCase(env, std::to_string(iterations),
+              MakeCrocoPrPlan(1.0, iterations, /*from_postgres=*/true));
+    }
+  }
+  std::printf("\nPaper's shape: Robopt matches or beats RHEEMix — notably "
+              "Spark+Java for K-means (broadcast as a collection) and the "
+              "cache-free sampler for SGD (~2x); CrocoPR uses Flink for "
+              "preprocessing and Java for the rank loop.\n");
+}
+
+}  // namespace
+}  // namespace robopt::bench
+
+int main() { robopt::bench::Main(); }

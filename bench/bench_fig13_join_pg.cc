@@ -1,0 +1,54 @@
+// Reproduces Figure 13: the Join query when its input tables live in
+// Postgres. The obvious plan runs entirely inside the DBMS; the optimizers
+// may instead push the selections/projections into Postgres and ship the
+// rest to a parallel engine.
+
+#include <cstdio>
+
+#include "bench/bench_env.h"
+#include "plan/cardinality.h"
+
+namespace robopt::bench {
+namespace {
+
+void Main() {
+  std::printf("=== Figure 13: Join query with data stored in Postgres ===\n");
+  BenchEnv env(4);  // Java, Spark, Flink, Postgres.
+  const PlatformId pg = *env.registry.FindPlatform("Postgres");
+
+  std::printf("%-8s %12s %28s %28s\n", "size", "Postgres", "RHEEMix",
+              "Robopt");
+  for (double gb : {10.0, 100.0}) {
+    const LogicalPlan plan = MakeJoinPlan(gb, /*table_sources=*/true);
+    const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+    const double pg_only = env.SinglePlatformRuntime(plan, cards, pg);
+
+    auto rheemix = env.rheemix->Optimize(plan, &cards);
+    auto robopt = env.robopt->Optimize(plan, &cards);
+    if (!rheemix.ok() || !robopt.ok()) {
+      std::printf("%-8.0fGB optimization failed\n", gb);
+      continue;
+    }
+    const double rheemix_s = env.TrueRuntime(rheemix->plan, cards);
+    const double robopt_s = env.TrueRuntime(robopt->plan, cards);
+    char rheemix_cell[64];
+    char robopt_cell[64];
+    std::snprintf(rheemix_cell, sizeof(rheemix_cell), "%s (%s)",
+                  Runtime(rheemix_s).c_str(),
+                  env.PlatformsOf(rheemix->plan).c_str());
+    std::snprintf(robopt_cell, sizeof(robopt_cell), "%s (%s)",
+                  Runtime(robopt_s).c_str(),
+                  env.PlatformsOf(robopt->plan).c_str());
+    std::printf("%-5.0fGB  %12s %28s %28s   speedup over Pg: %.1fx\n", gb,
+                Runtime(pg_only).c_str(), rheemix_cell, robopt_cell,
+                pg_only / robopt_s);
+  }
+  std::printf("\nPaper's shape: pushing the selections into Postgres and "
+              "joining on a parallel engine beats the all-Postgres plan by "
+              "up to ~2.5x; Robopt and RHEEMix find the same plan here.\n");
+}
+
+}  // namespace
+}  // namespace robopt::bench
+
+int main() { robopt::bench::Main(); }

@@ -1,0 +1,72 @@
+// WordCount across input sizes: shows the single-platform crossover the
+// paper's Fig. 11(a) is built on — a low-latency single-node engine wins on
+// small inputs, a parallel engine wins at scale, and the single node
+// eventually runs out of memory. Robopt rides the crossover without any
+// tuned cost model.
+//
+//   ./build/examples/wordcount
+
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "plan/cardinality.h"
+#include "tdgen/tdgen.h"
+#include "workloads/queries.h"
+
+using namespace robopt;
+
+int main() {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  FeatureSchema schema(&registry);
+  VirtualCost cost(&registry);
+  Executor executor(&registry, &cost);
+  RegisterWorkloadKernels();
+
+  std::printf("Training the runtime model...\n");
+  TdgenOptions options;
+  options.plans_per_shape = 8;
+  options.max_operators = 12;
+  auto model = TrainRuntimeModel(&registry, &schema, &executor, options);
+  if (!model.ok()) return 1;
+  MlCostOracle oracle(model->get());
+  RoboptOptimizer optimizer(&registry, &schema, &oracle);
+
+  std::printf("\n%-10s %10s %10s %10s   %s\n", "size", "Java(s)", "Spark(s)",
+              "Flink(s)", "Robopt picks");
+  for (double gb : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    LogicalPlan plan = MakeWordCountPlan(gb);
+    const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+
+    std::printf("%-9.2fGB", gb);
+    for (PlatformId p = 0; p < registry.num_platforms(); ++p) {
+      ExecutionPlan exec(&plan, &registry);
+      for (const LogicalOperator& op : plan.operators()) {
+        const auto& alts = registry.AlternativesFor(op.kind);
+        for (size_t a = 0; a < alts.size(); ++a) {
+          if (alts[a].platform == p && alts[a].variant == 0) {
+            exec.Assign(op.id, static_cast<int>(a));
+          }
+        }
+      }
+      const double s = cost.PlanCost(exec, cards).total_s;
+      if (std::isfinite(s)) {
+        std::printf(" %10.2f", s);
+      } else {
+        std::printf(" %10s", "OOM");
+      }
+    }
+
+    OptimizeOptions opt;
+    opt.single_platform = true;
+    auto result = optimizer.Optimize(plan, &cards, opt);
+    if (result.ok()) {
+      std::printf("   %s\n",
+                  registry.platform(result->chosen_platform).name.c_str());
+    } else {
+      std::printf("   (failed: %s)\n",
+                  result.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "baseline/baseline_optimizers.h"
+
+#include <limits>
+
+#include "common/stopwatch.h"
+
+namespace robopt {
+namespace {
+
+/// Shared driver: run the traditional enumerator over the whole platform
+/// mask, or per-platform in single-platform mode.
+StatusOr<BaselineResult> RunTraditional(
+    const PlatformRegistry* registry, const FeatureSchema* schema,
+    const CostModel* cost_model, const RuntimeModel* ml_model,
+    TraditionalOracle oracle, const LogicalPlan& plan,
+    const Cardinalities* cards, const OptimizeOptions& options) {
+  Stopwatch stopwatch;
+  TraditionalOptions traditional;
+  traditional.oracle = oracle;
+  traditional.prune = options.prune != PruneMode::kNone;
+
+  if (options.single_platform) {
+    BaselineResult best;
+    best.predicted_cost = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (const Platform& platform : registry->platforms()) {
+      if (!((options.allowed_platform_mask >> platform.id) & 1ull)) continue;
+      auto ctx = EnumerationContext::Make(&plan, registry, schema, cards,
+                                          1ull << platform.id);
+      if (!ctx.ok()) continue;
+      TraditionalEnumerator enumerator(&ctx.value(), cost_model, ml_model,
+                                       traditional);
+      auto run = enumerator.Run();
+      if (!run.ok()) return run.status();
+      found = true;
+      best.stats.subplans_created += run->stats.subplans_created;
+      best.stats.vectorize_ms += run->stats.vectorize_ms;
+      best.stats.oracle_ms += run->stats.oracle_ms;
+      if (run->predicted_cost < best.predicted_cost) {
+        best.plan = std::move(run->plan);
+        best.predicted_cost = run->predicted_cost;
+        best.chosen_platform = platform.id;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "no single platform can execute the whole plan");
+    }
+    best.latency_ms = stopwatch.ElapsedMillis();
+    return best;
+  }
+
+  auto ctx = EnumerationContext::Make(&plan, registry, schema, cards,
+                                      options.allowed_platform_mask);
+  if (!ctx.ok()) return ctx.status();
+  TraditionalEnumerator enumerator(&ctx.value(), cost_model, ml_model,
+                                   traditional);
+  auto run = enumerator.Run();
+  if (!run.ok()) return run.status();
+  BaselineResult result;
+  result.plan = std::move(run->plan);
+  result.predicted_cost = run->predicted_cost;
+  result.stats = run->stats;
+  result.latency_ms = stopwatch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<BaselineResult> RheemixOptimizer::Optimize(
+    const LogicalPlan& plan, const Cardinalities* cards,
+    const OptimizeOptions& options) const {
+  return RunTraditional(registry_, schema_, cost_model_, nullptr,
+                        TraditionalOracle::kCostModel, plan, cards, options);
+}
+
+StatusOr<BaselineResult> RheemMlOptimizer::Optimize(
+    const LogicalPlan& plan, const Cardinalities* cards,
+    const OptimizeOptions& options) const {
+  return RunTraditional(registry_, schema_, nullptr, model_,
+                        TraditionalOracle::kMlModel, plan, cards, options);
+}
+
+}  // namespace robopt

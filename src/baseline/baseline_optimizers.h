@@ -1,0 +1,62 @@
+#ifndef ROBOPT_BASELINE_BASELINE_OPTIMIZERS_H_
+#define ROBOPT_BASELINE_BASELINE_OPTIMIZERS_H_
+
+#include "baseline/traditional_enumerator.h"
+#include "core/optimizer.h"
+
+namespace robopt {
+
+/// Result of one baseline optimization call.
+struct BaselineResult {
+  ExecutionPlan plan;
+  double predicted_cost = 0.0;
+  double latency_ms = 0.0;
+  TraditionalStats stats;
+  PlatformId chosen_platform = 0;
+
+  BaselineResult() : plan(nullptr, nullptr) {}
+};
+
+/// RHEEMix: Rheem's cost-based optimizer — traditional object-based
+/// enumeration with boundary pruning, guided by the tuned linear cost model.
+class RheemixOptimizer {
+ public:
+  /// All pointers must outlive the optimizer. `schema` is only used to
+  /// build enumeration contexts (the cost model itself is vector-free).
+  RheemixOptimizer(const PlatformRegistry* registry,
+                   const FeatureSchema* schema, const CostModel* cost_model)
+      : registry_(registry), schema_(schema), cost_model_(cost_model) {}
+
+  StatusOr<BaselineResult> Optimize(const LogicalPlan& plan,
+                                    const Cardinalities* cards = nullptr,
+                                    const OptimizeOptions& options = {}) const;
+
+ private:
+  const PlatformRegistry* registry_;
+  const FeatureSchema* schema_;
+  const CostModel* cost_model_;
+};
+
+/// Rheem-ML: the strawman the paper compares against — keep the traditional
+/// object-based enumeration, but replace the cost model with an ML model
+/// called as a black box. Every oracle call re-transforms the sub-plan into
+/// a vector.
+class RheemMlOptimizer {
+ public:
+  RheemMlOptimizer(const PlatformRegistry* registry,
+                   const FeatureSchema* schema, const RuntimeModel* model)
+      : registry_(registry), schema_(schema), model_(model) {}
+
+  StatusOr<BaselineResult> Optimize(const LogicalPlan& plan,
+                                    const Cardinalities* cards = nullptr,
+                                    const OptimizeOptions& options = {}) const;
+
+ private:
+  const PlatformRegistry* registry_;
+  const FeatureSchema* schema_;
+  const RuntimeModel* model_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_BASELINE_BASELINE_OPTIMIZERS_H_

@@ -1,0 +1,242 @@
+#include "baseline/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace robopt {
+namespace {
+
+/// Least-squares fit of cost ~= c0 + c_in*in + c_out*out over sample rows
+/// (in, out, cost). Solves the 3x3 normal equations directly.
+struct LinearFit {
+  double c0 = 0.0;
+  double c_in = 0.0;
+  double c_out = 0.0;
+};
+
+LinearFit FitLinear(const std::vector<std::array<double, 3>>& samples) {
+  // Normal equations A^T A x = A^T b with A rows (1, in, out).
+  double ata[3][3] = {};
+  double atb[3] = {};
+  for (const auto& [in, out, cost] : samples) {
+    const double row[3] = {1.0, in, out};
+    for (int i = 0; i < 3; ++i) {
+      atb[i] += row[i] * cost;
+      for (int j = 0; j < 3; ++j) ata[i][j] += row[i] * row[j];
+    }
+  }
+  // Gaussian elimination with partial pivoting (3x3).
+  double m[3][4];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) m[i][j] = ata[i][j];
+    m[i][3] = atb[i];
+  }
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+    }
+    std::swap(m[col], m[pivot]);
+    if (std::abs(m[col][col]) < 1e-18) continue;  // Degenerate; leave 0.
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double factor = m[r][col] / m[col][col];
+      for (int c = col; c < 4; ++c) m[r][c] -= factor * m[col][c];
+    }
+  }
+  LinearFit fit;
+  fit.c0 = std::abs(m[0][0]) > 1e-18 ? m[0][3] / m[0][0] : 0.0;
+  fit.c_in = std::abs(m[1][1]) > 1e-18 ? m[1][3] / m[1][1] : 0.0;
+  fit.c_out = std::abs(m[2][2]) > 1e-18 ? m[2][3] / m[2][2] : 0.0;
+  // Negative coefficients are artifacts of fitting a nonlinear truth; a
+  // careful administrator clamps them.
+  fit.c0 = std::max(fit.c0, 0.0);
+  fit.c_in = std::max(fit.c_in, 0.0);
+  fit.c_out = std::max(fit.c_out, 0.0);
+  return fit;
+}
+
+/// Fixed per-conversion coordination penalty RHEEMix's administrators bake
+/// in ("platform switches are rarely worth it") — one of the fixed-form
+/// assumptions the paper's Section VII-C2 shows misfiring.
+constexpr double kSwitchPenaltyS = 0.5;
+
+}  // namespace
+
+CostModel::CostModel(const PlatformRegistry* registry,
+                     const VirtualCost* ground_truth, Tuning tuning)
+    : registry_(registry), tuning_(tuning) {
+  Calibrate(*ground_truth);
+}
+
+void CostModel::Calibrate(const VirtualCost& ground_truth) {
+  // Cardinality grid: the well-tuned administrator profiles every operator
+  // across five orders of magnitude; the simply-tuned one profiles once at
+  // small scale and extrapolates.
+  const std::vector<double> well_grid = {1e3, 1e4, 1e5, 1e6, 1e7, 1e8};
+  const std::vector<double> simple_grid = {1e2, 1e4};
+  const std::vector<double>& grid =
+      tuning_ == Tuning::kWellTuned ? well_grid : simple_grid;
+
+  startup_.assign(registry_->num_platforms(), 0.0);
+  for (const Platform& platform : registry_->platforms()) {
+    if (tuning_ == Tuning::kWellTuned) {
+      startup_[platform.id] = ground_truth.profile(platform.id).startup_s;
+    } else {
+      // Single-operator profiling cannot separate job startup from operator
+      // cost; it leaks into each operator's c0 instead (see below).
+      startup_[platform.id] = 0.0;
+    }
+  }
+
+  for (int k = 0; k < kNumLogicalOpKinds; ++k) {
+    const auto kind = static_cast<LogicalOpKind>(k);
+    const auto& alts = registry_->AlternativesFor(kind);
+    coeffs_[k].assign(alts.size(), Coefficients{});
+    for (size_t a = 0; a < alts.size(); ++a) {
+      LogicalOperator probe;
+      probe.kind = kind;
+      probe.udf = UdfComplexity::kLinear;
+      probe.tuple_bytes = 16.0;
+      std::vector<std::array<double, 3>> samples;
+      for (double in : grid) {
+        for (double out_ratio : {0.1, 1.0}) {
+          const double out = in * out_ratio;
+          double cost =
+              ground_truth.OpCostRaw(probe, alts[a], in, out, /*iteration=*/0);
+          if (!std::isfinite(cost)) continue;
+          if (tuning_ == Tuning::kSimplyTuned) {
+            // The profiling job's startup pollutes the measurement.
+            cost += ground_truth.profile(alts[a].platform).startup_s;
+          }
+          samples.push_back({in, out, cost});
+        }
+      }
+      const LinearFit fit = FitLinear(samples);
+      coeffs_[k][a] = Coefficients{fit.c0, fit.c_in, fit.c_out};
+    }
+  }
+
+  const int num_platforms = registry_->num_platforms();
+  conv_coeffs_.assign(num_platforms,
+                      std::vector<Coefficients>(num_platforms));
+  for (PlatformId from = 0; from < num_platforms; ++from) {
+    for (PlatformId to = 0; to < num_platforms; ++to) {
+      if (from == to) continue;
+      ConversionInstance conv;
+      conv.from_platform = from;
+      conv.to_platform = to;
+      conv.kind = ConversionFor(registry_->platform(from).cls,
+                                registry_->platform(to).cls);
+      std::vector<std::array<double, 3>> samples;
+      for (double tuples : grid) {
+        const double cost = ground_truth.ConversionCost(conv, tuples, 16.0);
+        samples.push_back({tuples, tuples, cost});
+      }
+      const LinearFit fit = FitLinear(samples);
+      conv_coeffs_[from][to] =
+          Coefficients{fit.c0, fit.c_in + fit.c_out, 0.0};
+    }
+  }
+}
+
+double CostModel::OpCost(const LogicalOperator& op, const ExecutionAlt& alt,
+                         double in_tuples, double out_tuples,
+                         int loop_iterations) const {
+  const auto& alts = registry_->AlternativesFor(op.kind);
+  size_t alt_index = static_cast<size_t>(&alt - alts.data());
+  if (alt_index >= alts.size()) {
+    // `alt` is a copy living outside the registry: resolve structurally.
+    for (size_t a = 0; a < alts.size(); ++a) {
+      if (alts[a].platform == alt.platform && alts[a].variant == alt.variant) {
+        alt_index = a;
+        break;
+      }
+    }
+    ROBOPT_CHECK(alt_index < alts.size());
+  }
+  const Coefficients& c = coeffs_[static_cast<int>(op.kind)][alt_index];
+  // Complexity classes are documented; administrators scale by them.
+  static constexpr double kUdfFactor[5] = {0.3, 0.7, 1.0, 5.0, 20.0};
+  const double udf = kUdfFactor[static_cast<int>(op.udf)];
+  const double variable = (c.c_in * in_tuples + c.c_out * out_tuples) * udf;
+  const double once = c.c0 + variable;
+  const int iterations = std::max(1, loop_iterations);
+
+  // Naive loop semantics — the modeling gaps of Section VII-C2:
+  //  * fixed per-operator overheads (c0) are charged once, as if the
+  //    engine scheduled the loop body a single time — reality: Spark and
+  //    Flink pay scheduling and re-broadcasts on *every* iteration;
+  //  * Broadcast / Cache are assumed one-time materializations;
+  //  * the stateful sampler is assumed to re-process its input every
+  //    iteration (reality: it keeps state and only shuffles once);
+  //  * the cache-based sampler is assumed to read cheap batches after its
+  //    first run (reality: caching destroys its state).
+  if (op.kind == LogicalOpKind::kBroadcast ||
+      op.kind == LogicalOpKind::kCache) {
+    return once;
+  }
+  if (op.kind == LogicalOpKind::kSample) {
+    if (alt.variant == 0) {
+      return once * iterations;  // Pessimistic: full cost every iteration.
+    }
+    const double cheap_read = c.c_out * out_tuples;
+    return once + (iterations - 1) * cheap_read;  // Optimistic steady state.
+  }
+  return c.c0 + variable * iterations;
+}
+
+double CostModel::ConversionCostLinear(const ConversionInstance& conv,
+                                       double tuples,
+                                       double tuple_bytes) const {
+  const Coefficients& c = conv_coeffs_[conv.from_platform][conv.to_platform];
+  const double scale = tuple_bytes / 16.0;
+  return kSwitchPenaltyS + c.c0 + c.c_in * tuples * scale;
+}
+
+double CostModel::SubplanCost(const ExecutionPlan& plan,
+                              const Cardinalities& cards,
+                              const std::vector<uint8_t>& scope_mask) const {
+  const LogicalPlan& logical = plan.logical_plan();
+  double total = 0.0;
+  uint64_t platforms_seen = 0;
+  for (const LogicalOperator& op : logical.operators()) {
+    if (!scope_mask[op.id] || !plan.IsAssigned(op.id)) continue;
+    const ExecutionAlt& alt = plan.alt(op.id);
+    total += OpCost(op, alt, cards.input[op.id], cards.output[op.id],
+                    logical.LoopIterations(op.id));
+    platforms_seen |= 1ull << alt.platform;
+  }
+  for (PlatformId p = 0; p < registry_->num_platforms(); ++p) {
+    if ((platforms_seen >> p) & 1ull) total += startup_[p];
+  }
+  // Conversions whose both endpoints are inside the scope. They are charged
+  // once — RHEEMix does not model loop-carried re-movement.
+  for (const LogicalOperator& op : logical.operators()) {
+    if (!scope_mask[op.id] || !plan.IsAssigned(op.id)) continue;
+    for (OperatorId child : logical.AllChildren(op.id)) {
+      if (!scope_mask[child] || !plan.IsAssigned(child)) continue;
+      const PlatformId from = plan.PlatformOf(op.id);
+      const PlatformId to = plan.PlatformOf(child);
+      if (from == to) continue;
+      ConversionInstance conv;
+      conv.from_platform = from;
+      conv.to_platform = to;
+      conv.kind = ConversionFor(registry_->platform(from).cls,
+                                registry_->platform(to).cls);
+      total += ConversionCostLinear(conv, cards.output[op.id],
+                                    logical.op(op.id).tuple_bytes);
+    }
+  }
+  return total;
+}
+
+double CostModel::PlanCost(const ExecutionPlan& plan,
+                           const Cardinalities& cards) const {
+  std::vector<uint8_t> all(plan.logical_plan().num_operators(), 1);
+  return SubplanCost(plan, cards, all);
+}
+
+}  // namespace robopt

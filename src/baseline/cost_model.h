@@ -1,0 +1,83 @@
+#ifndef ROBOPT_BASELINE_COST_MODEL_H_
+#define ROBOPT_BASELINE_COST_MODEL_H_
+
+#include <array>
+#include <vector>
+
+#include "exec/virtual_cost.h"
+#include "plan/cardinality.h"
+#include "platform/execution_plan.h"
+
+namespace robopt {
+
+/// Rheem-style tuned cost model: per execution operator a *linear* formula
+///
+///     cost_s = c0 + c_in * in_tuples + c_out * out_tuples
+///
+/// with per-(kind, alternative) coefficients, plus linear conversion and
+/// per-platform startup terms. This is the paper's RHEEMix baseline and the
+/// object of its critique: the form is fixed (linear), so no amount of
+/// tuning captures shuffle nonlinearity, memory ceilings, or iteration
+/// subtleties (Section II, Section VII-C).
+///
+/// Two tuning levels mirror the Fig. 2 experiment:
+///  - kWellTuned: coefficients least-squares-fit against the ground truth
+///    over a wide cardinality grid (the "two weeks of trial and error"
+///    administrator, automated);
+///  - kSimplyTuned: coefficients extrapolated from profiling each operator
+///    once at small scale (the "single operator profiling" administrator).
+class CostModel {
+ public:
+  enum class Tuning { kWellTuned, kSimplyTuned };
+
+  /// Calibrates against `ground_truth` (the simulated cluster). Both
+  /// pointers must outlive the model.
+  CostModel(const PlatformRegistry* registry, const VirtualCost* ground_truth,
+            Tuning tuning);
+
+  /// Cost of a complete execution plan (loop-aware in the naive way
+  /// described below).
+  double PlanCost(const ExecutionPlan& plan, const Cardinalities& cards) const;
+
+  /// Cost of the fragment of `plan` restricted to assigned operators with
+  /// `scope_mask[op] != 0` (used by the object-based enumerators to cost
+  /// partial subplans). Conversions between two in-scope operators are
+  /// included; startup is charged per distinct platform in scope.
+  double SubplanCost(const ExecutionPlan& plan, const Cardinalities& cards,
+                     const std::vector<uint8_t>& scope_mask) const;
+
+  /// Single-operator cost: c0 + c_in*in + c_out*out, with the naive loop
+  /// semantics of the modeling-gap cases (see .cc).
+  double OpCost(const LogicalOperator& op, const ExecutionAlt& alt,
+                double in_tuples, double out_tuples, int loop_iterations) const;
+
+  double ConversionCostLinear(const ConversionInstance& conv, double tuples,
+                              double tuple_bytes) const;
+
+  double StartupCost(PlatformId platform) const {
+    return startup_[platform];
+  }
+
+  Tuning tuning() const { return tuning_; }
+
+ private:
+  struct Coefficients {
+    double c0 = 0.0;
+    double c_in = 0.0;
+    double c_out = 0.0;
+  };
+
+  void Calibrate(const VirtualCost& ground_truth);
+
+  const PlatformRegistry* registry_;
+  Tuning tuning_;
+  /// coeffs_[kind][alt_index].
+  std::array<std::vector<Coefficients>, kNumLogicalOpKinds> coeffs_;
+  /// Conversion cost coefficients per (from_platform, to_platform).
+  std::vector<std::vector<Coefficients>> conv_coeffs_;
+  std::vector<double> startup_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_BASELINE_COST_MODEL_H_

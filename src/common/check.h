@@ -1,0 +1,34 @@
+#ifndef ROBOPT_COMMON_CHECK_H_
+#define ROBOPT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace robopt::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "ROBOPT_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace robopt::internal_check
+
+/// Aborts the process when an internal invariant does not hold. Used for
+/// programmer errors; recoverable conditions return a Status instead.
+#define ROBOPT_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::robopt::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                   \
+  } while (0)
+
+#ifndef NDEBUG
+#define ROBOPT_DCHECK(expr) ROBOPT_CHECK(expr)
+#else
+#define ROBOPT_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // ROBOPT_COMMON_CHECK_H_

@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+namespace robopt {
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  // Rejection-inversion sampling (Hörmann & Derflinger). Good enough for the
+  // synthetic text generators; exactness of the tail is not required.
+  if (n <= 1) return 1;
+  if (s <= 1.001) s = 1.001;  // The sampler below requires s > 1.
+  const double b = std::pow(2.0, s - 1.0);
+  double x;
+  double t;
+  do {
+    x = std::floor(std::pow(NextDouble(), -1.0 / (s - 1.0)));
+    t = std::pow(1.0 + 1.0 / x, s - 1.0);
+  } while (x > static_cast<double>(n) ||
+           NextDouble() * x * (t - 1.0) * b > t * (b - 1.0));
+  return static_cast<uint64_t>(x);
+}
+
+}  // namespace robopt

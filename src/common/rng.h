@@ -1,0 +1,78 @@
+#ifndef ROBOPT_COMMON_RNG_H_
+#define ROBOPT_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace robopt {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Every stochastic component in the library takes an explicit
+/// seed so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipf-distributed rank in [1, n] with exponent `s` (rejection-inversion).
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_COMMON_RNG_H_

@@ -1,0 +1,36 @@
+#ifndef ROBOPT_COMMON_STOPWATCH_H_
+#define ROBOPT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace robopt {
+
+/// Wall-clock stopwatch used to time the optimizers themselves (the
+/// enumeration latency experiments). Query *execution* time, in contrast, is
+/// virtual time produced by the executor's performance model.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or last Restart().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_COMMON_STOPWATCH_H_

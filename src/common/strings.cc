@@ -1,0 +1,56 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace robopt {
+
+std::vector<std::string_view> SplitTokens(std::string_view text,
+                                          std::string_view delims) {
+  std::vector<std::string_view> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t start = text.find_first_not_of(delims, pos);
+    if (start == std::string_view::npos) break;
+    size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = text.size();
+    out.push_back(text.substr(start, end - start));
+    pos = end;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (!std::isfinite(seconds)) {
+    return "inf";
+  }
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace robopt

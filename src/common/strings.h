@@ -1,0 +1,26 @@
+#ifndef ROBOPT_COMMON_STRINGS_H_
+#define ROBOPT_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace robopt {
+
+/// Splits `text` on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitTokens(std::string_view text,
+                                          std::string_view delims = " \t\n");
+
+/// Joins pieces with a separator; convenience for report printing.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Renders a double with fixed precision (report tables).
+std::string FormatDouble(double value, int precision = 2);
+
+/// Renders "12.3 ms" / "4.56 s" style human-readable durations from seconds.
+std::string FormatSeconds(double seconds);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_COMMON_STRINGS_H_

@@ -1,0 +1,67 @@
+#ifndef ROBOPT_CORE_COST_ORACLE_H_
+#define ROBOPT_CORE_COST_ORACLE_H_
+
+#include <cstddef>
+
+#include "ml/model.h"
+
+namespace robopt {
+
+/// The model `m` of the prune operation (Section IV-E): "an oracle that
+/// given a plan it returns its cost: it can be a cost model, an ML model, or
+/// even a pricing catalogue". Batch interface over contiguous plan vectors.
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+
+  /// Estimates the cost of `n` plan vectors of `dim` floats each.
+  virtual void EstimateBatch(const float* x, size_t n, size_t dim,
+                             float* out) const = 0;
+
+  /// Instrumentation: number of rows estimated so far (the paper reports
+  /// model-invocation share of optimization time).
+  size_t rows_estimated() const { return rows_estimated_; }
+  size_t batches() const { return batches_; }
+
+ protected:
+  void Count(size_t n) const {
+    rows_estimated_ += n;
+    ++batches_;
+  }
+
+ private:
+  mutable size_t rows_estimated_ = 0;
+  mutable size_t batches_ = 0;
+};
+
+/// CostOracle backed by a trained runtime model (Robopt's default).
+class MlCostOracle : public CostOracle {
+ public:
+  /// `model` must outlive the oracle.
+  explicit MlCostOracle(const RuntimeModel* model) : model_(model) {}
+
+  void EstimateBatch(const float* x, size_t n, size_t dim,
+                     float* out) const override {
+    Count(n);
+    model_->PredictBatch(x, n, dim, out);
+  }
+
+ private:
+  const RuntimeModel* model_;
+};
+
+/// Oracle that deems every plan free. Used where the enumeration machinery
+/// requires an oracle but no pruning-by-cost should happen (e.g. TDGEN's
+/// switch-capped enumeration, whose goal is coverage, not optimality).
+class ZeroCostOracle : public CostOracle {
+ public:
+  void EstimateBatch(const float* /*x*/, size_t n, size_t /*dim*/,
+                     float* out) const override {
+    Count(n);
+    for (size_t i = 0; i < n; ++i) out[i] = 0.0f;
+  }
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_CORE_COST_ORACLE_H_

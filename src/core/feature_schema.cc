@@ -1,0 +1,67 @@
+#include "core/feature_schema.h"
+
+namespace robopt {
+
+FeatureSchema::FeatureSchema(const PlatformRegistry* registry)
+    : registry_(registry),
+      num_platforms_(static_cast<size_t>(registry->num_platforms())) {
+  size_t offset = kNumTopologies;  // Topology region first.
+  op_offset_.resize(kNumLogicalOpKinds);
+  op_alts_.resize(kNumLogicalOpKinds);
+  for (int k = 0; k < kNumLogicalOpKinds; ++k) {
+    const auto kind = static_cast<LogicalOpKind>(k);
+    op_offset_[k] = offset;
+    op_alts_[k] = registry->AlternativesFor(kind).size();
+    offset += 1 + op_alts_[k] + kNumTopologies + 3;  // count, alts, topo,
+                                                     // udf, in, out.
+  }
+  conv_offset_.resize(kNumConversionKinds);
+  for (int c = 0; c < kNumConversionKinds; ++c) {
+    conv_offset_[c] = offset;
+    offset += num_platforms_ + 2;
+  }
+  width_ = offset + 1;  // Tuple-size cell last.
+
+  max_mask_.assign(width_, 0);
+  max_mask_[TopologyCell(Topology::kPipeline)] = 1;
+  max_mask_[TupleSizeCell()] = 1;
+}
+
+std::vector<std::string> FeatureSchema::FeatureNames() const {
+  std::vector<std::string> names(width_);
+  names[TopologyCell(Topology::kPipeline)] = "#pipeline";
+  names[TopologyCell(Topology::kJuncture)] = "#juncture";
+  names[TopologyCell(Topology::kReplicate)] = "#replicate";
+  names[TopologyCell(Topology::kLoop)] = "#loop";
+  for (int k = 0; k < kNumLogicalOpKinds; ++k) {
+    const auto kind = static_cast<LogicalOpKind>(k);
+    const std::string base(ToString(kind));
+    names[OpCountCell(kind)] = base + ".count";
+    const auto& alts = registry_->AlternativesFor(kind);
+    for (size_t a = 0; a < alts.size(); ++a) {
+      names[OpAltCell(kind, a)] = base + ".#" + alts[a].name;
+    }
+    for (int t = 0; t < kNumTopologies; ++t) {
+      const auto topology = static_cast<Topology>(t);
+      names[OpTopologyCell(kind, topology)] =
+          base + ".in_" + std::string(ToString(topology));
+    }
+    names[OpUdfCell(kind)] = base + ".udf_complexity";
+    names[OpInCardCell(kind)] = base + ".in_card";
+    names[OpOutCardCell(kind)] = base + ".out_card";
+  }
+  for (int c = 0; c < kNumConversionKinds; ++c) {
+    const auto kind = static_cast<ConversionKind>(c);
+    const std::string base(ToString(kind));
+    for (size_t p = 0; p < num_platforms_; ++p) {
+      names[ConvPlatformCell(kind, static_cast<PlatformId>(p))] =
+          base + ".#" + registry_->platform(static_cast<PlatformId>(p)).name;
+    }
+    names[ConvInCardCell(kind)] = base + ".in_card";
+    names[ConvOutCardCell(kind)] = base + ".out_card";
+  }
+  names[TupleSizeCell()] = "avg_tuple_bytes";
+  return names;
+}
+
+}  // namespace robopt

@@ -1,0 +1,107 @@
+#ifndef ROBOPT_CORE_FEATURE_SCHEMA_H_
+#define ROBOPT_CORE_FEATURE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+#include "platform/conversion.h"
+#include "platform/registry.h"
+
+namespace robopt {
+
+/// Layout of a plan vector (Section IV-A / Fig. 5). The schema is a function
+/// of the platform registry only — not of any particular query — so one
+/// trained model serves every plan over the same registry.
+///
+/// Cell order:
+///   [0..3]                       topology counts: pipeline, juncture,
+///                                replicate, loop
+///   per logical operator kind    a block of:
+///     [0]                        total instance count
+///     [1 .. A]                   instance count per execution alternative
+///                                (A = alternatives of that kind; covers the
+///                                "#instances in Java / in Spark" cells and
+///                                distinguishes same-platform variants)
+///     [A+1 .. A+4]               instance count per topology placement
+///     [A+5]                      sum of UDF complexity codes
+///     [A+6], [A+7]               sum of input / output cardinalities
+///   per conversion kind          a block of:
+///     [0 .. k-1]                 instance count per (source) platform
+///     [k], [k+1]                 sum of input / output cardinalities
+///   [width-1]                    average input tuple size (bytes)
+///
+/// All cells merge by addition when two sub-plan vectors are concatenated,
+/// except the pipeline count and the tuple-size cell, which merge by max
+/// (the paper's merge rule).
+class FeatureSchema {
+ public:
+  explicit FeatureSchema(const PlatformRegistry* registry);
+
+  size_t width() const { return width_; }
+  const PlatformRegistry& registry() const { return *registry_; }
+
+  // -- Topology region -------------------------------------------------
+  static constexpr size_t kTopologyOffset = 0;
+  size_t TopologyCell(Topology topology) const {
+    return kTopologyOffset + static_cast<size_t>(topology);
+  }
+
+  // -- Operator blocks ---------------------------------------------------
+  size_t OpBlockOffset(LogicalOpKind kind) const {
+    return op_offset_[static_cast<int>(kind)];
+  }
+  size_t OpAlternatives(LogicalOpKind kind) const {
+    return op_alts_[static_cast<int>(kind)];
+  }
+  size_t OpCountCell(LogicalOpKind kind) const { return OpBlockOffset(kind); }
+  size_t OpAltCell(LogicalOpKind kind, size_t alt) const {
+    return OpBlockOffset(kind) + 1 + alt;
+  }
+  size_t OpTopologyCell(LogicalOpKind kind, Topology topology) const {
+    return OpBlockOffset(kind) + 1 + OpAlternatives(kind) +
+           static_cast<size_t>(topology);
+  }
+  size_t OpUdfCell(LogicalOpKind kind) const {
+    return OpBlockOffset(kind) + 1 + OpAlternatives(kind) + kNumTopologies;
+  }
+  size_t OpInCardCell(LogicalOpKind kind) const { return OpUdfCell(kind) + 1; }
+  size_t OpOutCardCell(LogicalOpKind kind) const { return OpUdfCell(kind) + 2; }
+
+  // -- Conversion blocks -------------------------------------------------
+  size_t ConvBlockOffset(ConversionKind kind) const {
+    return conv_offset_[static_cast<int>(kind)];
+  }
+  size_t ConvPlatformCell(ConversionKind kind, PlatformId platform) const {
+    return ConvBlockOffset(kind) + platform;
+  }
+  size_t ConvInCardCell(ConversionKind kind) const {
+    return ConvBlockOffset(kind) + num_platforms_;
+  }
+  size_t ConvOutCardCell(ConversionKind kind) const {
+    return ConvBlockOffset(kind) + num_platforms_ + 1;
+  }
+
+  // -- Dataset region -----------------------------------------------------
+  size_t TupleSizeCell() const { return width_ - 1; }
+
+  /// Cells that merge with max instead of add (pipeline count, tuple size).
+  const std::vector<uint8_t>& MaxMergeMask() const { return max_mask_; }
+
+  /// Human-readable name of each cell (debugging, feature importance).
+  std::vector<std::string> FeatureNames() const;
+
+ private:
+  const PlatformRegistry* registry_;
+  size_t num_platforms_;
+  size_t width_ = 0;
+  std::vector<size_t> op_offset_;
+  std::vector<size_t> op_alts_;
+  std::vector<size_t> conv_offset_;
+  std::vector<uint8_t> max_mask_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_CORE_FEATURE_SCHEMA_H_

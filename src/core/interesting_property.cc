@@ -1,0 +1,61 @@
+#include "core/interesting_property.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace robopt {
+
+PlanVectorEnumeration PruneBoundaryWithProperties(
+    const EnumerationContext& ctx, const PlanVectorEnumeration& v,
+    const CostOracle& oracle,
+    const std::vector<const InterestingProperty*>& properties,
+    PruneStats* stats) {
+  PlanVectorEnumeration out(v.width(), v.num_ops());
+  out.mutable_scope() = v.scope();
+  out.set_boundary(v.boundary());
+  if (stats != nullptr) stats->rows_in += v.size();
+  if (v.size() <= 1) {
+    for (size_t i = 0; i < v.size(); ++i) out.AppendCopy(v, i);
+    if (stats != nullptr) stats->rows_out += out.size();
+    return out;
+  }
+
+  std::vector<float> costs(v.size());
+  oracle.EstimateBatch(v.feature_pool().data(), v.size(), v.width(),
+                       costs.data());
+
+  const std::vector<OperatorId>& boundary = v.boundary();
+  const size_t stride = 1 + properties.size();
+  std::unordered_map<std::string, size_t> best;
+  std::vector<std::pair<std::string, size_t>> order;
+  std::string key(boundary.size() * stride, '\0');
+  for (size_t row = 0; row < v.size(); ++row) {
+    const uint8_t* assign = v.assignment(row);
+    for (size_t bi = 0; bi < boundary.size(); ++bi) {
+      const OperatorId op = boundary[bi];
+      key[bi * stride] =
+          static_cast<char>(ctx.PlatformOfAssignment(assign, op) + 1);
+      const uint8_t alt_index =
+          assign[op] != 0 ? static_cast<uint8_t>(assign[op] - 1) : 0;
+      for (size_t pi = 0; pi < properties.size(); ++pi) {
+        key[bi * stride + 1 + pi] = static_cast<char>(
+            properties[pi]->CodeOf(ctx, op, alt_index) + 1);
+      }
+    }
+    auto [it, inserted] = best.try_emplace(key, row);
+    if (inserted) {
+      order.emplace_back(key, row);
+    } else if (costs[row] < costs[it->second]) {
+      it->second = row;
+    }
+  }
+  for (auto& [footprint, first_row] : order) {
+    out.AppendCopy(v, best[footprint]);
+  }
+  if (stats != nullptr) stats->rows_out += out.size();
+  return out;
+}
+
+}  // namespace robopt

@@ -1,0 +1,53 @@
+#ifndef ROBOPT_CORE_LINEAR_ORACLE_H_
+#define ROBOPT_CORE_LINEAR_ORACLE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cost_oracle.h"
+#include "core/feature_schema.h"
+
+namespace robopt {
+
+/// Deterministic oracle: cost = sum_i w_i * feature_i with non-negative
+/// weights and zero weight on the max-merged cells, making the cost exactly
+/// additive across merges. Stands in for the paper's "pricing catalogue"
+/// oracle flavor; tests and the search-space benches use it because brute
+/// force minima are cheap to verify against it.
+class LinearFeatureOracle : public CostOracle {
+ public:
+  LinearFeatureOracle(const FeatureSchema& schema, uint64_t seed) {
+    Rng rng(seed);
+    weights_.resize(schema.width());
+    for (double& w : weights_) w = rng.NextUniform(0.0, 1.0);
+    // Max-merged cells break additivity; ignore them.
+    weights_[schema.TopologyCell(Topology::kPipeline)] = 0.0;
+    weights_[schema.TupleSizeCell()] = 0.0;
+  }
+
+  void EstimateBatch(const float* x, size_t n, size_t dim,
+                     float* out) const override {
+    Count(n);
+    for (size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      const float* row = x + i * dim;
+      for (size_t j = 0; j < dim && j < weights_.size(); ++j) {
+        acc += weights_[j] * row[j];
+      }
+      out[i] = static_cast<float>(acc);
+    }
+  }
+
+  double CostOf(const std::vector<float>& features) const {
+    float out = 0;
+    EstimateBatch(features.data(), 1, features.size(), &out);
+    return out;
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_CORE_LINEAR_ORACLE_H_

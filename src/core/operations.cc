@@ -1,0 +1,441 @@
+#include "core/operations.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace robopt {
+namespace {
+
+/// Encodes operator `op` executed by allowed alternative `allowed_index`
+/// into a zeroed feature row + assignment row.
+void EncodeSingleton(const EnumerationContext& ctx, OperatorId op,
+                     size_t allowed_index, float* f, uint8_t* a) {
+  const FeatureSchema& schema = *ctx.schema;
+  const LogicalOperator& logical_op = ctx.plan->op(op);
+  const LogicalOpKind kind = logical_op.kind;
+  const Topology topology = ctx.topologies[op];
+  const uint8_t alt = ctx.allowed_alts[op][allowed_index];
+
+  // Topology region: this operator's own contribution to the plan-level
+  // counts (a loop is counted once, on its LoopBegin).
+  if (topology == Topology::kLoop) {
+    if (kind == LogicalOpKind::kLoopBegin) {
+      f[schema.TopologyCell(Topology::kLoop)] += 1.0f;
+    }
+  } else {
+    f[schema.TopologyCell(topology)] += 1.0f;
+  }
+
+  // Operator block.
+  f[schema.OpCountCell(kind)] += 1.0f;
+  f[schema.OpAltCell(kind, alt)] += 1.0f;
+  f[schema.OpTopologyCell(kind, topology)] += 1.0f;
+  f[schema.OpUdfCell(kind)] += static_cast<float>(logical_op.udf);
+  const float iters = static_cast<float>(ctx.loop_iters[op]);
+  f[schema.OpInCardCell(kind)] +=
+      static_cast<float>(ctx.cards.input[op]) * iters;
+  f[schema.OpOutCardCell(kind)] +=
+      static_cast<float>(ctx.cards.output[op]) * iters;
+
+  // Dataset region (max-merged).
+  f[schema.TupleSizeCell()] =
+      std::max(f[schema.TupleSizeCell()],
+               static_cast<float>(logical_op.tuple_bytes));
+
+  a[op] = alt + 1;
+}
+
+}  // namespace
+
+StatusOr<EnumerationContext> EnumerationContext::Make(
+    const LogicalPlan* plan, const PlatformRegistry* registry,
+    const FeatureSchema* schema, const Cardinalities* cards,
+    uint64_t allowed_platform_mask) {
+  ROBOPT_RETURN_IF_ERROR(plan->Validate());
+  EnumerationContext ctx;
+  ctx.plan = plan;
+  ctx.registry = registry;
+  ctx.schema = schema;
+  if (cards != nullptr) {
+    ctx.cards = *cards;
+  } else {
+    ctx.cards = CardinalityEstimator(plan).Estimate();
+  }
+  ctx.topologies = plan->OperatorTopologies();
+
+  const int n = plan->num_operators();
+  ctx.loop_iters.resize(n);
+  for (int i = 0; i < n; ++i) {
+    ctx.loop_iters[i] = plan->LoopIterations(static_cast<OperatorId>(i));
+  }
+  ctx.allowed_alts.resize(n);
+  ctx.alt_platform.resize(n);
+  for (const LogicalOperator& op : plan->operators()) {
+    const auto& alts = registry->AlternativesFor(op.kind);
+    for (size_t a = 0; a < alts.size(); ++a) {
+      ctx.alt_platform[op.id].push_back(alts[a].platform);
+      if ((allowed_platform_mask >> alts[a].platform) & 1ull) {
+        ctx.allowed_alts[op.id].push_back(static_cast<uint8_t>(a));
+      }
+    }
+    if (ctx.allowed_alts[op.id].empty() &&
+        (op.kind == LogicalOpKind::kCollectionSource ||
+         op.kind == LogicalOpKind::kCollectionSink)) {
+      // Driver-side collections are pinned to the driver platform (Rheem's
+      // CollectionSource/Sink live in the Java driver); they stay available
+      // even under a restricted platform mask (e.g. single-platform mode,
+      // or an all-Postgres plan whose result must reach the application).
+      for (size_t a = 0; a < alts.size(); ++a) {
+        ctx.allowed_alts[op.id].push_back(static_cast<uint8_t>(a));
+      }
+    }
+    if (ctx.allowed_alts[op.id].empty()) {
+      return Status::InvalidArgument(
+          "operator " + op.name + " (" + std::string(ToString(op.kind)) +
+          ") has no execution alternative on the allowed platforms");
+    }
+  }
+
+  for (const LogicalOperator& op : plan->operators()) {
+    for (OperatorId child : plan->AllChildren(op.id)) {
+      ctx.edges.push_back(Edge{op.id, child});
+    }
+  }
+
+  const size_t k = static_cast<size_t>(registry->num_platforms());
+  ctx.conv_cell_count.assign(k, std::vector<size_t>(k, SIZE_MAX));
+  ctx.conv_cell_in.assign(k, std::vector<size_t>(k, SIZE_MAX));
+  ctx.conv_cell_out.assign(k, std::vector<size_t>(k, SIZE_MAX));
+  for (size_t from = 0; from < k; ++from) {
+    for (size_t to = 0; to < k; ++to) {
+      if (from == to) continue;
+      const ConversionKind kind =
+          ConversionFor(registry->platform(static_cast<PlatformId>(from)).cls,
+                        registry->platform(static_cast<PlatformId>(to)).cls);
+      ctx.conv_cell_count[from][to] =
+          schema->ConvPlatformCell(kind, static_cast<PlatformId>(from));
+      ctx.conv_cell_in[from][to] = schema->ConvInCardCell(kind);
+      ctx.conv_cell_out[from][to] = schema->ConvOutCardCell(kind);
+    }
+  }
+  return ctx;
+}
+
+AbstractPlanVector Vectorize(const EnumerationContext& ctx) {
+  const FeatureSchema& schema = *ctx.schema;
+  const LogicalPlan& plan = *ctx.plan;
+  AbstractPlanVector v;
+  v.features.assign(schema.width(), 0.0f);
+
+  // Exact plan-level topology histogram (the enumeration reconstructs an
+  // approximation of this via the merge rule; vectorize is exact).
+  const TopologyCounts counts = plan.CountTopologies();
+  v.features[schema.TopologyCell(Topology::kPipeline)] =
+      static_cast<float>(counts.pipeline);
+  v.features[schema.TopologyCell(Topology::kJuncture)] =
+      static_cast<float>(counts.juncture);
+  v.features[schema.TopologyCell(Topology::kReplicate)] =
+      static_cast<float>(counts.replicate);
+  v.features[schema.TopologyCell(Topology::kLoop)] =
+      static_cast<float>(counts.loop);
+
+  for (const LogicalOperator& op : plan.operators()) {
+    v.ops.push_back(op.id);
+    const LogicalOpKind kind = op.kind;
+    v.features[schema.OpCountCell(kind)] += 1.0f;
+    // -1 marks "one of the allowed alternatives" (the paper's abstract
+    // plan vector).
+    for (uint8_t alt : ctx.allowed_alts[op.id]) {
+      v.features[schema.OpAltCell(kind, alt)] = -1.0f;
+    }
+    v.features[schema.OpTopologyCell(kind, ctx.topologies[op.id])] += 1.0f;
+    v.features[schema.OpUdfCell(kind)] += static_cast<float>(op.udf);
+    const float iters = static_cast<float>(ctx.loop_iters[op.id]);
+    v.features[schema.OpInCardCell(kind)] +=
+        static_cast<float>(ctx.cards.input[op.id]) * iters;
+    v.features[schema.OpOutCardCell(kind)] +=
+        static_cast<float>(ctx.cards.output[op.id]) * iters;
+    v.features[schema.TupleSizeCell()] = std::max(
+        v.features[schema.TupleSizeCell()],
+        static_cast<float>(op.tuple_bytes));
+  }
+  return v;
+}
+
+std::vector<AbstractPlanVector> Split(const EnumerationContext& ctx,
+                                      const AbstractPlanVector& v) {
+  std::vector<AbstractPlanVector> out;
+  out.reserve(v.ops.size());
+  for (OperatorId op : v.ops) {
+    AbstractPlanVector single;
+    single.ops = {op};
+    single.features.assign(ctx.schema->width(), 0.0f);
+    const LogicalOpKind kind = ctx.plan->op(op).kind;
+    single.features[ctx.schema->OpCountCell(kind)] = 1.0f;
+    for (uint8_t alt : ctx.allowed_alts[op]) {
+      single.features[ctx.schema->OpAltCell(kind, alt)] = -1.0f;
+    }
+    out.push_back(std::move(single));
+  }
+  return out;
+}
+
+std::vector<OperatorId> ComputeBoundary(const EnumerationContext& ctx,
+                                        const Scope& scope) {
+  std::vector<OperatorId> boundary;
+  std::vector<uint8_t> is_boundary(ctx.plan->num_operators(), 0);
+  for (const EnumerationContext::Edge& edge : ctx.edges) {
+    const bool from_in = scope.test(edge.from);
+    const bool to_in = scope.test(edge.to);
+    if (from_in && !to_in) is_boundary[edge.from] = 1;
+    if (!from_in && to_in) is_boundary[edge.to] = 1;
+  }
+  for (size_t i = 0; i < is_boundary.size(); ++i) {
+    if (is_boundary[i]) boundary.push_back(static_cast<OperatorId>(i));
+  }
+  return boundary;
+}
+
+PlanVectorEnumeration Enumerate(const EnumerationContext& ctx,
+                                const AbstractPlanVector& v) {
+  // Fold the singleton enumerations together: enumerate(v̄) ==
+  // concat(enumerate(v̄_1), ..., enumerate(v̄_m)). Conversions between the
+  // scoped operators are accounted for by Concat.
+  PlanVectorEnumeration acc(ctx.schema->width(),
+                            ctx.plan->num_operators());
+  bool first = true;
+  for (OperatorId op : v.ops) {
+    PlanVectorEnumeration single(ctx.schema->width(),
+                                 ctx.plan->num_operators());
+    single.mutable_scope().set(op);
+    single.set_boundary(ComputeBoundary(ctx, single.scope()));
+    for (size_t i = 0; i < ctx.allowed_alts[op].size(); ++i) {
+      const size_t row = single.AppendZero();
+      EncodeSingleton(ctx, op, i, single.features(row),
+                      single.assignment(row));
+    }
+    if (first) {
+      acc = std::move(single);
+      first = false;
+    } else {
+      acc = Concat(ctx, acc, single);
+    }
+  }
+  return acc;
+}
+
+void MergeRows(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
+               size_t row_a, const PlanVectorEnumeration& b, size_t row_b,
+               PlanVectorEnumeration* out) {
+  const FeatureSchema& schema = *ctx.schema;
+  const size_t width = schema.width();
+  const size_t row = out->AppendZero();
+  float* f = out->features(row);
+  const float* fa = a.features(row_a);
+  const float* fb = b.features(row_b);
+  // Cell-wise addition over the contiguous row — the hot loop the compiler
+  // vectorizes.
+  for (size_t c = 0; c < width; ++c) f[c] = fa[c] + fb[c];
+  // The two max-merged cells (pipeline count, tuple size).
+  const size_t pipeline_cell = schema.TopologyCell(Topology::kPipeline);
+  f[pipeline_cell] = std::max(fa[pipeline_cell], fb[pipeline_cell]);
+  const size_t tuple_cell = schema.TupleSizeCell();
+  f[tuple_cell] = std::max(fa[tuple_cell], fb[tuple_cell]);
+
+  // Assignments are disjoint: bytewise OR.
+  uint8_t* assign = out->assignment(row);
+  const uint8_t* aa = a.assignment(row_a);
+  const uint8_t* ab = b.assignment(row_b);
+  const size_t num_ops = out->num_ops();
+  for (size_t i = 0; i < num_ops; ++i) assign[i] = aa[i] | ab[i];
+
+  // Conversion accounting on edges crossing the two scopes.
+  uint16_t switches = a.switches(row_a) + b.switches(row_b);
+  for (const EnumerationContext::Edge& edge : ctx.edges) {
+    const bool a_from = a.scope().test(edge.from);
+    const bool b_from = b.scope().test(edge.from);
+    const bool a_to = a.scope().test(edge.to);
+    const bool b_to = b.scope().test(edge.to);
+    if (!((a_from && b_to) || (b_from && a_to))) continue;
+    const PlatformId from = ctx.PlatformOfAssignment(assign, edge.from);
+    const PlatformId to = ctx.PlatformOfAssignment(assign, edge.to);
+    if (from == to) continue;
+    const float conv_iters = static_cast<float>(
+        std::min(ctx.loop_iters[edge.from], ctx.loop_iters[edge.to]));
+    const float tuples =
+        static_cast<float>(ctx.cards.output[edge.from]) * conv_iters;
+    f[ctx.conv_cell_count[from][to]] += conv_iters;
+    f[ctx.conv_cell_in[from][to]] += tuples;
+    f[ctx.conv_cell_out[from][to]] += tuples;
+    ++switches;
+  }
+  out->set_switches(row, switches);
+}
+
+PlanVectorEnumeration Concat(const EnumerationContext& ctx,
+                             const PlanVectorEnumeration& a,
+                             const PlanVectorEnumeration& b) {
+  ROBOPT_DCHECK((a.scope() & b.scope()).none());
+  PlanVectorEnumeration out(a.width(), a.num_ops());
+  out.mutable_scope() = a.scope() | b.scope();
+  out.set_boundary(ComputeBoundary(ctx, out.scope()));
+  out.Reserve(a.size() * b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      MergeRows(ctx, a, i, b, j, &out);
+    }
+  }
+  return out;
+}
+
+PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
+                                    const PlanVectorEnumeration& v,
+                                    const CostOracle& oracle,
+                                    PruneStats* stats) {
+  PlanVectorEnumeration out(v.width(), v.num_ops());
+  out.mutable_scope() = v.scope();
+  out.set_boundary(v.boundary());
+  if (stats != nullptr) stats->rows_in += v.size();
+  if (v.size() <= 1) {
+    for (size_t i = 0; i < v.size(); ++i) out.AppendCopy(v, i);
+    if (stats != nullptr) stats->rows_out += out.size();
+    return out;
+  }
+
+  // One batch oracle call over the whole contiguous pool — no per-subplan
+  // transformation.
+  std::vector<float> costs(v.size());
+  oracle.EstimateBatch(v.feature_pool().data(), v.size(), v.width(),
+                       costs.data());
+
+  // Group rows by pruning footprint: the *platform* of every boundary
+  // operator (Definition 2); keep the cheapest row per footprint.
+  const std::vector<OperatorId>& boundary = v.boundary();
+  std::unordered_map<std::string, size_t> best;  // footprint -> row.
+  std::vector<std::pair<std::string, size_t>> order;  // First-seen order.
+  std::string key(boundary.size(), '\0');
+  for (size_t row = 0; row < v.size(); ++row) {
+    const uint8_t* assign = v.assignment(row);
+    for (size_t bi = 0; bi < boundary.size(); ++bi) {
+      key[bi] = static_cast<char>(
+          ctx.PlatformOfAssignment(assign, boundary[bi]) + 1);
+    }
+    auto [it, inserted] = best.try_emplace(key, row);
+    if (inserted) {
+      order.emplace_back(key, row);
+    } else if (costs[row] < costs[it->second]) {
+      it->second = row;
+    }
+  }
+  for (auto& [footprint, first_row] : order) {
+    out.AppendCopy(v, best[footprint]);
+  }
+  if (stats != nullptr) stats->rows_out += out.size();
+  return out;
+}
+
+PlanVectorEnumeration PruneSwitchCap(const EnumerationContext& ctx,
+                                     const PlanVectorEnumeration& v, int beta,
+                                     PruneStats* stats) {
+  (void)ctx;
+  PlanVectorEnumeration out(v.width(), v.num_ops());
+  out.mutable_scope() = v.scope();
+  out.set_boundary(v.boundary());
+  if (stats != nullptr) stats->rows_in += v.size();
+  for (size_t row = 0; row < v.size(); ++row) {
+    if (v.switches(row) <= beta) out.AppendCopy(v, row);
+  }
+  if (stats != nullptr) stats->rows_out += out.size();
+  return out;
+}
+
+ExecutionPlan Unvectorize(const EnumerationContext& ctx,
+                          const PlanVectorEnumeration& v, size_t row) {
+  ExecutionPlan plan(ctx.plan, ctx.registry);
+  const uint8_t* assign = v.assignment(row);
+  for (const LogicalOperator& op : ctx.plan->operators()) {
+    if (assign[op.id] != 0) plan.Assign(op.id, assign[op.id] - 1);
+  }
+  return plan;
+}
+
+size_t ArgMinCost(const EnumerationContext& ctx,
+                  const PlanVectorEnumeration& v, const CostOracle& oracle,
+                  float* cost_out) {
+  (void)ctx;
+  ROBOPT_CHECK(v.size() > 0);
+  std::vector<float> costs(v.size());
+  oracle.EstimateBatch(v.feature_pool().data(), v.size(), v.width(),
+                       costs.data());
+  size_t best = 0;
+  for (size_t row = 1; row < v.size(); ++row) {
+    if (costs[row] < costs[best]) best = row;
+  }
+  if (cost_out != nullptr) *cost_out = costs[best];
+  return best;
+}
+
+std::vector<float> EncodeAssignment(const EnumerationContext& ctx,
+                                    const uint8_t* assignment) {
+  const FeatureSchema& schema = *ctx.schema;
+  const LogicalPlan& plan = *ctx.plan;
+  std::vector<float> f(schema.width(), 0.0f);
+  bool any_pipeline = false;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (assignment[op.id] == 0) continue;
+    const uint8_t alt = assignment[op.id] - 1;
+    const Topology topology = ctx.topologies[op.id];
+    if (topology == Topology::kLoop) {
+      if (op.kind == LogicalOpKind::kLoopBegin) {
+        f[schema.TopologyCell(Topology::kLoop)] += 1.0f;
+      }
+    } else if (topology == Topology::kPipeline) {
+      any_pipeline = true;  // The merge rule keeps max(...) = 1.
+    } else {
+      f[schema.TopologyCell(topology)] += 1.0f;
+    }
+    f[schema.OpCountCell(op.kind)] += 1.0f;
+    f[schema.OpAltCell(op.kind, alt)] += 1.0f;
+    f[schema.OpTopologyCell(op.kind, topology)] += 1.0f;
+    f[schema.OpUdfCell(op.kind)] += static_cast<float>(op.udf);
+    const float iters = static_cast<float>(ctx.loop_iters[op.id]);
+    f[schema.OpInCardCell(op.kind)] +=
+        static_cast<float>(ctx.cards.input[op.id]) * iters;
+    f[schema.OpOutCardCell(op.kind)] +=
+        static_cast<float>(ctx.cards.output[op.id]) * iters;
+    f[schema.TupleSizeCell()] = std::max(
+        f[schema.TupleSizeCell()], static_cast<float>(op.tuple_bytes));
+  }
+  if (any_pipeline) f[schema.TopologyCell(Topology::kPipeline)] = 1.0f;
+
+  for (const EnumerationContext::Edge& edge : ctx.edges) {
+    if (assignment[edge.from] == 0 || assignment[edge.to] == 0) continue;
+    const PlatformId from = ctx.PlatformOfAssignment(assignment, edge.from);
+    const PlatformId to = ctx.PlatformOfAssignment(assignment, edge.to);
+    if (from == to) continue;
+    const float conv_iters = static_cast<float>(
+        std::min(ctx.loop_iters[edge.from], ctx.loop_iters[edge.to]));
+    const float tuples =
+        static_cast<float>(ctx.cards.output[edge.from]) * conv_iters;
+    f[ctx.conv_cell_count[from][to]] += conv_iters;
+    f[ctx.conv_cell_in[from][to]] += tuples;
+    f[ctx.conv_cell_out[from][to]] += tuples;
+  }
+  return f;
+}
+
+ExecutionPlan AssignmentToPlan(const EnumerationContext& ctx,
+                               const uint8_t* assignment) {
+  ExecutionPlan plan(ctx.plan, ctx.registry);
+  for (const LogicalOperator& op : ctx.plan->operators()) {
+    if (assignment[op.id] != 0) plan.Assign(op.id, assignment[op.id] - 1);
+  }
+  return plan;
+}
+
+}  // namespace robopt

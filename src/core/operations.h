@@ -1,0 +1,151 @@
+#ifndef ROBOPT_CORE_OPERATIONS_H_
+#define ROBOPT_CORE_OPERATIONS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_oracle.h"
+#include "core/feature_schema.h"
+#include "core/plan_vector.h"
+#include "plan/cardinality.h"
+#include "platform/execution_plan.h"
+
+namespace robopt {
+
+/// Everything the algebraic operations need about one optimization run:
+/// the plan, the catalog, the vector schema, (injected or estimated)
+/// cardinalities, and pre-resolved lookup tables so the per-row merge loop
+/// touches only flat arrays.
+struct EnumerationContext {
+  const LogicalPlan* plan = nullptr;
+  const PlatformRegistry* registry = nullptr;
+  const FeatureSchema* schema = nullptr;
+  Cardinalities cards;
+  std::vector<Topology> topologies;
+  /// Loop multiplier per operator: cardinality features encode the *total*
+  /// tuples an operator processes across loop iterations, so the model can
+  /// tell a 10-iteration loop from a 1000-iteration one.
+  std::vector<int> loop_iters;
+
+  /// Allowed execution alternatives per operator (restricted by platform
+  /// mask), as indices into registry->AlternativesFor(kind).
+  std::vector<std::vector<uint8_t>> allowed_alts;
+  /// alt_platform[op][alt] = platform of that alternative.
+  std::vector<std::vector<PlatformId>> alt_platform;
+
+  /// All edges (data + broadcast), for cross-scope conversion accounting.
+  struct Edge {
+    OperatorId from;
+    OperatorId to;
+  };
+  std::vector<Edge> edges;
+
+  /// conv_cell_*[from_platform][to_platform]: pre-resolved feature cells for
+  /// a conversion between two platforms (SIZE_MAX on the diagonal).
+  std::vector<std::vector<size_t>> conv_cell_count;
+  std::vector<std::vector<size_t>> conv_cell_in;
+  std::vector<std::vector<size_t>> conv_cell_out;
+
+  /// Builds a context. If `cards` is null, cardinalities are estimated from
+  /// operator selectivities; the paper's evaluation injects real ones.
+  /// `allowed_platform_mask` restricts the search to a platform subset (bit
+  /// i = platform id i).
+  static StatusOr<EnumerationContext> Make(
+      const LogicalPlan* plan, const PlatformRegistry* registry,
+      const FeatureSchema* schema, const Cardinalities* cards = nullptr,
+      uint64_t allowed_platform_mask = ~0ull);
+
+  /// Platform chosen for `op` by an assignment row (0xff if unassigned).
+  PlatformId PlatformOfAssignment(const uint8_t* assignment,
+                                  OperatorId op) const {
+    const uint8_t alt_plus_one = assignment[op];
+    if (alt_plus_one == 0) return 0xff;
+    return alt_platform[op][alt_plus_one - 1];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The seven algebraic operations of Section IV. Names follow the paper.
+// ---------------------------------------------------------------------------
+
+/// (1) vectorize(p) -> v̄ : the abstract plan vector of the whole plan, with
+/// -1 in every allowed execution-alternative cell.
+AbstractPlanVector Vectorize(const EnumerationContext& ctx);
+
+/// (4) split(v̄) -> {v̄_1, ...} : singleton abstract vectors, one per operator
+/// (the granularity Algorithm 1 starts from).
+std::vector<AbstractPlanVector> Split(const EnumerationContext& ctx,
+                                      const AbstractPlanVector& v);
+
+/// (2) enumerate(v̄) -> V : instantiates every execution alternative
+/// combination of the abstract vector's scope. Exponential in |scope|; the
+/// enumeration algorithm applies it to singletons only.
+PlanVectorEnumeration Enumerate(const EnumerationContext& ctx,
+                                const AbstractPlanVector& v);
+
+/// (5)+(6) iterate + merge, fused: concatenates two enumerations into the
+/// enumeration of the union scope — all |V1| x |V2| pairwise merges, each a
+/// flat float-array addition plus conversion accounting on scope-crossing
+/// edges. This fusion over a contiguous pool is the vectorized fast path
+/// the paper's Figure 1 measures.
+PlanVectorEnumeration Concat(const EnumerationContext& ctx,
+                             const PlanVectorEnumeration& a,
+                             const PlanVectorEnumeration& b);
+
+/// (6) merge(v1, v2) -> v for a single pair of rows (exposed for tests and
+/// for the paper-faithful formulation; Concat is the batched form).
+void MergeRows(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
+               size_t row_a, const PlanVectorEnumeration& b, size_t row_b,
+               PlanVectorEnumeration* out);
+
+/// Boundary operators of a scope: members adjacent (data or broadcast edge)
+/// to at least one operator outside the scope.
+std::vector<OperatorId> ComputeBoundary(const EnumerationContext& ctx,
+                                        const Scope& scope);
+
+struct PruneStats {
+  size_t rows_in = 0;
+  size_t rows_out = 0;
+};
+
+/// (7) prune(V, m) -> V' : the boundary pruning of Definition 2 — groups
+/// rows by the platforms of the scope's boundary operators (the pruning
+/// footprint) and keeps the cheapest row of each group according to the
+/// oracle. Lossless w.r.t. the oracle.
+PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
+                                    const PlanVectorEnumeration& v,
+                                    const CostOracle& oracle,
+                                    PruneStats* stats = nullptr);
+
+/// TDGEN's alternative prune: drops rows with more than `beta` platform
+/// switches (Section VI-A); keeps everything else.
+PlanVectorEnumeration PruneSwitchCap(const EnumerationContext& ctx,
+                                     const PlanVectorEnumeration& v, int beta,
+                                     PruneStats* stats = nullptr);
+
+/// (3) unvectorize(v) -> p : reads the assignment bytes of row `row` back
+/// into an executable ExecutionPlan (via the LOT; conversions — the COT —
+/// are implied by the assignment).
+ExecutionPlan Unvectorize(const EnumerationContext& ctx,
+                          const PlanVectorEnumeration& v, size_t row);
+
+/// getOptimal: index of the cheapest row according to the oracle (batch
+/// evaluated); `cost_out` receives its predicted cost if non-null.
+size_t ArgMinCost(const EnumerationContext& ctx,
+                  const PlanVectorEnumeration& v, const CostOracle& oracle,
+                  float* cost_out = nullptr);
+
+/// Re-encodes a full-plan assignment (one byte per operator, alt index + 1)
+/// into a feature row under `ctx`'s cardinalities. TDGEN uses this to
+/// instantiate one enumerated plan structure under many configuration
+/// profiles (input sizes) without re-running the enumeration.
+std::vector<float> EncodeAssignment(const EnumerationContext& ctx,
+                                    const uint8_t* assignment);
+
+/// Builds an ExecutionPlan directly from an assignment row.
+ExecutionPlan AssignmentToPlan(const EnumerationContext& ctx,
+                               const uint8_t* assignment);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_CORE_OPERATIONS_H_

@@ -1,0 +1,68 @@
+#include "core/optimizer.h"
+
+#include <limits>
+
+#include "common/stopwatch.h"
+
+namespace robopt {
+
+StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
+    const LogicalPlan& plan, const Cardinalities* cards,
+    const OptimizeOptions& options) const {
+  Stopwatch stopwatch;
+
+  if (options.single_platform) {
+    // Try each allowed platform that can run the whole query; keep the one
+    // whose best plan the model predicts fastest. The per-platform search
+    // still enumerates same-platform variants (e.g. Spark's two samplers).
+    OptimizeResult best;
+    best.predicted_runtime_s = std::numeric_limits<float>::infinity();
+    bool found = false;
+    for (const Platform& platform : registry_->platforms()) {
+      if (!((options.allowed_platform_mask >> platform.id) & 1ull)) continue;
+      const uint64_t mask = 1ull << platform.id;
+      auto ctx = EnumerationContext::Make(&plan, registry_, schema_, cards,
+                                          mask);
+      if (!ctx.ok()) continue;  // Platform cannot run some operator.
+      EnumeratorOptions enum_options;
+      enum_options.priority = options.priority;
+      enum_options.prune = options.prune;
+      PriorityEnumerator enumerator(&ctx.value(), oracle_, enum_options);
+      auto run = enumerator.Run();
+      if (!run.ok()) return run.status();
+      found = true;
+      best.stats.vectors_created += run->stats.vectors_created;
+      best.stats.oracle_rows += run->stats.oracle_rows;
+      if (run->predicted_runtime_s < best.predicted_runtime_s) {
+        best.plan = std::move(run->plan);
+        best.predicted_runtime_s = run->predicted_runtime_s;
+        best.chosen_platform = platform.id;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "no single platform can execute the whole plan");
+    }
+    best.latency_ms = stopwatch.ElapsedMillis();
+    return best;
+  }
+
+  auto ctx = EnumerationContext::Make(&plan, registry_, schema_, cards,
+                                      options.allowed_platform_mask);
+  if (!ctx.ok()) return ctx.status();
+  EnumeratorOptions enum_options;
+  enum_options.priority = options.priority;
+  enum_options.prune = options.prune;
+  PriorityEnumerator enumerator(&ctx.value(), oracle_, enum_options);
+  auto run = enumerator.Run();
+  if (!run.ok()) return run.status();
+
+  OptimizeResult result;
+  result.plan = std::move(run->plan);
+  result.predicted_runtime_s = run->predicted_runtime_s;
+  result.stats = run->stats;
+  result.latency_ms = stopwatch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace robopt

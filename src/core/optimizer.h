@@ -1,0 +1,61 @@
+#ifndef ROBOPT_CORE_OPTIMIZER_H_
+#define ROBOPT_CORE_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "core/priority_enumeration.h"
+
+namespace robopt {
+
+/// Options for one optimization call.
+struct OptimizeOptions {
+  /// Restrict the search to these platforms (bit i = platform id i).
+  uint64_t allowed_platform_mask = ~0ull;
+  /// Single-platform execution mode (the paper's Section VII-C1): pick one
+  /// platform for the whole query instead of mixing.
+  bool single_platform = false;
+  PriorityMode priority = PriorityMode::kPaper;
+  PruneMode prune = PruneMode::kBoundary;
+};
+
+/// Result of one optimization call.
+struct OptimizeResult {
+  ExecutionPlan plan;
+  float predicted_runtime_s = 0.0f;
+  EnumerationStats stats;
+  /// Wall-clock optimization latency (what Figures 9-10 measure).
+  double latency_ms = 0.0;
+  /// In single-platform mode: the chosen platform.
+  PlatformId chosen_platform = 0;
+
+  OptimizeResult() : plan(nullptr, nullptr) {}
+};
+
+/// Robopt: the vector-based, ML-driven cross-platform optimizer (Fig. 4).
+/// Given a logical plan it produces the execution plan with the lowest
+/// predicted runtime, enumerating entirely over plan vectors.
+class RoboptOptimizer {
+ public:
+  /// All pointers must outlive the optimizer. `oracle` is typically an
+  /// MlCostOracle over a trained RandomForest.
+  RoboptOptimizer(const PlatformRegistry* registry,
+                  const FeatureSchema* schema, const CostOracle* oracle)
+      : registry_(registry), schema_(schema), oracle_(oracle) {}
+
+  /// Optimizes `plan`. Passing `cards` injects true cardinalities (as the
+  /// paper's experiments do); otherwise they are estimated from operator
+  /// selectivities.
+  StatusOr<OptimizeResult> Optimize(const LogicalPlan& plan,
+                                    const Cardinalities* cards = nullptr,
+                                    const OptimizeOptions& options = {}) const;
+
+  const FeatureSchema& schema() const { return *schema_; }
+
+ private:
+  const PlatformRegistry* registry_;
+  const FeatureSchema* schema_;
+  const CostOracle* oracle_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_CORE_OPTIMIZER_H_

@@ -1,0 +1,232 @@
+#include "core/priority_enumeration.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace robopt {
+
+PriorityEnumerator::PriorityEnumerator(const EnumerationContext* ctx,
+                                       const CostOracle* oracle,
+                                       EnumeratorOptions options)
+    : ctx_(ctx), oracle_(oracle), options_(options) {}
+
+double PriorityEnumerator::PriorityOf(size_t index) const {
+  const LogicalPlan& plan = *ctx_->plan;
+  const PlanVectorEnumeration& v = enums_[index];
+  switch (options_.priority) {
+    case PriorityMode::kPaper: {
+      // |V| x prod of children's sizes (Definition 3).
+      double priority = static_cast<double>(v.size());
+      std::set<size_t> children;
+      for (int op = 0; op < plan.num_operators(); ++op) {
+        if (!v.scope().test(op)) continue;
+        const auto id = static_cast<OperatorId>(op);
+        for (OperatorId child : plan.children(id)) {
+          if (owner_[child] != index) children.insert(owner_[child]);
+        }
+        for (OperatorId child : plan.side_children(id)) {
+          if (owner_[child] != index) children.insert(owner_[child]);
+        }
+      }
+      for (size_t child : children) {
+        priority *= static_cast<double>(enums_[child].size());
+      }
+      return priority;
+    }
+    case PriorityMode::kBottomUp: {
+      int best = 0;
+      for (int op = 0; op < plan.num_operators(); ++op) {
+        if (v.scope().test(op)) best = std::max(best, dist_to_sink_[op]);
+      }
+      return best;
+    }
+    case PriorityMode::kTopDown: {
+      int best = 0;
+      for (int op = 0; op < plan.num_operators(); ++op) {
+        if (v.scope().test(op)) best = std::max(best, dist_to_source_[op]);
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+StatusOr<EnumerationResult> PriorityEnumerator::Run() {
+  const LogicalPlan& plan = *ctx_->plan;
+  const int n = plan.num_operators();
+  EnumerationResult result;
+
+  // Longest-path distances for the top-down/bottom-up priorities.
+  dist_to_sink_.assign(n, 0);
+  dist_to_source_.assign(n, 0);
+  const std::vector<OperatorId> order = plan.TopologicalOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (OperatorId child : plan.children(*it)) {
+      dist_to_sink_[*it] =
+          std::max(dist_to_sink_[*it], dist_to_sink_[child] + 1);
+    }
+    for (OperatorId child : plan.side_children(*it)) {
+      dist_to_sink_[*it] =
+          std::max(dist_to_sink_[*it], dist_to_sink_[child] + 1);
+    }
+  }
+  for (OperatorId op : order) {
+    for (OperatorId parent : plan.parents(op)) {
+      dist_to_source_[op] =
+          std::max(dist_to_source_[op], dist_to_source_[parent] + 1);
+    }
+    for (OperatorId parent : plan.side_parents(op)) {
+      dist_to_source_[op] =
+          std::max(dist_to_source_[op], dist_to_source_[parent] + 1);
+    }
+  }
+
+  // Lines 2-5: vectorize, split into singletons, enumerate each, enqueue.
+  const AbstractPlanVector abstract = Vectorize(*ctx_);
+  const std::vector<AbstractPlanVector> singles = Split(*ctx_, abstract);
+  enums_.reserve(singles.size());
+  for (const AbstractPlanVector& single : singles) {
+    enums_.push_back(Enumerate(*ctx_, single));
+    result.stats.vectors_created += enums_.back().size();
+  }
+  alive_.assign(enums_.size(), 1);
+  seq_.assign(enums_.size(), 0);
+  owner_.assign(n, 0);
+  for (size_t i = 0; i < enums_.size(); ++i) {
+    for (int op = 0; op < n; ++op) {
+      if (enums_[i].scope().test(op)) owner_[op] = i;
+    }
+  }
+  uint64_t seq_counter = enums_.size();
+
+  const size_t oracle_rows_before = oracle_->rows_estimated();
+  const size_t oracle_batches_before = oracle_->batches();
+
+  auto prune = [&](PlanVectorEnumeration&& merged) -> PlanVectorEnumeration {
+    PruneStats prune_stats;
+    PlanVectorEnumeration pruned(0, 0);
+    switch (options_.prune) {
+      case PruneMode::kNone:
+        return std::move(merged);
+      case PruneMode::kBoundary:
+        pruned = PruneBoundary(*ctx_, merged, *oracle_, &prune_stats);
+        break;
+      case PruneMode::kSwitchCap:
+        pruned = PruneSwitchCap(*ctx_, merged, options_.beta, &prune_stats);
+        break;
+    }
+    result.stats.vectors_pruned += prune_stats.rows_in - prune_stats.rows_out;
+    const size_t cap = options_.max_rows_per_enumeration;
+    if (cap > 0 && pruned.size() > cap) {
+      PlanVectorEnumeration sampled(pruned.width(), pruned.num_ops());
+      sampled.mutable_scope() = pruned.scope();
+      sampled.set_boundary(pruned.boundary());
+      const double stride =
+          static_cast<double>(pruned.size()) / static_cast<double>(cap);
+      for (size_t i = 0; i < cap; ++i) {
+        sampled.AppendCopy(pruned, static_cast<size_t>(i * stride));
+      }
+      return sampled;
+    }
+    return pruned;
+  };
+
+  size_t alive_count = enums_.size();
+  while (alive_count > 1) {
+    // Dequeue: highest priority among enumerations that have children; ties
+    // broken by smaller boundary (fewer new boundary operators), then queue
+    // entry order.
+    size_t best = SIZE_MAX;
+    double best_priority = -1.0;
+    std::vector<size_t> best_children;
+    for (size_t i = 0; i < enums_.size(); ++i) {
+      if (!alive_[i]) continue;
+      std::set<size_t> children;
+      for (int op = 0; op < n; ++op) {
+        if (!enums_[i].scope().test(op)) continue;
+        const auto id = static_cast<OperatorId>(op);
+        for (OperatorId child : plan.children(id)) {
+          if (owner_[child] != i) children.insert(owner_[child]);
+        }
+        for (OperatorId child : plan.side_children(id)) {
+          if (owner_[child] != i) children.insert(owner_[child]);
+        }
+      }
+      if (children.empty()) continue;
+      const double priority = PriorityOf(i);
+      const bool wins =
+          best == SIZE_MAX || priority > best_priority ||
+          (priority == best_priority &&
+           (enums_[i].boundary().size() < enums_[best].boundary().size() ||
+            (enums_[i].boundary().size() == enums_[best].boundary().size() &&
+             seq_[i] < seq_[best])));
+      if (wins) {
+        best = i;
+        best_priority = priority;
+        best_children.assign(children.begin(), children.end());
+      }
+    }
+
+    if (best == SIZE_MAX) {
+      // Disconnected plan components: merge the first two alive directly.
+      size_t first = SIZE_MAX;
+      size_t second = SIZE_MAX;
+      for (size_t i = 0; i < enums_.size() && second == SIZE_MAX; ++i) {
+        if (!alive_[i]) continue;
+        if (first == SIZE_MAX) {
+          first = i;
+        } else {
+          second = i;
+        }
+      }
+      ROBOPT_CHECK(second != SIZE_MAX);
+      best = first;
+      best_children = {second};
+    }
+
+    // Lines 8-14: concatenate with each child, pruning after each step.
+    for (size_t child : best_children) {
+      if (!alive_[child] || child == best) continue;
+      PlanVectorEnumeration merged =
+          Concat(*ctx_, enums_[best], enums_[child]);
+      result.stats.vectors_created += merged.size();
+      ++result.stats.concat_steps;
+      if (result.stats.vectors_created > options_.max_vectors) {
+        return Status::ResourceExhausted(
+            "enumeration exceeded max_vectors; use pruning");
+      }
+      enums_[best] = prune(std::move(merged));
+      alive_[child] = 0;
+      --alive_count;
+      for (int op = 0; op < n; ++op) {
+        if (owner_[op] == child) owner_[op] = best;
+      }
+      enums_[child] = PlanVectorEnumeration(0, 0);  // Release memory.
+    }
+    seq_[best] = ++seq_counter;
+  }
+
+  // Line 18: pick the cheapest full plan vector and unvectorize it.
+  size_t final_index = SIZE_MAX;
+  for (size_t i = 0; i < enums_.size(); ++i) {
+    if (alive_[i]) final_index = i;
+  }
+  ROBOPT_CHECK(final_index != SIZE_MAX);
+  PlanVectorEnumeration& final_enum = enums_[final_index];
+  if (final_enum.size() == 0) {
+    return Status::Internal("enumeration produced no plans");
+  }
+  float best_cost = 0.0f;
+  const size_t best_row = ArgMinCost(*ctx_, final_enum, *oracle_, &best_cost);
+  result.plan = Unvectorize(*ctx_, final_enum, best_row);
+  result.predicted_runtime_s = best_cost;
+  result.stats.final_vectors = final_enum.size();
+  result.stats.oracle_rows = oracle_->rows_estimated() - oracle_rows_before;
+  result.stats.oracle_batches = oracle_->batches() - oracle_batches_before;
+  result.final_enumeration = std::move(final_enum);
+  return result;
+}
+
+}  // namespace robopt

@@ -1,0 +1,98 @@
+#ifndef ROBOPT_CORE_PRIORITY_ENUMERATION_H_
+#define ROBOPT_CORE_PRIORITY_ENUMERATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/operations.h"
+
+namespace robopt {
+
+/// Order in which partial plan vector enumerations are concatenated.
+enum class PriorityMode {
+  /// The paper's priority (Definition 3): |V| x prod |children| — largest
+  /// prospective concatenation first, maximizing the pruning effect.
+  kPaper,
+  /// Classic top-down (sink-side first), obtained by redefining priority as
+  /// distance from the sources (Section V-B's discussion).
+  kTopDown,
+  /// Classic bottom-up (source-side first): distance from the sink.
+  kBottomUp,
+};
+
+enum class PruneMode {
+  kNone,       ///< Exhaustive enumeration (the "w/o pruning" rows of Table I).
+  kBoundary,   ///< Lossless boundary pruning (Definition 2) via the oracle.
+  kSwitchCap,  ///< TDGEN's platform-switch-count heuristic (beta).
+};
+
+struct EnumeratorOptions {
+  PriorityMode priority = PriorityMode::kPaper;
+  PruneMode prune = PruneMode::kBoundary;
+  /// Max platform switches kept by kSwitchCap.
+  int beta = 3;
+  /// Safety valve for exhaustive runs; exceeded -> ResourceExhausted.
+  size_t max_vectors = 200u * 1000u * 1000u;
+  /// If nonzero, stride-subsample each pruned enumeration down to this many
+  /// rows. TDGEN uses it to bound the switch-capped candidate pool (a
+  /// practical cap; Robopt's optimizing mode leaves it off).
+  size_t max_rows_per_enumeration = 0;
+};
+
+struct EnumerationStats {
+  /// Plan vectors materialized across all concatenations (the paper's
+  /// "number of enumerated subplans", Table I). Includes singletons.
+  size_t vectors_created = 0;
+  /// Rows removed by pruning.
+  size_t vectors_pruned = 0;
+  /// Rows in the final enumeration.
+  size_t final_vectors = 0;
+  /// Concat operations performed.
+  size_t concat_steps = 0;
+  /// Rows sent to the cost oracle (model invocations).
+  size_t oracle_rows = 0;
+  size_t oracle_batches = 0;
+};
+
+struct EnumerationResult {
+  ExecutionPlan plan;
+  float predicted_runtime_s = 0.0f;
+  EnumerationStats stats;
+  /// The final (pruned) enumeration over the full scope; TDGEN consumes all
+  /// of its rows as candidate training plans.
+  PlanVectorEnumeration final_enumeration{0, 0};
+
+  EnumerationResult() : plan(nullptr, nullptr) {}
+};
+
+/// Algorithm 1: priority-based plan enumeration built from the algebraic
+/// operations — vectorize+split into singletons, enumerate each, then
+/// concatenate in priority order, pruning after every child concatenation.
+/// Lossless pruning makes the result optimal w.r.t. the oracle.
+class PriorityEnumerator {
+ public:
+  /// `ctx` and `oracle` must outlive the enumerator. The oracle is used both
+  /// for pruning (kBoundary) and for the final getOptimal step.
+  PriorityEnumerator(const EnumerationContext* ctx, const CostOracle* oracle,
+                     EnumeratorOptions options = {});
+
+  StatusOr<EnumerationResult> Run();
+
+ private:
+  double PriorityOf(size_t index) const;
+
+  const EnumerationContext* ctx_;
+  const CostOracle* oracle_;
+  EnumeratorOptions options_;
+
+  std::vector<PlanVectorEnumeration> enums_;
+  std::vector<uint8_t> alive_;
+  std::vector<size_t> owner_;     // op id -> enumeration index.
+  std::vector<uint64_t> seq_;     // Queue-entry order for tie-breaking.
+  std::vector<int> dist_to_sink_;
+  std::vector<int> dist_to_source_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_CORE_PRIORITY_ENUMERATION_H_

@@ -1,0 +1,147 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace robopt {
+
+Executor::Executor(const PlatformRegistry* registry, const VirtualCost* cost,
+                   const KernelRegistry* kernels, ExecutorOptions options)
+    : registry_(registry),
+      cost_(cost),
+      kernels_(kernels),
+      options_(options) {}
+
+StatusOr<Dataset> Executor::RunOp(const ExecutionPlan& plan, OperatorId id,
+                                  const std::vector<Dataset>& outputs,
+                                  const DataCatalog& catalog, Rng* rng,
+                                  int iteration) const {
+  const LogicalPlan& logical = plan.logical_plan();
+  const LogicalOperator& op = logical.op(id);
+
+  // Sources pull from the catalog when bound; otherwise a named kernel may
+  // synthesize the data.
+  if (IsSource(op.kind)) {
+    auto it = catalog.by_op.find(id);
+    if (it != catalog.by_op.end()) {
+      Dataset dataset = it->second;
+      if (dataset.virtual_cardinality <= 0) {
+        dataset.virtual_cardinality =
+            static_cast<double>(dataset.rows.size());
+      }
+      return dataset;
+    }
+  }
+
+  KernelContext ctx;
+  ctx.op = &op;
+  ctx.rng = rng;
+  ctx.iteration = iteration;
+  for (OperatorId parent : logical.parents(id)) {
+    ctx.inputs.push_back(&outputs[parent]);
+  }
+  for (OperatorId parent : logical.side_parents(id)) {
+    ctx.side_inputs.push_back(&outputs[parent]);
+  }
+
+  const Kernel* kernel = nullptr;
+  if (!op.kernel.empty()) {
+    if (kernels_ != nullptr) kernel = kernels_->Find(op.kernel);
+    if (kernel == nullptr) kernel = KernelRegistry::Global().Find(op.kernel);
+    if (kernel == nullptr) {
+      return Status::NotFound("kernel '" + op.kernel + "' for operator " +
+                              op.name);
+    }
+  }
+  if (kernel != nullptr) return (*kernel)(ctx);
+  return DefaultKernel(ctx);
+}
+
+StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
+                                       const DataCatalog& catalog) const {
+  const LogicalPlan& logical = plan.logical_plan();
+  ROBOPT_RETURN_IF_ERROR(logical.Validate());
+  ROBOPT_RETURN_IF_ERROR(plan.Validate());
+
+  const int n = logical.num_operators();
+  const std::vector<OperatorId> order = logical.TopologicalOrder();
+  std::vector<Dataset> outputs(n);
+  std::vector<uint8_t> done(n, 0);
+  Rng rng(options_.seed);
+
+  ExecResult result;
+  result.observed.input.assign(n, 0.0);
+  result.observed.output.assign(n, 0.0);
+
+  auto record_cards = [&](OperatorId id) {
+    double in_sum = 0.0;
+    for (OperatorId parent : logical.parents(id)) {
+      in_sum += outputs[parent].virtual_cardinality;
+    }
+    result.observed.input[id] = in_sum;
+    result.observed.output[id] = outputs[id].virtual_cardinality;
+  };
+
+  for (OperatorId id : order) {
+    if (done[id]) continue;
+    if (!logical.InLoop(id)) {
+      auto out = RunOp(plan, id, outputs, catalog, &rng, /*iteration=*/0);
+      if (!out.ok()) return out.status();
+      outputs[id] = std::move(out).value();
+      done[id] = 1;
+      record_cards(id);
+      continue;
+    }
+    // The first in-loop operator reached in topological order is the
+    // LoopBegin (every body operator is downstream of it).
+    if (logical.op(id).kind != LogicalOpKind::kLoopBegin) {
+      return Status::Internal("loop body operator " + logical.op(id).name +
+                              " reached before its LoopBegin");
+    }
+    const OperatorId begin = id;
+    const std::vector<OperatorId> body = logical.LoopBody(begin);
+    std::vector<uint8_t> in_body(n, 0);
+    OperatorId end = kInvalidOperatorId;
+    for (OperatorId b : body) {
+      in_body[b] = 1;
+      const LogicalOperator& op = logical.op(b);
+      if (op.kind == LogicalOpKind::kLoopBegin && b != begin) {
+        return Status::Unimplemented("nested loops are not supported");
+      }
+      if (op.kind == LogicalOpKind::kLoopEnd && op.loop_begin == begin) {
+        end = b;
+      }
+    }
+    ROBOPT_CHECK(end != kInvalidOperatorId);
+
+    // Loop-carried value: the LoopBegin's (outside-loop) data parent.
+    if (logical.parents(begin).empty()) {
+      return Status::InvalidArgument("LoopBegin needs an initial input");
+    }
+    Dataset carried = outputs[logical.parents(begin)[0]];
+
+    const int iterations = std::max(1, logical.op(begin).loop_iterations);
+    for (int iter = 0; iter < iterations; ++iter) {
+      outputs[begin] = carried;
+      if (iter == 0) record_cards(begin);
+      for (OperatorId b : order) {
+        if (!in_body[b] || b == begin) continue;
+        auto out = RunOp(plan, b, outputs, catalog, &rng, iter);
+        if (!out.ok()) return out.status();
+        outputs[b] = std::move(out).value();
+        if (iter == 0) record_cards(b);
+      }
+      carried = outputs[end];
+    }
+    for (OperatorId b : body) done[b] = 1;
+  }
+
+  result.cost = cost_->PlanCost(plan, result.observed);
+
+  const std::vector<OperatorId> sinks = logical.SinkIds();
+  if (!sinks.empty()) result.output = outputs[sinks.front()];
+  return result;
+}
+
+}  // namespace robopt

@@ -1,0 +1,73 @@
+#ifndef ROBOPT_EXEC_EXECUTOR_H_
+#define ROBOPT_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/kernel.h"
+#include "exec/record.h"
+#include "exec/virtual_cost.h"
+#include "platform/execution_plan.h"
+
+namespace robopt {
+
+/// Outcome of running an execution plan.
+struct ExecResult {
+  /// Output dataset of the (first) sink.
+  Dataset output;
+  /// Virtual-clock cost of the run (out-of-memory plans carry +inf).
+  CostBreakdown cost;
+  /// Observed per-operator virtual cardinalities (the "real cardinalities"
+  /// the paper injects into its optimizers).
+  Cardinalities observed;
+};
+
+/// Options for Execute().
+struct ExecutorOptions {
+  uint64_t seed = 42;
+};
+
+/// The multi-engine executor: runs an execution plan's kernels over real
+/// in-memory data (loops included) while a virtual clock — VirtualCost —
+/// charges platform-dependent time. This is the repository's substitute for
+/// the paper's Spark/Flink/Java/Postgres cluster: results are genuinely
+/// computed; runtimes are simulated deterministically (see DESIGN.md).
+class Executor {
+ public:
+  /// All pointers must outlive the executor. `kernels` may be null, in which
+  /// case only the global registry and default kernels are used.
+  Executor(const PlatformRegistry* registry, const VirtualCost* cost,
+           const KernelRegistry* kernels = nullptr,
+           ExecutorOptions options = {});
+
+  /// Runs the plan. Source operators read from `catalog`. Loops execute for
+  /// real (kernels see each iteration); time is charged by the virtual
+  /// clock. An OOM plan returns OK with cost.oom set and +inf total_s.
+  StatusOr<ExecResult> Execute(const ExecutionPlan& plan,
+                               const DataCatalog& catalog) const;
+
+  /// Analytic fast path: virtual runtime from cardinalities alone, no data
+  /// touched. TDGEN uses this to label thousands of synthetic jobs; it
+  /// agrees with Execute() whenever the cardinalities match.
+  CostBreakdown Simulate(const ExecutionPlan& plan,
+                         const Cardinalities& cards) const {
+    return cost_->PlanCost(plan, cards);
+  }
+
+  const VirtualCost& cost_model() const { return *cost_; }
+
+ private:
+  StatusOr<Dataset> RunOp(const ExecutionPlan& plan, OperatorId id,
+                          const std::vector<Dataset>& outputs,
+                          const DataCatalog& catalog, Rng* rng,
+                          int iteration) const;
+
+  const PlatformRegistry* registry_;
+  const VirtualCost* cost_;
+  const KernelRegistry* kernels_;
+  ExecutorOptions options_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_EXEC_EXECUTOR_H_

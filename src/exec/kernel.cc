@@ -1,0 +1,267 @@
+#include "exec/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace robopt {
+namespace {
+
+// Physical row cap for blow-up-prone generic kernels (Cartesian, FlatMap
+// with large fan-out). Virtual cardinalities are tracked exactly; only the
+// physical sample is capped.
+constexpr size_t kPhysicalRowCap = 1 << 20;
+
+uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + 0x2545f4914f6cdd1dULL;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+const Dataset& In(const KernelContext& ctx, size_t i) {
+  ROBOPT_CHECK(i < ctx.inputs.size());
+  return *ctx.inputs[i];
+}
+
+Dataset MakeOut(const KernelContext& ctx, std::vector<Record> rows,
+                double virtual_card) {
+  Dataset out;
+  out.rows = std::move(rows);
+  out.virtual_cardinality = virtual_card;
+  out.tuple_bytes = ctx.op->tuple_bytes;
+  return out;
+}
+
+}  // namespace
+
+double ScaleVirtual(double in_virtual, size_t in_rows, size_t out_rows,
+                    double fallback_selectivity) {
+  if (in_rows == 0) return in_virtual * fallback_selectivity;
+  return in_virtual * static_cast<double>(out_rows) /
+         static_cast<double>(in_rows);
+}
+
+void KernelRegistry::Register(std::string name, Kernel kernel) {
+  kernels_[std::move(name)] = std::move(kernel);
+}
+
+const Kernel* KernelRegistry::Find(const std::string& name) const {
+  auto it = kernels_.find(name);
+  return it == kernels_.end() ? nullptr : &it->second;
+}
+
+KernelRegistry& KernelRegistry::Global() {
+  static KernelRegistry* registry = new KernelRegistry();
+  return *registry;
+}
+
+StatusOr<Dataset> DefaultKernel(const KernelContext& ctx) {
+  const LogicalOperator& op = *ctx.op;
+  switch (op.kind) {
+    case LogicalOpKind::kTextFileSource:
+    case LogicalOpKind::kCollectionSource:
+    case LogicalOpKind::kTableSource:
+      return Status::FailedPrecondition(
+          "source " + op.name + " has no dataset bound in the DataCatalog");
+
+    case LogicalOpKind::kFilter: {
+      const Dataset& in = In(ctx, 0);
+      const uint64_t threshold =
+          static_cast<uint64_t>(op.selectivity * 1e6);
+      std::vector<Record> rows;
+      rows.reserve(static_cast<size_t>(in.rows.size() * op.selectivity) + 1);
+      for (size_t i = 0; i < in.rows.size(); ++i) {
+        if (MixHash(static_cast<uint64_t>(in.rows[i].key), i) % 1000000 <
+            threshold) {
+          rows.push_back(in.rows[i]);
+        }
+      }
+      const double virt = ScaleVirtual(in.virtual_cardinality, in.rows.size(),
+                                       rows.size(), op.selectivity);
+      return MakeOut(ctx, std::move(rows), virt);
+    }
+
+    case LogicalOpKind::kMap:
+    case LogicalOpKind::kProject:
+    case LogicalOpKind::kCache:
+    case LogicalOpKind::kBroadcast:
+    case LogicalOpKind::kLoopBegin:
+    case LogicalOpKind::kLoopEnd:
+    case LogicalOpKind::kCollectionSink:
+    case LogicalOpKind::kFileSink: {
+      const Dataset& in = In(ctx, 0);
+      return MakeOut(ctx, in.rows, in.virtual_cardinality);
+    }
+
+    case LogicalOpKind::kFlatMap: {
+      // Fan-out of `selectivity` copies per row (fractional part resolved by
+      // hashing), physically capped.
+      const Dataset& in = In(ctx, 0);
+      std::vector<Record> rows;
+      const double fan = std::max(op.selectivity, 0.0);
+      for (size_t i = 0; i < in.rows.size() && rows.size() < kPhysicalRowCap;
+           ++i) {
+        auto copies = static_cast<size_t>(fan);
+        const double frac = fan - std::floor(fan);
+        if (MixHash(i, 0x9d) % 1000000 < static_cast<uint64_t>(frac * 1e6)) {
+          ++copies;
+        }
+        for (size_t c = 0; c < copies && rows.size() < kPhysicalRowCap; ++c) {
+          Record r = in.rows[i];
+          r.key = static_cast<int64_t>(MixHash(r.key, c));
+          rows.push_back(std::move(r));
+        }
+      }
+      return MakeOut(ctx, std::move(rows), in.virtual_cardinality * fan);
+    }
+
+    case LogicalOpKind::kSort: {
+      const Dataset& in = In(ctx, 0);
+      std::vector<Record> rows = in.rows;
+      std::sort(rows.begin(), rows.end(),
+                [](const Record& a, const Record& b) {
+                  return std::tie(a.key, a.num) < std::tie(b.key, b.num);
+                });
+      return MakeOut(ctx, std::move(rows), in.virtual_cardinality);
+    }
+
+    case LogicalOpKind::kDistinct: {
+      const Dataset& in = In(ctx, 0);
+      std::unordered_set<std::string> seen;
+      std::vector<Record> rows;
+      for (const Record& r : in.rows) {
+        std::string fingerprint = std::to_string(r.key) + "|" + r.text;
+        if (seen.insert(std::move(fingerprint)).second) rows.push_back(r);
+      }
+      const double virt = ScaleVirtual(in.virtual_cardinality, in.rows.size(),
+                                       rows.size(), op.selectivity);
+      return MakeOut(ctx, std::move(rows), virt);
+    }
+
+    case LogicalOpKind::kCount: {
+      const Dataset& in = In(ctx, 0);
+      Record r;
+      r.num = in.virtual_cardinality;
+      return MakeOut(ctx, {std::move(r)}, 1.0);
+    }
+
+    case LogicalOpKind::kGlobalReduce: {
+      const Dataset& in = In(ctx, 0);
+      Record r;
+      size_t dim = 0;
+      for (const Record& row : in.rows) {
+        r.num += row.num;
+        dim = std::max(dim, row.vec.size());
+      }
+      r.vec.assign(dim, 0.0);
+      for (const Record& row : in.rows) {
+        for (size_t d = 0; d < row.vec.size(); ++d) r.vec[d] += row.vec[d];
+      }
+      return MakeOut(ctx, {std::move(r)}, 1.0);
+    }
+
+    case LogicalOpKind::kSample: {
+      const Dataset& in = In(ctx, 0);
+      size_t want =
+          op.param > 0
+              ? static_cast<size_t>(op.param)
+              : static_cast<size_t>(op.selectivity * in.rows.size());
+      want = std::min(want, in.rows.size());
+      std::vector<Record> rows;
+      rows.reserve(want);
+      if (!in.rows.empty()) {
+        for (size_t i = 0; i < want; ++i) {
+          rows.push_back(in.rows[ctx.rng->NextBounded(in.rows.size())]);
+        }
+      }
+      const double virt =
+          op.param > 0
+              ? std::min(op.param, in.virtual_cardinality)
+              : op.selectivity * in.virtual_cardinality;
+      return MakeOut(ctx, std::move(rows), virt);
+    }
+
+    case LogicalOpKind::kReduceBy:
+    case LogicalOpKind::kGroupBy: {
+      const Dataset& in = In(ctx, 0);
+      std::unordered_map<int64_t, Record> groups;
+      for (const Record& r : in.rows) {
+        auto [it, inserted] = groups.try_emplace(r.key, r);
+        if (!inserted) it->second.num += r.num;
+      }
+      std::vector<Record> rows;
+      rows.reserve(groups.size());
+      for (auto& [key, r] : groups) rows.push_back(std::move(r));
+      std::sort(rows.begin(), rows.end(),
+                [](const Record& a, const Record& b) { return a.key < b.key; });
+      const double virt = ScaleVirtual(in.virtual_cardinality, in.rows.size(),
+                                       rows.size(), op.selectivity);
+      return MakeOut(ctx, std::move(rows), virt);
+    }
+
+    case LogicalOpKind::kJoin: {
+      const Dataset& left = In(ctx, 0);
+      const Dataset& right = In(ctx, 1);
+      // Build on the smaller physical side.
+      const bool build_left = left.rows.size() <= right.rows.size();
+      const Dataset& build = build_left ? left : right;
+      const Dataset& probe = build_left ? right : left;
+      std::unordered_multimap<int64_t, const Record*> table;
+      table.reserve(build.rows.size());
+      for (const Record& r : build.rows) table.emplace(r.key, &r);
+      std::vector<Record> rows;
+      for (const Record& r : probe.rows) {
+        auto [lo, hi] = table.equal_range(r.key);
+        for (auto it = lo; it != hi && rows.size() < kPhysicalRowCap; ++it) {
+          Record joined = r;
+          joined.num += it->second->num;
+          if (joined.text.empty()) joined.text = it->second->text;
+          rows.push_back(std::move(joined));
+        }
+      }
+      const double in_max =
+          std::max(left.virtual_cardinality, right.virtual_cardinality);
+      const double probe_rows = std::max<size_t>(probe.rows.size(), 1);
+      const double virt =
+          in_max * (static_cast<double>(rows.size()) / probe_rows);
+      return MakeOut(ctx, std::move(rows), virt);
+    }
+
+    case LogicalOpKind::kUnion: {
+      const Dataset& left = In(ctx, 0);
+      const Dataset& right = In(ctx, 1);
+      std::vector<Record> rows = left.rows;
+      rows.insert(rows.end(), right.rows.begin(), right.rows.end());
+      return MakeOut(ctx, std::move(rows),
+                     left.virtual_cardinality + right.virtual_cardinality);
+    }
+
+    case LogicalOpKind::kCartesian: {
+      const Dataset& left = In(ctx, 0);
+      const Dataset& right = In(ctx, 1);
+      std::vector<Record> rows;
+      for (const Record& l : left.rows) {
+        for (const Record& r : right.rows) {
+          if (rows.size() >= kPhysicalRowCap) break;
+          Record joined = l;
+          joined.num += r.num;
+          rows.push_back(std::move(joined));
+        }
+      }
+      return MakeOut(ctx, std::move(rows),
+                     left.virtual_cardinality * right.virtual_cardinality *
+                         std::max(op.selectivity, 1e-12));
+    }
+
+    case LogicalOpKind::kKindCount:
+      break;
+  }
+  return Status::Internal("no default kernel for operator " + op.name);
+}
+
+}  // namespace robopt

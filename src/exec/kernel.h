@@ -1,0 +1,63 @@
+#ifndef ROBOPT_EXEC_KERNEL_H_
+#define ROBOPT_EXEC_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "exec/record.h"
+#include "plan/logical_plan.h"
+
+namespace robopt {
+
+/// Everything a kernel needs to execute one logical operator once.
+struct KernelContext {
+  const LogicalOperator* op = nullptr;
+  /// Main data inputs, in parent order.
+  std::vector<const Dataset*> inputs;
+  /// Broadcast side inputs, in side-parent order.
+  std::vector<const Dataset*> side_inputs;
+  Rng* rng = nullptr;
+  /// Loop iteration index (0 outside loops).
+  int iteration = 0;
+};
+
+/// A kernel consumes the context's inputs and produces the operator's output
+/// dataset, including its virtual cardinality.
+using Kernel = std::function<StatusOr<Dataset>(const KernelContext&)>;
+
+/// Named kernels let workloads attach real behavior (tokenization, k-means
+/// assignment, gradient steps, ...) to logical operators via
+/// LogicalOperator::kernel. Operators with no named kernel fall back to a
+/// generic kernel for their kind (see DefaultKernel), which preserves
+/// cardinality semantics so that synthetic plans still execute.
+class KernelRegistry {
+ public:
+  KernelRegistry() = default;
+
+  void Register(std::string name, Kernel kernel);
+  const Kernel* Find(const std::string& name) const;
+
+  /// Process-wide registry used by the workloads library.
+  static KernelRegistry& Global();
+
+ private:
+  std::map<std::string, Kernel> kernels_;
+};
+
+/// Generic kernel for a logical operator kind: filters by hashing,
+/// hash-joins on Record::key, reduces by summing Record::num, etc.
+StatusOr<Dataset> DefaultKernel(const KernelContext& ctx);
+
+/// Scales a virtual cardinality by the physically observed selectivity
+/// (out_rows / in_rows), falling back to `fallback_selectivity` when the
+/// physical input is empty.
+double ScaleVirtual(double in_virtual, size_t in_rows, size_t out_rows,
+                    double fallback_selectivity);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_EXEC_KERNEL_H_

@@ -1,0 +1,150 @@
+#include "exec/perf_profile.h"
+
+#include <functional>
+
+namespace robopt {
+namespace {
+
+PlatformProfile JavaProfile() {
+  PlatformProfile p;
+  p.name = "Java";
+  p.startup_s = 0.02;
+  p.stage_overhead_s = 0.0008;
+  p.tuple_cpu_ns = 160.0;
+  p.parallelism = 1.0;
+  p.parallel_chunk = 1.0;
+  p.shuffle_ns_per_tuple = 90.0;  // In-memory hash tables, no network.
+  p.io_ns_per_byte = 1.4;
+  p.mem_capacity_bytes = 24e9;  // Single JVM with 20 GB heap + overheads.
+  p.loop_overhead_s = 0.0004;   // A plain for-loop.
+  p.broadcast_fixed_s = 0.0004;
+  p.broadcast_ns_per_byte = 0.3;
+  p.move_ns_per_byte = 1.0;
+  p.move_fixed_s = 0.002;
+  return p;
+}
+
+PlatformProfile SparkProfile() {
+  PlatformProfile p;
+  p.name = "Spark";
+  p.startup_s = 2.8;
+  p.stage_overhead_s = 0.09;
+  p.tuple_cpu_ns = 130.0;  // Good codegen for per-tuple transforms.
+  p.parallelism = 40.0;    // 10 nodes x 4 cores.
+  p.parallel_chunk = 20000.0;
+  p.shuffle_ns_per_tuple = 340.0;
+  p.io_ns_per_byte = 0.5;  // Parallel HDFS scan.
+  p.mem_capacity_bytes = 200e9;  // Cluster memory; spills beyond.
+  p.spill_factor = 3.0;
+  p.loop_overhead_s = 0.12;  // Driver schedules a job per iteration.
+  p.broadcast_fixed_s = 0.09;
+  p.broadcast_ns_per_byte = 2.0;
+  p.move_ns_per_byte = 2.5;  // Collect funnels through the driver.
+  p.move_fixed_s = 0.05;
+  p.SetKindMultiplier(LogicalOpKind::kMap, 0.85);
+  p.SetKindMultiplier(LogicalOpKind::kFlatMap, 0.85);
+  return p;
+}
+
+PlatformProfile FlinkProfile() {
+  PlatformProfile p;
+  p.name = "Flink";
+  p.startup_s = 1.9;
+  p.stage_overhead_s = 0.05;  // Pipelined execution, fewer stage barriers.
+  p.tuple_cpu_ns = 150.0;
+  p.parallelism = 40.0;
+  p.parallel_chunk = 20000.0;
+  p.shuffle_ns_per_tuple = 370.0;
+  p.io_ns_per_byte = 0.55;
+  p.mem_capacity_bytes = 160e9;
+  p.spill_factor = 3.2;
+  p.loop_overhead_s = 0.03;  // Native iterations.
+  p.broadcast_fixed_s = 0.03;
+  p.broadcast_ns_per_byte = 1.5;
+  p.move_ns_per_byte = 2.2;
+  p.move_fixed_s = 0.04;
+  p.SetKindMultiplier(LogicalOpKind::kReduceBy, 0.9);
+  p.SetKindMultiplier(LogicalOpKind::kGroupBy, 0.9);
+  return p;
+}
+
+PlatformProfile PostgresProfile() {
+  PlatformProfile p;
+  p.name = "Postgres";
+  p.startup_s = 0.08;
+  p.stage_overhead_s = 0.004;
+  p.tuple_cpu_ns = 210.0;
+  p.parallelism = 4.0;
+  p.parallel_chunk = 50000.0;
+  p.shuffle_ns_per_tuple = 260.0;  // Local sorts/hashes, no network.
+  p.io_ns_per_byte = 1.1;          // Buffered table scans.
+  p.mem_capacity_bytes = 64e9;     // Disk-backed; aborts only far beyond.
+  p.spill_factor = 2.0;
+  p.loop_overhead_s = 0.6;  // Iteration via repeated statements: painful.
+  p.broadcast_fixed_s = 0.05;
+  p.broadcast_ns_per_byte = 3.0;
+  p.move_ns_per_byte = 4.0;  // COPY in/out of the DBMS.
+  p.move_fixed_s = 0.08;
+  // Relational operators are what a DBMS is good at; opaque UDFs are not.
+  p.SetKindMultiplier(LogicalOpKind::kFilter, 0.35);
+  p.SetKindMultiplier(LogicalOpKind::kProject, 0.3);
+  p.SetKindMultiplier(LogicalOpKind::kJoin, 0.7);
+  p.SetKindMultiplier(LogicalOpKind::kSort, 0.6);
+  p.SetKindMultiplier(LogicalOpKind::kReduceBy, 0.7);
+  p.SetKindMultiplier(LogicalOpKind::kGroupBy, 0.7);
+  p.SetKindMultiplier(LogicalOpKind::kMap, 2.2);
+  p.SetKindMultiplier(LogicalOpKind::kFlatMap, 2.5);
+  return p;
+}
+
+PlatformProfile GraphXProfile() {
+  PlatformProfile p;
+  p.name = "GraphX";
+  p.startup_s = 3.2;
+  p.stage_overhead_s = 0.12;
+  p.tuple_cpu_ns = 165.0;
+  p.parallelism = 40.0;
+  p.parallel_chunk = 20000.0;
+  p.shuffle_ns_per_tuple = 390.0;
+  p.io_ns_per_byte = 0.6;
+  p.mem_capacity_bytes = 180e9;
+  p.loop_overhead_s = 0.06;  // Pregel supersteps.
+  p.broadcast_fixed_s = 0.08;
+  p.broadcast_ns_per_byte = 2.0;
+  p.move_ns_per_byte = 2.6;
+  p.move_fixed_s = 0.06;
+  p.SetKindMultiplier(LogicalOpKind::kJoin, 0.8);  // Edge-partition joins.
+  return p;
+}
+
+}  // namespace
+
+PlatformProfile PlatformProfile::ForName(const std::string& name) {
+  if (name == "Java") return JavaProfile();
+  if (name == "Spark") return SparkProfile();
+  if (name == "Flink") return FlinkProfile();
+  if (name == "Postgres") return PostgresProfile();
+  if (name == "GraphX") return GraphXProfile();
+  // Synthetic platforms ("P0", "P1", ...): start from a distributed profile
+  // and perturb deterministically so platforms are similar-but-distinct, as
+  // the paper's setup intends ("quite similar in terms of capability and
+  // efficiency ... makes it harder for an optimizer to choose the fastest").
+  PlatformProfile p = SparkProfile();
+  p.name = name;
+  const uint64_t h = std::hash<std::string>{}(name);
+  const double jitter = 0.75 + 0.5 * static_cast<double>(h % 1000) / 1000.0;
+  p.startup_s *= jitter;
+  p.tuple_cpu_ns *= 2.0 - jitter * 0.9;
+  p.shuffle_ns_per_tuple *= 0.8 + 0.4 * static_cast<double>((h >> 10) % 1000) / 1000.0;
+  p.stage_overhead_s *= jitter;
+  if (name == "P0") {
+    // The first synthetic platform is single-node-flavored to keep the
+    // small-vs-large crossover present in synthetic setups too.
+    p.startup_s = 0.03;
+    p.parallelism = 1.0;
+    p.mem_capacity_bytes = 24e9;
+  }
+  return p;
+}
+
+}  // namespace robopt

@@ -1,0 +1,63 @@
+#ifndef ROBOPT_EXEC_RECORD_H_
+#define ROBOPT_EXEC_RECORD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace robopt {
+
+/// One tuple flowing through the executor. A deliberately wide universal row:
+/// workloads use the fields they need (text analytics use `text`, relational
+/// use `key`/`num`, ML uses `vec`). This is a simulator, not a columnar
+/// engine, so per-row overhead is acceptable.
+struct Record {
+  int64_t key = 0;
+  double num = 0.0;
+  std::string text;
+  std::vector<double> vec;
+};
+
+/// A dataset is a *physical sample* of rows plus the *virtual cardinality*
+/// it stands for. Kernels run on the physical rows (so results are real),
+/// while the performance model charges costs against the virtual
+/// cardinality — this is how the repo scales experiments to the paper's
+/// terabyte range on one machine (see DESIGN.md, substitutions).
+struct Dataset {
+  std::vector<Record> rows;
+  /// Number of tuples this dataset represents; >= rows.size() when the
+  /// physical sample is capped.
+  double virtual_cardinality = 0.0;
+  /// Average serialized tuple size in bytes (drives movement/IO costs).
+  double tuple_bytes = 16.0;
+
+  /// virtual-to-physical scale factor (1.0 when uncapped).
+  double Scale() const {
+    if (rows.empty()) return 1.0;
+    return virtual_cardinality / static_cast<double>(rows.size());
+  }
+
+  static Dataset Of(std::vector<Record> rows_in, double tuple_bytes_in = 16.0) {
+    Dataset dataset;
+    dataset.virtual_cardinality = static_cast<double>(rows_in.size());
+    dataset.rows = std::move(rows_in);
+    dataset.tuple_bytes = tuple_bytes_in;
+    return dataset;
+  }
+};
+
+/// Binds datasets to the source operators of a plan before execution.
+struct DataCatalog {
+  std::map<OperatorId, Dataset> by_op;
+
+  void Bind(OperatorId id, Dataset dataset) {
+    by_op[id] = std::move(dataset);
+  }
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_EXEC_RECORD_H_

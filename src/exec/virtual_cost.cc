@@ -1,0 +1,210 @@
+#include "exec/virtual_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace robopt {
+
+bool IsShuffleKind(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kReduceBy:
+    case LogicalOpKind::kGroupBy:
+    case LogicalOpKind::kJoin:
+    case LogicalOpKind::kSort:
+    case LogicalOpKind::kDistinct:
+    case LogicalOpKind::kCartesian:
+      return true;
+    default:
+      return false;
+  }
+}
+
+VirtualCost::VirtualCost(const PlatformRegistry* registry,
+                         VirtualCostOptions options)
+    : registry_(registry), options_(options) {
+  profiles_.reserve(registry->num_platforms());
+  for (const Platform& platform : registry->platforms()) {
+    profiles_.push_back(PlatformProfile::ForName(platform.name));
+  }
+}
+
+void VirtualCost::SetProfile(PlatformId id, PlatformProfile profile) {
+  ROBOPT_CHECK(id < profiles_.size());
+  profiles_[id] = std::move(profile);
+}
+
+double VirtualCost::Noise(OperatorId id, PlatformId platform) const {
+  if (options_.noise_sigma <= 0.0) return 1.0;
+  Rng rng(options_.noise_seed ^ (static_cast<uint64_t>(id) << 32) ^
+          (static_cast<uint64_t>(platform) << 16));
+  return std::exp(options_.noise_sigma * rng.NextGaussian());
+}
+
+bool VirtualCost::ExceedsMemory(const ExecutionPlan& plan, OperatorId id,
+                                double in_tuples) const {
+  const PlatformId platform = plan.PlatformOf(id);
+  const Platform& desc = registry_->platform(platform);
+  // Distributed engines and disk-based DBMSs spill; only the single-node
+  // in-memory engine aborts (the paper's Fig. 11 shows OOM bars for Java
+  // only).
+  if (desc.cls != PlatformClass::kSingleNode) return false;
+  const double bytes = in_tuples * plan.logical_plan().op(id).tuple_bytes;
+  return bytes > profiles_[platform].mem_capacity_bytes;
+}
+
+double VirtualCost::OpCost(const ExecutionPlan& plan, OperatorId id,
+                           double in_tuples, double out_tuples,
+                           int iteration) const {
+  return OpCostRaw(plan.logical_plan().op(id), plan.alt(id), in_tuples,
+                   out_tuples, iteration);
+}
+
+double VirtualCost::OpCostRaw(const LogicalOperator& op,
+                              const ExecutionAlt& alt, double in_tuples,
+                              double out_tuples, int iteration) const {
+  const PlatformProfile& prof = profiles_[alt.platform];
+  const double bytes_in = in_tuples * op.tuple_bytes;
+  const double bytes_out = out_tuples * op.tuple_bytes;
+
+  // Broadcast: fixed materialization + per-byte distribution; no stage.
+  if (op.kind == LogicalOpKind::kBroadcast) {
+    return prof.broadcast_fixed_s +
+           bytes_in * prof.broadcast_ns_per_byte * 1e-9;
+  }
+
+  // Cache: pay materialization on the first execution, (almost) nothing on
+  // later loop iterations.
+  if (op.kind == LogicalOpKind::kCache) {
+    if (iteration > 0) return 0.0;
+    return prof.stage_overhead_s +
+           (in_tuples * prof.tuple_cpu_ns * 0.4 + bytes_in * prof.io_ns_per_byte) *
+               1e-9 / prof.EffectiveParallelism(in_tuples);
+  }
+
+  // Sample: variant-dependent, iteration-dependent (the SGD story of
+  // Section VII-C2). Variant 0 is the stateful ShufflePartitionSample: it
+  // shuffles its input once and then reads batches; variant 1 caches first
+  // but loses the sampler's state, re-shuffling every iteration.
+  if (op.kind == LogicalOpKind::kSample) {
+    // The sampler shuffles one partition, not the whole input.
+    const double partition_tuples =
+        in_tuples / std::max(prof.EffectiveParallelism(in_tuples), 1.0);
+    const double shuffle_s =
+        prof.stage_overhead_s +
+        partition_tuples * prof.shuffle_ns_per_tuple * 0.5 * 1e-9;
+    const double batch_read_s =
+        prof.stage_overhead_s * 0.1 + out_tuples * prof.tuple_cpu_ns * 1e-9;
+    if (alt.variant == 0) {
+      // Stateful: shuffle once, then sequential batch reads.
+      return (iteration == 0 ? shuffle_s : 0.0) + batch_read_s;
+    }
+    // Cache-based variant: the cache write is paid once, but caching
+    // destroys the sampler's state, so part of the partition re-shuffles on
+    // every iteration (the paper's SGD finding).
+    const double cache_write_s =
+        (iteration == 0)
+            ? bytes_in * prof.io_ns_per_byte * 1e-9 /
+                  prof.EffectiveParallelism(in_tuples)
+            : 0.0;
+    const double reshuffle_s =
+        (iteration == 0 ? 1.0 : 0.35) * shuffle_s;
+    return cache_write_s + reshuffle_s + batch_read_s;
+  }
+
+  double work_ns = in_tuples * prof.tuple_cpu_ns *
+                   prof.udf_factor[static_cast<int>(op.udf)] *
+                   prof.KindMultiplier(op.kind);
+  if (IsShuffleKind(op.kind)) {
+    double spill = 1.0;
+    if (bytes_in > prof.mem_capacity_bytes) spill = prof.spill_factor;
+    work_ns += in_tuples * prof.shuffle_ns_per_tuple *
+               std::log2(std::max(in_tuples, 2.0)) * spill;
+  }
+  if (IsSource(op.kind)) {
+    work_ns += bytes_out * prof.io_ns_per_byte;
+  }
+  if (IsSink(op.kind)) {
+    work_ns += bytes_in * prof.io_ns_per_byte;
+  }
+  const double par = prof.EffectiveParallelism(std::max(in_tuples, out_tuples));
+  return (prof.stage_overhead_s + work_ns * 1e-9 / par) *
+         Noise(op.id, alt.platform);
+}
+
+double VirtualCost::ConversionCost(const ConversionInstance& conv,
+                                   double tuples, double tuple_bytes) const {
+  const PlatformProfile& from = profiles_[conv.from_platform];
+  const PlatformProfile& to = profiles_[conv.to_platform];
+  const double bytes = tuples * tuple_bytes;
+  double rate_ns = 0.5 * (from.move_ns_per_byte + to.move_ns_per_byte);
+  if (conv.kind == ConversionKind::kExchange) {
+    rate_ns *= 2.0;  // Materialize to shared storage, then re-read.
+  }
+  return from.move_fixed_s + to.move_fixed_s + bytes * rate_ns * 1e-9;
+}
+
+CostBreakdown VirtualCost::PlanCost(const ExecutionPlan& plan,
+                                    const Cardinalities& cards) const {
+  const LogicalPlan& logical = plan.logical_plan();
+  CostBreakdown out;
+  out.op_seconds.assign(logical.num_operators(), 0.0);
+
+  // Job startup per distinct platform touched.
+  for (PlatformId platform : plan.PlatformsUsed()) {
+    out.startup_s += profiles_[platform].startup_s;
+  }
+
+  for (const LogicalOperator& op : logical.operators()) {
+    const double in_tuples = cards.input[op.id];
+    const double out_tuples = cards.output[op.id];
+    if (ExceedsMemory(plan, op.id, in_tuples)) {
+      out.oom = true;
+      out.failure = "out-of-memory on " +
+                    registry_->platform(plan.PlatformOf(op.id)).name +
+                    " at " + op.name;
+      out.total_s = std::numeric_limits<double>::infinity();
+      return out;
+    }
+    const int iterations = logical.LoopIterations(op.id);
+    double op_s = OpCost(plan, op.id, in_tuples, out_tuples, /*iteration=*/0);
+    if (iterations > 1) {
+      op_s += (iterations - 1) *
+              OpCost(plan, op.id, in_tuples, out_tuples, /*iteration=*/1);
+    }
+    // Per-iteration loop scheduling overhead, charged on the LoopBegin.
+    if (op.kind == LogicalOpKind::kLoopBegin) {
+      op_s += profiles_[plan.PlatformOf(op.id)].loop_overhead_s *
+              std::max(1, op.loop_iterations);
+    }
+    out.op_seconds[op.id] = op_s;
+  }
+
+  for (const ConversionInstance& conv : plan.Conversions()) {
+    const double tuples = cards.output[conv.from_op];
+    const double tuple_bytes = logical.op(conv.from_op).tuple_bytes;
+    // Data crossing platforms inside a loop moves every iteration;
+    // loop-invariant inputs move once.
+    const int iterations = std::min(logical.LoopIterations(conv.from_op),
+                                    logical.LoopIterations(conv.to_op));
+    // Collecting into a bounded-memory platform can itself OOM.
+    const Platform& to_desc = registry_->platform(conv.to_platform);
+    if (to_desc.cls == PlatformClass::kSingleNode &&
+        tuples * tuple_bytes > profiles_[conv.to_platform].mem_capacity_bytes) {
+      out.oom = true;
+      out.failure = "out-of-memory moving data into " + to_desc.name;
+      out.total_s = std::numeric_limits<double>::infinity();
+      return out;
+    }
+    out.conversion_s += iterations * ConversionCost(conv, tuples, tuple_bytes);
+  }
+
+  out.total_s = out.startup_s + out.conversion_s;
+  for (double s : out.op_seconds) out.total_s += s;
+  return out;
+}
+
+}  // namespace robopt

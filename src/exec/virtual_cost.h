@@ -1,0 +1,90 @@
+#ifndef ROBOPT_EXEC_VIRTUAL_COST_H_
+#define ROBOPT_EXEC_VIRTUAL_COST_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/cardinality.h"
+#include "exec/perf_profile.h"
+#include "platform/execution_plan.h"
+
+namespace robopt {
+
+/// Cost of one execution plan as charged by the virtual clock.
+struct CostBreakdown {
+  /// Total virtual runtime in seconds; +inf when the plan fails (OOM).
+  double total_s = 0.0;
+  bool oom = false;
+  std::string failure;  ///< e.g. "out-of-memory on Java at Join".
+  double startup_s = 0.0;
+  double conversion_s = 0.0;
+  /// Per-logical-operator virtual seconds (loop iterations included).
+  std::vector<double> op_seconds;
+};
+
+/// Options for the virtual clock.
+struct VirtualCostOptions {
+  /// Lognormal noise sigma on per-operator costs (0 = deterministic ground
+  /// truth). TDGEN can turn this on to make training logs realistic.
+  double noise_sigma = 0.0;
+  uint64_t noise_seed = 0x5eedULL;
+};
+
+/// The virtual clock: computes what an execution plan costs on the simulated
+/// platforms, given per-operator cardinalities. This is the repository's
+/// stand-in for the paper's 10-node cluster (see DESIGN.md). Both the
+/// analytic simulator and the real (kernel-running) executor charge time
+/// through this one class, so they always agree.
+class VirtualCost {
+ public:
+  /// `registry` must outlive this object. Profiles default to
+  /// PlatformProfile::ForName of each platform's name.
+  explicit VirtualCost(const PlatformRegistry* registry,
+                       VirtualCostOptions options = {});
+
+  /// Overrides the profile of a platform (tests, what-if experiments).
+  void SetProfile(PlatformId id, PlatformProfile profile);
+  const PlatformProfile& profile(PlatformId id) const {
+    return profiles_[id];
+  }
+
+  /// Full-plan cost from per-operator cardinalities (loop-aware; conversions
+  /// and startup included).
+  CostBreakdown PlanCost(const ExecutionPlan& plan,
+                         const Cardinalities& cards) const;
+
+  /// Cost in seconds of executing operator `id` once (one loop iteration),
+  /// as assigned in `plan`. `iteration` distinguishes first-iteration work
+  /// (e.g., the stateful sampler's initial shuffle) from steady state.
+  double OpCost(const ExecutionPlan& plan, OperatorId id, double in_tuples,
+                double out_tuples, int iteration) const;
+
+  /// Plan-free variant used by calibration (the cost-model baselines profile
+  /// single operators against the ground truth, as Rheem admins do).
+  double OpCostRaw(const LogicalOperator& op, const ExecutionAlt& alt,
+                   double in_tuples, double out_tuples, int iteration) const;
+
+  /// Cost of one conversion instance moving `tuples` tuples of
+  /// `tuple_bytes` each.
+  double ConversionCost(const ConversionInstance& conv, double tuples,
+                        double tuple_bytes) const;
+
+  /// True if running `id` with `in_tuples` input tuples exceeds the assigned
+  /// platform's memory (single-node / relational platforms only).
+  bool ExceedsMemory(const ExecutionPlan& plan, OperatorId id,
+                     double in_tuples) const;
+
+ private:
+  double Noise(OperatorId id, PlatformId platform) const;
+
+  const PlatformRegistry* registry_;
+  VirtualCostOptions options_;
+  std::vector<PlatformProfile> profiles_;
+};
+
+/// Whether a logical operator implies a partitioning (shuffle) step.
+bool IsShuffleKind(LogicalOpKind kind);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_EXEC_VIRTUAL_COST_H_

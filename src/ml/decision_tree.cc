@@ -1,0 +1,186 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace robopt {
+
+void DecisionTree::Fit(const MlDataset& data,
+                       const std::vector<uint32_t>& indices,
+                       const TreeParams& params, Rng* rng) {
+  nodes_.clear();
+  std::vector<uint32_t> work = indices;
+  if (work.empty()) {
+    nodes_.push_back(Node{});  // Degenerate leaf predicting 0.
+    return;
+  }
+  Grow(data, work, 0, work.size(), 0, params, rng);
+}
+
+int32_t DecisionTree::Grow(const MlDataset& data,
+                           std::vector<uint32_t>& indices, size_t begin,
+                           size_t end, int depth, const TreeParams& params,
+                           Rng* rng) {
+  const size_t count = end - begin;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double y = data.label(indices[i]);
+    sum += y;
+    sum_sq += y * y;
+  }
+  const double mean = sum / static_cast<double>(count);
+  const double variance = sum_sq / static_cast<double>(count) - mean * mean;
+
+  const auto make_leaf = [&]() {
+    Node leaf;
+    leaf.value = static_cast<float>(mean);
+    nodes_.push_back(leaf);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= params.max_depth ||
+      count < static_cast<size_t>(params.min_samples_split) ||
+      variance <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Feature subsampling.
+  const size_t dim = data.dim();
+  int num_features = params.max_features;
+  if (num_features == -1) {
+    num_features = static_cast<int>(std::lround(std::sqrt(dim)));
+  } else if (num_features == 0 || num_features > static_cast<int>(dim)) {
+    num_features = static_cast<int>(dim);
+  }
+  std::vector<uint32_t> features(dim);
+  std::iota(features.begin(), features.end(), 0);
+  for (int i = 0; i < num_features; ++i) {
+    const size_t j = i + rng->NextBounded(dim - i);
+    std::swap(features[i], features[j]);
+  }
+
+  // Best split over sampled features by variance reduction.
+  double best_gain = 0.0;
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+  std::vector<std::pair<float, float>> values;  // (feature value, label)
+  values.reserve(count);
+  for (int f = 0; f < num_features; ++f) {
+    const uint32_t feature = features[f];
+    values.clear();
+    for (size_t i = begin; i < end; ++i) {
+      values.emplace_back(data.row(indices[i])[feature],
+                          data.label(indices[i]));
+    }
+    std::sort(values.begin(), values.end());
+    if (values.front().first == values.back().first) continue;
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (size_t i = 0; i + 1 < count; ++i) {
+      const double y = values[i].second;
+      left_sum += y;
+      left_sq += y * y;
+      if (values[i].first == values[i + 1].first) continue;
+      const auto left_n = static_cast<double>(i + 1);
+      const auto right_n = static_cast<double>(count - i - 1);
+      if (left_n < params.min_samples_leaf ||
+          right_n < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = sum_sq - left_sq;
+      const double left_var = left_sq - left_sum * left_sum / left_n;
+      const double right_var = right_sq - right_sum * right_sum / right_n;
+      const double total_var = sum_sq - sum * sum / static_cast<double>(count);
+      const double gain = total_var - left_var - right_var;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(feature);
+        best_threshold = 0.5f * (values[i].first + values[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0 || best_gain <= 1e-12) return make_leaf();
+
+  // Partition indices by the chosen split.
+  auto middle = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](uint32_t idx) {
+        return data.row(idx)[best_feature] <= best_threshold;
+      });
+  const size_t split = static_cast<size_t>(middle - indices.begin());
+  if (split == begin || split == end) return make_leaf();
+
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].value = static_cast<float>(mean);
+  const int32_t left =
+      Grow(data, indices, begin, split, depth + 1, params, rng);
+  const int32_t right = Grow(data, indices, split, end, depth + 1, params, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+float DecisionTree::Predict(const float* row, size_t dim) const {
+  if (nodes_.empty()) return 0.0f;
+  int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto feature = static_cast<size_t>(nodes_[node].feature);
+    const float value = feature < dim ? row[feature] : 0.0f;
+    node = value <= nodes_[node].threshold ? nodes_[node].left
+                                           : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+int DecisionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth over the flat array.
+  std::vector<std::pair<int32_t, int>> stack = {{0, 1}};
+  int depth = 0;
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    if (nodes_[node].feature >= 0) {
+      stack.emplace_back(nodes_[node].left, d + 1);
+      stack.emplace_back(nodes_[node].right, d + 1);
+    }
+  }
+  return depth;
+}
+
+void DecisionTree::Serialize(std::ostream& out) const {
+  // 9 significant digits round-trip a float exactly.
+  out << std::setprecision(9) << nodes_.size() << "\n";
+  for (const Node& node : nodes_) {
+    out << node.feature << " " << node.threshold << " " << node.left << " "
+        << node.right << " " << node.value << "\n";
+  }
+}
+
+bool DecisionTree::Deserialize(std::istream& in) {
+  size_t count = 0;
+  if (!(in >> count)) return false;
+  nodes_.assign(count, Node{});
+  for (Node& node : nodes_) {
+    if (!(in >> node.feature >> node.threshold >> node.left >> node.right >>
+          node.value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace robopt

@@ -1,0 +1,62 @@
+#ifndef ROBOPT_ML_DECISION_TREE_H_
+#define ROBOPT_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/ml_dataset.h"
+
+namespace robopt {
+
+/// Hyperparameters shared by trees and forests.
+struct TreeParams {
+  int max_depth = 18;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  /// Features tried per split; 0 means all, -1 means sqrt(dim) (the usual
+  /// random-forest default).
+  int max_features = -1;
+};
+
+/// CART regression tree (variance-reduction splits), grown on an index
+/// subset so forests can bag without copying data. Nodes are stored in a
+/// flat array — prediction is a tight loop over ints and floats, in keeping
+/// with the repository's vector-first design.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits on `data` restricted to `indices` (with repetitions allowed, for
+  /// bootstrap samples). `rng` drives the feature subsampling.
+  void Fit(const MlDataset& data, const std::vector<uint32_t>& indices,
+           const TreeParams& params, Rng* rng);
+
+  float Predict(const float* row, size_t dim) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int Depth() const;
+
+  void Serialize(std::ostream& out) const;
+  bool Deserialize(std::istream& in);
+
+ private:
+  struct Node {
+    int32_t feature = -1;  ///< -1 marks a leaf.
+    float threshold = 0.0f;
+    int32_t left = -1;   ///< Index of the <= child.
+    int32_t right = -1;  ///< Index of the > child.
+    float value = 0.0f;  ///< Leaf prediction.
+  };
+
+  int32_t Grow(const MlDataset& data, std::vector<uint32_t>& indices,
+               size_t begin, size_t end, int depth, const TreeParams& params,
+               Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_ML_DECISION_TREE_H_

@@ -1,0 +1,149 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace robopt {
+namespace {
+
+/// Solves A w = b in place for symmetric positive-definite A (Cholesky).
+/// Returns false if A is not positive definite.
+bool SolveSpd(std::vector<double>& a, std::vector<double>& b, size_t n) {
+  // Decompose A = L L^T, storing L in the lower triangle of `a`.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        a[i * n + i] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+  // Forward substitution: L z = b.
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  // Back substitution: L^T w = z.
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[k * n + i] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LinearRegression::Train(const MlDataset& data) {
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+
+  // Standardize features for numerical stability.
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    for (size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(n));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 0.0;
+  }
+
+  // Normal equations on standardized features: (X^T X + l2 I) w = X^T y.
+  std::vector<double> xtx(d * d, 0.0);
+  std::vector<double> xty(d, 0.0);
+  double y_mean = 0.0;
+  std::vector<double> z(d);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    const double y =
+        log_label_ ? std::log1p(static_cast<double>(data.label(i)))
+                   : data.label(i);
+    y_mean += y;
+    for (size_t j = 0; j < d; ++j) z[j] = (row[j] - mean_[j]) * inv_std_[j];
+    for (size_t j = 0; j < d; ++j) {
+      xty[j] += z[j] * y;
+      for (size_t k = 0; k <= j; ++k) xtx[j * d + k] += z[j] * z[k];
+    }
+  }
+  y_mean /= static_cast<double>(n);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t k = j + 1; k < d; ++k) xtx[j * d + k] = xtx[k * d + j];
+    xtx[j * d + j] += l2_ * static_cast<double>(n);
+    xty[j] -= 0.0;
+  }
+  // Center labels: learn deviations from the mean; bias = y_mean.
+  // (X is centered already, so X^T (y - y_mean 1) == X^T y.)
+  if (!SolveSpd(xtx, xty, d)) {
+    return Status::Internal("normal equations not positive definite");
+  }
+  weights_ = std::move(xty);
+  bias_ = y_mean;
+  return Status::OK();
+}
+
+void LinearRegression::PredictBatch(const float* x, size_t n, size_t dim,
+                                    float* out) const {
+  const size_t d = weights_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x + i * dim;
+    double acc = bias_;
+    for (size_t j = 0; j < d && j < dim; ++j) {
+      acc += weights_[j] * (row[j] - mean_[j]) * inv_std_[j];
+    }
+    if (log_label_) acc = std::expm1(acc);
+    out[i] = static_cast<float>(acc < 0 ? 0 : acc);
+  }
+}
+
+Status LinearRegression::Save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::Internal("cannot open " + path);
+  file << "linear_regression 1\n" << weights_.size() << " " << bias_ << " "
+       << (log_label_ ? 1 : 0) << "\n";
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    file << weights_[j] << " " << mean_[j] << " " << inv_std_[j] << "\n";
+  }
+  return file ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Status LinearRegression::Load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::Internal("cannot open " + path);
+  std::string magic;
+  int version = 0;
+  size_t d = 0;
+  int log_label = 0;
+  file >> magic >> version >> d >> bias_ >> log_label;
+  if (magic != "linear_regression") {
+    return Status::InvalidArgument("not a linear_regression file: " + path);
+  }
+  log_label_ = log_label != 0;
+  weights_.assign(d, 0.0);
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    file >> weights_[j] >> mean_[j] >> inv_std_[j];
+  }
+  return file ? Status::OK() : Status::Internal("truncated file: " + path);
+}
+
+}  // namespace robopt

@@ -1,0 +1,45 @@
+#ifndef ROBOPT_ML_LINEAR_REGRESSION_H_
+#define ROBOPT_ML_LINEAR_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace robopt {
+
+/// Ridge regression fit by normal equations (Cholesky). The paper tried
+/// linear regression, random forests and neural networks and found forests
+/// the most robust; linear regression stays in the library both as a
+/// baseline model and as the embodiment of the "fixed function form"
+/// assumption the paper criticizes in tuned cost models.
+class LinearRegression : public RuntimeModel {
+ public:
+  /// `l2` is the ridge penalty; `log_label` fits log1p(runtime) instead of
+  /// runtime, which copes with the heavy-tailed label distribution.
+  explicit LinearRegression(double l2 = 1e-3, bool log_label = true)
+      : l2_(l2), log_label_(log_label) {}
+
+  Status Train(const MlDataset& data) override;
+  void PredictBatch(const float* x, size_t n, size_t dim,
+                    float* out) const override;
+  Status Save(const std::string& path) const override;
+  Status Load(const std::string& path) override;
+  std::string Name() const override { return "LinearRegression"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  double l2_;
+  bool log_label_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  // Feature standardization learned at training time.
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,95 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace robopt {
+namespace {
+
+std::vector<double> Ranks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    const double rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j));
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  return Pearson(Ranks(a), Ranks(b));
+}
+
+RegressionMetrics Evaluate(const RuntimeModel& model, const MlDataset& data) {
+  RegressionMetrics metrics;
+  const size_t n = data.size();
+  if (n == 0) return metrics;
+  std::vector<float> predictions(n);
+  model.PredictBatch(data.features().data(), n, data.dim(),
+                     predictions.data());
+  double y_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) y_mean += data.label(i);
+  y_mean /= static_cast<double>(n);
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  std::vector<double> truth(n);
+  std::vector<double> predicted(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double y = data.label(i);
+    const double p = predictions[i];
+    const double err = y - p;
+    metrics.mse += err * err;
+    metrics.mae += std::abs(err);
+    ss_res += err * err;
+    ss_tot += (y - y_mean) * (y - y_mean);
+    truth[i] = y;
+    predicted[i] = p;
+  }
+  metrics.mse /= static_cast<double>(n);
+  metrics.mae /= static_cast<double>(n);
+  metrics.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  metrics.spearman = SpearmanCorrelation(truth, predicted);
+  return metrics;
+}
+
+}  // namespace robopt

@@ -1,0 +1,30 @@
+#ifndef ROBOPT_ML_METRICS_H_
+#define ROBOPT_ML_METRICS_H_
+
+#include <vector>
+
+#include "ml/ml_dataset.h"
+#include "ml/model.h"
+
+namespace robopt {
+
+/// Regression quality on a held-out set. `spearman` (rank correlation) is
+/// the metric that actually matters to a query optimizer: it measures how
+/// well the model *orders* plans by runtime.
+struct RegressionMetrics {
+  double mse = 0.0;
+  double mae = 0.0;
+  double r2 = 0.0;
+  double spearman = 0.0;
+};
+
+/// Evaluates `model` on `data`.
+RegressionMetrics Evaluate(const RuntimeModel& model, const MlDataset& data);
+
+/// Spearman rank correlation of two equally sized vectors.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_ML_METRICS_H_

@@ -1,0 +1,23 @@
+#include "ml/ml_dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace robopt {
+
+void MlDataset::Split(double train_fraction, uint64_t seed, MlDataset* train,
+                      MlDataset* test) const {
+  ROBOPT_CHECK(train->dim() == dim_ && test->dim() == dim_);
+  std::vector<size_t> index(size());
+  std::iota(index.begin(), index.end(), 0);
+  Rng rng(seed);
+  for (size_t i = index.size(); i > 1; --i) {
+    std::swap(index[i - 1], index[rng.NextBounded(i)]);
+  }
+  const auto cut = static_cast<size_t>(train_fraction * size());
+  for (size_t i = 0; i < index.size(); ++i) {
+    (i < cut ? train : test)->Add(row(index[i]), label(index[i]));
+  }
+}
+
+}  // namespace robopt

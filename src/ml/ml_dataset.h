@@ -1,0 +1,48 @@
+#ifndef ROBOPT_ML_ML_DATASET_H_
+#define ROBOPT_ML_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace robopt {
+
+/// A supervised training set: row-major contiguous features + one label per
+/// row. Contiguity matters — the whole point of the paper's design is that
+/// plan vectors are flat float arrays that go straight into the model.
+class MlDataset {
+ public:
+  explicit MlDataset(size_t dim) : dim_(dim) {}
+
+  void Add(const float* row, float label) {
+    x_.insert(x_.end(), row, row + dim_);
+    y_.push_back(label);
+  }
+
+  void Add(const std::vector<float>& row, float label) {
+    ROBOPT_CHECK(row.size() == dim_);
+    Add(row.data(), label);
+  }
+
+  size_t size() const { return y_.size(); }
+  size_t dim() const { return dim_; }
+  const float* row(size_t i) const { return x_.data() + i * dim_; }
+  float label(size_t i) const { return y_[i]; }
+  const std::vector<float>& features() const { return x_; }
+  const std::vector<float>& labels() const { return y_; }
+
+  /// Splits into train/test by shuffling with `seed`.
+  void Split(double train_fraction, uint64_t seed, MlDataset* train,
+             MlDataset* test) const;
+
+ private:
+  size_t dim_;
+  std::vector<float> x_;
+  std::vector<float> y_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_ML_ML_DATASET_H_

@@ -1,0 +1,201 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace robopt {
+
+MlpRegressor::MlpRegressor() : params_(Params()) {}
+
+MlpRegressor::MlpRegressor(Params params) : params_(params) {}
+
+Status MlpRegressor::Train(const MlDataset& data) {
+  const size_t n = data.size();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  dim_ = data.dim();
+  const size_t hidden = static_cast<size_t>(params_.hidden_units);
+
+  // Standardize features.
+  mean_.assign(dim_, 0.0);
+  inv_std_.assign(dim_, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    for (size_t j = 0; j < dim_; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  std::vector<double> var(dim_, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    for (size_t j = 0; j < dim_; ++j) {
+      const double d = row[j] - mean_[j];
+      var[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < dim_; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(n));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 0.0;
+  }
+
+  // Transformed labels, centered for a stable output bias.
+  std::vector<double> labels(n);
+  double label_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = params_.log_label
+                    ? std::log1p(static_cast<double>(data.label(i)))
+                    : data.label(i);
+    label_mean += labels[i];
+  }
+  label_mean /= static_cast<double>(n);
+
+  // He initialization.
+  Rng rng(params_.seed);
+  w1_.assign(hidden * dim_, 0.0);
+  b1_.assign(hidden, 0.0);
+  w2_.assign(hidden, 0.0);
+  b2_ = label_mean;
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(dim_));
+  for (double& w : w1_) w = rng.NextGaussian() * scale1;
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(hidden));
+  for (double& w : w2_) w = rng.NextGaussian() * scale2;
+
+  std::vector<double> vw1(w1_.size(), 0.0);
+  std::vector<double> vb1(b1_.size(), 0.0);
+  std::vector<double> vw2(w2_.size(), 0.0);
+  double vb2 = 0.0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> z(dim_);
+  std::vector<double> h(hidden);
+  std::vector<double> gw1(w1_.size());
+  std::vector<double> gb1(hidden);
+  std::vector<double> gw2(hidden);
+
+  const size_t batch = std::max(1, params_.batch_size);
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    // Deterministic shuffle per epoch.
+    for (size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    for (size_t start = 0; start < n; start += batch) {
+      const size_t end = std::min(start + batch, n);
+      std::fill(gw1.begin(), gw1.end(), 0.0);
+      std::fill(gb1.begin(), gb1.end(), 0.0);
+      std::fill(gw2.begin(), gw2.end(), 0.0);
+      double gb2 = 0.0;
+      for (size_t bi = start; bi < end; ++bi) {
+        const size_t idx = order[bi];
+        const float* row = data.row(idx);
+        for (size_t j = 0; j < dim_; ++j) {
+          z[j] = (row[j] - mean_[j]) * inv_std_[j];
+        }
+        // Forward.
+        double y = b2_;
+        for (size_t u = 0; u < hidden; ++u) {
+          double a = b1_[u];
+          const double* wrow = w1_.data() + u * dim_;
+          for (size_t j = 0; j < dim_; ++j) a += wrow[j] * z[j];
+          h[u] = a > 0.0 ? a : 0.0;
+          y += w2_[u] * h[u];
+        }
+        // Backward (squared loss).
+        const double err = y - labels[idx];
+        gb2 += err;
+        for (size_t u = 0; u < hidden; ++u) {
+          gw2[u] += err * h[u];
+          if (h[u] > 0.0) {
+            const double delta = err * w2_[u];
+            gb1[u] += delta;
+            double* grow = gw1.data() + u * dim_;
+            for (size_t j = 0; j < dim_; ++j) grow[j] += delta * z[j];
+          }
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(end - start);
+      const double lr = params_.learning_rate;
+      const double mu = params_.momentum;
+      for (size_t i = 0; i < w1_.size(); ++i) {
+        vw1[i] = mu * vw1[i] - lr * (gw1[i] * inv + params_.l2 * w1_[i]);
+        w1_[i] += vw1[i];
+      }
+      for (size_t u = 0; u < hidden; ++u) {
+        vb1[u] = mu * vb1[u] - lr * gb1[u] * inv;
+        b1_[u] += vb1[u];
+        vw2[u] = mu * vw2[u] - lr * (gw2[u] * inv + params_.l2 * w2_[u]);
+        w2_[u] += vw2[u];
+      }
+      vb2 = mu * vb2 - lr * gb2 * inv;
+      b2_ += vb2;
+    }
+  }
+  return Status::OK();
+}
+
+void MlpRegressor::PredictBatch(const float* x, size_t n, size_t dim,
+                                float* out) const {
+  const size_t hidden = w2_.size();
+  std::vector<double> z(dim_);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x + i * dim;
+    for (size_t j = 0; j < dim_; ++j) {
+      const double value = j < dim ? row[j] : 0.0;
+      z[j] = (value - mean_[j]) * inv_std_[j];
+    }
+    double y = b2_;
+    for (size_t u = 0; u < hidden; ++u) {
+      double a = b1_[u];
+      const double* wrow = w1_.data() + u * dim_;
+      for (size_t j = 0; j < dim_; ++j) a += wrow[j] * z[j];
+      if (a > 0.0) y += w2_[u] * a;
+    }
+    if (params_.log_label) y = std::expm1(y);
+    out[i] = static_cast<float>(y < 0 ? 0 : y);
+  }
+}
+
+Status MlpRegressor::Save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::Internal("cannot open " + path);
+  file.precision(17);
+  file << "mlp 1\n"
+       << dim_ << " " << w2_.size() << " " << (params_.log_label ? 1 : 0)
+       << " " << b2_ << "\n";
+  for (size_t j = 0; j < dim_; ++j) {
+    file << mean_[j] << " " << inv_std_[j] << "\n";
+  }
+  for (double w : w1_) file << w << "\n";
+  for (size_t u = 0; u < w2_.size(); ++u) {
+    file << b1_[u] << " " << w2_[u] << "\n";
+  }
+  return file ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Status MlpRegressor::Load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::Internal("cannot open " + path);
+  std::string magic;
+  int version = 0;
+  size_t hidden = 0;
+  int log_label = 0;
+  file >> magic >> version >> dim_ >> hidden >> log_label >> b2_;
+  if (magic != "mlp") {
+    return Status::InvalidArgument("not an mlp file: " + path);
+  }
+  params_.log_label = log_label != 0;
+  params_.hidden_units = static_cast<int>(hidden);
+  mean_.assign(dim_, 0.0);
+  inv_std_.assign(dim_, 0.0);
+  for (size_t j = 0; j < dim_; ++j) file >> mean_[j] >> inv_std_[j];
+  w1_.assign(hidden * dim_, 0.0);
+  for (double& w : w1_) file >> w;
+  b1_.assign(hidden, 0.0);
+  w2_.assign(hidden, 0.0);
+  for (size_t u = 0; u < hidden; ++u) file >> b1_[u] >> w2_[u];
+  return file ? Status::OK() : Status::Internal("truncated file: " + path);
+}
+
+}  // namespace robopt

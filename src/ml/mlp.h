@@ -1,0 +1,54 @@
+#ifndef ROBOPT_ML_MLP_H_
+#define ROBOPT_ML_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace robopt {
+
+/// A small fully-connected neural network regressor — the third model family
+/// the paper evaluated for runtime prediction ("we tried linear regression,
+/// random forests, and neural networks and found random forests to be more
+/// robust", Section VII-A). One ReLU hidden layer, standardized inputs,
+/// log1p labels, mini-batch SGD with momentum. Deterministic per seed.
+class MlpRegressor : public RuntimeModel {
+ public:
+  struct Params {
+    int hidden_units = 64;
+    int epochs = 60;
+    int batch_size = 32;
+    double learning_rate = 1e-2;
+    double momentum = 0.9;
+    double l2 = 1e-5;
+    bool log_label = true;
+    uint64_t seed = 17;
+  };
+
+  MlpRegressor();
+  explicit MlpRegressor(Params params);
+
+  Status Train(const MlDataset& data) override;
+  void PredictBatch(const float* x, size_t n, size_t dim,
+                    float* out) const override;
+  Status Save(const std::string& path) const override;
+  Status Load(const std::string& path) override;
+  std::string Name() const override { return "MlpRegressor"; }
+
+ private:
+  Params params_;
+  size_t dim_ = 0;
+  // Standardization.
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+  // Weights: hidden (H x D) + bias (H); output (H) + bias.
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_ML_MLP_H_

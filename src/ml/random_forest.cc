@@ -1,0 +1,82 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <fstream>
+
+namespace robopt {
+
+RandomForest::RandomForest() : params_(Params()) {}
+
+RandomForest::RandomForest(Params params) : params_(params) {}
+
+Status RandomForest::Train(const MlDataset& data) {
+  if (data.size() == 0) return Status::InvalidArgument("empty training set");
+  // Transform labels once; trees then fit the transformed set.
+  MlDataset transformed(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const float label =
+        params_.log_label
+            ? static_cast<float>(std::log1p(
+                  static_cast<double>(data.label(i))))
+            : data.label(i);
+    transformed.Add(data.row(i), label);
+  }
+
+  Rng rng(params_.seed);
+  trees_.assign(params_.num_trees, DecisionTree());
+  const auto sample_size = static_cast<size_t>(
+      params_.subsample * static_cast<double>(transformed.size()));
+  std::vector<uint32_t> indices(std::max<size_t>(sample_size, 1));
+  for (DecisionTree& tree : trees_) {
+    for (uint32_t& index : indices) {
+      index = static_cast<uint32_t>(rng.NextBounded(transformed.size()));
+    }
+    tree.Fit(transformed, indices, params_.tree, &rng);
+  }
+  return Status::OK();
+}
+
+void RandomForest::PredictBatch(const float* x, size_t n, size_t dim,
+                                float* out) const {
+  const double inv = trees_.empty() ? 0.0 : 1.0 / trees_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x + i * dim;
+    double acc = 0.0;
+    for (const DecisionTree& tree : trees_) acc += tree.Predict(row, dim);
+    acc *= inv;
+    if (params_.log_label) acc = std::expm1(acc);
+    out[i] = static_cast<float>(acc < 0 ? 0 : acc);
+  }
+}
+
+Status RandomForest::Save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::Internal("cannot open " + path);
+  file << "random_forest 1\n"
+       << trees_.size() << " " << (params_.log_label ? 1 : 0) << "\n";
+  for (const DecisionTree& tree : trees_) tree.Serialize(file);
+  return file ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Status RandomForest::Load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::Internal("cannot open " + path);
+  std::string magic;
+  int version = 0;
+  size_t count = 0;
+  int log_label = 0;
+  file >> magic >> version >> count >> log_label;
+  if (magic != "random_forest") {
+    return Status::InvalidArgument("not a random_forest file: " + path);
+  }
+  params_.log_label = log_label != 0;
+  trees_.assign(count, DecisionTree());
+  for (DecisionTree& tree : trees_) {
+    if (!tree.Deserialize(file)) {
+      return Status::Internal("truncated forest file: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace robopt

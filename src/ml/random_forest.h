@@ -1,0 +1,47 @@
+#ifndef ROBOPT_ML_RANDOM_FOREST_H_
+#define ROBOPT_ML_RANDOM_FOREST_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace robopt {
+
+/// Random-forest regressor — the runtime model the paper settles on
+/// ("we tried linear regression, random forests, and neural networks and
+/// found random forests to be more robust", Section VII-A). Labels are fit
+/// in log1p space: runtimes span microseconds to hours and the optimizer
+/// only needs the *ordering* of predicted runtimes to be right.
+class RandomForest : public RuntimeModel {
+ public:
+  struct Params {
+    int num_trees = 60;
+    TreeParams tree;
+    /// Bootstrap sample size as a fraction of the training set.
+    double subsample = 1.0;
+    bool log_label = true;
+    uint64_t seed = 13;
+  };
+
+  RandomForest();
+  explicit RandomForest(Params params);
+
+  Status Train(const MlDataset& data) override;
+  void PredictBatch(const float* x, size_t n, size_t dim,
+                    float* out) const override;
+  Status Save(const std::string& path) const override;
+  Status Load(const std::string& path) override;
+  std::string Name() const override { return "RandomForest"; }
+
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+ private:
+  Params params_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_ML_RANDOM_FOREST_H_

@@ -1,0 +1,85 @@
+#include "plan/cardinality.h"
+
+#include <algorithm>
+
+namespace robopt {
+
+void CardinalityEstimator::InjectOutputCardinality(OperatorId id,
+                                                   double tuples) {
+  injected_.emplace_back(id, tuples);
+}
+
+Cardinalities CardinalityEstimator::Estimate() const {
+  const LogicalPlan& plan = *plan_;
+  const int n = plan.num_operators();
+  std::vector<double> injected(n, -1.0);
+  for (const auto& [id, tuples] : injected_) injected[id] = tuples;
+
+  Cardinalities cards;
+  cards.input.assign(n, 0.0);
+  cards.output.assign(n, 0.0);
+
+  for (OperatorId id : plan.TopologicalOrder()) {
+    const LogicalOperator& op = plan.op(id);
+    double in_sum = 0.0;
+    double in_max = 0.0;
+    double in_prod = 1.0;
+    for (OperatorId parent : plan.parents(id)) {
+      const double c = cards.output[parent];
+      in_sum += c;
+      in_max = std::max(in_max, c);
+      in_prod *= c;
+    }
+    cards.input[id] = in_sum;
+
+    if (injected[id] >= 0.0) {
+      // The paper's "real cardinalities injected" mode: trust the caller.
+      cards.output[id] = injected[id];
+      continue;
+    }
+
+    double out = 0.0;
+    switch (op.kind) {
+      case LogicalOpKind::kTextFileSource:
+      case LogicalOpKind::kCollectionSource:
+      case LogicalOpKind::kTableSource:
+        out = op.source_cardinality;
+        break;
+      case LogicalOpKind::kSample:
+        // An absolute batch size (param) wins over the selectivity ratio.
+        out = op.param > 0 ? std::min(op.param, in_sum)
+                           : op.selectivity * in_sum;
+        break;
+      case LogicalOpKind::kFilter:
+      case LogicalOpKind::kReduceBy:
+      case LogicalOpKind::kGroupBy:
+      case LogicalOpKind::kDistinct:
+      case LogicalOpKind::kFlatMap:  // Selectivity may exceed 1 (fan-out).
+        out = op.selectivity * in_sum;
+        break;
+      case LogicalOpKind::kJoin:
+        // Foreign-key-style join: matches scale with the larger side.
+        out = op.selectivity * in_max;
+        break;
+      case LogicalOpKind::kCartesian:
+        out = op.selectivity * in_prod;
+        break;
+      case LogicalOpKind::kUnion:
+        out = in_sum;
+        break;
+      case LogicalOpKind::kCount:
+      case LogicalOpKind::kGlobalReduce:
+        out = 1.0;
+        break;
+      default:
+        // Map, Project, Sort, Cache, Broadcast, loops, sinks: preserve
+        // modulo selectivity.
+        out = op.selectivity * in_sum;
+        break;
+    }
+    cards.output[id] = out;
+  }
+  return cards;
+}
+
+}  // namespace robopt

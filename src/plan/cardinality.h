@@ -1,0 +1,49 @@
+#ifndef ROBOPT_PLAN_CARDINALITY_H_
+#define ROBOPT_PLAN_CARDINALITY_H_
+
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace robopt {
+
+/// Per-operator input/output cardinalities, in tuples. The plan-vector
+/// features of Section IV-A consume both; the paper injects *real*
+/// cardinalities so that the optimizer comparison is not polluted by
+/// estimation error — we mirror that by letting callers overwrite the
+/// propagated values (see InjectOutputCardinality).
+struct Cardinalities {
+  /// Sum of input cardinalities per operator (binary operators add both).
+  std::vector<double> input;
+  /// Output cardinality per operator.
+  std::vector<double> output;
+};
+
+/// Propagates cardinalities from the declared source cardinalities through
+/// the DAG using each operator's selectivity. Rules:
+///  - sources emit `source_cardinality`;
+///  - Filter/Sample scale by selectivity; Map/Sort/etc. preserve;
+///  - Join emits selectivity * max(left, right) (foreign-key-style join);
+///  - Cartesian emits left * right; Union adds; ReduceBy/GroupBy/Distinct
+///    scale by selectivity (distinct-keys ratio);
+///  - Count/GlobalReduce emit 1;
+///  - loops: LoopBegin/LoopEnd pass through (per-iteration flow).
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const LogicalPlan* plan) : plan_(plan) {}
+
+  /// Runs the propagation. Call again after InjectOutputCardinality.
+  Cardinalities Estimate() const;
+
+  /// Forces the output cardinality of `id` to `tuples` in subsequent
+  /// Estimate() calls (the paper's "real cardinalities injected" mode).
+  void InjectOutputCardinality(OperatorId id, double tuples);
+
+ private:
+  const LogicalPlan* plan_;
+  std::vector<std::pair<OperatorId, double>> injected_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_PLAN_CARDINALITY_H_

@@ -1,0 +1,78 @@
+#include "plan/operator_kind.h"
+
+namespace robopt {
+
+std::string_view ToString(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kTextFileSource: return "TextFileSource";
+    case LogicalOpKind::kCollectionSource: return "CollectionSource";
+    case LogicalOpKind::kTableSource: return "TableSource";
+    case LogicalOpKind::kFilter: return "Filter";
+    case LogicalOpKind::kMap: return "Map";
+    case LogicalOpKind::kFlatMap: return "FlatMap";
+    case LogicalOpKind::kProject: return "Project";
+    case LogicalOpKind::kSort: return "Sort";
+    case LogicalOpKind::kDistinct: return "Distinct";
+    case LogicalOpKind::kCount: return "Count";
+    case LogicalOpKind::kSample: return "Sample";
+    case LogicalOpKind::kCache: return "Cache";
+    case LogicalOpKind::kJoin: return "Join";
+    case LogicalOpKind::kUnion: return "Union";
+    case LogicalOpKind::kCartesian: return "Cartesian";
+    case LogicalOpKind::kReduceBy: return "ReduceBy";
+    case LogicalOpKind::kGroupBy: return "GroupBy";
+    case LogicalOpKind::kGlobalReduce: return "GlobalReduce";
+    case LogicalOpKind::kLoopBegin: return "LoopBegin";
+    case LogicalOpKind::kLoopEnd: return "LoopEnd";
+    case LogicalOpKind::kBroadcast: return "Broadcast";
+    case LogicalOpKind::kCollectionSink: return "CollectionSink";
+    case LogicalOpKind::kFileSink: return "FileSink";
+    case LogicalOpKind::kKindCount: break;
+  }
+  return "Unknown";
+}
+
+bool IsBinary(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kJoin:
+    case LogicalOpKind::kUnion:
+    case LogicalOpKind::kCartesian:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSource(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kTextFileSource:
+    case LogicalOpKind::kCollectionSource:
+    case LogicalOpKind::kTableSource:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSink(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kCollectionSink:
+    case LogicalOpKind::kFileSink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view ToString(UdfComplexity complexity) {
+  switch (complexity) {
+    case UdfComplexity::kNone: return "none";
+    case UdfComplexity::kLogarithmic: return "logarithmic";
+    case UdfComplexity::kLinear: return "linear";
+    case UdfComplexity::kQuadratic: return "quadratic";
+    case UdfComplexity::kSuperQuadratic: return "super-quadratic";
+  }
+  return "unknown";
+}
+
+}  // namespace robopt

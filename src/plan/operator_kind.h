@@ -1,0 +1,73 @@
+#ifndef ROBOPT_PLAN_OPERATOR_KIND_H_
+#define ROBOPT_PLAN_OPERATOR_KIND_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace robopt {
+
+/// Platform-agnostic logical operators, mirroring the Rheem operator set used
+/// by the paper's running examples (Fig. 3) and its workloads (Table II).
+enum class LogicalOpKind : uint8_t {
+  // Sources.
+  kTextFileSource = 0,  ///< Reads a text file into a collection of lines.
+  kCollectionSource,    ///< Wraps an in-memory collection (driver-side).
+  kTableSource,         ///< Reads a relational table (e.g., from Postgres).
+  // Unary transformations.
+  kFilter,    ///< Keeps tuples satisfying a predicate UDF.
+  kMap,       ///< 1:1 transformation UDF.
+  kFlatMap,   ///< 1:N transformation UDF (e.g., tokenization).
+  kProject,   ///< Column projection (pushdown-friendly).
+  kSort,      ///< Global sort.
+  kDistinct,  ///< Duplicate elimination.
+  kCount,     ///< Counts tuples; emits a single value.
+  kSample,    ///< Draws a (batch) sample; used by SGD.
+  kCache,     ///< Materializes its input for reuse across iterations.
+  // Binary / n-ary.
+  kJoin,      ///< Key-equality join of two inputs.
+  kUnion,     ///< Bag union of two inputs.
+  kCartesian, ///< Cross product of two inputs.
+  // Aggregations.
+  kReduceBy,  ///< Per-key aggregation UDF.
+  kGroupBy,   ///< Grouping (materializes groups).
+  kGlobalReduce,  ///< Full-input aggregation to one tuple.
+  // Iteration.
+  kLoopBegin,  ///< Head of a loop; body sits between begin and end.
+  kLoopEnd,    ///< Tail of a loop; feeds back to the matching begin.
+  kBroadcast,  ///< Makes a small dataset available to all workers.
+  // Sinks.
+  kCollectionSink,  ///< Gathers the result into a driver-side collection.
+  kFileSink,        ///< Writes the result to a file.
+  kKindCount,       // Sentinel; keep last.
+};
+
+inline constexpr int kNumLogicalOpKinds =
+    static_cast<int>(LogicalOpKind::kKindCount);
+
+/// Short stable name (used in plan dumps and model feature names).
+std::string_view ToString(LogicalOpKind kind);
+
+/// Whether the operator consumes two inputs (juncture-forming).
+bool IsBinary(LogicalOpKind kind);
+
+/// Whether the operator is a source (no dataflow inputs).
+bool IsSource(LogicalOpKind kind);
+
+/// Whether the operator is a sink (no dataflow outputs).
+bool IsSink(LogicalOpKind kind);
+
+/// CPU complexity class of an operator's UDF, encoded as a plan-vector
+/// feature (Section IV-A: logarithmic, linear, quadratic, super-quadratic).
+enum class UdfComplexity : uint8_t {
+  kNone = 0,        ///< Operator has no UDF (e.g., sources, sinks).
+  kLogarithmic = 1,
+  kLinear = 2,
+  kQuadratic = 3,
+  kSuperQuadratic = 4,
+};
+
+std::string_view ToString(UdfComplexity complexity);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_PLAN_OPERATOR_KIND_H_

@@ -1,0 +1,31 @@
+#include "platform/conversion.h"
+
+namespace robopt {
+
+std::string_view ToString(ConversionKind kind) {
+  switch (kind) {
+    case ConversionKind::kCollect: return "Collect";
+    case ConversionKind::kDistribute: return "Distribute";
+    case ConversionKind::kExchange: return "Exchange";
+    case ConversionKind::kExport: return "Export";
+    case ConversionKind::kIngest: return "Ingest";
+    case ConversionKind::kKindCount: break;
+  }
+  return "Unknown";
+}
+
+ConversionKind ConversionFor(PlatformClass from, PlatformClass to) {
+  if (from == PlatformClass::kRelational) return ConversionKind::kExport;
+  if (to == PlatformClass::kRelational) return ConversionKind::kIngest;
+  if (from == PlatformClass::kDistributed &&
+      to == PlatformClass::kSingleNode) {
+    return ConversionKind::kCollect;
+  }
+  if (from == PlatformClass::kSingleNode &&
+      to == PlatformClass::kDistributed) {
+    return ConversionKind::kDistribute;
+  }
+  return ConversionKind::kExchange;
+}
+
+}  // namespace robopt

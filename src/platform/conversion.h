@@ -1,0 +1,46 @@
+#ifndef ROBOPT_PLATFORM_CONVERSION_H_
+#define ROBOPT_PLATFORM_CONVERSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "platform/platform.h"
+
+namespace robopt {
+
+/// Data-movement (conversion) operator kinds. When an execution plan places
+/// adjacent operators on different platforms, a conversion operator is
+/// implied on the edge (e.g., Fig. 3(b)'s JavaCollect /
+/// SparkCollectionSource). The kind depends on the classes of the two
+/// platforms involved.
+enum class ConversionKind : uint8_t {
+  kCollect = 0,  ///< Distributed -> single node (e.g., SparkCollect).
+  kDistribute,   ///< Single node -> distributed (e.g., CollectionSource).
+  kExchange,     ///< Distributed -> distributed (e.g., via shared storage).
+  kExport,       ///< Relational -> engine (DB table unload).
+  kIngest,       ///< Engine -> relational (DB table load).
+  kKindCount,    // Sentinel; keep last.
+};
+
+inline constexpr int kNumConversionKinds =
+    static_cast<int>(ConversionKind::kKindCount);
+
+std::string_view ToString(ConversionKind kind);
+
+/// Which conversion an edge from a platform of class `from` to one of class
+/// `to` requires.
+ConversionKind ConversionFor(PlatformClass from, PlatformClass to);
+
+/// One materialized conversion in an execution plan (a COT row).
+struct ConversionInstance {
+  uint16_t from_op = 0;  ///< Producing logical operator id.
+  uint16_t to_op = 0;    ///< Consuming logical operator id.
+  ConversionKind kind = ConversionKind::kCollect;
+  PlatformId from_platform = 0;
+  PlatformId to_platform = 0;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_PLATFORM_CONVERSION_H_

@@ -1,0 +1,97 @@
+#include "platform/dot.h"
+
+namespace robopt {
+namespace {
+
+const char* kPalette[] = {"#ffd966", "#9fc5e8", "#b6d7a8", "#ea9999",
+                          "#d5a6bd", "#b4a7d6", "#f6b26b", "#cccccc"};
+
+std::string NodeLabel(const LogicalOperator& op) {
+  std::string label(ToString(op.kind));
+  if (!op.name.empty()) label += "\\n" + op.name;
+  return label;
+}
+
+}  // namespace
+
+std::string ToDot(const LogicalPlan& plan) {
+  std::string out = "digraph logical_plan {\n  rankdir=BT;\n";
+  for (const LogicalOperator& op : plan.operators()) {
+    out += "  o" + std::to_string(op.id) + " [label=\"" + NodeLabel(op) +
+           "\"";
+    if (op.kind == LogicalOpKind::kLoopBegin ||
+        op.kind == LogicalOpKind::kLoopEnd) {
+      out += ", shape=doublecircle";
+    } else {
+      out += ", shape=box";
+    }
+    out += "];\n";
+  }
+  for (const LogicalOperator& op : plan.operators()) {
+    for (OperatorId child : plan.children(op.id)) {
+      out += "  o" + std::to_string(op.id) + " -> o" +
+             std::to_string(child) + ";\n";
+    }
+    for (OperatorId child : plan.side_children(op.id)) {
+      out += "  o" + std::to_string(op.id) + " -> o" +
+             std::to_string(child) + " [style=dashed];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ToDot(const ExecutionPlan& plan) {
+  const LogicalPlan& logical = plan.logical_plan();
+  const PlatformRegistry& registry = plan.registry();
+  std::string out = "digraph execution_plan {\n  rankdir=BT;\n";
+  for (const LogicalOperator& op : logical.operators()) {
+    out += "  o" + std::to_string(op.id) + " [shape=box, style=filled";
+    if (plan.IsAssigned(op.id)) {
+      const PlatformId platform = plan.PlatformOf(op.id);
+      out += ", fillcolor=\"" +
+             std::string(kPalette[platform % std::size(kPalette)]) +
+             "\", label=\"" + plan.alt(op.id).name;
+      if (!op.name.empty()) out += "\\n" + op.name;
+      out += "\"";
+    } else {
+      out += ", fillcolor=white, label=\"" + NodeLabel(op) + "\"";
+    }
+    out += "];\n";
+  }
+  // Conversion operators become diamond nodes splitting their edge.
+  int conv_index = 0;
+  std::vector<std::pair<OperatorId, OperatorId>> converted;
+  for (const ConversionInstance& conv : plan.Conversions()) {
+    const std::string node = "co" + std::to_string(conv_index++);
+    out += "  " + node + " [shape=diamond, style=filled, fillcolor=\"" +
+           kPalette[conv.from_platform % std::size(kPalette)] +
+           "\", label=\"" + registry.platform(conv.from_platform).name +
+           std::string(ToString(conv.kind)) + "\"];\n";
+    out += "  o" + std::to_string(conv.from_op) + " -> " + node + ";\n";
+    out += "  " + node + " -> o" + std::to_string(conv.to_op) + ";\n";
+    converted.emplace_back(conv.from_op, conv.to_op);
+  }
+  auto is_converted = [&](OperatorId from, OperatorId to) {
+    for (const auto& [f, t] : converted) {
+      if (f == from && t == to) return true;
+    }
+    return false;
+  };
+  for (const LogicalOperator& op : logical.operators()) {
+    for (OperatorId child : logical.children(op.id)) {
+      if (is_converted(op.id, child)) continue;
+      out += "  o" + std::to_string(op.id) + " -> o" +
+             std::to_string(child) + ";\n";
+    }
+    for (OperatorId child : logical.side_children(op.id)) {
+      if (is_converted(op.id, child)) continue;
+      out += "  o" + std::to_string(op.id) + " -> o" +
+             std::to_string(child) + " [style=dashed];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace robopt

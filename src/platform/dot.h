@@ -1,0 +1,22 @@
+#ifndef ROBOPT_PLATFORM_DOT_H_
+#define ROBOPT_PLATFORM_DOT_H_
+
+#include <string>
+
+#include "plan/logical_plan.h"
+#include "platform/execution_plan.h"
+
+namespace robopt {
+
+/// Graphviz rendering of a logical plan: solid edges for dataflow, dashed
+/// for broadcast side inputs, double circles for loop heads/tails.
+std::string ToDot(const LogicalPlan& plan);
+
+/// Graphviz rendering of an execution plan: operators colored by platform,
+/// conversion operators materialized as diamond nodes on their edges (the
+/// Fig. 3(b) picture).
+std::string ToDot(const ExecutionPlan& plan);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_PLATFORM_DOT_H_

@@ -1,0 +1,105 @@
+#include "platform/execution_plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace robopt {
+
+ExecutionPlan::ExecutionPlan(const LogicalPlan* plan,
+                             const PlatformRegistry* registry)
+    : plan_(plan),
+      registry_(registry),
+      assignment_(plan != nullptr ? plan->num_operators() : 0, -1) {}
+
+void ExecutionPlan::Assign(OperatorId id, int alt_index) {
+  ROBOPT_CHECK(id < assignment_.size());
+  const auto& alts = registry_->AlternativesFor(plan_->op(id).kind);
+  ROBOPT_CHECK(alt_index >= 0 &&
+               alt_index < static_cast<int>(alts.size()));
+  assignment_[id] = static_cast<int16_t>(alt_index);
+}
+
+const ExecutionAlt& ExecutionPlan::alt(OperatorId id) const {
+  ROBOPT_CHECK(IsAssigned(id));
+  return registry_->AlternativesFor(plan_->op(id).kind)[assignment_[id]];
+}
+
+std::vector<ConversionInstance> ExecutionPlan::Conversions() const {
+  std::vector<ConversionInstance> out;
+  for (const LogicalOperator& op : plan_->operators()) {
+    if (!IsAssigned(op.id)) continue;
+    // Side (broadcast) edges move data across platforms just like data edges.
+    for (OperatorId child : plan_->AllChildren(op.id)) {
+      if (!IsAssigned(child)) continue;
+      const PlatformId from = PlatformOf(op.id);
+      const PlatformId to = PlatformOf(child);
+      if (from == to) continue;
+      ConversionInstance conv;
+      conv.from_op = op.id;
+      conv.to_op = child;
+      conv.from_platform = from;
+      conv.to_platform = to;
+      conv.kind = ConversionFor(registry_->platform(from).cls,
+                                registry_->platform(to).cls);
+      out.push_back(conv);
+    }
+  }
+  return out;
+}
+
+int ExecutionPlan::NumPlatformSwitches() const {
+  return static_cast<int>(Conversions().size());
+}
+
+std::vector<PlatformId> ExecutionPlan::PlatformsUsed() const {
+  std::vector<PlatformId> out;
+  for (const LogicalOperator& op : plan_->operators()) {
+    if (!IsAssigned(op.id)) continue;
+    const PlatformId platform = PlatformOf(op.id);
+    if (std::find(out.begin(), out.end(), platform) == out.end()) {
+      out.push_back(platform);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status ExecutionPlan::Validate() const {
+  for (const LogicalOperator& op : plan_->operators()) {
+    if (!IsAssigned(op.id)) {
+      return Status::FailedPrecondition("operator " + op.name +
+                                        " is unassigned");
+    }
+    const ExecutionAlt& chosen = alt(op.id);
+    if (!registry_->platform(chosen.platform).Supports(op.kind)) {
+      return Status::Internal("platform cannot run " + op.name);
+    }
+  }
+  return Status::OK();
+}
+
+std::string ExecutionPlan::DebugString() const {
+  std::string out = "ExecutionPlan\n";
+  for (const LogicalOperator& op : plan_->operators()) {
+    out += "  o" + std::to_string(op.id) + " ";
+    out += IsAssigned(op.id) ? alt(op.id).name : "<unassigned>";
+    if (!op.name.empty()) out += "(" + op.name + ")";
+    out += "\n";
+  }
+  const auto conversions = Conversions();
+  if (!conversions.empty()) {
+    out += "  -- conversions (COT) --\n";
+    int index = 0;
+    for (const ConversionInstance& conv : conversions) {
+      out += "  co" + std::to_string(index++) + " " +
+             registry_->platform(conv.from_platform).name +
+             std::string(ToString(conv.kind)) + " o" +
+             std::to_string(conv.from_op) + " -> o" +
+             std::to_string(conv.to_op) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace robopt

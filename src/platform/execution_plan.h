@@ -1,0 +1,64 @@
+#ifndef ROBOPT_PLATFORM_EXECUTION_PLAN_H_
+#define ROBOPT_PLATFORM_EXECUTION_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "platform/conversion.h"
+#include "platform/registry.h"
+
+namespace robopt {
+
+/// A fully platform-instantiated query plan: for every logical operator, the
+/// chosen execution alternative, plus the implied conversion operators on
+/// cross-platform edges (the paper's LOT + COT realization, Fig. 6). This is
+/// what `unvectorize` produces and the executor consumes.
+class ExecutionPlan {
+ public:
+  /// `plan` and `registry` must outlive this object.
+  ExecutionPlan(const LogicalPlan* plan, const PlatformRegistry* registry);
+
+  /// Assigns logical operator `id` the `alt_index`-th entry of
+  /// `registry->AlternativesFor(kind)`.
+  void Assign(OperatorId id, int alt_index);
+
+  bool IsAssigned(OperatorId id) const { return assignment_[id] >= 0; }
+  int alt_index(OperatorId id) const { return assignment_[id]; }
+
+  /// The chosen execution operator for `id`. Requires IsAssigned(id).
+  const ExecutionAlt& alt(OperatorId id) const;
+
+  /// Platform the operator runs on. Requires IsAssigned(id).
+  PlatformId PlatformOf(OperatorId id) const { return alt(id).platform; }
+
+  /// All implied conversion operators: one per edge whose endpoints run on
+  /// different platforms.
+  std::vector<ConversionInstance> Conversions() const;
+
+  /// Number of platform switches (edges crossing platforms). TDGEN's
+  /// heuristic pruning bounds this (Section VI-A, beta = 3).
+  int NumPlatformSwitches() const;
+
+  /// Distinct platforms used by the plan.
+  std::vector<PlatformId> PlatformsUsed() const;
+
+  /// Checks every operator is assigned to a capable platform.
+  Status Validate() const;
+
+  const LogicalPlan& logical_plan() const { return *plan_; }
+  const PlatformRegistry& registry() const { return *registry_; }
+
+  /// Human-readable rendering in the style of Fig. 6 (LOT + COT).
+  std::string DebugString() const;
+
+ private:
+  const LogicalPlan* plan_;
+  const PlatformRegistry* registry_;
+  std::vector<int16_t> assignment_;  // -1 = unassigned.
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_PLATFORM_EXECUTION_PLAN_H_

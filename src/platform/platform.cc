@@ -1,0 +1,35 @@
+#include "platform/platform.h"
+
+namespace robopt {
+
+uint32_t CapabilityMask(const std::vector<LogicalOpKind>& kinds) {
+  uint32_t mask = 0;
+  for (LogicalOpKind kind : kinds) {
+    mask |= 1u << static_cast<int>(kind);
+  }
+  return mask;
+}
+
+uint32_t FullCapabilityMask() {
+  return (1u << kNumLogicalOpKinds) - 1u;
+}
+
+uint32_t RelationalCapabilityMask() {
+  return CapabilityMask({
+      LogicalOpKind::kTableSource,
+      LogicalOpKind::kFilter,
+      LogicalOpKind::kMap,
+      LogicalOpKind::kProject,
+      LogicalOpKind::kSort,
+      LogicalOpKind::kDistinct,
+      LogicalOpKind::kCount,
+      LogicalOpKind::kJoin,
+      LogicalOpKind::kUnion,
+      LogicalOpKind::kCartesian,
+      LogicalOpKind::kReduceBy,
+      LogicalOpKind::kGroupBy,
+      LogicalOpKind::kGlobalReduce,
+  });
+}
+
+}  // namespace robopt

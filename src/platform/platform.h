@@ -1,0 +1,53 @@
+#ifndef ROBOPT_PLATFORM_PLATFORM_H_
+#define ROBOPT_PLATFORM_PLATFORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/operator_kind.h"
+
+namespace robopt {
+
+using PlatformId = uint8_t;
+
+/// Upper bound on simultaneously registered platforms. The paper evaluates
+/// 2-5; 8 leaves headroom for extensions.
+inline constexpr int kMaxPlatforms = 8;
+
+/// Broad execution style of a platform; drives which conversion operator is
+/// required when data crosses platforms.
+enum class PlatformClass : uint8_t {
+  kSingleNode = 0,  ///< Driver-local engine (the paper's "Java").
+  kDistributed,     ///< Cluster engine (Spark-, Flink-, GraphX-like).
+  kRelational,      ///< DBMS (Postgres-like); data lives in tables.
+};
+
+/// Descriptor of one data processing platform. Performance characteristics
+/// live in the executor (src/exec); this type is purely structural so the
+/// optimizer cannot peek at the ground truth.
+struct Platform {
+  PlatformId id = 0;
+  std::string name;
+  PlatformClass cls = PlatformClass::kDistributed;
+  /// Bitmask over LogicalOpKind: which logical operators this platform can
+  /// execute. Bit i corresponds to the kind with value i.
+  uint32_t capabilities = 0;
+
+  bool Supports(LogicalOpKind kind) const {
+    return (capabilities >> static_cast<int>(kind)) & 1u;
+  }
+};
+
+/// Builds a capability mask from a list of kinds.
+uint32_t CapabilityMask(const std::vector<LogicalOpKind>& kinds);
+
+/// Capability mask covering every logical operator.
+uint32_t FullCapabilityMask();
+
+/// Capability mask of a relational (Postgres-like) engine.
+uint32_t RelationalCapabilityMask();
+
+}  // namespace robopt
+
+#endif  // ROBOPT_PLATFORM_PLATFORM_H_

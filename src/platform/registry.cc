@@ -1,0 +1,133 @@
+#include "platform/registry.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace robopt {
+
+PlatformId PlatformRegistry::AddPlatform(std::string name, PlatformClass cls,
+                                         uint32_t capabilities) {
+  ROBOPT_CHECK(platforms_.size() < kMaxPlatforms);
+  ROBOPT_CHECK(!built_);
+  Platform platform;
+  platform.id = static_cast<PlatformId>(platforms_.size());
+  platform.name = std::move(name);
+  platform.cls = cls;
+  platform.capabilities = capabilities;
+  platforms_.push_back(std::move(platform));
+  return platforms_.back().id;
+}
+
+void PlatformRegistry::AddVariant(LogicalOpKind kind, PlatformId platform,
+                                  std::string name) {
+  ROBOPT_CHECK(!built_);
+  extra_variants_.emplace_back(kind, platform, std::move(name));
+}
+
+void PlatformRegistry::Build() {
+  ROBOPT_CHECK(!built_);
+  for (int k = 0; k < kNumLogicalOpKinds; ++k) {
+    const auto kind = static_cast<LogicalOpKind>(k);
+    auto& list = alts_[k];
+    list.clear();
+    for (const Platform& platform : platforms_) {
+      if (!platform.Supports(kind)) continue;
+      ExecutionAlt alt;
+      alt.platform = platform.id;
+      alt.name = platform.name + std::string(ToString(kind));
+      alt.variant = 0;
+      list.push_back(std::move(alt));
+      // Extra variants of this (kind, platform), in registration order.
+      uint8_t variant = 1;
+      for (const auto& [vkind, vplat, vname] : extra_variants_) {
+        if (vkind == kind && vplat == platform.id) {
+          ExecutionAlt extra;
+          extra.platform = platform.id;
+          extra.name = vname;
+          extra.variant = variant++;
+          list.push_back(std::move(extra));
+        }
+      }
+    }
+  }
+  built_ = true;
+}
+
+StatusOr<PlatformId> PlatformRegistry::FindPlatform(
+    const std::string& name) const {
+  for (const Platform& platform : platforms_) {
+    if (platform.name == name) return platform.id;
+  }
+  return Status::NotFound("platform " + name);
+}
+
+int PlatformRegistry::MaxAlternatives() const {
+  int max_alts = 0;
+  for (const auto& list : alts_) {
+    max_alts = std::max(max_alts, static_cast<int>(list.size()));
+  }
+  return max_alts;
+}
+
+PlatformRegistry PlatformRegistry::Default(int num_platforms) {
+  ROBOPT_CHECK(num_platforms >= 1 && num_platforms <= 5);
+  PlatformRegistry registry;
+
+  const uint32_t all = FullCapabilityMask();
+  const uint32_t no_table =
+      all & ~CapabilityMask({LogicalOpKind::kTableSource});
+  const uint32_t engine_caps =
+      no_table & ~CapabilityMask({LogicalOpKind::kCollectionSource});
+
+  // Order matters: ids are stable and the executor's performance profiles
+  // key on the names.
+  registry.AddPlatform("Java", PlatformClass::kSingleNode, no_table);
+  if (num_platforms >= 2) {
+    PlatformId spark =
+        registry.AddPlatform("Spark", PlatformClass::kDistributed,
+                             engine_caps);
+    // Spark's sampling operator exists with and without a preceding cache;
+    // caching *seems* beneficial but destroys the stateful sampler's state
+    // inside loops (the paper's SGD finding, Section VII-C2).
+    registry.AddVariant(LogicalOpKind::kSample, spark,
+                        "SparkCacheShuffleSample");
+  }
+  if (num_platforms >= 3) {
+    registry.AddPlatform("Flink", PlatformClass::kDistributed, engine_caps);
+  }
+  if (num_platforms >= 4) {
+    registry.AddPlatform("Postgres", PlatformClass::kRelational,
+                         RelationalCapabilityMask());
+  }
+  if (num_platforms >= 5) {
+    registry.AddPlatform(
+        "GraphX", PlatformClass::kDistributed,
+        CapabilityMask({LogicalOpKind::kTextFileSource, LogicalOpKind::kMap,
+                        LogicalOpKind::kFlatMap, LogicalOpKind::kFilter,
+                        LogicalOpKind::kJoin, LogicalOpKind::kReduceBy,
+                        LogicalOpKind::kGlobalReduce,
+                        LogicalOpKind::kLoopBegin, LogicalOpKind::kLoopEnd,
+                        LogicalOpKind::kCount, LogicalOpKind::kCache,
+                        LogicalOpKind::kCollectionSink}));
+  }
+  registry.Build();
+  return registry;
+}
+
+PlatformRegistry PlatformRegistry::Synthetic(int k) {
+  ROBOPT_CHECK(k >= 1 && k <= kMaxPlatforms);
+  PlatformRegistry registry;
+  const uint32_t all = FullCapabilityMask();
+  for (int i = 0; i < k; ++i) {
+    registry.AddPlatform("P" + std::to_string(i),
+                         i == 0 ? PlatformClass::kSingleNode
+                                : PlatformClass::kDistributed,
+                         all);
+  }
+  registry.Build();
+  return registry;
+}
+
+}  // namespace robopt

@@ -1,0 +1,79 @@
+#ifndef ROBOPT_PLATFORM_REGISTRY_H_
+#define ROBOPT_PLATFORM_REGISTRY_H_
+
+#include <array>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/operator_kind.h"
+#include "platform/platform.h"
+
+namespace robopt {
+
+/// One platform-specific implementation choice for a logical operator, e.g.
+/// "SparkMap". A platform may offer several variants of the same logical
+/// operator (e.g., Spark's ShufflePartitionSample with or without a
+/// preceding cache — the SGD case of Section VII-C2); the enumeration treats
+/// each variant as a distinct execution operator.
+struct ExecutionAlt {
+  PlatformId platform = 0;
+  std::string name;    ///< e.g. "SparkMap", "SparkShufflePartitionSample".
+  uint8_t variant = 0; ///< Distinguishes same-platform variants.
+};
+
+/// Catalog of platforms and their execution operators. The optimizer's
+/// search space is, per logical operator, the list returned by
+/// `AlternativesFor(kind)` filtered to platforms allowed by the caller.
+class PlatformRegistry {
+ public:
+  PlatformRegistry() = default;
+
+  /// Registers a platform; returns its id. `capabilities` defaults to all.
+  PlatformId AddPlatform(std::string name, PlatformClass cls,
+                         uint32_t capabilities);
+
+  /// Adds an extra execution variant for (kind, platform) beyond the default
+  /// one synthesized from capabilities. `name` must be unique per kind.
+  void AddVariant(LogicalOpKind kind, PlatformId platform, std::string name);
+
+  /// Finalizes the alternative lists; call after all platforms/variants are
+  /// registered and before use.
+  void Build();
+
+  int num_platforms() const { return static_cast<int>(platforms_.size()); }
+  const Platform& platform(PlatformId id) const { return platforms_[id]; }
+  const std::vector<Platform>& platforms() const { return platforms_; }
+
+  StatusOr<PlatformId> FindPlatform(const std::string& name) const;
+
+  /// All execution alternatives of a logical operator kind, in a stable
+  /// order (platform registration order, default variant first).
+  const std::vector<ExecutionAlt>& AlternativesFor(LogicalOpKind kind) const {
+    return alts_[static_cast<int>(kind)];
+  }
+
+  /// Largest alternative count over all kinds (sizing plan vectors).
+  int MaxAlternatives() const;
+
+  /// The paper's default setup: JavaStreams (single node), Spark and Flink
+  /// (distributed), Postgres (relational), GraphX (distributed, restricted) —
+  /// pass how many of them to register, in that order (2..5).
+  static PlatformRegistry Default(int num_platforms = 3);
+
+  /// Synthetic registry for the scalability experiments (Figs. 9-10 and
+  /// Table I): `k` homogeneous platforms, all supporting every operator.
+  static PlatformRegistry Synthetic(int k);
+
+ private:
+  std::vector<Platform> platforms_;
+  std::array<std::vector<ExecutionAlt>, kNumLogicalOpKinds> alts_;
+  std::vector<std::tuple<LogicalOpKind, PlatformId, std::string>>
+      extra_variants_;
+  bool built_ = false;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_PLATFORM_REGISTRY_H_

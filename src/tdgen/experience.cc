@@ -1,0 +1,46 @@
+#include "tdgen/experience.h"
+
+#include <vector>
+
+namespace robopt {
+
+Status ExperienceLog::Record(const EnumerationContext& ctx,
+                             const ExecutionPlan& plan, double runtime_s) {
+  if (ctx.schema != schema_) {
+    return Status::InvalidArgument(
+        "context schema does not match the experience log's schema");
+  }
+  if (!(runtime_s >= 0.0)) {
+    return Status::InvalidArgument("runtime must be non-negative and finite");
+  }
+  ROBOPT_RETURN_IF_ERROR(plan.Validate());
+  std::vector<uint8_t> assignment(ctx.plan->num_operators(), 0);
+  for (const LogicalOperator& op : ctx.plan->operators()) {
+    assignment[op.id] = static_cast<uint8_t>(plan.alt_index(op.id) + 1);
+  }
+  const std::vector<float> features =
+      EncodeAssignment(ctx, assignment.data());
+  data_.Add(features, static_cast<float>(runtime_s));
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<RandomForest>> ExperienceLog::Retrain(
+    const MlDataset& base, int weight, RandomForest::Params params) const {
+  if (base.dim() != data_.dim()) {
+    return Status::InvalidArgument("base dataset has a different width");
+  }
+  MlDataset merged(data_.dim());
+  for (size_t i = 0; i < base.size(); ++i) {
+    merged.Add(base.row(i), base.label(i));
+  }
+  for (int w = 0; w < weight; ++w) {
+    for (size_t i = 0; i < data_.size(); ++i) {
+      merged.Add(data_.row(i), data_.label(i));
+    }
+  }
+  auto forest = std::make_unique<RandomForest>(params);
+  ROBOPT_RETURN_IF_ERROR(forest->Train(merged));
+  return forest;
+}
+
+}  // namespace robopt

@@ -1,0 +1,45 @@
+#ifndef ROBOPT_TDGEN_EXPERIENCE_H_
+#define ROBOPT_TDGEN_EXPERIENCE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/operations.h"
+#include "ml/random_forest.h"
+
+namespace robopt {
+
+/// Execution-log collector: every really-executed plan becomes a training
+/// point (its plan vector, its measured runtime). The paper's Robopt "is
+/// able to find such cases by observing patterns in the execution logs" —
+/// this is that feedback loop: TDGEN bootstraps the model synthetically,
+/// production runs refine it.
+class ExperienceLog {
+ public:
+  /// `schema` must outlive the log.
+  explicit ExperienceLog(const FeatureSchema* schema)
+      : schema_(schema), data_(schema->width()) {}
+
+  /// Records one executed plan. `ctx` must have been built over the same
+  /// plan/registry/cardinalities the execution used.
+  Status Record(const EnumerationContext& ctx, const ExecutionPlan& plan,
+                double runtime_s);
+
+  size_t size() const { return data_.size(); }
+  const MlDataset& data() const { return data_; }
+
+  /// Trains a fresh forest on `base` (e.g. the TDGEN set) plus the logged
+  /// experience, weighting experience by duplicating it `weight` times —
+  /// real logs are scarcer but more trustworthy than synthetic ones.
+  StatusOr<std::unique_ptr<RandomForest>> Retrain(
+      const MlDataset& base, int weight = 4,
+      RandomForest::Params params = RandomForest::Params()) const;
+
+ private:
+  const FeatureSchema* schema_;
+  MlDataset data_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_TDGEN_EXPERIENCE_H_

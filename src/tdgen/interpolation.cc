@@ -1,0 +1,79 @@
+#include "tdgen/interpolation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace robopt {
+
+PiecewisePolynomial PiecewisePolynomial::Fit(std::vector<double> x,
+                                             std::vector<double> y,
+                                             int degree) {
+  ROBOPT_CHECK(!x.empty() && x.size() == y.size());
+  ROBOPT_CHECK(degree >= 1);
+  // Sort by x and drop duplicate abscissae (keep the first label).
+  std::vector<size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return x[a] < x[b]; });
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (size_t i : order) {
+    if (!xs.empty() && x[i] == xs.back()) continue;
+    xs.push_back(x[i]);
+    ys.push_back(y[i]);
+  }
+
+  PiecewisePolynomial out;
+  const size_t window = static_cast<size_t>(degree) + 1;
+  size_t begin = 0;
+  while (begin < xs.size()) {
+    size_t end = std::min(begin + window, xs.size());
+    // Avoid a trailing singleton piece: borrow from the previous window.
+    if (end - begin == 1 && begin > 0) --begin;
+    Piece piece;
+    piece.x_lo = xs[begin];
+    piece.x_hi = xs[end - 1];
+    const double span = piece.x_hi - piece.x_lo;
+    piece.scale = span > 0 ? 1.0 / span : 1.0;
+    const size_t n = end - begin;
+    piece.nodes.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      piece.nodes[i] = (xs[begin + i] - piece.x_lo) * piece.scale;
+    }
+    // Newton divided differences.
+    std::vector<double> table(ys.begin() + begin, ys.begin() + end);
+    piece.coeffs.resize(n);
+    piece.coeffs[0] = table[0];
+    for (size_t level = 1; level < n; ++level) {
+      for (size_t i = n - 1; i >= level; --i) {
+        table[i] = (table[i] - table[i - 1]) /
+                   (piece.nodes[i] - piece.nodes[i - level]);
+      }
+      piece.coeffs[level] = table[level];
+    }
+    out.pieces_.push_back(std::move(piece));
+    begin = end;
+  }
+  return out;
+}
+
+double PiecewisePolynomial::Eval(double x) const {
+  ROBOPT_CHECK(!pieces_.empty());
+  // Locate the piece whose range contains x (clamping at the ends).
+  const Piece* piece = &pieces_.front();
+  for (const Piece& candidate : pieces_) {
+    if (x >= candidate.x_lo) piece = &candidate;
+  }
+  const double t = (x - piece->x_lo) * piece->scale;
+  // Horner evaluation of the Newton form.
+  const size_t n = piece->coeffs.size();
+  double value = piece->coeffs[n - 1];
+  for (size_t i = n - 1; i > 0; --i) {
+    value = value * (t - piece->nodes[i - 1]) + piece->coeffs[i - 1];
+  }
+  return value;
+}
+
+}  // namespace robopt

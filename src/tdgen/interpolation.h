@@ -1,0 +1,43 @@
+#ifndef ROBOPT_TDGEN_INTERPOLATION_H_
+#define ROBOPT_TDGEN_INTERPOLATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace robopt {
+
+/// Piecewise polynomial interpolation of runtime as a function of input
+/// cardinality (Section VI-B / Fig. 8). The paper fits degree-5 pieces over
+/// the executed jobs and imputes the runtimes of the remaining jobs.
+///
+/// Pieces cover consecutive windows of up to degree+1 points; within a
+/// piece, Newton's divided differences on normalized abscissae give an
+/// exact interpolant. Evaluation clamps to the covered range's nearest
+/// piece (the generator only imputes interior points, but extrapolation
+/// must not explode).
+class PiecewisePolynomial {
+ public:
+  /// Fits pieces through (x, y). Requires x strictly increasing after
+  /// dedup; at least one point.
+  static PiecewisePolynomial Fit(std::vector<double> x, std::vector<double> y,
+                                 int degree = 5);
+
+  double Eval(double x) const;
+
+  size_t num_pieces() const { return pieces_.size(); }
+
+ private:
+  struct Piece {
+    double x_lo = 0.0;
+    double x_hi = 0.0;
+    double scale = 1.0;             ///< Normalization: t = (x - x_lo) * scale.
+    std::vector<double> coeffs;     ///< Newton coefficients.
+    std::vector<double> nodes;      ///< Normalized interpolation nodes.
+  };
+
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_TDGEN_INTERPOLATION_H_

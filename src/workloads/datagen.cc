@@ -1,0 +1,147 @@
+#include "workloads/datagen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+
+namespace robopt {
+namespace {
+
+size_t PhysicalRows(double virtual_rows, size_t cap) {
+  return static_cast<size_t>(
+      std::min(virtual_rows, static_cast<double>(cap)));
+}
+
+Dataset Finish(std::vector<Record> rows, double virtual_rows,
+               double tuple_bytes) {
+  Dataset out;
+  out.rows = std::move(rows);
+  out.virtual_cardinality = std::max(
+      virtual_rows, static_cast<double>(out.rows.size()));
+  out.tuple_bytes = tuple_bytes;
+  return out;
+}
+
+}  // namespace
+
+Dataset GenerateTextLines(double virtual_rows, size_t cap, uint64_t seed,
+                          int words_per_line, int vocab) {
+  Rng rng(seed);
+  const size_t n = PhysicalRows(virtual_rows, cap);
+  std::vector<Record> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string line;
+    for (int w = 0; w < words_per_line; ++w) {
+      if (w > 0) line += ' ';
+      line += "w" + std::to_string(rng.NextZipf(vocab, 1.3));
+    }
+    rows[i].text = std::move(line);
+    rows[i].key = static_cast<int64_t>(i);
+  }
+  return Finish(std::move(rows), virtual_rows, 80.0);
+}
+
+Dataset GenerateTransactions(double virtual_rows, size_t cap, uint64_t seed,
+                             int num_customers) {
+  Rng rng(seed);
+  const size_t n = PhysicalRows(virtual_rows, cap);
+  std::vector<Record> rows(n);
+  static const char* kMonths[] = {"jan", "feb", "mar", "apr", "may", "jun",
+                                  "jul", "aug", "sep", "oct", "nov", "dec"};
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].key = static_cast<int64_t>(rng.NextBounded(num_customers));
+    rows[i].num = rng.NextUniform(1.0, 500.0);
+    rows[i].text = kMonths[rng.NextBounded(12)];
+  }
+  return Finish(std::move(rows), virtual_rows, 48.0);
+}
+
+Dataset GenerateCustomers(double virtual_rows, size_t cap, uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = PhysicalRows(virtual_rows, cap);
+  std::vector<Record> rows(n);
+  static const char* kCountries[] = {"DE", "QA", "US", "FR", "GR", "MX",
+                                     "BR", "JP", "IN", "ES"};
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].key = static_cast<int64_t>(i);
+    rows[i].text = kCountries[rng.NextBounded(10)];
+  }
+  return Finish(std::move(rows), virtual_rows, 120.0);
+}
+
+Dataset GeneratePoints(double virtual_rows, size_t cap, uint64_t seed,
+                       int dim, int clusters) {
+  Rng rng(seed);
+  // Cluster centers on a grid.
+  std::vector<std::vector<double>> centers(clusters,
+                                           std::vector<double>(dim));
+  for (auto& center : centers) {
+    for (double& x : center) x = rng.NextUniform(-10.0, 10.0);
+  }
+  const size_t n = PhysicalRows(virtual_rows, cap);
+  std::vector<Record> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& center = centers[rng.NextBounded(clusters)];
+    rows[i].vec.resize(dim);
+    for (int d = 0; d < dim; ++d) {
+      rows[i].vec[d] = center[d] + rng.NextGaussian();
+    }
+    rows[i].key = static_cast<int64_t>(i);
+  }
+  return Finish(std::move(rows), virtual_rows, 36.0);
+}
+
+Dataset GenerateLabeledSamples(double virtual_rows, size_t cap, uint64_t seed,
+                               int dim) {
+  Rng rng(seed);
+  std::vector<double> truth(dim);
+  for (double& w : truth) w = rng.NextUniform(-2.0, 2.0);
+  const size_t n = PhysicalRows(virtual_rows, cap);
+  std::vector<Record> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].vec.resize(dim);
+    double y = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      rows[i].vec[d] = rng.NextUniform(-1.0, 1.0);
+      y += truth[d] * rows[i].vec[d];
+    }
+    rows[i].num = y + 0.01 * rng.NextGaussian();
+    rows[i].key = static_cast<int64_t>(i);
+  }
+  return Finish(std::move(rows), virtual_rows, 28.0);
+}
+
+Dataset GenerateEdges(double virtual_rows, size_t cap, uint64_t seed,
+                      int64_t num_nodes) {
+  Rng rng(seed);
+  const size_t n = PhysicalRows(virtual_rows, cap);
+  std::vector<Record> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Power-law-ish in-degree via Zipf targets.
+    rows[i].key = static_cast<int64_t>(rng.NextBounded(num_nodes));
+    rows[i].num = static_cast<double>(
+        rng.NextZipf(static_cast<uint64_t>(num_nodes), 1.5) - 1);
+    rows[i].text = "link";
+  }
+  return Finish(std::move(rows), virtual_rows, 40.0);
+}
+
+Dataset MakeCentroids(int k, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> rows(k);
+  for (int c = 0; c < k; ++c) {
+    rows[c].key = c;
+    rows[c].vec.resize(dim);
+    for (int d = 0; d < dim; ++d) rows[c].vec[d] = rng.NextUniform(-10, 10);
+  }
+  return Finish(std::move(rows), k, 64.0);
+}
+
+Dataset MakeInitialWeights(int dim) {
+  std::vector<Record> rows(1);
+  rows[0].vec.assign(dim, 0.0);
+  return Finish(std::move(rows), 1, 256.0);
+}
+
+}  // namespace robopt

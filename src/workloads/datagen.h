@@ -1,0 +1,50 @@
+#ifndef ROBOPT_WORKLOADS_DATAGEN_H_
+#define ROBOPT_WORKLOADS_DATAGEN_H_
+
+#include <cstdint>
+
+#include "exec/record.h"
+
+namespace robopt {
+
+/// Synthetic dataset generators standing in for the paper's corpora
+/// (Wikipedia, TPC-H, USCensus1990, HIGGS, DBpedia). Each produces a
+/// physical sample of at most `cap` rows representing `virtual_rows`
+/// tuples; kernels compute on the sample, the virtual clock charges the
+/// full size (see DESIGN.md substitutions).
+
+/// Zipfian text lines (Wikipedia stand-in): `words_per_line` words drawn
+/// from a vocabulary of `vocab` words.
+Dataset GenerateTextLines(double virtual_rows, size_t cap, uint64_t seed,
+                          int words_per_line = 8, int vocab = 20000);
+
+/// Keyed transaction rows (key = customer id, num = amount, text = month).
+Dataset GenerateTransactions(double virtual_rows, size_t cap, uint64_t seed,
+                             int num_customers = 1000);
+
+/// Customer rows (key = customer id, text = country).
+Dataset GenerateCustomers(double virtual_rows, size_t cap, uint64_t seed);
+
+/// Points from `clusters` Gaussian blobs in `dim` dimensions (USCensus
+/// stand-in for K-means).
+Dataset GeneratePoints(double virtual_rows, size_t cap, uint64_t seed,
+                       int dim = 4, int clusters = 3);
+
+/// Labeled samples y = w*x + noise (HIGGS stand-in for SGD).
+Dataset GenerateLabeledSamples(double virtual_rows, size_t cap, uint64_t seed,
+                               int dim = 4);
+
+/// Directed edges of a power-law-ish graph (DBpedia stand-in): key = source
+/// node, num = target node.
+Dataset GenerateEdges(double virtual_rows, size_t cap, uint64_t seed,
+                      int64_t num_nodes = 10000);
+
+/// `k` random centroids in `dim` dimensions (k-means initialization).
+Dataset MakeCentroids(int k, int dim, uint64_t seed);
+
+/// A single zero weight vector of `dim` dimensions (SGD initialization).
+Dataset MakeInitialWeights(int dim);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOADS_DATAGEN_H_

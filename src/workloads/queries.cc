@@ -1,0 +1,690 @@
+#include "workloads/queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/check.h"
+#include "exec/kernel.h"
+
+namespace robopt {
+namespace {
+
+/// Adds a text-file source emitting `bytes / tuple_bytes` tuples.
+OperatorId AddTextSource(LogicalPlan* plan, const std::string& name,
+                         double bytes, double tuple_bytes) {
+  LogicalOperator op;
+  op.kind = LogicalOpKind::kTextFileSource;
+  op.name = name;
+  op.source_cardinality = std::max(1.0, bytes / tuple_bytes);
+  op.tuple_bytes = tuple_bytes;
+  return plan->Add(std::move(op));
+}
+
+OperatorId AddTableSource(LogicalPlan* plan, const std::string& name,
+                          double bytes, double tuple_bytes) {
+  LogicalOperator op;
+  op.kind = LogicalOpKind::kTableSource;
+  op.name = name;
+  op.source_cardinality = std::max(1.0, bytes / tuple_bytes);
+  op.tuple_bytes = tuple_bytes;
+  return plan->Add(std::move(op));
+}
+
+OperatorId AddOp(LogicalPlan* plan, LogicalOpKind kind,
+                 const std::string& name, OperatorId parent,
+                 double selectivity, double tuple_bytes,
+                 UdfComplexity udf = UdfComplexity::kLinear,
+                 const std::string& kernel = "") {
+  LogicalOperator op;
+  op.kind = kind;
+  op.name = name;
+  op.selectivity = selectivity;
+  op.tuple_bytes = tuple_bytes;
+  op.udf = udf;
+  op.kernel = kernel;
+  const OperatorId id = plan->Add(std::move(op));
+  plan->Connect(parent, id);
+  return id;
+}
+
+}  // namespace
+
+LogicalPlan MakeWordCountPlan(double input_gb) {
+  LogicalPlan plan;
+  const double bytes = input_gb * 1e9;
+  OperatorId src = AddTextSource(&plan, "wikipedia", bytes, 80.0);
+  OperatorId tok = AddOp(&plan, LogicalOpKind::kFlatMap, "tokenize", src,
+                         /*selectivity=*/8.0, 12.0, UdfComplexity::kLinear,
+                         "tokenize");
+  OperatorId pair = AddOp(&plan, LogicalOpKind::kMap, "to_pair", tok, 1.0,
+                          16.0, UdfComplexity::kLinear, "word_pair");
+  OperatorId reduce = AddOp(&plan, LogicalOpKind::kReduceBy, "count", pair,
+                            /*selectivity=*/0.01, 16.0);
+  OperatorId fmt = AddOp(&plan, LogicalOpKind::kMap, "format", reduce, 1.0,
+                         24.0);
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", fmt, 1.0, 24.0,
+        UdfComplexity::kNone);
+  return plan;
+}
+
+LogicalPlan MakeWord2NVecPlan(double input_mb) {
+  LogicalPlan plan;
+  const double bytes = input_mb * 1e6;
+  OperatorId cur = AddTextSource(&plan, "wikipedia", bytes, 100.0);
+  cur = AddOp(&plan, LogicalOpKind::kFlatMap, "tokenize", cur, 10.0, 12.0,
+              UdfComplexity::kLinear, "tokenize");
+  cur = AddOp(&plan, LogicalOpKind::kFilter, "drop_stopwords", cur, 0.6, 12.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "window", cur, 1.0, 64.0,
+              UdfComplexity::kQuadratic);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "neighbor_vector", cur, 1.0, 256.0,
+              UdfComplexity::kQuadratic);
+  cur = AddOp(&plan, LogicalOpKind::kReduceBy, "by_word", cur, 0.05, 256.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "normalize", cur, 1.0, 256.0,
+              UdfComplexity::kQuadratic);
+  cur = AddOp(&plan, LogicalOpKind::kFilter, "drop_rare", cur, 0.8, 256.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "project", cur, 1.0, 128.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "score", cur, 1.0, 128.0,
+              UdfComplexity::kQuadratic);
+  cur = AddOp(&plan, LogicalOpKind::kDistinct, "dedupe", cur, 0.95, 128.0);
+  cur = AddOp(&plan, LogicalOpKind::kSort, "order", cur, 1.0, 128.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "label", cur, 1.0, 128.0);
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", cur, 1.0, 128.0,
+        UdfComplexity::kNone);
+  return plan;  // 14 operators.
+}
+
+LogicalPlan MakeSimWordsPlan(double input_mb) {
+  LogicalPlan plan;
+  const double bytes = input_mb * 1e6;
+  OperatorId cur = AddTextSource(&plan, "wikipedia", bytes, 100.0);
+  cur = AddOp(&plan, LogicalOpKind::kFlatMap, "tokenize", cur, 10.0, 12.0,
+              UdfComplexity::kLinear, "tokenize");
+  cur = AddOp(&plan, LogicalOpKind::kFilter, "drop_stopwords", cur, 0.6, 12.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "clean", cur, 1.0, 12.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "neighbors", cur, 1.0, 64.0,
+              UdfComplexity::kQuadratic);
+  cur = AddOp(&plan, LogicalOpKind::kReduceBy, "merge_contexts", cur, 0.05,
+              256.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "context_vector", cur, 1.0, 256.0,
+              UdfComplexity::kQuadratic);
+  cur = AddOp(&plan, LogicalOpKind::kFilter, "min_support", cur, 0.7, 256.0);
+  cur = AddOp(&plan, LogicalOpKind::kMap, "tf_idf_weight", cur, 1.0, 256.0);
+  OperatorId vectors =
+      AddOp(&plan, LogicalOpKind::kCache, "cache_vectors", cur, 1.0, 256.0,
+            UdfComplexity::kNone);
+
+  // Iterative clustering of the word vectors (k-means style).
+  LogicalOperator init;
+  init.kind = LogicalOpKind::kCollectionSource;
+  init.name = "init_centroids";
+  init.source_cardinality = 100;
+  init.tuple_bytes = 256.0;
+  const OperatorId init_id = plan.Add(std::move(init));
+  LogicalOperator begin;
+  begin.kind = LogicalOpKind::kLoopBegin;
+  begin.name = "cluster_loop";
+  begin.loop_iterations = 10;
+  begin.tuple_bytes = 256.0;
+  const OperatorId begin_id = plan.Add(std::move(begin));
+  plan.Connect(init_id, begin_id);
+  OperatorId bcast = AddOp(&plan, LogicalOpKind::kBroadcast, "centroids",
+                           begin_id, 1.0, 256.0, UdfComplexity::kNone);
+  OperatorId assign = AddOp(&plan, LogicalOpKind::kMap, "assign", vectors, 1.0,
+                            264.0, UdfComplexity::kQuadratic, "kmeans_assign");
+  plan.ConnectBroadcast(bcast, assign);
+  OperatorId update =
+      AddOp(&plan, LogicalOpKind::kReduceBy, "update_centroids", assign, 1e-4,
+            256.0, UdfComplexity::kLinear, "kmeans_update");
+  LogicalOperator end;
+  end.kind = LogicalOpKind::kLoopEnd;
+  end.name = "cluster_loop_end";
+  end.loop_begin = begin_id;
+  end.tuple_bytes = 256.0;
+  const OperatorId end_id = plan.Add(std::move(end));
+  plan.Connect(update, end_id);
+
+  // Post-processing: label each word vector with its cluster.
+  OperatorId final_bcast =
+      AddOp(&plan, LogicalOpKind::kBroadcast, "final_centroids", end_id, 1.0,
+            256.0, UdfComplexity::kNone);
+  OperatorId relabel = AddOp(&plan, LogicalOpKind::kMap, "relabel", vectors,
+                             1.0, 264.0, UdfComplexity::kQuadratic,
+                             "kmeans_assign");
+  plan.ConnectBroadcast(final_bcast, relabel);
+  OperatorId project =
+      AddOp(&plan, LogicalOpKind::kMap, "project", relabel, 1.0, 32.0);
+  OperatorId by_cluster =
+      AddOp(&plan, LogicalOpKind::kReduceBy, "group_clusters", project, 0.01,
+            64.0);
+  OperatorId fmt =
+      AddOp(&plan, LogicalOpKind::kMap, "format", by_cluster, 1.0, 64.0);
+  OperatorId sorted =
+      AddOp(&plan, LogicalOpKind::kSort, "order", fmt, 1.0, 64.0);
+  OperatorId dedupe =
+      AddOp(&plan, LogicalOpKind::kDistinct, "dedupe", sorted, 0.99, 64.0);
+  OperatorId top =
+      AddOp(&plan, LogicalOpKind::kFilter, "top", dedupe, 0.5, 64.0);
+  OperatorId label2 =
+      AddOp(&plan, LogicalOpKind::kMap, "annotate", top, 1.0, 72.0);
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", label2, 1.0, 72.0,
+        UdfComplexity::kNone);
+  return plan;  // 26 operators.
+}
+
+LogicalPlan MakeTpchQ1Plan(double input_gb) {
+  LogicalPlan plan;
+  const double bytes = input_gb * 1e9;
+  OperatorId src = AddTextSource(&plan, "lineitem", bytes, 120.0);
+  OperatorId filter =
+      AddOp(&plan, LogicalOpKind::kFilter, "shipdate", src, 0.97, 120.0);
+  OperatorId parse =
+      AddOp(&plan, LogicalOpKind::kMap, "compute", filter, 1.0, 48.0);
+  OperatorId agg = AddOp(&plan, LogicalOpKind::kReduceBy,
+                         "by_flag_status", parse, 1e-6, 64.0);
+  OperatorId avg = AddOp(&plan, LogicalOpKind::kMap, "averages", agg, 1.0,
+                         64.0);
+  OperatorId sort =
+      AddOp(&plan, LogicalOpKind::kSort, "order", avg, 1.0, 64.0);
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", sort, 1.0, 64.0,
+        UdfComplexity::kNone);
+  return plan;  // 7 operators.
+}
+
+LogicalPlan MakeTpchQ3Plan(double input_gb) {
+  LogicalPlan plan;
+  const double bytes = input_gb * 1e9;
+  // TPC-H size ratios: lineitem ~70%, orders ~20%, customer ~3%.
+  OperatorId customer = AddTextSource(&plan, "customer", bytes * 0.03, 150.0);
+  OperatorId c_filter = AddOp(&plan, LogicalOpKind::kFilter, "mktsegment",
+                              customer, 0.2, 150.0);
+  OperatorId c_proj =
+      AddOp(&plan, LogicalOpKind::kMap, "c_project", c_filter, 1.0, 16.0);
+
+  OperatorId orders = AddTextSource(&plan, "orders", bytes * 0.2, 110.0);
+  OperatorId o_filter = AddOp(&plan, LogicalOpKind::kFilter, "orderdate",
+                              orders, 0.48, 110.0);
+  OperatorId o_proj =
+      AddOp(&plan, LogicalOpKind::kMap, "o_project", o_filter, 1.0, 24.0);
+
+  OperatorId lineitem = AddTextSource(&plan, "lineitem", bytes * 0.7, 120.0);
+  OperatorId l_filter = AddOp(&plan, LogicalOpKind::kFilter, "shipdate",
+                              lineitem, 0.54, 120.0);
+  OperatorId l_proj =
+      AddOp(&plan, LogicalOpKind::kMap, "l_project", l_filter, 1.0, 24.0);
+
+  LogicalOperator join1;
+  join1.kind = LogicalOpKind::kJoin;
+  join1.name = "cust_orders";
+  join1.selectivity = 0.2;  // Orders of matching customers.
+  join1.tuple_bytes = 32.0;
+  const OperatorId j1 = plan.Add(std::move(join1));
+  plan.Connect(c_proj, j1);
+  plan.Connect(o_proj, j1);
+  OperatorId j1_proj = AddOp(&plan, LogicalOpKind::kMap, "co_project", j1,
+                             1.0, 24.0);
+
+  LogicalOperator join2;
+  join2.kind = LogicalOpKind::kJoin;
+  join2.name = "co_lineitem";
+  join2.selectivity = 0.3;
+  join2.tuple_bytes = 40.0;
+  const OperatorId j2 = plan.Add(std::move(join2));
+  plan.Connect(j1_proj, j2);
+  plan.Connect(l_proj, j2);
+  OperatorId j2_proj = AddOp(&plan, LogicalOpKind::kMap, "col_project", j2,
+                             1.0, 32.0);
+
+  OperatorId agg = AddOp(&plan, LogicalOpKind::kReduceBy, "by_order", j2_proj,
+                         0.1, 32.0);
+  OperatorId revenue =
+      AddOp(&plan, LogicalOpKind::kMap, "revenue", agg, 1.0, 32.0);
+  OperatorId sort =
+      AddOp(&plan, LogicalOpKind::kSort, "order_by", revenue, 1.0, 32.0);
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", sort, 1.0, 32.0,
+        UdfComplexity::kNone);
+  return plan;  // 17 operators.
+}
+
+LogicalPlan MakeAggregatePlan(double input_gb) {
+  LogicalPlan plan;
+  const double bytes = input_gb * 1e9;
+  OperatorId src = AddTextSource(&plan, "events", bytes, 96.0);
+  OperatorId parse =
+      AddOp(&plan, LogicalOpKind::kMap, "parse", src, 1.0, 40.0);
+  OperatorId filter =
+      AddOp(&plan, LogicalOpKind::kFilter, "valid", parse, 0.5, 40.0);
+  OperatorId agg = AddOp(&plan, LogicalOpKind::kReduceBy, "by_key", filter,
+                         1e-3, 32.0);
+  OperatorId fmt = AddOp(&plan, LogicalOpKind::kMap, "format", agg, 1.0, 32.0);
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", fmt, 1.0, 32.0,
+        UdfComplexity::kNone);
+  return plan;  // 6 operators.
+}
+
+LogicalPlan MakeJoinPlan(double input_gb, bool table_sources) {
+  LogicalPlan plan;
+  const double bytes = input_gb * 1e9;
+  // The Fig. 3 running example: transactions (large) x customers (small).
+  OperatorId transactions =
+      table_sources
+          ? AddTableSource(&plan, "transactions", bytes * 0.95, 48.0)
+          : AddTextSource(&plan, "transactions", bytes * 0.95, 48.0);
+  OperatorId t_filter = AddOp(&plan, LogicalOpKind::kFilter, "month",
+                              transactions, 0.08, 48.0);
+  OperatorId customers =
+      table_sources ? AddTableSource(&plan, "customers", bytes * 0.05, 120.0)
+                    : AddTextSource(&plan, "customers", bytes * 0.05, 120.0);
+  OperatorId c_filter = AddOp(&plan, LogicalOpKind::kFilter, "country",
+                              customers, 0.1, 120.0);
+  OperatorId c_proj = AddOp(&plan, LogicalOpKind::kProject, "project",
+                            c_filter, 1.0, 16.0, UdfComplexity::kNone);
+  LogicalOperator join;
+  join.kind = LogicalOpKind::kJoin;
+  join.name = "customer_id";
+  join.selectivity = 0.5;
+  join.tuple_bytes = 56.0;
+  const OperatorId j = plan.Add(std::move(join));
+  plan.Connect(t_filter, j);
+  plan.Connect(c_proj, j);
+  OperatorId agg = AddOp(&plan, LogicalOpKind::kReduceBy, "sum_and_count", j,
+                         0.02, 32.0);
+  OperatorId label =
+      AddOp(&plan, LogicalOpKind::kMap, "label", agg, 1.0, 40.0);
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", label, 1.0, 40.0,
+        UdfComplexity::kNone);
+  return plan;  // 9 operators (Fig. 3(a)).
+}
+
+LogicalPlan MakeKmeansPlan(double input_mb, int num_centroids,
+                           int iterations) {
+  LogicalPlan plan;
+  const double point_bytes = 36.0;  // USCensus-style rows.
+  const double points = std::max(1.0, input_mb * 1e6 / point_bytes);
+
+  OperatorId src = AddTextSource(&plan, "points", input_mb * 1e6, point_bytes);
+  LogicalOperator init;
+  init.kind = LogicalOpKind::kCollectionSource;
+  init.name = "init_centroids";
+  init.source_cardinality = num_centroids;
+  init.tuple_bytes = 64.0;
+  const OperatorId init_id = plan.Add(std::move(init));
+
+  LogicalOperator begin;
+  begin.kind = LogicalOpKind::kLoopBegin;
+  begin.name = "kmeans_loop";
+  begin.loop_iterations = iterations;
+  begin.tuple_bytes = 64.0;
+  const OperatorId begin_id = plan.Add(std::move(begin));
+  plan.Connect(init_id, begin_id);
+
+  OperatorId bcast = AddOp(&plan, LogicalOpKind::kBroadcast, "centroids",
+                           begin_id, 1.0, 64.0, UdfComplexity::kNone);
+  OperatorId assign = AddOp(&plan, LogicalOpKind::kMap, "assign", src, 1.0,
+                            44.0, UdfComplexity::kLinear, "kmeans_assign");
+  plan.ConnectBroadcast(bcast, assign);
+  LogicalOperator update;
+  update.kind = LogicalOpKind::kReduceBy;
+  update.name = "update_centroids";
+  update.selectivity = std::min(1.0, num_centroids / points);
+  update.tuple_bytes = 64.0;
+  update.kernel = "kmeans_update";
+  const OperatorId update_id = plan.Add(std::move(update));
+  plan.Connect(assign, update_id);
+
+  LogicalOperator end;
+  end.kind = LogicalOpKind::kLoopEnd;
+  end.name = "kmeans_loop_end";
+  end.loop_begin = begin_id;
+  end.tuple_bytes = 64.0;
+  const OperatorId end_id = plan.Add(std::move(end));
+  plan.Connect(update_id, end_id);
+
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", end_id, 1.0, 64.0,
+        UdfComplexity::kNone);
+  return plan;  // 8 operators.
+}
+
+LogicalPlan MakeSgdPlan(double input_gb, int batch_size, int iterations) {
+  LogicalPlan plan;
+  const double sample_bytes = 28.0;  // HIGGS-style rows.
+  OperatorId src =
+      AddTextSource(&plan, "training_points", input_gb * 1e9, sample_bytes);
+
+  LogicalOperator init;
+  init.kind = LogicalOpKind::kCollectionSource;
+  init.name = "init_weights";
+  init.source_cardinality = 1;
+  init.tuple_bytes = 256.0;
+  const OperatorId init_id = plan.Add(std::move(init));
+
+  LogicalOperator begin;
+  begin.kind = LogicalOpKind::kLoopBegin;
+  begin.name = "sgd_loop";
+  begin.loop_iterations = iterations;
+  begin.tuple_bytes = 256.0;
+  const OperatorId begin_id = plan.Add(std::move(begin));
+  plan.Connect(init_id, begin_id);
+
+  OperatorId bcast = AddOp(&plan, LogicalOpKind::kBroadcast, "weights",
+                           begin_id, 1.0, 256.0, UdfComplexity::kNone);
+
+  LogicalOperator sample;
+  sample.kind = LogicalOpKind::kSample;
+  sample.name = "batch";
+  sample.param = batch_size;
+  sample.tuple_bytes = sample_bytes;
+  const OperatorId sample_id = plan.Add(std::move(sample));
+  plan.Connect(src, sample_id);
+  // Loop-context edge: the sampler runs once per iteration even though its
+  // data input is loop-invariant (Rheem models this via the loop context).
+  plan.ConnectBroadcast(begin_id, sample_id);
+
+  OperatorId grad = AddOp(&plan, LogicalOpKind::kMap, "gradient", sample_id,
+                          1.0, 256.0, UdfComplexity::kLinear, "sgd_gradient");
+  plan.ConnectBroadcast(bcast, grad);
+  OperatorId sum = AddOp(&plan, LogicalOpKind::kGlobalReduce, "sum_gradients",
+                         grad, 1.0, 256.0);
+  OperatorId update = AddOp(&plan, LogicalOpKind::kMap, "update_weights", sum,
+                            1.0, 256.0, UdfComplexity::kLinear, "sgd_update");
+  plan.ConnectBroadcast(bcast, update);
+
+  LogicalOperator end;
+  end.kind = LogicalOpKind::kLoopEnd;
+  end.name = "sgd_loop_end";
+  end.loop_begin = begin_id;
+  end.tuple_bytes = 256.0;
+  const OperatorId end_id = plan.Add(std::move(end));
+  plan.Connect(update, end_id);
+
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", end_id, 1.0, 256.0,
+        UdfComplexity::kNone);
+  return plan;  // 10 operators.
+}
+
+LogicalPlan MakeCrocoPrPlan(double input_gb, int iterations,
+                            bool from_postgres) {
+  LogicalPlan plan;
+  const double edge_bytes = 40.0;
+  const double bytes = input_gb * 1e9;
+  OperatorId src = from_postgres
+                       ? AddTableSource(&plan, "dbpedia_links", bytes,
+                                        edge_bytes)
+                       : AddTextSource(&plan, "dbpedia_links", bytes,
+                                       edge_bytes);
+  // Preprocessing / cleaning.
+  OperatorId no_nulls =
+      AddOp(&plan, LogicalOpKind::kFilter, "drop_nulls", src, 0.95,
+            edge_bytes, UdfComplexity::kNone);
+  OperatorId parse = AddOp(&plan, LogicalOpKind::kFlatMap, "parse_links",
+                           no_nulls, 1.0, 24.0);
+  OperatorId clean =
+      AddOp(&plan, LogicalOpKind::kMap, "normalize_uris", parse, 1.0, 24.0);
+  OperatorId no_self = AddOp(&plan, LogicalOpKind::kFilter, "drop_self_loops",
+                             clean, 0.99, 24.0, UdfComplexity::kNone);
+  OperatorId dedupe =
+      AddOp(&plan, LogicalOpKind::kDistinct, "dedupe_edges", no_self, 0.9,
+            24.0);
+  OperatorId encode = AddOp(&plan, LogicalOpKind::kMap, "encode_ints", dedupe,
+                            1.0, 12.0);
+  OperatorId edges = AddOp(&plan, LogicalOpKind::kCache, "cache_edges",
+                           encode, 1.0, 12.0, UdfComplexity::kNone);
+
+  // Rank initialization over the node set.
+  OperatorId nodes = AddOp(&plan, LogicalOpKind::kReduceBy, "node_set", edges,
+                           0.1, 12.0);
+  OperatorId init_ranks = AddOp(&plan, LogicalOpKind::kMap, "init_ranks",
+                                nodes, 1.0, 16.0);
+
+  // PageRank loop.
+  LogicalOperator begin;
+  begin.kind = LogicalOpKind::kLoopBegin;
+  begin.name = "pagerank_loop";
+  begin.loop_iterations = iterations;
+  begin.tuple_bytes = 16.0;
+  const OperatorId begin_id = plan.Add(std::move(begin));
+  plan.Connect(init_ranks, begin_id);
+
+  LogicalOperator join;
+  join.kind = LogicalOpKind::kJoin;
+  join.name = "edges_ranks";
+  join.selectivity = 1.0;
+  join.tuple_bytes = 24.0;
+  const OperatorId join_id = plan.Add(std::move(join));
+  plan.Connect(edges, join_id);
+  plan.Connect(begin_id, join_id);
+
+  OperatorId contrib =
+      AddOp(&plan, LogicalOpKind::kFlatMap, "contributions", join_id, 1.0,
+            16.0, UdfComplexity::kLinear, "pr_contrib");
+  OperatorId sum = AddOp(&plan, LogicalOpKind::kReduceBy, "sum_by_target",
+                         contrib, 0.1, 16.0);
+  OperatorId damp = AddOp(&plan, LogicalOpKind::kMap, "damping", sum, 1.0,
+                          16.0, UdfComplexity::kLinear, "pr_damping");
+
+  LogicalOperator end;
+  end.kind = LogicalOpKind::kLoopEnd;
+  end.name = "pagerank_loop_end";
+  end.loop_begin = begin_id;
+  end.tuple_bytes = 16.0;
+  const OperatorId end_id = plan.Add(std::move(end));
+  plan.Connect(damp, end_id);
+
+  // Post-processing.
+  OperatorId decode =
+      AddOp(&plan, LogicalOpKind::kMap, "decode_uris", end_id, 1.0, 32.0);
+  OperatorId cross_comm = AddOp(&plan, LogicalOpKind::kFilter,
+                                "cross_community", decode, 0.3, 32.0);
+  OperatorId sorted =
+      AddOp(&plan, LogicalOpKind::kSort, "by_rank", cross_comm, 1.0, 32.0);
+  OperatorId top =
+      AddOp(&plan, LogicalOpKind::kFilter, "top_k", sorted, 0.01, 32.0,
+            UdfComplexity::kNone);
+  OperatorId fmt = AddOp(&plan, LogicalOpKind::kMap, "format", top, 1.0, 48.0);
+  AddOp(&plan, LogicalOpKind::kCollectionSink, "sink", fmt, 1.0, 48.0,
+        UdfComplexity::kNone);
+  return plan;  // 22 operators.
+}
+
+void RegisterWorkloadKernels() {
+  static bool registered = false;
+  if (registered) return;
+  registered = true;
+  KernelRegistry& registry = KernelRegistry::Global();
+
+  registry.Register("tokenize", [](const KernelContext& ctx)
+                                    -> StatusOr<Dataset> {
+    const Dataset& in = *ctx.inputs[0];
+    std::vector<Record> rows;
+    rows.reserve(in.rows.size() * 8);
+    for (const Record& line : in.rows) {
+      size_t pos = 0;
+      while (pos < line.text.size()) {
+        size_t start = line.text.find_first_not_of(' ', pos);
+        if (start == std::string::npos) break;
+        size_t end = line.text.find(' ', start);
+        if (end == std::string::npos) end = line.text.size();
+        Record word;
+        word.text = line.text.substr(start, end - start);
+        word.key = static_cast<int64_t>(
+            std::hash<std::string>{}(word.text));
+        rows.push_back(std::move(word));
+        pos = end;
+      }
+    }
+    const double virt = ScaleVirtual(in.virtual_cardinality, in.rows.size(),
+                                     rows.size(), ctx.op->selectivity);
+    Dataset out;
+    out.rows = std::move(rows);
+    out.virtual_cardinality = virt;
+    out.tuple_bytes = ctx.op->tuple_bytes;
+    return out;
+  });
+
+  registry.Register("word_pair", [](const KernelContext& ctx)
+                                     -> StatusOr<Dataset> {
+    const Dataset& in = *ctx.inputs[0];
+    Dataset out;
+    out.rows.reserve(in.rows.size());
+    for (const Record& word : in.rows) {
+      Record pair = word;
+      pair.num = 1.0;
+      out.rows.push_back(std::move(pair));
+    }
+    out.virtual_cardinality = in.virtual_cardinality;
+    out.tuple_bytes = ctx.op->tuple_bytes;
+    return out;
+  });
+
+  registry.Register("kmeans_assign", [](const KernelContext& ctx)
+                                         -> StatusOr<Dataset> {
+    if (ctx.side_inputs.empty()) {
+      return Status::FailedPrecondition("kmeans_assign needs centroids");
+    }
+    const Dataset& points = *ctx.inputs[0];
+    const Dataset& centroids = *ctx.side_inputs[0];
+    Dataset out;
+    out.rows.reserve(points.rows.size());
+    for (const Record& point : points.rows) {
+      double best = std::numeric_limits<double>::infinity();
+      int64_t best_idx = 0;
+      for (size_t c = 0; c < centroids.rows.size(); ++c) {
+        const auto& center = centroids.rows[c].vec;
+        double dist = 0.0;
+        const size_t dim = std::min(center.size(), point.vec.size());
+        for (size_t d = 0; d < dim; ++d) {
+          const double delta = point.vec[d] - center[d];
+          dist += delta * delta;
+        }
+        if (dist < best) {
+          best = dist;
+          best_idx = static_cast<int64_t>(c);
+        }
+      }
+      Record assigned = point;
+      assigned.key = best_idx;
+      assigned.num = 1.0;
+      out.rows.push_back(std::move(assigned));
+    }
+    out.virtual_cardinality = points.virtual_cardinality;
+    out.tuple_bytes = ctx.op->tuple_bytes;
+    return out;
+  });
+
+  registry.Register("kmeans_update", [](const KernelContext& ctx)
+                                         -> StatusOr<Dataset> {
+    const Dataset& assigned = *ctx.inputs[0];
+    std::map<int64_t, std::pair<std::vector<double>, double>> sums;
+    for (const Record& r : assigned.rows) {
+      auto& [sum, count] = sums[r.key];
+      if (sum.size() < r.vec.size()) sum.resize(r.vec.size(), 0.0);
+      for (size_t d = 0; d < r.vec.size(); ++d) sum[d] += r.vec[d];
+      count += 1.0;
+    }
+    Dataset out;
+    for (auto& [key, entry] : sums) {
+      Record centroid;
+      centroid.key = key;
+      centroid.vec = entry.first;
+      if (entry.second > 0) {
+        for (double& v : centroid.vec) v /= entry.second;
+      }
+      out.rows.push_back(std::move(centroid));
+    }
+    out.virtual_cardinality = static_cast<double>(out.rows.size());
+    out.tuple_bytes = ctx.op->tuple_bytes;
+    return out;
+  });
+
+  registry.Register("sgd_gradient", [](const KernelContext& ctx)
+                                        -> StatusOr<Dataset> {
+    if (ctx.side_inputs.empty() || ctx.side_inputs[0]->rows.empty()) {
+      return Status::FailedPrecondition("sgd_gradient needs weights");
+    }
+    const Dataset& batch = *ctx.inputs[0];
+    const std::vector<double>& weights = ctx.side_inputs[0]->rows[0].vec;
+    Dataset out;
+    out.rows.reserve(batch.rows.size());
+    for (const Record& sample : batch.rows) {
+      double prediction = 0.0;
+      const size_t dim = std::min(weights.size(), sample.vec.size());
+      for (size_t d = 0; d < dim; ++d) {
+        prediction += weights[d] * sample.vec[d];
+      }
+      const double error = prediction - sample.num;  // Squared loss.
+      Record grad;
+      grad.vec.resize(weights.size(), 0.0);
+      for (size_t d = 0; d < dim; ++d) grad.vec[d] = error * sample.vec[d];
+      grad.num = 1.0;
+      out.rows.push_back(std::move(grad));
+    }
+    out.virtual_cardinality = batch.virtual_cardinality;
+    out.tuple_bytes = ctx.op->tuple_bytes;
+    return out;
+  });
+
+  registry.Register("sgd_update", [](const KernelContext& ctx)
+                                      -> StatusOr<Dataset> {
+    if (ctx.side_inputs.empty() || ctx.side_inputs[0]->rows.empty()) {
+      return Status::FailedPrecondition("sgd_update needs weights");
+    }
+    const Dataset& grad_sum = *ctx.inputs[0];
+    const Record& weights = ctx.side_inputs[0]->rows[0];
+    Record updated = weights;
+    if (!grad_sum.rows.empty()) {
+      const Record& grad = grad_sum.rows[0];
+      const double count = std::max(grad.num, 1.0);
+      const double learning_rate = 0.1;
+      if (updated.vec.size() < grad.vec.size()) {
+        updated.vec.resize(grad.vec.size(), 0.0);
+      }
+      for (size_t d = 0; d < grad.vec.size(); ++d) {
+        updated.vec[d] -= learning_rate * grad.vec[d] / count;
+      }
+    }
+    Dataset out;
+    out.rows.push_back(std::move(updated));
+    out.virtual_cardinality = 1.0;
+    out.tuple_bytes = ctx.op->tuple_bytes;
+    return out;
+  });
+
+  registry.Register("pr_contrib", [](const KernelContext& ctx)
+                                      -> StatusOr<Dataset> {
+    const Dataset& joined = *ctx.inputs[0];
+    Dataset out;
+    out.rows.reserve(joined.rows.size());
+    for (const Record& edge_rank : joined.rows) {
+      Record contrib;
+      // Joined rows carry target id in `key` (see the Join kernel) and the
+      // source rank in `num`.
+      contrib.key = edge_rank.key;
+      contrib.num = edge_rank.num * 0.5;
+      out.rows.push_back(std::move(contrib));
+    }
+    out.virtual_cardinality = joined.virtual_cardinality;
+    out.tuple_bytes = ctx.op->tuple_bytes;
+    return out;
+  });
+
+  registry.Register("pr_damping", [](const KernelContext& ctx)
+                                      -> StatusOr<Dataset> {
+    const Dataset& in = *ctx.inputs[0];
+    Dataset out;
+    out.rows.reserve(in.rows.size());
+    const double n = std::max(in.virtual_cardinality, 1.0);
+    for (const Record& r : in.rows) {
+      Record ranked = r;
+      ranked.num = 0.15 / n + 0.85 * r.num;
+      out.rows.push_back(std::move(ranked));
+    }
+    out.virtual_cardinality = in.virtual_cardinality;
+    out.tuple_bytes = ctx.op->tuple_bytes;
+    return out;
+  });
+}
+
+}  // namespace robopt

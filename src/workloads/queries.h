@@ -1,0 +1,59 @@
+#ifndef ROBOPT_WORKLOADS_QUERIES_H_
+#define ROBOPT_WORKLOADS_QUERIES_H_
+
+#include "plan/logical_plan.h"
+
+namespace robopt {
+
+/// Builders for the paper's evaluation queries (Table II). Each returns a
+/// validated logical plan whose source cardinalities reflect the requested
+/// input size; operator counts match the paper's within the limits of the
+/// operator catalog. The executor can run all of them for real via the
+/// kernels registered by RegisterWorkloadKernels().
+
+/// WordCount — count distinct words (6 operators), Wikipedia-style text.
+LogicalPlan MakeWordCountPlan(double input_gb);
+
+/// Word2NVec — word neighborhood vectors (14 operators), map-heavy with
+/// quadratic UDFs.
+LogicalPlan MakeWord2NVecPlan(double input_mb);
+
+/// SimWords — clustering of similar words (26 operators), includes an
+/// iterative clustering loop.
+LogicalPlan MakeSimWordsPlan(double input_mb);
+
+/// TPC-H Q1 — scan + aggregate (7 operators).
+LogicalPlan MakeTpchQ1Plan(double input_gb);
+
+/// TPC-H Q3 — 3-table join query (17 operators).
+LogicalPlan MakeTpchQ3Plan(double input_gb);
+
+/// Aggregate — the Fig. 2 / Fig. 11(d) scan-heavy aggregation.
+LogicalPlan MakeAggregatePlan(double input_gb);
+
+/// Join — the running example of Fig. 3 (customers x transactions, 9
+/// operators). `table_sources` switches the two sources to Postgres tables
+/// (the Fig. 13 scenario).
+LogicalPlan MakeJoinPlan(double input_gb, bool table_sources = false);
+
+/// K-means clustering (loop + broadcast; Fig. 12(a)).
+LogicalPlan MakeKmeansPlan(double input_mb, int num_centroids,
+                           int iterations);
+
+/// Stochastic gradient descent (loop + sampler; Fig. 12(b)).
+LogicalPlan MakeSgdPlan(double input_gb, int batch_size, int iterations);
+
+/// CrocoPR — cross-community pagerank (22 operators; Figs. 11(h), 12(c-d)).
+/// `from_postgres` stores the dirty input in a Postgres table that must be
+/// cleaned before ranking (the Fig. 12(d) scenario).
+LogicalPlan MakeCrocoPrPlan(double input_gb, int iterations,
+                            bool from_postgres = false);
+
+/// Registers the real execution kernels used by these queries (tokenize,
+/// k-means assignment, gradient steps, pagerank contributions, ...) in
+/// KernelRegistry::Global(). Idempotent.
+void RegisterWorkloadKernels();
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOADS_QUERIES_H_

@@ -1,0 +1,236 @@
+#include "workloads/synthetic.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace robopt {
+namespace {
+
+/// Unary operator kinds a synthetic pipeline draws from.
+constexpr LogicalOpKind kPipelineKinds[] = {
+    LogicalOpKind::kMap,    LogicalOpKind::kFilter,
+    LogicalOpKind::kMap,    LogicalOpKind::kFlatMap,
+    LogicalOpKind::kMap,    LogicalOpKind::kReduceBy,
+    LogicalOpKind::kFilter, LogicalOpKind::kSort,
+};
+
+UdfComplexity DrawComplexity(Rng* rng) {
+  const double p = rng->NextDouble();
+  if (p < 0.15) return UdfComplexity::kLogarithmic;
+  if (p < 0.8) return UdfComplexity::kLinear;
+  if (p < 0.95) return UdfComplexity::kQuadratic;
+  return UdfComplexity::kSuperQuadratic;
+}
+
+double DrawSelectivity(LogicalOpKind kind, Rng* rng) {
+  switch (kind) {
+    case LogicalOpKind::kFilter:
+      return rng->NextUniform(0.05, 0.95);
+    case LogicalOpKind::kFlatMap:
+      return rng->NextUniform(1.0, 6.0);
+    case LogicalOpKind::kReduceBy:
+      return rng->NextUniform(0.001, 0.3);
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
+
+LogicalPlan MakeSyntheticPipeline(int num_ops, double source_cardinality,
+                                  uint64_t seed, bool table_source) {
+  ROBOPT_CHECK(num_ops >= 3);
+  Rng rng(seed);
+  LogicalPlan plan;
+  LogicalOperator source;
+  source.kind = table_source ? LogicalOpKind::kTableSource
+                             : LogicalOpKind::kTextFileSource;
+  source.name = "src";
+  source.source_cardinality = source_cardinality;
+  source.tuple_bytes = 64.0;
+  OperatorId prev = plan.Add(std::move(source));
+  for (int i = 0; i < num_ops - 2; ++i) {
+    const LogicalOpKind kind =
+        kPipelineKinds[rng.NextBounded(std::size(kPipelineKinds))];
+    LogicalOperator op;
+    op.kind = kind;
+    op.name = "op" + std::to_string(i);
+    op.udf = DrawComplexity(&rng);
+    op.selectivity = DrawSelectivity(kind, &rng);
+    op.tuple_bytes = rng.NextUniform(8.0, 128.0);
+    const OperatorId id = plan.Add(std::move(op));
+    plan.Connect(prev, id);
+    prev = id;
+  }
+  LogicalOperator sink;
+  sink.kind = LogicalOpKind::kCollectionSink;
+  sink.name = "sink";
+  sink.tuple_bytes = 32.0;
+  const OperatorId sink_id = plan.Add(std::move(sink));
+  plan.Connect(prev, sink_id);
+  return plan;
+}
+
+LogicalPlan MakeSyntheticJoinTree(int num_joins, double source_cardinality,
+                                  uint64_t seed, bool table_sources) {
+  ROBOPT_CHECK(num_joins >= 1);
+  Rng rng(seed);
+  LogicalPlan plan;
+
+  auto add_branch = [&](int index) {
+    LogicalOperator source;
+    // With table sources, odd branches stay in the DBMS (a polystore mix).
+    source.kind = (table_sources && index % 2 == 1)
+                      ? LogicalOpKind::kTableSource
+                      : LogicalOpKind::kTextFileSource;
+    source.name = "src" + std::to_string(index);
+    source.source_cardinality =
+        source_cardinality * rng.NextUniform(0.2, 1.0);
+    source.tuple_bytes = 64.0;
+    const OperatorId src = plan.Add(std::move(source));
+    LogicalOperator filter;
+    filter.kind = LogicalOpKind::kFilter;
+    filter.name = "filter" + std::to_string(index);
+    filter.selectivity = rng.NextUniform(0.1, 0.9);
+    filter.tuple_bytes = 48.0;
+    const OperatorId f = plan.Add(std::move(filter));
+    plan.Connect(src, f);
+    return f;
+  };
+
+  OperatorId left = add_branch(0);
+  for (int j = 0; j < num_joins; ++j) {
+    const OperatorId right = add_branch(j + 1);
+    LogicalOperator join;
+    join.kind = LogicalOpKind::kJoin;
+    join.name = "join" + std::to_string(j);
+    join.selectivity = rng.NextUniform(0.2, 1.0);
+    join.tuple_bytes = 72.0;
+    const OperatorId id = plan.Add(std::move(join));
+    plan.Connect(left, id);
+    plan.Connect(right, id);
+    left = id;
+  }
+  LogicalOperator agg;
+  agg.kind = LogicalOpKind::kReduceBy;
+  agg.name = "aggregate";
+  agg.selectivity = 0.05;
+  agg.tuple_bytes = 32.0;
+  const OperatorId agg_id = plan.Add(std::move(agg));
+  plan.Connect(left, agg_id);
+  LogicalOperator sink;
+  sink.kind = LogicalOpKind::kCollectionSink;
+  sink.name = "sink";
+  sink.tuple_bytes = 32.0;
+  const OperatorId sink_id = plan.Add(std::move(sink));
+  plan.Connect(agg_id, sink_id);
+  return plan;
+}
+
+LogicalPlan MakeSyntheticLoopPlan(int num_ops, double source_cardinality,
+                                  int iterations, uint64_t seed) {
+  ROBOPT_CHECK(num_ops >= 9);
+  Rng rng(seed);
+  LogicalPlan plan;
+
+  LogicalOperator source;
+  source.kind = LogicalOpKind::kTextFileSource;
+  source.name = "data";
+  source.source_cardinality = source_cardinality;
+  source.tuple_bytes = 48.0;
+  OperatorId data = plan.Add(std::move(source));
+  // Preprocessing pipeline consumes the operator budget beyond the fixed
+  // 8-operator loop skeleton.
+  const int preprocess = num_ops - 8;
+  for (int i = 0; i < preprocess; ++i) {
+    const LogicalOpKind kind =
+        kPipelineKinds[rng.NextBounded(std::size(kPipelineKinds))];
+    LogicalOperator op;
+    op.kind = kind;
+    op.name = "prep" + std::to_string(i);
+    op.udf = DrawComplexity(&rng);
+    op.selectivity = DrawSelectivity(kind, &rng);
+    op.tuple_bytes = rng.NextUniform(8.0, 96.0);
+    const OperatorId id = plan.Add(std::move(op));
+    plan.Connect(data, id);
+    data = id;
+  }
+
+  LogicalOperator init;
+  init.kind = LogicalOpKind::kCollectionSource;
+  init.name = "state0";
+  init.source_cardinality = rng.NextUniform(1.0, 1000.0);
+  init.tuple_bytes = 64.0;
+  const OperatorId init_id = plan.Add(std::move(init));
+
+  LogicalOperator begin;
+  begin.kind = LogicalOpKind::kLoopBegin;
+  begin.name = "loop";
+  begin.loop_iterations = iterations;
+  begin.tuple_bytes = 64.0;
+  const OperatorId begin_id = plan.Add(std::move(begin));
+  plan.Connect(init_id, begin_id);
+
+  LogicalOperator bcast;
+  bcast.kind = LogicalOpKind::kBroadcast;
+  bcast.name = "state";
+  bcast.tuple_bytes = 64.0;
+  const OperatorId bcast_id = plan.Add(std::move(bcast));
+  plan.Connect(begin_id, bcast_id);
+
+  // Half the loop plans read the invariant data through a per-iteration
+  // sampler (the SGD pattern), half map over all of it (the k-means
+  // pattern).
+  OperatorId body_in = data;
+  const bool sampled = rng.NextBernoulli(0.5);
+  if (sampled) {
+    LogicalOperator sample;
+    sample.kind = LogicalOpKind::kSample;
+    sample.name = "batch";
+    sample.param = rng.NextUniform(1.0, 1000.0);
+    sample.tuple_bytes = 48.0;
+    const OperatorId sample_id = plan.Add(std::move(sample));
+    plan.Connect(body_in, sample_id);
+    plan.ConnectBroadcast(begin_id, sample_id);
+    body_in = sample_id;
+  }
+
+  LogicalOperator udf;
+  udf.kind = LogicalOpKind::kMap;
+  udf.name = "body_udf";
+  udf.udf = DrawComplexity(&rng);
+  udf.tuple_bytes = 64.0;
+  const OperatorId udf_id = plan.Add(std::move(udf));
+  plan.Connect(body_in, udf_id);
+  plan.ConnectBroadcast(bcast_id, udf_id);
+
+  LogicalOperator agg;
+  agg.kind = sampled ? LogicalOpKind::kGlobalReduce : LogicalOpKind::kReduceBy;
+  agg.name = "state_update";
+  agg.selectivity = rng.NextUniform(1e-4, 1e-2);
+  agg.tuple_bytes = 64.0;
+  const OperatorId agg_id = plan.Add(std::move(agg));
+  plan.Connect(udf_id, agg_id);
+
+  LogicalOperator end;
+  end.kind = LogicalOpKind::kLoopEnd;
+  end.name = "loop_end";
+  end.loop_begin = begin_id;
+  end.tuple_bytes = 64.0;
+  const OperatorId end_id = plan.Add(std::move(end));
+  plan.Connect(agg_id, end_id);
+
+  // When the preprocessing budget left room, the skeleton is 8 ops and the
+  // sampler makes 9; keep a sink either way.
+  LogicalOperator sink;
+  sink.kind = LogicalOpKind::kCollectionSink;
+  sink.name = "sink";
+  sink.tuple_bytes = 64.0;
+  const OperatorId sink_id = plan.Add(std::move(sink));
+  plan.Connect(end_id, sink_id);
+  return plan;
+}
+
+}  // namespace robopt

@@ -1,0 +1,34 @@
+#ifndef ROBOPT_WORKLOADS_SYNTHETIC_H_
+#define ROBOPT_WORKLOADS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "plan/logical_plan.h"
+
+namespace robopt {
+
+/// Synthetic plan generators for the scalability experiments (Table I,
+/// Figs. 1, 9, 10) and for TDGEN's shape templates.
+
+/// A linear pipeline of `num_ops` operators (source, mixed unary operators,
+/// sink). Operator kinds, selectivities and UDF complexities are drawn
+/// deterministically from `seed`. With `table_source`, the input is a
+/// relational table (Postgres-style), which forces an Export conversion
+/// before any non-relational operator.
+LogicalPlan MakeSyntheticPipeline(int num_ops, double source_cardinality,
+                                  uint64_t seed, bool table_source = false);
+
+/// A left-deep join tree with `num_joins` joins (num_joins + 1 sources), a
+/// per-branch filter/map, an aggregation and a sink — the Fig. 10 workload.
+LogicalPlan MakeSyntheticJoinTree(int num_joins, double source_cardinality,
+                                  uint64_t seed, bool table_sources = false);
+
+/// An iterative plan: a preprocessing pipeline feeding a loop whose body
+/// holds a broadcast, a (sometimes sampled) UDF stage and an aggregation —
+/// the shape of the paper's ML workloads (k-means, SGD, pagerank).
+LogicalPlan MakeSyntheticLoopPlan(int num_ops, double source_cardinality,
+                                  int iterations, uint64_t seed);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOADS_SYNTHETIC_H_

@@ -1,0 +1,177 @@
+#include "baseline/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plan/cardinality.h"
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+ExecutionPlan AllOn(const LogicalPlan& plan, const PlatformRegistry& registry,
+                    PlatformId platform) {
+  ExecutionPlan exec(&plan, &registry);
+  for (const LogicalOperator& op : plan.operators()) {
+    const auto& alts = registry.AlternativesFor(op.kind);
+    for (size_t a = 0; a < alts.size(); ++a) {
+      if (alts[a].platform == platform && alts[a].variant == 0) {
+        exec.Assign(op.id, static_cast<int>(a));
+        break;
+      }
+    }
+  }
+  return exec;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : registry_(PlatformRegistry::Default(3)),
+        truth_(&registry_),
+        well_(&registry_, &truth_, CostModel::Tuning::kWellTuned),
+        simple_(&registry_, &truth_, CostModel::Tuning::kSimplyTuned) {}
+
+  PlatformRegistry registry_;
+  VirtualCost truth_;
+  CostModel well_;
+  CostModel simple_;
+};
+
+TEST_F(CostModelTest, WellTunedTracksGroundTruthWithinFactor) {
+  LogicalPlan plan = MakeWordCountPlan(5.0);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  for (PlatformId p : {PlatformId{0}, PlatformId{1}, PlatformId{2}}) {
+    const ExecutionPlan exec = AllOn(plan, registry_, p);
+    const double truth = truth_.PlanCost(exec, cards).total_s;
+    const double model = well_.PlanCost(exec, cards);
+    if (!std::isfinite(truth)) continue;
+    EXPECT_LT(model, truth * 8.0) << registry_.platform(p).name;
+    EXPECT_GT(model, truth / 8.0) << registry_.platform(p).name;
+  }
+}
+
+TEST_F(CostModelTest, WellTunedRanksJavaVsSparkCorrectlyAtExtremes) {
+  // The linear fit is weak, but it must get the gross small-vs-large
+  // crossover right — the paper's "well-tuned" admin achieves that.
+  LogicalPlan small = MakeWordCountPlan(0.00003);
+  LogicalPlan large = MakeWordCountPlan(50.0);
+  const Cardinalities small_cards = CardinalityEstimator(&small).Estimate();
+  const Cardinalities large_cards = CardinalityEstimator(&large).Estimate();
+  EXPECT_LT(well_.PlanCost(AllOn(small, registry_, 0), small_cards),
+            well_.PlanCost(AllOn(small, registry_, 1), small_cards));
+  EXPECT_LT(well_.PlanCost(AllOn(large, registry_, 1), large_cards),
+            well_.PlanCost(AllOn(large, registry_, 0), large_cards));
+}
+
+TEST_F(CostModelTest, SimplyTunedMispredictsAtScale) {
+  // Profiling at small scale misses the n log n shuffle growth: the simply
+  // tuned model's error at 50 GB is much larger than the well-tuned one's.
+  LogicalPlan plan = MakeAggregatePlan(50.0);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  const ExecutionPlan spark = AllOn(plan, registry_, 1);
+  const double truth = truth_.PlanCost(spark, cards).total_s;
+  const double well_err =
+      std::abs(well_.PlanCost(spark, cards) - truth) / truth;
+  const double simple_err =
+      std::abs(simple_.PlanCost(spark, cards) - truth) / truth;
+  EXPECT_GT(simple_err, well_err);
+}
+
+TEST_F(CostModelTest, SimplyTunedStartupLeaksIntoOperators) {
+  // The simply-tuned model folds job startup into every operator's c0, so
+  // multi-operator Spark plans look far too expensive.
+  LogicalPlan plan = MakeWordCountPlan(0.001);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  const ExecutionPlan spark = AllOn(plan, registry_, 1);
+  EXPECT_GT(simple_.PlanCost(spark, cards),
+            well_.PlanCost(spark, cards) * 2.0);
+}
+
+TEST_F(CostModelTest, SubplanCostSumsOverScope) {
+  LogicalPlan plan = MakeWordCountPlan(1.0);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  const ExecutionPlan exec = AllOn(plan, registry_, 1);
+  std::vector<uint8_t> all(plan.num_operators(), 1);
+  std::vector<uint8_t> first_half(plan.num_operators(), 0);
+  std::vector<uint8_t> second_half(plan.num_operators(), 0);
+  for (int i = 0; i < plan.num_operators(); ++i) {
+    (i < plan.num_operators() / 2 ? first_half : second_half)[i] = 1;
+  }
+  const double whole = well_.SubplanCost(exec, cards, all);
+  const double parts = well_.SubplanCost(exec, cards, first_half) +
+                       well_.SubplanCost(exec, cards, second_half);
+  // Splitting double-counts the per-platform startup but loses no operator
+  // cost; they must be close.
+  EXPECT_NEAR(whole, parts - well_.StartupCost(1), 1e-6);
+}
+
+TEST_F(CostModelTest, ConversionCostIncludesSwitchPenalty) {
+  ConversionInstance conv;
+  conv.from_platform = 1;
+  conv.to_platform = 0;
+  conv.kind = ConversionKind::kCollect;
+  // Even moving one tuple costs at least the fixed coordination penalty.
+  EXPECT_GE(well_.ConversionCostLinear(conv, 1.0, 16.0), 0.5);
+}
+
+TEST_F(CostModelTest, ModelPrefersCachedSamplerInLoops) {
+  // The documented-behavior modeling gap (Section VII-C2): the cost model
+  // believes the cache+sample variant is cheaper over many iterations,
+  // while the ground truth knows the stateful sampler wins.
+  LogicalOperator sample;
+  sample.kind = LogicalOpKind::kSample;
+  sample.tuple_bytes = 28.0;
+  const auto& alts = registry_.AlternativesFor(LogicalOpKind::kSample);
+  const ExecutionAlt* stateful = nullptr;
+  const ExecutionAlt* cached = nullptr;
+  for (const auto& alt : alts) {
+    if (alt.platform != 1) continue;
+    (alt.variant == 0 ? stateful : cached) = &alt;
+  }
+  ASSERT_NE(stateful, nullptr);
+  ASSERT_NE(cached, nullptr);
+  const double in = 1e7;
+  const double out = 100;
+  const int iters = 1000;
+  // Model: cached looks better.
+  EXPECT_LT(well_.OpCost(sample, *cached, in, out, iters),
+            well_.OpCost(sample, *stateful, in, out, iters));
+  // Truth: stateful is better.
+  double truth_stateful = truth_.OpCostRaw(sample, *stateful, in, out, 0) +
+                          (iters - 1) *
+                              truth_.OpCostRaw(sample, *stateful, in, out, 1);
+  double truth_cached = truth_.OpCostRaw(sample, *cached, in, out, 0) +
+                        (iters - 1) *
+                            truth_.OpCostRaw(sample, *cached, in, out, 1);
+  EXPECT_LT(truth_stateful, truth_cached);
+}
+
+TEST_F(CostModelTest, ModelChargesBroadcastOnceDespiteLoops) {
+  LogicalOperator bcast;
+  bcast.kind = LogicalOpKind::kBroadcast;
+  bcast.tuple_bytes = 64.0;
+  const auto& alts = registry_.AlternativesFor(LogicalOpKind::kBroadcast);
+  const ExecutionAlt* spark = nullptr;
+  for (const auto& alt : alts) {
+    if (alt.platform == 1) spark = &alt;
+  }
+  ASSERT_NE(spark, nullptr);
+  EXPECT_DOUBLE_EQ(well_.OpCost(bcast, *spark, 1000, 1000, 1),
+                   well_.OpCost(bcast, *spark, 1000, 1000, 500));
+}
+
+TEST_F(CostModelTest, CoefficientsAreNonNegative) {
+  // Indirectly: zero-cardinality operators can never have negative cost.
+  LogicalOperator map;
+  map.kind = LogicalOpKind::kMap;
+  const auto& alts = registry_.AlternativesFor(LogicalOpKind::kMap);
+  for (const auto& alt : alts) {
+    EXPECT_GE(well_.OpCost(map, alt, 0, 0, 1), 0.0);
+    EXPECT_GE(simple_.OpCost(map, alt, 0, 0, 1), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,120 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace robopt {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::map<int64_t, int> histogram;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    ++histogram[v];
+  }
+  EXPECT_EQ(histogram.size(), 5u);  // All five values hit.
+}
+
+TEST(RngTest, NextGaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, ZipfRanksWithinRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t rank = rng.NextZipf(1000, 1.3);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 1000u);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardsLowRanks) {
+  Rng rng(19);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextZipf(10000, 1.5) <= 10) ++low;
+  }
+  // The head of a Zipf(1.5) distribution carries most of the mass.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(RngTest, ZipfHandlesExponentOne) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t rank = rng.NextZipf(100, 1.0);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 100u);
+  }
+}
+
+TEST(RngTest, BernoulliRespectsProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,48 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace robopt {
+namespace {
+
+TEST(StringsTest, SplitTokensBasic) {
+  const auto tokens = SplitTokens("hello brave  new world");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[3], "world");
+}
+
+TEST(StringsTest, SplitTokensEmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(SplitTokens("").empty());
+  EXPECT_TRUE(SplitTokens("   \t\n ").empty());
+}
+
+TEST(StringsTest, SplitTokensCustomDelims) {
+  const auto tokens = SplitTokens("a,b;;c", ",;");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "b");
+}
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringsTest, FormatSecondsRanges) {
+  EXPECT_EQ(FormatSeconds(5e-6), "5.0 us");
+  EXPECT_EQ(FormatSeconds(0.25), "250.0 ms");
+  EXPECT_EQ(FormatSeconds(42.0), "42.00 s");
+  EXPECT_EQ(FormatSeconds(600.0), "10.0 min");
+  EXPECT_EQ(FormatSeconds(std::numeric_limits<double>::infinity()), "inf");
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,101 @@
+#include "core/feature_schema.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace robopt {
+namespace {
+
+TEST(FeatureSchemaTest, WidthAccountsForAllRegions) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  FeatureSchema schema(&registry);
+  size_t expected = kNumTopologies;
+  for (int k = 0; k < kNumLogicalOpKinds; ++k) {
+    expected += 1 +
+                registry.AlternativesFor(static_cast<LogicalOpKind>(k)).size() +
+                kNumTopologies + 3;
+  }
+  expected += kNumConversionKinds * (3 + 2);
+  expected += 1;  // Tuple size.
+  EXPECT_EQ(schema.width(), expected);
+}
+
+TEST(FeatureSchemaTest, CellsAreDisjoint) {
+  PlatformRegistry registry = PlatformRegistry::Default(4);
+  FeatureSchema schema(&registry);
+  std::set<size_t> seen;
+  auto check = [&](size_t cell) {
+    EXPECT_LT(cell, schema.width());
+    EXPECT_TRUE(seen.insert(cell).second) << "cell " << cell << " reused";
+  };
+  for (int t = 0; t < kNumTopologies; ++t) {
+    check(schema.TopologyCell(static_cast<Topology>(t)));
+  }
+  for (int k = 0; k < kNumLogicalOpKinds; ++k) {
+    const auto kind = static_cast<LogicalOpKind>(k);
+    check(schema.OpCountCell(kind));
+    for (size_t a = 0; a < schema.OpAlternatives(kind); ++a) {
+      check(schema.OpAltCell(kind, a));
+    }
+    for (int t = 0; t < kNumTopologies; ++t) {
+      check(schema.OpTopologyCell(kind, static_cast<Topology>(t)));
+    }
+    check(schema.OpUdfCell(kind));
+    check(schema.OpInCardCell(kind));
+    check(schema.OpOutCardCell(kind));
+  }
+  for (int c = 0; c < kNumConversionKinds; ++c) {
+    const auto kind = static_cast<ConversionKind>(c);
+    for (int p = 0; p < registry.num_platforms(); ++p) {
+      check(schema.ConvPlatformCell(kind, static_cast<PlatformId>(p)));
+    }
+    check(schema.ConvInCardCell(kind));
+    check(schema.ConvOutCardCell(kind));
+  }
+  check(schema.TupleSizeCell());
+  EXPECT_EQ(seen.size(), schema.width());
+}
+
+TEST(FeatureSchemaTest, MaxMaskMarksPipelineAndTupleSize) {
+  PlatformRegistry registry = PlatformRegistry::Default(2);
+  FeatureSchema schema(&registry);
+  const auto& mask = schema.MaxMergeMask();
+  ASSERT_EQ(mask.size(), schema.width());
+  size_t max_cells = 0;
+  for (uint8_t m : mask) max_cells += m;
+  EXPECT_EQ(max_cells, 2u);
+  EXPECT_EQ(mask[schema.TopologyCell(Topology::kPipeline)], 1);
+  EXPECT_EQ(mask[schema.TupleSizeCell()], 1);
+}
+
+TEST(FeatureSchemaTest, FeatureNamesCoverEveryCell) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  FeatureSchema schema(&registry);
+  const auto names = schema.FeatureNames();
+  ASSERT_EQ(names.size(), schema.width());
+  for (const std::string& name : names) {
+    EXPECT_FALSE(name.empty());
+  }
+  EXPECT_EQ(names[0], "#pipeline");
+  EXPECT_EQ(names.back(), "avg_tuple_bytes");
+}
+
+TEST(FeatureSchemaTest, AltCellsReflectVariants) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  FeatureSchema schema(&registry);
+  // Sample has 4 alternatives (Java, Spark stateful, Spark cached, Flink).
+  EXPECT_EQ(schema.OpAlternatives(LogicalOpKind::kSample), 4u);
+  EXPECT_EQ(schema.OpAlternatives(LogicalOpKind::kMap), 3u);
+}
+
+TEST(FeatureSchemaTest, WidthGrowsWithPlatformCount) {
+  PlatformRegistry two = PlatformRegistry::Synthetic(2);
+  PlatformRegistry five = PlatformRegistry::Synthetic(5);
+  FeatureSchema schema2(&two);
+  FeatureSchema schema5(&five);
+  EXPECT_GT(schema5.width(), schema2.width());
+}
+
+}  // namespace
+}  // namespace robopt

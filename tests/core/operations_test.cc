@@ -1,0 +1,254 @@
+#include "core/operations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "core/feature_schema.h"
+#include "workloads/queries.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+class OperationsTest : public ::testing::Test {
+ protected:
+  OperationsTest()
+      : registry_(PlatformRegistry::Default(2)), schema_(&registry_) {}
+
+  EnumerationContext MakeCtx(const LogicalPlan& plan,
+                             uint64_t mask = ~0ull) {
+    auto ctx = EnumerationContext::Make(&plan, &registry_, &schema_, nullptr,
+                                        mask);
+    EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
+    return std::move(ctx).value();
+  }
+
+  PlatformRegistry registry_;
+  FeatureSchema schema_;
+};
+
+TEST_F(OperationsTest, VectorizeMarksAlternativesWithMinusOne) {
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const AbstractPlanVector v = Vectorize(ctx);
+  EXPECT_EQ(v.ops.size(), 6u);
+  // Map exists in the plan; both its platform cells are -1.
+  EXPECT_FLOAT_EQ(v.features[schema_.OpAltCell(LogicalOpKind::kMap, 0)],
+                  -1.0f);
+  EXPECT_FLOAT_EQ(v.features[schema_.OpAltCell(LogicalOpKind::kMap, 1)],
+                  -1.0f);
+  // Join does not appear: count 0, alternatives untouched.
+  EXPECT_FLOAT_EQ(v.features[schema_.OpCountCell(LogicalOpKind::kJoin)], 0.0f);
+  EXPECT_FLOAT_EQ(v.features[schema_.OpAltCell(LogicalOpKind::kJoin, 0)],
+                  0.0f);
+}
+
+TEST_F(OperationsTest, VectorizeEncodesExactTopologyCounts) {
+  LogicalPlan plan = MakeJoinPlan(1.0);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const AbstractPlanVector v = Vectorize(ctx);
+  EXPECT_FLOAT_EQ(v.features[schema_.TopologyCell(Topology::kPipeline)], 3.0f);
+  EXPECT_FLOAT_EQ(v.features[schema_.TopologyCell(Topology::kJuncture)], 1.0f);
+}
+
+TEST_F(OperationsTest, SplitProducesOneSingletonPerOperator) {
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const auto singles = Split(ctx, Vectorize(ctx));
+  ASSERT_EQ(singles.size(), 6u);
+  for (size_t i = 0; i < singles.size(); ++i) {
+    ASSERT_EQ(singles[i].ops.size(), 1u);
+    EXPECT_EQ(singles[i].ops[0], static_cast<OperatorId>(i));
+  }
+}
+
+TEST_F(OperationsTest, EnumerateSingletonHasOneRowPerAlternative) {
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  const EnumerationContext ctx = MakeCtx(plan);
+  AbstractPlanVector single;
+  single.ops = {2};  // The Map operator: Java + Spark.
+  const PlanVectorEnumeration v = Enumerate(ctx, single);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.scope().test(2));
+  EXPECT_EQ(v.scope().count(), 1u);
+  // Assignments record distinct alternatives.
+  EXPECT_NE(v.assignment(0)[2], v.assignment(1)[2]);
+  EXPECT_NE(v.assignment(0)[2], 0);
+}
+
+TEST_F(OperationsTest, EnumerateFullPlanIsExponential) {
+  LogicalPlan plan = MakeSyntheticPipeline(4, 1e5, 3);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const PlanVectorEnumeration v = Enumerate(ctx, Vectorize(ctx));
+  EXPECT_EQ(v.size(), 16u);  // 2^4.
+}
+
+TEST_F(OperationsTest, PlatformMaskRestrictsAlternatives) {
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  const EnumerationContext ctx = MakeCtx(plan, /*mask=*/0b10);  // Spark only.
+  const PlanVectorEnumeration v = Enumerate(ctx, Vectorize(ctx));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST_F(OperationsTest, MaskWithoutCapablePlatformFails) {
+  LogicalPlan plan = MakeJoinPlan(1.0, /*table_sources=*/true);
+  // Postgres-only sources; mask allowing only Java cannot run them.
+  auto ctx = EnumerationContext::Make(&plan, &registry_, &schema_, nullptr,
+                                      0b01);
+  EXPECT_FALSE(ctx.ok());
+}
+
+TEST_F(OperationsTest, ComputeBoundaryOfMiddleOperator) {
+  LogicalPlan plan = MakeSyntheticPipeline(5, 1e5, 4);
+  const EnumerationContext ctx = MakeCtx(plan);
+  Scope scope;
+  scope.set(1);
+  scope.set(2);
+  const auto boundary = ComputeBoundary(ctx, scope);
+  // Op 1 touches op 0 (outside), op 2 touches op 3 (outside).
+  EXPECT_EQ(boundary, (std::vector<OperatorId>{1, 2}));
+}
+
+TEST_F(OperationsTest, BoundaryOfFullScopeIsEmpty) {
+  LogicalPlan plan = MakeSyntheticPipeline(5, 1e5, 4);
+  const EnumerationContext ctx = MakeCtx(plan);
+  Scope scope;
+  for (int i = 0; i < plan.num_operators(); ++i) scope.set(i);
+  EXPECT_TRUE(ComputeBoundary(ctx, scope).empty());
+}
+
+TEST_F(OperationsTest, ConcatCountsConversionsOnCrossEdges) {
+  LogicalPlan plan = MakeSyntheticPipeline(3, 1e5, 4);  // src, op, sink.
+  const EnumerationContext ctx = MakeCtx(plan);
+  AbstractPlanVector a;
+  a.ops = {0};
+  AbstractPlanVector b;
+  b.ops = {1};
+  const PlanVectorEnumeration va = Enumerate(ctx, a);
+  const PlanVectorEnumeration vb = Enumerate(ctx, b);
+  const PlanVectorEnumeration merged = Concat(ctx, va, vb);
+  ASSERT_EQ(merged.size(), 4u);
+  int with_conversion = 0;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    double conv_count = 0.0;
+    for (int c = 0; c < kNumConversionKinds; ++c) {
+      for (int p = 0; p < registry_.num_platforms(); ++p) {
+        conv_count += merged.features(i)[schema_.ConvPlatformCell(
+            static_cast<ConversionKind>(c), static_cast<PlatformId>(p))];
+      }
+    }
+    if (conv_count > 0) {
+      ++with_conversion;
+      EXPECT_EQ(merged.switches(i), 1);
+    } else {
+      EXPECT_EQ(merged.switches(i), 0);
+    }
+  }
+  EXPECT_EQ(with_conversion, 2);  // Java->Spark and Spark->Java.
+}
+
+TEST_F(OperationsTest, MergedRowEqualsDirectEncoding) {
+  // The incremental merge must agree exactly with re-encoding the full
+  // assignment from scratch — this pins the conversion accounting.
+  LogicalPlan plan = MakeJoinPlan(1.0);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const PlanVectorEnumeration full = Enumerate(ctx, Vectorize(ctx));
+  ASSERT_GT(full.size(), 0u);
+  for (size_t row = 0; row < full.size(); row += 37) {
+    const std::vector<float> direct =
+        EncodeAssignment(ctx, full.assignment(row));
+    for (size_t c = 0; c < schema_.width(); ++c) {
+      ASSERT_NEAR(full.features(row)[c], direct[c], 1e-3)
+          << "row " << row << " cell " << c << " ("
+          << schema_.FeatureNames()[c] << ")";
+    }
+  }
+}
+
+TEST_F(OperationsTest, MergedRowEqualsDirectEncodingWithLoops) {
+  LogicalPlan plan = MakeKmeansPlan(10.0, 5, 20);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const PlanVectorEnumeration full = Enumerate(ctx, Vectorize(ctx));
+  ASSERT_GT(full.size(), 0u);
+  for (size_t row = 0; row < full.size(); row += 11) {
+    const std::vector<float> direct =
+        EncodeAssignment(ctx, full.assignment(row));
+    for (size_t c = 0; c < schema_.width(); ++c) {
+      const float merged = full.features(row)[c];
+      const float expected = direct[c];
+      const float tolerance =
+          std::max(1.0f, std::abs(expected)) * 1e-5f;
+      ASSERT_NEAR(merged, expected, tolerance)
+          << "row " << row << " cell " << c << " ("
+          << schema_.FeatureNames()[c] << ")";
+    }
+  }
+}
+
+TEST_F(OperationsTest, UnvectorizeRoundTripsAssignments) {
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const PlanVectorEnumeration full = Enumerate(ctx, Vectorize(ctx));
+  for (size_t row = 0; row < full.size(); row += 13) {
+    const ExecutionPlan exec = Unvectorize(ctx, full, row);
+    ASSERT_TRUE(exec.Validate().ok());
+    for (const LogicalOperator& op : plan.operators()) {
+      EXPECT_EQ(exec.alt_index(op.id), full.assignment(row)[op.id] - 1);
+    }
+  }
+}
+
+TEST_F(OperationsTest, MergeIsCommutative) {
+  LogicalPlan plan = MakeSyntheticPipeline(4, 1e5, 9);
+  const EnumerationContext ctx = MakeCtx(plan);
+  AbstractPlanVector a;
+  a.ops = {0, 1};
+  AbstractPlanVector b;
+  b.ops = {2, 3};
+  const PlanVectorEnumeration va = Enumerate(ctx, a);
+  const PlanVectorEnumeration vb = Enumerate(ctx, b);
+  const PlanVectorEnumeration ab = Concat(ctx, va, vb);
+  const PlanVectorEnumeration ba = Concat(ctx, vb, va);
+  ASSERT_EQ(ab.size(), ba.size());
+  // Compare as sets keyed by assignment.
+  auto key = [&](const PlanVectorEnumeration& v, size_t row) {
+    return std::string(reinterpret_cast<const char*>(v.assignment(row)),
+                       v.num_ops());
+  };
+  std::map<std::string, const float*> ab_rows;
+  for (size_t i = 0; i < ab.size(); ++i) ab_rows[key(ab, i)] = ab.features(i);
+  for (size_t i = 0; i < ba.size(); ++i) {
+    auto it = ab_rows.find(key(ba, i));
+    ASSERT_NE(it, ab_rows.end());
+    for (size_t c = 0; c < schema_.width(); ++c) {
+      EXPECT_FLOAT_EQ(ba.features(i)[c], it->second[c]);
+    }
+  }
+}
+
+TEST_F(OperationsTest, TupleSizeCellTakesMax) {
+  LogicalPlan plan = MakeWordCountPlan(0.1);  // Source 80B, words 12B.
+  const EnumerationContext ctx = MakeCtx(plan);
+  const PlanVectorEnumeration full = Enumerate(ctx, Vectorize(ctx));
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_FLOAT_EQ(full.features(i)[schema_.TupleSizeCell()], 80.0f);
+  }
+}
+
+TEST_F(OperationsTest, LoopCardinalityFeaturesScaleWithIterations) {
+  LogicalPlan few = MakeKmeansPlan(10.0, 5, 2);
+  LogicalPlan many = MakeKmeansPlan(10.0, 5, 200);
+  const EnumerationContext ctx_few = MakeCtx(few);
+  const EnumerationContext ctx_many = MakeCtx(many);
+  const std::vector<float> f_few =
+      Vectorize(ctx_few).features;
+  const std::vector<float> f_many = Vectorize(ctx_many).features;
+  const size_t cell = schema_.OpInCardCell(LogicalOpKind::kMap);
+  EXPECT_NEAR(f_many[cell] / f_few[cell], 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace robopt

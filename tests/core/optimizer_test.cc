@@ -1,0 +1,115 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/virtual_cost.h"
+#include "plan/cardinality.h"
+#include "test_oracles.h"
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest()
+      : registry_(PlatformRegistry::Default(3)),
+        schema_(&registry_),
+        oracle_(schema_, 5),
+        optimizer_(&registry_, &schema_, &oracle_) {}
+
+  PlatformRegistry registry_;
+  FeatureSchema schema_;
+  LinearFeatureOracle oracle_;
+  RoboptOptimizer optimizer_;
+};
+
+TEST_F(OptimizerTest, ProducesValidExecutionPlan) {
+  LogicalPlan plan = MakeWordCountPlan(1.0);
+  auto result = optimizer_.Optimize(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->plan.Validate().ok());
+  EXPECT_GT(result->latency_ms, 0.0);
+  EXPECT_GT(result->stats.vectors_created, 0u);
+}
+
+TEST_F(OptimizerTest, SinglePlatformModeUsesExactlyOnePlatform) {
+  LogicalPlan plan = MakeWordCountPlan(1.0);
+  OptimizeOptions options;
+  options.single_platform = true;
+  auto result = optimizer_.Optimize(plan, nullptr, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->plan.Validate().ok());
+  EXPECT_EQ(result->plan.PlatformsUsed().size(), 1u);
+  EXPECT_EQ(result->plan.PlatformsUsed()[0], result->chosen_platform);
+}
+
+TEST_F(OptimizerTest, SinglePlatformModeSkipsIncapablePlatforms) {
+  // K-means needs loops, which Postgres cannot run; the search must still
+  // succeed on the engines.
+  PlatformRegistry registry = PlatformRegistry::Default(4);
+  FeatureSchema schema(&registry);
+  LinearFeatureOracle oracle(schema, 6);
+  RoboptOptimizer optimizer(&registry, &schema, &oracle);
+  LogicalPlan plan = MakeKmeansPlan(10, 5, 3);
+  OptimizeOptions options;
+  options.single_platform = true;
+  auto result = optimizer.Optimize(plan, nullptr, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(registry.platform(result->chosen_platform).name, "Postgres");
+}
+
+TEST_F(OptimizerTest, PlatformMaskRestrictsResult) {
+  LogicalPlan plan = MakeWordCountPlan(1.0);
+  OptimizeOptions options;
+  options.allowed_platform_mask = 0b100;  // Flink only.
+  auto result = optimizer_.Optimize(plan, nullptr, options);
+  ASSERT_TRUE(result.ok());
+  const auto used = result->plan.PlatformsUsed();
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_EQ(registry_.platform(used[0]).name, "Flink");
+}
+
+TEST_F(OptimizerTest, InjectedCardinalitiesChangeFeatures) {
+  LogicalPlan plan = MakeWordCountPlan(1.0);
+  CardinalityEstimator estimator(&plan);
+  estimator.InjectOutputCardinality(1, 1.0);  // Tokenize emits ~nothing.
+  const Cardinalities injected = estimator.Estimate();
+  auto with_injection = optimizer_.Optimize(plan, &injected);
+  ASSERT_TRUE(with_injection.ok());
+  EXPECT_TRUE(with_injection->plan.Validate().ok());
+}
+
+TEST_F(OptimizerTest, OptimizeIsDeterministic) {
+  LogicalPlan plan = MakeTpchQ3Plan(1.0);
+  auto a = optimizer_.Optimize(plan);
+  auto b = optimizer_.Optimize(plan);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FLOAT_EQ(a->predicted_runtime_s, b->predicted_runtime_s);
+  for (const LogicalOperator& op : plan.operators()) {
+    EXPECT_EQ(a->plan.alt_index(op.id), b->plan.alt_index(op.id));
+  }
+}
+
+TEST_F(OptimizerTest, InvalidPlanIsRejected) {
+  LogicalPlan broken;
+  broken.Add(LogicalOpKind::kMap, "floating");
+  auto result = optimizer_.Optimize(broken);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(OptimizerTest, MultiPlatformBeatsOrMatchesSinglePlatform) {
+  // The unconstrained optimum can only be at least as good (w.r.t. the
+  // oracle) as the best single-platform plan.
+  LogicalPlan plan = MakeKmeansPlan(100, 10, 20);
+  auto multi = optimizer_.Optimize(plan);
+  OptimizeOptions options;
+  options.single_platform = true;
+  auto single = optimizer_.Optimize(plan, nullptr, options);
+  ASSERT_TRUE(multi.ok() && single.ok());
+  EXPECT_LE(multi->predicted_runtime_s,
+            single->predicted_runtime_s * 1.0001f);
+}
+
+}  // namespace
+}  // namespace robopt

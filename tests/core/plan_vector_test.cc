@@ -1,0 +1,76 @@
+#include "core/plan_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace robopt {
+namespace {
+
+TEST(PlanVectorEnumerationTest, AppendZeroGrowsPools) {
+  PlanVectorEnumeration v(4, 3);
+  EXPECT_EQ(v.size(), 0u);
+  const size_t row = v.AppendZero();
+  EXPECT_EQ(row, 0u);
+  EXPECT_EQ(v.size(), 1u);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(v.features(0)[c], 0.0f);
+  }
+  for (size_t o = 0; o < 3; ++o) {
+    EXPECT_EQ(v.assignment(0)[o], 0);
+  }
+  EXPECT_EQ(v.switches(0), 0);
+}
+
+TEST(PlanVectorEnumerationTest, RowsAreContiguous) {
+  PlanVectorEnumeration v(5, 2);
+  v.AppendZero();
+  v.AppendZero();
+  v.AppendZero();
+  EXPECT_EQ(v.features(1), v.features(0) + 5);
+  EXPECT_EQ(v.features(2), v.features(0) + 10);
+  EXPECT_EQ(v.feature_pool().size(), 15u);
+}
+
+TEST(PlanVectorEnumerationTest, AppendCopyCopiesEverything) {
+  PlanVectorEnumeration a(3, 2);
+  const size_t row = a.AppendZero();
+  a.features(row)[1] = 7.5f;
+  a.assignment(row)[0] = 2;
+  a.set_switches(row, 4);
+
+  PlanVectorEnumeration b(3, 2);
+  const size_t copied = b.AppendCopy(a, row);
+  EXPECT_FLOAT_EQ(b.features(copied)[1], 7.5f);
+  EXPECT_EQ(b.assignment(copied)[0], 2);
+  EXPECT_EQ(b.switches(copied), 4);
+}
+
+TEST(PlanVectorEnumerationTest, ClearKeepsScopeDropsRows) {
+  PlanVectorEnumeration v(3, 2);
+  v.mutable_scope().set(1);
+  v.set_boundary({1});
+  v.AppendZero();
+  v.AppendZero();
+  v.Clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.scope().test(1));
+  EXPECT_EQ(v.boundary().size(), 1u);
+}
+
+TEST(PlanVectorEnumerationTest, ScopeAndBoundaryAccessors) {
+  PlanVectorEnumeration v(2, 4);
+  v.mutable_scope().set(0);
+  v.mutable_scope().set(3);
+  EXPECT_EQ(v.scope().count(), 2u);
+  v.set_boundary({0, 3});
+  EXPECT_EQ(v.boundary(), (std::vector<OperatorId>{0, 3}));
+}
+
+TEST(PlanVectorEnumerationTest, SwitchCounterRoundTrips) {
+  PlanVectorEnumeration v(2, 2);
+  const size_t row = v.AppendZero();
+  v.set_switches(row, 999);
+  EXPECT_EQ(v.switches(row), 999);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,197 @@
+#include "core/priority_enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "test_oracles.h"
+#include "workloads/queries.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+class PriorityEnumerationTest : public ::testing::Test {
+ protected:
+  PriorityEnumerationTest()
+      : registry_(PlatformRegistry::Synthetic(3)),
+        schema_(&registry_),
+        oracle_(schema_, 99) {}
+
+  EnumerationContext MakeCtx(const LogicalPlan& plan) {
+    auto ctx = EnumerationContext::Make(&plan, &registry_, &schema_);
+    EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
+    return std::move(ctx).value();
+  }
+
+  /// Brute-force optimum over the complete search space.
+  float BruteForceMin(const EnumerationContext& ctx) {
+    const PlanVectorEnumeration all = Enumerate(ctx, Vectorize(ctx));
+    std::vector<float> costs(all.size());
+    oracle_.EstimateBatch(all.feature_pool().data(), all.size(), all.width(),
+                          costs.data());
+    float best = std::numeric_limits<float>::infinity();
+    for (float c : costs) best = std::min(best, c);
+    return best;
+  }
+
+  PlatformRegistry registry_;
+  FeatureSchema schema_;
+  LinearFeatureOracle oracle_;
+};
+
+TEST_F(PriorityEnumerationTest, FindsBruteForceOptimumOnPipeline) {
+  LogicalPlan plan = MakeSyntheticPipeline(6, 1e5, 21);
+  const EnumerationContext ctx = MakeCtx(plan);
+  PriorityEnumerator enumerator(&ctx, &oracle_);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->predicted_runtime_s, BruteForceMin(ctx),
+              std::abs(BruteForceMin(ctx)) * 1e-5);
+  EXPECT_TRUE(result->plan.Validate().ok());
+}
+
+TEST_F(PriorityEnumerationTest, FindsBruteForceOptimumOnJoinTree) {
+  LogicalPlan plan = MakeSyntheticJoinTree(2, 1e5, 22);
+  const EnumerationContext ctx = MakeCtx(plan);
+  PriorityEnumerator enumerator(&ctx, &oracle_);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->predicted_runtime_s, BruteForceMin(ctx),
+              std::abs(BruteForceMin(ctx)) * 1e-5);
+}
+
+TEST_F(PriorityEnumerationTest, FindsBruteForceOptimumOnLoopPlan) {
+  LogicalPlan plan = MakeSyntheticLoopPlan(9, 1e5, 10, 23);
+  const EnumerationContext ctx = MakeCtx(plan);
+  PriorityEnumerator enumerator(&ctx, &oracle_);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->predicted_runtime_s, BruteForceMin(ctx),
+              std::abs(BruteForceMin(ctx)) * 1e-5);
+}
+
+TEST_F(PriorityEnumerationTest, AllPriorityModesFindTheSameOptimum) {
+  LogicalPlan plan = MakeSyntheticJoinTree(3, 1e5, 24);
+  const EnumerationContext ctx = MakeCtx(plan);
+  std::vector<float> minima;
+  for (PriorityMode mode : {PriorityMode::kPaper, PriorityMode::kTopDown,
+                            PriorityMode::kBottomUp}) {
+    EnumeratorOptions options;
+    options.priority = mode;
+    PriorityEnumerator enumerator(&ctx, &oracle_, options);
+    auto result = enumerator.Run();
+    ASSERT_TRUE(result.ok());
+    minima.push_back(result->predicted_runtime_s);
+  }
+  EXPECT_FLOAT_EQ(minima[0], minima[1]);
+  EXPECT_FLOAT_EQ(minima[0], minima[2]);
+}
+
+TEST_F(PriorityEnumerationTest, ExhaustiveMatchesPrunedResult) {
+  LogicalPlan plan = MakeSyntheticPipeline(5, 1e5, 25);
+  const EnumerationContext ctx = MakeCtx(plan);
+  EnumeratorOptions exhaustive;
+  exhaustive.prune = PruneMode::kNone;
+  PriorityEnumerator a(&ctx, &oracle_, exhaustive);
+  PriorityEnumerator b(&ctx, &oracle_);
+  auto ra = a.Run();
+  auto rb = b.Run();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_FLOAT_EQ(ra->predicted_runtime_s, rb->predicted_runtime_s);
+  // Exhaustive creates exponentially more vectors.
+  EXPECT_GT(ra->stats.vectors_created, rb->stats.vectors_created);
+}
+
+TEST_F(PriorityEnumerationTest, PruningKeepsVectorCountQuadratic) {
+  // Table I's structure: with pruning the count grows ~linearly in ops and
+  // ~cubically in platforms; without, it explodes.
+  for (int k : {2, 3}) {
+    PlatformRegistry registry = PlatformRegistry::Synthetic(k);
+    FeatureSchema schema(&registry);
+    LinearFeatureOracle oracle(schema, 1);
+    LogicalPlan plan = MakeSyntheticPipeline(20, 1e5, 26);
+    auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+    ASSERT_TRUE(ctx.ok());
+    PriorityEnumerator enumerator(&ctx.value(), &oracle);
+    auto result = enumerator.Run();
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->stats.vectors_created,
+              static_cast<size_t>(20 * k * k * k + 20 * k));
+    EXPECT_LE(result->stats.final_vectors, static_cast<size_t>(k * k));
+  }
+}
+
+TEST_F(PriorityEnumerationTest, ExhaustiveRespectsMaxVectors) {
+  LogicalPlan plan = MakeSyntheticPipeline(20, 1e5, 27);
+  const EnumerationContext ctx = MakeCtx(plan);
+  EnumeratorOptions options;
+  options.prune = PruneMode::kNone;
+  options.max_vectors = 10000;
+  PriorityEnumerator enumerator(&ctx, &oracle_, options);
+  auto result = enumerator.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(PriorityEnumerationTest, SwitchCapModeBoundsSwitches) {
+  LogicalPlan plan = MakeSyntheticPipeline(8, 1e5, 28);
+  const EnumerationContext ctx = MakeCtx(plan);
+  EnumeratorOptions options;
+  options.prune = PruneMode::kSwitchCap;
+  options.beta = 2;
+  PriorityEnumerator enumerator(&ctx, &oracle_, options);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < result->final_enumeration.size(); ++i) {
+    EXPECT_LE(result->final_enumeration.switches(i), 2);
+  }
+  EXPECT_GT(result->final_enumeration.size(), 3u);
+}
+
+TEST_F(PriorityEnumerationTest, MaxRowsCapSubsamples) {
+  LogicalPlan plan = MakeSyntheticPipeline(8, 1e5, 29);
+  const EnumerationContext ctx = MakeCtx(plan);
+  EnumeratorOptions options;
+  options.prune = PruneMode::kSwitchCap;
+  options.beta = 3;
+  options.max_rows_per_enumeration = 16;
+  PriorityEnumerator enumerator(&ctx, &oracle_, options);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->final_enumeration.size(), 16u);
+  EXPECT_GT(result->final_enumeration.size(), 0u);
+}
+
+TEST_F(PriorityEnumerationTest, StatsCountOracleTraffic) {
+  LogicalPlan plan = MakeSyntheticPipeline(6, 1e5, 30);
+  const EnumerationContext ctx = MakeCtx(plan);
+  PriorityEnumerator enumerator(&ctx, &oracle_);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.oracle_rows, 0u);
+  EXPECT_GT(result->stats.oracle_batches, 0u);
+  EXPECT_GT(result->stats.concat_steps, 0u);
+  EXPECT_GT(result->stats.vectors_pruned, 0u);
+}
+
+TEST_F(PriorityEnumerationTest, ResultPlanMatchesPredictedCost) {
+  LogicalPlan plan = MakeSyntheticJoinTree(2, 1e5, 31);
+  const EnumerationContext ctx = MakeCtx(plan);
+  PriorityEnumerator enumerator(&ctx, &oracle_);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok());
+  // Re-encode the returned plan and check the oracle agrees.
+  std::vector<uint8_t> assignment(plan.num_operators(), 0);
+  for (const LogicalOperator& op : plan.operators()) {
+    assignment[op.id] =
+        static_cast<uint8_t>(result->plan.alt_index(op.id) + 1);
+  }
+  const std::vector<float> features =
+      EncodeAssignment(ctx, assignment.data());
+  EXPECT_NEAR(oracle_.CostOf(features), result->predicted_runtime_s,
+              std::abs(result->predicted_runtime_s) * 1e-4);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/operations.h"
+#include "test_oracles.h"
+#include "workloads/queries.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+class PruningTest : public ::testing::Test {
+ protected:
+  PruningTest()
+      : registry_(PlatformRegistry::Synthetic(3)), schema_(&registry_) {}
+
+  EnumerationContext MakeCtx(const LogicalPlan& plan) {
+    auto ctx = EnumerationContext::Make(&plan, &registry_, &schema_);
+    EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
+    return std::move(ctx).value();
+  }
+
+  PlatformRegistry registry_;
+  FeatureSchema schema_;
+};
+
+TEST_F(PruningTest, KeepsOneRowPerFootprint) {
+  LogicalPlan plan = MakeSyntheticPipeline(4, 1e5, 1);
+  const EnumerationContext ctx = MakeCtx(plan);
+  // Enumerate the middle two operators: boundary = both of them.
+  AbstractPlanVector middle;
+  middle.ops = {1, 2};
+  const PlanVectorEnumeration v = Enumerate(ctx, middle);
+  ASSERT_EQ(v.size(), 9u);  // 3 x 3 platforms.
+  LinearFeatureOracle oracle(schema_, 42);
+  PruneStats stats;
+  const PlanVectorEnumeration pruned = PruneBoundary(ctx, v, oracle, &stats);
+  // Both operators are boundary: all 9 footprints distinct, nothing pruned.
+  EXPECT_EQ(pruned.size(), 9u);
+  EXPECT_EQ(stats.rows_in, 9u);
+  EXPECT_EQ(stats.rows_out, 9u);
+}
+
+TEST_F(PruningTest, PrunesInteriorAlternatives) {
+  LogicalPlan plan = MakeSyntheticPipeline(5, 1e5, 2);
+  const EnumerationContext ctx = MakeCtx(plan);
+  AbstractPlanVector middle;
+  middle.ops = {1, 2, 3};  // Boundary = {1, 3}; operator 2 is interior.
+  const PlanVectorEnumeration v = Enumerate(ctx, middle);
+  ASSERT_EQ(v.size(), 27u);
+  LinearFeatureOracle oracle(schema_, 42);
+  const PlanVectorEnumeration pruned = PruneBoundary(ctx, v, oracle);
+  // 9 boundary footprints survive; interior choices collapse.
+  EXPECT_EQ(pruned.size(), 9u);
+}
+
+TEST_F(PruningTest, PruningIsLosslessAgainstAdditiveOracle) {
+  // Brute-force the full search space; pruned enumeration must contain a
+  // row achieving the global minimum cost (Definition 2's guarantee).
+  LogicalPlan plan = MakeSyntheticPipeline(6, 1e5, 3);
+  const EnumerationContext ctx = MakeCtx(plan);
+  LinearFeatureOracle oracle(schema_, 7);
+
+  const PlanVectorEnumeration all = Enumerate(ctx, Vectorize(ctx));
+  float brute_min = std::numeric_limits<float>::infinity();
+  std::vector<float> costs(all.size());
+  oracle.EstimateBatch(all.feature_pool().data(), all.size(), all.width(),
+                       costs.data());
+  for (float c : costs) brute_min = std::min(brute_min, c);
+
+  // Pruned pipeline enumeration: fold singletons left to right with
+  // pruning after every concat (as Algorithm 1 does).
+  PlanVectorEnumeration acc(schema_.width(), plan.num_operators());
+  bool first = true;
+  for (int op = 0; op < plan.num_operators(); ++op) {
+    AbstractPlanVector single;
+    single.ops = {static_cast<OperatorId>(op)};
+    PlanVectorEnumeration sv = Enumerate(ctx, single);
+    if (first) {
+      acc = std::move(sv);
+      first = false;
+    } else {
+      acc = PruneBoundary(ctx, Concat(ctx, acc, sv), oracle);
+    }
+  }
+  float pruned_min = 0;
+  ArgMinCost(ctx, acc, oracle, &pruned_min);
+  EXPECT_NEAR(pruned_min, brute_min, std::abs(brute_min) * 1e-5);
+}
+
+TEST_F(PruningTest, Lemma1QuadraticBound) {
+  // Lemma 1: a pipeline of n operators over k platforms keeps at most k^2
+  // vectors per enumeration step after boundary pruning.
+  for (int k = 2; k <= 4; ++k) {
+    PlatformRegistry registry = PlatformRegistry::Synthetic(k);
+    FeatureSchema schema(&registry);
+    for (int n : {5, 10, 20}) {
+      LogicalPlan plan = MakeSyntheticPipeline(n, 1e5, n);
+      auto ctx =
+          EnumerationContext::Make(&plan, &registry, &schema);
+      ASSERT_TRUE(ctx.ok());
+      LinearFeatureOracle oracle(schema, 11);
+      PlanVectorEnumeration acc(schema.width(), plan.num_operators());
+      bool first = true;
+      size_t total_created = 0;
+      for (int op = 0; op < plan.num_operators(); ++op) {
+        AbstractPlanVector single;
+        single.ops = {static_cast<OperatorId>(op)};
+        PlanVectorEnumeration sv = Enumerate(*ctx, single);
+        if (first) {
+          acc = std::move(sv);
+          first = false;
+          continue;
+        }
+        PlanVectorEnumeration merged = Concat(*ctx, acc, sv);
+        total_created += merged.size();
+        acc = PruneBoundary(*ctx, merged, oracle);
+        EXPECT_LE(acc.size(), static_cast<size_t>(k * k))
+            << "n=" << n << " k=" << k;
+      }
+      // Total vectors materialized is O(n * k^3): each of the n-1 steps
+      // concatenates at most k^2 survivors with k singleton rows.
+      EXPECT_LE(total_created, static_cast<size_t>(n * k * k * k));
+    }
+  }
+}
+
+TEST_F(PruningTest, SwitchCapDropsHighSwitchRows) {
+  LogicalPlan plan = MakeSyntheticPipeline(6, 1e5, 5);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const PlanVectorEnumeration all = Enumerate(ctx, Vectorize(ctx));
+  PruneStats stats;
+  const PlanVectorEnumeration capped = PruneSwitchCap(ctx, all, 1, &stats);
+  EXPECT_LT(capped.size(), all.size());
+  for (size_t i = 0; i < capped.size(); ++i) {
+    EXPECT_LE(capped.switches(i), 1);
+  }
+  // beta = max possible switches keeps everything.
+  const PlanVectorEnumeration loose = PruneSwitchCap(ctx, all, 100);
+  EXPECT_EQ(loose.size(), all.size());
+}
+
+TEST_F(PruningTest, SwitchCapZeroKeepsSinglePlatformPlansOnly) {
+  LogicalPlan plan = MakeSyntheticPipeline(5, 1e5, 6);
+  const EnumerationContext ctx = MakeCtx(plan);
+  const PlanVectorEnumeration all = Enumerate(ctx, Vectorize(ctx));
+  const PlanVectorEnumeration capped = PruneSwitchCap(ctx, all, 0);
+  EXPECT_EQ(capped.size(), 3u);  // One per platform.
+}
+
+TEST_F(PruningTest, PruneKeepsCheapestOfEachGroup) {
+  LogicalPlan plan = MakeSyntheticPipeline(5, 1e5, 7);
+  const EnumerationContext ctx = MakeCtx(plan);
+  AbstractPlanVector middle;
+  middle.ops = {1, 2, 3};
+  const PlanVectorEnumeration v = Enumerate(ctx, middle);
+  LinearFeatureOracle oracle(schema_, 13);
+  const PlanVectorEnumeration pruned = PruneBoundary(ctx, v, oracle);
+
+  // For every surviving row, no same-footprint row in the original is
+  // cheaper.
+  std::vector<float> all_costs(v.size());
+  oracle.EstimateBatch(v.feature_pool().data(), v.size(), v.width(),
+                       all_costs.data());
+  std::vector<float> kept_costs(pruned.size());
+  oracle.EstimateBatch(pruned.feature_pool().data(), pruned.size(),
+                       pruned.width(), kept_costs.data());
+  const auto& boundary = v.boundary();
+  auto footprint = [&](const PlanVectorEnumeration& e, size_t row) {
+    std::string key;
+    for (OperatorId b : boundary) {
+      key.push_back(
+          static_cast<char>(ctx.PlatformOfAssignment(e.assignment(row), b)));
+    }
+    return key;
+  };
+  for (size_t kept = 0; kept < pruned.size(); ++kept) {
+    const std::string key = footprint(pruned, kept);
+    for (size_t row = 0; row < v.size(); ++row) {
+      if (footprint(v, row) == key) {
+        EXPECT_GE(all_costs[row], kept_costs[kept] - 1e-3);
+      }
+    }
+  }
+}
+
+TEST_F(PruningTest, SingleRowEnumerationPassesThrough) {
+  LogicalPlan plan = MakeSyntheticPipeline(3, 1e5, 8);
+  auto single_platform_registry = PlatformRegistry::Synthetic(1);
+  FeatureSchema schema(&single_platform_registry);
+  auto ctx = EnumerationContext::Make(&plan, &single_platform_registry,
+                                      &schema);
+  ASSERT_TRUE(ctx.ok());
+  const PlanVectorEnumeration all = Enumerate(*ctx, Vectorize(*ctx));
+  ASSERT_EQ(all.size(), 1u);
+  LinearFeatureOracle oracle(schema, 1);
+  const PlanVectorEnumeration pruned = PruneBoundary(*ctx, all, oracle);
+  EXPECT_EQ(pruned.size(), 1u);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,8 @@
+#ifndef ROBOPT_TESTS_CORE_TEST_ORACLES_H_
+#define ROBOPT_TESTS_CORE_TEST_ORACLES_H_
+
+// Test shim: the deterministic additive oracle now lives in the library
+// proper (benches use it too).
+#include "core/linear_oracle.h"
+
+#endif  // ROBOPT_TESTS_CORE_TEST_ORACLES_H_

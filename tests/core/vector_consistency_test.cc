@@ -1,0 +1,135 @@
+// Property tests over many random plans: the incremental vector algebra
+// must agree with direct encoding, and the pruned priority enumeration must
+// find the brute-force optimum (losslessness), across shapes, sizes, seeds
+// and platform counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "core/linear_oracle.h"
+#include "core/priority_enumeration.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+enum class Shape { kPipeline, kJoinTree, kLoop };
+
+LogicalPlan MakeShape(Shape shape, int size, uint64_t seed) {
+  switch (shape) {
+    case Shape::kPipeline:
+      return MakeSyntheticPipeline(std::max(3, size), 1e6, seed);
+    case Shape::kJoinTree:
+      return MakeSyntheticJoinTree(std::max(1, size / 4), 1e6, seed);
+    case Shape::kLoop:
+      return MakeSyntheticLoopPlan(std::max(9, size), 1e6, 15, seed);
+  }
+  return LogicalPlan();
+}
+
+class VectorConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<Shape, int, uint64_t>> {};
+
+TEST_P(VectorConsistencyTest, MergedFeaturesEqualDirectEncoding) {
+  const auto [shape, num_platforms, seed] = GetParam();
+  PlatformRegistry registry = PlatformRegistry::Synthetic(num_platforms);
+  FeatureSchema schema(&registry);
+  LogicalPlan plan = MakeShape(shape, 8, seed);
+  auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+
+  const PlanVectorEnumeration all = Enumerate(*ctx, Vectorize(*ctx));
+  ASSERT_GT(all.size(), 0u);
+  const size_t step = std::max<size_t>(1, all.size() / 16);
+  for (size_t row = 0; row < all.size(); row += step) {
+    const std::vector<float> direct =
+        EncodeAssignment(*ctx, all.assignment(row));
+    for (size_t cell = 0; cell < schema.width(); ++cell) {
+      const float expected = direct[cell];
+      const float tolerance = std::max(1.0f, std::abs(expected)) * 1e-5f;
+      ASSERT_NEAR(all.features(row)[cell], expected, tolerance)
+          << "row " << row << " cell " << schema.FeatureNames()[cell];
+    }
+  }
+}
+
+TEST_P(VectorConsistencyTest, PrunedEnumerationIsLossless) {
+  const auto [shape, num_platforms, seed] = GetParam();
+  PlatformRegistry registry = PlatformRegistry::Synthetic(num_platforms);
+  FeatureSchema schema(&registry);
+  LogicalPlan plan = MakeShape(shape, 7, seed);
+  if (std::pow(num_platforms, plan.num_operators()) > 200000) {
+    GTEST_SKIP() << "brute force too large";
+  }
+  auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+  ASSERT_TRUE(ctx.ok());
+  LinearFeatureOracle oracle(schema, seed * 31 + 7);
+
+  const PlanVectorEnumeration all = Enumerate(*ctx, Vectorize(*ctx));
+  std::vector<float> costs(all.size());
+  oracle.EstimateBatch(all.feature_pool().data(), all.size(), all.width(),
+                       costs.data());
+  float brute = std::numeric_limits<float>::infinity();
+  for (float c : costs) brute = std::min(brute, c);
+
+  PriorityEnumerator enumerator(&ctx.value(), &oracle);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->predicted_runtime_s, brute, std::abs(brute) * 1e-5);
+}
+
+std::string ShapeParamName(
+    const ::testing::TestParamInfo<std::tuple<Shape, int, uint64_t>>& info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case Shape::kPipeline: name = "Pipeline"; break;
+    case Shape::kJoinTree: name = "JoinTree"; break;
+    case Shape::kLoop: name = "Loop"; break;
+  }
+  return name + "_k" + std::to_string(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, VectorConsistencyTest,
+    ::testing::Combine(::testing::Values(Shape::kPipeline, Shape::kJoinTree,
+                                         Shape::kLoop),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    ShapeParamName);
+
+class DefaultRegistryConsistencyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DefaultRegistryConsistencyTest, LosslessWithVariantsAndConversions) {
+  // The default registry has heterogeneous capabilities (Java-only
+  // collection sources, Spark sampler variants) — pruning must stay
+  // lossless there too.
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  FeatureSchema schema(&registry);
+  LogicalPlan plan = MakeSyntheticLoopPlan(9, 1e6, 10, GetParam());
+  auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+  ASSERT_TRUE(ctx.ok());
+  LinearFeatureOracle oracle(schema, GetParam() + 100);
+
+  const PlanVectorEnumeration all = Enumerate(*ctx, Vectorize(*ctx));
+  std::vector<float> costs(all.size());
+  oracle.EstimateBatch(all.feature_pool().data(), all.size(), all.width(),
+                       costs.data());
+  float brute = std::numeric_limits<float>::infinity();
+  for (float c : costs) brute = std::min(brute, c);
+
+  PriorityEnumerator enumerator(&ctx.value(), &oracle);
+  auto result = enumerator.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->predicted_runtime_s, brute, std::abs(brute) * 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefaultRegistryConsistencyTest,
+                         ::testing::Range(uint64_t{10}, uint64_t{18}));
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,150 @@
+// Failure-injection tests for the executor: malformed plans, missing
+// kernels, unsupported constructs.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "workloads/datagen.h"
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+class ExecutorErrorsTest : public ::testing::Test {
+ protected:
+  ExecutorErrorsTest()
+      : registry_(PlatformRegistry::Default(2)),
+        cost_(&registry_),
+        executor_(&registry_, &cost_) {
+    RegisterWorkloadKernels();
+  }
+
+  ExecutionPlan AllOnJava(const LogicalPlan& plan) {
+    ExecutionPlan exec(&plan, &registry_);
+    for (const LogicalOperator& op : plan.operators()) {
+      const auto& alts = registry_.AlternativesFor(op.kind);
+      for (size_t a = 0; a < alts.size(); ++a) {
+        if (alts[a].platform == 0 && alts[a].variant == 0) {
+          exec.Assign(op.id, static_cast<int>(a));
+        }
+      }
+    }
+    return exec;
+  }
+
+  PlatformRegistry registry_;
+  VirtualCost cost_;
+  Executor executor_;
+};
+
+TEST_F(ExecutorErrorsTest, UnknownNamedKernelFails) {
+  LogicalPlan plan;
+  LogicalOperator src;
+  src.kind = LogicalOpKind::kTextFileSource;
+  src.source_cardinality = 10;
+  const OperatorId s = plan.Add(std::move(src));
+  LogicalOperator map;
+  map.kind = LogicalOpKind::kMap;
+  map.name = "mystery";
+  map.kernel = "no_such_kernel";
+  const OperatorId m = plan.Add(std::move(map));
+  plan.Connect(s, m);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(m, sink);
+
+  DataCatalog catalog;
+  catalog.Bind(s, GenerateTextLines(10, 10, 1));
+  auto result = executor_.Execute(AllOnJava(plan), catalog);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorErrorsTest, NestedLoopsAreRejected) {
+  LogicalPlan plan;
+  LogicalOperator init;
+  init.kind = LogicalOpKind::kCollectionSource;
+  init.source_cardinality = 5;
+  const OperatorId i = plan.Add(std::move(init));
+  LogicalOperator outer;
+  outer.kind = LogicalOpKind::kLoopBegin;
+  outer.loop_iterations = 2;
+  const OperatorId ob = plan.Add(std::move(outer));
+  plan.Connect(i, ob);
+  LogicalOperator inner;
+  inner.kind = LogicalOpKind::kLoopBegin;
+  inner.loop_iterations = 2;
+  const OperatorId ib = plan.Add(std::move(inner));
+  plan.Connect(ob, ib);
+  const OperatorId body = plan.Add(LogicalOpKind::kMap, "body");
+  plan.Connect(ib, body);
+  LogicalOperator inner_end;
+  inner_end.kind = LogicalOpKind::kLoopEnd;
+  inner_end.loop_begin = ib;
+  const OperatorId ie = plan.Add(std::move(inner_end));
+  plan.Connect(body, ie);
+  LogicalOperator outer_end;
+  outer_end.kind = LogicalOpKind::kLoopEnd;
+  outer_end.loop_begin = ob;
+  const OperatorId oe = plan.Add(std::move(outer_end));
+  plan.Connect(ie, oe);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(oe, sink);
+  ASSERT_TRUE(plan.Validate().ok());
+
+  DataCatalog catalog;
+  catalog.Bind(i, MakeCentroids(5, 2, 1));
+  auto result = executor_.Execute(AllOnJava(plan), catalog);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ExecutorErrorsTest, InvalidLogicalPlanIsRejectedBeforeRunning) {
+  LogicalPlan plan;
+  plan.Add(LogicalOpKind::kMap, "orphan");
+  ExecutionPlan exec(&plan, &registry_);
+  DataCatalog catalog;
+  auto result = executor_.Execute(exec, catalog);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ExecutorErrorsTest, CatalogCardinalityDefaultsToPhysical) {
+  LogicalPlan plan = MakeWordCountPlan(1e-6);
+  DataCatalog catalog;
+  Dataset lines = GenerateTextLines(50, 50, 2);
+  lines.virtual_cardinality = 0;  // Unset: executor falls back to physical.
+  catalog.Bind(plan.SourceIds()[0], lines);
+  auto result = executor_.Execute(AllOnJava(plan), catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->observed.output[0], 50.0);
+}
+
+TEST_F(ExecutorErrorsTest, LoopWithoutInitialInputFails) {
+  LogicalPlan plan;
+  LogicalOperator src;
+  src.kind = LogicalOpKind::kTextFileSource;
+  src.source_cardinality = 10;
+  const OperatorId s = plan.Add(std::move(src));
+  LogicalOperator begin;
+  begin.kind = LogicalOpKind::kLoopBegin;
+  begin.loop_iterations = 3;
+  const OperatorId b = plan.Add(std::move(begin));
+  plan.Connect(s, b);  // Has an input, so Validate passes...
+  const OperatorId body = plan.Add(LogicalOpKind::kMap, "body");
+  plan.Connect(b, body);
+  LogicalOperator end;
+  end.kind = LogicalOpKind::kLoopEnd;
+  end.loop_begin = b;
+  const OperatorId e = plan.Add(std::move(end));
+  plan.Connect(body, e);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(e, sink);
+  ASSERT_TRUE(plan.Validate().ok());
+  DataCatalog catalog;
+  catalog.Bind(s, GenerateTextLines(10, 10, 3));
+  // ...and execution drives the loop off the bound source.
+  auto result = executor_.Execute(AllOnJava(plan), catalog);
+  EXPECT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,193 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/datagen.h"
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+ExecutionPlan AllOn(const LogicalPlan& plan, const PlatformRegistry& registry,
+                    PlatformId platform) {
+  ExecutionPlan exec(&plan, &registry);
+  for (const LogicalOperator& op : plan.operators()) {
+    const auto& alts = registry.AlternativesFor(op.kind);
+    for (size_t a = 0; a < alts.size(); ++a) {
+      if (alts[a].platform == platform && alts[a].variant == 0) {
+        exec.Assign(op.id, static_cast<int>(a));
+        break;
+      }
+    }
+  }
+  return exec;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : registry_(PlatformRegistry::Default(3)),
+        cost_(&registry_),
+        executor_(&registry_, &cost_) {
+    RegisterWorkloadKernels();
+  }
+
+  PlatformRegistry registry_;
+  VirtualCost cost_;
+  Executor executor_;
+};
+
+TEST_F(ExecutorTest, WordCountCountsRealWords) {
+  LogicalPlan plan = MakeWordCountPlan(1e-6);  // Tiny.
+  DataCatalog catalog;
+  std::vector<Record> lines(2);
+  lines[0].text = "a b a";
+  lines[1].text = "b a c";
+  catalog.Bind(plan.SourceIds()[0], Dataset::Of(std::move(lines)));
+
+  auto result = executor_.Execute(AllOn(plan, registry_, 0), catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Three distinct words with counts 3 (a), 2 (b), 1 (c).
+  std::multiset<double> counts;
+  for (const Record& r : result->output.rows) counts.insert(r.num);
+  EXPECT_EQ(counts, (std::multiset<double>{1.0, 2.0, 3.0}));
+}
+
+TEST_F(ExecutorTest, ObservedCardinalitiesAreRecorded) {
+  LogicalPlan plan = MakeWordCountPlan(1e-6);
+  DataCatalog catalog;
+  catalog.Bind(plan.SourceIds()[0], GenerateTextLines(100, 100, 5));
+  auto result = executor_.Execute(AllOn(plan, registry_, 0), catalog);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->observed.output[0], 100.0);
+  EXPECT_GT(result->observed.output[1], 100.0);  // Tokenize fans out.
+  EXPECT_GT(result->cost.total_s, 0.0);
+}
+
+TEST_F(ExecutorTest, VirtualCardinalityScalesBeyondPhysicalSample) {
+  LogicalPlan plan = MakeWordCountPlan(1e-6);
+  DataCatalog catalog;
+  // 1e6 virtual rows, 1000 physical.
+  catalog.Bind(plan.SourceIds()[0], GenerateTextLines(1e6, 1000, 5));
+  auto result = executor_.Execute(AllOn(plan, registry_, 0), catalog);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->observed.output[0], 1e6);
+  // The tokenizer's virtual output scales with the virtual input.
+  EXPECT_GT(result->observed.output[1], 1e6);
+}
+
+TEST_F(ExecutorTest, SimulateAgreesWithExecuteOnObservedCards) {
+  LogicalPlan plan = MakeWordCountPlan(1e-6);
+  DataCatalog catalog;
+  catalog.Bind(plan.SourceIds()[0], GenerateTextLines(1000, 1000, 5));
+  const ExecutionPlan exec = AllOn(plan, registry_, 1);
+  auto result = executor_.Execute(exec, catalog);
+  ASSERT_TRUE(result.ok());
+  const CostBreakdown simulated = executor_.Simulate(exec, result->observed);
+  EXPECT_DOUBLE_EQ(simulated.total_s, result->cost.total_s);
+}
+
+TEST_F(ExecutorTest, KmeansLoopConvergesToClusterCenters) {
+  LogicalPlan plan = MakeKmeansPlan(1e-4, 3, 10);
+  DataCatalog catalog;
+  catalog.Bind(plan.SourceIds()[0],
+               GeneratePoints(300, 300, /*seed=*/11, /*dim=*/2,
+                              /*clusters=*/3));
+  // Find the centroid collection source.
+  OperatorId init = kInvalidOperatorId;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (op.kind == LogicalOpKind::kCollectionSource) init = op.id;
+  }
+  ASSERT_NE(init, kInvalidOperatorId);
+  catalog.Bind(init, MakeCentroids(3, 2, /*seed=*/12));
+
+  auto result = executor_.Execute(AllOn(plan, registry_, 0), catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Output = final centroids; they must be finite and distinct.
+  ASSERT_GE(result->output.rows.size(), 1u);
+  ASSERT_LE(result->output.rows.size(), 3u);
+  for (const Record& centroid : result->output.rows) {
+    ASSERT_EQ(centroid.vec.size(), 2u);
+    EXPECT_TRUE(std::isfinite(centroid.vec[0]));
+  }
+}
+
+TEST_F(ExecutorTest, SgdLoopReducesLoss) {
+  LogicalPlan plan = MakeSgdPlan(1e-9, /*batch=*/32, /*iterations=*/50);
+  DataCatalog catalog;
+  Dataset samples = GenerateLabeledSamples(500, 500, 21, /*dim=*/3);
+  catalog.Bind(plan.SourceIds()[0], samples);
+  OperatorId init = kInvalidOperatorId;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (op.kind == LogicalOpKind::kCollectionSource) init = op.id;
+  }
+  ASSERT_NE(init, kInvalidOperatorId);
+  catalog.Bind(init, MakeInitialWeights(3));
+
+  auto result = executor_.Execute(AllOn(plan, registry_, 0), catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->output.rows.size(), 1u);
+  const std::vector<double>& weights = result->output.rows[0].vec;
+  ASSERT_EQ(weights.size(), 3u);
+  // Loss with learned weights must beat the zero-weight baseline.
+  double loss_learned = 0.0;
+  double loss_zero = 0.0;
+  for (const Record& sample : samples.rows) {
+    double prediction = 0.0;
+    for (size_t d = 0; d < 3; ++d) prediction += weights[d] * sample.vec[d];
+    loss_learned += (prediction - sample.num) * (prediction - sample.num);
+    loss_zero += sample.num * sample.num;
+  }
+  EXPECT_LT(loss_learned, loss_zero * 0.5);
+}
+
+TEST_F(ExecutorTest, MissingSourceBindingFails) {
+  LogicalPlan plan = MakeWordCountPlan(1e-6);
+  DataCatalog empty;
+  auto result = executor_.Execute(AllOn(plan, registry_, 0), empty);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExecutorTest, UnassignedPlanFails) {
+  LogicalPlan plan = MakeWordCountPlan(1e-6);
+  ExecutionPlan exec(&plan, &registry_);
+  DataCatalog catalog;
+  catalog.Bind(plan.SourceIds()[0], GenerateTextLines(10, 10, 5));
+  auto result = executor_.Execute(exec, catalog);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ExecutorTest, OomPlanReportsInfiniteCostButStillRuns) {
+  LogicalPlan plan = MakeWordCountPlan(1000.0);  // 1 TB on Java.
+  DataCatalog catalog;
+  catalog.Bind(plan.SourceIds()[0], GenerateTextLines(1000.0 * 1e9 / 80, 500,
+                                                      5));
+  auto result = executor_.Execute(AllOn(plan, registry_, 0), catalog);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->cost.oom);
+  EXPECT_TRUE(std::isinf(result->cost.total_s));
+}
+
+TEST_F(ExecutorTest, JoinQueryProducesGroupedOutput) {
+  LogicalPlan plan = MakeJoinPlan(1e-6);
+  DataCatalog catalog;
+  const auto sources = plan.SourceIds();
+  ASSERT_EQ(sources.size(), 2u);
+  catalog.Bind(sources[0], GenerateTransactions(5000, 5000, 31, 200));
+  catalog.Bind(sources[1], GenerateCustomers(200, 200, 32));
+  auto result = executor_.Execute(AllOn(plan, registry_, 0), catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->output.rows.size(), 0u);
+  // Each output key appears once (ReduceBy grouped it).
+  std::set<int64_t> keys;
+  for (const Record& r : result->output.rows) {
+    EXPECT_TRUE(keys.insert(r.key).second);
+  }
+}
+
+}  // namespace
+}  // namespace robopt

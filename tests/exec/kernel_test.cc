@@ -1,0 +1,207 @@
+#include "exec/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace robopt {
+namespace {
+
+Dataset KeyedRows(std::vector<std::pair<int64_t, double>> rows) {
+  std::vector<Record> records;
+  for (auto [key, num] : rows) {
+    Record r;
+    r.key = key;
+    r.num = num;
+    records.push_back(std::move(r));
+  }
+  return Dataset::Of(std::move(records));
+}
+
+class KernelTest : public ::testing::Test {
+ protected:
+  StatusOr<Dataset> Run(LogicalOpKind kind, std::vector<const Dataset*> inputs,
+                        double selectivity = 1.0, double param = 0.0) {
+    op_.kind = kind;
+    op_.name = "test";
+    op_.selectivity = selectivity;
+    op_.param = param;
+    KernelContext ctx;
+    ctx.op = &op_;
+    ctx.inputs = std::move(inputs);
+    ctx.rng = &rng_;
+    return DefaultKernel(ctx);
+  }
+
+  LogicalOperator op_;
+  Rng rng_{42};
+};
+
+TEST_F(KernelTest, FilterKeepsApproximatelySelectivity) {
+  std::vector<Record> rows(10000);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i].key = i;
+  Dataset in = Dataset::Of(std::move(rows));
+  auto out = Run(LogicalOpKind::kFilter, {&in}, 0.3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(static_cast<double>(out->rows.size()) / 10000.0, 0.3, 0.05);
+  EXPECT_NEAR(out->virtual_cardinality, out->rows.size(), 1e-9);
+}
+
+TEST_F(KernelTest, FilterIsDeterministic) {
+  std::vector<Record> rows(1000);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i].key = i;
+  Dataset in = Dataset::Of(std::move(rows));
+  auto a = Run(LogicalOpKind::kFilter, {&in}, 0.5);
+  auto b = Run(LogicalOpKind::kFilter, {&in}, 0.5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows.size(), b->rows.size());
+}
+
+TEST_F(KernelTest, MapPassesThrough) {
+  Dataset in = KeyedRows({{1, 1.0}, {2, 2.0}});
+  auto out = Run(LogicalOpKind::kMap, {&in});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 2u);
+}
+
+TEST_F(KernelTest, ReduceBySumsPerKey) {
+  Dataset in = KeyedRows({{1, 1.0}, {2, 5.0}, {1, 3.0}, {2, 2.0}, {3, 7.0}});
+  auto out = Run(LogicalOpKind::kReduceBy, {&in});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->rows.size(), 3u);
+  // Sorted by key.
+  EXPECT_EQ(out->rows[0].key, 1);
+  EXPECT_DOUBLE_EQ(out->rows[0].num, 4.0);
+  EXPECT_DOUBLE_EQ(out->rows[1].num, 7.0);
+  EXPECT_DOUBLE_EQ(out->rows[2].num, 7.0);
+}
+
+TEST_F(KernelTest, JoinMatchesKeys) {
+  Dataset left = KeyedRows({{1, 10.0}, {2, 20.0}, {3, 30.0}});
+  Dataset right = KeyedRows({{2, 1.0}, {3, 2.0}, {4, 3.0}});
+  auto out = Run(LogicalOpKind::kJoin, {&left, &right});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->rows.size(), 2u);
+  std::set<int64_t> keys;
+  for (const Record& r : out->rows) keys.insert(r.key);
+  EXPECT_EQ(keys, (std::set<int64_t>{2, 3}));
+}
+
+TEST_F(KernelTest, JoinHandlesDuplicateBuildKeys) {
+  Dataset left = KeyedRows({{1, 1.0}, {1, 2.0}});
+  Dataset right = KeyedRows({{1, 10.0}, {1, 20.0}, {1, 30.0}});
+  auto out = Run(LogicalOpKind::kJoin, {&left, &right});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 6u);  // Full 2x3 match.
+}
+
+TEST_F(KernelTest, SortOrdersByKey) {
+  Dataset in = KeyedRows({{3, 0.0}, {1, 0.0}, {2, 0.0}});
+  auto out = Run(LogicalOpKind::kSort, {&in});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows[0].key, 1);
+  EXPECT_EQ(out->rows[1].key, 2);
+  EXPECT_EQ(out->rows[2].key, 3);
+}
+
+TEST_F(KernelTest, DistinctDropsDuplicates) {
+  Dataset in = KeyedRows({{1, 0.0}, {1, 0.0}, {2, 0.0}});
+  auto out = Run(LogicalOpKind::kDistinct, {&in});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 2u);
+}
+
+TEST_F(KernelTest, CountUsesVirtualCardinality) {
+  Dataset in = KeyedRows({{1, 0.0}, {2, 0.0}});
+  in.virtual_cardinality = 5e6;  // Physical sample of a 5M-row dataset.
+  auto out = Run(LogicalOpKind::kCount, {&in});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(out->rows[0].num, 5e6);
+  EXPECT_DOUBLE_EQ(out->virtual_cardinality, 1.0);
+}
+
+TEST_F(KernelTest, GlobalReduceSumsNumAndVectors) {
+  Record a;
+  a.num = 2.0;
+  a.vec = {1.0, 2.0};
+  Record b;
+  b.num = 3.0;
+  b.vec = {10.0, 20.0};
+  Dataset in = Dataset::Of({a, b});
+  auto out = Run(LogicalOpKind::kGlobalReduce, {&in});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(out->rows[0].num, 5.0);
+  ASSERT_EQ(out->rows[0].vec.size(), 2u);
+  EXPECT_DOUBLE_EQ(out->rows[0].vec[0], 11.0);
+}
+
+TEST_F(KernelTest, SampleTakesParamRows) {
+  std::vector<Record> rows(1000);
+  Dataset in = Dataset::Of(std::move(rows));
+  auto out = Run(LogicalOpKind::kSample, {&in}, 1.0, /*param=*/32);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 32u);
+  EXPECT_DOUBLE_EQ(out->virtual_cardinality, 32.0);
+}
+
+TEST_F(KernelTest, SampleFallsBackToSelectivity) {
+  std::vector<Record> rows(1000);
+  Dataset in = Dataset::Of(std::move(rows));
+  auto out = Run(LogicalOpKind::kSample, {&in}, 0.1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 100u);
+}
+
+TEST_F(KernelTest, UnionConcatenates) {
+  Dataset a = KeyedRows({{1, 0.0}});
+  Dataset b = KeyedRows({{2, 0.0}, {3, 0.0}});
+  auto out = Run(LogicalOpKind::kUnion, {&a, &b});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(out->virtual_cardinality, 3.0);
+}
+
+TEST_F(KernelTest, FlatMapFansOutVirtually) {
+  std::vector<Record> rows(100);
+  Dataset in = Dataset::Of(std::move(rows));
+  auto out = Run(LogicalOpKind::kFlatMap, {&in}, 3.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 300u);
+  EXPECT_DOUBLE_EQ(out->virtual_cardinality, 300.0);
+}
+
+TEST_F(KernelTest, CartesianCapsPhysicalButTracksVirtual) {
+  std::vector<Record> big(2000);
+  std::vector<Record> big2(2000);
+  Dataset a = Dataset::Of(std::move(big));
+  Dataset b = Dataset::Of(std::move(big2));
+  auto out = Run(LogicalOpKind::kCartesian, {&a, &b});
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out->rows.size(), 1u << 20);
+  EXPECT_DOUBLE_EQ(out->virtual_cardinality, 4e6);
+}
+
+TEST_F(KernelTest, SourceWithoutCatalogFails) {
+  auto out = Run(LogicalOpKind::kTextFileSource, {});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(KernelTest, ScaleVirtualHelper) {
+  EXPECT_DOUBLE_EQ(ScaleVirtual(1e6, 100, 50, 0.9), 5e5);
+  EXPECT_DOUBLE_EQ(ScaleVirtual(1e6, 0, 0, 0.25), 2.5e5);  // Fallback.
+}
+
+TEST(KernelRegistryTest, RegisterAndFind) {
+  KernelRegistry registry;
+  registry.Register("noop", [](const KernelContext&) -> StatusOr<Dataset> {
+    return Dataset{};
+  });
+  EXPECT_NE(registry.Find("noop"), nullptr);
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace robopt

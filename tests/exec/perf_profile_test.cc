@@ -1,0 +1,81 @@
+#include "exec/perf_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace robopt {
+namespace {
+
+TEST(PerfProfileTest, BuiltinNamesResolve) {
+  for (const char* name : {"Java", "Spark", "Flink", "Postgres", "GraphX"}) {
+    const PlatformProfile profile = PlatformProfile::ForName(name);
+    EXPECT_EQ(profile.name, name);
+    EXPECT_GT(profile.tuple_cpu_ns, 0.0);
+    EXPECT_GT(profile.startup_s, 0.0);
+    EXPECT_GT(profile.mem_capacity_bytes, 0.0);
+  }
+}
+
+TEST(PerfProfileTest, JavaIsLowLatencySingleThread) {
+  const PlatformProfile java = PlatformProfile::ForName("Java");
+  const PlatformProfile spark = PlatformProfile::ForName("Spark");
+  EXPECT_LT(java.startup_s, spark.startup_s / 10);
+  EXPECT_DOUBLE_EQ(java.parallelism, 1.0);
+  EXPECT_GT(spark.parallelism, 10.0);
+  EXPECT_LT(java.mem_capacity_bytes, spark.mem_capacity_bytes);
+}
+
+TEST(PerfProfileTest, FlinkSitsBetweenJavaAndSparkOnStartup) {
+  const PlatformProfile java = PlatformProfile::ForName("Java");
+  const PlatformProfile spark = PlatformProfile::ForName("Spark");
+  const PlatformProfile flink = PlatformProfile::ForName("Flink");
+  EXPECT_GT(flink.startup_s, java.startup_s);
+  EXPECT_LT(flink.startup_s, spark.startup_s);
+  // Flink's native iterations beat Spark's per-iteration scheduling.
+  EXPECT_LT(flink.loop_overhead_s, spark.loop_overhead_s);
+}
+
+TEST(PerfProfileTest, PostgresIsRelationalFlavored) {
+  const PlatformProfile pg = PlatformProfile::ForName("Postgres");
+  // Relational operators cheap, opaque UDFs expensive.
+  EXPECT_LT(pg.KindMultiplier(LogicalOpKind::kFilter), 0.5);
+  EXPECT_GT(pg.KindMultiplier(LogicalOpKind::kMap), 1.5);
+  // Iteration hurts and data export is slow.
+  EXPECT_GT(pg.loop_overhead_s, 0.1);
+  EXPECT_GT(pg.move_ns_per_byte,
+            PlatformProfile::ForName("Java").move_ns_per_byte);
+}
+
+TEST(PerfProfileTest, EffectiveParallelismSaturates) {
+  const PlatformProfile spark = PlatformProfile::ForName("Spark");
+  EXPECT_DOUBLE_EQ(spark.EffectiveParallelism(100), 1.0);  // Tiny input.
+  EXPECT_LT(spark.EffectiveParallelism(1e5), spark.parallelism);
+  EXPECT_DOUBLE_EQ(spark.EffectiveParallelism(1e9), spark.parallelism);
+}
+
+TEST(PerfProfileTest, SyntheticProfilesAreDeterministicAndDistinct) {
+  const PlatformProfile p1a = PlatformProfile::ForName("P1");
+  const PlatformProfile p1b = PlatformProfile::ForName("P1");
+  const PlatformProfile p2 = PlatformProfile::ForName("P2");
+  EXPECT_DOUBLE_EQ(p1a.startup_s, p1b.startup_s);
+  EXPECT_NE(p1a.tuple_cpu_ns, p2.tuple_cpu_ns);
+}
+
+TEST(PerfProfileTest, SyntheticP0IsSingleNodeFlavored) {
+  const PlatformProfile p0 = PlatformProfile::ForName("P0");
+  EXPECT_DOUBLE_EQ(p0.parallelism, 1.0);
+  EXPECT_LT(p0.startup_s, 0.1);
+}
+
+TEST(PerfProfileTest, KindMultiplierDefaultsToOne) {
+  PlatformProfile profile;
+  for (int k = 0; k < kNumLogicalOpKinds; ++k) {
+    EXPECT_DOUBLE_EQ(profile.KindMultiplier(static_cast<LogicalOpKind>(k)),
+                     1.0);
+  }
+  profile.SetKindMultiplier(LogicalOpKind::kJoin, 0.5);
+  EXPECT_DOUBLE_EQ(profile.KindMultiplier(LogicalOpKind::kJoin), 0.5);
+  EXPECT_DOUBLE_EQ(profile.KindMultiplier(LogicalOpKind::kMap), 1.0);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,47 @@
+#include "exec/record.h"
+
+#include <gtest/gtest.h>
+
+namespace robopt {
+namespace {
+
+TEST(DatasetTest, OfSetsVirtualCardinalityToPhysical) {
+  std::vector<Record> rows(42);
+  Dataset dataset = Dataset::Of(std::move(rows), 24.0);
+  EXPECT_EQ(dataset.rows.size(), 42u);
+  EXPECT_DOUBLE_EQ(dataset.virtual_cardinality, 42.0);
+  EXPECT_DOUBLE_EQ(dataset.tuple_bytes, 24.0);
+  EXPECT_DOUBLE_EQ(dataset.Scale(), 1.0);
+}
+
+TEST(DatasetTest, ScaleReflectsCappedSample) {
+  std::vector<Record> rows(100);
+  Dataset dataset = Dataset::Of(std::move(rows));
+  dataset.virtual_cardinality = 1e6;
+  EXPECT_DOUBLE_EQ(dataset.Scale(), 1e4);
+}
+
+TEST(DatasetTest, EmptyDatasetScaleIsOne) {
+  Dataset dataset;
+  dataset.virtual_cardinality = 1e9;
+  EXPECT_DOUBLE_EQ(dataset.Scale(), 1.0);
+}
+
+TEST(DataCatalogTest, BindAndLookup) {
+  DataCatalog catalog;
+  std::vector<Record> rows(3);
+  catalog.Bind(7, Dataset::Of(std::move(rows)));
+  ASSERT_EQ(catalog.by_op.count(7), 1u);
+  EXPECT_EQ(catalog.by_op.at(7).rows.size(), 3u);
+  EXPECT_EQ(catalog.by_op.count(8), 0u);
+}
+
+TEST(DataCatalogTest, RebindOverwrites) {
+  DataCatalog catalog;
+  catalog.Bind(1, Dataset::Of(std::vector<Record>(2)));
+  catalog.Bind(1, Dataset::Of(std::vector<Record>(5)));
+  EXPECT_EQ(catalog.by_op.at(1).rows.size(), 5u);
+}
+
+}  // namespace
+}  // namespace robopt

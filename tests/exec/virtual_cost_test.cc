@@ -1,0 +1,213 @@
+#include "exec/virtual_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plan/cardinality.h"
+#include "workloads/queries.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+ExecutionPlan AllOn(const LogicalPlan& plan, const PlatformRegistry& registry,
+                    PlatformId platform) {
+  ExecutionPlan exec(&plan, &registry);
+  for (const LogicalOperator& op : plan.operators()) {
+    const auto& alts = registry.AlternativesFor(op.kind);
+    for (size_t a = 0; a < alts.size(); ++a) {
+      if (alts[a].platform == platform && alts[a].variant == 0) {
+        exec.Assign(op.id, static_cast<int>(a));
+        break;
+      }
+    }
+  }
+  return exec;
+}
+
+class VirtualCostTest : public ::testing::Test {
+ protected:
+  VirtualCostTest()
+      : registry_(PlatformRegistry::Default(3)), cost_(&registry_) {}
+
+  PlatformRegistry registry_;
+  VirtualCost cost_;
+};
+
+TEST_F(VirtualCostTest, SmallInputsFavorJavaOverSpark) {
+  LogicalPlan plan = MakeWordCountPlan(0.00003);  // 30 KB.
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  const double java = cost_.PlanCost(AllOn(plan, registry_, 0), cards).total_s;
+  const double spark =
+      cost_.PlanCost(AllOn(plan, registry_, 1), cards).total_s;
+  EXPECT_LT(java, spark);  // Spark pays seconds of job startup.
+}
+
+TEST_F(VirtualCostTest, LargeInputsFavorSparkOverJava) {
+  LogicalPlan plan = MakeWordCountPlan(6.0);  // 6 GB.
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  const double java = cost_.PlanCost(AllOn(plan, registry_, 0), cards).total_s;
+  const double spark =
+      cost_.PlanCost(AllOn(plan, registry_, 1), cards).total_s;
+  EXPECT_LT(spark, java);  // Parallelism wins at scale.
+}
+
+TEST_F(VirtualCostTest, JavaGoesOutOfMemoryAtTerabyteScale) {
+  LogicalPlan plan = MakeWordCountPlan(1000.0);  // 1 TB.
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  const CostBreakdown java = cost_.PlanCost(AllOn(plan, registry_, 0), cards);
+  EXPECT_TRUE(java.oom);
+  EXPECT_TRUE(std::isinf(java.total_s));
+  EXPECT_NE(java.failure.find("out-of-memory"), std::string::npos);
+  const CostBreakdown spark = cost_.PlanCost(AllOn(plan, registry_, 1), cards);
+  EXPECT_FALSE(spark.oom);
+  EXPECT_TRUE(std::isfinite(spark.total_s));
+}
+
+TEST_F(VirtualCostTest, StartupChargedPerPlatformUsed) {
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  ExecutionPlan mixed = AllOn(plan, registry_, 1);
+  const double spark_only_startup = cost_.PlanCost(mixed, cards).startup_s;
+  // Move the sink to Java: both startups are now paid.
+  const OperatorId sink = plan.SinkIds()[0];
+  const auto& alts = registry_.AlternativesFor(plan.op(sink).kind);
+  for (size_t a = 0; a < alts.size(); ++a) {
+    if (alts[a].platform == 0) mixed.Assign(sink, static_cast<int>(a));
+  }
+  const double both_startup = cost_.PlanCost(mixed, cards).startup_s;
+  EXPECT_GT(both_startup, spark_only_startup);
+  EXPECT_NEAR(both_startup - spark_only_startup,
+              cost_.profile(0).startup_s, 1e-9);
+}
+
+TEST_F(VirtualCostTest, ConversionCostGrowsWithBytes) {
+  ConversionInstance conv;
+  conv.from_platform = 1;
+  conv.to_platform = 0;
+  conv.kind = ConversionKind::kCollect;
+  const double small = cost_.ConversionCost(conv, 1e3, 16.0);
+  const double large = cost_.ConversionCost(conv, 1e8, 16.0);
+  // Fixed latencies dominate the small move; the large one is rate-bound.
+  EXPECT_GT(large, small * 20);
+}
+
+TEST_F(VirtualCostTest, ExchangeCostsMoreThanCollectAtSameVolume) {
+  ConversionInstance collect;
+  collect.from_platform = 1;
+  collect.to_platform = 0;
+  collect.kind = ConversionKind::kCollect;
+  ConversionInstance exchange;
+  exchange.from_platform = 1;
+  exchange.to_platform = 2;
+  exchange.kind = ConversionKind::kExchange;
+  // Per byte (ignoring fixed latencies), writing + re-reading shared
+  // storage beats a single funnel.
+  const double collect_rate = cost_.ConversionCost(collect, 2e8, 16.0) -
+                              cost_.ConversionCost(collect, 1e8, 16.0);
+  const double exchange_rate = cost_.ConversionCost(exchange, 2e8, 16.0) -
+                               cost_.ConversionCost(exchange, 1e8, 16.0);
+  EXPECT_GT(exchange_rate, collect_rate);
+}
+
+TEST_F(VirtualCostTest, ShuffleKindsAreSuperlinear) {
+  LogicalOperator op;
+  op.kind = LogicalOpKind::kReduceBy;
+  op.udf = UdfComplexity::kLinear;
+  op.tuple_bytes = 16.0;
+  const auto& alts = registry_.AlternativesFor(op.kind);
+  const ExecutionAlt* java = &alts[0];
+  ASSERT_EQ(java->platform, 0);
+  const double overhead = cost_.profile(0).stage_overhead_s;
+  const double at_1m = cost_.OpCostRaw(op, *java, 1e6, 1e4, 0) - overhead;
+  const double at_100m = cost_.OpCostRaw(op, *java, 1e8, 1e6, 0) - overhead;
+  // 100x the input must cost more than 100x (n log n).
+  EXPECT_GT(at_100m, at_1m * 100);
+}
+
+TEST_F(VirtualCostTest, MapIsLinearIsh) {
+  LogicalOperator op;
+  op.kind = LogicalOpKind::kMap;
+  op.udf = UdfComplexity::kLinear;
+  op.tuple_bytes = 16.0;
+  const auto& alts = registry_.AlternativesFor(op.kind);
+  const ExecutionAlt* java = &alts[0];
+  const double at_1m = cost_.OpCostRaw(op, *java, 1e6, 1e6, 0);
+  const double at_10m = cost_.OpCostRaw(op, *java, 1e7, 1e7, 0);
+  EXPECT_NEAR(at_10m / at_1m, 10.0, 1.5);
+}
+
+TEST_F(VirtualCostTest, UdfComplexityScalesCost) {
+  LogicalOperator linear;
+  linear.kind = LogicalOpKind::kMap;
+  linear.udf = UdfComplexity::kLinear;
+  LogicalOperator quadratic = linear;
+  quadratic.udf = UdfComplexity::kQuadratic;
+  const ExecutionAlt& java =
+      registry_.AlternativesFor(LogicalOpKind::kMap)[0];
+  EXPECT_GT(cost_.OpCostRaw(quadratic, java, 1e7, 1e7, 0),
+            cost_.OpCostRaw(linear, java, 1e7, 1e7, 0) * 2);
+}
+
+TEST_F(VirtualCostTest, StatefulSamplerOnlyShufflesOnce) {
+  LogicalOperator op;
+  op.kind = LogicalOpKind::kSample;
+  op.tuple_bytes = 16.0;
+  const auto& alts = registry_.AlternativesFor(op.kind);
+  const ExecutionAlt* stateful = nullptr;
+  const ExecutionAlt* cached = nullptr;
+  for (const auto& alt : alts) {
+    if (alt.platform != 1) continue;
+    (alt.variant == 0 ? stateful : cached) = &alt;
+  }
+  ASSERT_NE(stateful, nullptr);
+  ASSERT_NE(cached, nullptr);
+  // Steady-state iterations: the stateful sampler is much cheaper.
+  const double stateful_steady = cost_.OpCostRaw(op, *stateful, 1e7, 100, 1);
+  const double cached_steady = cost_.OpCostRaw(op, *cached, 1e7, 100, 1);
+  EXPECT_LT(stateful_steady * 3, cached_steady);
+  // And the first iteration pays the partition shuffle on both.
+  EXPECT_GT(cost_.OpCostRaw(op, *stateful, 1e7, 100, 0), stateful_steady * 3);
+}
+
+TEST_F(VirtualCostTest, LoopMultipliesBodyCost) {
+  LogicalPlan few = MakeKmeansPlan(10.0, 10, 2);
+  LogicalPlan many = MakeKmeansPlan(10.0, 10, 50);
+  const Cardinalities cards_few = CardinalityEstimator(&few).Estimate();
+  const Cardinalities cards_many = CardinalityEstimator(&many).Estimate();
+  const double cost_few =
+      cost_.PlanCost(AllOn(few, registry_, 0), cards_few).total_s;
+  const double cost_many =
+      cost_.PlanCost(AllOn(many, registry_, 0), cards_many).total_s;
+  EXPECT_GT(cost_many, cost_few * 5);
+}
+
+TEST_F(VirtualCostTest, NoiseIsDeterministicPerSeed) {
+  VirtualCostOptions options;
+  options.noise_sigma = 0.2;
+  options.noise_seed = 99;
+  VirtualCost noisy1(&registry_, options);
+  VirtualCost noisy2(&registry_, options);
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  const ExecutionPlan exec = AllOn(plan, registry_, 1);
+  EXPECT_DOUBLE_EQ(noisy1.PlanCost(exec, cards).total_s,
+                   noisy2.PlanCost(exec, cards).total_s);
+  // And differs from the noiseless clock.
+  EXPECT_NE(noisy1.PlanCost(exec, cards).total_s,
+            cost_.PlanCost(exec, cards).total_s);
+}
+
+TEST_F(VirtualCostTest, PerOpSecondsSumToTotal) {
+  LogicalPlan plan = MakeTpchQ1Plan(1.0);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  const CostBreakdown breakdown =
+      cost_.PlanCost(AllOn(plan, registry_, 2), cards);
+  double sum = breakdown.startup_s + breakdown.conversion_s;
+  for (double s : breakdown.op_seconds) sum += s;
+  EXPECT_NEAR(sum, breakdown.total_s, 1e-9);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "baseline/baseline_optimizers.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "tdgen/tdgen.h"
+#include "workloads/datagen.h"
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+/// Full-stack fixture: simulated cluster, TDGEN-trained runtime model,
+/// Robopt + RHEEMix optimizers. Built once for the whole suite (training
+/// takes a few seconds).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RegisterWorkloadKernels();
+    registry_ = new PlatformRegistry(PlatformRegistry::Default(3));
+    schema_ = new FeatureSchema(registry_);
+    cost_ = new VirtualCost(registry_);
+    executor_ = new Executor(registry_, cost_);
+    TdgenOptions options;
+    options.plans_per_shape = 5;
+    options.max_operators = 14;
+    options.max_structures_per_plan = 24;
+    options.seed = 1234;
+    auto model =
+        TrainRuntimeModel(registry_, schema_, executor_, options, nullptr,
+                          nullptr);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = model->release();
+    oracle_ = new MlCostOracle(model_);
+    robopt_ = new RoboptOptimizer(registry_, schema_, oracle_);
+    cost_model_ = new CostModel(registry_, cost_,
+                                CostModel::Tuning::kWellTuned);
+    rheemix_ = new RheemixOptimizer(registry_, schema_, cost_model_);
+  }
+
+  /// True runtime of an execution plan on the simulated cluster.
+  static double TrueRuntime(const ExecutionPlan& plan,
+                            const Cardinalities& cards) {
+    return cost_->PlanCost(plan, cards).total_s;
+  }
+
+  /// True runtime of the best single-platform execution (the "fastest
+  /// platform" bars of Fig. 11).
+  static double BestSinglePlatformRuntime(const LogicalPlan& plan,
+                                          const Cardinalities& cards) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Platform& platform : registry_->platforms()) {
+      ExecutionPlan exec(&plan, registry_);
+      bool ok = true;
+      for (const LogicalOperator& op : plan.operators()) {
+        const auto& alts = registry_->AlternativesFor(op.kind);
+        int chosen = -1;
+        for (size_t a = 0; a < alts.size(); ++a) {
+          if (alts[a].platform == platform.id && alts[a].variant == 0) {
+            chosen = static_cast<int>(a);
+          }
+        }
+        if (chosen < 0) {
+          ok = false;
+          break;
+        }
+        exec.Assign(op.id, chosen);
+      }
+      if (!ok) continue;
+      best = std::min(best, TrueRuntime(exec, cards));
+    }
+    return best;
+  }
+
+  static PlatformRegistry* registry_;
+  static FeatureSchema* schema_;
+  static VirtualCost* cost_;
+  static Executor* executor_;
+  static RandomForest* model_;
+  static MlCostOracle* oracle_;
+  static RoboptOptimizer* robopt_;
+  static CostModel* cost_model_;
+  static RheemixOptimizer* rheemix_;
+};
+
+PlatformRegistry* EndToEndTest::registry_ = nullptr;
+FeatureSchema* EndToEndTest::schema_ = nullptr;
+VirtualCost* EndToEndTest::cost_ = nullptr;
+Executor* EndToEndTest::executor_ = nullptr;
+RandomForest* EndToEndTest::model_ = nullptr;
+MlCostOracle* EndToEndTest::oracle_ = nullptr;
+RoboptOptimizer* EndToEndTest::robopt_ = nullptr;
+CostModel* EndToEndTest::cost_model_ = nullptr;
+RheemixOptimizer* EndToEndTest::rheemix_ = nullptr;
+
+TEST_F(EndToEndTest, RoboptPicksJavaForTinyInputs) {
+  LogicalPlan plan = MakeWordCountPlan(0.00003);  // 30 KB.
+  OptimizeOptions options;
+  options.single_platform = true;
+  auto result = robopt_->Optimize(plan, nullptr, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(registry_->platform(result->chosen_platform).name, "Java");
+}
+
+TEST_F(EndToEndTest, RoboptAvoidsJavaForHugeInputs) {
+  LogicalPlan plan = MakeWordCountPlan(24.0);  // 24 GB: Java OOMs.
+  OptimizeOptions options;
+  options.single_platform = true;
+  auto result = robopt_->Optimize(plan, nullptr, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(registry_->platform(result->chosen_platform).name, "Java");
+}
+
+TEST_F(EndToEndTest, RoboptSinglePlatformChoiceIsNearOptimal) {
+  // Across a size sweep, Robopt's single-platform pick must stay within a
+  // small factor of the best platform (the Table III "diff from optimal").
+  int good = 0;
+  int total = 0;
+  for (double gb : {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0}) {
+    LogicalPlan plan = MakeWordCountPlan(gb);
+    const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+    OptimizeOptions options;
+    options.single_platform = true;
+    auto result = robopt_->Optimize(plan, nullptr, options);
+    ASSERT_TRUE(result.ok());
+    const double chosen = TrueRuntime(result->plan, cards);
+    const double best = BestSinglePlatformRuntime(plan, cards);
+    ++total;
+    if (chosen <= best * 1.5 + 0.5) ++good;
+  }
+  EXPECT_GE(good, total - 1);  // At most one miss across the sweep.
+}
+
+TEST_F(EndToEndTest, OptimizedPlanActuallyExecutes) {
+  LogicalPlan plan = MakeWordCountPlan(0.001);
+  auto result = robopt_->Optimize(plan);
+  ASSERT_TRUE(result.ok());
+  DataCatalog catalog;
+  catalog.Bind(plan.SourceIds()[0], GenerateTextLines(1000, 1000, 5));
+  auto exec_result = executor_->Execute(result->plan, catalog);
+  ASSERT_TRUE(exec_result.ok()) << exec_result.status().ToString();
+  EXPECT_GT(exec_result->output.rows.size(), 0u);
+  EXPECT_TRUE(std::isfinite(exec_result->cost.total_s));
+}
+
+TEST_F(EndToEndTest, RheemixAndRoboptBothProduceValidPlans) {
+  for (double gb : {0.001, 1.0}) {
+    LogicalPlan plan = MakeTpchQ1Plan(gb);
+    auto ml_result = robopt_->Optimize(plan);
+    auto cost_result = rheemix_->Optimize(plan);
+    ASSERT_TRUE(ml_result.ok());
+    ASSERT_TRUE(cost_result.ok());
+    EXPECT_TRUE(ml_result->plan.Validate().ok());
+    EXPECT_TRUE(cost_result->plan.Validate().ok());
+  }
+}
+
+TEST_F(EndToEndTest, RoboptMatchesOrBeatsRheemixOnKmeans) {
+  // The Fig. 12(a) scenario: loop-carried broadcast. The cost model's
+  // fixed-form assumptions misprice it; the learned model should not lose.
+  LogicalPlan plan = MakeKmeansPlan(361.0, 100, 100);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  auto ml_result = robopt_->Optimize(plan, &cards);
+  auto cost_result = rheemix_->Optimize(plan, &cards);
+  ASSERT_TRUE(ml_result.ok());
+  ASSERT_TRUE(cost_result.ok());
+  const double ml_true = TrueRuntime(ml_result->plan, cards);
+  const double cost_true = TrueRuntime(cost_result->plan, cards);
+  EXPECT_LE(ml_true, cost_true * 1.25);
+}
+
+TEST_F(EndToEndTest, ModelPredictionsCorrelateWithTrueRuntimes) {
+  // Sanity: across random plans of one query, predicted and true runtimes
+  // must rank-correlate strongly (this is what makes pruning meaningful).
+  LogicalPlan plan = MakeAggregatePlan(5.0);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  auto ctx = EnumerationContext::Make(&plan, registry_, schema_, &cards);
+  ASSERT_TRUE(ctx.ok());
+  const PlanVectorEnumeration all = Enumerate(*ctx, Vectorize(*ctx));
+  std::vector<double> predicted;
+  std::vector<double> truth;
+  for (size_t row = 0; row < all.size(); row += 7) {
+    const ExecutionPlan exec = Unvectorize(*ctx, all, row);
+    const double true_s = TrueRuntime(exec, cards);
+    if (!std::isfinite(true_s)) continue;
+    predicted.push_back(
+        model_->Predict(all.features(row), schema_->width()));
+    truth.push_back(true_s);
+  }
+  ASSERT_GT(predicted.size(), 20u);
+  EXPECT_GT(SpearmanCorrelation(truth, predicted), 0.5);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,98 @@
+#include "ml/linear_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace robopt {
+namespace {
+
+MlDataset LinearData(size_t n, uint64_t seed) {
+  // y = 3*x0 - 2*x1 + 5 (no noise).
+  Rng rng(seed);
+  MlDataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.NextUniform(0, 10));
+    const float x1 = static_cast<float>(rng.NextUniform(0, 10));
+    data.Add({x0, x1}, 3.0f * x0 - 2.0f * x1 + 5.0f);
+  }
+  return data;
+}
+
+TEST(LinearRegressionTest, RecoversLinearFunction) {
+  MlDataset data = LinearData(500, 1);
+  LinearRegression model(/*l2=*/1e-6, /*log_label=*/false);
+  ASSERT_TRUE(model.Train(data).ok());
+  const float x[2] = {4.0f, 2.0f};
+  EXPECT_NEAR(model.Predict(x, 2), 3.0f * 4 - 2.0f * 2 + 5, 0.05);
+}
+
+TEST(LinearRegressionTest, EmptyTrainingSetFails) {
+  MlDataset data(2);
+  LinearRegression model;
+  EXPECT_FALSE(model.Train(data).ok());
+}
+
+TEST(LinearRegressionTest, PredictBatchMatchesSinglePredicts) {
+  MlDataset data = LinearData(200, 2);
+  LinearRegression model(1e-6, false);
+  ASSERT_TRUE(model.Train(data).ok());
+  std::vector<float> x = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
+  std::vector<float> batch(3);
+  model.PredictBatch(x.data(), 3, 2, batch.data());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(batch[i], model.Predict(x.data() + 2 * i, 2));
+  }
+}
+
+TEST(LinearRegressionTest, LogLabelNeverPredictsNegative) {
+  Rng rng(3);
+  MlDataset data(1);
+  for (int i = 0; i < 100; ++i) {
+    const float x = static_cast<float>(rng.NextUniform(0, 100));
+    data.Add({x}, 0.1f * x);
+  }
+  LinearRegression model(1e-3, /*log_label=*/true);
+  ASSERT_TRUE(model.Train(data).ok());
+  const float probe = -50.0f;  // Far outside the training range.
+  EXPECT_GE(model.Predict(&probe, 1), 0.0f);
+}
+
+TEST(LinearRegressionTest, ConstantFeatureDoesNotBreakTraining) {
+  MlDataset data(2);
+  for (int i = 0; i < 50; ++i) {
+    data.Add({1.0f, static_cast<float>(i)}, static_cast<float>(2 * i));
+  }
+  LinearRegression model(1e-6, false);
+  ASSERT_TRUE(model.Train(data).ok());
+  const float x[2] = {1.0f, 10.0f};
+  EXPECT_NEAR(model.Predict(x, 2), 20.0f, 0.5);
+}
+
+TEST(LinearRegressionTest, SaveLoadRoundTrip) {
+  MlDataset data = LinearData(300, 4);
+  LinearRegression model(1e-6, false);
+  ASSERT_TRUE(model.Train(data).ok());
+  const std::string path = ::testing::TempDir() + "/linreg.txt";
+  ASSERT_TRUE(model.Save(path).ok());
+  LinearRegression loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  const float x[2] = {7.0f, 3.0f};
+  EXPECT_NEAR(loaded.Predict(x, 2), model.Predict(x, 2), 1e-4);
+  std::remove(path.c_str());
+}
+
+TEST(LinearRegressionTest, LoadRejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/not_a_model.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("random_forest 1\n0 0\n", f);
+  fclose(f);
+  LinearRegression model;
+  EXPECT_FALSE(model.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,55 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/linear_regression.h"
+
+namespace robopt {
+namespace {
+
+TEST(MetricsTest, SpearmanPerfectMonotone) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-9);
+  // Monotone but nonlinear: rank correlation is still 1.
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {1, 100, 101, 1e6}), 1.0,
+              1e-9);
+}
+
+TEST(MetricsTest, SpearmanReversed) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0, 1e-9);
+}
+
+TEST(MetricsTest, SpearmanHandlesTies) {
+  const double rho = SpearmanCorrelation({1, 1, 2, 2}, {1, 1, 2, 2});
+  EXPECT_NEAR(rho, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, SpearmanDegenerateInput) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(MetricsTest, EvaluatePerfectModel) {
+  // Train on noiseless data; in-sample metrics must be near perfect.
+  MlDataset data(1);
+  for (int i = 0; i < 100; ++i) {
+    data.Add({static_cast<float>(i)}, static_cast<float>(2 * i + 1));
+  }
+  LinearRegression model(1e-9, /*log_label=*/false);
+  ASSERT_TRUE(model.Train(data).ok());
+  const RegressionMetrics metrics = Evaluate(model, data);
+  EXPECT_LT(metrics.mse, 1e-3);
+  EXPECT_LT(metrics.mae, 0.05);
+  EXPECT_GT(metrics.r2, 0.999);
+  EXPECT_GT(metrics.spearman, 0.999);
+}
+
+TEST(MetricsTest, EvaluateEmptyDatasetIsZero) {
+  MlDataset data(1);
+  LinearRegression model;
+  const RegressionMetrics metrics = Evaluate(model, data);
+  EXPECT_DOUBLE_EQ(metrics.mse, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.r2, 0.0);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,64 @@
+#include "ml/ml_dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace robopt {
+namespace {
+
+TEST(MlDatasetTest, AddAndAccess) {
+  MlDataset data(3);
+  data.Add({1.0f, 2.0f, 3.0f}, 10.0f);
+  data.Add({4.0f, 5.0f, 6.0f}, 20.0f);
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.dim(), 3u);
+  EXPECT_FLOAT_EQ(data.row(1)[0], 4.0f);
+  EXPECT_FLOAT_EQ(data.label(0), 10.0f);
+  EXPECT_EQ(data.features().size(), 6u);
+}
+
+TEST(MlDatasetTest, RowsAreContiguous) {
+  MlDataset data(2);
+  data.Add({1.0f, 2.0f}, 0.0f);
+  data.Add({3.0f, 4.0f}, 0.0f);
+  const float* base = data.features().data();
+  EXPECT_EQ(data.row(0), base);
+  EXPECT_EQ(data.row(1), base + 2);
+}
+
+TEST(MlDatasetTest, SplitPreservesAllRows) {
+  MlDataset data(1);
+  for (int i = 0; i < 100; ++i) {
+    data.Add({static_cast<float>(i)}, static_cast<float>(i));
+  }
+  MlDataset train(1);
+  MlDataset test(1);
+  data.Split(0.8, /*seed=*/3, &train, &test);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  // Every label appears exactly once across the two splits.
+  std::vector<int> seen(100, 0);
+  for (size_t i = 0; i < train.size(); ++i) {
+    ++seen[static_cast<int>(train.label(i))];
+  }
+  for (size_t i = 0; i < test.size(); ++i) {
+    ++seen[static_cast<int>(test.label(i))];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(MlDatasetTest, SplitIsDeterministic) {
+  MlDataset data(1);
+  for (int i = 0; i < 50; ++i) {
+    data.Add({static_cast<float>(i)}, static_cast<float>(i));
+  }
+  MlDataset train1(1), test1(1), train2(1), test2(1);
+  data.Split(0.5, 7, &train1, &test1);
+  data.Split(0.5, 7, &train2, &test2);
+  ASSERT_EQ(train1.size(), train2.size());
+  for (size_t i = 0; i < train1.size(); ++i) {
+    EXPECT_EQ(train1.label(i), train2.label(i));
+  }
+}
+
+}  // namespace
+}  // namespace robopt

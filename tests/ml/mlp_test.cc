@@ -1,0 +1,117 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace robopt {
+namespace {
+
+MlDataset Quadratic2d(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  MlDataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.NextUniform(-2, 2));
+    const float x1 = static_cast<float>(rng.NextUniform(-2, 2));
+    data.Add({x0, x1}, x0 * x0 + 0.5f * x1 * x1 + 1.0f);
+  }
+  return data;
+}
+
+TEST(MlpTest, LearnsSmoothNonlinearTarget) {
+  MlDataset data = Quadratic2d(2000, 1);
+  MlDataset train(2), test(2);
+  data.Split(0.8, 2, &train, &test);
+  MlpRegressor::Params params;
+  params.log_label = false;
+  params.epochs = 120;
+  MlpRegressor mlp(params);
+  ASSERT_TRUE(mlp.Train(train).ok());
+  const RegressionMetrics metrics = Evaluate(mlp, test);
+  EXPECT_GT(metrics.r2, 0.85);
+  EXPECT_GT(metrics.spearman, 0.9);
+}
+
+TEST(MlpTest, EmptyTrainingSetFails) {
+  MlDataset data(2);
+  MlpRegressor mlp;
+  EXPECT_FALSE(mlp.Train(data).ok());
+}
+
+TEST(MlpTest, DeterministicPerSeed) {
+  MlDataset data = Quadratic2d(300, 3);
+  MlpRegressor a;
+  MlpRegressor b;
+  ASSERT_TRUE(a.Train(data).ok());
+  ASSERT_TRUE(b.Train(data).ok());
+  const float x[2] = {0.5f, -1.0f};
+  EXPECT_FLOAT_EQ(a.Predict(x, 2), b.Predict(x, 2));
+}
+
+TEST(MlpTest, PredictBatchMatchesSingle) {
+  MlDataset data = Quadratic2d(300, 4);
+  MlpRegressor mlp;
+  ASSERT_TRUE(mlp.Train(data).ok());
+  std::vector<float> x = {0.1f, 0.2f, -0.3f, 0.4f, 1.0f, -1.0f};
+  std::vector<float> out(3);
+  mlp.PredictBatch(x.data(), 3, 2, out.data());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(out[i], mlp.Predict(x.data() + 2 * i, 2));
+  }
+}
+
+TEST(MlpTest, LogLabelNeverNegative) {
+  Rng rng(5);
+  MlDataset data(1);
+  for (int i = 0; i < 300; ++i) {
+    const float x = static_cast<float>(rng.NextUniform(0, 10));
+    data.Add({x}, 0.5f * x + 0.1f);
+  }
+  MlpRegressor mlp;  // log_label defaults to true.
+  ASSERT_TRUE(mlp.Train(data).ok());
+  const float probe = -100.0f;
+  EXPECT_GE(mlp.Predict(&probe, 1), 0.0f);
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  MlDataset data = Quadratic2d(500, 6);
+  MlpRegressor mlp;
+  ASSERT_TRUE(mlp.Train(data).ok());
+  const std::string path = ::testing::TempDir() + "/mlp.txt";
+  ASSERT_TRUE(mlp.Save(path).ok());
+  MlpRegressor loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  const float x[2] = {0.7f, -0.2f};
+  EXPECT_NEAR(loaded.Predict(x, 2), mlp.Predict(x, 2), 1e-4);
+  std::remove(path.c_str());
+}
+
+TEST(MlpTest, ForestIsMoreRobustOnStepTargets) {
+  // The paper's reason for choosing forests: discontinuous runtime cliffs
+  // (platform switches, OOM penalties) suit trees better than a small MLP.
+  Rng rng(7);
+  MlDataset data(1);
+  for (int i = 0; i < 1500; ++i) {
+    const float x = static_cast<float>(rng.NextUniform(0, 1));
+    data.Add({x}, x > 0.5f ? 500.0f : 1.0f);
+  }
+  MlDataset train(1), test(1);
+  data.Split(0.8, 8, &train, &test);
+  MlpRegressor::Params mlp_params;
+  mlp_params.log_label = true;
+  MlpRegressor mlp(mlp_params);
+  RandomForest forest;
+  ASSERT_TRUE(mlp.Train(train).ok());
+  ASSERT_TRUE(forest.Train(train).ok());
+  const RegressionMetrics mlp_metrics = Evaluate(mlp, test);
+  const RegressionMetrics forest_metrics = Evaluate(forest, test);
+  EXPECT_GE(forest_metrics.r2, mlp_metrics.r2 - 1e-6);
+}
+
+}  // namespace
+}  // namespace robopt

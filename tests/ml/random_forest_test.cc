@@ -1,0 +1,163 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace robopt {
+namespace {
+
+/// A nonlinear target: y = x0 * log(x1 + 1) + step(x2), the kind of shape a
+/// linear cost model cannot capture but a forest can.
+MlDataset NonlinearData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  MlDataset data(3);
+  for (size_t i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.NextUniform(0, 10));
+    const float x1 = static_cast<float>(rng.NextUniform(0, 1000));
+    const float x2 = static_cast<float>(rng.NextUniform(0, 1));
+    const float y = x0 * std::log(x1 + 1.0f) + (x2 > 0.5f ? 25.0f : 0.0f);
+    data.Add({x0, x1, x2}, y);
+  }
+  return data;
+}
+
+TEST(RandomForestTest, FitsNonlinearTarget) {
+  MlDataset data = NonlinearData(2000, 1);
+  MlDataset train(3), test(3);
+  data.Split(0.8, 2, &train, &test);
+  RandomForest::Params params;
+  params.log_label = false;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Train(train).ok());
+  const RegressionMetrics metrics = Evaluate(forest, test);
+  EXPECT_GT(metrics.r2, 0.9);
+  EXPECT_GT(metrics.spearman, 0.95);
+}
+
+TEST(RandomForestTest, BeatsLinearModelOnStepFunction) {
+  // Pure step function — the canonical "fixed function form" failure.
+  Rng rng(3);
+  MlDataset data(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = static_cast<float>(rng.NextUniform(0, 1));
+    data.Add({x}, x > 0.5f ? 100.0f : 1.0f);
+  }
+  RandomForest::Params params;
+  params.log_label = false;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Train(data).ok());
+  const float lo = 0.2f;
+  const float hi = 0.8f;
+  EXPECT_NEAR(forest.Predict(&lo, 1), 1.0f, 5.0f);
+  EXPECT_NEAR(forest.Predict(&hi, 1), 100.0f, 5.0f);
+}
+
+TEST(RandomForestTest, TrainingIsDeterministicPerSeed) {
+  MlDataset data = NonlinearData(500, 5);
+  RandomForest::Params params;
+  params.seed = 77;
+  RandomForest a(params);
+  RandomForest b(params);
+  ASSERT_TRUE(a.Train(data).ok());
+  ASSERT_TRUE(b.Train(data).ok());
+  const float x[3] = {5.0f, 100.0f, 0.3f};
+  EXPECT_FLOAT_EQ(a.Predict(x, 3), b.Predict(x, 3));
+}
+
+TEST(RandomForestTest, EmptyTrainingSetFails) {
+  MlDataset data(3);
+  RandomForest forest;
+  EXPECT_FALSE(forest.Train(data).ok());
+}
+
+TEST(RandomForestTest, PredictBatchMatchesSingle) {
+  MlDataset data = NonlinearData(500, 7);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(data).ok());
+  std::vector<float> x;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(static_cast<float>(i));
+    x.push_back(static_cast<float>(i * 10));
+    x.push_back(0.5f);
+  }
+  std::vector<float> batch(10);
+  forest.PredictBatch(x.data(), 10, 3, batch.data());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(batch[i], forest.Predict(x.data() + 3 * i, 3));
+  }
+}
+
+TEST(RandomForestTest, LogLabelHandlesWideRuntimeRange) {
+  // Labels spanning 1e-3 .. 1e4 seconds, as query runtimes do.
+  Rng rng(9);
+  MlDataset data(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = static_cast<float>(rng.NextUniform(0, 7));
+    data.Add({x}, std::pow(10.0f, x - 3.0f));
+  }
+  RandomForest forest;  // log_label defaults to true.
+  ASSERT_TRUE(forest.Train(data).ok());
+  const float small = 0.5f;
+  const float large = 6.5f;
+  EXPECT_LT(forest.Predict(&small, 1), 0.1f);
+  EXPECT_GT(forest.Predict(&large, 1), 100.0f);
+}
+
+TEST(RandomForestTest, SaveLoadRoundTrip) {
+  MlDataset data = NonlinearData(500, 11);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(data).ok());
+  const std::string path = ::testing::TempDir() + "/forest.txt";
+  ASSERT_TRUE(forest.Save(path).ok());
+  RandomForest loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  const float x[3] = {3.0f, 50.0f, 0.7f};
+  EXPECT_FLOAT_EQ(loaded.Predict(x, 3), forest.Predict(x, 3));
+  std::remove(path.c_str());
+}
+
+TEST(DecisionTreeTest, SingleLeafOnConstantLabels) {
+  MlDataset data(1);
+  for (int i = 0; i < 20; ++i) {
+    data.Add({static_cast<float>(i)}, 5.0f);
+  }
+  std::vector<uint32_t> index(20);
+  for (uint32_t i = 0; i < 20; ++i) index[i] = i;
+  Rng rng(1);
+  DecisionTree tree;
+  tree.Fit(data, index, TreeParams{}, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  const float x = 3.0f;
+  EXPECT_FLOAT_EQ(tree.Predict(&x, 1), 5.0f);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  MlDataset data = NonlinearData(1000, 13);
+  std::vector<uint32_t> index(data.size());
+  for (uint32_t i = 0; i < index.size(); ++i) index[i] = i;
+  TreeParams params;
+  params.max_depth = 3;
+  params.max_features = 0;  // All features.
+  Rng rng(2);
+  DecisionTree tree;
+  tree.Fit(data, index, params, &rng);
+  EXPECT_LE(tree.Depth(), 4);  // Root at depth 1.
+}
+
+TEST(DecisionTreeTest, EmptyIndicesYieldZeroLeaf) {
+  MlDataset data(1);
+  data.Add({1.0f}, 3.0f);
+  Rng rng(3);
+  DecisionTree tree;
+  tree.Fit(data, {}, TreeParams{}, &rng);
+  const float x = 1.0f;
+  EXPECT_FLOAT_EQ(tree.Predict(&x, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,165 @@
+#include "plan/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+LogicalPlan FilterChain(double source_card, double sel1, double sel2) {
+  LogicalPlan plan;
+  LogicalOperator src;
+  src.kind = LogicalOpKind::kTextFileSource;
+  src.source_cardinality = source_card;
+  const OperatorId s = plan.Add(std::move(src));
+  const OperatorId f1 =
+      plan.Add(LogicalOpKind::kFilter, "f1", UdfComplexity::kLinear, sel1);
+  plan.Connect(s, f1);
+  const OperatorId f2 =
+      plan.Add(LogicalOpKind::kFilter, "f2", UdfComplexity::kLinear, sel2);
+  plan.Connect(f1, f2);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(f2, sink);
+  return plan;
+}
+
+TEST(CardinalityTest, FilterSelectivityCompounds) {
+  LogicalPlan plan = FilterChain(1000.0, 0.5, 0.2);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  EXPECT_DOUBLE_EQ(cards.output[0], 1000.0);
+  EXPECT_DOUBLE_EQ(cards.output[1], 500.0);
+  EXPECT_DOUBLE_EQ(cards.output[2], 100.0);
+  EXPECT_DOUBLE_EQ(cards.input[3], 100.0);
+}
+
+TEST(CardinalityTest, InputIsSumOfParents) {
+  LogicalPlan plan = MakeJoinPlan(1.0);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  // Join input = filtered transactions + projected customers.
+  OperatorId join = kInvalidOperatorId;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (op.kind == LogicalOpKind::kJoin) join = op.id;
+  }
+  ASSERT_NE(join, kInvalidOperatorId);
+  double expected = 0.0;
+  for (OperatorId parent : plan.parents(join)) {
+    expected += cards.output[parent];
+  }
+  EXPECT_DOUBLE_EQ(cards.input[join], expected);
+}
+
+TEST(CardinalityTest, JoinScalesWithLargerSide) {
+  LogicalPlan plan;
+  LogicalOperator big;
+  big.kind = LogicalOpKind::kTextFileSource;
+  big.source_cardinality = 1e6;
+  const OperatorId b = plan.Add(std::move(big));
+  LogicalOperator small;
+  small.kind = LogicalOpKind::kTextFileSource;
+  small.source_cardinality = 1e3;
+  const OperatorId s = plan.Add(std::move(small));
+  const OperatorId j =
+      plan.Add(LogicalOpKind::kJoin, "join", UdfComplexity::kLinear, 0.5);
+  plan.Connect(b, j);
+  plan.Connect(s, j);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(j, sink);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  EXPECT_DOUBLE_EQ(cards.output[j], 0.5 * 1e6);
+}
+
+TEST(CardinalityTest, CartesianMultiplies) {
+  LogicalPlan plan;
+  LogicalOperator a;
+  a.kind = LogicalOpKind::kTextFileSource;
+  a.source_cardinality = 100;
+  const OperatorId ida = plan.Add(std::move(a));
+  LogicalOperator b;
+  b.kind = LogicalOpKind::kTextFileSource;
+  b.source_cardinality = 200;
+  const OperatorId idb = plan.Add(std::move(b));
+  const OperatorId c = plan.Add(LogicalOpKind::kCartesian, "cross");
+  plan.Connect(ida, c);
+  plan.Connect(idb, c);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(c, sink);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  EXPECT_DOUBLE_EQ(cards.output[c], 100.0 * 200.0);
+}
+
+TEST(CardinalityTest, CountEmitsOneTuple) {
+  LogicalPlan plan;
+  LogicalOperator src;
+  src.kind = LogicalOpKind::kTextFileSource;
+  src.source_cardinality = 5000;
+  const OperatorId s = plan.Add(std::move(src));
+  const OperatorId count = plan.Add(LogicalOpKind::kCount, "count");
+  plan.Connect(s, count);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(count, sink);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  EXPECT_DOUBLE_EQ(cards.output[count], 1.0);
+}
+
+TEST(CardinalityTest, FlatMapFansOut) {
+  LogicalPlan plan;
+  LogicalOperator src;
+  src.kind = LogicalOpKind::kTextFileSource;
+  src.source_cardinality = 10;
+  const OperatorId s = plan.Add(std::move(src));
+  const OperatorId fm =
+      plan.Add(LogicalOpKind::kFlatMap, "explode", UdfComplexity::kLinear,
+               7.5);
+  plan.Connect(s, fm);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(fm, sink);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  EXPECT_DOUBLE_EQ(cards.output[fm], 75.0);
+}
+
+TEST(CardinalityTest, InjectedCardinalityOverridesAndPropagates) {
+  LogicalPlan plan = FilterChain(1000.0, 0.5, 0.2);
+  CardinalityEstimator estimator(&plan);
+  estimator.InjectOutputCardinality(1, 800.0);  // True card of filter 1.
+  const Cardinalities cards = estimator.Estimate();
+  EXPECT_DOUBLE_EQ(cards.output[1], 800.0);
+  // Downstream re-propagates from the injected value.
+  EXPECT_DOUBLE_EQ(cards.output[2], 160.0);
+}
+
+TEST(CardinalityTest, UnionAddsInputs) {
+  LogicalPlan plan;
+  LogicalOperator a;
+  a.kind = LogicalOpKind::kTextFileSource;
+  a.source_cardinality = 300;
+  const OperatorId ida = plan.Add(std::move(a));
+  LogicalOperator b;
+  b.kind = LogicalOpKind::kTextFileSource;
+  b.source_cardinality = 700;
+  const OperatorId idb = plan.Add(std::move(b));
+  const OperatorId u = plan.Add(LogicalOpKind::kUnion, "union");
+  plan.Connect(ida, u);
+  plan.Connect(idb, u);
+  const OperatorId sink = plan.Add(LogicalOpKind::kCollectionSink, "sink");
+  plan.Connect(u, sink);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  EXPECT_DOUBLE_EQ(cards.output[u], 1000.0);
+}
+
+TEST(CardinalityTest, BroadcastEdgesDoNotAddStreamCardinality) {
+  LogicalPlan plan = MakeKmeansPlan(10, 5, 3);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  // The assign Map's stream input is the points, not points + centroids.
+  OperatorId assign = kInvalidOperatorId;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (op.name == "assign") assign = op.id;
+  }
+  ASSERT_NE(assign, kInvalidOperatorId);
+  ASSERT_EQ(plan.parents(assign).size(), 1u);
+  EXPECT_DOUBLE_EQ(cards.input[assign],
+                   cards.output[plan.parents(assign)[0]]);
+}
+
+}  // namespace
+}  // namespace robopt

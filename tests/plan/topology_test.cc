@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "plan/logical_plan.h"
+#include "workloads/queries.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+TEST(TopologyTest, PipelinePlanIsOnePipeline) {
+  LogicalPlan plan = MakeSyntheticPipeline(8, 1e6, /*seed=*/1);
+  const TopologyCounts counts = plan.CountTopologies();
+  EXPECT_EQ(counts.pipeline, 1);
+  EXPECT_EQ(counts.juncture, 0);
+  EXPECT_EQ(counts.replicate, 0);
+  EXPECT_EQ(counts.loop, 0);
+}
+
+TEST(TopologyTest, RunningExampleMatchesPaperFig3) {
+  // The paper states Fig. 3(a) has three pipelines and one juncture.
+  LogicalPlan plan = MakeJoinPlan(1.0);
+  const TopologyCounts counts = plan.CountTopologies();
+  EXPECT_EQ(counts.juncture, 1);
+  EXPECT_EQ(counts.pipeline, 3);
+  EXPECT_EQ(counts.loop, 0);
+}
+
+TEST(TopologyTest, JoinTreeCountsJunctures) {
+  LogicalPlan plan = MakeSyntheticJoinTree(3, 1e6, /*seed=*/2);
+  const TopologyCounts counts = plan.CountTopologies();
+  EXPECT_EQ(counts.juncture, 3);
+  EXPECT_GE(counts.pipeline, 4);  // One chain per source branch + tail.
+}
+
+TEST(TopologyTest, LoopPlanCountsOneLoop) {
+  LogicalPlan plan = MakeSyntheticLoopPlan(12, 1e6, 10, /*seed=*/3);
+  const TopologyCounts counts = plan.CountTopologies();
+  EXPECT_EQ(counts.loop, 1);
+}
+
+TEST(TopologyTest, KmeansTagsBodyAsLoop) {
+  LogicalPlan plan = MakeKmeansPlan(100, 10, 5);
+  const auto tags = plan.OperatorTopologies();
+  int loop_tagged = 0;
+  for (Topology tag : tags) {
+    if (tag == Topology::kLoop) ++loop_tagged;
+  }
+  EXPECT_EQ(loop_tagged, 5);  // begin, broadcast, assign, update, end.
+}
+
+TEST(TopologyTest, JunctureTagOnJoinOperator) {
+  LogicalPlan plan = MakeJoinPlan(1.0);
+  const auto tags = plan.OperatorTopologies();
+  int junctures = 0;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (tags[op.id] == Topology::kJuncture) {
+      ++junctures;
+      EXPECT_EQ(op.kind, LogicalOpKind::kJoin);
+    }
+  }
+  EXPECT_EQ(junctures, 1);
+}
+
+TEST(TopologyTest, ReplicateTagOnMultiOutputOperator) {
+  LogicalPlan plan;
+  LogicalOperator src;
+  src.kind = LogicalOpKind::kTextFileSource;
+  src.source_cardinality = 100;
+  const OperatorId s = plan.Add(std::move(src));
+  const OperatorId cache = plan.Add(LogicalOpKind::kCache, "shared");
+  plan.Connect(s, cache);
+  const OperatorId m1 = plan.Add(LogicalOpKind::kMap, "branch1");
+  const OperatorId m2 = plan.Add(LogicalOpKind::kMap, "branch2");
+  plan.Connect(cache, m1);
+  plan.Connect(cache, m2);
+  const OperatorId sink1 = plan.Add(LogicalOpKind::kCollectionSink, "s1");
+  const OperatorId sink2 = plan.Add(LogicalOpKind::kCollectionSink, "s2");
+  plan.Connect(m1, sink1);
+  plan.Connect(m2, sink2);
+
+  const auto tags = plan.OperatorTopologies();
+  EXPECT_EQ(tags[cache], Topology::kReplicate);
+  const TopologyCounts counts = plan.CountTopologies();
+  EXPECT_EQ(counts.replicate, 1);
+  EXPECT_EQ(counts.pipeline, 3);  // src chain, and the two branches.
+}
+
+TEST(TopologyTest, ToStringNames) {
+  EXPECT_EQ(ToString(Topology::kPipeline), "pipeline");
+  EXPECT_EQ(ToString(Topology::kJuncture), "juncture");
+  EXPECT_EQ(ToString(Topology::kReplicate), "replicate");
+  EXPECT_EQ(ToString(Topology::kLoop), "loop");
+}
+
+}  // namespace
+}  // namespace robopt

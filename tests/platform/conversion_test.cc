@@ -1,0 +1,50 @@
+#include "platform/conversion.h"
+
+#include <gtest/gtest.h>
+
+namespace robopt {
+namespace {
+
+TEST(ConversionTest, DistributedToSingleNodeIsCollect) {
+  EXPECT_EQ(ConversionFor(PlatformClass::kDistributed,
+                          PlatformClass::kSingleNode),
+            ConversionKind::kCollect);
+}
+
+TEST(ConversionTest, SingleNodeToDistributedIsDistribute) {
+  EXPECT_EQ(ConversionFor(PlatformClass::kSingleNode,
+                          PlatformClass::kDistributed),
+            ConversionKind::kDistribute);
+}
+
+TEST(ConversionTest, DistributedPairIsExchange) {
+  EXPECT_EQ(ConversionFor(PlatformClass::kDistributed,
+                          PlatformClass::kDistributed),
+            ConversionKind::kExchange);
+}
+
+TEST(ConversionTest, RelationalSourceIsExport) {
+  EXPECT_EQ(ConversionFor(PlatformClass::kRelational,
+                          PlatformClass::kDistributed),
+            ConversionKind::kExport);
+  EXPECT_EQ(ConversionFor(PlatformClass::kRelational,
+                          PlatformClass::kSingleNode),
+            ConversionKind::kExport);
+}
+
+TEST(ConversionTest, RelationalTargetIsIngest) {
+  EXPECT_EQ(ConversionFor(PlatformClass::kDistributed,
+                          PlatformClass::kRelational),
+            ConversionKind::kIngest);
+}
+
+TEST(ConversionTest, NamesAreStable) {
+  EXPECT_EQ(ToString(ConversionKind::kCollect), "Collect");
+  EXPECT_EQ(ToString(ConversionKind::kDistribute), "Distribute");
+  EXPECT_EQ(ToString(ConversionKind::kExchange), "Exchange");
+  EXPECT_EQ(ToString(ConversionKind::kExport), "Export");
+  EXPECT_EQ(ToString(ConversionKind::kIngest), "Ingest");
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,61 @@
+#include "platform/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+TEST(DotTest, LogicalPlanRendersNodesAndEdges) {
+  LogicalPlan plan = MakeJoinPlan(1.0);
+  const std::string dot = ToDot(plan);
+  EXPECT_NE(dot.find("digraph logical_plan"), std::string::npos);
+  EXPECT_NE(dot.find("Join"), std::string::npos);
+  // 9 operators, 8 data edges.
+  size_t edges = 0;
+  for (size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 8u);
+}
+
+TEST(DotTest, BroadcastEdgesAreDashed) {
+  LogicalPlan plan = MakeKmeansPlan(10, 3, 5);
+  const std::string dot = ToDot(plan);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // Loop ops.
+}
+
+TEST(DotTest, ExecutionPlanShowsConversionsAsDiamonds) {
+  PlatformRegistry registry = PlatformRegistry::Default(2);
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  ExecutionPlan exec(&plan, &registry);
+  // Spark plan with a Java sink -> one Collect conversion.
+  for (const LogicalOperator& op : plan.operators()) {
+    const auto& alts = registry.AlternativesFor(op.kind);
+    const PlatformId want = IsSink(op.kind) ? 0 : 1;
+    for (size_t a = 0; a < alts.size(); ++a) {
+      if (alts[a].platform == want && alts[a].variant == 0) {
+        exec.Assign(op.id, static_cast<int>(a));
+      }
+    }
+  }
+  const std::string dot = ToDot(exec);
+  EXPECT_NE(dot.find("digraph execution_plan"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("SparkCollect"), std::string::npos);
+  EXPECT_NE(dot.find("SparkMap"), std::string::npos);
+}
+
+TEST(DotTest, UnassignedOperatorsRenderWhite) {
+  PlatformRegistry registry = PlatformRegistry::Default(2);
+  LogicalPlan plan = MakeWordCountPlan(0.1);
+  ExecutionPlan exec(&plan, &registry);
+  const std::string dot = ToDot(exec);
+  EXPECT_NE(dot.find("fillcolor=white"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace robopt

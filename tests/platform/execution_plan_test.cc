@@ -1,0 +1,118 @@
+#include "platform/execution_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+class ExecutionPlanTest : public ::testing::Test {
+ protected:
+  ExecutionPlanTest()
+      : registry_(PlatformRegistry::Default(3)), plan_(MakeJoinPlan(1.0)) {}
+
+  /// Assigns every operator to the default alternative on `platform`.
+  ExecutionPlan AllOn(PlatformId platform) {
+    ExecutionPlan exec(&plan_, &registry_);
+    for (const LogicalOperator& op : plan_.operators()) {
+      const auto& alts = registry_.AlternativesFor(op.kind);
+      for (size_t a = 0; a < alts.size(); ++a) {
+        if (alts[a].platform == platform && alts[a].variant == 0) {
+          exec.Assign(op.id, static_cast<int>(a));
+          break;
+        }
+      }
+    }
+    return exec;
+  }
+
+  PlatformRegistry registry_;
+  LogicalPlan plan_;
+};
+
+TEST_F(ExecutionPlanTest, SinglePlatformPlanHasNoConversions) {
+  ExecutionPlan exec = AllOn(1);  // Spark.
+  ASSERT_TRUE(exec.Validate().ok());
+  EXPECT_TRUE(exec.Conversions().empty());
+  EXPECT_EQ(exec.NumPlatformSwitches(), 0);
+  EXPECT_EQ(exec.PlatformsUsed(), std::vector<PlatformId>{1});
+}
+
+TEST_F(ExecutionPlanTest, MixedPlanProducesConversions) {
+  ExecutionPlan exec = AllOn(1);
+  // Move the sink to Java: one Spark -> Java edge appears.
+  const OperatorId sink = plan_.SinkIds()[0];
+  const auto& alts =
+      registry_.AlternativesFor(plan_.op(sink).kind);
+  for (size_t a = 0; a < alts.size(); ++a) {
+    if (registry_.platform(alts[a].platform).name == "Java") {
+      exec.Assign(sink, static_cast<int>(a));
+    }
+  }
+  const auto conversions = exec.Conversions();
+  ASSERT_EQ(conversions.size(), 1u);
+  EXPECT_EQ(conversions[0].kind, ConversionKind::kCollect);
+  EXPECT_EQ(conversions[0].to_op, sink);
+  EXPECT_EQ(exec.NumPlatformSwitches(), 1);
+  EXPECT_EQ(exec.PlatformsUsed().size(), 2u);
+}
+
+TEST_F(ExecutionPlanTest, UnassignedPlanFailsValidation) {
+  ExecutionPlan exec(&plan_, &registry_);
+  EXPECT_FALSE(exec.Validate().ok());
+  EXPECT_FALSE(exec.IsAssigned(0));
+}
+
+TEST_F(ExecutionPlanTest, AltAccessorsReturnChosenAlternative) {
+  ExecutionPlan exec = AllOn(0);  // Java.
+  for (const LogicalOperator& op : plan_.operators()) {
+    ASSERT_TRUE(exec.IsAssigned(op.id));
+    EXPECT_EQ(exec.PlatformOf(op.id), 0);
+    EXPECT_EQ(exec.alt(op.id).variant, 0);
+  }
+}
+
+TEST_F(ExecutionPlanTest, DebugStringShowsAssignmentsAndConversions) {
+  ExecutionPlan exec = AllOn(1);
+  const OperatorId sink = plan_.SinkIds()[0];
+  const auto& alts = registry_.AlternativesFor(plan_.op(sink).kind);
+  for (size_t a = 0; a < alts.size(); ++a) {
+    if (registry_.platform(alts[a].platform).name == "Java") {
+      exec.Assign(sink, static_cast<int>(a));
+    }
+  }
+  const std::string dump = exec.DebugString();
+  EXPECT_NE(dump.find("SparkJoin"), std::string::npos);
+  EXPECT_NE(dump.find("Collect"), std::string::npos);
+}
+
+TEST_F(ExecutionPlanTest, BroadcastEdgesYieldConversions) {
+  LogicalPlan kmeans = MakeKmeansPlan(10, 5, 3);
+  ExecutionPlan exec(&kmeans, &registry_);
+  // Everything on Spark except the broadcast, which goes to Java.
+  for (const LogicalOperator& op : kmeans.operators()) {
+    const auto& alts = registry_.AlternativesFor(op.kind);
+    int chosen = -1;
+    for (size_t a = 0; a < alts.size(); ++a) {
+      const bool java = registry_.platform(alts[a].platform).name == "Java";
+      const bool want_java = op.kind == LogicalOpKind::kBroadcast ||
+                             op.kind == LogicalOpKind::kCollectionSource;
+      if (alts[a].variant == 0 && java == want_java) {
+        chosen = static_cast<int>(a);
+        break;
+      }
+    }
+    ASSERT_GE(chosen, 0) << op.name;
+    exec.Assign(op.id, chosen);
+  }
+  // Broadcast (Java) feeds assign (Spark) over a side edge -> kDistribute.
+  bool found_distribute = false;
+  for (const ConversionInstance& conv : exec.Conversions()) {
+    if (conv.kind == ConversionKind::kDistribute) found_distribute = true;
+  }
+  EXPECT_TRUE(found_distribute);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,107 @@
+#include "platform/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace robopt {
+namespace {
+
+TEST(RegistryTest, DefaultThreePlatforms) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  ASSERT_EQ(registry.num_platforms(), 3);
+  EXPECT_EQ(registry.platform(0).name, "Java");
+  EXPECT_EQ(registry.platform(1).name, "Spark");
+  EXPECT_EQ(registry.platform(2).name, "Flink");
+  EXPECT_EQ(registry.platform(0).cls, PlatformClass::kSingleNode);
+  EXPECT_EQ(registry.platform(1).cls, PlatformClass::kDistributed);
+}
+
+TEST(RegistryTest, DefaultFiveIncludesPostgresAndGraphX) {
+  PlatformRegistry registry = PlatformRegistry::Default(5);
+  ASSERT_EQ(registry.num_platforms(), 5);
+  EXPECT_EQ(registry.platform(3).name, "Postgres");
+  EXPECT_EQ(registry.platform(3).cls, PlatformClass::kRelational);
+  EXPECT_EQ(registry.platform(4).name, "GraphX");
+}
+
+TEST(RegistryTest, FindPlatformByName) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  auto spark = registry.FindPlatform("Spark");
+  ASSERT_TRUE(spark.ok());
+  EXPECT_EQ(*spark, 1);
+  EXPECT_FALSE(registry.FindPlatform("Hive").ok());
+}
+
+TEST(RegistryTest, MapHasOneAlternativePerEnginePlatform) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  const auto& alts = registry.AlternativesFor(LogicalOpKind::kMap);
+  ASSERT_EQ(alts.size(), 3u);
+  EXPECT_EQ(alts[0].name, "JavaMap");
+  EXPECT_EQ(alts[1].name, "SparkMap");
+  EXPECT_EQ(alts[2].name, "FlinkMap");
+}
+
+TEST(RegistryTest, SparkSampleHasTwoVariants) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  const auto& alts = registry.AlternativesFor(LogicalOpKind::kSample);
+  // Java default, Spark stateful + cache variant, Flink default.
+  ASSERT_EQ(alts.size(), 4u);
+  int spark_variants = 0;
+  for (const ExecutionAlt& alt : alts) {
+    if (registry.platform(alt.platform).name == "Spark") ++spark_variants;
+  }
+  EXPECT_EQ(spark_variants, 2);
+}
+
+TEST(RegistryTest, TableSourceOnlyOnPostgres) {
+  PlatformRegistry registry = PlatformRegistry::Default(4);
+  const auto& alts = registry.AlternativesFor(LogicalOpKind::kTableSource);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(registry.platform(alts[0].platform).name, "Postgres");
+}
+
+TEST(RegistryTest, PostgresCannotRunFlatMapButCanFilter) {
+  PlatformRegistry registry = PlatformRegistry::Default(4);
+  const Platform& pg = registry.platform(3);
+  EXPECT_FALSE(pg.Supports(LogicalOpKind::kFlatMap));
+  EXPECT_TRUE(pg.Supports(LogicalOpKind::kFilter));
+  EXPECT_TRUE(pg.Supports(LogicalOpKind::kJoin));
+  EXPECT_FALSE(pg.Supports(LogicalOpKind::kLoopBegin));
+}
+
+TEST(RegistryTest, CollectionSourceIsJavaOnly) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  const auto& alts =
+      registry.AlternativesFor(LogicalOpKind::kCollectionSource);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(registry.platform(alts[0].platform).name, "Java");
+}
+
+TEST(RegistryTest, SyntheticRegistrySupportsEverythingEverywhere) {
+  for (int k = 2; k <= 5; ++k) {
+    PlatformRegistry registry = PlatformRegistry::Synthetic(k);
+    ASSERT_EQ(registry.num_platforms(), k);
+    for (int kind = 0; kind < kNumLogicalOpKinds; ++kind) {
+      EXPECT_EQ(registry.AlternativesFor(static_cast<LogicalOpKind>(kind))
+                    .size(),
+                static_cast<size_t>(k));
+    }
+  }
+}
+
+TEST(RegistryTest, MaxAlternativesCoversVariants) {
+  PlatformRegistry registry = PlatformRegistry::Default(3);
+  EXPECT_EQ(registry.MaxAlternatives(), 4);  // Sample: 3 platforms + 1.
+}
+
+TEST(RegistryTest, CapabilityMaskHelpers) {
+  const uint32_t mask =
+      CapabilityMask({LogicalOpKind::kMap, LogicalOpKind::kFilter});
+  Platform platform;
+  platform.capabilities = mask;
+  EXPECT_TRUE(platform.Supports(LogicalOpKind::kMap));
+  EXPECT_TRUE(platform.Supports(LogicalOpKind::kFilter));
+  EXPECT_FALSE(platform.Supports(LogicalOpKind::kJoin));
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,118 @@
+#include "tdgen/experience.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+class ExperienceTest : public ::testing::Test {
+ protected:
+  ExperienceTest()
+      : registry_(PlatformRegistry::Default(2)),
+        schema_(&registry_),
+        plan_(MakeSyntheticPipeline(5, 1e5, 1)) {}
+
+  ExecutionPlan AllOn(PlatformId platform) {
+    ExecutionPlan exec(&plan_, &registry_);
+    for (const LogicalOperator& op : plan_.operators()) {
+      const auto& alts = registry_.AlternativesFor(op.kind);
+      for (size_t a = 0; a < alts.size(); ++a) {
+        if (alts[a].platform == platform && alts[a].variant == 0) {
+          exec.Assign(op.id, static_cast<int>(a));
+        }
+      }
+    }
+    return exec;
+  }
+
+  PlatformRegistry registry_;
+  FeatureSchema schema_;
+  LogicalPlan plan_;
+};
+
+TEST_F(ExperienceTest, RecordsExecutedPlans) {
+  auto ctx = EnumerationContext::Make(&plan_, &registry_, &schema_);
+  ASSERT_TRUE(ctx.ok());
+  ExperienceLog log(&schema_);
+  EXPECT_TRUE(log.Record(*ctx, AllOn(0), 12.5).ok());
+  EXPECT_TRUE(log.Record(*ctx, AllOn(1), 3.25).ok());
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_FLOAT_EQ(log.data().label(0), 12.5f);
+  EXPECT_FLOAT_EQ(log.data().label(1), 3.25f);
+  // Recorded features match direct encoding of the same assignment.
+  std::vector<uint8_t> assignment(plan_.num_operators());
+  const ExecutionPlan java = AllOn(0);
+  for (const LogicalOperator& op : plan_.operators()) {
+    assignment[op.id] = static_cast<uint8_t>(java.alt_index(op.id) + 1);
+  }
+  const std::vector<float> direct =
+      EncodeAssignment(*ctx, assignment.data());
+  for (size_t c = 0; c < schema_.width(); ++c) {
+    EXPECT_FLOAT_EQ(log.data().row(0)[c], direct[c]);
+  }
+}
+
+TEST_F(ExperienceTest, RejectsInvalidInput) {
+  auto ctx = EnumerationContext::Make(&plan_, &registry_, &schema_);
+  ASSERT_TRUE(ctx.ok());
+  ExperienceLog log(&schema_);
+  // Unassigned plan.
+  ExecutionPlan incomplete(&plan_, &registry_);
+  EXPECT_FALSE(log.Record(*ctx, incomplete, 1.0).ok());
+  // Negative / non-finite runtime.
+  EXPECT_FALSE(log.Record(*ctx, AllOn(0), -1.0).ok());
+  EXPECT_FALSE(log.Record(*ctx, AllOn(0),
+                          std::numeric_limits<double>::quiet_NaN())
+                   .ok());
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST_F(ExperienceTest, RetrainBlendsExperienceIntoModel) {
+  auto ctx = EnumerationContext::Make(&plan_, &registry_, &schema_);
+  ASSERT_TRUE(ctx.ok());
+
+  // Base set: claims both platforms cost the same.
+  MlDataset base(schema_.width());
+  std::vector<uint8_t> assignment(plan_.num_operators());
+  for (PlatformId p : {PlatformId{0}, PlatformId{1}}) {
+    const ExecutionPlan exec = AllOn(p);
+    for (const LogicalOperator& op : plan_.operators()) {
+      assignment[op.id] = static_cast<uint8_t>(exec.alt_index(op.id) + 1);
+    }
+    base.Add(EncodeAssignment(*ctx, assignment.data()), 10.0f);
+  }
+
+  // Experience: Java is actually 100x slower.
+  ExperienceLog log(&schema_);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(log.Record(*ctx, AllOn(0), 1000.0).ok());
+    ASSERT_TRUE(log.Record(*ctx, AllOn(1), 10.0).ok());
+  }
+  auto forest = log.Retrain(base, /*weight=*/4);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+
+  const ExecutionPlan java = AllOn(0);
+  const ExecutionPlan spark = AllOn(1);
+  for (const LogicalOperator& op : plan_.operators()) {
+    assignment[op.id] = static_cast<uint8_t>(java.alt_index(op.id) + 1);
+  }
+  const float java_pred = (*forest)->Predict(
+      EncodeAssignment(*ctx, assignment.data()).data(), schema_.width());
+  for (const LogicalOperator& op : plan_.operators()) {
+    assignment[op.id] = static_cast<uint8_t>(spark.alt_index(op.id) + 1);
+  }
+  const float spark_pred = (*forest)->Predict(
+      EncodeAssignment(*ctx, assignment.data()).data(), schema_.width());
+  EXPECT_GT(java_pred, spark_pred * 5);
+}
+
+TEST_F(ExperienceTest, RetrainRejectsMismatchedBase) {
+  ExperienceLog log(&schema_);
+  MlDataset wrong(3);
+  EXPECT_FALSE(log.Retrain(wrong).ok());
+}
+
+}  // namespace
+}  // namespace robopt

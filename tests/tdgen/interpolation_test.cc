@@ -1,0 +1,104 @@
+#include "tdgen/interpolation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace robopt {
+namespace {
+
+TEST(InterpolationTest, ExactOnPolynomialOfFittedDegree) {
+  // y = 2x^3 - x + 1; degree-5 pieces reproduce it exactly at any x within
+  // the node range.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 5; ++i) {
+    const double xi = i * 2.0;
+    x.push_back(xi);
+    y.push_back(2 * xi * xi * xi - xi + 1);
+  }
+  const PiecewisePolynomial poly = PiecewisePolynomial::Fit(x, y, 5);
+  EXPECT_EQ(poly.num_pieces(), 1u);
+  for (double probe : {0.5, 3.3, 7.7, 9.9}) {
+    EXPECT_NEAR(poly.Eval(probe), 2 * probe * probe * probe - probe + 1,
+                1e-6 * std::abs(2 * probe * probe * probe));
+  }
+}
+
+TEST(InterpolationTest, PassesThroughAllNodes) {
+  std::vector<double> x = {1, 10, 100, 1000, 10000, 100000, 1e6, 1e7};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 * xi * std::log2(xi + 1) + 7);
+  const PiecewisePolynomial poly = PiecewisePolynomial::Fit(x, y, 5);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(poly.Eval(x[i]), y[i], std::abs(y[i]) * 1e-9 + 1e-9);
+  }
+}
+
+TEST(InterpolationTest, InterpolatesRuntimeCurveInterior) {
+  // The Fig. 8 scenario: runtimes at a few cardinalities, impute between.
+  // TDGEN fits in log-log space, where runtime curves are near power laws
+  // and the evenly spaced nodes keep the polynomial well conditioned.
+  auto runtime = [](double n) { return 5.0 + 2e-6 * n * std::log2(n + 2); };
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double n : {1e3, 1e4, 1e5, 1e6, 1e8}) {
+    x.push_back(std::log10(n));
+    y.push_back(std::log1p(runtime(n)));
+  }
+  const PiecewisePolynomial poly = PiecewisePolynomial::Fit(x, y, 5);
+  // Interior probe 1e7 (between executed 1e6 and 1e8).
+  const double predicted = std::expm1(poly.Eval(std::log10(1e7)));
+  const double actual = runtime(1e7);
+  EXPECT_NEAR(predicted, actual, actual * 0.5);
+}
+
+TEST(InterpolationTest, MultiplePiecesForManyPoints) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 14; ++i) {
+    x.push_back(i);
+    y.push_back(i * i);
+  }
+  const PiecewisePolynomial poly = PiecewisePolynomial::Fit(x, y, 5);
+  EXPECT_GE(poly.num_pieces(), 2u);
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_NEAR(poly.Eval(i), i * i, 1e-6);
+  }
+}
+
+TEST(InterpolationTest, SinglePointIsConstant) {
+  const PiecewisePolynomial poly = PiecewisePolynomial::Fit({5.0}, {42.0}, 5);
+  EXPECT_DOUBLE_EQ(poly.Eval(5.0), 42.0);
+  EXPECT_DOUBLE_EQ(poly.Eval(100.0), 42.0);
+}
+
+TEST(InterpolationTest, TwoPointsAreLinear) {
+  const PiecewisePolynomial poly =
+      PiecewisePolynomial::Fit({0.0, 10.0}, {0.0, 100.0}, 5);
+  EXPECT_NEAR(poly.Eval(5.0), 50.0, 1e-9);
+}
+
+TEST(InterpolationTest, DuplicateAbscissaeAreDeduped) {
+  const PiecewisePolynomial poly =
+      PiecewisePolynomial::Fit({1.0, 1.0, 2.0}, {10.0, 999.0, 20.0}, 5);
+  EXPECT_NEAR(poly.Eval(1.0), 10.0, 1e-9);
+  EXPECT_NEAR(poly.Eval(2.0), 20.0, 1e-9);
+}
+
+TEST(InterpolationTest, UnsortedInputIsSorted) {
+  const PiecewisePolynomial poly =
+      PiecewisePolynomial::Fit({3.0, 1.0, 2.0}, {9.0, 1.0, 4.0}, 5);
+  EXPECT_NEAR(poly.Eval(1.5), 1.5 * 1.5, 0.3);  // Quadratic through 3 pts.
+}
+
+TEST(InterpolationTest, DegreeThreeWindows) {
+  std::vector<double> x = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> y = {0, 1, 8, 27, 64, 125, 216, 343};  // x^3.
+  const PiecewisePolynomial poly = PiecewisePolynomial::Fit(x, y, 3);
+  EXPECT_EQ(poly.num_pieces(), 2u);
+  EXPECT_NEAR(poly.Eval(1.5), 1.5 * 1.5 * 1.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace robopt

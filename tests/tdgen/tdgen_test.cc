@@ -1,0 +1,116 @@
+#include "tdgen/tdgen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace robopt {
+namespace {
+
+class TdgenTest : public ::testing::Test {
+ protected:
+  TdgenTest()
+      : registry_(PlatformRegistry::Default(3)),
+        schema_(&registry_),
+        cost_(&registry_),
+        executor_(&registry_, &cost_) {}
+
+  TdgenOptions SmallOptions() {
+    TdgenOptions options;
+    options.plans_per_shape = 2;
+    options.max_operators = 8;
+    options.max_structures_per_plan = 8;
+    options.cardinality_grid = {1e3, 1e4, 1e5, 1e6};
+    options.executed_points = {0, 1, 3};
+    options.seed = 3;
+    return options;
+  }
+
+  PlatformRegistry registry_;
+  FeatureSchema schema_;
+  VirtualCost cost_;
+  Executor executor_;
+};
+
+TEST_F(TdgenTest, GeneratesLabeledDataset) {
+  Tdgen tdgen(&registry_, &schema_, &executor_, SmallOptions());
+  TdgenReport report;
+  auto data = tdgen.Generate(&report);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->dim(), schema_.width());
+  EXPECT_GT(data->size(), 50u);
+  EXPECT_EQ(report.logical_plans, 6u);  // 3 shapes x 2 plans.
+  EXPECT_GT(report.structures, 6u);
+  EXPECT_EQ(report.jobs_total, data->size());
+  EXPECT_EQ(report.jobs_total, report.jobs_executed + report.jobs_imputed);
+  EXPECT_GT(report.jobs_imputed, 0u);  // One grid point is imputed.
+}
+
+TEST_F(TdgenTest, LabelsArePositiveAndFinite) {
+  Tdgen tdgen(&registry_, &schema_, &executor_, SmallOptions());
+  auto data = tdgen.Generate(nullptr);
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 0; i < data->size(); ++i) {
+    EXPECT_TRUE(std::isfinite(data->label(i)));
+    EXPECT_GT(data->label(i), 0.0f);
+  }
+}
+
+TEST_F(TdgenTest, GenerationIsDeterministic) {
+  Tdgen a(&registry_, &schema_, &executor_, SmallOptions());
+  Tdgen b(&registry_, &schema_, &executor_, SmallOptions());
+  auto da = a.Generate(nullptr);
+  auto db = b.Generate(nullptr);
+  ASSERT_TRUE(da.ok() && db.ok());
+  ASSERT_EQ(da->size(), db->size());
+  for (size_t i = 0; i < da->size(); i += 17) {
+    EXPECT_EQ(da->label(i), db->label(i));
+  }
+}
+
+TEST_F(TdgenTest, LabelsGrowWithCardinality) {
+  // Within one structure, larger inputs must not be drastically cheaper —
+  // check the aggregate trend: mean label of the biggest grid point exceeds
+  // the mean of the smallest.
+  TdgenOptions options = SmallOptions();
+  Tdgen tdgen(&registry_, &schema_, &executor_, options);
+  auto data = tdgen.Generate(nullptr);
+  ASSERT_TRUE(data.ok());
+  const size_t grid = options.cardinality_grid.size();
+  double small_sum = 0.0;
+  double large_sum = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i + grid - 1 < data->size(); i += grid) {
+    small_sum += data->label(i);
+    large_sum += data->label(i + grid - 1);
+    ++count;
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_GT(large_sum / count, small_sum / count);
+}
+
+TEST_F(TdgenTest, UnknownShapeIsRejected) {
+  TdgenOptions options = SmallOptions();
+  options.shapes = {"mystery"};
+  Tdgen tdgen(&registry_, &schema_, &executor_, options);
+  auto data = tdgen.Generate(nullptr);
+  EXPECT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TdgenTest, TrainRuntimeModelOrdersPlansWell) {
+  TdgenOptions options = SmallOptions();
+  options.plans_per_shape = 4;
+  options.max_structures_per_plan = 16;
+  RegressionMetrics holdout;
+  TdgenReport report;
+  auto model = TrainRuntimeModel(&registry_, &schema_, &executor_, options,
+                                 &holdout, &report);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // What the optimizer needs is ordering quality.
+  EXPECT_GT(holdout.spearman, 0.8);
+  EXPECT_GT(report.jobs_total, 200u);
+}
+
+}  // namespace
+}  // namespace robopt

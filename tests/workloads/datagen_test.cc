@@ -1,0 +1,94 @@
+#include "workloads/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace robopt {
+namespace {
+
+TEST(DatagenTest, TextLinesHaveRequestedShape) {
+  Dataset data = GenerateTextLines(1000, 1000, 1, /*words_per_line=*/5);
+  ASSERT_EQ(data.rows.size(), 1000u);
+  EXPECT_DOUBLE_EQ(data.virtual_cardinality, 1000.0);
+  for (const Record& row : data.rows) {
+    int spaces = 0;
+    for (char c : row.text) {
+      if (c == ' ') ++spaces;
+    }
+    EXPECT_EQ(spaces, 4);
+  }
+}
+
+TEST(DatagenTest, PhysicalCapKeepsVirtualCardinality) {
+  Dataset data = GenerateTextLines(1e9, 500, 2);
+  EXPECT_EQ(data.rows.size(), 500u);
+  EXPECT_DOUBLE_EQ(data.virtual_cardinality, 1e9);
+  EXPECT_DOUBLE_EQ(data.Scale(), 2e6);
+}
+
+TEST(DatagenTest, SameSeedSameData) {
+  Dataset a = GenerateTransactions(100, 100, 7);
+  Dataset b = GenerateTransactions(100, 100, 7);
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].key, b.rows[i].key);
+    EXPECT_DOUBLE_EQ(a.rows[i].num, b.rows[i].num);
+  }
+}
+
+TEST(DatagenTest, TransactionsReferenceCustomerRange) {
+  Dataset data = GenerateTransactions(1000, 1000, 3, /*num_customers=*/50);
+  for (const Record& row : data.rows) {
+    EXPECT_GE(row.key, 0);
+    EXPECT_LT(row.key, 50);
+    EXPECT_GT(row.num, 0.0);
+    EXPECT_FALSE(row.text.empty());
+  }
+}
+
+TEST(DatagenTest, CustomersHaveUniqueIds) {
+  Dataset data = GenerateCustomers(200, 200, 4);
+  std::set<int64_t> ids;
+  for (const Record& row : data.rows) {
+    EXPECT_TRUE(ids.insert(row.key).second);
+  }
+}
+
+TEST(DatagenTest, PointsHaveRequestedDimension) {
+  Dataset data = GeneratePoints(100, 100, 5, /*dim=*/7, /*clusters=*/2);
+  for (const Record& row : data.rows) {
+    EXPECT_EQ(row.vec.size(), 7u);
+  }
+}
+
+TEST(DatagenTest, LabeledSamplesFollowLinearModel) {
+  Dataset data = GenerateLabeledSamples(5000, 5000, 6, /*dim=*/3);
+  // Label variance should be mostly explained by features: check that
+  // labels are bounded by |w|_max * dim + noise.
+  for (const Record& row : data.rows) {
+    EXPECT_LT(std::abs(row.num), 2.0 * 3 + 1.0);
+  }
+}
+
+TEST(DatagenTest, EdgesStayInNodeRange) {
+  Dataset data = GenerateEdges(1000, 1000, 7, /*num_nodes=*/100);
+  for (const Record& row : data.rows) {
+    EXPECT_GE(row.key, 0);
+    EXPECT_LT(row.key, 100);
+    EXPECT_GE(row.num, 0.0);
+    EXPECT_LT(row.num, 100.0);
+  }
+}
+
+TEST(DatagenTest, CentroidsAndWeights) {
+  Dataset centroids = MakeCentroids(5, 3, 8);
+  EXPECT_EQ(centroids.rows.size(), 5u);
+  EXPECT_EQ(centroids.rows[0].vec.size(), 3u);
+  Dataset weights = MakeInitialWeights(4);
+  ASSERT_EQ(weights.rows.size(), 1u);
+  EXPECT_EQ(weights.rows[0].vec.size(), 4u);
+  for (double w : weights.rows[0].vec) EXPECT_DOUBLE_EQ(w, 0.0);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,113 @@
+#include "workloads/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/kernel.h"
+#include "plan/cardinality.h"
+
+namespace robopt {
+namespace {
+
+TEST(QueriesTest, OperatorCountsMatchTableII) {
+  EXPECT_EQ(MakeWordCountPlan(1).num_operators(), 6);
+  EXPECT_EQ(MakeWord2NVecPlan(30).num_operators(), 14);
+  EXPECT_EQ(MakeSimWordsPlan(3).num_operators(), 26);
+  EXPECT_EQ(MakeTpchQ1Plan(1).num_operators(), 7);
+  EXPECT_EQ(MakeTpchQ3Plan(1).num_operators(), 17);
+  EXPECT_EQ(MakeCrocoPrPlan(1, 10).num_operators(), 22);
+}
+
+TEST(QueriesTest, AllPlansValidate) {
+  EXPECT_TRUE(MakeWordCountPlan(1).Validate().ok());
+  EXPECT_TRUE(MakeWord2NVecPlan(30).Validate().ok());
+  EXPECT_TRUE(MakeSimWordsPlan(3).Validate().ok());
+  EXPECT_TRUE(MakeTpchQ1Plan(1).Validate().ok());
+  EXPECT_TRUE(MakeTpchQ3Plan(1).Validate().ok());
+  EXPECT_TRUE(MakeAggregatePlan(200).Validate().ok());
+  EXPECT_TRUE(MakeJoinPlan(10).Validate().ok());
+  EXPECT_TRUE(MakeJoinPlan(10, /*table_sources=*/true).Validate().ok());
+  EXPECT_TRUE(MakeKmeansPlan(36, 100, 10).Validate().ok());
+  EXPECT_TRUE(MakeSgdPlan(0.74, 100, 50).Validate().ok());
+  EXPECT_TRUE(MakeCrocoPrPlan(0.2, 10).Validate().ok());
+  EXPECT_TRUE(MakeCrocoPrPlan(0.2, 10, /*from_postgres=*/true)
+                  .Validate()
+                  .ok());
+}
+
+TEST(QueriesTest, SourceCardinalityScalesWithInputSize) {
+  LogicalPlan small = MakeWordCountPlan(0.1);
+  LogicalPlan large = MakeWordCountPlan(10.0);
+  EXPECT_NEAR(large.op(0).source_cardinality /
+                  small.op(0).source_cardinality,
+              100.0, 1.0);
+}
+
+TEST(QueriesTest, KmeansLoopIterationsAndCentroids) {
+  LogicalPlan plan = MakeKmeansPlan(36, 100, 37);
+  int begin_count = 0;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (op.kind == LogicalOpKind::kLoopBegin) {
+      ++begin_count;
+      EXPECT_EQ(op.loop_iterations, 37);
+    }
+    if (op.kind == LogicalOpKind::kCollectionSource) {
+      EXPECT_DOUBLE_EQ(op.source_cardinality, 100.0);
+    }
+  }
+  EXPECT_EQ(begin_count, 1);
+}
+
+TEST(QueriesTest, SgdSampleUsesBatchParam) {
+  LogicalPlan plan = MakeSgdPlan(1.0, 256, 10);
+  bool found = false;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (op.kind == LogicalOpKind::kSample) {
+      found = true;
+      EXPECT_DOUBLE_EQ(op.param, 256.0);
+      EXPECT_TRUE(plan.InLoop(op.id));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueriesTest, CrocoPrPostgresVariantUsesTableSource) {
+  LogicalPlan hdfs = MakeCrocoPrPlan(1, 10, false);
+  LogicalPlan pg = MakeCrocoPrPlan(1, 10, true);
+  EXPECT_EQ(hdfs.op(0).kind, LogicalOpKind::kTextFileSource);
+  EXPECT_EQ(pg.op(0).kind, LogicalOpKind::kTableSource);
+}
+
+TEST(QueriesTest, TpchQ3JoinsThreeTables) {
+  LogicalPlan plan = MakeTpchQ3Plan(10);
+  int sources = 0;
+  int joins = 0;
+  for (const LogicalOperator& op : plan.operators()) {
+    if (IsSource(op.kind)) ++sources;
+    if (op.kind == LogicalOpKind::kJoin) ++joins;
+  }
+  EXPECT_EQ(sources, 3);
+  EXPECT_EQ(joins, 2);
+}
+
+TEST(QueriesTest, CardinalitiesPropagateThroughQ3) {
+  LogicalPlan plan = MakeTpchQ3Plan(1);
+  const Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  for (const LogicalOperator& op : plan.operators()) {
+    EXPECT_GE(cards.output[op.id], 0.0) << op.name;
+    if (!IsSource(op.kind)) {
+      EXPECT_GT(cards.input[op.id], 0.0) << op.name;
+    }
+  }
+}
+
+TEST(QueriesTest, RegisterWorkloadKernelsIsIdempotent) {
+  RegisterWorkloadKernels();
+  RegisterWorkloadKernels();
+  EXPECT_NE(KernelRegistry::Global().Find("tokenize"), nullptr);
+  EXPECT_NE(KernelRegistry::Global().Find("kmeans_assign"), nullptr);
+  EXPECT_NE(KernelRegistry::Global().Find("sgd_gradient"), nullptr);
+  EXPECT_NE(KernelRegistry::Global().Find("pr_damping"), nullptr);
+}
+
+}  // namespace
+}  // namespace robopt

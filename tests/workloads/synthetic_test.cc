@@ -1,0 +1,84 @@
+#include "workloads/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace robopt {
+namespace {
+
+class SyntheticPipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticPipelineTest, ValidatesAtEverySize) {
+  const int n = GetParam();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    LogicalPlan plan = MakeSyntheticPipeline(n, 1e6, seed);
+    EXPECT_EQ(plan.num_operators(), n);
+    EXPECT_TRUE(plan.Validate().ok()) << "n=" << n << " seed=" << seed;
+    EXPECT_EQ(plan.SourceIds().size(), 1u);
+    EXPECT_EQ(plan.SinkIds().size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyntheticPipelineTest,
+                         ::testing::Values(3, 5, 10, 20, 40, 80));
+
+class SyntheticJoinTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticJoinTreeTest, ValidatesAtEveryJoinCount) {
+  const int joins = GetParam();
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    LogicalPlan plan = MakeSyntheticJoinTree(joins, 1e6, seed);
+    EXPECT_TRUE(plan.Validate().ok());
+    EXPECT_EQ(plan.SourceIds().size(), static_cast<size_t>(joins + 1));
+    int join_count = 0;
+    for (const LogicalOperator& op : plan.operators()) {
+      if (op.kind == LogicalOpKind::kJoin) ++join_count;
+    }
+    EXPECT_EQ(join_count, joins);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(JoinCounts, SyntheticJoinTreeTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SyntheticLoopTest, ValidatesAcrossSizes) {
+  for (int n : {9, 12, 16, 24}) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      LogicalPlan plan = MakeSyntheticLoopPlan(n, 1e6, 10, seed);
+      EXPECT_TRUE(plan.Validate().ok()) << "n=" << n << " seed=" << seed;
+      int begins = 0;
+      for (const LogicalOperator& op : plan.operators()) {
+        if (op.kind == LogicalOpKind::kLoopBegin) {
+          ++begins;
+          EXPECT_EQ(op.loop_iterations, 10);
+        }
+      }
+      EXPECT_EQ(begins, 1);
+    }
+  }
+}
+
+TEST(SyntheticTest, SameSeedSamePlan) {
+  LogicalPlan a = MakeSyntheticPipeline(10, 1e6, 77);
+  LogicalPlan b = MakeSyntheticPipeline(10, 1e6, 77);
+  ASSERT_EQ(a.num_operators(), b.num_operators());
+  for (int i = 0; i < a.num_operators(); ++i) {
+    EXPECT_EQ(a.op(i).kind, b.op(i).kind);
+    EXPECT_DOUBLE_EQ(a.op(i).selectivity, b.op(i).selectivity);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsGiveDifferentPlans) {
+  LogicalPlan a = MakeSyntheticPipeline(15, 1e6, 1);
+  LogicalPlan b = MakeSyntheticPipeline(15, 1e6, 2);
+  bool any_diff = false;
+  for (int i = 0; i < a.num_operators(); ++i) {
+    if (a.op(i).kind != b.op(i).kind ||
+        a.op(i).selectivity != b.op(i).selectivity) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace robopt
