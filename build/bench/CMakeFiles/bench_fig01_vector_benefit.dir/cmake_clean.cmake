@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_vector_benefit.dir/bench_fig01_vector_benefit.cc.o"
+  "CMakeFiles/bench_fig01_vector_benefit.dir/bench_fig01_vector_benefit.cc.o.d"
+  "bench_fig01_vector_benefit"
+  "bench_fig01_vector_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_vector_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

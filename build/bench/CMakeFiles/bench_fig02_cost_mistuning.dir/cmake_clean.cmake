@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_cost_mistuning.dir/bench_fig02_cost_mistuning.cc.o"
+  "CMakeFiles/bench_fig02_cost_mistuning.dir/bench_fig02_cost_mistuning.cc.o.d"
+  "bench_fig02_cost_mistuning"
+  "bench_fig02_cost_mistuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_cost_mistuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_interpolation.cc" "bench/CMakeFiles/bench_fig08_interpolation.dir/bench_fig08_interpolation.cc.o" "gcc" "bench/CMakeFiles/bench_fig08_interpolation.dir/bench_fig08_interpolation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/robopt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdgen/CMakeFiles/robopt_tdgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/robopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/robopt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/robopt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/robopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/robopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/robopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/robopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_interpolation.dir/bench_fig08_interpolation.cc.o"
+  "CMakeFiles/bench_fig08_interpolation.dir/bench_fig08_interpolation.cc.o.d"
+  "bench_fig08_interpolation"
+  "bench_fig08_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_single_platform.dir/bench_fig11_single_platform.cc.o"
+  "CMakeFiles/bench_fig11_single_platform.dir/bench_fig11_single_platform.cc.o.d"
+  "bench_fig11_single_platform"
+  "bench_fig11_single_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_single_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

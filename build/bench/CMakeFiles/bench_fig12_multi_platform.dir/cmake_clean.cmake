@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_multi_platform.dir/bench_fig12_multi_platform.cc.o"
+  "CMakeFiles/bench_fig12_multi_platform.dir/bench_fig12_multi_platform.cc.o.d"
+  "bench_fig12_multi_platform"
+  "bench_fig12_multi_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_multi_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

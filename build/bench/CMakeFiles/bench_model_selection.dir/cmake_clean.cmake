@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_selection.dir/bench_model_selection.cc.o"
+  "CMakeFiles/bench_model_selection.dir/bench_model_selection.cc.o.d"
+  "bench_model_selection"
+  "bench_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

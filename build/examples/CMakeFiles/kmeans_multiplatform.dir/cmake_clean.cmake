@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_multiplatform.dir/kmeans_multiplatform.cpp.o"
+  "CMakeFiles/kmeans_multiplatform.dir/kmeans_multiplatform.cpp.o.d"
+  "kmeans_multiplatform"
+  "kmeans_multiplatform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_multiplatform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_q3.dir/tpch_q3.cpp.o"
+  "CMakeFiles/tpch_q3.dir/tpch_q3.cpp.o.d"
+  "tpch_q3"
+  "tpch_q3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_q3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

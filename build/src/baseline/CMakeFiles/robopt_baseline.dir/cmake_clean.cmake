@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_baseline.dir/baseline_optimizers.cc.o"
+  "CMakeFiles/robopt_baseline.dir/baseline_optimizers.cc.o.d"
+  "CMakeFiles/robopt_baseline.dir/cost_model.cc.o"
+  "CMakeFiles/robopt_baseline.dir/cost_model.cc.o.d"
+  "CMakeFiles/robopt_baseline.dir/traditional_enumerator.cc.o"
+  "CMakeFiles/robopt_baseline.dir/traditional_enumerator.cc.o.d"
+  "librobopt_baseline.a"
+  "librobopt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

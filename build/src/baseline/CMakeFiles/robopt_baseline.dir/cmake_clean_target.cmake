@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librobopt_baseline.a"
+)

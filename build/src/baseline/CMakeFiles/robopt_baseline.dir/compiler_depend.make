@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for robopt_baseline.
+# This may be replaced when dependencies are built.

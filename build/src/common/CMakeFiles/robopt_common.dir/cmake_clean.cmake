@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_common.dir/rng.cc.o"
+  "CMakeFiles/robopt_common.dir/rng.cc.o.d"
+  "CMakeFiles/robopt_common.dir/status.cc.o"
+  "CMakeFiles/robopt_common.dir/status.cc.o.d"
+  "CMakeFiles/robopt_common.dir/strings.cc.o"
+  "CMakeFiles/robopt_common.dir/strings.cc.o.d"
+  "librobopt_common.a"
+  "librobopt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feature_schema.cc" "src/core/CMakeFiles/robopt_core.dir/feature_schema.cc.o" "gcc" "src/core/CMakeFiles/robopt_core.dir/feature_schema.cc.o.d"
+  "/root/repo/src/core/interesting_property.cc" "src/core/CMakeFiles/robopt_core.dir/interesting_property.cc.o" "gcc" "src/core/CMakeFiles/robopt_core.dir/interesting_property.cc.o.d"
+  "/root/repo/src/core/operations.cc" "src/core/CMakeFiles/robopt_core.dir/operations.cc.o" "gcc" "src/core/CMakeFiles/robopt_core.dir/operations.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/robopt_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/robopt_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/priority_enumeration.cc" "src/core/CMakeFiles/robopt_core.dir/priority_enumeration.cc.o" "gcc" "src/core/CMakeFiles/robopt_core.dir/priority_enumeration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/robopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/robopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/robopt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/robopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_core.dir/feature_schema.cc.o"
+  "CMakeFiles/robopt_core.dir/feature_schema.cc.o.d"
+  "CMakeFiles/robopt_core.dir/interesting_property.cc.o"
+  "CMakeFiles/robopt_core.dir/interesting_property.cc.o.d"
+  "CMakeFiles/robopt_core.dir/operations.cc.o"
+  "CMakeFiles/robopt_core.dir/operations.cc.o.d"
+  "CMakeFiles/robopt_core.dir/optimizer.cc.o"
+  "CMakeFiles/robopt_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/robopt_core.dir/priority_enumeration.cc.o"
+  "CMakeFiles/robopt_core.dir/priority_enumeration.cc.o.d"
+  "librobopt_core.a"
+  "librobopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

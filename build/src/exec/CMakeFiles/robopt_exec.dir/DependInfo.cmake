@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/robopt_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/robopt_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/kernel.cc" "src/exec/CMakeFiles/robopt_exec.dir/kernel.cc.o" "gcc" "src/exec/CMakeFiles/robopt_exec.dir/kernel.cc.o.d"
+  "/root/repo/src/exec/perf_profile.cc" "src/exec/CMakeFiles/robopt_exec.dir/perf_profile.cc.o" "gcc" "src/exec/CMakeFiles/robopt_exec.dir/perf_profile.cc.o.d"
+  "/root/repo/src/exec/virtual_cost.cc" "src/exec/CMakeFiles/robopt_exec.dir/virtual_cost.cc.o" "gcc" "src/exec/CMakeFiles/robopt_exec.dir/virtual_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/robopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/robopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/robopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

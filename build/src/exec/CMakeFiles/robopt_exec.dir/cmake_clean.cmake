@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_exec.dir/executor.cc.o"
+  "CMakeFiles/robopt_exec.dir/executor.cc.o.d"
+  "CMakeFiles/robopt_exec.dir/kernel.cc.o"
+  "CMakeFiles/robopt_exec.dir/kernel.cc.o.d"
+  "CMakeFiles/robopt_exec.dir/perf_profile.cc.o"
+  "CMakeFiles/robopt_exec.dir/perf_profile.cc.o.d"
+  "CMakeFiles/robopt_exec.dir/virtual_cost.cc.o"
+  "CMakeFiles/robopt_exec.dir/virtual_cost.cc.o.d"
+  "librobopt_exec.a"
+  "librobopt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/robopt_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/robopt_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/robopt_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/robopt_ml.dir/metrics.cc.o"
+  "CMakeFiles/robopt_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/robopt_ml.dir/ml_dataset.cc.o"
+  "CMakeFiles/robopt_ml.dir/ml_dataset.cc.o.d"
+  "CMakeFiles/robopt_ml.dir/mlp.cc.o"
+  "CMakeFiles/robopt_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/robopt_ml.dir/random_forest.cc.o"
+  "CMakeFiles/robopt_ml.dir/random_forest.cc.o.d"
+  "librobopt_ml.a"
+  "librobopt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

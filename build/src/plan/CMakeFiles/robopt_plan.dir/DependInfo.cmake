@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/cardinality.cc" "src/plan/CMakeFiles/robopt_plan.dir/cardinality.cc.o" "gcc" "src/plan/CMakeFiles/robopt_plan.dir/cardinality.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/plan/CMakeFiles/robopt_plan.dir/logical_plan.cc.o" "gcc" "src/plan/CMakeFiles/robopt_plan.dir/logical_plan.cc.o.d"
+  "/root/repo/src/plan/operator_kind.cc" "src/plan/CMakeFiles/robopt_plan.dir/operator_kind.cc.o" "gcc" "src/plan/CMakeFiles/robopt_plan.dir/operator_kind.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/robopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

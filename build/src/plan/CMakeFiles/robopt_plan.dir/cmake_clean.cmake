@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_plan.dir/cardinality.cc.o"
+  "CMakeFiles/robopt_plan.dir/cardinality.cc.o.d"
+  "CMakeFiles/robopt_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/robopt_plan.dir/logical_plan.cc.o.d"
+  "CMakeFiles/robopt_plan.dir/operator_kind.cc.o"
+  "CMakeFiles/robopt_plan.dir/operator_kind.cc.o.d"
+  "librobopt_plan.a"
+  "librobopt_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

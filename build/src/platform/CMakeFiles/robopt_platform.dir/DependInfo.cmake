@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/conversion.cc" "src/platform/CMakeFiles/robopt_platform.dir/conversion.cc.o" "gcc" "src/platform/CMakeFiles/robopt_platform.dir/conversion.cc.o.d"
+  "/root/repo/src/platform/dot.cc" "src/platform/CMakeFiles/robopt_platform.dir/dot.cc.o" "gcc" "src/platform/CMakeFiles/robopt_platform.dir/dot.cc.o.d"
+  "/root/repo/src/platform/execution_plan.cc" "src/platform/CMakeFiles/robopt_platform.dir/execution_plan.cc.o" "gcc" "src/platform/CMakeFiles/robopt_platform.dir/execution_plan.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/platform/CMakeFiles/robopt_platform.dir/platform.cc.o" "gcc" "src/platform/CMakeFiles/robopt_platform.dir/platform.cc.o.d"
+  "/root/repo/src/platform/registry.cc" "src/platform/CMakeFiles/robopt_platform.dir/registry.cc.o" "gcc" "src/platform/CMakeFiles/robopt_platform.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/robopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/robopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

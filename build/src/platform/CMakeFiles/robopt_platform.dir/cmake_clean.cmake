@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_platform.dir/conversion.cc.o"
+  "CMakeFiles/robopt_platform.dir/conversion.cc.o.d"
+  "CMakeFiles/robopt_platform.dir/dot.cc.o"
+  "CMakeFiles/robopt_platform.dir/dot.cc.o.d"
+  "CMakeFiles/robopt_platform.dir/execution_plan.cc.o"
+  "CMakeFiles/robopt_platform.dir/execution_plan.cc.o.d"
+  "CMakeFiles/robopt_platform.dir/platform.cc.o"
+  "CMakeFiles/robopt_platform.dir/platform.cc.o.d"
+  "CMakeFiles/robopt_platform.dir/registry.cc.o"
+  "CMakeFiles/robopt_platform.dir/registry.cc.o.d"
+  "librobopt_platform.a"
+  "librobopt_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

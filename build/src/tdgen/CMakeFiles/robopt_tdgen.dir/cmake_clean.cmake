@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_tdgen.dir/experience.cc.o"
+  "CMakeFiles/robopt_tdgen.dir/experience.cc.o.d"
+  "CMakeFiles/robopt_tdgen.dir/interpolation.cc.o"
+  "CMakeFiles/robopt_tdgen.dir/interpolation.cc.o.d"
+  "CMakeFiles/robopt_tdgen.dir/tdgen.cc.o"
+  "CMakeFiles/robopt_tdgen.dir/tdgen.cc.o.d"
+  "librobopt_tdgen.a"
+  "librobopt_tdgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_tdgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

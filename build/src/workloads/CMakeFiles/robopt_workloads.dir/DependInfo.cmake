@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/datagen.cc" "src/workloads/CMakeFiles/robopt_workloads.dir/datagen.cc.o" "gcc" "src/workloads/CMakeFiles/robopt_workloads.dir/datagen.cc.o.d"
+  "/root/repo/src/workloads/queries.cc" "src/workloads/CMakeFiles/robopt_workloads.dir/queries.cc.o" "gcc" "src/workloads/CMakeFiles/robopt_workloads.dir/queries.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/robopt_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/robopt_workloads.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/robopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/robopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/robopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/robopt_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

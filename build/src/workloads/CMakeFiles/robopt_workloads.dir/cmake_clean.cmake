@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robopt_workloads.dir/datagen.cc.o"
+  "CMakeFiles/robopt_workloads.dir/datagen.cc.o.d"
+  "CMakeFiles/robopt_workloads.dir/queries.cc.o"
+  "CMakeFiles/robopt_workloads.dir/queries.cc.o.d"
+  "CMakeFiles/robopt_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/robopt_workloads.dir/synthetic.cc.o.d"
+  "librobopt_workloads.a"
+  "librobopt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robopt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

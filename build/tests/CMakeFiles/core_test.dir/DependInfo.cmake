@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/feature_schema_test.cc" "tests/CMakeFiles/core_test.dir/core/feature_schema_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/feature_schema_test.cc.o.d"
+  "/root/repo/tests/core/interesting_property_test.cc" "tests/CMakeFiles/core_test.dir/core/interesting_property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/interesting_property_test.cc.o.d"
+  "/root/repo/tests/core/operations_test.cc" "tests/CMakeFiles/core_test.dir/core/operations_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/operations_test.cc.o.d"
+  "/root/repo/tests/core/optimizer_test.cc" "tests/CMakeFiles/core_test.dir/core/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/optimizer_test.cc.o.d"
+  "/root/repo/tests/core/plan_vector_test.cc" "tests/CMakeFiles/core_test.dir/core/plan_vector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/plan_vector_test.cc.o.d"
+  "/root/repo/tests/core/priority_enumeration_test.cc" "tests/CMakeFiles/core_test.dir/core/priority_enumeration_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/priority_enumeration_test.cc.o.d"
+  "/root/repo/tests/core/pruning_test.cc" "tests/CMakeFiles/core_test.dir/core/pruning_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pruning_test.cc.o.d"
+  "/root/repo/tests/core/vector_consistency_test.cc" "tests/CMakeFiles/core_test.dir/core/vector_consistency_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/vector_consistency_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/robopt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdgen/CMakeFiles/robopt_tdgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/robopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/robopt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/robopt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/robopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/robopt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/robopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/robopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

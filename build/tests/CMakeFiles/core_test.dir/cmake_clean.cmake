@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/feature_schema_test.cc.o"
+  "CMakeFiles/core_test.dir/core/feature_schema_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/interesting_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/interesting_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/operations_test.cc.o"
+  "CMakeFiles/core_test.dir/core/operations_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/optimizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/optimizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/plan_vector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/plan_vector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/priority_enumeration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/priority_enumeration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pruning_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pruning_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/vector_consistency_test.cc.o"
+  "CMakeFiles/core_test.dir/core/vector_consistency_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

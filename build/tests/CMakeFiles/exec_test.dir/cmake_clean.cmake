@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_test.dir/exec/executor_errors_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/executor_errors_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/executor_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/executor_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/kernel_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/kernel_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/perf_profile_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/perf_profile_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/record_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/record_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/virtual_cost_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/virtual_cost_test.cc.o.d"
+  "exec_test"
+  "exec_test.pdb"
+  "exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

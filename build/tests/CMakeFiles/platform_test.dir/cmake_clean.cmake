@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_test.dir/platform/conversion_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/conversion_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/dot_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/dot_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/execution_plan_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/execution_plan_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/registry_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/registry_test.cc.o.d"
+  "platform_test"
+  "platform_test.pdb"
+  "platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

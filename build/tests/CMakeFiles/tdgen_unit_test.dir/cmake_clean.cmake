@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdgen_unit_test.dir/tdgen/experience_test.cc.o"
+  "CMakeFiles/tdgen_unit_test.dir/tdgen/experience_test.cc.o.d"
+  "CMakeFiles/tdgen_unit_test.dir/tdgen/interpolation_test.cc.o"
+  "CMakeFiles/tdgen_unit_test.dir/tdgen/interpolation_test.cc.o.d"
+  "CMakeFiles/tdgen_unit_test.dir/tdgen/tdgen_test.cc.o"
+  "CMakeFiles/tdgen_unit_test.dir/tdgen/tdgen_test.cc.o.d"
+  "tdgen_unit_test"
+  "tdgen_unit_test.pdb"
+  "tdgen_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdgen_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

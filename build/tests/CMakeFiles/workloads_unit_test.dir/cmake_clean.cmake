@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_unit_test.dir/workloads/datagen_test.cc.o"
+  "CMakeFiles/workloads_unit_test.dir/workloads/datagen_test.cc.o.d"
+  "CMakeFiles/workloads_unit_test.dir/workloads/queries_test.cc.o"
+  "CMakeFiles/workloads_unit_test.dir/workloads/queries_test.cc.o.d"
+  "CMakeFiles/workloads_unit_test.dir/workloads/synthetic_test.cc.o"
+  "CMakeFiles/workloads_unit_test.dir/workloads/synthetic_test.cc.o.d"
+  "workloads_unit_test"
+  "workloads_unit_test.pdb"
+  "workloads_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
