@@ -32,6 +32,9 @@ class BenchEnv {
         simply_tuned(&registry, &cost, CostModel::Tuning::kSimplyTuned) {
     RegisterWorkloadKernels();
     forest = LoadOrTrain(num_platforms);
+    // Route every oracle batch through the parallel blocked kernel (0 =
+    // hardware concurrency); predictions are identical to serial.
+    forest->set_num_threads(0);
     oracle = std::make_unique<MlCostOracle>(forest.get());
     robopt = std::make_unique<RoboptOptimizer>(&registry, &schema,
                                                oracle.get());

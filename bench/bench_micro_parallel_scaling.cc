@@ -1,0 +1,196 @@
+// Serial-vs-parallel throughput of the vector-algebra hot path: sharded
+// Concat, footprint-grouped PruneBoundary, and the blocked RandomForest
+// batch kernel, on a >= 100k-row enumeration. Verifies along the way that
+// every parallel result is bit-identical to the serial one (the determinism
+// contract of DESIGN.md, "Threading model & determinism"), and emits
+// BENCH_parallel.json for the scaling record.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/operations.h"
+#include "ml/random_forest.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kMaxThreads = 8;
+
+double MedianOf3(double a, double b, double c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  return a > b ? a : b;
+}
+
+/// Times `fn` three times and returns the median, in seconds.
+template <typename Fn>
+double TimeSeconds(const Fn& fn) {
+  double samples[3];
+  for (double& sample : samples) {
+    Stopwatch stopwatch;
+    fn();
+    sample = stopwatch.ElapsedMillis() / 1000.0;
+  }
+  return MedianOf3(samples[0], samples[1], samples[2]);
+}
+
+bool SameEnumeration(const PlanVectorEnumeration& a,
+                     const PlanVectorEnumeration& b) {
+  if (a.size() != b.size() || a.width() != b.width()) return false;
+  if (std::memcmp(a.feature_pool().data(), b.feature_pool().data(),
+                  a.size() * a.width() * sizeof(float)) != 0) {
+    return false;
+  }
+  for (size_t row = 0; row < a.size(); ++row) {
+    if (a.switches(row) != b.switches(row)) return false;
+    if (std::memcmp(a.assignment(row), b.assignment(row), a.num_ops()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Main() {
+  PlatformRegistry registry = PlatformRegistry::Synthetic(4);
+  FeatureSchema schema(&registry);
+  LogicalPlan plan = MakeSyntheticPipeline(12, 1e7, 3);
+  auto made = EnumerationContext::Make(&plan, &registry, &schema);
+  if (!made.ok()) {
+    std::fprintf(stderr, "context: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  const EnumerationContext ctx = std::move(made).value();
+
+  // A 4^8-row pool concatenated with a 4-row singleton: 262144 output rows.
+  AbstractPlanVector left_ops;
+  for (OperatorId op = 0; op < 8; ++op) left_ops.ops.push_back(op);
+  AbstractPlanVector right_ops;
+  right_ops.ops = {8};
+  const PlanVectorEnumeration left = Enumerate(ctx, left_ops);
+  const PlanVectorEnumeration right = Enumerate(ctx, right_ops);
+  const PlanVectorEnumeration big = Concat(ctx, left, right);
+  std::fprintf(stderr,
+               "[bench] %zu x %zu -> %zu rows, width %zu, hardware threads "
+               "%d\n",
+               left.size(), right.size(), big.size(), big.width(),
+               ThreadPool::HardwareThreads());
+
+  // A small forest over the schema width: inference cost is what matters,
+  // not model quality.
+  MlDataset data(schema.width());
+  Rng rng(17);
+  std::vector<float> row(schema.width());
+  for (int i = 0; i < 512; ++i) {
+    for (float& cell : row) {
+      cell = static_cast<float>(rng.NextUniform(0, 100));
+    }
+    data.Add(row, static_cast<float>(rng.NextUniform(0, 1000)));
+  }
+  RandomForest::Params params;
+  params.num_trees = 40;
+  RandomForest forest(params);
+  if (!forest.Train(data).ok()) {
+    std::fprintf(stderr, "forest training failed\n");
+    return 1;
+  }
+  MlCostOracle oracle(&forest);
+
+  // Reference serial outputs for the determinism check.
+  const PlanVectorEnumeration concat_serial = Concat(ctx, left, right, 1);
+  const PlanVectorEnumeration prune_serial =
+      PruneBoundary(ctx, big, oracle, nullptr, 1);
+  std::vector<float> predict_serial(big.size());
+  forest.set_num_threads(1);
+  forest.PredictBatch(big.feature_pool().data(), big.size(), big.width(),
+                      predict_serial.data());
+
+  double concat_s[kMaxThreads + 1] = {0};
+  double prune_s[kMaxThreads + 1] = {0};
+  double predict_s[kMaxThreads + 1] = {0};
+  std::vector<float> predictions(big.size());
+  for (int threads : kThreadCounts) {
+    concat_s[threads] = TimeSeconds([&] {
+      const PlanVectorEnumeration out = Concat(ctx, left, right, threads);
+      if (!SameEnumeration(out, concat_serial)) {
+        std::fprintf(stderr, "FATAL: Concat(%d threads) != serial\n", threads);
+        std::abort();
+      }
+    });
+    prune_s[threads] = TimeSeconds([&] {
+      forest.set_num_threads(threads);
+      const PlanVectorEnumeration out =
+          PruneBoundary(ctx, big, oracle, nullptr, threads);
+      if (!SameEnumeration(out, prune_serial)) {
+        std::fprintf(stderr, "FATAL: PruneBoundary(%d threads) != serial\n",
+                     threads);
+        std::abort();
+      }
+    });
+    predict_s[threads] = TimeSeconds([&] {
+      forest.set_num_threads(threads);
+      forest.PredictBatch(big.feature_pool().data(), big.size(), big.width(),
+                          predictions.data());
+      if (std::memcmp(predictions.data(), predict_serial.data(),
+                      predictions.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr, "FATAL: PredictBatch(%d threads) != serial\n",
+                     threads);
+        std::abort();
+      }
+    });
+    std::fprintf(stderr,
+                 "[bench] threads=%d concat %.3fs  prune %.3fs  predict "
+                 "%.3fs\n",
+                 threads, concat_s[threads], prune_s[threads],
+                 predict_s[threads]);
+  }
+
+  const double serial_total = concat_s[1] + prune_s[1] + predict_s[1];
+  const double parallel_total = concat_s[8] + prune_s[8] + predict_s[8];
+  const double combined_speedup =
+      parallel_total > 0 ? serial_total / parallel_total : 0.0;
+  std::fprintf(stderr, "[bench] combined speedup at 8 threads: %.2fx\n",
+               combined_speedup);
+
+  FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return 1;
+  }
+  const double rows = static_cast<double>(big.size());
+  std::fprintf(json,
+               "{\n"
+               "  \"rows\": %zu,\n"
+               "  \"width\": %zu,\n"
+               "  \"hardware_threads\": %d,\n",
+               big.size(), big.width(), ThreadPool::HardwareThreads());
+  const char* names[] = {"concat", "prune_boundary", "predict_batch"};
+  const double* times[] = {concat_s, prune_s, predict_s};
+  for (int op = 0; op < 3; ++op) {
+    std::fprintf(json, "  \"%s\": {", names[op]);
+    for (int t = 0; t < 4; ++t) {
+      const int threads = kThreadCounts[t];
+      std::fprintf(json, "\"threads_%d_rows_per_s\": %.0f, ", threads,
+                   times[op][threads] > 0 ? rows / times[op][threads] : 0.0);
+    }
+    std::fprintf(json, "\"speedup_8_vs_1\": %.3f},\n",
+                 times[op][8] > 0 ? times[op][1] / times[op][8] : 0.0);
+  }
+  std::fprintf(json,
+               "  \"combined\": {\"serial_s\": %.4f, \"parallel_8_s\": %.4f, "
+               "\"speedup_8_vs_1\": %.3f}\n}\n",
+               serial_total, parallel_total, combined_speedup);
+  std::fclose(json);
+  std::fprintf(stderr, "[bench] wrote BENCH_parallel.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace robopt
+
+int main() { return robopt::Main(); }

@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace robopt {
+namespace {
+
+/// Set while a thread is executing chunks of a pool job; nested ParallelFor
+/// calls from such a thread run inline instead of re-entering the pool.
+thread_local bool t_inside_pool_job = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int worker_count = std::max(0, num_threads - 1);
+  workers_.reserve(static_cast<size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: workers must outlive every static-destruction-order
+  // user, and the process is about to exit anyway.
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      ++running_workers_;
+    }
+    t_inside_pool_job = true;
+    RunChunks();
+    t_inside_pool_job = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_workers_;
+      if (running_workers_ == 0 && done_chunks_ == chunks_.size()) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::RunChunks() {
+  for (;;) {
+    std::pair<size_t, size_t> chunk;
+    const RangeFn* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_chunk_ >= chunks_.size()) return;
+      chunk = chunks_[next_chunk_++];
+      fn = fn_;
+    }
+    (*fn)(chunk.first, chunk.second);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_chunks_;
+      if (done_chunks_ == chunks_.size()) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             int max_shards, const RangeFn& fn) {
+  if (end <= begin) return;
+  const size_t range = end - begin;
+  const size_t min_per_shard = std::max<size_t>(grain, 1);
+  // Deterministic chunk layout: a function of the arguments only.
+  const size_t shard_cap = std::max<int>(max_shards, 1);
+  const size_t shards =
+      std::min<size_t>(shard_cap, (range + min_per_shard - 1) / min_per_shard);
+  if (shards <= 1 || t_inside_pool_job) {
+    fn(begin, end);
+    return;
+  }
+  // Note: even with zero workers (single-core hardware) the chunked job
+  // runs — the caller drains every chunk — so the sharded code path behaves
+  // identically everywhere.
+
+  std::vector<std::pair<size_t, size_t>> chunks;
+  chunks.reserve(shards);
+  const size_t base = range / shards;
+  const size_t extra = range % shards;
+  size_t at = begin;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t len = base + (s < extra ? 1 : 0);
+    chunks.emplace_back(at, at + len);
+    at += len;
+  }
+
+  std::lock_guard<std::mutex> call_lock(call_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    chunks_ = std::move(chunks);
+    next_chunk_ = 0;
+    done_chunks_ = 0;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  t_inside_pool_job = true;
+  RunChunks();
+  t_inside_pool_job = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] {
+    return done_chunks_ == chunks_.size() && running_workers_ == 0;
+  });
+  fn_ = nullptr;
+}
+
+void ParallelFor(int num_threads, size_t begin, size_t end, size_t grain,
+                 const ThreadPool::RangeFn& fn) {
+  if (num_threads <= 1) {
+    if (end > begin) fn(begin, end);
+    return;
+  }
+  ThreadPool::Global().ParallelFor(begin, end, grain, num_threads, fn);
+}
+
+}  // namespace robopt

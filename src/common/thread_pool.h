@@ -1,0 +1,89 @@
+#ifndef ROBOPT_COMMON_THREAD_POOL_H_
+#define ROBOPT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace robopt {
+
+/// Fixed-size worker pool with one blocking primitive: ParallelFor over a
+/// contiguous index range. Built for the enumerator's hot path, so the
+/// design constraints are determinism and zero surprises rather than
+/// generality:
+///
+///   - The *chunking* of [begin, end) depends only on (begin, end, grain,
+///     max_shards) — never on scheduling — so any code that writes chunk k's
+///     results to a chunk-derived location produces bit-identical output for
+///     every thread count.
+///   - The calling thread participates in the work; a pool of N threads plus
+///     the caller executes up to N+1 chunks concurrently.
+///   - Calls are serialized: one ParallelFor runs at a time. A nested call
+///     from inside a worker chunk degrades to an inline serial loop instead
+///     of deadlocking.
+///   - ParallelFor does not return until every chunk has finished *and*
+///     every worker has left the job, so job state can be republished
+///     without racing stale workers.
+class ThreadPool {
+ public:
+  using RangeFn = std::function<void(size_t begin, size_t end)>;
+
+  /// Spawns `num_threads - 1` workers (the caller is the extra thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that can work on a job (workers + calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Splits [begin, end) into at most `max_shards` contiguous chunks of at
+  /// least `grain` indices each and runs `fn(chunk_begin, chunk_end)` on
+  /// them concurrently. Blocks until the whole range is done. Falls back to
+  /// a single inline `fn(begin, end)` when the range is too small to shard,
+  /// when `max_shards <= 1`, or when called from inside a pool job.
+  void ParallelFor(size_t begin, size_t end, size_t grain, int max_shards,
+                   const RangeFn& fn);
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  static ThreadPool& Global();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs chunks of the current job until none remain.
+  void RunChunks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex call_mu_;  ///< Serializes ParallelFor callers.
+
+  std::mutex mu_;  ///< Guards all job state below.
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const RangeFn* fn_ = nullptr;
+  std::vector<std::pair<size_t, size_t>> chunks_;
+  size_t next_chunk_ = 0;
+  size_t done_chunks_ = 0;
+  size_t running_workers_ = 0;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+/// The serial/parallel switch the vector algebra uses: `num_threads <= 1`
+/// runs `fn(begin, end)` inline (the exact serial code path, no pool, no
+/// locks); otherwise dispatches to the global pool capped at `num_threads`
+/// shards. Chunking is deterministic (see ThreadPool).
+void ParallelFor(int num_threads, size_t begin, size_t end, size_t grain,
+                 const ThreadPool::RangeFn& fn);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_COMMON_THREAD_POOL_H_

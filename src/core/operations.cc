@@ -5,8 +5,10 @@
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace robopt {
 namespace {
@@ -232,9 +234,14 @@ PlanVectorEnumeration Enumerate(const EnumerationContext& ctx,
 void MergeRows(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
                size_t row_a, const PlanVectorEnumeration& b, size_t row_b,
                PlanVectorEnumeration* out) {
+  MergeRowsAt(ctx, a, row_a, b, row_b, out, out->AppendZero());
+}
+
+void MergeRowsAt(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
+                 size_t row_a, const PlanVectorEnumeration& b, size_t row_b,
+                 PlanVectorEnumeration* out, size_t row) {
   const FeatureSchema& schema = *ctx.schema;
   const size_t width = schema.width();
-  const size_t row = out->AppendZero();
   float* f = out->features(row);
   const float* fa = a.features(row_a);
   const float* fb = b.features(row_b);
@@ -277,26 +284,128 @@ void MergeRows(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
   out->set_switches(row, switches);
 }
 
+namespace {
+
+/// Minimum rows a shard must own before forking pays for itself.
+constexpr size_t kParallelGrainRows = 1024;
+
+}  // namespace
+
 PlanVectorEnumeration Concat(const EnumerationContext& ctx,
                              const PlanVectorEnumeration& a,
-                             const PlanVectorEnumeration& b) {
+                             const PlanVectorEnumeration& b,
+                             int num_threads) {
   ROBOPT_DCHECK((a.scope() & b.scope()).none());
   PlanVectorEnumeration out(a.width(), a.num_ops());
   out.mutable_scope() = a.scope() | b.scope();
   out.set_boundary(ComputeBoundary(ctx, out.scope()));
-  out.Reserve(a.size() * b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    for (size_t j = 0; j < b.size(); ++j) {
-      MergeRows(ctx, a, i, b, j, &out);
+  const size_t rows = a.size() * b.size();
+  if (num_threads <= 1 || rows < 2 * kParallelGrainRows) {
+    out.Reserve(rows);
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = 0; j < b.size(); ++j) {
+        MergeRows(ctx, a, i, b, j, &out);
+      }
     }
+    return out;
   }
+  // Shard the flattened (i, j) pair space: row r of the output is the merge
+  // of a[r / |b|] with b[r % |b|], exactly the serial (i-major) order, so
+  // each shard fills a disjoint contiguous row range of the preallocated
+  // pool and the result is bit-identical for every thread count.
+  out.AppendZeroRows(rows);
+  const size_t b_rows = b.size();
+  ParallelFor(num_threads, 0, rows, kParallelGrainRows,
+              [&](size_t begin, size_t end) {
+                for (size_t r = begin; r < end; ++r) {
+                  MergeRowsAt(ctx, a, r / b_rows, b, r % b_rows, &out, r);
+                }
+              });
   return out;
 }
+
+namespace {
+
+/// Boundaries of up to this many operators pack into one uint64_t footprint
+/// key (one platform byte per boundary operator, 0xff = unassigned).
+constexpr size_t kPackedFootprintOps = 8;
+
+/// Footprint grouping core: returns the kept row per footprint, in the
+/// serial first-seen footprint order with the serial tie-break (a later row
+/// replaces the group's champion only when strictly cheaper). Shards the
+/// row range into contiguous per-thread maps and reduces them in ascending
+/// shard order, which reproduces the serial semantics exactly because every
+/// row of shard s precedes every row of shard s+1.
+template <typename Key, typename KeyFn>
+std::vector<size_t> GroupFootprints(size_t rows, const float* costs,
+                                    const KeyFn& key_of, int num_threads) {
+  struct Shard {
+    std::unordered_map<Key, size_t> best;           // footprint -> row.
+    std::vector<std::pair<Key, size_t>> order;      // First-seen order.
+  };
+  auto scan = [&](size_t begin, size_t end, Shard* shard) {
+    for (size_t row = begin; row < end; ++row) {
+      auto [it, inserted] = shard->best.try_emplace(key_of(row), row);
+      if (inserted) {
+        shard->order.emplace_back(it->first, row);
+      } else if (costs[row] < costs[it->second]) {
+        it->second = row;
+      }
+    }
+  };
+
+  const size_t shard_count =
+      num_threads <= 1
+          ? 1
+          : std::min<size_t>(static_cast<size_t>(num_threads),
+                             rows / kParallelGrainRows);
+  if (shard_count <= 1) {
+    Shard all;
+    scan(0, rows, &all);
+    std::vector<size_t> kept;
+    kept.reserve(all.order.size());
+    for (const auto& [key, first_row] : all.order) {
+      kept.push_back(all.best[key]);
+    }
+    return kept;
+  }
+
+  std::vector<Shard> shards(shard_count);
+  std::vector<size_t> starts(shard_count + 1, 0);
+  const size_t base = rows / shard_count;
+  const size_t extra = rows % shard_count;
+  for (size_t s = 0; s < shard_count; ++s) {
+    starts[s + 1] = starts[s] + base + (s < extra ? 1 : 0);
+  }
+  ParallelFor(num_threads, 0, shard_count, 1, [&](size_t s0, size_t s1) {
+    for (size_t s = s0; s < s1; ++s) scan(starts[s], starts[s + 1], &shards[s]);
+  });
+
+  std::unordered_map<Key, size_t> best;
+  std::vector<Key> order;
+  for (const Shard& shard : shards) {
+    for (const auto& [key, first_row] : shard.order) {
+      const size_t row = shard.best.at(key);
+      auto [it, inserted] = best.try_emplace(key, row);
+      if (inserted) {
+        order.push_back(key);
+      } else if (costs[row] < costs[it->second]) {
+        it->second = row;
+      }
+    }
+  }
+  std::vector<size_t> kept;
+  kept.reserve(order.size());
+  for (const Key& key : order) kept.push_back(best[key]);
+  return kept;
+}
+
+}  // namespace
 
 PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
                                     const PlanVectorEnumeration& v,
                                     const CostOracle& oracle,
-                                    PruneStats* stats) {
+                                    PruneStats* stats, int num_threads) {
   PlanVectorEnumeration out(v.width(), v.num_ops());
   out.mutable_scope() = v.scope();
   out.set_boundary(v.boundary());
@@ -308,7 +417,8 @@ PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
   }
 
   // One batch oracle call over the whole contiguous pool — no per-subplan
-  // transformation.
+  // transformation. (An ML oracle parallelizes internally over row blocks;
+  // see RandomForest::PredictBatch.)
   std::vector<float> costs(v.size());
   oracle.EstimateBatch(v.feature_pool().data(), v.size(), v.width(),
                        costs.data());
@@ -316,25 +426,39 @@ PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
   // Group rows by pruning footprint: the *platform* of every boundary
   // operator (Definition 2); keep the cheapest row per footprint.
   const std::vector<OperatorId>& boundary = v.boundary();
-  std::unordered_map<std::string, size_t> best;  // footprint -> row.
-  std::vector<std::pair<std::string, size_t>> order;  // First-seen order.
-  std::string key(boundary.size(), '\0');
-  for (size_t row = 0; row < v.size(); ++row) {
-    const uint8_t* assign = v.assignment(row);
-    for (size_t bi = 0; bi < boundary.size(); ++bi) {
-      key[bi] = static_cast<char>(
-          ctx.PlatformOfAssignment(assign, boundary[bi]) + 1);
-    }
-    auto [it, inserted] = best.try_emplace(key, row);
-    if (inserted) {
-      order.emplace_back(key, row);
-    } else if (costs[row] < costs[it->second]) {
-      it->second = row;
-    }
+  std::vector<size_t> kept;
+  if (boundary.size() <= kPackedFootprintOps) {
+    const auto key_of = [&](size_t row) {
+      const uint8_t* assign = v.assignment(row);
+      uint64_t key = 0;
+      for (size_t bi = 0; bi < boundary.size(); ++bi) {
+        key |= static_cast<uint64_t>(
+                   ctx.PlatformOfAssignment(assign, boundary[bi]))
+               << (8 * bi);
+      }
+      return key;
+    };
+    kept = GroupFootprints<uint64_t>(v.size(), costs.data(), key_of,
+                                     num_threads);
+  } else {
+    // Wide-boundary fallback (more than 8 boundary operators): the original
+    // string keys, same grouping semantics.
+    const auto key_of = [&](size_t row) {
+      const uint8_t* assign = v.assignment(row);
+      std::string key(boundary.size(), '\0');
+      for (size_t bi = 0; bi < boundary.size(); ++bi) {
+        key[bi] = static_cast<char>(
+            ctx.PlatformOfAssignment(assign, boundary[bi]) + 1);
+      }
+      return key;
+    };
+    kept = GroupFootprints<std::string>(v.size(), costs.data(), key_of,
+                                        num_threads);
   }
-  for (auto& [footprint, first_row] : order) {
-    out.AppendCopy(v, best[footprint]);
-  }
+
+  // Exact-size reservation: one output row per distinct footprint.
+  out.Reserve(kept.size());
+  for (size_t row : kept) out.AppendCopy(v, row);
   if (stats != nullptr) stats->rows_out += out.size();
   return out;
 }
@@ -347,6 +471,12 @@ PlanVectorEnumeration PruneSwitchCap(const EnumerationContext& ctx,
   out.mutable_scope() = v.scope();
   out.set_boundary(v.boundary());
   if (stats != nullptr) stats->rows_in += v.size();
+  // Count survivors first so the append loop reserves exactly once.
+  size_t surviving = 0;
+  for (size_t row = 0; row < v.size(); ++row) {
+    if (v.switches(row) <= beta) ++surviving;
+  }
+  out.Reserve(surviving);
   for (size_t row = 0; row < v.size(); ++row) {
     if (v.switches(row) <= beta) out.AppendCopy(v, row);
   }
@@ -366,15 +496,45 @@ ExecutionPlan Unvectorize(const EnumerationContext& ctx,
 
 size_t ArgMinCost(const EnumerationContext& ctx,
                   const PlanVectorEnumeration& v, const CostOracle& oracle,
-                  float* cost_out) {
+                  float* cost_out, int num_threads) {
   (void)ctx;
   ROBOPT_CHECK(v.size() > 0);
   std::vector<float> costs(v.size());
   oracle.EstimateBatch(v.feature_pool().data(), v.size(), v.width(),
                        costs.data());
   size_t best = 0;
-  for (size_t row = 1; row < v.size(); ++row) {
-    if (costs[row] < costs[best]) best = row;
+  const size_t shard_count =
+      num_threads <= 1
+          ? 1
+          : std::min<size_t>(static_cast<size_t>(num_threads),
+                             v.size() / kParallelGrainRows);
+  if (shard_count <= 1) {
+    for (size_t row = 1; row < v.size(); ++row) {
+      if (costs[row] < costs[best]) best = row;
+    }
+  } else {
+    // Per-shard argmin, reduced in ascending shard order with a strict "<"
+    // so ties resolve to the earliest row, as in the serial scan.
+    std::vector<size_t> shard_best(shard_count, 0);
+    std::vector<size_t> starts(shard_count + 1, 0);
+    const size_t base = v.size() / shard_count;
+    const size_t extra = v.size() % shard_count;
+    for (size_t s = 0; s < shard_count; ++s) {
+      starts[s + 1] = starts[s] + base + (s < extra ? 1 : 0);
+    }
+    ParallelFor(num_threads, 0, shard_count, 1, [&](size_t s0, size_t s1) {
+      for (size_t s = s0; s < s1; ++s) {
+        size_t local = starts[s];
+        for (size_t row = starts[s] + 1; row < starts[s + 1]; ++row) {
+          if (costs[row] < costs[local]) local = row;
+        }
+        shard_best[s] = local;
+      }
+    });
+    best = shard_best[0];
+    for (size_t s = 1; s < shard_count; ++s) {
+      if (costs[shard_best[s]] < costs[best]) best = shard_best[s];
+    }
   }
   if (cost_out != nullptr) *cost_out = costs[best];
   return best;

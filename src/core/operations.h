@@ -88,15 +88,28 @@ PlanVectorEnumeration Enumerate(const EnumerationContext& ctx,
 /// flat float-array addition plus conversion accounting on scope-crossing
 /// edges. This fusion over a contiguous pool is the vectorized fast path
 /// the paper's Figure 1 measures.
+///
+/// With `num_threads > 1` the flattened (row_a, row_b) pair space is sharded
+/// into contiguous chunks, each merged by one pool thread directly into its
+/// slice of the preallocated output. Row order and content are bit-identical
+/// to the serial path for every thread count; `num_threads <= 1` runs the
+/// original serial loop.
 PlanVectorEnumeration Concat(const EnumerationContext& ctx,
                              const PlanVectorEnumeration& a,
-                             const PlanVectorEnumeration& b);
+                             const PlanVectorEnumeration& b,
+                             int num_threads = 1);
 
 /// (6) merge(v1, v2) -> v for a single pair of rows (exposed for tests and
 /// for the paper-faithful formulation; Concat is the batched form).
 void MergeRows(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
                size_t row_a, const PlanVectorEnumeration& b, size_t row_b,
                PlanVectorEnumeration* out);
+
+/// merge into a preexisting (zeroed) row `row` of `out` — the form the
+/// sharded Concat uses so threads can write disjoint row ranges in place.
+void MergeRowsAt(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
+                 size_t row_a, const PlanVectorEnumeration& b, size_t row_b,
+                 PlanVectorEnumeration* out, size_t row);
 
 /// Boundary operators of a scope: members adjacent (data or broadcast edge)
 /// to at least one operator outside the scope.
@@ -112,10 +125,18 @@ struct PruneStats {
 /// rows by the platforms of the scope's boundary operators (the pruning
 /// footprint) and keeps the cheapest row of each group according to the
 /// oracle. Lossless w.r.t. the oracle.
+///
+/// Footprints of up to 8 boundary operators are packed into a `uint64_t`
+/// key (one platform byte per boundary operator); larger boundaries fall
+/// back to string keys. With `num_threads > 1` the rows are sharded into
+/// per-thread footprint maps that are reduced in ascending shard order,
+/// reproducing the serial first-seen group order and earliest-row
+/// tie-breaking exactly.
 PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
                                     const PlanVectorEnumeration& v,
                                     const CostOracle& oracle,
-                                    PruneStats* stats = nullptr);
+                                    PruneStats* stats = nullptr,
+                                    int num_threads = 1);
 
 /// TDGEN's alternative prune: drops rows with more than `beta` platform
 /// switches (Section VI-A); keeps everything else.
@@ -130,10 +151,13 @@ ExecutionPlan Unvectorize(const EnumerationContext& ctx,
                           const PlanVectorEnumeration& v, size_t row);
 
 /// getOptimal: index of the cheapest row according to the oracle (batch
-/// evaluated); `cost_out` receives its predicted cost if non-null.
+/// evaluated); `cost_out` receives its predicted cost if non-null. The scan
+/// shards with `num_threads` (earliest-row tie-breaking, so the winner is
+/// thread-count-independent); the oracle batch itself parallelizes inside
+/// the model (see RandomForest::PredictBatch).
 size_t ArgMinCost(const EnumerationContext& ctx,
                   const PlanVectorEnumeration& v, const CostOracle& oracle,
-                  float* cost_out = nullptr);
+                  float* cost_out = nullptr, int num_threads = 1);
 
 /// Re-encodes a full-plan assignment (one byte per operator, alt index + 1)
 /// into a feature row under `ctx`'s cardinalities. TDGEN uses this to

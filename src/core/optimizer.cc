@@ -27,6 +27,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
       EnumeratorOptions enum_options;
       enum_options.priority = options.priority;
       enum_options.prune = options.prune;
+      enum_options.num_threads = options.num_threads;
       PriorityEnumerator enumerator(&ctx.value(), oracle_, enum_options);
       auto run = enumerator.Run();
       if (!run.ok()) return run.status();
@@ -53,6 +54,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   EnumeratorOptions enum_options;
   enum_options.priority = options.priority;
   enum_options.prune = options.prune;
+  enum_options.num_threads = options.num_threads;
   PriorityEnumerator enumerator(&ctx.value(), oracle_, enum_options);
   auto run = enumerator.Run();
   if (!run.ok()) return run.status();

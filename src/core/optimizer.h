@@ -15,6 +15,10 @@ struct OptimizeOptions {
   bool single_platform = false;
   PriorityMode priority = PriorityMode::kPaper;
   PruneMode prune = PruneMode::kBoundary;
+  /// Threads for the enumeration hot path. 0 = hardware concurrency
+  /// (default); 1 = the exact serial code path. The chosen plan, its cost
+  /// and all EnumerationStats are identical for every value.
+  int num_threads = 0;
 };
 
 /// Result of one optimization call.

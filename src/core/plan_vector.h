@@ -72,6 +72,18 @@ class PlanVectorEnumeration {
     return size_++;
   }
 
+  /// Appends `rows` zeroed rows at once and returns the index of the first.
+  /// The parallel Concat preallocates its whole output this way, then lets
+  /// each shard fill a disjoint row range in place.
+  size_t AppendZeroRows(size_t rows) {
+    const size_t first = size_;
+    features_.resize(features_.size() + rows * width_, 0.0f);
+    assign_.resize(assign_.size() + rows * num_ops_, 0);
+    switches_.resize(switches_.size() + rows, 0);
+    size_ += rows;
+    return first;
+  }
+
   /// Appends a copy of row `row` of `other` (same width/num_ops).
   size_t AppendCopy(const PlanVectorEnumeration& other, size_t row) {
     ROBOPT_DCHECK(other.width_ == width_ && other.num_ops_ == num_ops_);

@@ -4,13 +4,18 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace robopt {
 
 PriorityEnumerator::PriorityEnumerator(const EnumerationContext* ctx,
                                        const CostOracle* oracle,
                                        EnumeratorOptions options)
-    : ctx_(ctx), oracle_(oracle), options_(options) {}
+    : ctx_(ctx),
+      oracle_(oracle),
+      options_(options),
+      num_threads_(options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                            : options.num_threads) {}
 
 double PriorityEnumerator::PriorityOf(size_t index) const {
   const LogicalPlan& plan = *ctx_->plan;
@@ -111,7 +116,8 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
       case PruneMode::kNone:
         return std::move(merged);
       case PruneMode::kBoundary:
-        pruned = PruneBoundary(*ctx_, merged, *oracle_, &prune_stats);
+        pruned = PruneBoundary(*ctx_, merged, *oracle_, &prune_stats,
+                               num_threads_);
         break;
       case PruneMode::kSwitchCap:
         pruned = PruneSwitchCap(*ctx_, merged, options_.beta, &prune_stats);
@@ -123,6 +129,7 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
       PlanVectorEnumeration sampled(pruned.width(), pruned.num_ops());
       sampled.mutable_scope() = pruned.scope();
       sampled.set_boundary(pruned.boundary());
+      sampled.Reserve(cap);
       const double stride =
           static_cast<double>(pruned.size()) / static_cast<double>(cap);
       for (size_t i = 0; i < cap; ++i) {
@@ -190,7 +197,7 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
     for (size_t child : best_children) {
       if (!alive_[child] || child == best) continue;
       PlanVectorEnumeration merged =
-          Concat(*ctx_, enums_[best], enums_[child]);
+          Concat(*ctx_, enums_[best], enums_[child], num_threads_);
       result.stats.vectors_created += merged.size();
       ++result.stats.concat_steps;
       if (result.stats.vectors_created > options_.max_vectors) {
@@ -219,7 +226,8 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
     return Status::Internal("enumeration produced no plans");
   }
   float best_cost = 0.0f;
-  const size_t best_row = ArgMinCost(*ctx_, final_enum, *oracle_, &best_cost);
+  const size_t best_row =
+      ArgMinCost(*ctx_, final_enum, *oracle_, &best_cost, num_threads_);
   result.plan = Unvectorize(*ctx_, final_enum, best_row);
   result.predicted_runtime_s = best_cost;
   result.stats.final_vectors = final_enum.size();

@@ -37,6 +37,11 @@ struct EnumeratorOptions {
   /// rows. TDGEN uses it to bound the switch-capped candidate pool (a
   /// practical cap; Robopt's optimizing mode leaves it off).
   size_t max_rows_per_enumeration = 0;
+  /// Threads for the vector-algebra hot path (sharded Concat, footprint
+  /// grouping, argmin scan). 0 = hardware concurrency; 1 = the exact serial
+  /// code path. Results are bit-identical for every value (see DESIGN.md,
+  /// "Threading model & determinism").
+  int num_threads = 0;
 };
 
 struct EnumerationStats {
@@ -84,6 +89,7 @@ class PriorityEnumerator {
   const EnumerationContext* ctx_;
   const CostOracle* oracle_;
   EnumeratorOptions options_;
+  int num_threads_;  ///< options_.num_threads with 0 resolved to hardware.
 
   std::vector<PlanVectorEnumeration> enums_;
   std::vector<uint8_t> alive_;

@@ -1,9 +1,21 @@
 #include "ml/random_forest.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 
+#include "common/thread_pool.h"
+
 namespace robopt {
+namespace {
+
+/// Rows per inference block. Fixed (never derived from the thread count) so
+/// that block boundaries — and therefore float accumulation order — are
+/// identical for every num_threads. 64 rows of accumulators stay resident
+/// in L1 while a tree's nodes are walked for the whole block.
+constexpr size_t kPredictRowBlock = 64;
+
+}  // namespace
 
 RandomForest::RandomForest() : params_(Params()) {}
 
@@ -38,15 +50,38 @@ Status RandomForest::Train(const MlDataset& data) {
 
 void RandomForest::PredictBatch(const float* x, size_t n, size_t dim,
                                 float* out) const {
-  const double inv = trees_.empty() ? 0.0 : 1.0 / trees_.size();
-  for (size_t i = 0; i < n; ++i) {
-    const float* row = x + i * dim;
-    double acc = 0.0;
-    for (const DecisionTree& tree : trees_) acc += tree.Predict(row, dim);
-    acc *= inv;
-    if (params_.log_label) acc = std::expm1(acc);
-    out[i] = static_cast<float>(acc < 0 ? 0 : acc);
+  if (n == 0) return;
+  if (trees_.empty()) {
+    std::fill(out, out + n, 0.0f);
+    return;
   }
+  // Cache-blocked kernel: for each block of rows, loop trees in the outer
+  // loop and rows in the inner one, so one tree's node array is walked for
+  // the whole block before moving on. Blocks are independent, so the block
+  // range parallelizes across the pool; each row's sum keeps the fixed
+  // tree order and the result is bit-identical to the serial loop.
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  const int threads = params_.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                               : params_.num_threads;
+  const size_t num_blocks = (n + kPredictRowBlock - 1) / kPredictRowBlock;
+  ParallelFor(threads, 0, num_blocks, 1, [&](size_t block0, size_t block1) {
+    double acc[kPredictRowBlock];
+    for (size_t block = block0; block < block1; ++block) {
+      const size_t row0 = block * kPredictRowBlock;
+      const size_t row1 = std::min(n, row0 + kPredictRowBlock);
+      std::fill(acc, acc + (row1 - row0), 0.0);
+      for (const DecisionTree& tree : trees_) {
+        for (size_t row = row0; row < row1; ++row) {
+          acc[row - row0] += tree.Predict(x + row * dim, dim);
+        }
+      }
+      for (size_t row = row0; row < row1; ++row) {
+        double value = acc[row - row0] * inv;
+        if (params_.log_label) value = std::expm1(value);
+        out[row] = static_cast<float>(value < 0 ? 0 : value);
+      }
+    }
+  });
 }
 
 Status RandomForest::Save(const std::string& path) const {
@@ -66,8 +101,21 @@ Status RandomForest::Load(const std::string& path) {
   size_t count = 0;
   int log_label = 0;
   file >> magic >> version >> count >> log_label;
-  if (magic != "random_forest") {
+  if (!file || magic != "random_forest") {
     return Status::InvalidArgument("not a random_forest file: " + path);
+  }
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported random_forest version " +
+                                   std::to_string(version) + ": " + path);
+  }
+  // Reject corrupt/truncated headers before the tree count drives an
+  // allocation. Real forests are tens of trees; a million is far beyond any
+  // legitimate file and well below anything that could exhaust memory.
+  constexpr size_t kMaxTrees = 1000000;
+  if (count > kMaxTrees) {
+    return Status::InvalidArgument(
+        "implausible tree count " + std::to_string(count) +
+        " in random_forest file: " + path);
   }
   params_.log_label = log_label != 0;
   trees_.assign(count, DecisionTree());

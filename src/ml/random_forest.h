@@ -23,10 +23,19 @@ class RandomForest : public RuntimeModel {
     double subsample = 1.0;
     bool log_label = true;
     uint64_t seed = 13;
+    /// Threads for batch inference (0 = hardware concurrency, 1 = serial).
+    /// Predictions are bit-identical for every value: the cache-blocked
+    /// kernel accumulates each row over trees in a fixed order within a
+    /// fixed-size row block, independent of the thread count.
+    int num_threads = 1;
   };
 
   RandomForest();
   explicit RandomForest(Params params);
+
+  /// Adjusts inference threading after construction/Load (0 = hardware
+  /// concurrency, 1 = serial). Training and serialization are unaffected.
+  void set_num_threads(int num_threads) { params_.num_threads = num_threads; }
 
   Status Train(const MlDataset& data) override;
   void PredictBatch(const float* x, size_t n, size_t dim,

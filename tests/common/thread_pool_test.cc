@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace robopt {
+namespace {
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(0, hits.size(), 1, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, 2, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, GrainBoundsShardCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  std::atomic<size_t> total{0};
+  // 100 indices with grain 60: at most 2 shards despite 8 threads.
+  pool.ParallelFor(0, 100, 60, 8, [&](size_t begin, size_t end) {
+    ++chunks;
+    total += end - begin;
+  });
+  EXPECT_LE(chunks.load(), 2);
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<long> sum{0};
+    pool.ParallelFor(0, 1000, 10, 4, [&](size_t begin, size_t end) {
+      long local = 0;
+      for (size_t i = begin; i < end; ++i) local += static_cast<long>(i);
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 499500);
+  }
+}
+
+TEST(ThreadPoolTest, NestedCallRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(0, 8, 1, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(0, 10, 1, 4, [&](size_t b, size_t e) {
+        inner_total += static_cast<int>(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPoolTest, SerialHelperBypassesPool) {
+  // num_threads <= 1 must call fn exactly once with the whole range, from
+  // the calling thread (the "exact serial path" contract).
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelFor(1, 3, 17, 1, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 3u);
+    EXPECT_EQ(end, 17u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolMatchesHardware) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), ThreadPool::HardwareThreads());
+}
+
+}  // namespace
+}  // namespace robopt

@@ -121,6 +121,40 @@ TEST(RandomForestTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+void WriteFile(const std::string& path, const std::string& content) {
+  FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs(content.c_str(), file);
+  std::fclose(file);
+}
+
+TEST(RandomForestTest, LoadRejectsUnsupportedVersion) {
+  const std::string path = ::testing::TempDir() + "/bad_version.forest";
+  WriteFile(path, "random_forest 2\n1 1\n");
+  RandomForest forest;
+  const Status status = forest.Load(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, LoadRejectsImplausibleTreeCount) {
+  const std::string path = ::testing::TempDir() + "/bad_count.forest";
+  // A corrupt count must be rejected before it drives an allocation.
+  WriteFile(path, "random_forest 1\n987654321987 1\n");
+  RandomForest forest;
+  EXPECT_FALSE(forest.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, LoadRejectsGarbageHeader) {
+  const std::string path = ::testing::TempDir() + "/garbage.forest";
+  WriteFile(path, "random_forest one two three\n");
+  RandomForest forest;
+  EXPECT_FALSE(forest.Load(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(DecisionTreeTest, SingleLeafOnConstantLabels) {
   MlDataset data(1);
   for (int i = 0; i < 20; ++i) {
