@@ -1,0 +1,309 @@
+// The two-layer oracle fast path, measured: the flattened SoA ForestKernel
+// vs the per-DecisionTree reference walk, and the CachingCostOracle's cold
+// vs warm batches over a 59049-row enumeration. Every timed variant is
+// checked bit-identical to the uncached per-tree reference (the contract of
+// DESIGN.md, "Oracle memoization & forest kernel"); the run fails if the
+// warm batch is not at least 2x faster than the uncached per-tree path.
+// Emits BENCH_oracle.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/operations.h"
+#include "core/optimizer.h"
+#include "ml/random_forest.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+double MedianOf3(double a, double b, double c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  return a > b ? a : b;
+}
+
+/// Times `fn` three times and returns the median, in seconds.
+template <typename Fn>
+double TimeSeconds(const Fn& fn) {
+  double samples[3];
+  for (double& sample : samples) {
+    Stopwatch stopwatch;
+    fn();
+    sample = stopwatch.ElapsedMillis() / 1000.0;
+  }
+  return MedianOf3(samples[0], samples[1], samples[2]);
+}
+
+/// The pre-kernel oracle: same forest, but inference through the blocked
+/// per-DecisionTree reference walk. This is the bench's baseline.
+class ReferenceForestOracle : public CostOracle {
+ public:
+  explicit ReferenceForestOracle(const RandomForest* forest)
+      : forest_(forest) {}
+
+  void EstimateBatch(const float* x, size_t n, size_t dim,
+                     float* out) const override {
+    Count(n);
+    forest_->PredictBatchReference(x, n, dim, out);
+  }
+
+ private:
+  const RandomForest* forest_;
+};
+
+void CheckBitEqual(const std::vector<float>& got,
+                   const std::vector<float>& expected, const char* what) {
+  if (got.size() != expected.size() ||
+      std::memcmp(got.data(), expected.data(),
+                  got.size() * sizeof(float)) != 0) {
+    std::fprintf(stderr, "FATAL: %s differs from the uncached per-tree path\n",
+                 what);
+    std::abort();
+  }
+}
+
+int Main() {
+  PlatformRegistry registry = PlatformRegistry::Synthetic(3);
+  FeatureSchema schema(&registry);
+  LogicalPlan plan = MakeSyntheticPipeline(12, 1e7, 3);
+  auto made = EnumerationContext::Make(&plan, &registry, &schema);
+  if (!made.ok()) {
+    std::fprintf(stderr, "context: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  const EnumerationContext ctx = std::move(made).value();
+
+  // A 3^9-row pool concatenated with a 3-row singleton: 59049 rows — the
+  // shape of a late enumeration step, where the oracle dominates.
+  AbstractPlanVector left_ops;
+  for (OperatorId op = 0; op < 9; ++op) left_ops.ops.push_back(op);
+  AbstractPlanVector right_ops;
+  right_ops.ops = {9};
+  const PlanVectorEnumeration left = Enumerate(ctx, left_ops);
+  const PlanVectorEnumeration right = Enumerate(ctx, right_ops);
+  const PlanVectorEnumeration big = Concat(ctx, left, right);
+  const size_t n = big.size();
+  const size_t dim = big.width();
+  std::fprintf(stderr, "[bench] %zu rows, width %zu, hardware threads %d\n",
+               n, dim, ThreadPool::HardwareThreads());
+
+  // A 60-tree forest over the schema width (inference cost is what matters,
+  // not model quality), pinned serial so the kernel-vs-reference and
+  // cached-vs-uncached comparisons measure layout, not threading.
+  MlDataset data(schema.width());
+  Rng rng(17);
+  std::vector<float> row(schema.width());
+  for (int i = 0; i < 512; ++i) {
+    for (float& cell : row) {
+      cell = static_cast<float>(rng.NextUniform(0, 100));
+    }
+    data.Add(row, static_cast<float>(rng.NextUniform(0, 1000)));
+  }
+  RandomForest::Params params;
+  params.num_trees = 60;
+  params.num_threads = 1;
+  RandomForest forest(params);
+  if (!forest.Train(data).ok()) {
+    std::fprintf(stderr, "forest training failed\n");
+    return 1;
+  }
+
+  // --- Layer 2: flattened SoA kernel vs per-tree reference walk. ---
+  std::vector<float> reference(n), predicted(n);
+  forest.PredictBatchReference(big.feature_pool().data(), n, dim,
+                               reference.data());
+  const double per_tree_s = TimeSeconds([&] {
+    forest.PredictBatchReference(big.feature_pool().data(), n, dim,
+                                 predicted.data());
+  });
+  CheckBitEqual(predicted, reference, "ForestKernel warmup");
+  const double kernel_s = TimeSeconds([&] {
+    forest.PredictBatch(big.feature_pool().data(), n, dim, predicted.data());
+  });
+  CheckBitEqual(predicted, reference, "ForestKernel PredictBatch");
+  const double kernel_speedup = kernel_s > 0 ? per_tree_s / kernel_s : 0.0;
+  std::fprintf(stderr,
+               "[bench] per-tree %.4fs  kernel %.4fs  (%.2fx, bit-equal)\n",
+               per_tree_s, kernel_s, kernel_speedup);
+
+  // --- Layer 1: memoizing cache, cold vs warm, against the uncached
+  // per-tree baseline. ---
+  ReferenceForestOracle uncached(&forest);
+  MlCostOracle inner(&forest);
+  std::vector<float> costs(n);
+  const double uncached_s = TimeSeconds([&] {
+    uncached.EstimateBatch(big.feature_pool().data(), n, dim, costs.data());
+  });
+  CheckBitEqual(costs, reference, "uncached oracle");
+
+  // Must hold the enumeration's ~44k unique rows with load headroom, or
+  // "warm" would actually be an eviction-thrashing miss storm; small enough
+  // (256k slots of 32 bytes) that the table stays cache-resident.
+  constexpr size_t kBudget = size_t{8} << 20;
+  // Cold: a fresh cache each sample, so every row misses and is inserted.
+  double cold_samples[3];
+  for (double& sample : cold_samples) {
+    CachingCostOracle fresh(&inner, kBudget);
+    Stopwatch stopwatch;
+    fresh.EstimateBatch(big.feature_pool().data(), n, dim, costs.data());
+    sample = stopwatch.ElapsedMillis() / 1000.0;
+    CheckBitEqual(costs, reference, "cold cached oracle");
+  }
+  const double cold_s =
+      MedianOf3(cold_samples[0], cold_samples[1], cold_samples[2]);
+  // Warm: the same rows again, all served from the table.
+  CachingCostOracle cache(&inner, kBudget);
+  cache.EstimateBatch(big.feature_pool().data(), n, dim, costs.data());
+  const double warm_s = TimeSeconds([&] {
+    cache.EstimateBatch(big.feature_pool().data(), n, dim, costs.data());
+  });
+  CheckBitEqual(costs, reference, "warm cached oracle");
+  const double warm_speedup = warm_s > 0 ? uncached_s / warm_s : 0.0;
+  std::fprintf(stderr,
+               "[bench] uncached %.4fs  cold %.4fs  warm %.4fs  "
+               "(warm %.2fx vs uncached per-tree)\n",
+               uncached_s, cold_s, warm_s, warm_speedup);
+
+  // Within-batch dedup: the enumeration tiled 4x — the RHEEMix-style
+  // repeated-estimation pattern. Only the unique rows reach the model.
+  std::vector<float> tiled;
+  tiled.reserve(4 * n * dim);
+  for (int copy = 0; copy < 4; ++copy) {
+    tiled.insert(tiled.end(), big.feature_pool().begin(),
+                 big.feature_pool().begin() +
+                     static_cast<ptrdiff_t>(n * dim));
+  }
+  CachingCostOracle dedup_cache(&inner, kBudget);
+  std::vector<float> tiled_costs(4 * n);
+  dedup_cache.EstimateBatch(tiled.data(), 4 * n, dim, tiled_costs.data());
+  const OracleCacheStats tiled_stats = dedup_cache.stats();
+  const double dedup_ratio =
+      tiled_stats.unique_rows > 0
+          ? static_cast<double>(tiled_stats.rows) /
+                static_cast<double>(tiled_stats.unique_rows)
+          : 0.0;
+  for (int copy = 0; copy < 4; ++copy) {
+    if (std::memcmp(tiled_costs.data() + copy * n, costs.data(),
+                    n * sizeof(float)) != 0) {
+      std::fprintf(stderr, "FATAL: tiled copy %d differs\n", copy);
+      std::abort();
+    }
+  }
+  std::fprintf(stderr,
+               "[bench] tiled 4x: %zu rows, %zu unique (dedup ratio %.2f)\n",
+               tiled_stats.rows, tiled_stats.unique_rows, dedup_ratio);
+
+  // --- The optimizer end to end: cache off vs on must pick the identical
+  // plan at the identical cost at every thread count. ---
+  RoboptOptimizer optimizer(&registry, &schema, &inner);
+  OptimizeOptions base_options;
+  base_options.num_threads = 1;
+  auto base = optimizer.Optimize(plan, nullptr, base_options);
+  if (!base.ok()) {
+    std::fprintf(stderr, "optimize: %s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  double optimize_uncached_ms = 0.0;
+  double optimize_cached_ms = 0.0;
+  for (int threads : {1, 2, 8}) {
+    OptimizeOptions off;
+    off.num_threads = threads;
+    auto uncached_run = optimizer.Optimize(plan, nullptr, off);
+    OptimizeOptions on = off;
+    on.oracle_cache_bytes = kBudget;
+    auto cached_run = optimizer.Optimize(plan, nullptr, on);
+    if (!uncached_run.ok() || !cached_run.ok()) {
+      std::fprintf(stderr, "optimize failed at %d threads\n", threads);
+      return 1;
+    }
+    for (const LogicalOperator& op : plan.operators()) {
+      if (cached_run->plan.alt_index(op.id) != base->plan.alt_index(op.id) ||
+          uncached_run->plan.alt_index(op.id) !=
+              base->plan.alt_index(op.id)) {
+        std::fprintf(stderr, "FATAL: plans differ at %d threads\n", threads);
+        std::abort();
+      }
+    }
+    if (cached_run->predicted_runtime_s != base->predicted_runtime_s ||
+        uncached_run->predicted_runtime_s != base->predicted_runtime_s) {
+      std::fprintf(stderr, "FATAL: costs differ at %d threads\n", threads);
+      std::abort();
+    }
+    if (threads == 1) {
+      optimize_uncached_ms = uncached_run->latency_ms;
+      optimize_cached_ms = cached_run->latency_ms;
+    }
+  }
+  std::fprintf(stderr,
+               "[bench] optimizer identical cache on/off at 1/2/8 threads "
+               "(serial: %.2fms uncached, %.2fms cached)\n",
+               optimize_uncached_ms, optimize_cached_ms);
+
+  // Cross-call memoization: a long-lived cache as the optimizer's oracle.
+  CachingCostOracle persistent(&inner, kBudget);
+  RoboptOptimizer memoized(&registry, &schema, &persistent);
+  auto first = memoized.Optimize(plan, nullptr, base_options);
+  auto second = memoized.Optimize(plan, nullptr, base_options);
+  if (!first.ok() || !second.ok()) {
+    std::fprintf(stderr, "memoized optimize failed\n");
+    return 1;
+  }
+  if (second->predicted_runtime_s != base->predicted_runtime_s) {
+    std::fprintf(stderr, "FATAL: memoized second call picked another cost\n");
+    std::abort();
+  }
+  const OracleCacheStats persistent_stats = persistent.stats();
+  std::fprintf(stderr,
+               "[bench] cross-call: first %.2fms, second %.2fms "
+               "(%zu/%zu rows served from cache)\n",
+               first->latency_ms, second->latency_ms, persistent_stats.hits,
+               persistent_stats.rows);
+
+  FILE* json = std::fopen("BENCH_oracle.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_oracle.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"rows\": %zu,\n"
+               "  \"width\": %zu,\n"
+               "  \"num_trees\": %d,\n"
+               "  \"kernel\": {\"per_tree_s\": %.5f, \"kernel_s\": %.5f, "
+               "\"speedup\": %.3f},\n"
+               "  \"cache\": {\"uncached_s\": %.5f, \"cold_s\": %.5f, "
+               "\"warm_s\": %.5f, \"warm_speedup_vs_uncached\": %.3f,\n"
+               "    \"tiled_rows\": %zu, \"tiled_unique\": %zu, "
+               "\"dedup_ratio\": %.3f},\n"
+               "  \"optimizer\": {\"uncached_ms\": %.3f, \"cached_ms\": %.3f, "
+               "\"cross_call_first_ms\": %.3f, \"cross_call_second_ms\": "
+               "%.3f, \"cross_call_hit_rows\": %zu},\n"
+               "  \"bit_identical\": true\n"
+               "}\n",
+               n, dim, params.num_trees, per_tree_s, kernel_s, kernel_speedup,
+               uncached_s, cold_s, warm_s, warm_speedup, tiled_stats.rows,
+               tiled_stats.unique_rows, dedup_ratio, optimize_uncached_ms,
+               optimize_cached_ms, first->latency_ms, second->latency_ms,
+               persistent_stats.hits);
+  std::fclose(json);
+  std::fprintf(stderr, "[bench] wrote BENCH_oracle.json\n");
+
+  if (warm_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm cached batch only %.2fx over the uncached "
+                 "per-tree path (need >= 2x)\n",
+                 warm_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace robopt
+
+int main() { return robopt::Main(); }

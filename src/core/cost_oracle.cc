@@ -1,0 +1,232 @@
+#include "core/cost_oracle.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace robopt {
+namespace {
+
+/// Keep the table at most ~70% full so probe chains stay short and an empty
+/// slot always terminates the scan.
+constexpr size_t kLoadNumerator = 7;
+constexpr size_t kLoadDenominator = 10;
+
+}  // namespace
+
+/// Four-lane multiply-mix over the row's bytes, folded into two
+/// independently mixed 64-bit outputs. Four accumulators keep the
+/// multiplies pipelined (a single FNV-style chain is latency-bound and was
+/// the warm-path bottleneck at plan-vector widths of a few hundred floats);
+/// the tail handles the final <32 bytes. Lane `a` buckets the tables; the
+/// (a, b) pair is the 128-bit table fingerprint, and in-batch dedup
+/// additionally byte-verifies, so distribution matters more than
+/// cryptographic strength.
+CachingCostOracle::RowHash CachingCostOracle::HashRow(const float* row,
+                                                      size_t dim) {
+  constexpr uint64_t kMul = 0x9ddfea08eb382d69ull;
+  constexpr uint64_t kMul2 = 0xc2b2ae3d27d4eb4full;
+  const auto* p = reinterpret_cast<const unsigned char*>(row);
+  size_t bytes = dim * sizeof(float);
+  uint64_t h0 = 0x243f6a8885a308d3ull;
+  uint64_t h1 = 0x13198a2e03707344ull;
+  uint64_t h2 = 0xa4093822299f31d0ull;
+  uint64_t h3 = 0x082efa98ec4e6c89ull;
+  while (bytes >= 32) {
+    uint64_t w0, w1, w2, w3;
+    std::memcpy(&w0, p, 8);
+    std::memcpy(&w1, p + 8, 8);
+    std::memcpy(&w2, p + 16, 8);
+    std::memcpy(&w3, p + 24, 8);
+    h0 = (h0 ^ w0) * kMul;
+    h1 = (h1 ^ w1) * kMul;
+    h2 = (h2 ^ w2) * kMul;
+    h3 = (h3 ^ w3) * kMul;
+    p += 32;
+    bytes -= 32;
+  }
+  while (bytes >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h0 = (h0 ^ w) * kMul;
+    p += 8;
+    bytes -= 8;
+  }
+  if (bytes > 0) {  // Rows are whole floats, so the tail is 4 bytes.
+    uint32_t w = 0;
+    std::memcpy(&w, p, bytes);
+    h1 = (h1 ^ w) * kMul;
+  }
+  RowHash hash;
+  hash.a = (h0 ^ (h1 >> 29)) + (h2 ^ (h3 >> 31)) * kMul;
+  hash.a ^= hash.a >> 33;
+  hash.a *= kMul;
+  hash.a ^= hash.a >> 29;
+  hash.b = (h1 ^ (h2 >> 27)) + (h3 ^ (h0 >> 25)) * kMul2;
+  hash.b ^= hash.b >> 31;
+  hash.b *= kMul2;
+  hash.b ^= hash.b >> 27;
+  return hash;
+}
+
+void CachingCostOracle::Configure(size_t dim) const {
+  dim_ = dim;
+  size_t capacity = 0;
+  if (budget_bytes_ >= 2 * sizeof(Slot)) {
+    capacity = 2;
+    while (capacity * 2 * sizeof(Slot) <= budget_bytes_ &&
+           capacity < (size_t{1} << 31)) {
+      capacity *= 2;
+    }
+  }
+  capacity_ = capacity;
+  max_live_ = capacity == 0
+                  ? 0
+                  : std::max<size_t>(1, capacity * kLoadNumerator /
+                                            kLoadDenominator);
+  gen_ = 1;
+  live_ = 0;
+  // calloc: zeroed pages arrive lazily from the kernel on first touch, so
+  // configuring a multi-megabyte table is O(1), not an upfront fill.
+  slots_.reset(capacity != 0 ? static_cast<Slot*>(
+                                   std::calloc(capacity, sizeof(Slot)))
+                             : nullptr);
+  if (capacity != 0 && slots_ == nullptr) {
+    capacity_ = 0;  // Allocation failed: fall back to dedup-only mode.
+    max_live_ = 0;
+  }
+  stats_.capacity = capacity_;
+}
+
+size_t CachingCostOracle::FindLive(RowHash hash) const {
+  const size_t mask = capacity_ - 1;
+  size_t i = hash.a & mask;
+  while (slots_[i].gen == gen_) {
+    if (slots_[i].hash_a == hash.a && slots_[i].hash_b == hash.b) return i;
+    i = (i + 1) & mask;
+  }
+  return SIZE_MAX;
+}
+
+void CachingCostOracle::Insert(RowHash hash, float prediction) const {
+  if (live_ >= max_live_) {
+    // Generation eviction: bumping gen_ logically empties every slot at
+    // once. Old entries are overwritten as probes land on them.
+    ++gen_;
+    live_ = 0;
+    ++stats_.evictions;
+  }
+  const size_t mask = capacity_ - 1;
+  size_t i = hash.a & mask;
+  while (slots_[i].gen == gen_) i = (i + 1) & mask;
+  slots_[i] = Slot{hash.a, hash.b, gen_, prediction};
+  ++live_;
+}
+
+void CachingCostOracle::EstimateBatch(const float* x, size_t n, size_t dim,
+                                      float* out) const {
+  // Count on the wrapper mirrors the uncached oracle exactly, so enumerator
+  // instrumentation (EnumerationStats::oracle_rows) is cache-invariant; the
+  // inner oracle's own counters see only the unique misses.
+  Count(n);
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dim != dim_) Configure(dim);
+  stats_.rows += n;
+
+  // Flat open-addressing index over this batch's unique miss rows: slot ->
+  // unique id, hash-verified then byte-verified against unique_buf_. Sized
+  // to <= 50% load; rebuilt (one memset) per batch.
+  size_t index_size = 2;
+  while (index_size < 2 * n) index_size *= 2;
+  const size_t index_mask = index_size - 1;
+  batch_index_.assign(index_size, UINT32_MAX);
+  unique_buf_.clear();
+  unique_hash_.clear();
+  pending_rows_.clear();
+  pending_uid_.clear();
+
+  // Pass 1: serve cross-batch hits in place; collect the rest as (row ->
+  // unique id), gathering each distinct miss once into unique_buf_.
+  //
+  // Hashing runs kPrefetchAhead rows in front of probing, buffered in a
+  // small ring, so each upcoming table slot is prefetched while earlier
+  // rows are processed: the table is usually far larger than cache and a
+  // dependent hash-then-probe per row would serialize on DRAM latency.
+  constexpr size_t kPrefetchAhead = 8;
+  RowHash hash_ring[kPrefetchAhead];
+  const size_t lookahead = std::min<size_t>(kPrefetchAhead, n);
+  for (size_t i = 0; i < lookahead; ++i) {
+    hash_ring[i] = HashRow(x + i * dim, dim);
+    if (capacity_ != 0) {
+      __builtin_prefetch(&slots_[hash_ring[i].a & (capacity_ - 1)]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x + i * dim;
+    const RowHash hash = hash_ring[i % kPrefetchAhead];
+    if (i + lookahead < n) {
+      const RowHash next = HashRow(x + (i + lookahead) * dim, dim);
+      hash_ring[(i + lookahead) % kPrefetchAhead] = next;
+      if (capacity_ != 0) {
+        __builtin_prefetch(&slots_[next.a & (capacity_ - 1)]);
+      }
+    }
+    if (capacity_ != 0) {
+      const size_t slot = FindLive(hash);
+      if (slot != SIZE_MAX) {
+        out[i] = slots_[slot].prediction;
+        ++stats_.hits;
+        continue;
+      }
+    }
+    size_t j = hash.a & index_mask;
+    uint32_t uid = UINT32_MAX;
+    while (batch_index_[j] != UINT32_MAX) {
+      const uint32_t candidate = batch_index_[j];
+      if (unique_hash_[candidate].a == hash.a &&
+          unique_hash_[candidate].b == hash.b &&
+          std::memcmp(unique_buf_.data() + candidate * dim, row,
+                      dim * sizeof(float)) == 0) {
+        uid = candidate;
+        break;
+      }
+      j = (j + 1) & index_mask;
+    }
+    if (uid == UINT32_MAX) {
+      uid = static_cast<uint32_t>(unique_hash_.size());
+      batch_index_[j] = uid;
+      unique_hash_.push_back(hash);
+      unique_buf_.insert(unique_buf_.end(), row, row + dim);
+      ++stats_.unique_rows;
+    } else {
+      ++stats_.batch_dups;
+    }
+    pending_rows_.push_back(static_cast<uint32_t>(i));
+    pending_uid_.push_back(uid);
+  }
+
+  // Pass 2: one inner batch over the unique misses, scattered back in row
+  // order; memoize for later batches.
+  const size_t n_unique = unique_hash_.size();
+  if (n_unique == 0) return;
+  unique_out_.resize(n_unique);
+  inner_->EstimateBatch(unique_buf_.data(), n_unique, dim, unique_out_.data());
+  for (size_t k = 0; k < pending_rows_.size(); ++k) {
+    out[pending_rows_[k]] = unique_out_[pending_uid_[k]];
+  }
+  if (capacity_ != 0) {
+    for (size_t u = 0; u < n_unique; ++u) {
+      Insert(unique_hash_[u], unique_out_[u]);
+    }
+  }
+}
+
+OracleCacheStats CachingCostOracle::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  OracleCacheStats snapshot = stats_;
+  snapshot.entries = live_;
+  snapshot.capacity = capacity_;
+  return snapshot;
+}
+
+}  // namespace robopt

@@ -51,6 +51,7 @@ PlanVectorEnumeration PruneBoundaryWithProperties(
       it->second = row;
     }
   }
+  out.ReserveAdditional(order.size());
   for (auto& [footprint, first_row] : order) {
     out.AppendCopy(v, best[footprint]);
   }

@@ -216,6 +216,7 @@ PlanVectorEnumeration Enumerate(const EnumerationContext& ctx,
                                  ctx.plan->num_operators());
     single.mutable_scope().set(op);
     single.set_boundary(ComputeBoundary(ctx, single.scope()));
+    single.ReserveAdditional(ctx.allowed_alts[op].size());
     for (size_t i = 0; i < ctx.allowed_alts[op].size(); ++i) {
       const size_t row = single.AppendZero();
       EncodeSingleton(ctx, op, i, single.features(row),

@@ -1,6 +1,7 @@
 #include "core/optimizer.h"
 
 #include <limits>
+#include <memory>
 
 #include "common/stopwatch.h"
 
@@ -10,6 +11,19 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     const LogicalPlan& plan, const Cardinalities* cards,
     const OptimizeOptions& options) const {
   Stopwatch stopwatch;
+
+  // The memoizing oracle fast path: dedupe and cache cost lookups for this
+  // call. Wrapping here means every consumer below — boundary pruning and
+  // the final ArgMinCost of each enumerator run — shares one table, so the
+  // final getOptimal batch is served entirely from rows the last prune
+  // already estimated.
+  std::unique_ptr<CachingCostOracle> cache;
+  const CostOracle* oracle = oracle_;
+  if (options.oracle_cache_bytes > 0) {
+    cache = std::make_unique<CachingCostOracle>(oracle_,
+                                                options.oracle_cache_bytes);
+    oracle = cache.get();
+  }
 
   if (options.single_platform) {
     // Try each allowed platform that can run the whole query; keep the one
@@ -28,7 +42,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
       enum_options.priority = options.priority;
       enum_options.prune = options.prune;
       enum_options.num_threads = options.num_threads;
-      PriorityEnumerator enumerator(&ctx.value(), oracle_, enum_options);
+      PriorityEnumerator enumerator(&ctx.value(), oracle, enum_options);
       auto run = enumerator.Run();
       if (!run.ok()) return run.status();
       found = true;
@@ -44,6 +58,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
       return Status::InvalidArgument(
           "no single platform can execute the whole plan");
     }
+    if (cache != nullptr) best.oracle_cache = cache->stats();
     best.latency_ms = stopwatch.ElapsedMillis();
     return best;
   }
@@ -55,7 +70,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   enum_options.priority = options.priority;
   enum_options.prune = options.prune;
   enum_options.num_threads = options.num_threads;
-  PriorityEnumerator enumerator(&ctx.value(), oracle_, enum_options);
+  PriorityEnumerator enumerator(&ctx.value(), oracle, enum_options);
   auto run = enumerator.Run();
   if (!run.ok()) return run.status();
 
@@ -63,6 +78,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   result.plan = std::move(run->plan);
   result.predicted_runtime_s = run->predicted_runtime_s;
   result.stats = run->stats;
+  if (cache != nullptr) result.oracle_cache = cache->stats();
   result.latency_ms = stopwatch.ElapsedMillis();
   return result;
 }

@@ -19,6 +19,15 @@ struct OptimizeOptions {
   /// (default); 1 = the exact serial code path. The chosen plan, its cost
   /// and all EnumerationStats are identical for every value.
   int num_threads = 0;
+  /// Byte budget for a per-call memoizing oracle cache (CachingCostOracle)
+  /// wrapped around the configured oracle: identical feature rows are
+  /// deduplicated within each batch and predictions are memoized across
+  /// batches, so only unique rows reach the model. 0 (default) disables
+  /// the cache. The chosen plan, its predicted cost and all
+  /// EnumerationStats are bit-identical with the cache on or off. To
+  /// memoize across Optimize calls instead, construct a long-lived
+  /// CachingCostOracle and pass it as the optimizer's oracle.
+  size_t oracle_cache_bytes = 0;
 };
 
 /// Result of one optimization call.
@@ -30,6 +39,10 @@ struct OptimizeResult {
   double latency_ms = 0.0;
   /// In single-platform mode: the chosen platform.
   PlatformId chosen_platform = 0;
+  /// Cache counters when options.oracle_cache_bytes > 0 (all zero
+  /// otherwise). In single-platform mode one cache spans all per-platform
+  /// searches.
+  OracleCacheStats oracle_cache;
 
   OptimizeResult() : plan(nullptr, nullptr) {}
 };

@@ -1,6 +1,7 @@
 #ifndef ROBOPT_CORE_PLAN_VECTOR_H_
 #define ROBOPT_CORE_PLAN_VECTOR_H_
 
+#include <algorithm>
 #include <bitset>
 #include <cstdint>
 #include <vector>
@@ -99,6 +100,23 @@ class PlanVectorEnumeration {
     features_.reserve(rows * width_);
     assign_.reserve(rows * num_ops_);
     switches_.reserve(rows);
+  }
+
+  /// Reserves room for `rows` rows beyond the current size, growing at
+  /// least geometrically (2x the current size) so call sites that append
+  /// row-by-row stay amortized O(1) across all three pools instead of
+  /// reallocating each of them independently per append.
+  void ReserveAdditional(size_t rows) {
+    const size_t want = size_ + rows;
+    if (want * width_ <= features_.capacity() &&
+        want * num_ops_ <= assign_.capacity() &&
+        want <= switches_.capacity()) {
+      return;
+    }
+    const size_t target = std::max(want, 2 * size_);
+    features_.reserve(target * width_);
+    assign_.reserve(target * num_ops_);
+    switches_.reserve(target);
   }
 
   /// Drops all rows, keeping scope/boundary and capacity.

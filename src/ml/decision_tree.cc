@@ -171,12 +171,32 @@ void DecisionTree::Serialize(std::ostream& out) const {
 }
 
 bool DecisionTree::Deserialize(std::istream& in) {
+  // Guards against corrupt/hostile model files: the node count must not
+  // drive an implausible allocation, and child/feature indices must not
+  // send Predict out of bounds (or into a cycle).
+  constexpr size_t kMaxNodes = size_t{1} << 28;
+  constexpr int32_t kMaxFeature = 1 << 20;
   size_t count = 0;
   if (!(in >> count)) return false;
+  if (count > kMaxNodes) return false;
   nodes_.assign(count, Node{});
   for (Node& node : nodes_) {
     if (!(in >> node.feature >> node.threshold >> node.left >> node.right >>
           node.value)) {
+      return false;
+    }
+  }
+  // Internal nodes must reference strictly-later, in-bounds children. Grow
+  // always emits children after their parent, so every legitimate tree
+  // passes, and acceptance proves the Predict walk terminates.
+  for (size_t i = 0; i < count; ++i) {
+    const Node& node = nodes_[i];
+    if (node.feature < 0) continue;  // Leaf; children unused.
+    if (node.feature > kMaxFeature) return false;
+    const auto self = static_cast<int64_t>(i);
+    const auto limit = static_cast<int64_t>(count);
+    if (node.left <= self || node.left >= limit || node.right <= self ||
+        node.right >= limit) {
       return false;
     }
   }

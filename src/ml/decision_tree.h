@@ -38,6 +38,14 @@ class DecisionTree {
   size_t num_nodes() const { return nodes_.size(); }
   int Depth() const;
 
+  /// Flat-array node accessors (the ForestKernel flattens trees through
+  /// these). Node 0 is the root; children always follow their parent.
+  int32_t node_feature(size_t i) const { return nodes_[i].feature; }
+  float node_threshold(size_t i) const { return nodes_[i].threshold; }
+  int32_t node_left(size_t i) const { return nodes_[i].left; }
+  int32_t node_right(size_t i) const { return nodes_[i].right; }
+  float node_value(size_t i) const { return nodes_[i].value; }
+
   void Serialize(std::ostream& out) const;
   bool Deserialize(std::istream& in);
 

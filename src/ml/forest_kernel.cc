@@ -1,0 +1,121 @@
+#include "ml/forest_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace robopt {
+
+void ForestKernel::Clear() {
+  roots_.clear();
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  value_.clear();
+}
+
+void ForestKernel::Build(const std::vector<DecisionTree>& trees) {
+  Clear();
+  size_t total = 0;
+  for (const DecisionTree& tree : trees) {
+    total += std::max<size_t>(tree.num_nodes(), 1);
+  }
+  roots_.reserve(trees.size());
+  feature_.reserve(total);
+  threshold_.reserve(total);
+  left_.reserve(total);
+  right_.reserve(total);
+  value_.reserve(total);
+  for (const DecisionTree& tree : trees) {
+    const auto base = static_cast<int32_t>(feature_.size());
+    roots_.push_back(base);
+    const size_t count = tree.num_nodes();
+    if (count == 0) {
+      feature_.push_back(-1);
+      threshold_.push_back(0.0f);
+      left_.push_back(-1);
+      right_.push_back(-1);
+      value_.push_back(0.0f);
+      continue;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const int32_t feature = tree.node_feature(i);
+      feature_.push_back(feature);
+      threshold_.push_back(tree.node_threshold(i));
+      // Rebase tree-local child indices onto the pool; leaves keep -1.
+      left_.push_back(feature >= 0 ? base + tree.node_left(i) : -1);
+      right_.push_back(feature >= 0 ? base + tree.node_right(i) : -1);
+      value_.push_back(tree.node_value(i));
+    }
+  }
+}
+
+float ForestKernel::PredictTree(size_t t, const float* row, size_t dim) const {
+  const int32_t* feature = feature_.data();
+  const float* threshold = threshold_.data();
+  const int32_t* left = left_.data();
+  const int32_t* right = right_.data();
+  int32_t node = roots_[t];
+  int32_t f = feature[node];
+  while (f >= 0) {
+    const float v = static_cast<size_t>(f) < dim ? row[f] : 0.0f;
+    node = v <= threshold[node] ? left[node] : right[node];
+    f = feature[node];
+  }
+  return value_[node];
+}
+
+void ForestKernel::PredictBatch(const float* x, size_t n, size_t dim,
+                                float* out, bool log_label,
+                                int num_threads) const {
+  if (n == 0) return;
+  if (roots_.empty()) {
+    std::fill(out, out + n, 0.0f);
+    return;
+  }
+  // Same blocking as the per-tree reference path: trees in the outer loop,
+  // rows of a fixed-size block in the inner one, per-row double
+  // accumulators in fixed tree order — so the output is bit-identical to
+  // the reference for every thread count.
+  const double inv = 1.0 / static_cast<double>(roots_.size());
+  const int threads = num_threads == 0 ? ThreadPool::HardwareThreads()
+                                       : num_threads;
+  const size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
+  const int32_t* feature = feature_.data();
+  const float* threshold = threshold_.data();
+  const int32_t* left = left_.data();
+  const int32_t* right = right_.data();
+  const float* value = value_.data();
+  const size_t num_trees = roots_.size();
+  ParallelFor(threads, 0, num_blocks, 1, [&](size_t block0, size_t block1) {
+    double acc[kRowBlock];
+    for (size_t block = block0; block < block1; ++block) {
+      const size_t row0 = block * kRowBlock;
+      const size_t row1 = std::min(n, row0 + kRowBlock);
+      std::fill(acc, acc + (row1 - row0), 0.0);
+      for (size_t t = 0; t < num_trees; ++t) {
+        const int32_t root = roots_[t];
+        for (size_t row = row0; row < row1; ++row) {
+          const float* r = x + row * dim;
+          int32_t node = root;
+          int32_t f = feature[node];
+          while (f >= 0) {
+            const float v = static_cast<size_t>(f) < dim ? r[f] : 0.0f;
+            node = v <= threshold[node] ? left[node] : right[node];
+            f = feature[node];
+          }
+          acc[row - row0] += value[node];
+        }
+      }
+      for (size_t row = row0; row < row1; ++row) {
+        double result = acc[row - row0] * inv;
+        if (log_label) result = std::expm1(result);
+        out[row] = static_cast<float>(result < 0 ? 0 : result);
+      }
+    }
+  });
+}
+
+}  // namespace robopt

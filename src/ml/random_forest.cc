@@ -7,15 +7,6 @@
 #include "common/thread_pool.h"
 
 namespace robopt {
-namespace {
-
-/// Rows per inference block. Fixed (never derived from the thread count) so
-/// that block boundaries — and therefore float accumulation order — are
-/// identical for every num_threads. 64 rows of accumulators stay resident
-/// in L1 while a tree's nodes are walked for the whole block.
-constexpr size_t kPredictRowBlock = 64;
-
-}  // namespace
 
 RandomForest::RandomForest() : params_(Params()) {}
 
@@ -45,30 +36,46 @@ Status RandomForest::Train(const MlDataset& data) {
     }
     tree.Fit(transformed, indices, params_.tree, &rng);
   }
+  kernel_.Build(trees_);
   return Status::OK();
 }
 
 void RandomForest::PredictBatch(const float* x, size_t n, size_t dim,
                                 float* out) const {
   if (n == 0) return;
+  if (kernel_.num_trees() != trees_.size()) {
+    // Defensive: a forest whose kernel was not rebuilt (impossible through
+    // the public API) still predicts correctly via the reference path.
+    PredictBatchReference(x, n, dim, out);
+    return;
+  }
+  kernel_.PredictBatch(x, n, dim, out, params_.log_label,
+                       params_.num_threads);
+}
+
+void RandomForest::PredictBatchReference(const float* x, size_t n, size_t dim,
+                                         float* out) const {
+  if (n == 0) return;
   if (trees_.empty()) {
     std::fill(out, out + n, 0.0f);
     return;
   }
-  // Cache-blocked kernel: for each block of rows, loop trees in the outer
-  // loop and rows in the inner one, so one tree's node array is walked for
-  // the whole block before moving on. Blocks are independent, so the block
-  // range parallelizes across the pool; each row's sum keeps the fixed
-  // tree order and the result is bit-identical to the serial loop.
+  // Cache-blocked per-tree walk: for each block of rows, loop trees in the
+  // outer loop and rows in the inner one, so one tree's node array is
+  // walked for the whole block before moving on. Blocks are independent, so
+  // the block range parallelizes across the pool; each row's sum keeps the
+  // fixed tree order and the result is bit-identical to the serial loop
+  // (and to the flattened ForestKernel, which mirrors this structure).
   const double inv = 1.0 / static_cast<double>(trees_.size());
   const int threads = params_.num_threads == 0 ? ThreadPool::HardwareThreads()
                                                : params_.num_threads;
-  const size_t num_blocks = (n + kPredictRowBlock - 1) / kPredictRowBlock;
+  const size_t num_blocks =
+      (n + ForestKernel::kRowBlock - 1) / ForestKernel::kRowBlock;
   ParallelFor(threads, 0, num_blocks, 1, [&](size_t block0, size_t block1) {
-    double acc[kPredictRowBlock];
+    double acc[ForestKernel::kRowBlock];
     for (size_t block = block0; block < block1; ++block) {
-      const size_t row0 = block * kPredictRowBlock;
-      const size_t row1 = std::min(n, row0 + kPredictRowBlock);
+      const size_t row0 = block * ForestKernel::kRowBlock;
+      const size_t row1 = std::min(n, row0 + ForestKernel::kRowBlock);
       std::fill(acc, acc + (row1 - row0), 0.0);
       for (const DecisionTree& tree : trees_) {
         for (size_t row = row0; row < row1; ++row) {
@@ -121,9 +128,12 @@ Status RandomForest::Load(const std::string& path) {
   trees_.assign(count, DecisionTree());
   for (DecisionTree& tree : trees_) {
     if (!tree.Deserialize(file)) {
-      return Status::Internal("truncated forest file: " + path);
+      trees_.clear();
+      kernel_.Clear();
+      return Status::Internal("corrupt or truncated forest file: " + path);
     }
   }
+  kernel_.Build(trees_);
   return Status::OK();
 }
 

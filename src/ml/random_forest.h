@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ml/decision_tree.h"
+#include "ml/forest_kernel.h"
 #include "ml/model.h"
 
 namespace robopt {
@@ -38,17 +39,26 @@ class RandomForest : public RuntimeModel {
   void set_num_threads(int num_threads) { params_.num_threads = num_threads; }
 
   Status Train(const MlDataset& data) override;
+  /// Batch inference through the flattened SoA ForestKernel (built by
+  /// Train/Load). Bit-identical to PredictBatchReference.
   void PredictBatch(const float* x, size_t n, size_t dim,
                     float* out) const override;
+  /// Reference implementation: the blocked per-DecisionTree walk the kernel
+  /// replaced. Kept so tests and benches can assert the kernel's
+  /// bit-equality and measure its speedup.
+  void PredictBatchReference(const float* x, size_t n, size_t dim,
+                             float* out) const;
   Status Save(const std::string& path) const override;
   Status Load(const std::string& path) override;
   std::string Name() const override { return "RandomForest"; }
 
   const std::vector<DecisionTree>& trees() const { return trees_; }
+  const ForestKernel& kernel() const { return kernel_; }
 
  private:
   Params params_;
   std::vector<DecisionTree> trees_;
+  ForestKernel kernel_;  ///< Flattened trees_; rebuilt by Train/Load.
 };
 
 }  // namespace robopt

@@ -1,0 +1,283 @@
+// CachingCostOracle: batch dedup, cross-batch memoization, generation
+// eviction at the byte budget, stats accounting, bit-equality with the
+// uncached oracle — and the full-optimizer contract that cache on/off at
+// every thread count picks the identical plan at the identical cost.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cost_oracle.h"
+#include "core/linear_oracle.h"
+#include "core/optimizer.h"
+#include "ml/random_forest.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+/// A batch of `n` rows over exactly `distinct` underlying rows (requires
+/// n >= distinct): the first `distinct` rows are the distinct pool in order,
+/// the rest are random repeats of it.
+std::vector<float> MakeBatch(size_t n, size_t distinct, size_t dim,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> batch(n * dim);
+  for (size_t i = 0; i < distinct * dim; ++i) {
+    batch[i] = static_cast<float>(rng.NextUniform(0.0, 100.0));
+  }
+  for (size_t i = distinct; i < n; ++i) {
+    const size_t pick = rng.NextBounded(distinct);
+    std::memcpy(batch.data() + i * dim, batch.data() + pick * dim,
+                dim * sizeof(float));
+  }
+  return batch;
+}
+
+class OracleCacheTest : public ::testing::Test {
+ protected:
+  OracleCacheTest()
+      : registry_(PlatformRegistry::Synthetic(3)),
+        schema_(&registry_),
+        inner_(schema_, 17) {}
+
+  PlatformRegistry registry_;
+  FeatureSchema schema_;
+  LinearFeatureOracle inner_;
+};
+
+TEST_F(OracleCacheTest, CachedMatchesUncachedBitForBit) {
+  const size_t dim = schema_.width();
+  CachingCostOracle cache(&inner_, 1 << 20);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const std::vector<float> batch = MakeBatch(257, 40, dim, seed);
+    std::vector<float> expected(257), got(257);
+    inner_.EstimateBatch(batch.data(), 257, dim, expected.data());
+    cache.EstimateBatch(batch.data(), 257, dim, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), expected.data(), 257 * sizeof(float)),
+              0)
+        << "seed " << seed;
+    // Replay: the second pass is served from the table, still bit-equal.
+    cache.EstimateBatch(batch.data(), 257, dim, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), expected.data(), 257 * sizeof(float)),
+              0)
+        << "warm seed " << seed;
+  }
+}
+
+TEST_F(OracleCacheTest, BatchDedupSendsOnlyUniqueRowsToInner) {
+  const size_t dim = schema_.width();
+  const std::vector<float> pool = MakeBatch(10, 10, dim, 5);
+  // Tile the 10 distinct rows 8x: 80 rows, 10 unique.
+  std::vector<float> batch;
+  for (int copy = 0; copy < 8; ++copy) {
+    batch.insert(batch.end(), pool.begin(), pool.end());
+  }
+  CachingCostOracle cache(&inner_, 1 << 20);
+  const size_t inner_rows_before = inner_.rows_estimated();
+  std::vector<float> out(80);
+  cache.EstimateBatch(batch.data(), 80, dim, out.data());
+  EXPECT_EQ(inner_.rows_estimated() - inner_rows_before, 10u);
+  EXPECT_EQ(cache.rows_estimated(), 80u);  // Outer counter is cache-blind.
+  const OracleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.rows, 80u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.batch_dups, 70u);
+  EXPECT_EQ(stats.unique_rows, 10u);
+  // Tiled rows scatter back identically to their first occurrence.
+  for (size_t i = 10; i < 80; ++i) {
+    EXPECT_EQ(out[i], out[i % 10]) << "row " << i;
+  }
+}
+
+TEST_F(OracleCacheTest, CrossBatchMemoizationServesSecondBatchFromTable) {
+  const size_t dim = schema_.width();
+  const std::vector<float> batch = MakeBatch(50, 50, dim, 7);
+  CachingCostOracle cache(&inner_, 1 << 20);
+  std::vector<float> out(50);
+  cache.EstimateBatch(batch.data(), 50, dim, out.data());
+  const size_t inner_rows_after_first = inner_.rows_estimated();
+  cache.EstimateBatch(batch.data(), 50, dim, out.data());
+  EXPECT_EQ(inner_.rows_estimated(), inner_rows_after_first);
+  const OracleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 50u);
+  EXPECT_EQ(stats.unique_rows, 50u);
+  EXPECT_EQ(stats.rows, stats.hits + stats.batch_dups + stats.unique_rows);
+}
+
+TEST_F(OracleCacheTest, EvictsByGenerationAtTheByteBudget) {
+  const size_t dim = schema_.width();
+  // Budget for only a handful of 32-byte slots, far below the 400 unique
+  // rows pushed through: generations must turn over, results must stay
+  // exact.
+  CachingCostOracle cache(&inner_, 256);
+  const std::vector<float> batch = MakeBatch(400, 400, dim, 9);
+  std::vector<float> expected(400), got(400);
+  inner_.EstimateBatch(batch.data(), 400, dim, expected.data());
+  cache.EstimateBatch(batch.data(), 400, dim, got.data());
+  EXPECT_EQ(std::memcmp(got.data(), expected.data(), 400 * sizeof(float)), 0);
+  const OracleCacheStats stats = cache.stats();
+  EXPECT_GT(stats.capacity, 0u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.entries, stats.capacity);
+  EXPECT_EQ(stats.unique_rows, 400u);
+}
+
+TEST_F(OracleCacheTest, TinyBudgetDisablesTableButKeepsBatchDedup) {
+  const size_t dim = schema_.width();
+  CachingCostOracle cache(&inner_, 1);  // Too small for even one entry.
+  const std::vector<float> pool = MakeBatch(5, 5, dim, 11);
+  std::vector<float> batch;
+  for (int copy = 0; copy < 4; ++copy) {
+    batch.insert(batch.end(), pool.begin(), pool.end());
+  }
+  std::vector<float> expected(20), got(20);
+  inner_.EstimateBatch(batch.data(), 20, dim, expected.data());
+  const size_t inner_rows_before = inner_.rows_estimated();
+  cache.EstimateBatch(batch.data(), 20, dim, got.data());
+  cache.EstimateBatch(batch.data(), 20, dim, got.data());
+  EXPECT_EQ(std::memcmp(got.data(), expected.data(), 20 * sizeof(float)), 0);
+  const OracleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.capacity, 0u);
+  EXPECT_EQ(stats.hits, 0u);  // No table, no cross-batch hits...
+  EXPECT_EQ(stats.batch_dups, 30u);  // ... but in-batch dedup still works.
+  EXPECT_EQ(inner_.rows_estimated() - inner_rows_before, 10u);
+}
+
+TEST_F(OracleCacheTest, WidthChangeReconfiguresTheTable) {
+  const size_t dim = schema_.width();
+  CachingCostOracle cache(&inner_, 1 << 20);
+  const std::vector<float> wide = MakeBatch(30, 30, dim, 13);
+  std::vector<float> out(30);
+  cache.EstimateBatch(wide.data(), 30, dim, out.data());
+  // Same oracle, narrower rows (LinearFeatureOracle handles any dim).
+  const std::vector<float> narrow = MakeBatch(30, 30, 8, 15);
+  std::vector<float> expected(30);
+  inner_.EstimateBatch(narrow.data(), 30, 8, expected.data());
+  cache.EstimateBatch(narrow.data(), 30, 8, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(), 30 * sizeof(float)), 0);
+  cache.EstimateBatch(narrow.data(), 30, 8, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(), 30 * sizeof(float)), 0);
+}
+
+TEST_F(OracleCacheTest, SharedAcrossThreadsStaysConsistent) {
+  // The cache (and the base-class counters) may be shared by concurrent
+  // optimize calls: hammer one instance from several threads and check the
+  // books still balance. Run under TSan in CI.
+  const size_t dim = schema_.width();
+  CachingCostOracle cache(&inner_, 1 << 18);
+  constexpr int kThreads = 4;
+  constexpr int kBatches = 25;
+  constexpr size_t kRows = 64;
+  std::vector<std::thread> threads;
+  std::vector<float> expected(kRows);
+  const std::vector<float> batch = MakeBatch(kRows, 16, dim, 21);
+  inner_.EstimateBatch(batch.data(), kRows, dim, expected.data());
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<float> out(kRows);
+      for (int b = 0; b < kBatches; ++b) {
+        cache.EstimateBatch(batch.data(), kRows, dim, out.data());
+        ASSERT_EQ(
+            std::memcmp(out.data(), expected.data(), kRows * sizeof(float)),
+            0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(cache.rows_estimated(), kThreads * kBatches * kRows);
+  EXPECT_EQ(cache.batches(), static_cast<size_t>(kThreads * kBatches));
+  const OracleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.rows, kThreads * kBatches * kRows);
+  EXPECT_EQ(stats.rows, stats.hits + stats.batch_dups + stats.unique_rows);
+}
+
+TEST_F(OracleCacheTest, OptimizerCachedVsUncachedAcrossThreadCounts) {
+  LinearFeatureOracle oracle(schema_, 59);
+  RoboptOptimizer optimizer(&registry_, &schema_, &oracle);
+  const LogicalPlan plans[] = {
+      MakeSyntheticPipeline(12, 1e7, 3),
+      MakeSyntheticJoinTree(3, 1e6, 7),
+      MakeSyntheticLoopPlan(10, 1e6, 20, 5),
+  };
+  size_t reused = 0;
+  for (const LogicalPlan& plan : plans) {
+    OptimizeOptions base_options;
+    base_options.num_threads = 1;
+    auto base = optimizer.Optimize(plan, nullptr, base_options);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    // A roomy budget and a starved one (constant evictions): both must
+    // reproduce the uncached run exactly at every thread count.
+    for (size_t budget : {size_t{1} << 22, size_t{4} << 10}) {
+      for (int threads : {1, 2, 8}) {
+        OptimizeOptions options;
+        options.num_threads = threads;
+        options.oracle_cache_bytes = budget;
+        auto cached = optimizer.Optimize(plan, nullptr, options);
+        ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+        for (const LogicalOperator& op : plan.operators()) {
+          EXPECT_EQ(cached->plan.alt_index(op.id), base->plan.alt_index(op.id))
+              << "operator " << op.name << ", " << threads << " threads, "
+              << budget << " bytes";
+        }
+        EXPECT_EQ(cached->predicted_runtime_s, base->predicted_runtime_s);
+        EXPECT_EQ(cached->stats.vectors_created, base->stats.vectors_created);
+        EXPECT_EQ(cached->stats.vectors_pruned, base->stats.vectors_pruned);
+        EXPECT_EQ(cached->stats.final_vectors, base->stats.final_vectors);
+        // The outer oracle counter is cache-blind, so instrumentation is
+        // knob-invariant; the cache's own books must balance.
+        EXPECT_EQ(cached->stats.oracle_rows, base->stats.oracle_rows);
+        EXPECT_EQ(cached->oracle_cache.rows, cached->stats.oracle_rows);
+        EXPECT_EQ(cached->oracle_cache.rows,
+                  cached->oracle_cache.hits + cached->oracle_cache.batch_dups +
+                      cached->oracle_cache.unique_rows);
+        reused +=
+            cached->oracle_cache.hits + cached->oracle_cache.batch_dups;
+      }
+    }
+  }
+  // The cache must actually pay off somewhere: the pipeline plan's final
+  // ArgMinCost replays rows its last boundary prune just estimated. (Plans
+  // whose only oracle batch is the final ArgMinCost contribute nothing.)
+  EXPECT_GT(reused, 0u);
+}
+
+TEST_F(OracleCacheTest, ForestBackedOptimizerMatchesUncached) {
+  // Same contract with the real oracle flavor: an MlCostOracle over the
+  // flattened forest kernel.
+  MlDataset data(schema_.width());
+  Rng rng(31);
+  std::vector<float> row(schema_.width());
+  for (int i = 0; i < 256; ++i) {
+    for (float& cell : row) {
+      cell = static_cast<float>(rng.NextUniform(0, 100));
+    }
+    data.Add(row, static_cast<float>(rng.NextUniform(0, 1000)));
+  }
+  RandomForest::Params params;
+  params.num_trees = 12;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Train(data).ok());
+  MlCostOracle oracle(&forest);
+  RoboptOptimizer optimizer(&registry_, &schema_, &oracle);
+  const LogicalPlan plan = MakeSyntheticPipeline(10, 1e6, 13);
+  OptimizeOptions base_options;
+  base_options.num_threads = 1;
+  auto base = optimizer.Optimize(plan, nullptr, base_options);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  OptimizeOptions options;
+  options.num_threads = 4;
+  options.oracle_cache_bytes = 1 << 22;
+  auto cached = optimizer.Optimize(plan, nullptr, options);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  for (const LogicalOperator& op : plan.operators()) {
+    EXPECT_EQ(cached->plan.alt_index(op.id), base->plan.alt_index(op.id));
+  }
+  EXPECT_EQ(cached->predicted_runtime_s, base->predicted_runtime_s);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,160 @@
+// ForestKernel: the flattened SoA node pool must reproduce the per-tree
+// reference path bit for bit — per tree, per batch, at every thread count,
+// and after a Save/Load round trip.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/forest_kernel.h"
+#include "ml/random_forest.h"
+
+namespace robopt {
+namespace {
+
+MlDataset MakeDataset(size_t dim, size_t rows, uint64_t seed) {
+  MlDataset data(dim);
+  Rng rng(seed);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < rows; ++i) {
+    for (float& cell : row) {
+      cell = static_cast<float>(rng.NextUniform(0, 50));
+    }
+    data.Add(row, static_cast<float>(rng.NextUniform(0, 100)));
+  }
+  return data;
+}
+
+RandomForest TrainForest(const MlDataset& data, int num_trees) {
+  RandomForest::Params params;
+  params.num_trees = num_trees;
+  RandomForest forest(params);
+  EXPECT_TRUE(forest.Train(data).ok());
+  return forest;
+}
+
+TEST(ForestKernelTest, FlattensAllTreesIntoOnePool) {
+  const MlDataset data = MakeDataset(16, 200, 3);
+  const RandomForest forest = TrainForest(data, 10);
+  const ForestKernel& kernel = forest.kernel();
+  ASSERT_EQ(kernel.num_trees(), forest.trees().size());
+  size_t total_nodes = 0;
+  for (const DecisionTree& tree : forest.trees()) {
+    total_nodes += tree.num_nodes();
+  }
+  EXPECT_EQ(kernel.num_nodes(), total_nodes);
+  EXPECT_FALSE(kernel.empty());
+}
+
+TEST(ForestKernelTest, PerTreeWalkMatchesDecisionTreePredict) {
+  const MlDataset data = MakeDataset(16, 200, 5);
+  const RandomForest forest = TrainForest(data, 10);
+  const ForestKernel& kernel = forest.kernel();
+  const size_t dim = data.dim();
+  for (size_t t = 0; t < kernel.num_trees(); ++t) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      const float expected = forest.trees()[t].Predict(data.row(i), dim);
+      EXPECT_EQ(kernel.PredictTree(t, data.row(i), dim), expected)
+          << "tree " << t << ", row " << i;
+    }
+  }
+}
+
+TEST(ForestKernelTest, BatchMatchesReferenceBitForBitAcrossThreadCounts) {
+  const MlDataset data = MakeDataset(24, 300, 7);
+  RandomForest forest = TrainForest(data, 15);
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+  std::vector<float> reference(n), got(n);
+  forest.PredictBatchReference(data.features().data(), n, dim,
+                               reference.data());
+  for (int threads : {1, 2, 8}) {
+    forest.set_num_threads(threads);
+    forest.PredictBatch(data.features().data(), n, dim, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), reference.data(), n * sizeof(float)), 0)
+        << threads << " threads";
+  }
+}
+
+TEST(ForestKernelTest, OddBatchSizesMatchReference) {
+  // Exercise partial trailing blocks (n not a multiple of kRowBlock) and
+  // tiny batches below one block.
+  const MlDataset data = MakeDataset(12, 3 * ForestKernel::kRowBlock + 17, 9);
+  RandomForest forest = TrainForest(data, 8);
+  const size_t dim = data.dim();
+  for (size_t n : {size_t{1}, size_t{2}, ForestKernel::kRowBlock - 1,
+                   ForestKernel::kRowBlock, ForestKernel::kRowBlock + 1,
+                   data.size()}) {
+    std::vector<float> reference(n), got(n);
+    forest.PredictBatchReference(data.features().data(), n, dim,
+                                 reference.data());
+    forest.PredictBatch(data.features().data(), n, dim, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), reference.data(), n * sizeof(float)), 0)
+        << n << " rows";
+  }
+}
+
+TEST(ForestKernelTest, EmptyKernelPredictsZeros) {
+  ForestKernel kernel;
+  EXPECT_TRUE(kernel.empty());
+  EXPECT_EQ(kernel.num_trees(), 0u);
+  const float x[4] = {1, 2, 3, 4};
+  float out[2] = {-1, -1};
+  kernel.PredictBatch(x, 2, 2, out, /*log_label=*/false, /*num_threads=*/1);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 0.0f);
+}
+
+TEST(ForestKernelTest, NodeLessTreeContributesZeroLeaf) {
+  // A default-constructed DecisionTree has no nodes; its Predict returns 0
+  // and the kernel must flatten it to a single 0-valued leaf.
+  std::vector<DecisionTree> trees(3);
+  ForestKernel kernel;
+  kernel.Build(trees);
+  EXPECT_EQ(kernel.num_trees(), 3u);
+  EXPECT_EQ(kernel.num_nodes(), 3u);
+  const float row[2] = {5.0f, -1.0f};
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(kernel.PredictTree(t, row, 2), 0.0f);
+  }
+}
+
+TEST(ForestKernelTest, ClearEmptiesThePool) {
+  const MlDataset data = MakeDataset(8, 100, 11);
+  const RandomForest forest = TrainForest(data, 4);
+  ForestKernel kernel = forest.kernel();
+  ASSERT_FALSE(kernel.empty());
+  kernel.Clear();
+  EXPECT_TRUE(kernel.empty());
+  EXPECT_EQ(kernel.num_nodes(), 0u);
+}
+
+TEST(ForestKernelTest, SaveLoadRebuildsKernelWithIdenticalPredictions) {
+  const MlDataset data = MakeDataset(16, 200, 13);
+  RandomForest forest = TrainForest(data, 10);
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+  std::vector<float> before(n);
+  forest.PredictBatch(data.features().data(), n, dim, before.data());
+
+  const std::string path =
+      ::testing::TempDir() + "/forest_kernel_roundtrip.rf";
+  ASSERT_TRUE(forest.Save(path).ok());
+  RandomForest loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.kernel().num_trees(), forest.kernel().num_trees());
+  EXPECT_EQ(loaded.kernel().num_nodes(), forest.kernel().num_nodes());
+  std::vector<float> after(n);
+  loaded.PredictBatch(data.features().data(), n, dim, after.data());
+  EXPECT_EQ(std::memcmp(after.data(), before.data(), n * sizeof(float)), 0);
+}
+
+}  // namespace
+}  // namespace robopt

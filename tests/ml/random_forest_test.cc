@@ -155,6 +155,67 @@ TEST(RandomForestTest, LoadRejectsGarbageHeader) {
   std::remove(path.c_str());
 }
 
+TEST(RandomForestTest, LoadAcceptsMinimalValidTree) {
+  // Baseline for the rejection tests below: one internal node with two
+  // in-bounds, strictly-later children is a legitimate tree.
+  const std::string path = ::testing::TempDir() + "/valid_tiny.forest";
+  WriteFile(path,
+            "random_forest 1\n1 1\n"
+            "3\n0 0.5 1 2 0.0\n-1 0 -1 -1 1.0\n-1 0 -1 -1 2.0\n");
+  RandomForest forest;
+  ASSERT_TRUE(forest.Load(path).ok());
+  const float lo = 0.0f;
+  const float hi = 1.0f;
+  EXPECT_FLOAT_EQ(forest.Predict(&lo, 1), std::expm1(1.0f));
+  EXPECT_FLOAT_EQ(forest.Predict(&hi, 1), std::expm1(2.0f));
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, LoadRejectsOutOfBoundsChild) {
+  const std::string path = ::testing::TempDir() + "/oob_child.forest";
+  // Internal node whose children point past the node array: accepting it
+  // would send Predict out of bounds.
+  WriteFile(path, "random_forest 1\n1 1\n1\n0 0.5 5 6 0.0\n");
+  RandomForest forest;
+  const Status status = forest.Load(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("corrupt"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, LoadRejectsBackwardChildCycle) {
+  const std::string path = ::testing::TempDir() + "/cycle.forest";
+  // Node 0 lists itself as its left child: accepting it would make Predict
+  // loop forever. Children must come strictly after their parent.
+  WriteFile(path,
+            "random_forest 1\n1 1\n2\n0 0.5 0 1 0.0\n-1 0 -1 -1 1.0\n");
+  RandomForest forest;
+  EXPECT_FALSE(forest.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, LoadRejectsHugeFeatureIndex) {
+  const std::string path = ::testing::TempDir() + "/huge_feature.forest";
+  // Feature indices far beyond any plausible schema width mark corruption
+  // even though Predict would merely read the feature as 0.
+  WriteFile(path,
+            "random_forest 1\n1 1\n"
+            "3\n8388608 0.5 1 2 0.0\n-1 0 -1 -1 1.0\n-1 0 -1 -1 2.0\n");
+  RandomForest forest;
+  EXPECT_FALSE(forest.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, LoadRejectsImplausibleNodeCount) {
+  const std::string path = ::testing::TempDir() + "/huge_nodes.forest";
+  // A corrupt per-tree node count must be rejected before it drives an
+  // allocation.
+  WriteFile(path, "random_forest 1\n1 1\n99999999999\n");
+  RandomForest forest;
+  EXPECT_FALSE(forest.Load(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(DecisionTreeTest, SingleLeafOnConstantLabels) {
   MlDataset data(1);
   for (int i = 0; i < 20; ++i) {
