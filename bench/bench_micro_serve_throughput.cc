@@ -1,0 +1,261 @@
+// Serving-layer throughput: optimize-QPS under concurrent clients, with the
+// model hot-swap machinery exercised three ways —
+//   (a) baseline: no promotions in flight;
+//   (b) hot-swap: a publisher thread repeatedly promotes while clients
+//       optimize. The promoted forest is the *same object* every time, so
+//       every client call must return bit-identical predictions to (a) no
+//       matter which version it pinned — correctness is checked inside the
+//       measurement;
+//   (c) retraining on (informational): clients optimize while feeding
+//       execution feedback and the background worker drains/retrains/
+//       promotes concurrently.
+// The run FAILS if hot-swapping stalls the optimize path: (b) must keep at
+// least 90% of (a)'s QPS. Plan caching is OFF in (a)-(c) so the comparison
+// measures the swap machinery, not cache hits (promotions invalidate the
+// cache, which would masquerade as a stall); a cache-on rate is reported
+// separately. Emits BENCH_serve.json.
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "plan/cardinality.h"
+#include "serve/optimizer_service.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+constexpr int kClients = 2;
+constexpr double kPhaseSeconds = 1.5;
+constexpr double kMinSwapRatio = 0.9;
+
+float SumLabel(const float* row, size_t width) {
+  float sum = 1.0f;
+  for (size_t i = 0; i < width; ++i) sum += std::fabs(row[i]);
+  return sum;
+}
+
+/// One measured phase: kClients threads optimize round-robin over `plans`
+/// for kPhaseSeconds. Returns total optimize calls per second. If
+/// `expected` is non-null, every call's prediction is checked bit-identical
+/// to expected[plan index] (the hot-swap correctness contract).
+double MeasureQps(OptimizerService* service,
+                  const std::vector<LogicalPlan>& plans,
+                  const std::vector<float>* expected,
+                  std::atomic<int>* mismatches,
+                  const std::function<void(int)>& per_call = nullptr) {
+  std::atomic<bool> stop{false};
+  std::atomic<long> calls{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      int i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int which = i % static_cast<int>(plans.size());
+        auto result = service->Optimize(plans[which]);
+        if (!result.ok() ||
+            (expected != nullptr &&
+             result->optimize.predicted_runtime_s != (*expected)[which])) {
+          if (mismatches != nullptr) ++*mismatches;
+        }
+        if (per_call) per_call(which);
+        calls.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+  Stopwatch stopwatch;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kPhaseSeconds));
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+  const double elapsed_s = stopwatch.ElapsedMillis() / 1000.0;
+  return static_cast<double>(calls.load()) / elapsed_s;
+}
+
+int Main() {
+  PlatformRegistry registry = PlatformRegistry::Default(2);
+  FeatureSchema schema(&registry);
+
+  // The client workload: three small distinct pipelines.
+  std::vector<LogicalPlan> plans;
+  plans.push_back(MakeSyntheticPipeline(5, 1e5, 1));
+  plans.push_back(MakeSyntheticPipeline(6, 1e6, 2));
+  plans.push_back(MakeSyntheticPipeline(7, 1e4, 3));
+
+  // Base training set: every plan vector of the workload, labeled by a
+  // deterministic function (throughput measures inference+enumeration, not
+  // model quality).
+  MlDataset base(schema.width());
+  for (const LogicalPlan& plan : plans) {
+    auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+    if (!ctx.ok()) {
+      std::fprintf(stderr, "context: %s\n", ctx.status().ToString().c_str());
+      return 1;
+    }
+    const PlanVectorEnumeration all = Enumerate(*ctx, Vectorize(*ctx));
+    for (size_t row = 0; row < all.size(); ++row) {
+      base.Add(all.features(row), SumLabel(all.features(row), schema.width()));
+    }
+  }
+  std::fprintf(stderr, "[bench] base set: %zu rows, %d clients, %u cores\n",
+               base.size(), kClients, std::thread::hardware_concurrency());
+
+  ServeOptions options;
+  options.background_retrain = false;
+  options.plan_cache_capacity = 0;  // Measure the swap path, not the cache.
+  options.forest.num_trees = 20;
+  options.forest.num_threads = 1;
+  auto made = OptimizerService::Create(&registry, &schema, base, nullptr,
+                                       options);
+  if (!made.ok()) {
+    std::fprintf(stderr, "service: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  OptimizerService* service = made->get();
+  const std::shared_ptr<const RandomForest> v1 =
+      service->registry().Current()->forest_ptr();
+
+  // Reference predictions on v1 — the bit-identity baseline for phase (b).
+  std::vector<float> expected;
+  for (const LogicalPlan& plan : plans) {
+    auto result = service->Optimize(plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "optimize: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(result->optimize.predicted_runtime_s);
+  }
+
+  std::atomic<int> mismatches{0};
+
+  // --- (a) Baseline: no promotions. ---
+  const double qps_off =
+      MeasureQps(service, plans, &expected, &mismatches);
+
+  // --- (b) Hot-swap storm: promote the same weights as new versions while
+  // clients run. Predictions must stay bit-identical throughout. The
+  // publisher sleeps 5ms between promotions — hundreds of swaps over the
+  // phase, far above any real promotion rate, while keeping the publisher's
+  // own CPU share small enough that oversubscribed single-core runs measure
+  // the swap path rather than the scheduler. ---
+  std::atomic<bool> stop_publishing{false};
+  std::atomic<long> promotions{0};
+  std::thread publisher([&] {
+    while (!stop_publishing.load()) {
+      service->PublishExternal(std::const_pointer_cast<RandomForest>(v1));
+      promotions.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const double qps_swap =
+      MeasureQps(service, plans, &expected, &mismatches);
+  stop_publishing.store(true);
+  publisher.join();
+  const double swap_ratio = qps_off > 0 ? qps_swap / qps_off : 0.0;
+  std::fprintf(stderr,
+               "[bench] qps off %.1f  qps under %ld promotions %.1f "
+               "(ratio %.3f, %d mismatches)\n",
+               qps_off, promotions.load(), qps_swap, swap_ratio,
+               mismatches.load());
+
+  // --- Plan cache on (informational): repeat queries short-circuit. ---
+  ServeOptions cached_options = options;
+  cached_options.plan_cache_capacity = 256;
+  auto cached_made = OptimizerService::Create(&registry, &schema, base,
+                                              nullptr, cached_options);
+  if (!cached_made.ok()) return 1;
+  const double qps_cached =
+      MeasureQps(cached_made->get(), plans, nullptr, nullptr);
+  std::fprintf(stderr, "[bench] qps with plan cache %.1f (%.1fx)\n",
+               qps_cached, qps_off > 0 ? qps_cached / qps_off : 0.0);
+
+  // --- (c) Retraining on (informational): clients also feed execution
+  // feedback; the background worker drains, retrains and promotes
+  // concurrently with the optimize traffic. ---
+  ServeOptions retrain_options = options;
+  retrain_options.background_retrain = true;
+  retrain_options.worker_poll_s = 0.005;
+  retrain_options.retrain_min_events = 64;
+  auto retrain_made = OptimizerService::Create(&registry, &schema, base,
+                                               nullptr, retrain_options);
+  if (!retrain_made.ok()) return 1;
+  OptimizerService* retrain_service = retrain_made->get();
+  // Pre-built feedback payloads, one per plan.
+  std::vector<ExecutionPlan> exec_plans;
+  std::vector<ExecResult> exec_results;
+  for (const LogicalPlan& plan : plans) {
+    auto result = retrain_service->Optimize(plan);
+    if (!result.ok()) return 1;
+    exec_plans.push_back(result->optimize.plan);
+    ExecResult exec;
+    exec.cost.total_s = result->optimize.predicted_runtime_s * 1.1;
+    exec.observed = CardinalityEstimator(&plan).Estimate();
+    exec_results.push_back(std::move(exec));
+  }
+  const double qps_retrain = MeasureQps(
+      retrain_service, plans, nullptr, nullptr, [&](int which) {
+        retrain_service->OnExecution(exec_plans[which], exec_results[which]);
+      });
+  const ServeStats retrain_stats = retrain_service->Stats();
+  std::fprintf(stderr,
+               "[bench] qps with retraining %.1f (%zu retrains, "
+               "%zu promotions, %zu events drained)\n",
+               qps_retrain, retrain_stats.retrains, retrain_stats.promotions,
+               retrain_stats.feedback.drained);
+
+  FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"clients\": %d,\n"
+               "  \"phase_seconds\": %.2f,\n"
+               "  \"qps_no_promotions\": %.2f,\n"
+               "  \"qps_under_hot_swap\": %.2f,\n"
+               "  \"hot_swap_ratio\": %.4f,\n"
+               "  \"promotions_during_swap_phase\": %ld,\n"
+               "  \"prediction_mismatches\": %d,\n"
+               "  \"qps_plan_cache\": %.2f,\n"
+               "  \"qps_retraining\": %.2f,\n"
+               "  \"retrains\": %zu,\n"
+               "  \"retrain_promotions\": %zu,\n"
+               "  \"feedback_drained\": %zu\n"
+               "}\n",
+               kClients, kPhaseSeconds, qps_off, qps_swap, swap_ratio,
+               promotions.load(), mismatches.load(), qps_cached, qps_retrain,
+               retrain_stats.retrains, retrain_stats.promotions,
+               retrain_stats.feedback.drained);
+  std::fclose(json);
+  std::fprintf(stderr, "[bench] wrote BENCH_serve.json\n");
+
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d optimize calls saw a torn or wrong model\n",
+                 mismatches.load());
+    return 1;
+  }
+  if (swap_ratio < kMinSwapRatio) {
+    std::fprintf(stderr,
+                 "FAIL: hot-swap stalls optimize path: %.1f%% of baseline "
+                 "QPS (need >= %.0f%%)\n",
+                 100.0 * swap_ratio, 100.0 * kMinSwapRatio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace robopt
+
+int main() { return robopt::Main(); }

@@ -45,6 +45,31 @@ class CostOracle {
   mutable std::atomic<size_t> batches_{0};
 };
 
+/// An oracle pinned for the duration of one optimization call. The
+/// shared_ptr keeps the backing model alive (RCU-style) even if a newer
+/// model is published mid-call, so every batch of one Optimize() sees one
+/// consistent model. `version` tags which registry version was pinned
+/// (0 = unversioned, e.g. a plain long-lived oracle).
+struct PinnedOracle {
+  std::shared_ptr<const CostOracle> oracle;
+  uint64_t version = 0;
+};
+
+/// Source of cost oracles for optimizers that must survive model hot-swaps:
+/// instead of holding one raw CostOracle pointer for its whole lifetime, an
+/// optimizer constructed over a provider pins the *current* oracle once per
+/// Optimize() call. The serving layer's ModelRegistry implements this over
+/// an atomically swapped model snapshot.
+class OracleProvider {
+ public:
+  virtual ~OracleProvider() = default;
+
+  /// Pins the current oracle. Must be thread-safe; the returned oracle must
+  /// stay valid (and keep predicting identically) for as long as the
+  /// shared_ptr is held, regardless of later publications.
+  virtual PinnedOracle Acquire() const = 0;
+};
+
 /// CostOracle backed by a trained runtime model (Robopt's default).
 class MlCostOracle : public CostOracle {
  public:

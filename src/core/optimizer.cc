@@ -12,15 +12,28 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     const OptimizeOptions& options) const {
   Stopwatch stopwatch;
 
+  // Pin the model for the whole call: with a provider, every prune and the
+  // final getOptimal below share one version even if a newer model is
+  // published concurrently (the shared_ptr keeps it alive, RCU-style).
+  PinnedOracle pinned;
+  const CostOracle* base_oracle = oracle_;
+  if (provider_ != nullptr) {
+    pinned = provider_->Acquire();
+    if (pinned.oracle == nullptr) {
+      return Status::Internal("oracle provider has no model published");
+    }
+    base_oracle = pinned.oracle.get();
+  }
+
   // The memoizing oracle fast path: dedupe and cache cost lookups for this
   // call. Wrapping here means every consumer below — boundary pruning and
   // the final ArgMinCost of each enumerator run — shares one table, so the
   // final getOptimal batch is served entirely from rows the last prune
   // already estimated.
   std::unique_ptr<CachingCostOracle> cache;
-  const CostOracle* oracle = oracle_;
+  const CostOracle* oracle = base_oracle;
   if (options.oracle_cache_bytes > 0) {
-    cache = std::make_unique<CachingCostOracle>(oracle_,
+    cache = std::make_unique<CachingCostOracle>(base_oracle,
                                                 options.oracle_cache_bytes);
     oracle = cache.get();
   }
@@ -59,6 +72,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
           "no single platform can execute the whole plan");
     }
     if (cache != nullptr) best.oracle_cache = cache->stats();
+    best.model_version = pinned.version;
     best.latency_ms = stopwatch.ElapsedMillis();
     return best;
   }
@@ -79,6 +93,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   result.predicted_runtime_s = run->predicted_runtime_s;
   result.stats = run->stats;
   if (cache != nullptr) result.oracle_cache = cache->stats();
+  result.model_version = pinned.version;
   result.latency_ms = stopwatch.ElapsedMillis();
   return result;
 }

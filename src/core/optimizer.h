@@ -43,6 +43,11 @@ struct OptimizeResult {
   /// otherwise). In single-platform mode one cache spans all per-platform
   /// searches.
   OracleCacheStats oracle_cache;
+  /// Version of the model that served this call when the optimizer was
+  /// constructed over an OracleProvider (0 with a raw oracle). The whole
+  /// call — every prune and the final getOptimal — used this one version,
+  /// even if a newer model was published mid-call.
+  uint64_t model_version = 0;
 
   OptimizeResult() : plan(nullptr, nullptr) {}
 };
@@ -58,6 +63,14 @@ class RoboptOptimizer {
                   const FeatureSchema* schema, const CostOracle* oracle)
       : registry_(registry), schema_(schema), oracle_(oracle) {}
 
+  /// Serving-layer form: instead of one fixed oracle, pin the provider's
+  /// current oracle at the start of every Optimize() call. In-flight calls
+  /// keep their pinned model while a new one is hot-swapped in;
+  /// OptimizeResult::model_version reports which version served the call.
+  RoboptOptimizer(const PlatformRegistry* registry,
+                  const FeatureSchema* schema, const OracleProvider* provider)
+      : registry_(registry), schema_(schema), provider_(provider) {}
+
   /// Optimizes `plan`. Passing `cards` injects true cardinalities (as the
   /// paper's experiments do); otherwise they are estimated from operator
   /// selectivities.
@@ -70,7 +83,8 @@ class RoboptOptimizer {
  private:
   const PlatformRegistry* registry_;
   const FeatureSchema* schema_;
-  const CostOracle* oracle_;
+  const CostOracle* oracle_ = nullptr;
+  const OracleProvider* provider_ = nullptr;
 };
 
 }  // namespace robopt

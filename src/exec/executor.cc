@@ -141,6 +141,7 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
 
   const std::vector<OperatorId> sinks = logical.SinkIds();
   if (!sinks.empty()) result.output = outputs[sinks.front()];
+  if (options_.observer != nullptr) options_.observer->OnExecution(plan, result);
   return result;
 }
 

@@ -22,9 +22,28 @@ struct ExecResult {
   Cardinalities observed;
 };
 
+/// Observes completed executions. The serving layer implements this to turn
+/// every really-executed plan into a feedback event (plan vector + measured
+/// runtime) for the online retraining loop — the paper's "observing patterns
+/// in the execution logs", closed while queries keep flowing.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  /// Called once per successful Execute() with the plan and its outcome
+  /// (OOM runs included: `result.cost.oom` is set and total_s is +inf).
+  /// May be invoked from whatever thread ran Execute(); implementations
+  /// must be thread-safe if the executor is shared.
+  virtual void OnExecution(const ExecutionPlan& plan,
+                           const ExecResult& result) = 0;
+};
+
 /// Options for Execute().
 struct ExecutorOptions {
   uint64_t seed = 42;
+  /// When set, every successful Execute() reports its plan and result here
+  /// (after the cost has been charged). Must outlive the executor.
+  ExecutionObserver* observer = nullptr;
 };
 
 /// The multi-engine executor: runs an execution plan's kernels over real

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 
 #include "common/thread_pool.h"
@@ -25,6 +26,7 @@ Status RandomForest::Train(const MlDataset& data) {
     transformed.Add(data.row(i), label);
   }
 
+  meta_.trained_rows = data.size();
   Rng rng(params_.seed);
   trees_.assign(params_.num_trees, DecisionTree());
   const auto sample_size = static_cast<size_t>(
@@ -92,12 +94,28 @@ void RandomForest::PredictBatchReference(const float* x, size_t n, size_t dim,
 }
 
 Status RandomForest::Save(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) return Status::Internal("cannot open " + path);
-  file << "random_forest 1\n"
-       << trees_.size() << " " << (params_.log_label ? 1 : 0) << "\n";
-  for (const DecisionTree& tree : trees_) tree.Serialize(file);
-  return file ? Status::OK() : Status::Internal("write failed: " + path);
+  // Write-then-rename: the final path only ever holds a complete file. A
+  // crash mid-write leaves (at worst) a stale .tmp sibling, never a torn
+  // model where Load would find it.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return Status::Internal("cannot open " + tmp);
+    file << "random_forest 2\n"
+         << meta_.version << " " << meta_.trained_rows << "\n"
+         << trees_.size() << " " << (params_.log_label ? 1 : 0) << "\n";
+    for (const DecisionTree& tree : trees_) tree.Serialize(file);
+    file.flush();
+    if (!file) {
+      std::remove(tmp.c_str());
+      return Status::Internal("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " into " + path);
+  }
+  return Status::OK();
 }
 
 Status RandomForest::Load(const std::string& path) {
@@ -107,13 +125,21 @@ Status RandomForest::Load(const std::string& path) {
   int version = 0;
   size_t count = 0;
   int log_label = 0;
-  file >> magic >> version >> count >> log_label;
+  ModelMeta meta;
+  file >> magic >> version;
   if (!file || magic != "random_forest") {
     return Status::InvalidArgument("not a random_forest file: " + path);
   }
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return Status::InvalidArgument("unsupported random_forest version " +
                                    std::to_string(version) + ": " + path);
+  }
+  // v2 carries a provenance line; v1 files predate it and default to
+  // {version 0, trained_rows 0}.
+  if (version == 2) file >> meta.version >> meta.trained_rows;
+  file >> count >> log_label;
+  if (!file) {
+    return Status::InvalidArgument("truncated random_forest header: " + path);
   }
   // Reject corrupt/truncated headers before the tree count drives an
   // allocation. Real forests are tens of trees; a million is far beyond any
@@ -125,6 +151,7 @@ Status RandomForest::Load(const std::string& path) {
         " in random_forest file: " + path);
   }
   params_.log_label = log_label != 0;
+  meta_ = meta;
   trees_.assign(count, DecisionTree());
   for (DecisionTree& tree : trees_) {
     if (!tree.Deserialize(file)) {

@@ -10,6 +10,17 @@
 
 namespace robopt {
 
+/// Provenance metadata carried through RandomForest::Save/Load (file format
+/// v2). The serving layer's ModelRegistry stamps `version` when a model is
+/// published, so a forest file on disk identifies which registry version it
+/// was.
+struct ModelMeta {
+  /// Registry version of the published model (0 = unversioned).
+  uint64_t version = 0;
+  /// Number of rows the forest was trained on (set by Train).
+  uint64_t trained_rows = 0;
+};
+
 /// Random-forest regressor — the runtime model the paper settles on
 /// ("we tried linear regression, random forests, and neural networks and
 /// found random forests to be more robust", Section VII-A). Labels are fit
@@ -48,15 +59,25 @@ class RandomForest : public RuntimeModel {
   /// bit-equality and measure its speedup.
   void PredictBatchReference(const float* x, size_t n, size_t dim,
                              float* out) const;
+  /// Writes the forest to `path` atomically: the bytes go to a sibling
+  /// temporary file which is rename()d into place only after a clean write,
+  /// so a crashed or interrupted save can never leave a torn model file
+  /// where a loader would find it.
   Status Save(const std::string& path) const override;
+  /// Accepts format v1 (no metadata) and v2 (metadata line) files.
   Status Load(const std::string& path) override;
   std::string Name() const override { return "RandomForest"; }
+
+  /// Provenance metadata, persisted by Save and restored by Load.
+  const ModelMeta& meta() const { return meta_; }
+  void set_meta(const ModelMeta& meta) { meta_ = meta; }
 
   const std::vector<DecisionTree>& trees() const { return trees_; }
   const ForestKernel& kernel() const { return kernel_; }
 
  private:
   Params params_;
+  ModelMeta meta_;
   std::vector<DecisionTree> trees_;
   ForestKernel kernel_;  ///< Flattened trees_; rebuilt by Train/Load.
 };

@@ -1,0 +1,130 @@
+#include "plan/fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace robopt {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer the Rng seeds with.
+uint64_t SplitMix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) { return SplitMix(h ^ SplitMix(v)); }
+
+uint64_t DoubleBits(double d) {
+  // +0.0 and -0.0 compare equal but differ in bits; canonicalize.
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// FNV-1a over a string (kernel names are short; quality is ample).
+uint64_t StringHash(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Hash of one operator's local fields (no graph context).
+uint64_t LocalHash(const LogicalOperator& op) {
+  uint64_t h = SplitMix(0x524f424f50545631ULL);  // "ROBOPTV1"
+  h = Mix(h, static_cast<uint64_t>(op.kind));
+  h = Mix(h, static_cast<uint64_t>(op.udf));
+  h = Mix(h, DoubleBits(op.selectivity));
+  h = Mix(h, DoubleBits(op.source_cardinality));
+  h = Mix(h, DoubleBits(op.tuple_bytes));
+  h = Mix(h, DoubleBits(op.param));
+  h = Mix(h, StringHash(op.kernel));
+  h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(op.loop_iterations)));
+  return h;
+}
+
+/// Folds the hashes of one adjacency list into `h`, tagged by edge class.
+/// Positional: parent order is semantic (Join build/probe sides).
+uint64_t MixNeighbors(uint64_t h, const std::vector<OperatorId>& neighbors,
+                      const std::vector<uint64_t>& hashes, uint64_t tag) {
+  h = Mix(h, Mix(tag, neighbors.size()));
+  for (const OperatorId n : neighbors) h = Mix(h, hashes[n]);
+  return h;
+}
+
+/// Combines a sorted copy of per-operator hashes under a seed.
+uint64_t CombineSorted(std::vector<uint64_t> hashes, uint64_t seed) {
+  std::sort(hashes.begin(), hashes.end());
+  uint64_t h = SplitMix(seed);
+  for (const uint64_t v : hashes) h = Mix(h, v);
+  return h;
+}
+
+}  // namespace
+
+std::string PlanFingerprint::ToString() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = kHex[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+PlanFingerprint FingerprintPlan(const LogicalPlan& plan) {
+  const int n = plan.num_operators();
+  const std::vector<OperatorId> order = plan.TopologicalOrder();
+
+  // Forward pass: each operator over its local fields + parent hashes.
+  std::vector<uint64_t> up(n, 0);
+  for (const OperatorId id : order) {
+    uint64_t h = LocalHash(plan.op(id));
+    h = MixNeighbors(h, plan.parents(id), up, /*tag=*/1);
+    h = MixNeighbors(h, plan.side_parents(id), up, /*tag=*/2);
+    // LoopEnd's pairing edge, so distinct loops cannot be confused even if
+    // their bodies hash alike.
+    const LogicalOperator& op = plan.op(id);
+    if (op.loop_begin != kInvalidOperatorId) h = Mix(h, up[op.loop_begin]);
+    up[id] = h;
+  }
+
+  // Backward pass: each operator over its children hashes, so a node's
+  // value also encodes how its output is consumed downstream.
+  std::vector<uint64_t> down(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OperatorId id = *it;
+    uint64_t h = LocalHash(plan.op(id));
+    h = MixNeighbors(h, plan.children(id), down, /*tag=*/3);
+    h = MixNeighbors(h, plan.side_children(id), down, /*tag=*/4);
+    down[id] = h;
+  }
+
+  std::vector<uint64_t> combined(n);
+  for (int i = 0; i < n; ++i) combined[i] = Mix(up[i], down[i]);
+
+  PlanFingerprint fp;
+  fp.lo = Mix(CombineSorted(combined, 0x6c6f5f6c616e6531ULL),
+              static_cast<uint64_t>(n));
+  fp.hi = Mix(CombineSorted(std::move(combined), 0x68695f6c616e6532ULL),
+              static_cast<uint64_t>(n));
+  return fp;
+}
+
+uint64_t FingerprintCards(const Cardinalities& cards) {
+  uint64_t h = SplitMix(0x63617264735f6670ULL);
+  h = Mix(h, cards.input.size());
+  for (const double v : cards.input) h = Mix(h, DoubleBits(v));
+  h = Mix(h, cards.output.size());
+  for (const double v : cards.output) h = Mix(h, DoubleBits(v));
+  return h;
+}
+
+}  // namespace robopt

@@ -1,0 +1,49 @@
+#ifndef ROBOPT_PLAN_FINGERPRINT_H_
+#define ROBOPT_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "plan/cardinality.h"
+#include "plan/logical_plan.h"
+
+namespace robopt {
+
+/// 128-bit canonical fingerprint of a logical plan. Two plans that describe
+/// the same dataflow graph — same operator kinds, UDF classes, selectivities,
+/// cardinality/tuple-size declarations, kernels, loop structure, and the same
+/// data/broadcast edges — fingerprint identically *regardless of the order
+/// operators were added in*. The serving layer's plan cache keys on it.
+struct PlanFingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const PlanFingerprint& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator!=(const PlanFingerprint& other) const {
+    return !(*this == other);
+  }
+
+  /// 32 hex digits, for logs and debugging.
+  std::string ToString() const;
+};
+
+/// Computes the canonical fingerprint. Each operator receives a Merkle-style
+/// hash over its local fields plus its parents' hashes (positional: a Join's
+/// build and probe side keep their roles) in a forward pass, and over its
+/// children's hashes in a backward pass, so every node's value encodes both
+/// its full ancestry and its full downstream use. The plan fingerprint
+/// combines the *sorted* per-operator hashes, which is what makes it
+/// insertion-order independent.
+PlanFingerprint FingerprintPlan(const LogicalPlan& plan);
+
+/// Order-sensitive 64-bit hash of injected cardinalities (per-operator
+/// input/output tuple counts). Combined with the plan fingerprint when a
+/// cache key must distinguish the same plan under different observed
+/// cardinalities.
+uint64_t FingerprintCards(const Cardinalities& cards);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_PLAN_FINGERPRINT_H_

@@ -1,0 +1,36 @@
+#include "serve/feedback.h"
+
+namespace robopt {
+
+bool FeedbackCollector::Offer(FeedbackEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.offered;
+  if (queue_.size() >= capacity_) {
+    ++stats_.dropped;
+    return false;
+  }
+  queue_.push_back(std::move(event));
+  ++stats_.accepted;
+  return true;
+}
+
+std::vector<FeedbackEvent> FeedbackCollector::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FeedbackEvent> out(std::make_move_iterator(queue_.begin()),
+                                 std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  stats_.drained += out.size();
+  return out;
+}
+
+size_t FeedbackCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+FeedbackStats FeedbackCollector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace robopt

@@ -1,0 +1,55 @@
+#ifndef ROBOPT_SERVE_FEEDBACK_H_
+#define ROBOPT_SERVE_FEEDBACK_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace robopt {
+
+/// One executed-plan observation flowing from an Executor into the retrain
+/// loop: the plan's encoded feature vector, what the serving model
+/// predicted for it, and what the (virtual) clock actually measured.
+struct FeedbackEvent {
+  std::vector<float> features;  ///< Encoded plan vector (schema width).
+  float predicted_s = 0.0f;     ///< Serving model's prediction at run time.
+  double actual_s = 0.0;        ///< Measured runtime in seconds.
+  uint64_t model_version = 0;   ///< Version that made the prediction.
+};
+
+struct FeedbackStats {
+  size_t offered = 0;   ///< Offer() calls.
+  size_t accepted = 0;  ///< Events enqueued.
+  size_t dropped = 0;   ///< Events rejected because the queue was full.
+  size_t drained = 0;   ///< Events handed to the consumer.
+};
+
+/// Bounded multi-producer single-consumer queue between executors and the
+/// retrain worker. Producers never block: when the queue is at capacity the
+/// event is counted and dropped — feedback is lossy by design, a stalled
+/// trainer must never backpressure query execution.
+class FeedbackCollector {
+ public:
+  explicit FeedbackCollector(size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues one event; returns false (and drops it) when full.
+  bool Offer(FeedbackEvent event);
+
+  /// Moves out all queued events in arrival order (the consumer side).
+  std::vector<FeedbackEvent> Drain();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  FeedbackStats stats() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;  ///< Guards queue_ and stats_.
+  std::deque<FeedbackEvent> queue_;
+  FeedbackStats stats_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_SERVE_FEEDBACK_H_

@@ -1,0 +1,313 @@
+#include "serve/optimizer_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "plan/fingerprint.h"
+
+namespace robopt {
+namespace {
+
+/// MAE in log1p space — the space the forest fits in, so validation and
+/// training optimize the same quantity.
+double LogSpaceMae(const RuntimeModel& model, const MlDataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::vector<float> pred(data.size());
+  model.PredictBatch(data.features().data(), data.size(), data.dim(),
+                     pred.data());
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double p = std::log1p(std::max(0.0, static_cast<double>(pred[i])));
+    const double a =
+        std::log1p(std::max(0.0, static_cast<double>(data.label(i))));
+    sum += std::fabs(p - a);
+  }
+  return sum / static_cast<double>(data.size());
+}
+
+double AbsLogError(float predicted_s, double actual_s) {
+  const double p = std::log1p(std::max(0.0, static_cast<double>(predicted_s)));
+  const double a = std::log1p(std::max(0.0, actual_s));
+  return std::fabs(p - a);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<OptimizerService>> OptimizerService::Create(
+    const PlatformRegistry* registry, const FeatureSchema* schema,
+    MlDataset base, std::shared_ptr<RandomForest> initial,
+    ServeOptions options) {
+  if (registry == nullptr || schema == nullptr) {
+    return Status::InvalidArgument("registry and schema are required");
+  }
+  if (base.dim() != schema->width()) {
+    return Status::InvalidArgument(
+        "base dataset width does not match the feature schema");
+  }
+  std::unique_ptr<OptimizerService> service(
+      new OptimizerService(registry, schema, std::move(options)));
+  if (base.size() > 0 && service->options_.holdout_fraction > 0.0) {
+    base.Split(1.0 - service->options_.holdout_fraction,
+               service->options_.holdout_seed, &service->base_train_,
+               &service->holdout_);
+  } else {
+    service->base_train_ = std::move(base);
+  }
+  if (initial == nullptr) {
+    if (service->base_train_.size() == 0) {
+      return Status::InvalidArgument(
+          "no initial model was given and the base dataset is empty");
+    }
+    auto forest = std::make_shared<RandomForest>(service->options_.forest);
+    ROBOPT_RETURN_IF_ERROR(forest->Train(service->base_train_));
+    initial = std::move(forest);
+  }
+  const double mae = LogSpaceMae(*initial, service->holdout_);
+  service->models_.Publish(std::move(initial), mae);
+  if (service->options_.background_retrain) {
+    service->worker_ = std::thread([s = service.get()] { s->WorkerLoop(); });
+  }
+  return service;
+}
+
+OptimizerService::OptimizerService(const PlatformRegistry* registry,
+                                   const FeatureSchema* schema,
+                                   ServeOptions options)
+    : registry_(registry),
+      schema_(schema),
+      options_(std::move(options)),
+      models_(options_.model_history),
+      optimizer_(registry, schema,
+                 static_cast<const OracleProvider*>(&models_)),
+      collector_(options_.feedback_capacity),
+      experience_(schema),
+      plan_cache_(options_.plan_cache_capacity),
+      base_train_(schema->width()),
+      holdout_(schema->width()),
+      last_train_(std::chrono::steady_clock::now()) {}
+
+OptimizerService::~OptimizerService() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    stop_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+StatusOr<OptimizerService::Result> OptimizerService::Optimize(
+    const LogicalPlan& plan, const Cardinalities* cards) {
+  return Optimize(plan, cards, options_.optimize);
+}
+
+StatusOr<OptimizerService::Result> OptimizerService::Optimize(
+    const LogicalPlan& plan, const Cardinalities* cards,
+    const OptimizeOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  PlanCacheKey key;
+  key.plan = FingerprintPlan(plan);
+  key.cards_hash = cards == nullptr ? 0 : FingerprintCards(*cards);
+  key.options_hash = PlanCache::HashOptions(options);
+
+  PlanCache::Entry cached;
+  if (plan_cache_.Lookup(key, models_.current_version(), &cached)) {
+    // Fingerprint-equal plans are structurally identical, so the cached
+    // assignment transfers onto the caller's plan instance in O(n).
+    Result result;
+    result.cache_hit = true;
+    result.optimize.plan = ExecutionPlan(&plan, registry_);
+    for (size_t id = 0; id < cached.assignment.size(); ++id) {
+      if (cached.assignment[id] >= 0) {
+        result.optimize.plan.Assign(static_cast<OperatorId>(id),
+                                    cached.assignment[id]);
+      }
+    }
+    result.optimize.predicted_runtime_s = cached.predicted_runtime_s;
+    result.optimize.chosen_platform = cached.chosen_platform;
+    result.optimize.model_version = cached.model_version;
+    result.optimize.latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+  }
+
+  auto optimized = optimizer_.Optimize(plan, cards, options);
+  if (!optimized.ok()) return optimized.status();
+  Result result;
+  result.optimize = std::move(optimized.value());
+
+  PlanCache::Entry entry;
+  entry.assignment.assign(plan.num_operators(), -1);
+  for (const LogicalOperator& op : plan.operators()) {
+    entry.assignment[op.id] =
+        static_cast<int16_t>(result.optimize.plan.alt_index(op.id));
+  }
+  entry.predicted_runtime_s = result.optimize.predicted_runtime_s;
+  entry.chosen_platform = result.optimize.chosen_platform;
+  entry.model_version = result.optimize.model_version;
+  plan_cache_.Insert(key, std::move(entry));
+  return result;
+}
+
+void OptimizerService::OnExecution(const ExecutionPlan& plan,
+                                   const ExecResult& result) {
+  // No logs for failed plans (the paper's executors simply die on OOM);
+  // TDGEN's failure penalty covers those synthetically.
+  if (!std::isfinite(result.cost.total_s)) return;
+  const LogicalPlan& logical = plan.logical_plan();
+  std::vector<uint8_t> assignment(logical.num_operators(), 0);
+  for (const LogicalOperator& op : logical.operators()) {
+    const int alt = plan.alt_index(op.id);
+    if (alt < 0) return;  // Incomplete plan; nothing to learn from.
+    assignment[op.id] = static_cast<uint8_t>(alt + 1);
+  }
+  // Encode under the *observed* cardinalities: the training point should
+  // describe the work the plan actually did.
+  auto ctx = EnumerationContext::Make(&logical, registry_, schema_,
+                                      &result.observed);
+  if (!ctx.ok()) return;
+  FeedbackEvent event;
+  event.features = EncodeAssignment(ctx.value(), assignment.data());
+  event.actual_s = result.cost.total_s;
+  if (const auto snapshot = models_.Current(); snapshot != nullptr) {
+    event.model_version = snapshot->version();
+    float predicted = 0.0f;
+    snapshot->oracle().EstimateBatch(event.features.data(), 1,
+                                     event.features.size(), &predicted);
+    event.predicted_s = predicted;
+  }
+  collector_.Offer(std::move(event));
+}
+
+void OptimizerService::DrainFeedbackLocked() {
+  std::vector<FeedbackEvent> events = collector_.Drain();
+  for (FeedbackEvent& event : events) {
+    // Fold the prediction error into the version that made the prediction —
+    // a promotion mid-stream must not pollute the old version's curve.
+    if (event.model_version != 0) {
+      if (const auto snapshot = models_.Get(event.model_version);
+          snapshot != nullptr) {
+        snapshot->ObserveError(AbsLogError(event.predicted_s, event.actual_s),
+                               options_.drift_alpha);
+      }
+    }
+    ++drain_seq_;
+    if (options_.holdout_every > 0 &&
+        drain_seq_ % options_.holdout_every == 0) {
+      std::lock_guard<std::mutex> lock(holdout_mu_);
+      if (event.features.size() == holdout_.dim()) {
+        holdout_.Add(event.features, static_cast<float>(event.actual_s));
+      }
+      continue;
+    }
+    if (experience_.RecordRow(event.features, event.actual_s).ok()) {
+      ++events_since_train_;
+    }
+  }
+}
+
+MlDataset OptimizerService::HoldoutSnapshot() const {
+  std::lock_guard<std::mutex> lock(holdout_mu_);
+  return holdout_;
+}
+
+StatusOr<RetrainOutcome> OptimizerService::RetrainNow(bool force) {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  DrainFeedbackLocked();
+
+  RetrainOutcome outcome;
+  const auto now = std::chrono::steady_clock::now();
+  const double since_s =
+      std::chrono::duration<double>(now - last_train_).count();
+  const bool size_trigger = options_.retrain_min_events > 0 &&
+                            events_since_train_ >= options_.retrain_min_events;
+  const bool time_trigger = options_.retrain_interval_s > 0.0 &&
+                            since_s >= options_.retrain_interval_s &&
+                            events_since_train_ > 0;
+  if (!force && !size_trigger && !time_trigger) return outcome;
+
+  outcome.triggered = true;
+  outcome.experience_rows = experience_.size();
+  auto candidate = experience_.Retrain(base_train_, options_.experience_weight,
+                                       options_.forest);
+  if (!candidate.ok()) return candidate.status();
+  last_train_ = now;
+  events_since_train_ = 0;
+  {
+    std::lock_guard<std::mutex> counter_lock(counter_mu_);
+    ++retrains_;
+  }
+
+  const MlDataset holdout = HoldoutSnapshot();
+  outcome.holdout_rows = holdout.size();
+  outcome.candidate_mae = LogSpaceMae(*candidate.value(), holdout);
+  const auto incumbent = models_.Current();
+  outcome.incumbent_mae =
+      incumbent == nullptr ? std::numeric_limits<double>::infinity()
+                           : LogSpaceMae(incumbent->forest(), holdout);
+
+  if (outcome.candidate_mae <=
+      outcome.incumbent_mae * (1.0 + options_.promote_tolerance)) {
+    std::shared_ptr<RandomForest> forest = std::move(candidate.value());
+    outcome.version = models_.Publish(std::move(forest), outcome.candidate_mae);
+    outcome.promoted = true;
+    plan_cache_.InvalidateAll();
+    std::lock_guard<std::mutex> counter_lock(counter_mu_);
+    ++promotions_;
+  } else {
+    std::lock_guard<std::mutex> counter_lock(counter_mu_);
+    ++rejections_;
+  }
+  return outcome;
+}
+
+uint64_t OptimizerService::PublishExternal(std::shared_ptr<RandomForest> forest) {
+  const uint64_t version = models_.Publish(
+      std::move(forest), std::numeric_limits<double>::quiet_NaN());
+  plan_cache_.InvalidateAll();
+  return version;
+}
+
+ServeStats OptimizerService::Stats() const {
+  ServeStats stats;
+  stats.current_version = models_.current_version();
+  stats.versions_published = models_.num_published();
+  {
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    stats.retrains = retrains_;
+    stats.promotions = promotions_;
+    stats.rejections = rejections_;
+  }
+  stats.experience_rows = experience_.size();
+  {
+    std::lock_guard<std::mutex> lock(holdout_mu_);
+    stats.holdout_rows = holdout_.size();
+  }
+  stats.feedback = collector_.stats();
+  stats.plan_cache = plan_cache_.stats();
+  if (const auto snapshot = models_.Current(); snapshot != nullptr) {
+    stats.current_drift = snapshot->drift();
+  }
+  return stats;
+}
+
+void OptimizerService::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(worker_mu_);
+  while (!stop_) {
+    worker_cv_.wait_for(lock,
+                        std::chrono::duration<double>(options_.worker_poll_s),
+                        [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    // Trigger evaluation + (maybe) a retrain cycle; failures surface only
+    // through Stats() — the worker must keep running.
+    (void)RetrainNow(false);
+    lock.lock();
+  }
+}
+
+}  // namespace robopt

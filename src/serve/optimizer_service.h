@@ -1,0 +1,199 @@
+#ifndef ROBOPT_SERVE_OPTIMIZER_SERVICE_H_
+#define ROBOPT_SERVE_OPTIMIZER_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "serve/feedback.h"
+#include "serve/model_registry.h"
+#include "serve/plan_cache.h"
+#include "tdgen/experience.h"
+
+namespace robopt {
+
+/// Configuration of the serving layer.
+struct ServeOptions {
+  /// Bounded feedback queue between executors and the retrain worker.
+  size_t feedback_capacity = 4096;
+  /// Size trigger: a retrain fires once this many new events reached the
+  /// experience log since the last training run.
+  size_t retrain_min_events = 64;
+  /// Time trigger in seconds (0 = size trigger only): retrain whenever this
+  /// much time passed since the last run and at least one new event landed.
+  double retrain_interval_s = 0.0;
+  /// Promotion rule: the candidate's holdout MAE (log-space) must satisfy
+  /// candidate <= incumbent * (1 + promote_tolerance). Negative values
+  /// demand strict improvement.
+  double promote_tolerance = 0.10;
+  /// Fraction of the base (TDGEN) dataset carved off as the holdout split.
+  double holdout_fraction = 0.1;
+  uint64_t holdout_seed = 17;
+  /// Every holdout_every-th drained feedback event joins the holdout set
+  /// instead of the training log, so validation tracks the live workload
+  /// too (0 = base-only holdout).
+  size_t holdout_every = 5;
+  /// Duplication weight of experience rows in retraining
+  /// (ExperienceLog::Retrain).
+  int experience_weight = 4;
+  /// Hyper-parameters of retrained candidate forests (also used when the
+  /// service trains v1 itself).
+  RandomForest::Params forest;
+  /// Plan-cache entries (0 disables the cache).
+  size_t plan_cache_capacity = 256;
+  /// EWMA smoothing factor of the per-version drift stats.
+  double drift_alpha = 0.1;
+  /// Model versions kept addressable after replacement.
+  size_t model_history = 8;
+  /// Spawn the background RetrainWorker thread. Tests that want
+  /// deterministic cycles set this false and call RetrainNow().
+  bool background_retrain = true;
+  /// Worker poll period between trigger checks, in seconds.
+  double worker_poll_s = 0.05;
+  /// Default per-call optimize options.
+  OptimizeOptions optimize;
+};
+
+/// What one RetrainNow()/worker cycle did.
+struct RetrainOutcome {
+  bool triggered = false;  ///< A candidate was trained this cycle.
+  bool promoted = false;
+  uint64_t version = 0;        ///< The promoted version (when promoted).
+  double candidate_mae = 0.0;  ///< Holdout MAE (log-space) of the candidate.
+  double incumbent_mae = 0.0;  ///< Same holdout, current model.
+  size_t holdout_rows = 0;
+  size_t experience_rows = 0;  ///< Training log size at candidate time.
+};
+
+/// Aggregate serving counters.
+struct ServeStats {
+  uint64_t current_version = 0;
+  size_t versions_published = 0;
+  size_t retrains = 0;    ///< Candidates trained.
+  size_t promotions = 0;  ///< Candidates published.
+  size_t rejections = 0;  ///< Candidates that failed validation.
+  size_t experience_rows = 0;
+  size_t holdout_rows = 0;
+  FeedbackStats feedback;
+  PlanCacheStats plan_cache;
+  DriftStats current_drift;  ///< Drift of the current version.
+};
+
+/// The optimizer as a long-lived concurrent service with a model lifecycle:
+///
+///   - a versioned ModelRegistry serves Optimize() calls through an
+///     RCU-style atomic hot swap — in-flight calls keep their pinned model
+///     version while a new one is published;
+///   - a FeedbackCollector (bounded MPSC queue) absorbs Executor results
+///     (plan vector + measured runtime) via the ExecutionObserver hook;
+///   - a background RetrainWorker drains feedback into the thread-safe
+///     ExperienceLog and, on a size/time trigger, retrains via
+///     ExperienceLog::Retrain, validates the candidate on a holdout split,
+///     promotes only if MAE does not regress beyond the tolerance, and
+///     records per-version drift (predicted-vs-actual error EWMA);
+///   - a PlanCache keyed by the canonical logical-plan fingerprint serves
+///     repeat queries in O(plan size), invalidated on every promotion.
+///
+/// Thread-safe throughout: any number of threads may call Optimize() and
+/// Execute() (with this service as the executor's observer) concurrently
+/// with the retrain worker.
+class OptimizerService : public ExecutionObserver {
+ public:
+  /// Builds a service over `base` (the TDGEN bootstrap set). `initial`
+  /// becomes version 1; when null, the service trains v1 itself on the
+  /// non-holdout part of `base` with `options.forest`. Fails if there is
+  /// nothing to train on and no initial model was given.
+  static StatusOr<std::unique_ptr<OptimizerService>> Create(
+      const PlatformRegistry* registry, const FeatureSchema* schema,
+      MlDataset base, std::shared_ptr<RandomForest> initial = nullptr,
+      ServeOptions options = {});
+
+  ~OptimizerService() override;
+
+  OptimizerService(const OptimizerService&) = delete;
+  OptimizerService& operator=(const OptimizerService&) = delete;
+
+  /// One served optimization.
+  struct Result {
+    OptimizeResult optimize;  ///< model_version is always set.
+    bool cache_hit = false;
+  };
+
+  /// Optimizes `plan` on the current model version. Safe to call from any
+  /// number of threads, including while a promotion is in flight — the
+  /// whole call sees one consistent model.
+  StatusOr<Result> Optimize(const LogicalPlan& plan,
+                            const Cardinalities* cards = nullptr);
+  StatusOr<Result> Optimize(const LogicalPlan& plan,
+                            const Cardinalities* cards,
+                            const OptimizeOptions& options);
+
+  /// ExecutionObserver: encodes the executed plan under its observed
+  /// cardinalities and offers (features, predicted, actual) to the
+  /// feedback queue. Non-finite runtimes (OOM) are skipped — mirroring the
+  /// paper, which has no logs for failed plans (TDGEN's failure penalty
+  /// covers them synthetically).
+  void OnExecution(const ExecutionPlan& plan,
+                   const ExecResult& result) override;
+
+  /// Runs one synchronous drain / retrain / validate / publish cycle (the
+  /// worker's body). `force` trains even if no trigger fired (tests).
+  StatusOr<RetrainOutcome> RetrainNow(bool force = false);
+
+  /// Publishes an externally trained model out-of-band (ops push). Skips
+  /// holdout validation — the snapshot records NaN MAE — and invalidates
+  /// the plan cache. Returns the new version.
+  uint64_t PublishExternal(std::shared_ptr<RandomForest> forest);
+
+  const ModelRegistry& registry() const { return models_; }
+  const FeatureSchema& schema() const { return *schema_; }
+  ServeStats Stats() const;
+
+ private:
+  OptimizerService(const PlatformRegistry* registry,
+                   const FeatureSchema* schema, ServeOptions options);
+
+  /// Moves queued feedback into drift stats, the holdout set and the
+  /// experience log. Caller holds retrain_mu_.
+  void DrainFeedbackLocked();
+  /// Consistent copy of the holdout set.
+  MlDataset HoldoutSnapshot() const;
+  void WorkerLoop();
+
+  const PlatformRegistry* registry_;
+  const FeatureSchema* schema_;
+  const ServeOptions options_;
+
+  ModelRegistry models_;
+  RoboptOptimizer optimizer_;  ///< Pins models_ per call (OracleProvider).
+  FeedbackCollector collector_;
+  ExperienceLog experience_;
+  PlanCache plan_cache_;
+
+  MlDataset base_train_;  ///< Immutable after Create().
+  mutable std::mutex holdout_mu_;
+  MlDataset holdout_;
+
+  std::mutex retrain_mu_;  ///< Serializes retrain cycles + drain state.
+  size_t events_since_train_ = 0;
+  size_t drain_seq_ = 0;
+  std::chrono::steady_clock::time_point last_train_;
+
+  mutable std::mutex counter_mu_;
+  size_t retrains_ = 0;
+  size_t promotions_ = 0;
+  size_t rejections_ = 0;
+
+  std::mutex worker_mu_;
+  std::condition_variable worker_cv_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_SERVE_OPTIMIZER_SERVICE_H_

@@ -1,0 +1,75 @@
+#include "serve/plan_cache.h"
+
+namespace robopt {
+
+uint64_t PlanCache::HashOptions(const OptimizeOptions& options) {
+  uint64_t h = options.allowed_platform_mask;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(options.single_platform ? 1 : 0);
+  mix(static_cast<uint64_t>(options.priority));
+  mix(static_cast<uint64_t>(options.prune));
+  return h;
+}
+
+bool PlanCache::Lookup(const PlanCacheKey& key, uint64_t current_version,
+                       Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  if (it->second->entry.model_version != current_version) {
+    // Lazy invalidation: a promotion happened since this was cached.
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->entry;
+  ++stats_.hits;
+  return true;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key, Entry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.insertions;
+    return;
+  }
+  lru_.push_front(Node{key, std::move(entry)});
+  map_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += map_.size();
+  map_.clear();
+  lru_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace robopt

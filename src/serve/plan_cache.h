@@ -1,0 +1,105 @@
+#ifndef ROBOPT_SERVE_PLAN_CACHE_H_
+#define ROBOPT_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "plan/fingerprint.h"
+
+namespace robopt {
+
+/// Key of one cached optimization: the canonical plan fingerprint, the
+/// injected cardinalities (0 when estimated — the estimate is a pure
+/// function of the fingerprinted plan), and the search-relevant optimize
+/// options. num_threads and oracle_cache_bytes are deliberately *not* part
+/// of the key: results are bit-identical across both by contract (see
+/// DESIGN.md, "Threading model & determinism").
+struct PlanCacheKey {
+  PlanFingerprint plan;
+  uint64_t cards_hash = 0;
+  uint64_t options_hash = 0;
+
+  bool operator==(const PlanCacheKey& other) const {
+    return plan == other.plan && cards_hash == other.cards_hash &&
+           options_hash == other.options_hash;
+  }
+};
+
+struct PlanCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t insertions = 0;
+  size_t evictions = 0;      ///< LRU capacity evictions.
+  size_t invalidations = 0;  ///< Entries dropped for a stale model version.
+};
+
+/// Bounded, version-tagged LRU cache of optimization results. Entries store
+/// the chosen *assignment* (one alt index per operator) rather than an
+/// ExecutionPlan — an ExecutionPlan is bound to one LogicalPlan instance,
+/// while fingerprint-equal plans are structurally identical, so the
+/// assignment transfers and the caller's plan is re-instantiated in O(n).
+///
+/// Every entry is tagged with the model version that produced it. A lookup
+/// under a newer version discards the entry (lazy invalidation), and the
+/// serving layer calls InvalidateAll() on every model promotion — a new
+/// model means new costs, so yesterday's best plan is no longer evidence.
+class PlanCache {
+ public:
+  struct Entry {
+    std::vector<int16_t> assignment;  ///< Chosen alt per operator.
+    float predicted_runtime_s = 0.0f;
+    PlatformId chosen_platform = 0;
+    uint64_t model_version = 0;
+  };
+
+  /// `capacity` bounds the number of entries (LRU eviction).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// The search-relevant slice of OptimizeOptions, hashed.
+  static uint64_t HashOptions(const OptimizeOptions& options);
+
+  /// On hit under `current_version`, copies the entry into `out`, promotes
+  /// it to most-recently-used and returns true. An entry tagged with any
+  /// other version counts as a miss and is dropped.
+  bool Lookup(const PlanCacheKey& key, uint64_t current_version, Entry* out);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the LRU tail when
+  /// over capacity.
+  void Insert(const PlanCacheKey& key, Entry entry);
+
+  /// Drops every entry (called on model promotion).
+  void InvalidateAll();
+
+  size_t size() const;
+  PlanCacheStats stats() const;
+
+ private:
+  struct Node {
+    PlanCacheKey key;
+    Entry entry;
+  };
+
+  struct KeyHash {
+    size_t operator()(const PlanCacheKey& key) const {
+      uint64_t h = key.plan.lo;
+      h ^= key.plan.hi + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= key.cards_hash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= key.options_hash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;  ///< Guards everything below.
+  std::list<Node> lru_;    ///< Front = most recently used.
+  std::unordered_map<PlanCacheKey, std::list<Node>::iterator, KeyHash> map_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_SERVE_PLAN_CACHE_H_

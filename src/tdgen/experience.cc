@@ -1,16 +1,17 @@
 #include "tdgen/experience.h"
 
+#include <cmath>
 #include <vector>
 
 namespace robopt {
 
 Status ExperienceLog::Record(const EnumerationContext& ctx,
                              const ExecutionPlan& plan, double runtime_s) {
-  if (ctx.schema != schema_) {
+  if (ctx.schema == nullptr || ctx.schema->width() != schema_->width()) {
     return Status::InvalidArgument(
-        "context schema does not match the experience log's schema");
+        "context schema width does not match the experience log's schema");
   }
-  if (!(runtime_s >= 0.0)) {
+  if (!(runtime_s >= 0.0) || !std::isfinite(runtime_s)) {
     return Status::InvalidArgument("runtime must be non-negative and finite");
   }
   ROBOPT_RETURN_IF_ERROR(plan.Validate());
@@ -18,24 +19,51 @@ Status ExperienceLog::Record(const EnumerationContext& ctx,
   for (const LogicalOperator& op : ctx.plan->operators()) {
     assignment[op.id] = static_cast<uint8_t>(plan.alt_index(op.id) + 1);
   }
+  // Encode outside the lock; only the append is serialized.
   const std::vector<float> features =
       EncodeAssignment(ctx, assignment.data());
+  std::lock_guard<std::mutex> lock(mu_);
   data_.Add(features, static_cast<float>(runtime_s));
   return Status::OK();
 }
 
+Status ExperienceLog::RecordRow(const std::vector<float>& features,
+                                double runtime_s) {
+  if (features.size() != schema_->width()) {
+    return Status::InvalidArgument(
+        "feature row width does not match the experience log's schema");
+  }
+  if (!(runtime_s >= 0.0) || !std::isfinite(runtime_s)) {
+    return Status::InvalidArgument("runtime must be non-negative and finite");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.Add(features, static_cast<float>(runtime_s));
+  return Status::OK();
+}
+
+size_t ExperienceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+MlDataset ExperienceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
 StatusOr<std::unique_ptr<RandomForest>> ExperienceLog::Retrain(
     const MlDataset& base, int weight, RandomForest::Params params) const {
-  if (base.dim() != data_.dim()) {
+  const MlDataset snapshot = Snapshot();
+  if (base.dim() != snapshot.dim()) {
     return Status::InvalidArgument("base dataset has a different width");
   }
-  MlDataset merged(data_.dim());
+  MlDataset merged(snapshot.dim());
   for (size_t i = 0; i < base.size(); ++i) {
     merged.Add(base.row(i), base.label(i));
   }
   for (int w = 0; w < weight; ++w) {
-    for (size_t i = 0; i < data_.size(); ++i) {
-      merged.Add(data_.row(i), data_.label(i));
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      merged.Add(snapshot.row(i), snapshot.label(i));
     }
   }
   auto forest = std::make_unique<RandomForest>(params);

@@ -2,6 +2,8 @@
 #define ROBOPT_TDGEN_EXPERIENCE_H_
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/status.h"
 #include "core/operations.h"
@@ -14,6 +16,11 @@ namespace robopt {
 /// able to find such cases by observing patterns in the execution logs" —
 /// this is that feedback loop: TDGEN bootstraps the model synthetically,
 /// production runs refine it.
+///
+/// Thread-safe: Record/RecordRow/size/Snapshot/Retrain may race freely; the
+/// serving layer's retrain worker records and retrains concurrently with
+/// executors appending. Retrain works on an internally taken snapshot, so a
+/// long training run never blocks recording.
 class ExperienceLog {
  public:
   /// `schema` must outlive the log.
@@ -21,22 +28,32 @@ class ExperienceLog {
       : schema_(schema), data_(schema->width()) {}
 
   /// Records one executed plan. `ctx` must have been built over the same
-  /// plan/registry/cardinalities the execution used.
+  /// plan/registry/cardinalities the execution used; a context whose schema
+  /// width disagrees with the log's schema is rejected (it would corrupt
+  /// the row-major dataset).
   Status Record(const EnumerationContext& ctx, const ExecutionPlan& plan,
                 double runtime_s);
 
-  size_t size() const { return data_.size(); }
-  const MlDataset& data() const { return data_; }
+  /// Records a pre-encoded plan vector (the serving layer's feedback-drain
+  /// path). `features` must be exactly the log's schema width.
+  Status RecordRow(const std::vector<float>& features, double runtime_s);
 
-  /// Trains a fresh forest on `base` (e.g. the TDGEN set) plus the logged
-  /// experience, weighting experience by duplicating it `weight` times —
-  /// real logs are scarcer but more trustworthy than synthetic ones.
+  size_t size() const;
+
+  /// Consistent copy of the logged data.
+  MlDataset Snapshot() const;
+
+  /// Trains a fresh forest on `base` (e.g. the TDGEN set) plus a snapshot
+  /// of the logged experience, weighting experience by duplicating it
+  /// `weight` times — real logs are scarcer but more trustworthy than
+  /// synthetic ones.
   StatusOr<std::unique_ptr<RandomForest>> Retrain(
       const MlDataset& base, int weight = 4,
       RandomForest::Params params = RandomForest::Params()) const;
 
  private:
   const FeatureSchema* schema_;
+  mutable std::mutex mu_;  ///< Guards data_.
   MlDataset data_;
 };
 

@@ -130,11 +130,72 @@ void WriteFile(const std::string& path, const std::string& content) {
 
 TEST(RandomForestTest, LoadRejectsUnsupportedVersion) {
   const std::string path = ::testing::TempDir() + "/bad_version.forest";
-  WriteFile(path, "random_forest 2\n1 1\n");
+  WriteFile(path, "random_forest 3\n1 1\n");
   RandomForest forest;
   const Status status = forest.Load(path);
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.ToString().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, SaveLoadRoundTripsMeta) {
+  MlDataset data = NonlinearData(500, 15);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(data).ok());
+  EXPECT_EQ(forest.meta().trained_rows, 500u);
+  ModelMeta meta = forest.meta();
+  meta.version = 42;
+  forest.set_meta(meta);
+  const std::string path = ::testing::TempDir() + "/meta.forest";
+  ASSERT_TRUE(forest.Save(path).ok());
+  RandomForest loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.meta().version, 42u);
+  EXPECT_EQ(loaded.meta().trained_rows, 500u);
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, SaveLeavesNoTemporarySibling) {
+  MlDataset data = NonlinearData(200, 17);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(data).ok());
+  const std::string path = ::testing::TempDir() + "/atomic.forest";
+  ASSERT_TRUE(forest.Save(path).ok());
+  // The write-then-rename protocol must not leave its staging file behind.
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "r");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(RandomForestTest, LoadRejectsTruncatedFile) {
+  MlDataset data = NonlinearData(200, 19);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(data).ok());
+  const std::string path = ::testing::TempDir() + "/truncated.forest";
+  ASSERT_TRUE(forest.Save(path).ok());
+  // Read the valid bytes back and truncate mid-tree — the torn file a
+  // non-atomic save could have produced.
+  std::string bytes;
+  {
+    FILE* file = std::fopen(path.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+      bytes.append(buf, n);
+    }
+    std::fclose(file);
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  WriteFile(path, bytes.substr(0, bytes.size() / 2));
+  RandomForest loaded;
+  EXPECT_FALSE(loaded.Load(path).ok());
+  // Truncation inside the v2 header line must also be caught.
+  WriteFile(path, "random_forest 2\n7 100\n");
+  const Status status = loaded.Load(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("truncated"), std::string::npos);
   std::remove(path.c_str());
 }
 

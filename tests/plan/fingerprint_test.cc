@@ -1,0 +1,185 @@
+#include "plan/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace robopt {
+namespace {
+
+LogicalOperator Source(double cardinality) {
+  LogicalOperator op;
+  op.kind = LogicalOpKind::kCollectionSource;
+  op.name = "source";
+  op.source_cardinality = cardinality;
+  return op;
+}
+
+LogicalOperator Op(LogicalOpKind kind, double selectivity = 1.0) {
+  LogicalOperator op;
+  op.kind = kind;
+  op.selectivity = selectivity;
+  return op;
+}
+
+/// The reference shape: two sources joined, then filtered into a sink.
+LogicalPlan JoinPlan(bool swap_insertion_order, bool swap_join_sides = false) {
+  LogicalPlan plan;
+  OperatorId left, right, join, filter, sink;
+  if (!swap_insertion_order) {
+    left = plan.Add(Source(1e6));
+    right = plan.Add(Source(1e3));
+    join = plan.Add(Op(LogicalOpKind::kJoin, 0.01));
+    filter = plan.Add(Op(LogicalOpKind::kFilter, 0.5));
+    sink = plan.Add(Op(LogicalOpKind::kCollectionSink));
+  } else {
+    // Same graph, operators added back to front.
+    sink = plan.Add(Op(LogicalOpKind::kCollectionSink));
+    filter = plan.Add(Op(LogicalOpKind::kFilter, 0.5));
+    join = plan.Add(Op(LogicalOpKind::kJoin, 0.01));
+    right = plan.Add(Source(1e3));
+    left = plan.Add(Source(1e6));
+  }
+  if (swap_join_sides) {
+    plan.Connect(right, join);
+    plan.Connect(left, join);
+  } else {
+    plan.Connect(left, join);
+    plan.Connect(right, join);
+  }
+  plan.Connect(join, filter);
+  plan.Connect(filter, sink);
+  return plan;
+}
+
+TEST(PlanFingerprintTest, DeterministicAcrossCalls) {
+  const LogicalPlan plan = JoinPlan(false);
+  const PlanFingerprint a = FingerprintPlan(plan);
+  const PlanFingerprint b = FingerprintPlan(plan);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, PlanFingerprint{});  // Not the zero value.
+}
+
+TEST(PlanFingerprintTest, InsertionOrderDoesNotMatter) {
+  // The same dataflow graph built in two different Add() orders must
+  // fingerprint identically — that is the cache key's whole contract.
+  EXPECT_EQ(FingerprintPlan(JoinPlan(false)), FingerprintPlan(JoinPlan(true)));
+}
+
+TEST(PlanFingerprintTest, NamesDoNotMatter) {
+  LogicalPlan a = JoinPlan(false);
+  LogicalPlan b = JoinPlan(false);
+  b.mutable_op(0).name = "renamed";
+  EXPECT_EQ(FingerprintPlan(a), FingerprintPlan(b));
+}
+
+TEST(PlanFingerprintTest, JoinSidesArePositional) {
+  // Build vs probe side is semantic: swapping the join inputs is a
+  // different plan even though the operator multiset is unchanged.
+  EXPECT_NE(FingerprintPlan(JoinPlan(false, false)),
+            FingerprintPlan(JoinPlan(false, true)));
+}
+
+TEST(PlanFingerprintTest, LocalFieldsMatter) {
+  const PlanFingerprint base = FingerprintPlan(JoinPlan(false));
+
+  LogicalPlan selectivity = JoinPlan(false);
+  selectivity.mutable_op(3).selectivity = 0.25;
+  EXPECT_NE(FingerprintPlan(selectivity), base);
+
+  LogicalPlan udf = JoinPlan(false);
+  udf.mutable_op(3).udf = UdfComplexity::kQuadratic;
+  EXPECT_NE(FingerprintPlan(udf), base);
+
+  LogicalPlan kernel = JoinPlan(false);
+  kernel.mutable_op(3).kernel = "custom_filter";
+  EXPECT_NE(FingerprintPlan(kernel), base);
+
+  LogicalPlan cardinality = JoinPlan(false);
+  cardinality.mutable_op(0).source_cardinality = 2e6;
+  EXPECT_NE(FingerprintPlan(cardinality), base);
+}
+
+TEST(PlanFingerprintTest, SignedZeroSelectivityIsCanonical) {
+  LogicalPlan pos = JoinPlan(false);
+  LogicalPlan neg = JoinPlan(false);
+  pos.mutable_op(3).selectivity = 0.0;
+  neg.mutable_op(3).selectivity = -0.0;
+  EXPECT_EQ(FingerprintPlan(pos), FingerprintPlan(neg));
+}
+
+TEST(PlanFingerprintTest, StructureMatters) {
+  // source -> a -> b -> sink  vs  source -> b -> a -> sink: same operator
+  // multiset, different wiring.
+  LogicalPlan ab;
+  {
+    const OperatorId src = ab.Add(Source(1e5));
+    const OperatorId a = ab.Add(Op(LogicalOpKind::kFilter, 0.5));
+    const OperatorId b = ab.Add(Op(LogicalOpKind::kMap));
+    const OperatorId sink = ab.Add(Op(LogicalOpKind::kCollectionSink));
+    ab.Connect(src, a);
+    ab.Connect(a, b);
+    ab.Connect(b, sink);
+  }
+  LogicalPlan ba;
+  {
+    const OperatorId src = ba.Add(Source(1e5));
+    const OperatorId a = ba.Add(Op(LogicalOpKind::kFilter, 0.5));
+    const OperatorId b = ba.Add(Op(LogicalOpKind::kMap));
+    const OperatorId sink = ba.Add(Op(LogicalOpKind::kCollectionSink));
+    ba.Connect(src, b);
+    ba.Connect(b, a);
+    ba.Connect(a, sink);
+  }
+  EXPECT_NE(FingerprintPlan(ab), FingerprintPlan(ba));
+}
+
+TEST(PlanFingerprintTest, BroadcastEdgesAreDistinctFromDataEdges) {
+  LogicalPlan data;
+  {
+    const OperatorId src = data.Add(Source(1e5));
+    const OperatorId side = data.Add(Source(100));
+    const OperatorId join = data.Add(Op(LogicalOpKind::kJoin, 0.1));
+    const OperatorId sink = data.Add(Op(LogicalOpKind::kCollectionSink));
+    data.Connect(src, join);
+    data.Connect(side, join);
+    data.Connect(join, sink);
+  }
+  LogicalPlan broadcast;
+  {
+    const OperatorId src = broadcast.Add(Source(1e5));
+    const OperatorId side = broadcast.Add(Source(100));
+    const OperatorId map = broadcast.Add(Op(LogicalOpKind::kJoin, 0.1));
+    const OperatorId sink = broadcast.Add(Op(LogicalOpKind::kCollectionSink));
+    broadcast.Connect(src, map);
+    broadcast.ConnectBroadcast(side, map);
+    broadcast.Connect(map, sink);
+  }
+  EXPECT_NE(FingerprintPlan(data), FingerprintPlan(broadcast));
+}
+
+TEST(PlanFingerprintTest, ToStringIs32HexDigits) {
+  const PlanFingerprint fp = FingerprintPlan(JoinPlan(false));
+  const std::string hex = fp.ToString();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+  EXPECT_NE(hex, PlanFingerprint{}.ToString());
+}
+
+TEST(PlanFingerprintTest, CardsHashIsOrderAndValueSensitive) {
+  Cardinalities a;
+  a.input = {10.0, 20.0};
+  a.output = {5.0, 2.0};
+  Cardinalities b = a;
+  EXPECT_EQ(FingerprintCards(a), FingerprintCards(b));
+  b.output = {2.0, 5.0};
+  EXPECT_NE(FingerprintCards(a), FingerprintCards(b));
+  Cardinalities zero;
+  zero.input = {0.0};
+  Cardinalities negzero;
+  negzero.input = {-0.0};
+  EXPECT_EQ(FingerprintCards(zero), FingerprintCards(negzero));
+}
+
+}  // namespace
+}  // namespace robopt

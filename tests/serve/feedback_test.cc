@@ -1,0 +1,83 @@
+#include "serve/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace robopt {
+namespace {
+
+FeedbackEvent Event(double actual_s) {
+  FeedbackEvent event;
+  event.features = {1.0f, 2.0f};
+  event.predicted_s = 1.5f;
+  event.actual_s = actual_s;
+  event.model_version = 1;
+  return event;
+}
+
+TEST(FeedbackCollectorTest, DrainsInArrivalOrder) {
+  FeedbackCollector collector(8);
+  EXPECT_TRUE(collector.Offer(Event(1.0)));
+  EXPECT_TRUE(collector.Offer(Event(2.0)));
+  EXPECT_TRUE(collector.Offer(Event(3.0)));
+  EXPECT_EQ(collector.size(), 3u);
+  const auto events = collector.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].actual_s, 1.0);
+  EXPECT_DOUBLE_EQ(events[1].actual_s, 2.0);
+  EXPECT_DOUBLE_EQ(events[2].actual_s, 3.0);
+  EXPECT_EQ(collector.size(), 0u);
+  EXPECT_TRUE(collector.Drain().empty());
+}
+
+TEST(FeedbackCollectorTest, DropsWhenFullWithoutBlocking) {
+  FeedbackCollector collector(2);
+  EXPECT_TRUE(collector.Offer(Event(1.0)));
+  EXPECT_TRUE(collector.Offer(Event(2.0)));
+  // The producer side must never block or grow the queue: execution
+  // feedback is lossy by design.
+  EXPECT_FALSE(collector.Offer(Event(3.0)));
+  EXPECT_EQ(collector.size(), 2u);
+  const FeedbackStats stats = collector.stats();
+  EXPECT_EQ(stats.offered, 3u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.dropped, 1u);
+  // Draining frees capacity again.
+  EXPECT_EQ(collector.Drain().size(), 2u);
+  EXPECT_TRUE(collector.Offer(Event(4.0)));
+  EXPECT_EQ(collector.stats().drained, 2u);
+}
+
+TEST(FeedbackCollectorTest, ConcurrentProducersLoseNothingBelowCapacity) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  FeedbackCollector collector(kThreads * kPerThread);
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&collector, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        FeedbackEvent event;
+        event.model_version = static_cast<uint64_t>(t);
+        event.actual_s = i;
+        collector.Offer(std::move(event));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  const auto events = collector.Drain();
+  EXPECT_EQ(events.size(), size_t{kThreads} * kPerThread);
+  const FeedbackStats stats = collector.stats();
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.drained, events.size());
+  // Per-producer order is preserved even though producers interleave.
+  std::vector<double> last(kThreads, -1.0);
+  for (const FeedbackEvent& event : events) {
+    EXPECT_GT(event.actual_s, last[event.model_version]);
+    last[event.model_version] = event.actual_s;
+  }
+}
+
+}  // namespace
+}  // namespace robopt

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "workloads/synthetic.h"
 
 namespace robopt {
@@ -39,8 +41,9 @@ TEST_F(ExperienceTest, RecordsExecutedPlans) {
   EXPECT_TRUE(log.Record(*ctx, AllOn(0), 12.5).ok());
   EXPECT_TRUE(log.Record(*ctx, AllOn(1), 3.25).ok());
   ASSERT_EQ(log.size(), 2u);
-  EXPECT_FLOAT_EQ(log.data().label(0), 12.5f);
-  EXPECT_FLOAT_EQ(log.data().label(1), 3.25f);
+  const MlDataset snapshot = log.Snapshot();
+  EXPECT_FLOAT_EQ(snapshot.label(0), 12.5f);
+  EXPECT_FLOAT_EQ(snapshot.label(1), 3.25f);
   // Recorded features match direct encoding of the same assignment.
   std::vector<uint8_t> assignment(plan_.num_operators());
   const ExecutionPlan java = AllOn(0);
@@ -50,7 +53,7 @@ TEST_F(ExperienceTest, RecordsExecutedPlans) {
   const std::vector<float> direct =
       EncodeAssignment(*ctx, assignment.data());
   for (size_t c = 0; c < schema_.width(); ++c) {
-    EXPECT_FLOAT_EQ(log.data().row(0)[c], direct[c]);
+    EXPECT_FLOAT_EQ(snapshot.row(0)[c], direct[c]);
   }
 }
 
@@ -67,6 +70,52 @@ TEST_F(ExperienceTest, RejectsInvalidInput) {
                           std::numeric_limits<double>::quiet_NaN())
                    .ok());
   EXPECT_EQ(log.size(), 0u);
+}
+
+TEST_F(ExperienceTest, RejectsMismatchedSchemaWidth) {
+  auto ctx = EnumerationContext::Make(&plan_, &registry_, &schema_);
+  ASSERT_TRUE(ctx.ok());
+  // A log built over a different registry has a different vector width;
+  // recording this context's plans into it must be rejected, not silently
+  // corrupt the row-major dataset.
+  PlatformRegistry wide_registry = PlatformRegistry::Default(3);
+  FeatureSchema wide_schema(&wide_registry);
+  ASSERT_NE(wide_schema.width(), schema_.width());
+  ExperienceLog log(&wide_schema);
+  const Status status = log.Record(*ctx, AllOn(0), 1.0);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("width"), std::string::npos);
+  EXPECT_EQ(log.size(), 0u);
+  // Same contract on the pre-encoded path.
+  EXPECT_FALSE(
+      log.RecordRow(std::vector<float>(schema_.width(), 0.0f), 1.0).ok());
+  EXPECT_TRUE(
+      log.RecordRow(std::vector<float>(wide_schema.width(), 0.0f), 1.0).ok());
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST_F(ExperienceTest, ConcurrentRecordingIsSafe) {
+  auto ctx = EnumerationContext::Make(&plan_, &registry_, &schema_);
+  ASSERT_TRUE(ctx.ok());
+  ExperienceLog log(&schema_);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(log.Record(*ctx, AllOn(t % 2), 1.0 + i).ok());
+        if (i % 10 == 0) {
+          const MlDataset snapshot = log.Snapshot();
+          ASSERT_EQ(snapshot.features().size(),
+                    snapshot.size() * schema_.width());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(log.size(), size_t{kThreads} * kPerThread);
 }
 
 TEST_F(ExperienceTest, RetrainBlendsExperienceIntoModel) {
