@@ -15,6 +15,7 @@
 // cache, which would masquerade as a stall); a cache-on rate is reported
 // separately. Emits BENCH_serve.json.
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -34,6 +35,12 @@ namespace {
 constexpr int kClients = 2;
 constexpr double kPhaseSeconds = 1.5;
 constexpr double kMinSwapRatio = 0.9;
+/// Baseline and storm phases alternate this many times and the gate
+/// compares the best repetition of each: run-to-run QPS on a shared (often
+/// single-core) CI box swings by tens of percent from scheduler and
+/// frequency noise, while a genuine swap-path stall caps *every* storm
+/// repetition and still trips the ratio.
+constexpr int kReps = 3;
 
 float SumLabel(const float* row, size_t width) {
   float sum = 1.0f;
@@ -137,34 +144,40 @@ int Main() {
 
   std::atomic<int> mismatches{0};
 
-  // --- (a) Baseline: no promotions. ---
-  const double qps_off =
-      MeasureQps(service, plans, &expected, &mismatches);
-
-  // --- (b) Hot-swap storm: promote the same weights as new versions while
-  // clients run. Predictions must stay bit-identical throughout. The
-  // publisher sleeps 5ms between promotions — hundreds of swaps over the
-  // phase, far above any real promotion rate, while keeping the publisher's
-  // own CPU share small enough that oversubscribed single-core runs measure
-  // the swap path rather than the scheduler. ---
-  std::atomic<bool> stop_publishing{false};
+  // Phases (a) and (b) alternate kReps times; the gate compares the best
+  // repetition of each (see kReps).
+  double qps_off = 0.0;
+  double qps_swap = 0.0;
   std::atomic<long> promotions{0};
-  std::thread publisher([&] {
-    while (!stop_publishing.load()) {
-      service->PublishExternal(std::const_pointer_cast<RandomForest>(v1));
-      promotions.fetch_add(1);
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
-  });
-  const double qps_swap =
-      MeasureQps(service, plans, &expected, &mismatches);
-  stop_publishing.store(true);
-  publisher.join();
+  for (int rep = 0; rep < kReps; ++rep) {
+    // --- (a) Baseline: no promotions. ---
+    qps_off = std::max(
+        qps_off, MeasureQps(service, plans, &expected, &mismatches));
+
+    // --- (b) Hot-swap storm: promote the same weights as new versions
+    // while clients run. Predictions must stay bit-identical throughout.
+    // The publisher sleeps 5ms between promotions — hundreds of swaps over
+    // the phase, far above any real promotion rate, while keeping the
+    // publisher's own CPU share small enough that oversubscribed
+    // single-core runs measure the swap path rather than the scheduler. ---
+    std::atomic<bool> stop_publishing{false};
+    std::thread publisher([&] {
+      while (!stop_publishing.load()) {
+        service->PublishExternal(std::const_pointer_cast<RandomForest>(v1));
+        promotions.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+    qps_swap = std::max(
+        qps_swap, MeasureQps(service, plans, &expected, &mismatches));
+    stop_publishing.store(true);
+    publisher.join();
+  }
   const double swap_ratio = qps_off > 0 ? qps_swap / qps_off : 0.0;
   std::fprintf(stderr,
-               "[bench] qps off %.1f  qps under %ld promotions %.1f "
-               "(ratio %.3f, %d mismatches)\n",
-               qps_off, promotions.load(), qps_swap, swap_ratio,
+               "[bench] best of %d reps: qps off %.1f  qps under %ld "
+               "promotions %.1f (ratio %.3f, %d mismatches)\n",
+               kReps, qps_off, promotions.load(), qps_swap, swap_ratio,
                mismatches.load());
 
   // --- Plan cache on (informational): repeat queries short-circuit. ---

@@ -4,6 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <string>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "common/thread_pool.h"
 
@@ -94,9 +100,12 @@ void RandomForest::PredictBatchReference(const float* x, size_t n, size_t dim,
 }
 
 Status RandomForest::Save(const std::string& path) const {
-  // Write-then-rename: the final path only ever holds a complete file. A
-  // crash mid-write leaves (at worst) a stale .tmp sibling, never a torn
-  // model where Load would find it.
+  // Write-then-fsync-then-rename: the final path only ever holds a complete
+  // file, across both process crashes and power loss. A failure mid-write
+  // leaves (at worst) a stale .tmp sibling, never a torn model where Load
+  // would find it; the data is on stable storage before the rename makes it
+  // visible. (On Windows only the process-crash guarantee holds — there is
+  // no fsync — and Load's truncation checks still fail safe.)
   const std::string tmp = path + ".tmp";
   {
     std::ofstream file(tmp, std::ios::trunc);
@@ -111,10 +120,36 @@ Status RandomForest::Save(const std::string& path) const {
       return Status::Internal("write failed: " + tmp);
     }
   }
+#ifndef _WIN32
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      std::remove(tmp.c_str());
+      return Status::Internal("fsync failed: " + tmp);
+    }
+    ::close(fd);
+  }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::Internal("cannot rename " + tmp + " into " + path);
   }
+#ifndef _WIN32
+  // Persist the directory entry too, so the rename itself survives power
+  // loss. Best-effort: the file data is already durable, and some
+  // filesystems refuse fsync on directories.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : slash == 0 ? std::string("/")
+                                           : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
   return Status::OK();
 }
 

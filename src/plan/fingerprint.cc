@@ -80,6 +80,11 @@ std::string PlanFingerprint::ToString() const {
 }
 
 PlanFingerprint FingerprintPlan(const LogicalPlan& plan) {
+  return FingerprintPlan(plan, nullptr);
+}
+
+PlanFingerprint FingerprintPlan(const LogicalPlan& plan,
+                                std::vector<uint64_t>* node_hashes) {
   const int n = plan.num_operators();
   const std::vector<OperatorId> order = plan.TopologicalOrder();
 
@@ -109,6 +114,7 @@ PlanFingerprint FingerprintPlan(const LogicalPlan& plan) {
 
   std::vector<uint64_t> combined(n);
   for (int i = 0; i < n; ++i) combined[i] = Mix(up[i], down[i]);
+  if (node_hashes != nullptr) *node_hashes = combined;
 
   PlanFingerprint fp;
   fp.lo = Mix(CombineSorted(combined, 0x6c6f5f6c616e6531ULL),

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "plan/cardinality.h"
 #include "plan/logical_plan.h"
@@ -37,6 +38,19 @@ struct PlanFingerprint {
 /// combines the *sorted* per-operator hashes, which is what makes it
 /// insertion-order independent.
 PlanFingerprint FingerprintPlan(const LogicalPlan& plan);
+
+/// As above, and additionally writes each operator's canonical per-node hash
+/// (the combined up/down Merkle value) into `node_hashes`, indexed by
+/// operator id. Operator ids are insertion-order artifacts, so two builds of
+/// the same dataflow can number the same operator differently — but their
+/// node-hash *multisets* are equal, and sorting establishes the canonical
+/// correspondence between the two id spaces. Consumers that cache per-
+/// operator decisions under the fingerprint (the serving plan cache) must
+/// transfer them through this correspondence, never by raw id. Operators
+/// with equal node hashes are structurally interchangeable, so any pairing
+/// within such a tie group is valid.
+PlanFingerprint FingerprintPlan(const LogicalPlan& plan,
+                                std::vector<uint64_t>* node_hashes);
 
 /// Order-sensitive 64-bit hash of injected cardinalities (per-operator
 /// input/output tuple counts). Combined with the plan fingerprint when a

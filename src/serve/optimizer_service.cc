@@ -12,9 +12,11 @@ namespace robopt {
 namespace {
 
 /// MAE in log1p space — the space the forest fits in, so validation and
-/// training optimize the same quantity.
+/// training optimize the same quantity. An empty set has no error to
+/// measure: NaN (the "unvalidated" marker PublishExternal also records),
+/// never 0.0 — a zero would make any comparison against it vacuously pass.
 double LogSpaceMae(const RuntimeModel& model, const MlDataset& data) {
-  if (data.size() == 0) return 0.0;
+  if (data.size() == 0) return std::numeric_limits<double>::quiet_NaN();
   std::vector<float> pred(data.size());
   model.PredictBatch(data.features().data(), data.size(), data.dim(),
                      pred.data());
@@ -107,32 +109,65 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
     const LogicalPlan& plan, const Cardinalities* cards,
     const OptimizeOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  // With the cache disabled (capacity 0) the O(plan) fingerprint work would
+  // be pure per-call overhead — skip key computation and lookup entirely.
+  const bool cache_on = plan_cache_.enabled();
   PlanCacheKey key;
-  key.plan = FingerprintPlan(plan);
-  key.cards_hash = cards == nullptr ? 0 : FingerprintCards(*cards);
-  key.options_hash = PlanCache::HashOptions(options);
+  // Canonical correspondence between this instance's insertion-order ids
+  // and the order-independent fingerprint: per-operator Merkle hashes
+  // paired with ids, sorted. Cached assignments transfer through this
+  // order, never by raw id — fingerprint-equal plans may number the same
+  // operator differently (ties are structurally interchangeable operators,
+  // so the sorted pairing is valid for them too).
+  std::vector<std::pair<uint64_t, OperatorId>> canonical;
+  std::vector<uint64_t> sorted_hashes;
+  if (cache_on) {
+    std::vector<uint64_t> node_hashes;
+    key.plan = FingerprintPlan(plan, &node_hashes);
+    key.cards_hash = cards == nullptr ? 0 : FingerprintCards(*cards);
+    key.options_hash = PlanCache::HashOptions(options);
+    canonical.reserve(node_hashes.size());
+    for (size_t id = 0; id < node_hashes.size(); ++id) {
+      canonical.emplace_back(node_hashes[id], static_cast<OperatorId>(id));
+    }
+    std::sort(canonical.begin(), canonical.end());
+    sorted_hashes.reserve(canonical.size());
+    for (const auto& pair : canonical) sorted_hashes.push_back(pair.first);
 
-  PlanCache::Entry cached;
-  if (plan_cache_.Lookup(key, models_.current_version(), &cached)) {
-    // Fingerprint-equal plans are structurally identical, so the cached
-    // assignment transfers onto the caller's plan instance in O(n).
-    Result result;
-    result.cache_hit = true;
-    result.optimize.plan = ExecutionPlan(&plan, registry_);
-    for (size_t id = 0; id < cached.assignment.size(); ++id) {
-      if (cached.assignment[id] >= 0) {
-        result.optimize.plan.Assign(static_cast<OperatorId>(id),
-                                    cached.assignment[id]);
+    PlanCache::Entry cached;
+    if (plan_cache_.Lookup(key, models_.current_version(), sorted_hashes,
+                           &cached)) {
+      // Lookup verified the hash sequences match positionally, so the i-th
+      // cached alt belongs to the operator behind canonical[i]. The alt
+      // range could still disagree on a same-hash collision across operator
+      // kinds — checked per operator, falling back to a full optimize
+      // rather than tripping the ROBOPT_CHECK in ExecutionPlan::Assign.
+      Result result;
+      result.cache_hit = true;
+      result.optimize.plan = ExecutionPlan(&plan, registry_);
+      bool transferable = cached.assignment.size() == canonical.size();
+      for (size_t i = 0; i < canonical.size() && transferable; ++i) {
+        const OperatorId id = canonical[i].second;
+        const int alt = cached.assignment[i].second;
+        if (alt < 0) continue;
+        const auto& alts = registry_->AlternativesFor(plan.op(id).kind);
+        if (alt >= static_cast<int>(alts.size())) {
+          transferable = false;
+        } else {
+          result.optimize.plan.Assign(id, alt);
+        }
+      }
+      if (transferable) {
+        result.optimize.predicted_runtime_s = cached.predicted_runtime_s;
+        result.optimize.chosen_platform = cached.chosen_platform;
+        result.optimize.model_version = cached.model_version;
+        result.optimize.latency_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return result;
       }
     }
-    result.optimize.predicted_runtime_s = cached.predicted_runtime_s;
-    result.optimize.chosen_platform = cached.chosen_platform;
-    result.optimize.model_version = cached.model_version;
-    result.optimize.latency_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    return result;
   }
 
   auto optimized = optimizer_.Optimize(plan, cards, options);
@@ -140,16 +175,22 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
   Result result;
   result.optimize = std::move(optimized.value());
 
-  PlanCache::Entry entry;
-  entry.assignment.assign(plan.num_operators(), -1);
-  for (const LogicalOperator& op : plan.operators()) {
-    entry.assignment[op.id] =
-        static_cast<int16_t>(result.optimize.plan.alt_index(op.id));
+  if (cache_on) {
+    PlanCache::Entry entry;
+    entry.assignment.reserve(canonical.size());
+    for (const auto& pair : canonical) {
+      entry.assignment.emplace_back(
+          pair.first,
+          static_cast<int16_t>(result.optimize.plan.alt_index(pair.second)));
+    }
+    // Canonical form sorts ties by alt as well, so equal-hash operators
+    // store and replay their alts in one deterministic order.
+    std::sort(entry.assignment.begin(), entry.assignment.end());
+    entry.predicted_runtime_s = result.optimize.predicted_runtime_s;
+    entry.chosen_platform = result.optimize.chosen_platform;
+    entry.model_version = result.optimize.model_version;
+    plan_cache_.Insert(key, std::move(entry));
   }
-  entry.predicted_runtime_s = result.optimize.predicted_runtime_s;
-  entry.chosen_platform = result.optimize.chosen_platform;
-  entry.model_version = result.optimize.model_version;
-  plan_cache_.Insert(key, std::move(entry));
   return result;
 }
 
@@ -244,14 +285,22 @@ StatusOr<RetrainOutcome> OptimizerService::RetrainNow(bool force) {
 
   const MlDataset holdout = HoldoutSnapshot();
   outcome.holdout_rows = holdout.size();
+  outcome.validated = holdout.size() > 0;
   outcome.candidate_mae = LogSpaceMae(*candidate.value(), holdout);
   const auto incumbent = models_.Current();
   outcome.incumbent_mae =
       incumbent == nullptr ? std::numeric_limits<double>::infinity()
                            : LogSpaceMae(incumbent->forest(), holdout);
 
-  if (outcome.candidate_mae <=
-      outcome.incumbent_mae * (1.0 + options_.promote_tolerance)) {
+  // An empty holdout makes the MAE comparison meaningless (both sides NaN);
+  // never let it pass vacuously — the candidate is rejected unless the
+  // operator explicitly opted into unvalidated promotion.
+  const bool promote =
+      outcome.validated
+          ? outcome.candidate_mae <=
+                outcome.incumbent_mae * (1.0 + options_.promote_tolerance)
+          : options_.promote_unvalidated;
+  if (promote) {
     std::shared_ptr<RandomForest> forest = std::move(candidate.value());
     outcome.version = models_.Publish(std::move(forest), outcome.candidate_mae);
     outcome.promoted = true;

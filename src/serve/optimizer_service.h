@@ -30,6 +30,13 @@ struct ServeOptions {
   /// candidate <= incumbent * (1 + promote_tolerance). Negative values
   /// demand strict improvement.
   double promote_tolerance = 0.10;
+  /// What a retrain cycle does when the holdout is empty (holdout_fraction
+  /// and holdout_every both zero, or no feedback routed yet) and the MAE
+  /// comparison is therefore meaningless: false (default) rejects the
+  /// candidate, true publishes it *unvalidated* with NaN MAE recorded —
+  /// the same contract as PublishExternal. Either way the cycle reports
+  /// validated = false instead of silently passing a vacuous 0 <= 0 check.
+  bool promote_unvalidated = false;
   /// Fraction of the base (TDGEN) dataset carved off as the holdout split.
   double holdout_fraction = 0.1;
   uint64_t holdout_seed = 17;
@@ -62,6 +69,10 @@ struct ServeOptions {
 struct RetrainOutcome {
   bool triggered = false;  ///< A candidate was trained this cycle.
   bool promoted = false;
+  /// True when the candidate was scored against a non-empty holdout. False
+  /// means the MAE fields are NaN and the promote decision followed
+  /// ServeOptions::promote_unvalidated, not the tolerance rule.
+  bool validated = false;
   uint64_t version = 0;        ///< The promoted version (when promoted).
   double candidate_mae = 0.0;  ///< Holdout MAE (log-space) of the candidate.
   double incumbent_mae = 0.0;  ///< Same holdout, current model.

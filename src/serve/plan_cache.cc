@@ -13,7 +13,24 @@ uint64_t PlanCache::HashOptions(const OptimizeOptions& options) {
   return h;
 }
 
+namespace {
+
+/// The entry's stored (hash, alt) pairs are sorted by hash, so positional
+/// comparison against the caller's sorted hash sequence decides whether the
+/// two plans are genuinely the same dataflow or a fingerprint collision.
+bool HashesMatch(const std::vector<std::pair<uint64_t, int16_t>>& assignment,
+                 const std::vector<uint64_t>& sorted_node_hashes) {
+  if (assignment.size() != sorted_node_hashes.size()) return false;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i].first != sorted_node_hashes[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool PlanCache::Lookup(const PlanCacheKey& key, uint64_t current_version,
+                       const std::vector<uint64_t>& sorted_node_hashes,
                        Entry* out) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
@@ -23,6 +40,15 @@ bool PlanCache::Lookup(const PlanCacheKey& key, uint64_t current_version,
   }
   if (it->second->entry.model_version != current_version) {
     // Lazy invalidation: a promotion happened since this was cached.
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return false;
+  }
+  if (!HashesMatch(it->second->entry.assignment, sorted_node_hashes)) {
+    // Full-key collision between structurally different plans: serving the
+    // entry would assign alternatives to the wrong operators. Drop it.
     lru_.erase(it->second);
     map_.erase(it);
     ++stats_.invalidations;

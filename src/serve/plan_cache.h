@@ -5,6 +5,7 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/optimizer.h"
@@ -38,10 +39,22 @@ struct PlanCacheStats {
 };
 
 /// Bounded, version-tagged LRU cache of optimization results. Entries store
-/// the chosen *assignment* (one alt index per operator) rather than an
-/// ExecutionPlan — an ExecutionPlan is bound to one LogicalPlan instance,
-/// while fingerprint-equal plans are structurally identical, so the
-/// assignment transfers and the caller's plan is re-instantiated in O(n).
+/// the chosen *assignment* rather than an ExecutionPlan — an ExecutionPlan
+/// is bound to one LogicalPlan instance, while fingerprint-equal plans are
+/// structurally identical, so the assignment transfers and the caller's
+/// plan is re-instantiated in O(n).
+///
+/// Operator ids are insertion-order artifacts: two builds of the same
+/// dataflow can number the same operator differently while fingerprinting
+/// identically (the fingerprint is deliberately order-independent). The
+/// assignment is therefore stored in *canonical* form — (node hash, alt)
+/// pairs sorted ascending, where the node hash is the per-operator Merkle
+/// value from FingerprintPlan — and a lookup hands back the canonical
+/// sequence for the caller to remap onto its own ids through the same
+/// sorted order. A hit additionally verifies the caller's sorted node-hash
+/// sequence against the entry's; a mismatch (a 128-bit fingerprint
+/// collision between structurally different plans) drops the entry and
+/// counts as a miss, never as a wrong plan.
 ///
 /// Every entry is tagged with the model version that produced it. A lookup
 /// under a newer version discards the entry (lazy invalidation), and the
@@ -50,7 +63,10 @@ struct PlanCacheStats {
 class PlanCache {
  public:
   struct Entry {
-    std::vector<int16_t> assignment;  ///< Chosen alt per operator.
+    /// Canonical assignment: (node hash, chosen alt) sorted by (hash, alt).
+    /// Ties are structurally interchangeable operators, so the sorted
+    /// pairing is unambiguous up to plan equivalence.
+    std::vector<std::pair<uint64_t, int16_t>> assignment;
     float predicted_runtime_s = 0.0f;
     PlatformId chosen_platform = 0;
     uint64_t model_version = 0;
@@ -59,13 +75,20 @@ class PlanCache {
   /// `capacity` bounds the number of entries (LRU eviction).
   explicit PlanCache(size_t capacity) : capacity_(capacity) {}
 
+  /// False when constructed with capacity 0: callers skip fingerprinting
+  /// entirely (Lookup/Insert would only ever miss).
+  bool enabled() const { return capacity_ > 0; }
+
   /// The search-relevant slice of OptimizeOptions, hashed.
   static uint64_t HashOptions(const OptimizeOptions& options);
 
   /// On hit under `current_version`, copies the entry into `out`, promotes
   /// it to most-recently-used and returns true. An entry tagged with any
-  /// other version counts as a miss and is dropped.
-  bool Lookup(const PlanCacheKey& key, uint64_t current_version, Entry* out);
+  /// other version counts as a miss and is dropped, as does an entry whose
+  /// stored node-hash sequence differs from `sorted_node_hashes` (the
+  /// caller plan's per-operator hashes, sorted ascending).
+  bool Lookup(const PlanCacheKey& key, uint64_t current_version,
+              const std::vector<uint64_t>& sorted_node_hashes, Entry* out);
 
   /// Inserts (or replaces) the entry for `key`, evicting the LRU tail when
   /// over capacity.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace robopt {
 namespace {
 
@@ -62,6 +65,39 @@ TEST(PlanFingerprintTest, InsertionOrderDoesNotMatter) {
   // The same dataflow graph built in two different Add() orders must
   // fingerprint identically — that is the cache key's whole contract.
   EXPECT_EQ(FingerprintPlan(JoinPlan(false)), FingerprintPlan(JoinPlan(true)));
+}
+
+TEST(PlanFingerprintTest, NodeHashesGiveCanonicalCorrespondence) {
+  // The fingerprint is insertion-order independent, but operator ids are
+  // not: the same operator gets a different id in each build. The per-node
+  // hashes are the canonical correspondence between the two id spaces —
+  // anything cached per operator under the fingerprint must transfer
+  // through them, never by raw id (the serving plan cache relies on this).
+  LogicalPlan a = JoinPlan(false);  // ids: left 0, right 1, join 2, ...
+  LogicalPlan b = JoinPlan(true);   // ids: sink 0, filter 1, join 2, ...
+  std::vector<uint64_t> ha, hb;
+  EXPECT_EQ(FingerprintPlan(a, &ha), FingerprintPlan(b, &hb));
+  ASSERT_EQ(ha.size(), 5u);
+  ASSERT_EQ(hb.size(), 5u);
+
+  // The hash multisets are equal even though the id-indexed sequences are
+  // permuted relative to each other.
+  std::vector<uint64_t> sa = ha;
+  std::vector<uint64_t> sb = hb;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(ha, hb);
+
+  // Each operator keeps its hash across builds; b's ids run back to front.
+  EXPECT_EQ(ha[0], hb[4]);  // source 1e6
+  EXPECT_EQ(ha[1], hb[3]);  // source 1e3
+  EXPECT_EQ(ha[2], hb[2]);  // join
+  EXPECT_EQ(ha[3], hb[1]);  // filter
+  EXPECT_EQ(ha[4], hb[0]);  // sink
+
+  // The node-hash overload computes the same fingerprint as the plain one.
+  EXPECT_EQ(FingerprintPlan(a, &ha), FingerprintPlan(a));
 }
 
 TEST(PlanFingerprintTest, NamesDoNotMatter) {

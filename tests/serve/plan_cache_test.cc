@@ -12,9 +12,12 @@ PlanCacheKey Key(uint64_t lo) {
   return key;
 }
 
+/// Canonical node-hash sequence every test entry is stored under.
+const std::vector<uint64_t> kHashes = {10, 20, 30};
+
 PlanCache::Entry Entry(uint64_t version, float predicted = 1.0f) {
   PlanCache::Entry entry;
-  entry.assignment = {0, 1, 2};
+  entry.assignment = {{10, 0}, {20, 1}, {30, 2}};
   entry.predicted_runtime_s = predicted;
   entry.model_version = version;
   return entry;
@@ -22,13 +25,14 @@ PlanCache::Entry Entry(uint64_t version, float predicted = 1.0f) {
 
 TEST(PlanCacheTest, HitReturnsInsertedEntry) {
   PlanCache cache(4);
+  EXPECT_TRUE(cache.enabled());
   cache.Insert(Key(1), Entry(7, 3.5f));
   PlanCache::Entry out;
-  ASSERT_TRUE(cache.Lookup(Key(1), /*current_version=*/7, &out));
+  ASSERT_TRUE(cache.Lookup(Key(1), /*current_version=*/7, kHashes, &out));
   EXPECT_EQ(out.model_version, 7u);
   EXPECT_FLOAT_EQ(out.predicted_runtime_s, 3.5f);
-  EXPECT_EQ(out.assignment, (std::vector<int16_t>{0, 1, 2}));
-  EXPECT_FALSE(cache.Lookup(Key(2), 7, &out));
+  EXPECT_EQ(out.assignment, Entry(7).assignment);
+  EXPECT_FALSE(cache.Lookup(Key(2), 7, kHashes, &out));
   const PlanCacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
@@ -43,9 +47,9 @@ TEST(PlanCacheTest, KeyDistinguishesCardsAndOptions) {
   PlanCacheKey other_options = base;
   other_options.options_hash = 99;
   PlanCache::Entry out;
-  EXPECT_TRUE(cache.Lookup(base, 1, &out));
-  EXPECT_FALSE(cache.Lookup(other_cards, 1, &out));
-  EXPECT_FALSE(cache.Lookup(other_options, 1, &out));
+  EXPECT_TRUE(cache.Lookup(base, 1, kHashes, &out));
+  EXPECT_FALSE(cache.Lookup(other_cards, 1, kHashes, &out));
+  EXPECT_FALSE(cache.Lookup(other_options, 1, kHashes, &out));
 }
 
 TEST(PlanCacheTest, StaleVersionIsLazilyInvalidated) {
@@ -54,10 +58,28 @@ TEST(PlanCacheTest, StaleVersionIsLazilyInvalidated) {
   PlanCache::Entry out;
   // A promotion happened: the same key under version 2 must miss, and the
   // stale entry must be gone afterwards (not resurrected by version 1).
-  EXPECT_FALSE(cache.Lookup(Key(1), 2, &out));
-  EXPECT_FALSE(cache.Lookup(Key(1), 1, &out));
+  EXPECT_FALSE(cache.Lookup(Key(1), 2, kHashes, &out));
+  EXPECT_FALSE(cache.Lookup(Key(1), 1, kHashes, &out));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(PlanCacheTest, NodeHashMismatchIsAMissAndDropsTheEntry) {
+  PlanCache cache(4);
+  cache.Insert(Key(1), Entry(1));
+  PlanCache::Entry out;
+  // Same full key, different canonical node hashes: a fingerprint collision
+  // between structurally different plans. Serving the entry would put alts
+  // on the wrong operators — it must miss and be dropped, never returned.
+  const std::vector<uint64_t> other = {10, 20, 31};
+  EXPECT_FALSE(cache.Lookup(Key(1), 1, other, &out));
+  const std::vector<uint64_t> shorter = {10, 20};
+  cache.Insert(Key(1), Entry(1));
+  EXPECT_FALSE(cache.Lookup(Key(1), 1, shorter, &out));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
 }
 
 TEST(PlanCacheTest, InvalidateAllEmptiesTheCache) {
@@ -67,7 +89,7 @@ TEST(PlanCacheTest, InvalidateAllEmptiesTheCache) {
   cache.InvalidateAll();
   EXPECT_EQ(cache.size(), 0u);
   PlanCache::Entry out;
-  EXPECT_FALSE(cache.Lookup(Key(1), 1, &out));
+  EXPECT_FALSE(cache.Lookup(Key(1), 1, kHashes, &out));
   EXPECT_EQ(cache.stats().invalidations, 2u);
 }
 
@@ -77,12 +99,12 @@ TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
   cache.Insert(Key(2), Entry(1));
   PlanCache::Entry out;
   // Touch key 1 so key 2 becomes the LRU victim.
-  ASSERT_TRUE(cache.Lookup(Key(1), 1, &out));
+  ASSERT_TRUE(cache.Lookup(Key(1), 1, kHashes, &out));
   cache.Insert(Key(3), Entry(1));
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_TRUE(cache.Lookup(Key(1), 1, &out));
-  EXPECT_FALSE(cache.Lookup(Key(2), 1, &out));
-  EXPECT_TRUE(cache.Lookup(Key(3), 1, &out));
+  EXPECT_TRUE(cache.Lookup(Key(1), 1, kHashes, &out));
+  EXPECT_FALSE(cache.Lookup(Key(2), 1, kHashes, &out));
+  EXPECT_TRUE(cache.Lookup(Key(3), 1, kHashes, &out));
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
@@ -92,16 +114,17 @@ TEST(PlanCacheTest, ReinsertReplacesInPlace) {
   cache.Insert(Key(1), Entry(2, 2.0f));
   EXPECT_EQ(cache.size(), 1u);
   PlanCache::Entry out;
-  ASSERT_TRUE(cache.Lookup(Key(1), 2, &out));
+  ASSERT_TRUE(cache.Lookup(Key(1), 2, kHashes, &out));
   EXPECT_FLOAT_EQ(out.predicted_runtime_s, 2.0f);
 }
 
 TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
   PlanCache cache(0);
+  EXPECT_FALSE(cache.enabled());
   cache.Insert(Key(1), Entry(1));
   EXPECT_EQ(cache.size(), 0u);
   PlanCache::Entry out;
-  EXPECT_FALSE(cache.Lookup(Key(1), 1, &out));
+  EXPECT_FALSE(cache.Lookup(Key(1), 1, kHashes, &out));
 }
 
 TEST(PlanCacheTest, HashOptionsCoversSearchRelevantFields) {

@@ -113,6 +113,120 @@ TEST_F(ServingE2eTest, TrainsV1AndServesFromPlanCache) {
   EXPECT_EQ(stats.plan_cache.insertions, 2u);
 }
 
+/// Two-source join dataflow built in a configurable insertion order: the
+/// same graph, permuted operator ids. Mirrors fingerprint_test's JoinPlan.
+LogicalPlan PermutableJoinPlan(bool reversed) {
+  auto source = [](double cardinality) {
+    LogicalOperator op;
+    op.kind = LogicalOpKind::kCollectionSource;
+    op.source_cardinality = cardinality;
+    return op;
+  };
+  auto make = [](LogicalOpKind kind, double selectivity) {
+    LogicalOperator op;
+    op.kind = kind;
+    op.selectivity = selectivity;
+    return op;
+  };
+  LogicalPlan plan;
+  OperatorId left, right, join, filter, sink;
+  if (!reversed) {
+    left = plan.Add(source(1e6));
+    right = plan.Add(source(1e3));
+    join = plan.Add(make(LogicalOpKind::kJoin, 0.01));
+    filter = plan.Add(make(LogicalOpKind::kFilter, 0.5));
+    sink = plan.Add(make(LogicalOpKind::kCollectionSink, 1.0));
+  } else {
+    sink = plan.Add(make(LogicalOpKind::kCollectionSink, 1.0));
+    filter = plan.Add(make(LogicalOpKind::kFilter, 0.5));
+    join = plan.Add(make(LogicalOpKind::kJoin, 0.01));
+    right = plan.Add(source(1e3));
+    left = plan.Add(source(1e6));
+  }
+  plan.Connect(left, join);
+  plan.Connect(right, join);
+  plan.Connect(join, filter);
+  plan.Connect(filter, sink);
+  return plan;
+}
+
+TEST_F(ServingE2eTest, CacheHitRemapsAcrossPermutedInsertionOrders) {
+  // The fingerprint is insertion-order independent, so a plan built in a
+  // different Add() order hits the entry its permuted twin inserted — but
+  // its operator ids are permuted, and a hit that transferred alts by raw
+  // id would put them on the wrong operators (or crash in Assign). The hit
+  // must remap through the canonical node hashes.
+  auto service = OptimizerService::Create(registry_, schema_, *base_,
+                                          nullptr, SmallServeOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  LogicalPlan forward = PermutableJoinPlan(false);
+  auto first = (*service)->Optimize(forward);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+
+  LogicalPlan reversed = PermutableJoinPlan(true);
+  auto hit = (*service)->Optimize(reversed);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_TRUE(hit->optimize.plan.Validate().ok());
+  EXPECT_EQ(hit->optimize.predicted_runtime_s,
+            first->optimize.predicted_runtime_s);
+
+  // Ground truth: a second service over the same base trains a bit-identical
+  // v1 (deterministic seeds), so its fresh optimization of the reversed
+  // plan is what the hit must reproduce, operator by operator.
+  auto fresh_service = OptimizerService::Create(registry_, schema_, *base_,
+                                                nullptr, SmallServeOptions());
+  ASSERT_TRUE(fresh_service.ok());
+  auto fresh = (*fresh_service)->Optimize(reversed);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->cache_hit);
+  for (const LogicalOperator& op : reversed.operators()) {
+    EXPECT_EQ(hit->optimize.plan.alt_index(op.id),
+              fresh->optimize.plan.alt_index(op.id))
+        << "operator " << op.id;
+  }
+}
+
+TEST_F(ServingE2eTest, EmptyHoldoutNeverValidatesVacuously) {
+  // With no holdout at all, the MAE comparison has no data behind it. The
+  // cycle must surface that (validated=false, NaN MAEs) and reject the
+  // candidate by default instead of promoting on a vacuous 0 <= 0.
+  ServeOptions options = SmallServeOptions();
+  options.holdout_fraction = 0.0;
+  options.holdout_every = 0;
+  auto service =
+      OptimizerService::Create(registry_, schema_, *base_, nullptr, options);
+  ASSERT_TRUE(service.ok());
+  // v1 itself could not be validated either.
+  EXPECT_TRUE(std::isnan((*service)->registry().Current()->holdout_mae()));
+  ExecuteOptimized(service->get(), 12);
+  auto cycle = (*service)->RetrainNow(/*force=*/true);
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  EXPECT_TRUE(cycle->triggered);
+  EXPECT_FALSE(cycle->validated);
+  EXPECT_FALSE(cycle->promoted);
+  EXPECT_TRUE(std::isnan(cycle->candidate_mae));
+  EXPECT_EQ(cycle->holdout_rows, 0u);
+  EXPECT_EQ((*service)->registry().current_version(), 1u);
+  EXPECT_EQ((*service)->Stats().rejections, 1u);
+
+  // Opting in promotes, but the version is explicitly marked unvalidated —
+  // the same NaN-MAE contract as PublishExternal.
+  options.promote_unvalidated = true;
+  auto opted =
+      OptimizerService::Create(registry_, schema_, *base_, nullptr, options);
+  ASSERT_TRUE(opted.ok());
+  ExecuteOptimized(opted->get(), 12);
+  auto promoted = (*opted)->RetrainNow(/*force=*/true);
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_TRUE(promoted->triggered);
+  EXPECT_FALSE(promoted->validated);
+  EXPECT_TRUE(promoted->promoted);
+  EXPECT_EQ((*opted)->registry().current_version(), 2u);
+  EXPECT_TRUE(std::isnan((*opted)->registry().Current()->holdout_mae()));
+}
+
 TEST_F(ServingE2eTest, FeedbackRetrainsAndPromotesV2) {
   auto service = OptimizerService::Create(registry_, schema_, *base_,
                                           nullptr, SmallServeOptions());
