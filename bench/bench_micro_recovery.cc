@@ -1,0 +1,303 @@
+// Fault-tolerance microbenchmark: what the recovery layer costs and how
+// fast it reroutes around a dead platform —
+//   (a) healthy baseline: single-client optimize+execute QPS through the
+//       serving layer (breakers wired, no faults injected);
+//   (b) degraded: the same loop under a 10% per-attempt transient fault
+//       rate on every platform; operator-level retry with backoff absorbs
+//       the faults. The run FAILS if the degraded loop retains less than
+//       50% of the healthy QPS (best repetition of each, see kReps);
+//   (c) outage recovery: Spark dies permanently; failures trip its circuit
+//       breaker, the trip invalidates the cached Spark plans, and the next
+//       optimize re-plans around the outage. Reports the wall-clock
+//       recovery latency from the first failure to the first successful
+//       fallback execution.
+// Emits BENCH_recovery.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "serve/optimizer_service.h"
+#include "workloads/datagen.h"
+#include "workloads/queries.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+constexpr double kPhaseSeconds = 1.0;
+constexpr int kReps = 3;
+constexpr double kFaultRate = 0.10;
+constexpr double kMinRetainedRatio = 0.5;
+
+float SumLabel(const float* row, size_t width) {
+  float sum = 1.0f;
+  for (size_t i = 0; i < width; ++i) sum += std::fabs(row[i]);
+  return sum;
+}
+
+ExecutionPlan AllOn(const LogicalPlan& plan, const PlatformRegistry& registry,
+                    PlatformId platform) {
+  ExecutionPlan exec(&plan, &registry);
+  for (const LogicalOperator& op : plan.operators()) {
+    const auto& alts = registry.AlternativesFor(op.kind);
+    for (size_t a = 0; a < alts.size(); ++a) {
+      if (alts[a].platform == platform && alts[a].variant == 0) {
+        exec.Assign(op.id, static_cast<int>(a));
+        break;
+      }
+    }
+  }
+  return exec;
+}
+
+struct PhaseStats {
+  double qps = 0.0;
+  long ok = 0;
+  long failed = 0;
+  long faults_injected = 0;
+  long retries = 0;
+};
+
+/// One measured phase: a single client loops optimize -> execute for
+/// kPhaseSeconds under `faults`. QPS counts successful end-to-end cycles.
+/// Fault draws are deterministic per (seed, invocation, attempt) — repeating
+/// one plan under one seed would replay the same faults every cycle — so
+/// each cycle runs under seed + cycle to actually sample the fault rate.
+PhaseStats MeasurePhase(OptimizerService* service,
+                        const PlatformRegistry* registry,
+                        const VirtualCost* cost, const LogicalPlan& plan,
+                        const DataCatalog& catalog, const FaultPlan& faults) {
+  ExecutorOptions exec_options;
+  exec_options.observer = service;
+  exec_options.health = service->health();
+  exec_options.fault_plan = faults;
+
+  PhaseStats stats;
+  Stopwatch stopwatch;
+  for (long cycle = 0; stopwatch.ElapsedMillis() < kPhaseSeconds * 1000.0;
+       ++cycle) {
+    exec_options.fault_plan.seed = faults.seed + static_cast<uint64_t>(cycle);
+    Executor executor(registry, cost, nullptr, exec_options);
+    auto optimized = service->Optimize(plan);
+    if (!optimized.ok()) {
+      ++stats.failed;
+      continue;
+    }
+    auto result = executor.Execute(optimized->optimize.plan, catalog);
+    if (result.ok()) {
+      ++stats.ok;
+      stats.faults_injected += result->faults.faults_injected;
+      stats.retries += result->faults.retries;
+    } else {
+      ++stats.failed;
+    }
+  }
+  stats.qps = static_cast<double>(stats.ok) /
+              (stopwatch.ElapsedMillis() / 1000.0);
+  return stats;
+}
+
+StatusOr<std::unique_ptr<OptimizerService>> MakeService(
+    const PlatformRegistry* registry, const FeatureSchema* schema,
+    const MlDataset& base, int failure_threshold, double cooldown_s) {
+  ServeOptions options;
+  options.background_retrain = false;
+  options.forest.num_trees = 20;
+  options.forest.num_threads = 1;
+  options.breaker.failure_threshold = failure_threshold;
+  options.breaker.cooldown_s = cooldown_s;
+  return OptimizerService::Create(registry, schema, base, nullptr, options);
+}
+
+int Main() {
+  RegisterWorkloadKernels();
+  PlatformRegistry registry = PlatformRegistry::Default(2);
+  FeatureSchema schema(&registry);
+  VirtualCost cost(&registry);
+
+  // Base training set: plan vectors of a few synthetic pipelines with a
+  // deterministic label (the bench measures the recovery path, not model
+  // quality).
+  MlDataset base(schema.width());
+  std::vector<LogicalPlan> base_plans;
+  base_plans.push_back(MakeSyntheticPipeline(5, 1e5, 1));
+  base_plans.push_back(MakeSyntheticPipeline(6, 1e6, 2));
+  base_plans.push_back(MakeSyntheticPipeline(7, 1e4, 3));
+  for (const LogicalPlan& plan : base_plans) {
+    auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+    if (!ctx.ok()) {
+      std::fprintf(stderr, "context: %s\n", ctx.status().ToString().c_str());
+      return 1;
+    }
+    const PlanVectorEnumeration all = Enumerate(*ctx, Vectorize(*ctx));
+    for (size_t row = 0; row < all.size(); ++row) {
+      base.Add(all.features(row), SumLabel(all.features(row), schema.width()));
+    }
+  }
+
+  // The served workload.
+  LogicalPlan plan = MakeWordCountPlan(0.001);
+  DataCatalog catalog;
+  catalog.Bind(plan.SourceIds()[0], GenerateTextLines(1000, 1000, 5));
+
+  // --- (a) + (b): healthy vs 10% transient faults, best of kReps each.
+  // A high trip threshold keeps the degraded phase measuring retry cost,
+  // not breaker flapping.
+  auto healthy_service =
+      MakeService(&registry, &schema, base, /*failure_threshold=*/1 << 20,
+                  /*cooldown_s=*/1e12);
+  auto degraded_service =
+      MakeService(&registry, &schema, base, /*failure_threshold=*/1 << 20,
+                  /*cooldown_s=*/1e12);
+  if (!healthy_service.ok() || !degraded_service.ok()) {
+    std::fprintf(stderr, "service construction failed\n");
+    return 1;
+  }
+  FaultPlan no_faults;
+  FaultPlan transient;
+  transient.profiles.push_back(FaultProfile{kAnyPlatform, kAnyOpKind,
+                                            kFaultRate,
+                                            /*fail_on_invocation=*/0,
+                                            /*permanent=*/false,
+                                            /*slowdown=*/1.0});
+  PhaseStats healthy;
+  PhaseStats degraded;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const PhaseStats h = MeasurePhase(healthy_service->get(), &registry,
+                                      &cost, plan, catalog, no_faults);
+    if (h.qps > healthy.qps) healthy = h;
+    const PhaseStats d = MeasurePhase(degraded_service->get(), &registry,
+                                      &cost, plan, catalog, transient);
+    if (d.qps > degraded.qps) degraded = d;
+  }
+  const double retained =
+      healthy.qps > 0.0 ? degraded.qps / healthy.qps : 0.0;
+  std::fprintf(stderr,
+               "[bench] best of %d reps: healthy %.1f qps, degraded %.1f qps "
+               "at %.0f%% fault rate (retained %.3f; %ld faults, %ld retries, "
+               "%ld failed runs)\n",
+               kReps, healthy.qps, degraded.qps, 100.0 * kFaultRate, retained,
+               degraded.faults_injected, degraded.retries, degraded.failed);
+
+  // --- (c) Outage recovery: Spark dies permanently. ---
+  constexpr PlatformId kSpark = 1;
+  constexpr int kTripThreshold = 3;
+  auto outage_service = MakeService(&registry, &schema, base, kTripThreshold,
+                                    /*cooldown_s=*/1e15);
+  if (!outage_service.ok()) return 1;
+  OptimizerService* service = outage_service->get();
+  // Warm the plan cache with a Spark-routed plan so the trip has something
+  // to invalidate.
+  OptimizeOptions spark_only;
+  spark_only.allowed_platform_mask = 1ull << kSpark;
+  if (!service->Optimize(plan, nullptr, spark_only).ok()) {
+    std::fprintf(stderr, "spark-only warmup optimize failed\n");
+    return 1;
+  }
+
+  FaultPlan outage;
+  outage.profiles.push_back(FaultProfile{static_cast<int>(kSpark), kAnyOpKind,
+                                         /*failure_rate=*/1.0,
+                                         /*fail_on_invocation=*/0,
+                                         /*permanent=*/true,
+                                         /*slowdown=*/1.0});
+  ExecutorOptions outage_exec;
+  outage_exec.observer = service;
+  outage_exec.health = service->health();
+  outage_exec.fault_plan = outage;
+  Executor executor(&registry, &cost, nullptr, outage_exec);
+  const ExecutionPlan spark_pinned = AllOn(plan, registry, kSpark);
+
+  Stopwatch recovery_watch;
+  long outage_queries = 0;
+  // The outage burns through the trip threshold...
+  while (service->health()->state(kSpark) != BreakerState::kOpen) {
+    ++outage_queries;
+    if (executor.Execute(spark_pinned, catalog).ok()) {
+      std::fprintf(stderr, "FAIL: execution on dead platform succeeded\n");
+      return 1;
+    }
+    if (outage_queries > 10 * kTripThreshold) {
+      std::fprintf(stderr, "FAIL: breaker never tripped\n");
+      return 1;
+    }
+  }
+  // ...then the next served query re-optimizes around the dead platform.
+  double recovery_ms = -1.0;
+  auto fallback = service->Optimize(plan);
+  if (fallback.ok()) {
+    bool avoids_spark = true;
+    for (PlatformId p : fallback->optimize.plan.PlatformsUsed()) {
+      avoids_spark &= p != kSpark;
+    }
+    // The outage profile only matches Spark: the fallback plan runs clean.
+    if (avoids_spark &&
+        executor.Execute(fallback->optimize.plan, catalog).ok()) {
+      recovery_ms = recovery_watch.ElapsedMillis();
+    }
+  }
+  const ServeStats stats = service->Stats();
+  std::fprintf(stderr,
+               "[bench] outage: %ld failed queries tripped the breaker, "
+               "recovery in %.2f ms (%llu trips, %llu cached plans "
+               "invalidated, %llu masked optimizes)\n",
+               outage_queries, recovery_ms,
+               static_cast<unsigned long long>(stats.recovery.breaker_trips),
+               static_cast<unsigned long long>(
+                   stats.recovery.plans_invalidated_on_trip),
+               static_cast<unsigned long long>(
+                   stats.recovery.masked_optimizes));
+
+  FILE* json = std::fopen("BENCH_recovery.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_recovery.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"phase_seconds\": %.2f,\n"
+               "  \"fault_rate\": %.2f,\n"
+               "  \"healthy_qps\": %.2f,\n"
+               "  \"degraded_qps\": %.2f,\n"
+               "  \"retained_ratio\": %.4f,\n"
+               "  \"degraded_faults_injected\": %ld,\n"
+               "  \"degraded_retries\": %ld,\n"
+               "  \"degraded_failed_runs\": %ld,\n"
+               "  \"outage_queries_to_trip\": %ld,\n"
+               "  \"recovery_latency_ms\": %.3f,\n"
+               "  \"breaker_trips\": %llu,\n"
+               "  \"plans_invalidated_on_trip\": %llu,\n"
+               "  \"masked_optimizes\": %llu\n"
+               "}\n",
+               kPhaseSeconds, kFaultRate, healthy.qps, degraded.qps, retained,
+               degraded.faults_injected, degraded.retries, degraded.failed,
+               outage_queries, recovery_ms,
+               static_cast<unsigned long long>(stats.recovery.breaker_trips),
+               static_cast<unsigned long long>(
+                   stats.recovery.plans_invalidated_on_trip),
+               static_cast<unsigned long long>(
+                   stats.recovery.masked_optimizes));
+  std::fclose(json);
+  std::fprintf(stderr, "[bench] wrote BENCH_recovery.json\n");
+
+  if (recovery_ms < 0.0) {
+    std::fprintf(stderr, "FAIL: service did not recover from the outage\n");
+    return 1;
+  }
+  if (retained < kMinRetainedRatio) {
+    std::fprintf(stderr,
+                 "FAIL: degraded throughput %.1f%% of healthy baseline "
+                 "(need >= %.0f%%)\n",
+                 100.0 * retained, 100.0 * kMinRetainedRatio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace robopt
+
+int main() { return robopt::Main(); }

@@ -18,6 +18,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  kUnavailable,
 };
 
 /// Result of an operation that can fail. Cheap to copy in the OK case.
@@ -49,6 +50,11 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// A transient infrastructure failure (injected fault, open circuit
+  /// breaker): the operation may succeed if retried or re-planned.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

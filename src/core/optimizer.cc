@@ -38,6 +38,11 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     oracle = cache.get();
   }
 
+  // Effective platform set: the caller's allowance minus the exclusions the
+  // fault-recovery path injected (dead platforms' breakers).
+  const uint64_t allowed_mask =
+      options.allowed_platform_mask & ~options.excluded_platform_mask;
+
   if (options.single_platform) {
     // Try each allowed platform that can run the whole query; keep the one
     // whose best plan the model predicts fastest. The per-platform search
@@ -46,7 +51,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     best.predicted_runtime_s = std::numeric_limits<float>::infinity();
     bool found = false;
     for (const Platform& platform : registry_->platforms()) {
-      if (!((options.allowed_platform_mask >> platform.id) & 1ull)) continue;
+      if (!((allowed_mask >> platform.id) & 1ull)) continue;
       const uint64_t mask = 1ull << platform.id;
       auto ctx = EnumerationContext::Make(&plan, registry_, schema_, cards,
                                           mask);
@@ -78,7 +83,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   }
 
   auto ctx = EnumerationContext::Make(&plan, registry_, schema_, cards,
-                                      options.allowed_platform_mask);
+                                      allowed_mask);
   if (!ctx.ok()) return ctx.status();
   EnumeratorOptions enum_options;
   enum_options.priority = options.priority;

@@ -10,6 +10,14 @@ namespace robopt {
 struct OptimizeOptions {
   /// Restrict the search to these platforms (bit i = platform id i).
   uint64_t allowed_platform_mask = ~0ull;
+  /// Platforms masked *out* of the search on top of allowed_platform_mask
+  /// (bit i = platform id i); the effective search space is
+  /// allowed & ~excluded. The serving layer's re-optimize-on-failure path
+  /// sets bits for platforms whose circuit breaker is open, so the
+  /// vectorized enumeration never materializes alternatives on a dead
+  /// platform. (Driver-pinned collection sources/sinks stay available, as
+  /// under any restricted mask — the driver is assumed alive.)
+  uint64_t excluded_platform_mask = 0;
   /// Single-platform execution mode (the paper's Section VII-C1): pick one
   /// platform for the whole query instead of mixing.
   bool single_platform = false;

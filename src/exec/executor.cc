@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -59,7 +60,8 @@ StatusOr<Dataset> Executor::RunOp(const ExecutionPlan& plan, OperatorId id,
 }
 
 StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
-                                       const DataCatalog& catalog) const {
+                                       const DataCatalog& catalog,
+                                       FailureReport* failure) const {
   const LogicalPlan& logical = plan.logical_plan();
   ROBOPT_RETURN_IF_ERROR(logical.Validate());
   ROBOPT_RETURN_IF_ERROR(plan.Validate());
@@ -74,6 +76,95 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
   result.observed.input.assign(n, 0.0);
   result.observed.output.assign(n, 0.0);
 
+  // Fault layer state: per-call injector (its invocation counters make
+  // concurrent executions independent and deterministic) and per-operator
+  // wasted-attempt counts for retry-cost accounting.
+  const bool inject = !options_.fault_plan.empty();
+  FaultInjector injector(&options_.fault_plan);
+  std::vector<uint16_t> failed_attempts(n, 0);
+
+  // Finalizes a fault-layer failure: fills the report, notifies the
+  // breaker clock and the observer, and returns the Unavailable status.
+  auto fail_run = [&](FailureReport&& report) -> Status {
+    report.failed = true;
+    report.backoff_s = result.faults.backoff_s;
+    if (options_.health != nullptr) {
+      options_.health->AdvanceClock(result.faults.backoff_s);
+    }
+    if (options_.observer != nullptr) {
+      options_.observer->OnExecutionFailure(plan, report);
+    }
+    Status status = Status::Unavailable(report.message);
+    if (failure != nullptr) *failure = std::move(report);
+    return status;
+  };
+
+  // Runs one operator under the fault layer: breaker gate, injected
+  // failures, retry with exponential backoff + deterministic jitter.
+  auto run_guarded = [&](OperatorId id,
+                         int iteration) -> StatusOr<Dataset> {
+    const LogicalOpKind kind = logical.op(id).kind;
+    const PlatformId platform = plan.PlatformOf(id);
+    if (options_.health != nullptr &&
+        !options_.health->AllowRequest(platform)) {
+      FailureReport report;
+      report.platform = platform;
+      report.op = id;
+      report.kind = kind;
+      report.breaker_open = true;
+      report.message = "circuit breaker open for platform " +
+                       registry_->platform(platform).name + " at operator " +
+                       logical.op(id).name;
+      return fail_run(std::move(report));
+    }
+    const int max_attempts = inject ? std::max(1, options_.retry.max_attempts)
+                                    : 1;
+    double backoff = options_.retry.initial_backoff_s;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      // Attempt accounting is part of the fault layer: with no FaultPlan
+      // the whole FaultStats struct stays zero by contract.
+      if (inject) {
+        ++result.faults.attempts;
+        if (attempt > 0) ++result.faults.retries;
+      }
+      const FaultInjector::Decision decision =
+          inject ? injector.OnAttempt(platform, kind, attempt)
+                 : FaultInjector::Decision{};
+      if (decision.fail) {
+        ++result.faults.faults_injected;
+        ++failed_attempts[id];
+        if (options_.health != nullptr) {
+          options_.health->RecordFailure(platform);
+        }
+        if (decision.permanent || attempt + 1 == max_attempts) {
+          FailureReport report;
+          report.platform = platform;
+          report.op = id;
+          report.kind = kind;
+          report.permanent = decision.permanent;
+          report.attempts = attempt + 1;
+          report.message =
+              std::string(decision.permanent ? "permanent fault"
+                                             : "retries exhausted") +
+              " on platform " + registry_->platform(platform).name +
+              " at operator " + logical.op(id).name;
+          return fail_run(std::move(report));
+        }
+        result.faults.backoff_s +=
+            backoff * (1.0 + options_.retry.jitter *
+                                 injector.JitterDraw(platform, kind, attempt));
+        backoff *= options_.retry.backoff_multiplier;
+        continue;
+      }
+      auto out = RunOp(plan, id, outputs, catalog, &rng, iteration);
+      if (out.ok() && options_.health != nullptr) {
+        options_.health->RecordSuccess(platform);
+      }
+      return out;
+    }
+    return Status::Internal("unreachable: retry loop fell through");
+  };
+
   auto record_cards = [&](OperatorId id) {
     double in_sum = 0.0;
     for (OperatorId parent : logical.parents(id)) {
@@ -86,7 +177,7 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
   for (OperatorId id : order) {
     if (done[id]) continue;
     if (!logical.InLoop(id)) {
-      auto out = RunOp(plan, id, outputs, catalog, &rng, /*iteration=*/0);
+      auto out = run_guarded(id, /*iteration=*/0);
       if (!out.ok()) return out.status();
       outputs[id] = std::move(out).value();
       done[id] = 1;
@@ -127,7 +218,7 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
       if (iter == 0) record_cards(begin);
       for (OperatorId b : order) {
         if (!in_body[b] || b == begin) continue;
-        auto out = RunOp(plan, b, outputs, catalog, &rng, iter);
+        auto out = run_guarded(b, iter);
         if (!out.ok()) return out.status();
         outputs[b] = std::move(out).value();
         if (iter == 0) record_cards(b);
@@ -138,6 +229,38 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
   }
 
   result.cost = cost_->PlanCost(plan, result.observed);
+
+  // Fault-layer virtual-time overheads: wasted work of failed attempts
+  // (each failed attempt re-does — and loses — the operator's work),
+  // slowdown rules, and the retry backoff, all itemized in result.faults
+  // and folded into total_s.
+  if (inject && std::isfinite(result.cost.total_s)) {
+    for (const LogicalOperator& op : logical.operators()) {
+      const PlatformId platform = plan.PlatformOf(op.id);
+      double& op_s = result.cost.op_seconds[op.id];
+      const double slowdown = injector.SlowdownFor(platform, op.kind);
+      if (slowdown > 1.0) {
+        result.faults.slowdown_s += (slowdown - 1.0) * op_s;
+        op_s *= slowdown;
+      }
+      if (failed_attempts[op.id] > 0) {
+        result.faults.retry_s += failed_attempts[op.id] * op_s;
+      }
+    }
+    result.cost.total_s += result.faults.slowdown_s + result.faults.retry_s +
+                           result.faults.backoff_s;
+  }
+
+  if (options_.health != nullptr) {
+    if (result.cost.oom) {
+      // An OOM is a platform failure for breaker purposes: the platform
+      // cannot run this plan at these cardinalities.
+      if (result.cost.failed_op != kInvalidOperatorId) {
+        options_.health->RecordFailure(plan.PlatformOf(result.cost.failed_op));
+      }
+    }
+    options_.health->AdvanceClock(result.cost.total_s);
+  }
 
   const std::vector<OperatorId> sinks = logical.SinkIds();
   if (!sinks.empty()) result.output = outputs[sinks.front()];

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/fault.h"
 #include "exec/kernel.h"
+#include "exec/platform_health.h"
 #include "exec/record.h"
 #include "exec/virtual_cost.h"
 #include "platform/execution_plan.h"
@@ -16,10 +18,15 @@ struct ExecResult {
   /// Output dataset of the (first) sink.
   Dataset output;
   /// Virtual-clock cost of the run (out-of-memory plans carry +inf).
+  /// Fault-layer overheads — retry re-runs, backoff, slowdown rules — are
+  /// folded into total_s (itemized in `faults`).
   CostBreakdown cost;
   /// Observed per-operator virtual cardinalities (the "real cardinalities"
   /// the paper injects into its optimizers).
   Cardinalities observed;
+  /// Attempt / latency accounting under fault injection (all zero when the
+  /// FaultPlan is empty).
+  FaultStats faults;
 };
 
 /// Observes completed executions. The serving layer implements this to turn
@@ -36,14 +43,38 @@ class ExecutionObserver {
   /// must be thread-safe if the executor is shared.
   virtual void OnExecution(const ExecutionPlan& plan,
                            const ExecResult& result) = 0;
+
+  /// Called once per Execute() that fails in the fault layer (circuit
+  /// breaker open, retries exhausted, permanent injected fault) with the
+  /// structured report — failed runs must not be invisible to the feedback
+  /// loop. Plan-shape errors (validation, missing kernels) do not report
+  /// here; they are caller bugs, not platform failures. Default: no-op.
+  virtual void OnExecutionFailure(const ExecutionPlan& plan,
+                                  const FailureReport& report) {
+    (void)plan;
+    (void)report;
+  }
 };
 
 /// Options for Execute().
 struct ExecutorOptions {
   uint64_t seed = 42;
   /// When set, every successful Execute() reports its plan and result here
-  /// (after the cost has been charged). Must outlive the executor.
+  /// (after the cost has been charged), and every fault-layer failure
+  /// reports through OnExecutionFailure. Must outlive the executor.
   ExecutionObserver* observer = nullptr;
+  /// Deterministic fault-injection scenario (empty = no faults injected).
+  FaultPlan fault_plan;
+  /// Retry policy for injected *transient* faults. Real kernel errors are
+  /// deterministic logic errors and are never retried.
+  RetryPolicy retry;
+  /// Optional shared circuit-breaker registry. When set, every operator run
+  /// is gated on its platform's breaker (an open breaker fails the
+  /// execution fast), operator outcomes — including OOMs — feed the breaker
+  /// state, and each execution's virtual runtime advances the registry's
+  /// virtual clock. Must outlive the executor; safe to share across
+  /// concurrently executing executors.
+  PlatformHealth* health = nullptr;
 };
 
 /// The multi-engine executor: runs an execution plan's kernels over real
@@ -62,8 +93,18 @@ class Executor {
   /// Runs the plan. Source operators read from `catalog`. Loops execute for
   /// real (kernels see each iteration); time is charged by the virtual
   /// clock. An OOM plan returns OK with cost.oom set and +inf total_s.
+  ///
+  /// Fault layer: when a FaultPlan / PlatformHealth is configured, a run
+  /// that exhausts its retries, hits a permanent fault, or is rejected by
+  /// an open breaker returns Unavailable; the structured FailureReport goes
+  /// to `failure` (if non-null) and to the observer's OnExecutionFailure.
   StatusOr<ExecResult> Execute(const ExecutionPlan& plan,
-                               const DataCatalog& catalog) const;
+                               const DataCatalog& catalog) const {
+    return Execute(plan, catalog, nullptr);
+  }
+  StatusOr<ExecResult> Execute(const ExecutionPlan& plan,
+                               const DataCatalog& catalog,
+                               FailureReport* failure) const;
 
   /// Analytic fast path: virtual runtime from cardinalities alone, no data
   /// touched. TDGEN uses this to label thousands of synthetic jobs; it

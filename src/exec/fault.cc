@@ -1,0 +1,102 @@
+#include "exec/fault.h"
+
+#include "common/rng.h"
+
+namespace robopt {
+namespace {
+
+/// splitmix64 finalizer: decorrelates the packed coordinate words so that
+/// neighboring (profile, invocation, attempt) cells draw independently.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultMatches(const FaultProfile& profile, PlatformId platform,
+                  LogicalOpKind kind) {
+  if (profile.platform != kAnyPlatform &&
+      profile.platform != static_cast<int>(platform)) {
+    return false;
+  }
+  if (profile.kind != kAnyOpKind && profile.kind != static_cast<int>(kind)) {
+    return false;
+  }
+  return true;
+}
+
+FaultInjector::FaultInjector(const FaultPlan* plan)
+    : plan_(plan), invocations_(plan->profiles.size(), 0) {}
+
+double FaultInjector::Draw(size_t profile, uint32_t invocation, int attempt,
+                           uint64_t salt) const {
+  uint64_t key = Mix(plan_->seed ^ salt);
+  key = Mix(key ^ (static_cast<uint64_t>(profile) << 32 | invocation));
+  key = Mix(key ^ static_cast<uint64_t>(attempt));
+  // One finishing pass through the library Rng keeps the draw quality of
+  // xoshiro while the key above stays a pure function of the coordinates.
+  return Rng(key).NextDouble();
+}
+
+FaultInjector::Decision FaultInjector::OnAttempt(PlatformId platform,
+                                                 LogicalOpKind kind,
+                                                 int attempt) {
+  Decision decision;
+  for (size_t i = 0; i < plan_->profiles.size(); ++i) {
+    const FaultProfile& profile = plan_->profiles[i];
+    if (!FaultMatches(profile, platform, kind)) continue;
+    // Invocation counting: attempt 0 of each matching run is one logical
+    // invocation; retries re-use its index.
+    if (attempt == 0) ++invocations_[i];
+    const uint32_t invocation = invocations_[i];
+    bool fails = false;
+    if (profile.fail_on_invocation > 0 &&
+        invocation == static_cast<uint32_t>(profile.fail_on_invocation) &&
+        (attempt == 0 || profile.permanent)) {
+      fails = true;
+    }
+    if (!fails && profile.failure_rate > 0.0) {
+      // Permanent faults draw once per invocation (attempt 0 decides);
+      // transient faults re-draw per attempt so retries can succeed.
+      const int draw_attempt = profile.permanent ? 0 : attempt;
+      fails = Draw(i, invocation, draw_attempt, /*salt=*/0x0f41ULL) <
+              profile.failure_rate;
+    }
+    if (fails && !decision.fail) {
+      decision.fail = true;
+      decision.permanent = profile.permanent;
+      decision.profile = static_cast<int>(i);
+    } else if (fails && profile.permanent) {
+      decision.permanent = true;  // Any matching permanent rule is fatal.
+    }
+  }
+  return decision;
+}
+
+double FaultInjector::JitterDraw(PlatformId platform, LogicalOpKind kind,
+                                 int attempt) const {
+  // Keyed off the current invocation index of the first matching profile so
+  // the jitter sequence is reproducible but distinct per invocation.
+  for (size_t i = 0; i < plan_->profiles.size(); ++i) {
+    if (FaultMatches(plan_->profiles[i], platform, kind)) {
+      return Draw(i, invocations_[i], attempt, /*salt=*/0x91773ULL);
+    }
+  }
+  return Draw(0, 0, attempt, /*salt=*/0x91773ULL);
+}
+
+double FaultInjector::SlowdownFor(PlatformId platform,
+                                  LogicalOpKind kind) const {
+  double multiplier = 1.0;
+  for (const FaultProfile& profile : plan_->profiles) {
+    if (profile.slowdown > 1.0 && FaultMatches(profile, platform, kind)) {
+      multiplier *= profile.slowdown;
+    }
+  }
+  return multiplier;
+}
+
+}  // namespace robopt

@@ -1,0 +1,143 @@
+#ifndef ROBOPT_EXEC_FAULT_H_
+#define ROBOPT_EXEC_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+#include "platform/platform.h"
+
+namespace robopt {
+
+/// Wildcard selectors for FaultProfile.
+inline constexpr int kAnyPlatform = -1;
+inline constexpr int kAnyOpKind = -1;
+
+/// One failure/slowdown rule of a FaultPlan. A profile matches an operator
+/// run when both selectors accept the operator's assigned platform and its
+/// logical kind. Examples from the fault-plan grammar (see DESIGN.md):
+///   {platform=0, kind=kAnyOpKind, fail_on_invocation=3}
+///       -> fail the 3rd JavaStreams operator invocation (once; the retry
+///          succeeds unless `permanent`).
+///   {platform=1, kind=kAnyOpKind, failure_rate=0.1}
+///       -> every Spark operator attempt fails with probability 10%.
+///   {platform=1, kind=static_cast<int>(LogicalOpKind::kJoin), slowdown=2.0}
+///       -> Spark joins take 2x their virtual time.
+///   {platform=2, failure_rate=1.0, permanent=true}
+///       -> platform 2 is dead: every attempt fails, retries never help.
+struct FaultProfile {
+  int platform = kAnyPlatform;  ///< Platform id, or kAnyPlatform.
+  int kind = kAnyOpKind;        ///< LogicalOpKind value, or kAnyOpKind.
+  /// Per-attempt probability of an injected transient failure. Draws are a
+  /// pure function of (plan seed, profile, invocation, attempt), so a rerun
+  /// of the same FaultPlan reproduces every failure byte-for-byte.
+  double failure_rate = 0.0;
+  /// If > 0: deterministically fail the first attempt of the N-th matching
+  /// invocation (1-based, counted per profile within one Execute() call).
+  int fail_on_invocation = 0;
+  /// Permanent faults fail every attempt (a dead platform / poisoned
+  /// operator); transient faults are re-drawn per attempt so retries can
+  /// succeed.
+  bool permanent = false;
+  /// Virtual-clock multiplier on matching operators' run cost (1 = none).
+  double slowdown = 1.0;
+};
+
+/// A seeded, deterministic fault-injection scenario. Empty = no faults.
+/// Every failure and every jittered backoff is a pure function of the seed
+/// and the (profile, invocation, attempt) coordinates, independent of thread
+/// count and of concurrent Execute() calls: each call owns its own
+/// invocation counters, so the same plan under the same FaultPlan yields a
+/// byte-identical ExecResult / FailureReport everywhere.
+struct FaultPlan {
+  uint64_t seed = 0xfa017ULL;
+  std::vector<FaultProfile> profiles;
+
+  bool empty() const { return profiles.empty(); }
+};
+
+/// Operator-level retry policy for injected transient faults. Backoff is
+/// charged to the *virtual* clock (ExecResult accounting), never slept.
+struct RetryPolicy {
+  /// Attempts per operator invocation (1 = no retries).
+  int max_attempts = 3;
+  double initial_backoff_s = 0.05;  ///< Virtual seconds before retry 1.
+  double backoff_multiplier = 2.0;  ///< Exponential growth per retry.
+  /// Each backoff is scaled by (1 + jitter * U[0,1)) with a deterministic,
+  /// seed-derived draw.
+  double jitter = 0.25;
+};
+
+/// Attempt / latency accounting of one Execute() call under fault injection.
+struct FaultStats {
+  int attempts = 0;         ///< Operator run attempts (retries included).
+  int retries = 0;          ///< Attempts beyond the first per invocation.
+  int faults_injected = 0;  ///< Injected failures encountered.
+  double backoff_s = 0.0;   ///< Virtual seconds spent in retry backoff.
+  double retry_s = 0.0;     ///< Virtual seconds re-running failed attempts.
+  double slowdown_s = 0.0;  ///< Extra virtual seconds from slowdown rules.
+};
+
+/// Structured description of an Execute() failure in the fault layer — the
+/// input to re-optimize-on-failure recovery (the serving layer masks
+/// `platform` out of the search and re-plans).
+struct FailureReport {
+  bool failed = false;
+  PlatformId platform = 0;              ///< Platform blamed for the failure.
+  OperatorId op = kInvalidOperatorId;   ///< Operator that failed.
+  LogicalOpKind kind = LogicalOpKind::kMap;
+  bool breaker_open = false;  ///< Rejected up front: circuit breaker open.
+  bool permanent = false;     ///< A permanent (non-retryable) injected fault.
+  int attempts = 0;           ///< Attempts made on the failing operator.
+  double backoff_s = 0.0;     ///< Total virtual backoff of the whole call.
+  std::string message;
+};
+
+/// Per-Execute()-call fault oracle: counts matching invocations per profile
+/// and derives every probabilistic decision from the FaultPlan seed alone.
+/// Not thread-safe — each Execute() call constructs its own injector, which
+/// is exactly what makes concurrent executions deterministic.
+class FaultInjector {
+ public:
+  /// `plan` must outlive the injector.
+  explicit FaultInjector(const FaultPlan* plan);
+
+  struct Decision {
+    bool fail = false;
+    bool permanent = false;
+    int profile = -1;  ///< Index of the failing profile (-1 = none).
+  };
+
+  /// Decides the fate of one operator run attempt. Matching invocations are
+  /// counted on attempt 0 only, so all retries of one invocation share its
+  /// invocation index (and `fail_on_invocation` counts logical invocations,
+  /// not attempts).
+  Decision OnAttempt(PlatformId platform, LogicalOpKind kind, int attempt);
+
+  /// Deterministic jitter draw in [0,1) for the backoff preceding
+  /// `attempt`+1 of the current invocation of (platform, kind).
+  double JitterDraw(PlatformId platform, LogicalOpKind kind,
+                    int attempt) const;
+
+  /// Product of all matching slowdown multipliers for (platform, kind);
+  /// 1.0 when no slowdown rule matches.
+  double SlowdownFor(PlatformId platform, LogicalOpKind kind) const;
+
+ private:
+  /// Uniform double in [0,1), pure function of (seed, profile, invocation,
+  /// attempt, salt).
+  double Draw(size_t profile, uint32_t invocation, int attempt,
+              uint64_t salt) const;
+
+  const FaultPlan* plan_;
+  std::vector<uint32_t> invocations_;  ///< Per-profile match counters.
+};
+
+/// True when `profile` applies to an operator of `kind` on `platform`.
+bool FaultMatches(const FaultProfile& profile, PlatformId platform,
+                  LogicalOpKind kind);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_EXEC_FAULT_H_

@@ -1,0 +1,130 @@
+#include "exec/platform_health.h"
+
+#include <cmath>
+
+namespace robopt {
+
+const char* ToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+PlatformHealth::PlatformHealth(BreakerOptions options) : options_(options) {}
+
+void PlatformHealth::MaybeHalfOpenLocked(int platform) {
+  Breaker& breaker = breakers_[platform];
+  if (breaker.state == BreakerState::kOpen &&
+      now_s_ - breaker.opened_at_s >= options_.cooldown_s) {
+    breaker.state = BreakerState::kHalfOpen;
+    open_mask_.fetch_and(~(1ull << platform), std::memory_order_release);
+  }
+}
+
+void PlatformHealth::TripLocked(int platform) {
+  Breaker& breaker = breakers_[platform];
+  breaker.state = BreakerState::kOpen;
+  breaker.opened_at_s = now_s_;
+  ++breaker.trips;
+  open_mask_.fetch_or(1ull << platform, std::memory_order_release);
+}
+
+bool PlatformHealth::AllowRequest(PlatformId platform) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& breaker = breakers_[platform];
+  MaybeHalfOpenLocked(platform);
+  if (breaker.state == BreakerState::kOpen) {
+    ++breaker.rejected;
+    return false;
+  }
+  return true;
+}
+
+void PlatformHealth::RecordSuccess(PlatformId platform) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& breaker = breakers_[platform];
+  breaker.consecutive_failures = 0;
+  if (breaker.state == BreakerState::kHalfOpen) {
+    breaker.state = BreakerState::kClosed;
+    ++breaker.recoveries;
+  }
+}
+
+void PlatformHealth::RecordFailure(PlatformId platform) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& breaker = breakers_[platform];
+  ++breaker.consecutive_failures;
+  if (breaker.state == BreakerState::kHalfOpen) {
+    TripLocked(platform);  // The probe failed: back to open, new cooldown.
+    return;
+  }
+  if (breaker.state == BreakerState::kClosed &&
+      breaker.consecutive_failures >= options_.failure_threshold) {
+    TripLocked(platform);
+  }
+}
+
+void PlatformHealth::AdvanceClock(double virtual_seconds) {
+  if (!std::isfinite(virtual_seconds) || virtual_seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  now_s_ += virtual_seconds;
+}
+
+double PlatformHealth::now_s() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_s_;
+}
+
+BreakerState PlatformHealth::state(PlatformId platform) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeHalfOpenLocked(platform);
+  return breakers_[platform].state;
+}
+
+BreakerSnapshot PlatformHealth::snapshot(PlatformId platform) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Breaker& breaker = breakers_[platform];
+  BreakerSnapshot out;
+  out.state = breaker.state;
+  out.consecutive_failures = breaker.consecutive_failures;
+  out.trips = breaker.trips;
+  out.recoveries = breaker.recoveries;
+  out.rejected = breaker.rejected;
+  out.opened_at_s = breaker.opened_at_s;
+  return out;
+}
+
+uint64_t PlatformHealth::OpenMask() {
+  // Healthy fast path: no breaker open means no cooldown transition to
+  // apply, so the per-Optimize() call skips the lock entirely.
+  if (open_mask_.load(std::memory_order_acquire) == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t mask = 0;
+  for (int i = 0; i < kMaxPlatforms; ++i) {
+    MaybeHalfOpenLocked(i);
+    if (breakers_[i].state == BreakerState::kOpen) mask |= 1ull << i;
+  }
+  return mask;
+}
+
+uint64_t PlatformHealth::total_trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Breaker& breaker : breakers_) total += breaker.trips;
+  return total;
+}
+
+uint64_t PlatformHealth::total_recoveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Breaker& breaker : breakers_) total += breaker.recoveries;
+  return total;
+}
+
+}  // namespace robopt

@@ -166,6 +166,7 @@ CostBreakdown VirtualCost::PlanCost(const ExecutionPlan& plan,
       out.failure = "out-of-memory on " +
                     registry_->platform(plan.PlatformOf(op.id)).name +
                     " at " + op.name;
+      out.failed_op = op.id;
       out.total_s = std::numeric_limits<double>::infinity();
       return out;
     }
@@ -196,6 +197,7 @@ CostBreakdown VirtualCost::PlanCost(const ExecutionPlan& plan,
         tuples * tuple_bytes > profiles_[conv.to_platform].mem_capacity_bytes) {
       out.oom = true;
       out.failure = "out-of-memory moving data into " + to_desc.name;
+      out.failed_op = conv.to_op;
       out.total_s = std::numeric_limits<double>::infinity();
       return out;
     }

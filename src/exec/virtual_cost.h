@@ -16,6 +16,10 @@ struct CostBreakdown {
   double total_s = 0.0;
   bool oom = false;
   std::string failure;  ///< e.g. "out-of-memory on Java at Join".
+  /// Operator blamed for an OOM (the overflowing operator, or the receiving
+  /// operator of an overflowing conversion); kInvalidOperatorId otherwise.
+  /// Lets the fault layer charge the failure to the right platform.
+  OperatorId failed_op = kInvalidOperatorId;
   double startup_s = 0.0;
   double conversion_s = 0.0;
   /// Per-logical-operator virtual seconds (loop iterations included).

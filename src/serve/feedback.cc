@@ -1,17 +1,36 @@
 #include "serve/feedback.h"
 
+#include <cmath>
+
 namespace robopt {
 
 bool FeedbackCollector::Offer(FeedbackEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.offered;
-  if (queue_.size() >= capacity_) {
+  if (!std::isfinite(event.actual_s)) {
+    // An OOM is reported as +inf virtual seconds; a NaN is a measurement
+    // bug. Either would poison the regression target if trained on.
+    ++stats_.rejected_nonfinite;
+    return false;
+  }
+  if (capacity_ == 0) {
     ++stats_.dropped;
     return false;
+  }
+  while (queue_.size() >= capacity_) {
+    // Ring semantics: evict the oldest observation, keep the newest — it
+    // reflects the current workload (and current model) best.
+    queue_.pop_front();
+    ++stats_.dropped;
   }
   queue_.push_back(std::move(event));
   ++stats_.accepted;
   return true;
+}
+
+void FeedbackCollector::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failures;
 }
 
 std::vector<FeedbackEvent> FeedbackCollector::Drain() {

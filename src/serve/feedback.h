@@ -21,20 +21,33 @@ struct FeedbackEvent {
 struct FeedbackStats {
   size_t offered = 0;   ///< Offer() calls.
   size_t accepted = 0;  ///< Events enqueued.
-  size_t dropped = 0;   ///< Events rejected because the queue was full.
+  size_t dropped = 0;   ///< *Oldest* events evicted because the queue was full.
+  size_t rejected_nonfinite = 0;  ///< Events refused for a non-finite runtime.
   size_t drained = 0;   ///< Events handed to the consumer.
+  size_t failures = 0;  ///< Execution failures observed (RecordFailure()).
 };
 
 /// Bounded multi-producer single-consumer queue between executors and the
 /// retrain worker. Producers never block: when the queue is at capacity the
-/// event is counted and dropped — feedback is lossy by design, a stalled
-/// trainer must never backpressure query execution.
+/// *oldest* queued event is evicted to make room (ring semantics) — the
+/// newest observation is always kept, since it reflects the current
+/// workload best, and a stalled trainer must never backpressure query
+/// execution. Evictions are counted in stats().dropped.
 class FeedbackCollector {
  public:
   explicit FeedbackCollector(size_t capacity) : capacity_(capacity) {}
 
-  /// Enqueues one event; returns false (and drops it) when full.
+  /// Enqueues one event. When the queue is at capacity the oldest event is
+  /// evicted (counted in dropped) and the new one accepted; returns true.
+  /// Returns false only for an invalid event: a non-finite actual_s (an OOM
+  /// reports +inf virtual seconds) must never reach training, so it is
+  /// refused and counted in rejected_nonfinite.
   bool Offer(FeedbackEvent event);
+
+  /// Counts one failed execution (the observer's OnExecutionFailure hook).
+  /// Failed runs produce no runtime label, so no event is enqueued — but
+  /// the count lets the serving layer report fault pressure.
+  void RecordFailure();
 
   /// Moves out all queued events in arrival order (the consumer side).
   std::vector<FeedbackEvent> Drain();

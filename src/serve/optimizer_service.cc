@@ -89,7 +89,8 @@ OptimizerService::OptimizerService(const PlatformRegistry* registry,
       plan_cache_(options_.plan_cache_capacity),
       base_train_(schema->width()),
       holdout_(schema->width()),
-      last_train_(std::chrono::steady_clock::now()) {}
+      last_train_(std::chrono::steady_clock::now()),
+      health_(options_.breaker) {}
 
 OptimizerService::~OptimizerService() {
   {
@@ -107,8 +108,23 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
 
 StatusOr<OptimizerService::Result> OptimizerService::Optimize(
     const LogicalPlan& plan, const Cardinalities* cards,
-    const OptimizeOptions& options) {
+    const OptimizeOptions& caller_options) {
   const auto start = std::chrono::steady_clock::now();
+
+  // Re-optimize-on-failure: mask every open-breaker platform out of the
+  // enumeration on top of whatever the caller excluded. Half-open breakers
+  // stay routable — the next query through them is the recovery probe. The
+  // mask is part of the cache key (HashOptions covers it), so plans cached
+  // while a platform was dead never serve after it recovers, and vice
+  // versa.
+  const uint64_t open_mask = SyncBreakerState();
+  OptimizeOptions options = caller_options;
+  options.excluded_platform_mask |= open_mask;
+  if (open_mask & options.allowed_platform_mask &
+      ~caller_options.excluded_platform_mask) {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    ++masked_optimizes_;
+  }
   // With the cache disabled (capacity 0) the O(plan) fingerprint work would
   // be pure per-call overhead — skip key computation and lookup entirely.
   const bool cache_on = plan_cache_.enabled();
@@ -189,6 +205,9 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
     entry.predicted_runtime_s = result.optimize.predicted_runtime_s;
     entry.chosen_platform = result.optimize.chosen_platform;
     entry.model_version = result.optimize.model_version;
+    for (PlatformId platform : result.optimize.plan.PlatformsUsed()) {
+      entry.platform_mask |= 1ull << platform;
+    }
     plan_cache_.Insert(key, std::move(entry));
   }
   return result;
@@ -222,6 +241,34 @@ void OptimizerService::OnExecution(const ExecutionPlan& plan,
     event.predicted_s = predicted;
   }
   collector_.Offer(std::move(event));
+}
+
+void OptimizerService::OnExecutionFailure(const ExecutionPlan& plan,
+                                          const FailureReport& report) {
+  (void)plan;
+  (void)report;
+  collector_.RecordFailure();
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    ++failures_observed_;
+  }
+  // The failure may just have tripped a breaker: reconcile immediately so
+  // stale cached plans through the dead platform are gone before the very
+  // next Optimize() call (not merely keyed away by the exclusion mask).
+  SyncBreakerState();
+}
+
+uint64_t OptimizerService::SyncBreakerState() {
+  const uint64_t open_mask = health_.OpenMask();
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  for (PlatformId p = 0; p < registry_->num_platforms(); ++p) {
+    const uint64_t trips = health_.snapshot(p).trips;
+    if (trips > last_trips_[p]) {
+      last_trips_[p] = trips;
+      plans_invalidated_on_trip_ += plan_cache_.InvalidatePlatform(p);
+    }
+  }
+  return open_mask;
 }
 
 void OptimizerService::DrainFeedbackLocked() {
@@ -340,6 +387,15 @@ ServeStats OptimizerService::Stats() const {
   stats.plan_cache = plan_cache_.stats();
   if (const auto snapshot = models_.Current(); snapshot != nullptr) {
     stats.current_drift = snapshot->drift();
+  }
+  stats.recovery.open_platform_mask = health_.OpenMask();
+  stats.recovery.breaker_trips = health_.total_trips();
+  stats.recovery.breaker_recoveries = health_.total_recoveries();
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    stats.recovery.failures_observed = failures_observed_;
+    stats.recovery.masked_optimizes = masked_optimizes_;
+    stats.recovery.plans_invalidated_on_trip = plans_invalidated_on_trip_;
   }
   return stats;
 }

@@ -1,6 +1,7 @@
 #ifndef ROBOPT_SERVE_OPTIMIZER_SERVICE_H_
 #define ROBOPT_SERVE_OPTIMIZER_SERVICE_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "core/optimizer.h"
 #include "exec/executor.h"
+#include "exec/platform_health.h"
 #include "serve/feedback.h"
 #include "serve/model_registry.h"
 #include "serve/plan_cache.h"
@@ -61,6 +63,11 @@ struct ServeOptions {
   bool background_retrain = true;
   /// Worker poll period between trigger checks, in seconds.
   double worker_poll_s = 0.05;
+  /// Circuit-breaker thresholds of the service-owned PlatformHealth
+  /// registry (consecutive-failure trip threshold, cooldown in virtual
+  /// seconds). Executors that should feed the breakers set
+  /// ExecutorOptions::health = service->health().
+  BreakerOptions breaker;
   /// Default per-call optimize options.
   OptimizeOptions optimize;
 };
@@ -80,6 +87,23 @@ struct RetrainOutcome {
   size_t experience_rows = 0;  ///< Training log size at candidate time.
 };
 
+/// Fault-recovery counters (the re-optimize-on-failure path).
+struct RecoveryStats {
+  /// OnExecutionFailure calls observed (injected faults, breaker fast-fails,
+  /// retries-exhausted — one per failed Execute).
+  uint64_t failures_observed = 0;
+  uint64_t breaker_trips = 0;       ///< Closed/half-open -> open transitions.
+  uint64_t breaker_recoveries = 0;  ///< Half-open -> closed transitions.
+  /// Optimize calls that ran with at least one platform masked out because
+  /// its breaker was open (the fallback re-optimizations).
+  uint64_t masked_optimizes = 0;
+  /// Plan-cache entries dropped because their plan routed through a platform
+  /// whose breaker tripped.
+  uint64_t plans_invalidated_on_trip = 0;
+  /// Platforms whose breaker is open right now (bit i = platform id i).
+  uint64_t open_platform_mask = 0;
+};
+
 /// Aggregate serving counters.
 struct ServeStats {
   uint64_t current_version = 0;
@@ -92,6 +116,7 @@ struct ServeStats {
   FeedbackStats feedback;
   PlanCacheStats plan_cache;
   DriftStats current_drift;  ///< Drift of the current version.
+  RecoveryStats recovery;
 };
 
 /// The optimizer as a long-lived concurrent service with a model lifecycle:
@@ -151,6 +176,13 @@ class OptimizerService : public ExecutionObserver {
   void OnExecution(const ExecutionPlan& plan,
                    const ExecResult& result) override;
 
+  /// ExecutionObserver: counts the failure in the feedback stats and, when
+  /// the failure tripped a circuit breaker, drops every cached plan that
+  /// routes through the now-dead platform — the next Optimize() of those
+  /// queries re-plans with the platform masked out of enumeration.
+  void OnExecutionFailure(const ExecutionPlan& plan,
+                          const FailureReport& report) override;
+
   /// Runs one synchronous drain / retrain / validate / publish cycle (the
   /// worker's body). `force` trains even if no trigger fired (tests).
   StatusOr<RetrainOutcome> RetrainNow(bool force = false);
@@ -164,6 +196,11 @@ class OptimizerService : public ExecutionObserver {
   const FeatureSchema& schema() const { return *schema_; }
   ServeStats Stats() const;
 
+  /// The service-owned circuit-breaker registry. Wire it into executors via
+  /// ExecutorOptions::health so their successes/failures drive the breaker
+  /// state that Optimize() masks on.
+  PlatformHealth* health() { return &health_; }
+
  private:
   OptimizerService(const PlatformRegistry* registry,
                    const FeatureSchema* schema, ServeOptions options);
@@ -171,6 +208,11 @@ class OptimizerService : public ExecutionObserver {
   /// Moves queued feedback into drift stats, the holdout set and the
   /// experience log. Caller holds retrain_mu_.
   void DrainFeedbackLocked();
+  /// Reconciles breaker trips with the plan cache: any platform whose trip
+  /// count grew since the last sync has its cached plans invalidated.
+  /// Called from OnExecutionFailure and Optimize (cheap when nothing
+  /// changed). Returns the current open-breaker mask.
+  uint64_t SyncBreakerState();
   /// Consistent copy of the holdout set.
   MlDataset HoldoutSnapshot() const;
   void WorkerLoop();
@@ -198,6 +240,17 @@ class OptimizerService : public ExecutionObserver {
   size_t retrains_ = 0;
   size_t promotions_ = 0;
   size_t rejections_ = 0;
+
+  /// Internally synchronized; mutable because even read paths (Stats) may
+  /// apply the lazy open -> half-open transition.
+  mutable PlatformHealth health_;
+  mutable std::mutex recovery_mu_;  ///< Guards the recovery counters below.
+  uint64_t failures_observed_ = 0;
+  uint64_t masked_optimizes_ = 0;
+  uint64_t plans_invalidated_on_trip_ = 0;
+  /// Last-seen per-platform trip counts; a delta means new trips to
+  /// reconcile against the plan cache.
+  std::array<uint64_t, kMaxPlatforms> last_trips_{};
 
   std::mutex worker_mu_;
   std::condition_variable worker_cv_;

@@ -7,6 +7,7 @@ uint64_t PlanCache::HashOptions(const OptimizeOptions& options) {
   auto mix = [&h](uint64_t v) {
     h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   };
+  mix(options.excluded_platform_mask);
   mix(options.single_platform ? 1 : 0);
   mix(static_cast<uint64_t>(options.priority));
   mix(static_cast<uint64_t>(options.prune));
@@ -79,6 +80,23 @@ void PlanCache::Insert(const PlanCacheKey& key, Entry entry) {
     lru_.pop_back();
     ++stats_.evictions;
   }
+}
+
+size_t PlanCache::InvalidatePlatform(PlatformId platform) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t bit = 1ull << platform;
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->entry.platform_mask & bit) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.platform_invalidations += dropped;
+  return dropped;
 }
 
 void PlanCache::InvalidateAll() {

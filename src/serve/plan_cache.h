@@ -36,6 +36,9 @@ struct PlanCacheStats {
   size_t insertions = 0;
   size_t evictions = 0;      ///< LRU capacity evictions.
   size_t invalidations = 0;  ///< Entries dropped for a stale model version.
+  /// Entries dropped by InvalidatePlatform (their plan routed through a
+  /// platform whose circuit breaker tripped).
+  size_t platform_invalidations = 0;
 };
 
 /// Bounded, version-tagged LRU cache of optimization results. Entries store
@@ -70,6 +73,10 @@ class PlanCache {
     float predicted_runtime_s = 0.0f;
     PlatformId chosen_platform = 0;
     uint64_t model_version = 0;
+    /// Platforms this plan routes through (bit i = platform id i), from
+    /// ExecutionPlan::PlatformsUsed(). Lets InvalidatePlatform drop exactly
+    /// the entries a dead platform poisons.
+    uint64_t platform_mask = 0;
   };
 
   /// `capacity` bounds the number of entries (LRU eviction).
@@ -96,6 +103,11 @@ class PlanCache {
 
   /// Drops every entry (called on model promotion).
   void InvalidateAll();
+
+  /// Drops every entry whose plan routes through `platform` (called when the
+  /// platform's circuit breaker trips — those plans can no longer run).
+  /// Returns the number of entries dropped.
+  size_t InvalidatePlatform(PlatformId platform);
 
   size_t size() const;
   PlanCacheStats stats() const;

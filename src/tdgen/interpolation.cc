@@ -59,21 +59,38 @@ PiecewisePolynomial PiecewisePolynomial::Fit(std::vector<double> x,
   return out;
 }
 
+double PiecewisePolynomial::EvalPiece(const Piece& piece, double x) {
+  const double t = (x - piece.x_lo) * piece.scale;
+  // Horner evaluation of the Newton form.
+  const size_t n = piece.coeffs.size();
+  double value = piece.coeffs[n - 1];
+  for (size_t i = n - 1; i > 0; --i) {
+    value = value * (t - piece.nodes[i - 1]) + piece.coeffs[i - 1];
+  }
+  return value;
+}
+
 double PiecewisePolynomial::Eval(double x) const {
+  ROBOPT_CHECK(!pieces_.empty());
+  // Pieces are built over ascending windows, so x_lo is sorted: the
+  // covering piece is the last one with x_lo <= x (clamped to the first
+  // piece when x precedes the covered range — extrapolation must not
+  // explode). upper_bound finds the first piece with x_lo > x.
+  auto it = std::upper_bound(
+      pieces_.begin(), pieces_.end(), x,
+      [](double probe, const Piece& piece) { return probe < piece.x_lo; });
+  const Piece& piece = it == pieces_.begin() ? pieces_.front() : *(it - 1);
+  return EvalPiece(piece, x);
+}
+
+double PiecewisePolynomial::EvalScanReference(double x) const {
   ROBOPT_CHECK(!pieces_.empty());
   // Locate the piece whose range contains x (clamping at the ends).
   const Piece* piece = &pieces_.front();
   for (const Piece& candidate : pieces_) {
     if (x >= candidate.x_lo) piece = &candidate;
   }
-  const double t = (x - piece->x_lo) * piece->scale;
-  // Horner evaluation of the Newton form.
-  const size_t n = piece->coeffs.size();
-  double value = piece->coeffs[n - 1];
-  for (size_t i = n - 1; i > 0; --i) {
-    value = value * (t - piece->nodes[i - 1]) + piece->coeffs[i - 1];
-  }
-  return value;
+  return EvalPiece(*piece, x);
 }
 
 }  // namespace robopt

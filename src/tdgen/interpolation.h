@@ -22,7 +22,15 @@ class PiecewisePolynomial {
   static PiecewisePolynomial Fit(std::vector<double> x, std::vector<double> y,
                                  int degree = 5);
 
+  /// Evaluates at `x`, locating the covering piece by binary search on the
+  /// piece lower bounds — O(log pieces) instead of the linear scan TDGEN
+  /// shipped with. Bit-identical to EvalScanReference for every input (the
+  /// same piece is selected, so the arithmetic is unchanged).
   double Eval(double x) const;
+
+  /// The original O(pieces) linear-scan lookup, kept as the oracle the
+  /// regression test asserts Eval against bit-for-bit.
+  double EvalScanReference(double x) const;
 
   size_t num_pieces() const { return pieces_.size(); }
 
@@ -34,6 +42,9 @@ class PiecewisePolynomial {
     std::vector<double> coeffs;     ///< Newton coefficients.
     std::vector<double> nodes;      ///< Normalized interpolation nodes.
   };
+
+  /// Horner evaluation of the piece's Newton form at x.
+  static double EvalPiece(const Piece& piece, double x);
 
   std::vector<Piece> pieces_;
 };

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/fault.h"
+#include "exec/platform_health.h"
+#include "workloads/datagen.h"
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+ExecutionPlan AllOn(const LogicalPlan& plan, const PlatformRegistry& registry,
+                    PlatformId platform) {
+  ExecutionPlan exec(&plan, &registry);
+  for (const LogicalOperator& op : plan.operators()) {
+    const auto& alts = registry.AlternativesFor(op.kind);
+    for (size_t a = 0; a < alts.size(); ++a) {
+      if (alts[a].platform == platform && alts[a].variant == 0) {
+        exec.Assign(op.id, static_cast<int>(a));
+        break;
+      }
+    }
+  }
+  return exec;
+}
+
+/// Records every failure report delivered through the observer hook.
+class FailureRecorder : public ExecutionObserver {
+ public:
+  void OnExecution(const ExecutionPlan&, const ExecResult&) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++successes_;
+  }
+  void OnExecutionFailure(const ExecutionPlan&,
+                          const FailureReport& report) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.push_back(report);
+  }
+
+  std::vector<FailureReport> reports() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reports_;
+  }
+  int successes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return successes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FailureReport> reports_;
+  int successes_ = 0;
+};
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest()
+      : registry_(PlatformRegistry::Default(2)), cost_(&registry_) {
+    RegisterWorkloadKernels();
+    plan_ = MakeWordCountPlan(1e-6);
+    catalog_.Bind(plan_.SourceIds()[0], GenerateTextLines(100, 100, 5));
+  }
+
+  StatusOr<ExecResult> Run(const ExecutorOptions& options,
+                           FailureReport* failure = nullptr) {
+    Executor executor(&registry_, &cost_, nullptr, options);
+    return executor.Execute(AllOn(plan_, registry_, 0), catalog_, failure);
+  }
+
+  PlatformRegistry registry_;
+  VirtualCost cost_;
+  LogicalPlan plan_ = MakeWordCountPlan(1e-6);
+  DataCatalog catalog_;
+};
+
+TEST_F(FaultInjectionTest, EmptyFaultPlanLeavesAccountingAtZero) {
+  auto result = Run(ExecutorOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->faults.attempts, 0);
+  EXPECT_EQ(result->faults.retries, 0);
+  EXPECT_EQ(result->faults.faults_injected, 0);
+  EXPECT_DOUBLE_EQ(result->faults.backoff_s, 0.0);
+  EXPECT_DOUBLE_EQ(result->faults.retry_s, 0.0);
+  EXPECT_DOUBLE_EQ(result->faults.slowdown_s, 0.0);
+}
+
+TEST_F(FaultInjectionTest, FailNthInvocationRetriesAndSucceeds) {
+  auto baseline = Run(ExecutorOptions{});
+  ASSERT_TRUE(baseline.ok());
+
+  // "Fail the 3rd platform-0 operator invocation": the first attempt of
+  // invocation 3 fails, its retry succeeds, the query completes.
+  ExecutorOptions options;
+  options.fault_plan.profiles.push_back(
+      FaultProfile{/*platform=*/0, kAnyOpKind, /*failure_rate=*/0.0,
+                   /*fail_on_invocation=*/3, /*permanent=*/false,
+                   /*slowdown=*/1.0});
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->faults.faults_injected, 1);
+  EXPECT_EQ(result->faults.retries, 1);
+  EXPECT_EQ(result->faults.attempts,
+            static_cast<int>(plan_.num_operators()) + 1);
+  EXPECT_GT(result->faults.backoff_s, 0.0);
+  EXPECT_GT(result->faults.retry_s, 0.0);
+  // The overhead is itemized exactly: total = fault-free total + retry work
+  // + backoff (no slowdown rule is configured).
+  EXPECT_DOUBLE_EQ(result->cost.total_s,
+                   baseline->cost.total_s + result->faults.retry_s +
+                       result->faults.backoff_s);
+  // The computed answer is unaffected by the retry.
+  EXPECT_EQ(result->output.rows.size(), baseline->output.rows.size());
+}
+
+TEST_F(FaultInjectionTest, PermanentFaultFailsWithStructuredReport) {
+  FailureRecorder recorder;
+  ExecutorOptions options;
+  options.observer = &recorder;
+  options.fault_plan.profiles.push_back(
+      FaultProfile{/*platform=*/0, kAnyOpKind, /*failure_rate=*/1.0,
+                   /*fail_on_invocation=*/0, /*permanent=*/true,
+                   /*slowdown=*/1.0});
+  FailureReport report;
+  auto result = Run(options, &report);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(report.failed);
+  EXPECT_TRUE(report.permanent);
+  EXPECT_FALSE(report.breaker_open);
+  EXPECT_EQ(report.platform, 0);
+  EXPECT_NE(report.op, kInvalidOperatorId);
+  EXPECT_EQ(report.attempts, 1);  // Permanent faults are not retried.
+  EXPECT_FALSE(report.message.empty());
+  // The failure reached the observer hook, and OnExecution did not fire.
+  ASSERT_EQ(recorder.reports().size(), 1u);
+  EXPECT_TRUE(recorder.reports()[0].permanent);
+  EXPECT_EQ(recorder.successes(), 0);
+}
+
+TEST_F(FaultInjectionTest, TransientFaultExhaustsRetries) {
+  ExecutorOptions options;
+  options.retry.max_attempts = 3;
+  options.fault_plan.profiles.push_back(
+      FaultProfile{/*platform=*/0, kAnyOpKind, /*failure_rate=*/1.0,
+                   /*fail_on_invocation=*/0, /*permanent=*/false,
+                   /*slowdown=*/1.0});
+  FailureReport report;
+  auto result = Run(options, &report);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(report.failed);
+  EXPECT_FALSE(report.permanent);
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_GT(report.backoff_s, 0.0);  // Two backoffs were charged.
+}
+
+TEST_F(FaultInjectionTest, SlowdownAccountingIsExact) {
+  auto baseline = Run(ExecutorOptions{});
+  ASSERT_TRUE(baseline.ok());
+  double baseline_op_s = 0.0;
+  for (double s : baseline->cost.op_seconds) baseline_op_s += s;
+
+  // 2x slowdown on every platform-0 operator: each operator's virtual cost
+  // doubles, everything else is untouched.
+  ExecutorOptions options;
+  options.fault_plan.profiles.push_back(
+      FaultProfile{/*platform=*/0, kAnyOpKind, /*failure_rate=*/0.0,
+                   /*fail_on_invocation=*/0, /*permanent=*/false,
+                   /*slowdown=*/2.0});
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->faults.slowdown_s, baseline_op_s);
+  EXPECT_DOUBLE_EQ(result->cost.total_s,
+                   baseline->cost.total_s + baseline_op_s);
+  for (size_t i = 0; i < baseline->cost.op_seconds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result->cost.op_seconds[i],
+                     2.0 * baseline->cost.op_seconds[i]);
+  }
+}
+
+TEST_F(FaultInjectionTest, SameSeedIsByteIdenticalAcrossRuns) {
+  ExecutorOptions options;
+  options.fault_plan.seed = 0xdecafULL;
+  options.fault_plan.profiles.push_back(
+      FaultProfile{/*platform=*/0, kAnyOpKind, /*failure_rate=*/0.3,
+                   /*fail_on_invocation=*/0, /*permanent=*/false,
+                   /*slowdown=*/1.0});
+  FailureReport report_a;
+  FailureReport report_b;
+  auto a = Run(options, &report_a);
+  auto b = Run(options, &report_b);
+  ASSERT_EQ(a.ok(), b.ok());
+  if (a.ok()) {
+    EXPECT_EQ(a->faults.attempts, b->faults.attempts);
+    EXPECT_EQ(a->faults.retries, b->faults.retries);
+    EXPECT_EQ(a->faults.faults_injected, b->faults.faults_injected);
+    // Bit-identical virtual time, not merely approximately equal.
+    EXPECT_EQ(std::memcmp(&a->cost.total_s, &b->cost.total_s,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(a->cost.op_seconds, b->cost.op_seconds);
+    EXPECT_EQ(std::memcmp(&a->faults.backoff_s, &b->faults.backoff_s,
+                          sizeof(double)),
+              0);
+  } else {
+    EXPECT_EQ(report_a.platform, report_b.platform);
+    EXPECT_EQ(report_a.op, report_b.op);
+    EXPECT_EQ(report_a.attempts, report_b.attempts);
+    EXPECT_EQ(report_a.message, report_b.message);
+  }
+}
+
+TEST_F(FaultInjectionTest, ConcurrentExecutionsAreByteIdentical) {
+  // Raced under TSan: one executor + one breaker registry shared by every
+  // thread. Each Execute() owns its fault-injector state, so every thread
+  // must reproduce the serial reference byte-for-byte regardless of
+  // interleaving.
+  ExecutorOptions options;
+  options.fault_plan.seed = 77;
+  options.fault_plan.profiles.push_back(
+      FaultProfile{/*platform=*/0, kAnyOpKind, /*failure_rate=*/0.25,
+                   /*fail_on_invocation=*/0, /*permanent=*/false,
+                   /*slowdown=*/1.5});
+  PlatformHealth health(BreakerOptions{/*failure_threshold=*/1 << 20,
+                                       /*cooldown_s=*/1e9});
+  options.health = &health;
+  Executor executor(&registry_, &cost_, nullptr, options);
+  const ExecutionPlan exec = AllOn(plan_, registry_, 0);
+
+  auto reference = executor.Execute(exec, catalog_);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  for (unsigned num_threads : {1u, 4u, hw}) {
+    std::vector<StatusOr<ExecResult>> results;
+    results.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+      results.push_back(Status::Internal("not run"));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        results[t] = executor.Execute(exec, catalog_);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (unsigned t = 0; t < num_threads; ++t) {
+      ASSERT_TRUE(results[t].ok());
+      EXPECT_EQ(results[t]->faults.attempts, reference->faults.attempts);
+      EXPECT_EQ(results[t]->faults.retries, reference->faults.retries);
+      EXPECT_EQ(results[t]->faults.faults_injected,
+                reference->faults.faults_injected);
+      EXPECT_EQ(std::memcmp(&results[t]->cost.total_s,
+                            &reference->cost.total_s, sizeof(double)),
+                0);
+      EXPECT_EQ(results[t]->cost.op_seconds, reference->cost.op_seconds);
+      EXPECT_EQ(results[t]->observed.output, reference->observed.output);
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, OpenBreakerFailsFastWithReport) {
+  FailureRecorder recorder;
+  PlatformHealth health(BreakerOptions{/*failure_threshold=*/1,
+                                       /*cooldown_s=*/1e9});
+  health.RecordFailure(0);  // Trip platform 0.
+  ASSERT_EQ(health.state(0), BreakerState::kOpen);
+
+  ExecutorOptions options;
+  options.observer = &recorder;
+  options.health = &health;
+  FailureReport report;
+  auto result = Run(options, &report);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(report.failed);
+  EXPECT_TRUE(report.breaker_open);
+  EXPECT_EQ(report.platform, 0);
+  EXPECT_FALSE(report.message.empty());
+  ASSERT_EQ(recorder.reports().size(), 1u);
+  EXPECT_TRUE(recorder.reports()[0].breaker_open);
+  EXPECT_GE(health.snapshot(0).rejected, 1u);
+}
+
+TEST_F(FaultInjectionTest, OomFeedsBreakerButNotTheClock) {
+  PlatformHealth health(BreakerOptions{/*failure_threshold=*/2,
+                                       /*cooldown_s=*/10.0});
+  ExecutorOptions options;
+  options.health = &health;
+  Executor executor(&registry_, &cost_, nullptr, options);
+
+  LogicalPlan oom_plan = MakeWordCountPlan(1000.0);  // 1 TB on Java.
+  DataCatalog catalog;
+  catalog.Bind(oom_plan.SourceIds()[0],
+               GenerateTextLines(1000.0 * 1e9 / 80, 500, 5));
+  auto result = executor.Execute(AllOn(oom_plan, registry_, 0), catalog);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->cost.oom);
+  // The OOM counted as a platform failure...
+  EXPECT_EQ(health.snapshot(0).consecutive_failures, 1);
+  // ...but its +inf virtual runtime did not advance the breaker clock.
+  EXPECT_DOUBLE_EQ(health.now_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,156 @@
+#include "exec/platform_health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace robopt {
+namespace {
+
+BreakerOptions Opts(int threshold, double cooldown_s) {
+  BreakerOptions options;
+  options.failure_threshold = threshold;
+  options.cooldown_s = cooldown_s;
+  return options;
+}
+
+TEST(PlatformHealthTest, ClosedBreakerAllowsAndCountsFailures) {
+  PlatformHealth health(Opts(3, 10.0));
+  EXPECT_TRUE(health.AllowRequest(0));
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  health.RecordFailure(0);
+  health.RecordFailure(0);
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.snapshot(0).consecutive_failures, 2);
+  EXPECT_TRUE(health.AllowRequest(0));
+}
+
+TEST(PlatformHealthTest, TripsAtConsecutiveFailureThreshold) {
+  PlatformHealth health(Opts(3, 10.0));
+  health.RecordFailure(1);
+  health.RecordFailure(1);
+  health.RecordFailure(1);
+  EXPECT_EQ(health.state(1), BreakerState::kOpen);
+  EXPECT_EQ(health.snapshot(1).trips, 1u);
+  EXPECT_FALSE(health.AllowRequest(1));
+  EXPECT_EQ(health.snapshot(1).rejected, 1u);
+  // Other platforms are unaffected.
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_TRUE(health.AllowRequest(0));
+  EXPECT_EQ(health.OpenMask(), 1ull << 1);
+}
+
+TEST(PlatformHealthTest, SuccessResetsConsecutiveCount) {
+  PlatformHealth health(Opts(3, 10.0));
+  health.RecordFailure(0);
+  health.RecordFailure(0);
+  health.RecordSuccess(0);  // Non-consecutive: the streak restarts.
+  health.RecordFailure(0);
+  health.RecordFailure(0);
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  health.RecordFailure(0);
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+}
+
+TEST(PlatformHealthTest, CooldownElapsesOnVirtualClockOnly) {
+  PlatformHealth health(Opts(1, 30.0));
+  health.RecordFailure(0);
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  // No wall time involved: without AdvanceClock the breaker stays open.
+  EXPECT_FALSE(health.AllowRequest(0));
+  health.AdvanceClock(29.9);
+  EXPECT_FALSE(health.AllowRequest(0));
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  health.AdvanceClock(0.1);
+  // Cooldown elapsed: the next request is admitted as the half-open probe.
+  EXPECT_EQ(health.state(0), BreakerState::kHalfOpen);
+  EXPECT_TRUE(health.AllowRequest(0));
+  EXPECT_EQ(health.OpenMask(), 0u);  // Half-open is routable, not masked.
+}
+
+TEST(PlatformHealthTest, HalfOpenProbeSuccessRecovers) {
+  PlatformHealth health(Opts(1, 5.0));
+  health.RecordFailure(0);
+  health.AdvanceClock(5.0);
+  ASSERT_TRUE(health.AllowRequest(0));
+  health.RecordSuccess(0);
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.snapshot(0).recoveries, 1u);
+  EXPECT_EQ(health.total_recoveries(), 1u);
+  // Fully healthy again: the failure streak starts from zero.
+  EXPECT_EQ(health.snapshot(0).consecutive_failures, 0);
+}
+
+TEST(PlatformHealthTest, HalfOpenProbeFailureReopensWithFreshCooldown) {
+  PlatformHealth health(Opts(1, 5.0));
+  health.RecordFailure(0);
+  health.AdvanceClock(5.0);
+  ASSERT_EQ(health.state(0), BreakerState::kHalfOpen);
+  health.RecordFailure(0);  // The probe failed.
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  EXPECT_EQ(health.snapshot(0).trips, 2u);
+  // The cooldown restarted at the re-trip, not at the original trip.
+  health.AdvanceClock(4.9);
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  health.AdvanceClock(0.1);
+  EXPECT_EQ(health.state(0), BreakerState::kHalfOpen);
+}
+
+TEST(PlatformHealthTest, NonFiniteClockAdvancesAreIgnored) {
+  PlatformHealth health(Opts(1, 10.0));
+  health.RecordFailure(0);
+  // An OOM reports +inf virtual seconds; it must not fast-forward the
+  // cooldown (nor may NaN or negative deltas corrupt the clock).
+  health.AdvanceClock(std::numeric_limits<double>::infinity());
+  health.AdvanceClock(std::nan(""));
+  health.AdvanceClock(-100.0);
+  EXPECT_DOUBLE_EQ(health.now_s(), 0.0);
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+}
+
+TEST(PlatformHealthTest, TotalsAggregateAcrossPlatforms) {
+  PlatformHealth health(Opts(1, 1.0));
+  health.RecordFailure(0);
+  health.RecordFailure(2);
+  EXPECT_EQ(health.total_trips(), 2u);
+  EXPECT_EQ(health.OpenMask(), (1ull << 0) | (1ull << 2));
+  // The shared clock advances every breaker's cooldown: both platforms go
+  // half-open (routable, so no longer masked), and only platform 0's probe
+  // succeeds.
+  health.AdvanceClock(1.0);
+  EXPECT_EQ(health.OpenMask(), 0u);
+  ASSERT_TRUE(health.AllowRequest(0));
+  health.RecordSuccess(0);
+  EXPECT_EQ(health.total_recoveries(), 1u);
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.state(2), BreakerState::kHalfOpen);
+}
+
+TEST(PlatformHealthTest, ConcurrentRecordersConvergeToOpen) {
+  // Raced under TSan: many threads hammer one breaker; the registry must
+  // stay consistent and end up open with every failure accounted.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  PlatformHealth health(Opts(5, 1000.0));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&health] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (void)health.AllowRequest(0);
+        health.RecordFailure(0);
+        health.AdvanceClock(0.001);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  EXPECT_GE(health.snapshot(0).trips, 1u);
+  EXPECT_EQ(health.snapshot(0).consecutive_failures, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace robopt

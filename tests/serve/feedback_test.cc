@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 
 namespace robopt {
@@ -31,22 +33,86 @@ TEST(FeedbackCollectorTest, DrainsInArrivalOrder) {
   EXPECT_TRUE(collector.Drain().empty());
 }
 
-TEST(FeedbackCollectorTest, DropsWhenFullWithoutBlocking) {
+TEST(FeedbackCollectorTest, EvictsOldestWhenFullWithoutBlocking) {
   FeedbackCollector collector(2);
   EXPECT_TRUE(collector.Offer(Event(1.0)));
   EXPECT_TRUE(collector.Offer(Event(2.0)));
   // The producer side must never block or grow the queue: execution
-  // feedback is lossy by design.
-  EXPECT_FALSE(collector.Offer(Event(3.0)));
+  // feedback is lossy by design. Ring semantics — the *oldest* event is
+  // evicted, the newest observation is always kept.
+  EXPECT_TRUE(collector.Offer(Event(3.0)));
   EXPECT_EQ(collector.size(), 2u);
-  const FeedbackStats stats = collector.stats();
-  EXPECT_EQ(stats.offered, 3u);
-  EXPECT_EQ(stats.accepted, 2u);
-  EXPECT_EQ(stats.dropped, 1u);
-  // Draining frees capacity again.
-  EXPECT_EQ(collector.Drain().size(), 2u);
+  {
+    const FeedbackStats stats = collector.stats();
+    EXPECT_EQ(stats.offered, 3u);
+    EXPECT_EQ(stats.accepted, 3u);
+    EXPECT_EQ(stats.dropped, 1u);
+  }
+  const auto events = collector.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].actual_s, 2.0);
+  EXPECT_DOUBLE_EQ(events[1].actual_s, 3.0);
+  // Draining frees capacity again; no further evictions.
   EXPECT_TRUE(collector.Offer(Event(4.0)));
-  EXPECT_EQ(collector.stats().drained, 2u);
+  const FeedbackStats stats = collector.stats();
+  EXPECT_EQ(stats.drained, 2u);
+  EXPECT_EQ(stats.dropped, 1u);
+}
+
+TEST(FeedbackCollectorTest, EvictionCounterIsAccurateInBothOrders) {
+  // Fill-then-overflow and alternate-offer-drain must both account every
+  // event as exactly accepted or dropped or still queued.
+  FeedbackCollector collector(3);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(collector.Offer(Event(i)));
+  FeedbackStats stats = collector.stats();
+  EXPECT_EQ(stats.offered, 10u);
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.dropped, 7u);
+  auto events = collector.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  // The survivors are exactly the newest three, in arrival order.
+  EXPECT_DOUBLE_EQ(events[0].actual_s, 7.0);
+  EXPECT_DOUBLE_EQ(events[1].actual_s, 8.0);
+  EXPECT_DOUBLE_EQ(events[2].actual_s, 9.0);
+
+  // Interleaved order: drain between offers, so nothing ever overflows.
+  FeedbackCollector interleaved(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(interleaved.Offer(Event(i)));
+    EXPECT_EQ(interleaved.Drain().size(), 1u);
+  }
+  stats = interleaved.stats();
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.drained, 10u);
+}
+
+TEST(FeedbackCollectorTest, RejectsNonFiniteRuntimes) {
+  FeedbackCollector collector(4);
+  // An OOM reports +inf virtual seconds; NaN would be a measurement bug.
+  // Neither may reach training, and neither evicts a queued event.
+  EXPECT_TRUE(collector.Offer(Event(1.0)));
+  EXPECT_FALSE(collector.Offer(Event(std::numeric_limits<double>::infinity())));
+  EXPECT_FALSE(
+      collector.Offer(Event(-std::numeric_limits<double>::infinity())));
+  EXPECT_FALSE(collector.Offer(Event(std::nan(""))));
+  EXPECT_EQ(collector.size(), 1u);
+  const FeedbackStats stats = collector.stats();
+  EXPECT_EQ(stats.offered, 4u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.rejected_nonfinite, 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+  const auto events = collector.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].actual_s, 1.0);
+}
+
+TEST(FeedbackCollectorTest, RecordFailureCounts) {
+  FeedbackCollector collector(2);
+  collector.RecordFailure();
+  collector.RecordFailure();
+  EXPECT_EQ(collector.stats().failures, 2u);
+  EXPECT_EQ(collector.size(), 0u);  // Failures enqueue nothing.
 }
 
 TEST(FeedbackCollectorTest, ConcurrentProducersLoseNothingBelowCapacity) {

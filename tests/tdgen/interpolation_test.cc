@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
 
 namespace robopt {
 namespace {
@@ -98,6 +101,43 @@ TEST(InterpolationTest, DegreeThreeWindows) {
   const PiecewisePolynomial poly = PiecewisePolynomial::Fit(x, y, 3);
   EXPECT_EQ(poly.num_pieces(), 2u);
   EXPECT_NEAR(poly.Eval(1.5), 1.5 * 1.5 * 1.5, 1e-6);
+}
+
+TEST(InterpolationTest, BinarySearchEvalIsBitIdenticalToScan) {
+  // Eval switched from an O(pieces) linear scan to std::upper_bound on the
+  // piece lower bounds. Both must select the same piece for every input —
+  // the results must match bit-for-bit, not approximately.
+  Rng rng(0x1e57);
+  std::vector<double> x;
+  std::vector<double> y;
+  double xi = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    xi += 0.01 + rng.NextDouble();  // Strictly increasing, irregular gaps.
+    x.push_back(xi);
+    y.push_back(std::sin(xi) * 100.0 + rng.NextGaussian());
+  }
+  const double x_max = xi;
+  for (int degree : {1, 2, 3, 5}) {
+    const PiecewisePolynomial poly = PiecewisePolynomial::Fit(x, y, degree);
+    ASSERT_GT(poly.num_pieces(), 10u);
+    // Probes: every node, every piece boundary neighborhood, random
+    // interior points, and extrapolation beyond both ends.
+    std::vector<double> probes = {-1e9, -1.0, 0.0, x_max + 1.0, 1e9};
+    for (double node : x) {
+      probes.push_back(node);
+      probes.push_back(std::nextafter(node, -1e300));
+      probes.push_back(std::nextafter(node, 1e300));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      probes.push_back(rng.NextDouble() * (x_max + 2.0) - 1.0);
+    }
+    for (double probe : probes) {
+      const double fast = poly.Eval(probe);
+      const double reference = poly.EvalScanReference(probe);
+      EXPECT_EQ(std::memcmp(&fast, &reference, sizeof(double)), 0)
+          << "probe=" << probe << " fast=" << fast << " ref=" << reference;
+    }
+  }
 }
 
 }  // namespace
