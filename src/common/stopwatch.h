@@ -6,15 +6,33 @@
 namespace robopt {
 
 /// Wall-clock stopwatch used to time the optimizers themselves (the
-/// enumeration latency experiments). Query *execution* time, in contrast, is
-/// virtual time produced by the executor's performance model.
+/// enumeration latency experiments) and the observability layer's span
+/// timestamps. Query *execution* time, in contrast, is virtual time
+/// produced by the executor's performance model.
+///
+/// Every reading comes from std::chrono::steady_clock — monotonic by
+/// definition, so elapsed values can never go negative even if the system
+/// (wall) clock steps backwards under NTP correction mid-measurement.
+/// Nothing in this repo may time intervals with system_clock or
+/// high_resolution_clock (the latter is system_clock on some standard
+/// libraries); see tests/common_test stopwatch coverage.
 class Stopwatch {
  public:
+  /// The monotonic clock all intervals are measured on. Public so callers
+  /// that need raw time points (e.g. the tracer's epoch) provably share the
+  /// stopwatch's monotonicity guarantee.
+  using Clock = std::chrono::steady_clock;
+
   Stopwatch() : start_(Clock::now()) {}
 
   void Restart() { start_ = Clock::now(); }
 
-  /// Elapsed time in milliseconds since construction or last Restart().
+  /// Elapsed time in seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
   double ElapsedMillis() const {
     return std::chrono::duration<double, std::milli>(Clock::now() - start_)
         .count();
@@ -27,7 +45,6 @@ class Stopwatch {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

@@ -4,13 +4,68 @@
 #include <memory>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace robopt {
+
+namespace {
+
+/// Publishes one finished call's counters into the registry. Counter
+/// creation is name-keyed (mutex-guarded, first call only); the updates
+/// are sharded relaxed atomic adds. Null metric (type clash) is skipped —
+/// observability must never take down the query path.
+void PublishOptimizeMetrics(MetricsRegistry* metrics,
+                            const OptimizeResult& result) {
+  // Every series is created on the first instrumented call — zero values
+  // included — so a scrape can tell "ran, saw none" from "never ran". The
+  // cache counters are the one exception: they exist only when a cache was
+  // actually in play for some call.
+  auto add = [metrics](const char* name, size_t n) {
+    if (Counter* counter = metrics->GetCounter(name)) counter->Add(n);
+  };
+  add("robopt_optimize_calls_total", 1);
+  add("robopt_optimize_vectors_created_total", result.stats.vectors_created);
+  add("robopt_optimize_vectors_pruned_total", result.stats.vectors_pruned);
+  add("robopt_optimize_oracle_rows_total", result.stats.oracle_rows);
+  add("robopt_optimize_oracle_batches_total", result.stats.oracle_batches);
+  if (result.oracle_cache.rows > 0) {
+    add("robopt_oracle_cache_hits_total", result.oracle_cache.hits);
+    add("robopt_oracle_cache_dups_total", result.oracle_cache.batch_dups);
+    add("robopt_oracle_cache_unique_total", result.oracle_cache.unique_rows);
+  }
+  if (Histogram* latency = metrics->GetHistogram(
+          "robopt_optimize_latency_us", Histogram::LatencyBucketsUs())) {
+    latency->Observe(result.latency_ms * 1000.0);
+  }
+}
+
+}  // namespace
 
 StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     const LogicalPlan& plan, const Cardinalities* cards,
     const OptimizeOptions& options) const {
   Stopwatch stopwatch;
+
+  // Observability for this call: a root "optimize" span (children are the
+  // enumerator's phases), an optional profile accumulator, and end-of-call
+  // counters. Everything below is skipped when options.obs is unset, and
+  // results are bit-identical either way.
+  const bool obs_on = ROBOPT_OBS_ON(options.obs);
+  Tracer* const tracer = obs_on ? options.obs.tracer : nullptr;
+  uint64_t trace_id = 0;
+  if (tracer != nullptr) {
+    trace_id = options.obs.trace_id != 0 ? options.obs.trace_id
+                                         : tracer->NewTrace();
+  }
+  SpanScope root_span(tracer, trace_id, options.obs.parent_span, "optimize");
+  OptimizeProfile profile;
+  OptimizeProfile* const prof =
+      obs_on && options.obs.profile ? &profile : nullptr;
+  if (prof != nullptr) {
+    profile.enabled = true;
+    profile.trace_id = trace_id;
+  }
 
   // Pin the model for the whole call: with a provider, every prune and the
   // final getOptimal below share one version even if a newer model is
@@ -38,6 +93,45 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     oracle = cache.get();
   }
 
+  // Common tail of both search modes: stamp version/cache/latency, fill the
+  // profile, close the root span and publish the call's metrics.
+  auto finalize = [&](OptimizeResult& result) {
+    if (cache != nullptr) result.oracle_cache = cache->stats();
+    result.model_version = pinned.version;
+    result.latency_ms = stopwatch.ElapsedMillis();
+    if (prof != nullptr) {
+      profile.plans_enumerated = result.stats.vectors_created;
+      profile.oracle_rows = result.stats.oracle_rows;
+      profile.oracle_batches = result.stats.oracle_batches;
+      profile.oracle_cache_hits = result.oracle_cache.hits;
+      profile.oracle_cache_dups = result.oracle_cache.batch_dups;
+      profile.forest_rows_scored = cache != nullptr
+                                       ? result.oracle_cache.unique_rows
+                                       : result.stats.oracle_rows;
+      profile.phase.total_us = result.latency_ms * 1000.0;
+      result.profile = profile;
+    }
+    if (tracer != nullptr) {
+      root_span.SetArgA("oracle_rows",
+                        static_cast<int64_t>(result.stats.oracle_rows));
+      root_span.SetArgB("vectors",
+                        static_cast<int64_t>(result.stats.vectors_created));
+      root_span.End();
+    }
+    if (obs_on && options.obs.metrics != nullptr) {
+      PublishOptimizeMetrics(options.obs.metrics, result);
+    }
+  };
+
+  EnumeratorOptions enum_options;
+  enum_options.priority = options.priority;
+  enum_options.prune = options.prune;
+  enum_options.num_threads = options.num_threads;
+  enum_options.obs.tracer = tracer;
+  enum_options.obs.trace_id = trace_id;
+  enum_options.obs.parent_span = root_span.id();
+  enum_options.profile = prof;
+
   // Effective platform set: the caller's allowance minus the exclusions the
   // fault-recovery path injected (dead platforms' breakers).
   const uint64_t allowed_mask =
@@ -56,10 +150,6 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
       auto ctx = EnumerationContext::Make(&plan, registry_, schema_, cards,
                                           mask);
       if (!ctx.ok()) continue;  // Platform cannot run some operator.
-      EnumeratorOptions enum_options;
-      enum_options.priority = options.priority;
-      enum_options.prune = options.prune;
-      enum_options.num_threads = options.num_threads;
       PriorityEnumerator enumerator(&ctx.value(), oracle, enum_options);
       auto run = enumerator.Run();
       if (!run.ok()) return run.status();
@@ -76,19 +166,13 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
       return Status::InvalidArgument(
           "no single platform can execute the whole plan");
     }
-    if (cache != nullptr) best.oracle_cache = cache->stats();
-    best.model_version = pinned.version;
-    best.latency_ms = stopwatch.ElapsedMillis();
+    finalize(best);
     return best;
   }
 
   auto ctx = EnumerationContext::Make(&plan, registry_, schema_, cards,
                                       allowed_mask);
   if (!ctx.ok()) return ctx.status();
-  EnumeratorOptions enum_options;
-  enum_options.priority = options.priority;
-  enum_options.prune = options.prune;
-  enum_options.num_threads = options.num_threads;
   PriorityEnumerator enumerator(&ctx.value(), oracle, enum_options);
   auto run = enumerator.Run();
   if (!run.ok()) return run.status();
@@ -97,9 +181,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   result.plan = std::move(run->plan);
   result.predicted_runtime_s = run->predicted_runtime_s;
   result.stats = run->stats;
-  if (cache != nullptr) result.oracle_cache = cache->stats();
-  result.model_version = pinned.version;
-  result.latency_ms = stopwatch.ElapsedMillis();
+  finalize(result);
   return result;
 }
 

@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "core/priority_enumeration.h"
+#include "obs/profile.h"
 
 namespace robopt {
 
@@ -36,6 +37,12 @@ struct OptimizeOptions {
   /// memoize across Optimize calls instead, construct a long-lived
   /// CachingCostOracle and pass it as the optimizer's oracle.
   size_t oracle_cache_bytes = 0;
+  /// Observability sinks for this call: hot-path metrics, a span tree in
+  /// the tracer, and/or a filled OptimizeResult::profile. All off by
+  /// default; the chosen plan, its cost and every stat are bit-identical
+  /// with observability on or off. Deliberately not part of the plan-cache
+  /// key (PlanCache::HashOptions) for the same reason num_threads is not.
+  ObsOptions obs;
 };
 
 /// Result of one optimization call.
@@ -56,6 +63,10 @@ struct OptimizeResult {
   /// call — every prune and the final getOptimal — used this one version,
   /// even if a newer model was published mid-call.
   uint64_t model_version = 0;
+  /// Per-call profile (phase timeline, pruning split, oracle-cache ratios,
+  /// rows scored). Filled when options.obs.profile is set; all-zero with
+  /// profile.enabled == false otherwise.
+  OptimizeProfile profile;
 
   OptimizeResult() : plan(nullptr, nullptr) {}
 };

@@ -4,7 +4,9 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace robopt {
 
@@ -63,6 +65,18 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
   const int n = plan.num_operators();
   EnumerationResult result;
 
+  // Observability: all instrumentation below is gated on `timed`, so with
+  // obs disabled the run takes the exact pre-instrumentation code path
+  // (bit-identical results either way — spans and micros never feed back
+  // into the search).
+  Tracer* const tracer = ROBOPT_OBS_ON(options_.obs) ? options_.obs.tracer
+                                                     : nullptr;
+  OptimizeProfile* const prof = options_.profile;
+  const bool timed = tracer != nullptr || prof != nullptr;
+  const uint64_t trace = options_.obs.trace_id;
+  const uint64_t parent = options_.obs.parent_span;
+  Stopwatch phase_clock;
+
   // Longest-path distances for the top-down/bottom-up priorities.
   dist_to_sink_.assign(n, 0);
   dist_to_source_.assign(n, 0);
@@ -89,6 +103,8 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
   }
 
   // Lines 2-5: vectorize, split into singletons, enumerate each, enqueue.
+  if (timed) phase_clock.Restart();
+  SpanScope vectorize_span(tracer, trace, parent, "vectorize");
   const AbstractPlanVector abstract = Vectorize(*ctx_);
   const std::vector<AbstractPlanVector> singles = Split(*ctx_, abstract);
   enums_.reserve(singles.size());
@@ -96,6 +112,14 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
     enums_.push_back(Enumerate(*ctx_, single));
     result.stats.vectors_created += enums_.back().size();
   }
+  if (timed) {
+    vectorize_span.SetArgA("singletons",
+                           static_cast<int64_t>(enums_.size()));
+    vectorize_span.SetArgB("vectors",
+                           static_cast<int64_t>(result.stats.vectors_created));
+    if (prof != nullptr) prof->phase.vectorize_us += phase_clock.ElapsedMicros();
+  }
+  vectorize_span.End();
   alive_.assign(enums_.size(), 1);
   seq_.assign(enums_.size(), 0);
   owner_.assign(n, 0);
@@ -109,9 +133,12 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
   const size_t oracle_rows_before = oracle_->rows_estimated();
   const size_t oracle_batches_before = oracle_->batches();
 
-  auto prune = [&](PlanVectorEnumeration&& merged) -> PlanVectorEnumeration {
+  auto prune = [&](PlanVectorEnumeration&& merged,
+                   uint64_t span_parent) -> PlanVectorEnumeration {
     PruneStats prune_stats;
     PlanVectorEnumeration pruned(0, 0);
+    if (timed) phase_clock.Restart();
+    SpanScope prune_span(tracer, trace, span_parent, "prune");
     switch (options_.prune) {
       case PruneMode::kNone:
         return std::move(merged);
@@ -123,6 +150,22 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
         pruned = PruneSwitchCap(*ctx_, merged, options_.beta, &prune_stats);
         break;
     }
+    if (timed) {
+      prune_span.SetArgA("rows_in", static_cast<int64_t>(prune_stats.rows_in));
+      prune_span.SetArgB("rows_out",
+                         static_cast<int64_t>(prune_stats.rows_out));
+      if (prof != nullptr) {
+        prof->phase.prune_us += phase_clock.ElapsedMicros();
+        if (options_.prune == PruneMode::kBoundary) {
+          prof->boundary_prune_rows_in += prune_stats.rows_in;
+          prof->boundary_prune_rows_out += prune_stats.rows_out;
+        } else {
+          prof->switch_prune_rows_in += prune_stats.rows_in;
+          prof->switch_prune_rows_out += prune_stats.rows_out;
+        }
+      }
+    }
+    prune_span.End();
     result.stats.vectors_pruned += prune_stats.rows_in - prune_stats.rows_out;
     const size_t cap = options_.max_rows_per_enumeration;
     if (cap > 0 && pruned.size() > cap) {
@@ -141,6 +184,7 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
   };
 
   size_t alive_count = enums_.size();
+  SpanScope enumerate_span(tracer, trace, parent, "enumerate");
   while (alive_count > 1) {
     // Dequeue: highest priority among enumerations that have children; ties
     // broken by smaller boundary (fewer new boundary operators), then queue
@@ -196,15 +240,24 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
     // Lines 8-14: concatenate with each child, pruning after each step.
     for (size_t child : best_children) {
       if (!alive_[child] || child == best) continue;
+      if (timed) phase_clock.Restart();
+      SpanScope concat_span(tracer, trace, enumerate_span.id(), "concat");
       PlanVectorEnumeration merged =
           Concat(*ctx_, enums_[best], enums_[child], num_threads_);
       result.stats.vectors_created += merged.size();
       ++result.stats.concat_steps;
+      if (timed) {
+        concat_span.SetArgA("rows", static_cast<int64_t>(merged.size()));
+        if (prof != nullptr) {
+          prof->phase.concat_us += phase_clock.ElapsedMicros();
+        }
+      }
+      concat_span.End();
       if (result.stats.vectors_created > options_.max_vectors) {
         return Status::ResourceExhausted(
             "enumeration exceeded max_vectors; use pruning");
       }
-      enums_[best] = prune(std::move(merged));
+      enums_[best] = prune(std::move(merged), enumerate_span.id());
       alive_[child] = 0;
       --alive_count;
       for (int op = 0; op < n; ++op) {
@@ -214,6 +267,8 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
     }
     seq_[best] = ++seq_counter;
   }
+
+  enumerate_span.End();
 
   // Line 18: pick the cheapest full plan vector and unvectorize it.
   size_t final_index = SIZE_MAX;
@@ -225,10 +280,23 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
   if (final_enum.size() == 0) {
     return Status::Internal("enumeration produced no plans");
   }
+  if (timed) phase_clock.Restart();
+  SpanScope predict_span(tracer, trace, parent, "predict-batch");
   float best_cost = 0.0f;
   const size_t best_row =
       ArgMinCost(*ctx_, final_enum, *oracle_, &best_cost, num_threads_);
+  if (timed) {
+    predict_span.SetArgA("rows", static_cast<int64_t>(final_enum.size()));
+    if (prof != nullptr) prof->phase.predict_us += phase_clock.ElapsedMicros();
+  }
+  predict_span.End();
+  if (timed) phase_clock.Restart();
+  SpanScope unvectorize_span(tracer, trace, parent, "unvectorize");
   result.plan = Unvectorize(*ctx_, final_enum, best_row);
+  if (timed && prof != nullptr) {
+    prof->phase.unvectorize_us += phase_clock.ElapsedMicros();
+  }
+  unvectorize_span.End();
   result.predicted_runtime_s = best_cost;
   result.stats.final_vectors = final_enum.size();
   result.stats.oracle_rows = oracle_->rows_estimated() - oracle_rows_before;

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "core/operations.h"
+#include "obs/profile.h"
 
 namespace robopt {
 
@@ -42,6 +43,13 @@ struct EnumeratorOptions {
   /// code path. Results are bit-identical for every value (see DESIGN.md,
   /// "Threading model & determinism").
   int num_threads = 0;
+  /// Observability sinks (tracer spans per phase; see DESIGN.md,
+  /// "Observability"). The enumeration result is bit-identical whether
+  /// these are set or not.
+  ObsOptions obs;
+  /// When non-null, per-phase wall micros and pruning splits accumulate
+  /// here (the optimizer points this at OptimizeResult::profile).
+  OptimizeProfile* profile = nullptr;
 };
 
 struct EnumerationStats {

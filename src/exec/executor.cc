@@ -4,8 +4,41 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace robopt {
+
+namespace {
+
+/// End-of-call executor counters. Shared-executor aggregation happens here:
+/// concurrent Execute() calls on one registry land on sharded relaxed
+/// atomics, never on a shared mutable struct.
+void PublishExecMetrics(MetricsRegistry* metrics, const FaultStats& faults,
+                        size_t num_ops, bool failed, bool breaker_rejected,
+                        bool oom, double wall_us) {
+  // Zero adds still create the series, so scrapes can tell "executed, no
+  // faults" from "nothing executed".
+  auto add = [metrics](const char* name, uint64_t n) {
+    if (Counter* counter = metrics->GetCounter(name)) counter->Add(n);
+  };
+  add("robopt_exec_calls_total", 1);
+  add("robopt_exec_ops_total", num_ops);
+  add("robopt_exec_attempts_total", static_cast<uint64_t>(faults.attempts));
+  add("robopt_exec_retries_total", static_cast<uint64_t>(faults.retries));
+  add("robopt_exec_faults_injected_total",
+      static_cast<uint64_t>(faults.faults_injected));
+  add("robopt_exec_failures_total", failed ? 1 : 0);
+  add("robopt_exec_breaker_rejections_total", breaker_rejected ? 1 : 0);
+  add("robopt_exec_oom_total", oom ? 1 : 0);
+  if (Histogram* latency = metrics->GetHistogram(
+          "robopt_exec_wall_us", Histogram::LatencyBucketsUs())) {
+    latency->Observe(wall_us);
+  }
+}
+
+}  // namespace
 
 Executor::Executor(const PlatformRegistry* registry, const VirtualCost* cost,
                    const KernelRegistry* kernels, ExecutorOptions options)
@@ -76,6 +109,37 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
   result.observed.input.assign(n, 0.0);
   result.observed.output.assign(n, 0.0);
 
+  // Observability for this call: a root "execute" span whose children are
+  // one span per operator (stamped with wall AND virtual clocks, emitted
+  // post-hoc once the virtual cost is known), a per-call profile, and
+  // end-of-call counters. All gated below; the computed output, cost and
+  // stats are bit-identical with observability on or off.
+  const bool obs_on = ROBOPT_OBS_ON(options_.obs);
+  Tracer* const tracer = obs_on ? options_.obs.tracer : nullptr;
+  uint64_t trace_id = 0;
+  if (tracer != nullptr) {
+    trace_id = options_.obs.trace_id != 0 ? options_.obs.trace_id
+                                          : tracer->NewTrace();
+  }
+  SpanScope exec_span(tracer, trace_id, options_.obs.parent_span, "execute");
+  ExecProfile* const prof =
+      obs_on && options_.obs.profile ? &result.profile : nullptr;
+  if (prof != nullptr) {
+    prof->enabled = true;
+    prof->trace_id = trace_id;
+  }
+  const bool timed = tracer != nullptr || prof != nullptr;
+  Stopwatch call_clock;
+  // Per-operator wall accounting (attempts and loop iterations folded in).
+  std::vector<double> op_wall_us;
+  std::vector<double> op_start_us;
+  std::vector<int> op_attempts;
+  if (timed) {
+    op_wall_us.assign(n, 0.0);
+    op_start_us.assign(n, -1.0);
+    op_attempts.assign(n, 0);
+  }
+
   // Fault layer state: per-call injector (its invocation counters make
   // concurrent executions independent and deterministic) and per-operator
   // wasted-attempt counts for retry-cost accounting.
@@ -94,6 +158,16 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
     if (options_.observer != nullptr) {
       options_.observer->OnExecutionFailure(plan, report);
     }
+    if (obs_on && options_.obs.metrics != nullptr) {
+      PublishExecMetrics(options_.obs.metrics, result.faults,
+                         static_cast<size_t>(n), /*failed=*/true,
+                         report.breaker_open, /*oom=*/false,
+                         call_clock.ElapsedMicros());
+    }
+    if (tracer != nullptr) {
+      exec_span.SetArgA("failed", 1);
+      exec_span.SetArgB("breaker_open", report.breaker_open ? 1 : 0);
+    }
     Status status = Status::Unavailable(report.message);
     if (failure != nullptr) *failure = std::move(report);
     return status;
@@ -105,6 +179,10 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
                          int iteration) -> StatusOr<Dataset> {
     const LogicalOpKind kind = logical.op(id).kind;
     const PlatformId platform = plan.PlatformOf(id);
+    if (timed && op_start_us[id] < 0.0) {
+      op_start_us[id] = tracer != nullptr ? tracer->NowMicros() : 0.0;
+    }
+    Stopwatch op_clock;
     if (options_.health != nullptr &&
         !options_.health->AllowRequest(platform)) {
       FailureReport report;
@@ -121,6 +199,7 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
                                     : 1;
     double backoff = options_.retry.initial_backoff_s;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (timed) ++op_attempts[id];
       // Attempt accounting is part of the fault layer: with no FaultPlan
       // the whole FaultStats struct stays zero by contract.
       if (inject) {
@@ -156,7 +235,9 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
         backoff *= options_.retry.backoff_multiplier;
         continue;
       }
+      if (timed) op_clock.Restart();
       auto out = RunOp(plan, id, outputs, catalog, &rng, iteration);
+      if (timed) op_wall_us[id] += op_clock.ElapsedMicros();
       if (out.ok() && options_.health != nullptr) {
         options_.health->RecordSuccess(platform);
       }
@@ -264,6 +345,85 @@ StatusOr<ExecResult> Executor::Execute(const ExecutionPlan& plan,
 
   const std::vector<OperatorId> sinks = logical.SinkIds();
   if (!sinks.empty()) result.output = outputs[sinks.front()];
+
+  // Observability tail. The per-operator spans are emitted here — not
+  // inside run_guarded — because an operator's virtual seconds are only
+  // known once PlanCost has run; each span carries the operator's wall
+  // interval and its interval on the virtual timeline (a running cursor
+  // over op_seconds in topological order, the order operators actually
+  // ran). Conversions get one aggregate virtual-only span at the end.
+  if (timed) {
+    const double call_wall_us = call_clock.ElapsedMicros();
+    double virt_cursor = 0.0;
+    for (OperatorId id : order) {
+      const double virt_s = static_cast<size_t>(id) <
+                                    result.cost.op_seconds.size() &&
+                                    std::isfinite(result.cost.op_seconds[id])
+                                ? result.cost.op_seconds[id]
+                                : 0.0;
+      if (prof != nullptr) {
+        OpProfile op;
+        op.op = id;
+        op.platform = plan.PlatformOf(id);
+        op.attempts = op_attempts[id];
+        op.wall_us = op_wall_us[id];
+        op.virt_s = virt_s;
+        prof->ops.push_back(op);
+      }
+      if (tracer != nullptr) {
+        SpanRecord span;
+        span.trace_id = trace_id;
+        span.span_id = tracer->NewSpanId();
+        span.parent_id = exec_span.id();
+        span.name = ToString(logical.op(id).kind);
+        span.start_us = op_start_us[id] < 0.0 ? 0.0 : op_start_us[id];
+        span.dur_us = op_wall_us[id];
+        span.virt_start_s = virt_cursor;
+        span.virt_dur_s = virt_s;
+        span.tid = TraceThreadId();
+        span.arg_name_a = "attempts";
+        span.arg_a = op_attempts[id];
+        span.arg_name_b = "platform";
+        span.arg_b = plan.PlatformOf(id);
+        tracer->Record(span);
+      }
+      virt_cursor += virt_s;
+    }
+    if (tracer != nullptr && result.cost.conversion_s > 0.0) {
+      SpanRecord span;
+      span.trace_id = trace_id;
+      span.span_id = tracer->NewSpanId();
+      span.parent_id = exec_span.id();
+      span.name = "convert";
+      span.start_us = tracer->NowMicros();
+      span.dur_us = 0.0;  // Conversions carry virtual time only.
+      span.virt_start_s = virt_cursor;
+      span.virt_dur_s = result.cost.conversion_s;
+      span.tid = TraceThreadId();
+      tracer->Record(span);
+    }
+    if (prof != nullptr) {
+      prof->retries = result.faults.retries;
+      prof->faults_injected = result.faults.faults_injected;
+      prof->conversion_virt_s = result.cost.conversion_s;
+      prof->total_wall_us = call_wall_us;
+    }
+    if (tracer != nullptr) {
+      exec_span.SetArgA("ops", n);
+      exec_span.SetArgB("oom", result.cost.oom ? 1 : 0);
+      if (std::isfinite(result.cost.total_s)) {
+        exec_span.SetVirtual(0.0, result.cost.total_s);
+      }
+      exec_span.End();
+    }
+  }
+  if (obs_on && options_.obs.metrics != nullptr) {
+    PublishExecMetrics(options_.obs.metrics, result.faults,
+                       static_cast<size_t>(n), /*failed=*/false,
+                       /*breaker_rejected=*/false, result.cost.oom,
+                       call_clock.ElapsedMicros());
+  }
+
   if (options_.observer != nullptr) options_.observer->OnExecution(plan, result);
   return result;
 }

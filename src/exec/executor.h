@@ -9,6 +9,7 @@
 #include "exec/platform_health.h"
 #include "exec/record.h"
 #include "exec/virtual_cost.h"
+#include "obs/profile.h"
 #include "platform/execution_plan.h"
 
 namespace robopt {
@@ -27,6 +28,10 @@ struct ExecResult {
   /// Attempt / latency accounting under fault injection (all zero when the
   /// FaultPlan is empty).
   FaultStats faults;
+  /// Per-call executor profile (per-operator wall/virtual time, attempts,
+  /// conversion seconds). Filled when ExecutorOptions::obs.profile is set;
+  /// all-zero with profile.enabled == false otherwise.
+  ExecProfile profile;
 };
 
 /// Observes completed executions. The serving layer implements this to turn
@@ -75,6 +80,13 @@ struct ExecutorOptions {
   /// virtual clock. Must outlive the executor; safe to share across
   /// concurrently executing executors.
   PlatformHealth* health = nullptr;
+  /// Observability sinks: hot-path metrics, an "execute" span tree (one
+  /// span per operator, stamped with both the wall and the virtual clock),
+  /// and/or a filled ExecResult::profile. All off by default; the computed
+  /// output, cost and every stat are bit-identical with observability on or
+  /// off. Metrics are safe to share across concurrently executing
+  /// executors (sharded atomics); the profile is per-call, never shared.
+  ObsOptions obs;
 };
 
 /// The multi-engine executor: runs an execution plan's kernels over real

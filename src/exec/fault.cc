@@ -1,8 +1,30 @@
 #include "exec/fault.h"
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace robopt {
+
+void FaultStats::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  auto add = [registry](const char* name, uint64_t n) {
+    if (n == 0) return;
+    if (Counter* counter = registry->GetCounter(name)) counter->Add(n);
+  };
+  add("robopt_fault_attempts_total", static_cast<uint64_t>(attempts));
+  add("robopt_fault_retries_total", static_cast<uint64_t>(retries));
+  add("robopt_fault_injected_total", static_cast<uint64_t>(faults_injected));
+  // Virtual-time overheads are fractional seconds, so they accumulate into
+  // gauges (Add is a CAS loop — fine: ExportTo is a per-call tail, not a
+  // per-operator hot path).
+  auto add_s = [registry](const char* name, double s) {
+    if (s == 0.0) return;
+    if (Gauge* gauge = registry->GetGauge(name)) gauge->Add(s);
+  };
+  add_s("robopt_fault_backoff_virtual_seconds", backoff_s);
+  add_s("robopt_fault_retry_virtual_seconds", retry_s);
+  add_s("robopt_fault_slowdown_virtual_seconds", slowdown_s);
+}
 namespace {
 
 /// splitmix64 finalizer: decorrelates the packed coordinate words so that

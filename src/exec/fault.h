@@ -10,6 +10,8 @@
 
 namespace robopt {
 
+class MetricsRegistry;
+
 /// Wildcard selectors for FaultProfile.
 inline constexpr int kAnyPlatform = -1;
 inline constexpr int kAnyOpKind = -1;
@@ -77,6 +79,13 @@ struct FaultStats {
   double backoff_s = 0.0;   ///< Virtual seconds spent in retry backoff.
   double retry_s = 0.0;     ///< Virtual seconds re-running failed attempts.
   double slowdown_s = 0.0;  ///< Extra virtual seconds from slowdown rules.
+
+  /// Accumulates this (per-call) struct into the registry's robopt_fault_*
+  /// counters/gauges. The struct stays the source of truth for the call it
+  /// describes; the registry aggregates across calls — and across threads —
+  /// through its sharded atomics, which is the only sanctioned way to sum
+  /// FaultStats from concurrent Execute() calls on a shared Executor.
+  void ExportTo(MetricsRegistry* registry) const;
 };
 
 /// Structured description of an Execute() failure in the fault layer — the

@@ -1,6 +1,10 @@
 #include "exec/platform_health.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace robopt {
 
@@ -125,6 +129,29 @@ uint64_t PlatformHealth::total_recoveries() const {
   uint64_t total = 0;
   for (const Breaker& breaker : breakers_) total += breaker.recoveries;
   return total;
+}
+
+void PlatformHealth::ExportTo(MetricsRegistry* registry, int num_platforms) {
+  if (registry == nullptr) return;
+  registry->Set("robopt_breaker_virtual_clock_seconds", now_s());
+  const int count = std::min(num_platforms, static_cast<int>(kMaxPlatforms));
+  for (int i = 0; i < count; ++i) {
+    // state() first: it applies the lazy open -> half-open transition so
+    // the export never shows a breaker as open past its cooldown.
+    const BreakerState current = state(static_cast<PlatformId>(i));
+    const BreakerSnapshot snap = snapshot(static_cast<PlatformId>(i));
+    const std::string label = "{platform=\"" + std::to_string(i) + "\"}";
+    registry->Set("robopt_breaker_state" + label,
+                  static_cast<double>(static_cast<int>(current)));
+    registry->Set("robopt_breaker_consecutive_failures" + label,
+                  snap.consecutive_failures);
+    registry->Set("robopt_breaker_trips" + label,
+                  static_cast<double>(snap.trips));
+    registry->Set("robopt_breaker_recoveries" + label,
+                  static_cast<double>(snap.recoveries));
+    registry->Set("robopt_breaker_rejected" + label,
+                  static_cast<double>(snap.rejected));
+  }
 }
 
 }  // namespace robopt

@@ -10,6 +10,8 @@
 
 namespace robopt {
 
+class MetricsRegistry;
+
 /// Circuit-breaker state of one platform (the classic three-state machine).
 enum class BreakerState : uint8_t {
   kClosed = 0,  ///< Healthy: requests flow, failures are counted.
@@ -91,6 +93,12 @@ class PlatformHealth {
 
   uint64_t total_trips() const;
   uint64_t total_recoveries() const;
+
+  /// Mirrors the first `num_platforms` breakers into per-platform
+  /// robopt_breaker_* gauges (label suffix {platform="i"}) plus the shared
+  /// virtual clock. Gauges are *Set* from snapshots — the breaker structs
+  /// remain the source of truth and re-exporting is idempotent.
+  void ExportTo(MetricsRegistry* registry, int num_platforms);
 
  private:
   struct Breaker {

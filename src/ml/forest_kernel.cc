@@ -1,11 +1,25 @@
 #include "ml/forest_kernel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/thread_pool.h"
 
 namespace robopt {
+
+namespace {
+std::atomic<uint64_t> g_rows_scored{0};
+std::atomic<uint64_t> g_batches{0};
+}  // namespace
+
+uint64_t ForestKernel::TotalRowsScored() {
+  return g_rows_scored.load(std::memory_order_relaxed);
+}
+
+uint64_t ForestKernel::TotalBatches() {
+  return g_batches.load(std::memory_order_relaxed);
+}
 
 void ForestKernel::Clear() {
   roots_.clear();
@@ -71,6 +85,8 @@ void ForestKernel::PredictBatch(const float* x, size_t n, size_t dim,
                                 float* out, bool log_label,
                                 int num_threads) const {
   if (n == 0) return;
+  g_rows_scored.fetch_add(n, std::memory_order_relaxed);
+  g_batches.fetch_add(1, std::memory_order_relaxed);
   if (roots_.empty()) {
     std::fill(out, out + n, 0.0f);
     return;

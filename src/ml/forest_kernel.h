@@ -50,6 +50,14 @@ class ForestKernel {
   /// Single-row walk of tree `t` (exposed for tests).
   float PredictTree(size_t t, const float* row, size_t dim) const;
 
+  /// Process-wide inference telemetry: rows / batches scored through any
+  /// ForestKernel since process start. Two relaxed atomic adds per *batch*
+  /// (never per row), so the counters stay on unconditionally; the
+  /// observability layer exports them as
+  /// `robopt_ml_forest_rows_scored_total` / `_batches_total`.
+  static uint64_t TotalRowsScored();
+  static uint64_t TotalBatches();
+
  private:
   std::vector<int32_t> roots_;      ///< Pool index of each tree's root.
   std::vector<int32_t> feature_;    ///< < 0 marks a leaf.

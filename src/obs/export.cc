@@ -1,0 +1,182 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace robopt {
+
+namespace {
+
+/// Prometheus sample value: integers print bare, everything else with
+/// enough digits to round-trip.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+/// Splits "name{label=\"x\"}" into (base, "{label=\"x\"}" or "").
+void SplitLabels(const std::string& series, std::string* base,
+                 std::string* labels) {
+  const size_t brace = series.find('{');
+  if (brace == std::string::npos) {
+    *base = series;
+    labels->clear();
+  } else {
+    *base = series.substr(0, brace);
+    *labels = series.substr(brace);
+  }
+}
+
+/// Re-opens a label set to append one more label ("{a=\"b\"}" + le ->
+/// "{a=\"b\",le=\"x\"}").
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendTraceEvent(std::string* out, const SpanRecord& span, int pid,
+                      double ts_us, double dur_us, bool first) {
+  char buf[256];
+  if (!first) *out += ",\n";
+  *out += "  {\"name\": \"" + JsonEscape(span.name) + "\", \"cat\": \"robopt\"";
+  std::snprintf(buf, sizeof(buf),
+                ", \"ph\": \"X\", \"pid\": %d, \"tid\": %u, \"ts\": %.3f, "
+                "\"dur\": %.3f",
+                pid, span.tid, ts_us, dur_us);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"args\": {\"trace_id\": %llu, \"span_id\": %llu, "
+                "\"parent_id\": %llu",
+                static_cast<unsigned long long>(span.trace_id),
+                static_cast<unsigned long long>(span.span_id),
+                static_cast<unsigned long long>(span.parent_id));
+  *out += buf;
+  if (!span.arg_name_a.empty()) {
+    std::snprintf(buf, sizeof(buf), ", \"%s\": %lld",
+                  std::string(span.arg_name_a).c_str(),
+                  static_cast<long long>(span.arg_a));
+    *out += buf;
+  }
+  if (!span.arg_name_b.empty()) {
+    std::snprintf(buf, sizeof(buf), ", \"%s\": %lld",
+                  std::string(span.arg_name_b).c_str(),
+                  static_cast<long long>(span.arg_b));
+    *out += buf;
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricPoint& point : snapshot.points) {
+    std::string base;
+    std::string labels;
+    SplitLabels(point.name, &base, &labels);
+    switch (point.type) {
+      case MetricPoint::Type::kCounter:
+        out += "# TYPE " + base + " counter\n";
+        out += base + labels + " " + FormatValue(point.value) + "\n";
+        break;
+      case MetricPoint::Type::kGauge:
+        out += "# TYPE " + base + " gauge\n";
+        out += base + labels + " " + FormatValue(point.value) + "\n";
+        break;
+      case MetricPoint::Type::kHistogram: {
+        out += "# TYPE " + base + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < point.buckets.size(); ++i) {
+          cumulative += point.counts[i];
+          out += base + "_bucket" +
+                 WithLabel(labels,
+                           "le=\"" + FormatValue(point.buckets[i]) + "\"") +
+                 " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+        }
+        cumulative += point.counts.back();
+        out += base + "_bucket" + WithLabel(labels, "le=\"+Inf\"") + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+        out += base + "_sum" + labels + " " + FormatValue(point.value) + "\n";
+        out += base + "_count" + labels + " " +
+               FormatValue(static_cast<double>(point.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  bool first = true;
+  for (const MetricPoint& point : snapshot.points) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + JsonEscape(point.name) + "\": ";
+    if (point.type == MetricPoint::Type::kHistogram) {
+      out += "{\"sum\": " + FormatValue(point.value) +
+             ", \"count\": " + FormatValue(static_cast<double>(point.count)) +
+             ", \"buckets\": [";
+      for (size_t i = 0; i < point.buckets.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "{\"le\": " + FormatValue(point.buckets[i]) + ", \"count\": " +
+               FormatValue(static_cast<double>(point.counts[i])) + "}";
+      }
+      if (!point.counts.empty()) {
+        if (!point.buckets.empty()) out += ", ";
+        out += "{\"le\": \"+Inf\", \"count\": " +
+               FormatValue(static_cast<double>(point.counts.back())) + "}";
+      }
+      out += "]}";
+    } else {
+      out += FormatValue(point.value);
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    AppendTraceEvent(&out, span, /*pid=*/1, span.start_us, span.dur_us,
+                     first);
+    first = false;
+    if (span.virt_start_s >= 0.0) {
+      AppendTraceEvent(&out, span, /*pid=*/2, span.virt_start_s * 1e6,
+                       span.virt_dur_s * 1e6, false);
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+         "{\"pid_1\": \"wall clock\", \"pid_2\": \"virtual clock\"}}\n";
+  return out;
+}
+
+}  // namespace robopt

@@ -1,0 +1,34 @@
+#ifndef ROBOPT_OBS_EXPORT_H_
+#define ROBOPT_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace robopt {
+
+/// Prometheus text exposition (version 0.0.4) of a metrics snapshot:
+/// counters/gauges as single samples, histograms as cumulative `_bucket`
+/// series with `le` labels plus `_sum` and `_count`. Series whose name
+/// carries a `{label="..."}` suffix keep it (the TYPE line uses the base
+/// name).
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// The same snapshot as a JSON object: name -> value for counters/gauges,
+/// name -> {sum, count, buckets: [{le, count}]} for histograms.
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot);
+
+/// Chrome trace_event JSON (the "JSON Array Format") of a span set, loadable
+/// directly in chrome://tracing or Perfetto. Wall-clock spans become
+/// complete ("ph":"X") events under pid 1; spans carrying a virtual-clock
+/// interval additionally emit a pid-2 event on the virtual timeline
+/// (1 virtual second = 1s of trace time), so a query's simulated execution
+/// reads as a second flamegraph row group. Span args and the span hierarchy
+/// (parent ids) are preserved in each event's "args".
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_OBS_EXPORT_H_

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace robopt {
+
+size_t MetricShardIndex() {
+  // Round-robin assignment at first use: spreads threads evenly over the
+  // shards regardless of how the platform hashes thread ids.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+uint64_t Gauge::Encode(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Decode(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    ROBOPT_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  for (Shard& shard : shards_) {
+    shard.counts =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<double> Histogram::LatencyBucketsUs() {
+  std::vector<double> bounds;
+  for (double edge = 1.0; edge <= 16.0 * 1e6; edge *= 4.0) {
+    bounds.push_back(edge);  // 1us, 4us, ..., ~16.8s (13 edges).
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  // Prometheus `le` semantics: upper edges are inclusive, so the target
+  // bucket is the first bound >= value (lower_bound, not upper_bound).
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Shard& shard = shards_[MetricShardIndex()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum_nanos.fetch_add(static_cast<int64_t>(value * 1e9),
+                            std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::Counts() const {
+  std::vector<uint64_t> total(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      total[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t sum = 0;
+  for (uint64_t c : Counts()) sum += c;
+  return sum;
+}
+
+double Histogram::Sum() const {
+  int64_t nanos = 0;
+  for (const Shard& shard : shards_) {
+    nanos += shard.sum_nanos.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(nanos) / 1e9;
+}
+
+double MetricsSnapshot::Value(const std::string& name, double fallback) const {
+  for (const MetricPoint& point : points) {
+    if (point.name == name) return point.value;
+  }
+  return fallback;
+}
+
+bool MetricsSnapshot::Has(const std::string& name) const {
+  for (const MetricPoint& point : points) {
+    if (point.name == name) return true;
+  }
+  return false;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.counter == nullptr) {
+    if (entry.gauge != nullptr || entry.histogram != nullptr) return nullptr;
+    entry.type = MetricPoint::Type::kCounter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.gauge == nullptr) {
+    if (entry.counter != nullptr || entry.histogram != nullptr) return nullptr;
+    entry.type = MetricPoint::Type::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.histogram == nullptr) {
+    if (entry.counter != nullptr || entry.gauge != nullptr) return nullptr;
+    entry.type = MetricPoint::Type::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return entry.histogram.get();
+}
+
+void MetricsRegistry::Set(const std::string& name, double value) {
+  Gauge* gauge = GetGauge(name);
+  if (gauge != nullptr) gauge->Set(value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.points.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricPoint point;
+    point.name = name;
+    point.type = entry.type;
+    switch (entry.type) {
+      case MetricPoint::Type::kCounter:
+        point.value = static_cast<double>(entry.counter->Value());
+        break;
+      case MetricPoint::Type::kGauge:
+        point.value = entry.gauge->Value();
+        break;
+      case MetricPoint::Type::kHistogram:
+        point.buckets = entry.histogram->bounds();
+        point.counts = entry.histogram->Counts();
+        point.value = entry.histogram->Sum();
+        for (uint64_t c : point.counts) point.count += c;
+        break;
+    }
+    snapshot.points.push_back(std::move(point));
+  }
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace robopt

@@ -1,0 +1,171 @@
+#ifndef ROBOPT_OBS_METRICS_H_
+#define ROBOPT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace robopt {
+
+/// Shards of one hot-path metric. Each shard owns a cache line so two
+/// threads bumping the same counter never ping-pong the same line; a thread
+/// picks its shard once (thread-local round-robin assignment) and then pays
+/// exactly one relaxed atomic add per update. 16 shards saturate the
+/// machines this repo targets while keeping Snapshot() reads cheap.
+inline constexpr size_t kMetricShards = 16;
+
+/// Returns this thread's shard index in [0, kMetricShards). Stable for the
+/// thread's lifetime.
+size_t MetricShardIndex();
+
+/// Monotonic counter. Hot-path cost: one relaxed fetch_add on the calling
+/// thread's shard.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[MetricShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& shard : shards_) {
+      sum += shard.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Point-in-time value, set (not accumulated) by whoever exports it — the
+/// derived-export side of the "struct is the source of truth" contract.
+/// Single atomic: gauges are written at export time, not on hot paths.
+class Gauge {
+ public:
+  void Set(double value) { bits_.store(Encode(value), std::memory_order_relaxed); }
+  void Add(double delta) {
+    uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, Encode(Decode(cur) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are upper edges (Prometheus `le`
+/// semantics) with an implicit +inf bucket; Observe() costs one bucket
+/// lookup plus two relaxed atomic adds on the calling thread's shard (the
+/// sum is accumulated in nanos so no CAS loop is needed on the hot path).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default optimize-latency bucket edges: 1us .. ~16s, powers of 4.
+  static std::vector<double> LatencyBucketsUs();
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (size bounds()+1; last = +inf bucket).
+  std::vector<uint64_t> Counts() const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+
+ private:
+  struct alignas(64) Shard {
+    /// Heap array sized bounds_+1; atomics are not movable, so shards own
+    /// their storage via unique_ptr.
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<int64_t> sum_nanos{0};  ///< Sum scaled by 1e9.
+  };
+  const std::vector<double> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+/// One exported series in a point-in-time snapshot.
+struct MetricPoint {
+  enum class Type { kCounter, kGauge, kHistogram };
+  std::string name;  ///< Full series name, labels included ("a{b=\"c\"}").
+  Type type = Type::kCounter;
+  double value = 0.0;  ///< Counter/gauge value; histogram sum.
+  /// Histogram only: bucket upper bounds and cumulative-free counts
+  /// (buckets.size() == counts.size() - 1; counts.back() = +inf bucket).
+  std::vector<double> buckets;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;  ///< Histogram observation count.
+};
+
+/// Point-in-time copy of every metric in a registry.
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+
+  /// Value of the named series, or `fallback` if absent. Histograms return
+  /// their sum.
+  double Value(const std::string& name, double fallback = 0.0) const;
+  bool Has(const std::string& name) const;
+};
+
+/// Process-wide (or per-service) registry of named metrics.
+///
+/// Creation (GetCounter / GetGauge / GetHistogram) takes a mutex and is
+/// expected once per metric per call site — callers cache the returned
+/// pointer, which stays valid for the registry's lifetime. Updates through
+/// the returned objects are lock-free sharded atomics; Snapshot() walks the
+/// map under the same mutex but only reads the atomics, so it never stalls
+/// writers.
+///
+/// Metric names follow Prometheus conventions (`robopt_<subsystem>_<what>`,
+/// `_total` for counters). A name may carry a label suffix in curly braces
+/// (e.g. `robopt_breaker_trips{platform="1"}`); the registry treats it as an
+/// opaque series key and the Prometheus exporter splits it back out.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use. A type clash with
+  /// an existing name returns nullptr (callers treat it as disabled —
+  /// observability must never crash the query path).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used on first creation only (strictly increasing upper
+  /// edges); later calls return the existing histogram.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Export-time convenience: set `name` (gauge semantics) to `value`.
+  void Set(const std::string& name, double value);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// The process-wide default registry.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry {
+    MetricPoint::Type type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;  ///< Guards metrics_ (map structure only).
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_OBS_METRICS_H_

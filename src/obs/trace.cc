@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace robopt {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(RoundUpPow2(std::max<size_t>(capacity, 2))),
+      epoch_(std::chrono::steady_clock::now()),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void Tracer::Record(const SpanRecord& record) {
+  const uint64_t ticket =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (capacity_ - 1)];
+  uint32_t state = slot.state.load(std::memory_order_relaxed);
+  // Take the slot from kEmpty or kReady (a wrapped-over old span). If a
+  // concurrent writer or reader holds it, drop: writers must never wait.
+  do {
+    if (state == kWriting || state == kReading) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  } while (!slot.state.compare_exchange_weak(state, kWriting,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed));
+  slot.ticket = ticket;
+  slot.record = record;
+  slot.state.store(kReady, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::Collect(uint64_t trace_id) const {
+  struct Ticketed {
+    uint64_t ticket;
+    SpanRecord record;
+  };
+  std::vector<Ticketed> out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = const_cast<Slot&>(slots_[i]);
+    uint32_t state = slot.state.load(std::memory_order_acquire);
+    if (state != kReady) continue;
+    // Exclusive read access via the same CAS protocol writers use: a writer
+    // that lands on this slot meanwhile drops its span instead of racing.
+    if (!slot.state.compare_exchange_strong(state, kReading,
+                                            std::memory_order_acquire)) {
+      continue;
+    }
+    Ticketed t{slot.ticket, slot.record};
+    slot.state.store(kReady, std::memory_order_release);
+    if (trace_id == 0 || t.record.trace_id == trace_id) {
+      out.push_back(std::move(t));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Ticketed& a, const Ticketed& b) {
+              return a.ticket < b.ticket;
+            });
+  std::vector<SpanRecord> records;
+  records.reserve(out.size());
+  for (Ticketed& t : out) records.push_back(std::move(t.record));
+  return records;
+}
+
+}  // namespace robopt

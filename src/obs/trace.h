@@ -1,0 +1,162 @@
+#ifndef ROBOPT_OBS_TRACE_H_
+#define ROBOPT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace robopt {
+
+/// One completed span. POD-sized so a ring slot write is a plain struct
+/// copy; `name` and the arg names must point at static storage (string
+/// literals / enum name tables) — the ring never owns strings.
+///
+/// Two clock domains (see DESIGN.md, "Observability"):
+///   - wall: microseconds since the tracer's epoch (steady_clock — never
+///     steps backwards under NTP slew);
+///   - virtual: the executor's simulated-platform clock, in seconds.
+///     `virt_start_s < 0` means the span carries no virtual interval.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span of its trace.
+  std::string_view name;
+  double start_us = 0.0;  ///< Wall, micros since tracer epoch.
+  double dur_us = 0.0;
+  double virt_start_s = -1.0;  ///< Virtual-clock interval; < 0 = none.
+  double virt_dur_s = 0.0;
+  uint32_t tid = 0;  ///< Recording thread (stable small index).
+  /// Up to two numeric args (-1 = unset), e.g. rows in/out of a prune.
+  std::string_view arg_name_a;
+  std::string_view arg_name_b;
+  int64_t arg_a = -1;
+  int64_t arg_b = -1;
+};
+
+/// Bounded lock-free span recorder: a fixed ring of slots claimed by an
+/// atomic ticket. Tracing can therefore stay on in serving — a Record() is
+/// a ticket fetch_add, one CAS to take the slot, a struct copy and a
+/// release store; it never blocks and never allocates. When the ring wraps,
+/// the oldest spans are overwritten; if a writer collides with a concurrent
+/// writer or an in-flight Collect() on the *same slot* (only possible after
+/// wrapping a full ring mid-operation), the span is dropped and counted
+/// rather than waited for.
+///
+/// Collect() is the slow path (export): it copies out every readable slot
+/// and orders them by ticket, i.e. by record completion order.
+class Tracer {
+ public:
+  /// `capacity` is rounded up to a power of two slots.
+  explicit Tracer(size_t capacity = 8192);
+
+  /// Allocates a fresh trace id (1, 2, ...).
+  uint64_t NewTrace() {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed) ;
+  }
+  /// Allocates a fresh span id, unique within this tracer.
+  uint64_t NewSpanId() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Wall micros since the tracer's epoch (steady clock).
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records one completed span into the ring (lock-free, wait-free for
+  /// writers up to the drop-on-collision rule above).
+  void Record(const SpanRecord& record);
+
+  /// Snapshot of every live span, ordered oldest-to-newest. `trace_id`
+  /// filters to one trace (0 = all).
+  std::vector<SpanRecord> Collect(uint64_t trace_id = 0) const;
+
+  size_t capacity() const { return capacity_; }
+  /// Spans lost: ring-wrap overwrites are *not* drops (the ring is a
+  /// bounded retention window by design); this counts only writer/reader
+  /// slot collisions.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Total spans recorded (accepted into the ring).
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum SlotState : uint32_t { kEmpty = 0, kWriting = 1, kReady = 2,
+                              kReading = 3 };
+  struct Slot {
+    std::atomic<uint32_t> state{kEmpty};
+    uint64_t ticket = 0;
+    SpanRecord record;
+  };
+
+  const size_t capacity_;  ///< Power of two.
+  const std::chrono::steady_clock::time_point epoch_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_ticket_{0};
+  std::atomic<uint64_t> next_trace_{1};
+  std::atomic<uint64_t> next_span_{1};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> recorded_{0};
+};
+
+/// Small stable per-thread index for SpanRecord::tid (thread ids are
+/// unwieldy 64-bit hashes on most platforms; Chrome's viewer groups rows by
+/// this value).
+uint32_t TraceThreadId();
+
+/// RAII helper: captures the start time at construction and records the
+/// completed span at destruction (or at End()). Null tracer = no-op.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, uint64_t trace_id, uint64_t parent_id,
+            std::string_view name)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    record_.trace_id = trace_id;
+    record_.span_id = tracer_->NewSpanId();
+    record_.parent_id = parent_id;
+    record_.name = name;
+    record_.start_us = tracer_->NowMicros();
+    record_.tid = TraceThreadId();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() { End(); }
+
+  /// Span id for parenting children (0 when tracing is off).
+  uint64_t id() const { return tracer_ == nullptr ? 0 : record_.span_id; }
+
+  void SetArgA(std::string_view name, int64_t value) {
+    record_.arg_name_a = name;
+    record_.arg_a = value;
+  }
+  void SetArgB(std::string_view name, int64_t value) {
+    record_.arg_name_b = name;
+    record_.arg_b = value;
+  }
+  void SetVirtual(double start_s, double dur_s) {
+    record_.virt_start_s = start_s;
+    record_.virt_dur_s = dur_s;
+  }
+
+  void End() {
+    if (tracer_ == nullptr) return;
+    record_.dur_us = tracer_->NowMicros() - record_.start_us;
+    tracer_->Record(record_);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanRecord record_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_OBS_TRACE_H_

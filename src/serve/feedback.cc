@@ -2,7 +2,20 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace robopt {
+
+void FeedbackStats::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->Set("robopt_feedback_offered", static_cast<double>(offered));
+  registry->Set("robopt_feedback_accepted", static_cast<double>(accepted));
+  registry->Set("robopt_feedback_dropped", static_cast<double>(dropped));
+  registry->Set("robopt_feedback_rejected_nonfinite",
+                static_cast<double>(rejected_nonfinite));
+  registry->Set("robopt_feedback_drained", static_cast<double>(drained));
+  registry->Set("robopt_feedback_failures", static_cast<double>(failures));
+}
 
 bool FeedbackCollector::Offer(FeedbackEvent event) {
   std::lock_guard<std::mutex> lock(mu_);

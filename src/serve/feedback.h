@@ -8,6 +8,8 @@
 
 namespace robopt {
 
+class MetricsRegistry;
+
 /// One executed-plan observation flowing from an Executor into the retrain
 /// loop: the plan's encoded feature vector, what the serving model
 /// predicted for it, and what the (virtual) clock actually measured.
@@ -25,6 +27,11 @@ struct FeedbackStats {
   size_t rejected_nonfinite = 0;  ///< Events refused for a non-finite runtime.
   size_t drained = 0;   ///< Events handed to the consumer.
   size_t failures = 0;  ///< Execution failures observed (RecordFailure()).
+
+  /// Mirrors this struct into robopt_feedback_* gauges. The struct (already
+  /// cumulative over the collector's lifetime) stays the source of truth;
+  /// gauges are Set, so re-exporting is idempotent.
+  void ExportTo(MetricsRegistry* registry) const;
 };
 
 /// Bounded multi-producer single-consumer queue between executors and the

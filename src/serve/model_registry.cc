@@ -1,8 +1,16 @@
 #include "serve/model_registry.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace robopt {
+
+void DriftStats::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->Set("robopt_drift_error_ewma", error_ewma);
+  registry->Set("robopt_drift_observations",
+                static_cast<double>(observations));
+}
 
 uint64_t ModelRegistry::Publish(std::shared_ptr<RandomForest> forest,
                                 double holdout_mae) {

@@ -11,6 +11,8 @@
 
 namespace robopt {
 
+class MetricsRegistry;
+
 /// Per-version drift statistics: how far the model's predictions have been
 /// from measured runtimes since it was published. The error is
 /// |log1p(predicted) - log1p(actual)| — the space the forest fits in —
@@ -20,6 +22,10 @@ namespace robopt {
 struct DriftStats {
   double error_ewma = 0.0;
   size_t observations = 0;
+
+  /// Mirrors this struct into robopt_drift_* gauges (Set — idempotent; the
+  /// struct stays the source of truth).
+  void ExportTo(MetricsRegistry* registry) const;
 };
 
 /// One immutable published model version: the forest, a batch oracle over

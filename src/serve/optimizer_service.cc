@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "ml/forest_kernel.h"
+#include "obs/export.h"
 #include "plan/fingerprint.h"
 
 namespace robopt {
@@ -37,6 +39,41 @@ double AbsLogError(float predicted_s, double actual_s) {
 }
 
 }  // namespace
+
+void RecoveryStats::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->Set("robopt_recovery_failures_observed",
+                static_cast<double>(failures_observed));
+  registry->Set("robopt_recovery_breaker_trips",
+                static_cast<double>(breaker_trips));
+  registry->Set("robopt_recovery_breaker_recoveries",
+                static_cast<double>(breaker_recoveries));
+  registry->Set("robopt_recovery_masked_optimizes",
+                static_cast<double>(masked_optimizes));
+  registry->Set("robopt_recovery_plans_invalidated_on_trip",
+                static_cast<double>(plans_invalidated_on_trip));
+  registry->Set("robopt_recovery_open_platform_mask",
+                static_cast<double>(open_platform_mask));
+}
+
+void ServeStats::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->Set("robopt_serve_current_version",
+                static_cast<double>(current_version));
+  registry->Set("robopt_serve_versions_published",
+                static_cast<double>(versions_published));
+  registry->Set("robopt_serve_retrains", static_cast<double>(retrains));
+  registry->Set("robopt_serve_promotions", static_cast<double>(promotions));
+  registry->Set("robopt_serve_rejections", static_cast<double>(rejections));
+  registry->Set("robopt_serve_experience_rows",
+                static_cast<double>(experience_rows));
+  registry->Set("robopt_serve_holdout_rows",
+                static_cast<double>(holdout_rows));
+  feedback.ExportTo(registry);
+  plan_cache.ExportTo(registry);
+  current_drift.ExportTo(registry);
+  recovery.ExportTo(registry);
+}
 
 StatusOr<std::unique_ptr<OptimizerService>> OptimizerService::Create(
     const PlatformRegistry* registry, const FeatureSchema* schema,
@@ -90,7 +127,8 @@ OptimizerService::OptimizerService(const PlatformRegistry* registry,
       base_train_(schema->width()),
       holdout_(schema->width()),
       last_train_(std::chrono::steady_clock::now()),
-      health_(options_.breaker) {}
+      health_(options_.breaker),
+      tracer_(options_.trace_capacity) {}
 
 OptimizerService::~OptimizerService() {
   {
@@ -120,6 +158,22 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
   const uint64_t open_mask = SyncBreakerState();
   OptimizeOptions options = caller_options;
   options.excluded_platform_mask |= open_mask;
+  // Service observability: route this call's metrics and span tree into the
+  // service-owned sinks, unless the caller brought their own (theirs win —
+  // a call-level override must not be silently redirected). obs is not part
+  // of the cache key (HashOptions skips it), matching its bit-identical
+  // contract.
+  if (options_.observability && !options.obs.enabled()) {
+    options.obs.metrics = &metrics_;
+    options.obs.tracer = &tracer_;
+  }
+  auto bump = [&options](const char* name) {
+    if (!ROBOPT_OBS_ON(options.obs) || options.obs.metrics == nullptr) return;
+    if (Counter* counter = options.obs.metrics->GetCounter(name)) {
+      counter->Add(1);
+    }
+  };
+  bump("robopt_serve_optimize_calls_total");
   if (open_mask & options.allowed_platform_mask &
       ~caller_options.excluded_platform_mask) {
     std::lock_guard<std::mutex> lock(recovery_mu_);
@@ -181,6 +235,7 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        bump("robopt_serve_plan_cache_hits_total");
         return result;
       }
     }
@@ -398,6 +453,38 @@ ServeStats OptimizerService::Stats() const {
     stats.recovery.plans_invalidated_on_trip = plans_invalidated_on_trip_;
   }
   return stats;
+}
+
+ObsOptions OptimizerService::obs() {
+  ObsOptions options;
+  if (options_.observability) {
+    options.metrics = &metrics_;
+    options.tracer = &tracer_;
+  }
+  return options;
+}
+
+MetricsSnapshot OptimizerService::SnapshotMetrics() const {
+  // Refresh every derived-gauge mirror from its source-of-truth struct,
+  // then freeze. Counters/histograms written on the hot paths are already
+  // live in metrics_ and need no sync.
+  Stats().ExportTo(&metrics_);
+  health_.ExportTo(&metrics_, registry_->num_platforms());
+  // Process-wide inference telemetry (always on; see ForestKernel). Set
+  // mirrors of monotone counters — idempotent like the other gauges.
+  metrics_.Set("robopt_ml_forest_rows_scored_total",
+               static_cast<double>(ForestKernel::TotalRowsScored()));
+  metrics_.Set("robopt_ml_forest_batches_total",
+               static_cast<double>(ForestKernel::TotalBatches()));
+  return metrics_.Snapshot();
+}
+
+std::string OptimizerService::ExportPrometheus() const {
+  return robopt::ExportPrometheus(SnapshotMetrics());
+}
+
+std::string OptimizerService::ExportTraceJson(uint64_t trace_id) const {
+  return ExportChromeTrace(tracer_.Collect(trace_id));
 }
 
 void OptimizerService::WorkerLoop() {

@@ -11,6 +11,8 @@
 #include "core/optimizer.h"
 #include "exec/executor.h"
 #include "exec/platform_health.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/feedback.h"
 #include "serve/model_registry.h"
 #include "serve/plan_cache.h"
@@ -68,6 +70,15 @@ struct ServeOptions {
   /// seconds). Executors that should feed the breakers set
   /// ExecutorOptions::health = service->health().
   BreakerOptions breaker;
+  /// Turn on the service-owned observability plane: every Optimize() call
+  /// records metrics into metrics() and a span tree into tracer() (unless
+  /// the caller's OptimizeOptions already carry obs sinks, which win).
+  /// Export through ExportPrometheus() / ExportTraceJson(). Off by default;
+  /// served plans and stats are bit-identical either way.
+  bool observability = false;
+  /// Span-ring capacity of the service-owned Tracer (rounded up to a power
+  /// of two; oldest spans are overwritten when it wraps).
+  size_t trace_capacity = 8192;
   /// Default per-call optimize options.
   OptimizeOptions optimize;
 };
@@ -102,6 +113,10 @@ struct RecoveryStats {
   uint64_t plans_invalidated_on_trip = 0;
   /// Platforms whose breaker is open right now (bit i = platform id i).
   uint64_t open_platform_mask = 0;
+
+  /// Mirrors this struct into robopt_recovery_* gauges (Set — idempotent;
+  /// the struct stays the source of truth).
+  void ExportTo(MetricsRegistry* registry) const;
 };
 
 /// Aggregate serving counters.
@@ -117,6 +132,12 @@ struct ServeStats {
   PlanCacheStats plan_cache;
   DriftStats current_drift;  ///< Drift of the current version.
   RecoveryStats recovery;
+
+  /// Mirrors the whole aggregate — robopt_serve_* gauges plus the nested
+  /// feedback / plan-cache / drift / recovery structs' hooks — into the
+  /// registry. The structs stay the source of truth; every gauge is Set
+  /// (derived, idempotent), so exporters may call this at any cadence.
+  void ExportTo(MetricsRegistry* registry) const;
 };
 
 /// The optimizer as a long-lived concurrent service with a model lifecycle:
@@ -201,6 +222,26 @@ class OptimizerService : public ExecutionObserver {
   /// state that Optimize() masks on.
   PlatformHealth* health() { return &health_; }
 
+  /// The service-owned metrics registry / span tracer. Always constructed;
+  /// the hot paths only write into them when ServeOptions::observability is
+  /// set (or when a caller passes them explicitly via ObsOptions).
+  MetricsRegistry* metrics() { return &metrics_; }
+  Tracer* tracer() { return &tracer_; }
+
+  /// Prefilled per-call observability sinks (empty when observability is
+  /// off). Hand this to ExecutorOptions::obs so executions land in the same
+  /// metrics registry and trace ring as the optimizer's spans.
+  ObsOptions obs();
+
+  /// Point-in-time snapshot of every metric, with the derived-gauge mirrors
+  /// (ServeStats / breaker state) refreshed first.
+  MetricsSnapshot SnapshotMetrics() const;
+  /// Prometheus text exposition (0.0.4) of SnapshotMetrics().
+  std::string ExportPrometheus() const;
+  /// Chrome trace_event JSON of the span ring (chrome://tracing / Perfetto);
+  /// `trace_id` filters to one query's tree (0 = everything retained).
+  std::string ExportTraceJson(uint64_t trace_id = 0) const;
+
  private:
   OptimizerService(const PlatformRegistry* registry,
                    const FeatureSchema* schema, ServeOptions options);
@@ -244,6 +285,10 @@ class OptimizerService : public ExecutionObserver {
   /// Internally synchronized; mutable because even read paths (Stats) may
   /// apply the lazy open -> half-open transition.
   mutable PlatformHealth health_;
+  /// Service-owned observability plane. Mutable: snapshot/export paths
+  /// refresh derived gauges; both types are internally synchronized.
+  mutable MetricsRegistry metrics_;
+  mutable Tracer tracer_;
   mutable std::mutex recovery_mu_;  ///< Guards the recovery counters below.
   uint64_t failures_observed_ = 0;
   uint64_t masked_optimizes_ = 0;

@@ -1,6 +1,22 @@
 #include "serve/plan_cache.h"
 
+#include "obs/metrics.h"
+
 namespace robopt {
+
+void PlanCacheStats::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->Set("robopt_plan_cache_hits", static_cast<double>(hits));
+  registry->Set("robopt_plan_cache_misses", static_cast<double>(misses));
+  registry->Set("robopt_plan_cache_insertions",
+                static_cast<double>(insertions));
+  registry->Set("robopt_plan_cache_evictions",
+                static_cast<double>(evictions));
+  registry->Set("robopt_plan_cache_invalidations",
+                static_cast<double>(invalidations));
+  registry->Set("robopt_plan_cache_platform_invalidations",
+                static_cast<double>(platform_invalidations));
+}
 
 uint64_t PlanCache::HashOptions(const OptimizeOptions& options) {
   uint64_t h = options.allowed_platform_mask;

@@ -39,6 +39,10 @@ struct PlanCacheStats {
   /// Entries dropped by InvalidatePlatform (their plan routed through a
   /// platform whose circuit breaker tripped).
   size_t platform_invalidations = 0;
+
+  /// Mirrors this struct into robopt_plan_cache_* gauges (Set — idempotent;
+  /// the struct stays the source of truth).
+  void ExportTo(MetricsRegistry* registry) const;
 };
 
 /// Bounded, version-tagged LRU cache of optimization results. Entries store

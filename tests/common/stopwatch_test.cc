@@ -1,0 +1,52 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace robopt {
+namespace {
+
+// The whole point of the stopwatch: it must be immune to wall-clock steps,
+// which requires a monotonic clock. Compile-time regression — if anyone
+// swaps in system_clock (or high_resolution_clock, which aliases it on some
+// standard libraries), this fails to build.
+static_assert(Stopwatch::Clock::is_steady,
+              "Stopwatch must measure on a monotonic (steady) clock");
+
+TEST(StopwatchTest, ElapsedNeverDecreases) {
+  Stopwatch stopwatch;
+  double last = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double now = stopwatch.ElapsedMicros();
+    ASSERT_GE(now, last) << "monotonic clock went backwards at i=" << i;
+    last = now;
+  }
+  EXPECT_GE(last, 0.0);
+}
+
+TEST(StopwatchTest, UnitsAgree) {
+  Stopwatch stopwatch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double us = stopwatch.ElapsedMicros();
+  const double ms = stopwatch.ElapsedMillis();
+  const double s = stopwatch.ElapsedSeconds();
+  EXPECT_GE(us, 2000.0);
+  // Readings are taken in sequence, so each later one may only be larger.
+  EXPECT_GE(ms * 1000.0, us);
+  EXPECT_GE(s * 1000.0, ms);
+  EXPECT_LT(s, 10.0);  // Sanity: nowhere near seconds.
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch stopwatch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double before = stopwatch.ElapsedMicros();
+  stopwatch.Restart();
+  const double after = stopwatch.ElapsedMicros();
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 0.0);
+}
+
+}  // namespace
+}  // namespace robopt

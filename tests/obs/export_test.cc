@@ -1,0 +1,153 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace robopt {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Minimal structural JSON check: braces/brackets balance and close in
+/// order, quotes pair up. Catches the classes of breakage (trailing commas
+/// aside) that keep chrome://tracing from loading a file.
+void ExpectBalancedJson(const std::string& json) {
+  std::string stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '{');
+        stack.pop_back();
+        break;
+      case ']':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '[');
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(PrometheusExportTest, CountersAndGauges) {
+  MetricsRegistry registry;
+  registry.GetCounter("robopt_optimize_calls_total")->Add(5);
+  registry.Set("robopt_serve_current_version", 3.0);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_TRUE(Contains(text, "# TYPE robopt_optimize_calls_total counter\n"));
+  EXPECT_TRUE(Contains(text, "robopt_optimize_calls_total 5\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE robopt_serve_current_version gauge\n"));
+  EXPECT_TRUE(Contains(text, "robopt_serve_current_version 3\n"));
+}
+
+TEST(PrometheusExportTest, LabeledSeriesKeepLabelsOffTheTypeLine) {
+  MetricsRegistry registry;
+  registry.Set("robopt_breaker_trips{platform=\"1\"}", 2.0);
+  registry.Set("robopt_breaker_trips{platform=\"0\"}", 7.0);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_TRUE(Contains(text, "# TYPE robopt_breaker_trips gauge\n"));
+  EXPECT_TRUE(Contains(text, "robopt_breaker_trips{platform=\"0\"} 7\n"));
+  EXPECT_TRUE(Contains(text, "robopt_breaker_trips{platform=\"1\"} 2\n"));
+  EXPECT_FALSE(Contains(text, "# TYPE robopt_breaker_trips{"));
+}
+
+TEST(PrometheusExportTest, HistogramIsCumulativeWithInfBucket) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("robopt_lat_us", {1.0, 10.0});
+  histogram->Observe(0.5);
+  histogram->Observe(0.7);
+  histogram->Observe(5.0);
+  histogram->Observe(100.0);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_TRUE(Contains(text, "# TYPE robopt_lat_us histogram\n"));
+  EXPECT_TRUE(Contains(text, "robopt_lat_us_bucket{le=\"1\"} 2\n"));
+  // Cumulative: le=10 includes the le=1 observations.
+  EXPECT_TRUE(Contains(text, "robopt_lat_us_bucket{le=\"10\"} 3\n"));
+  EXPECT_TRUE(Contains(text, "robopt_lat_us_bucket{le=\"+Inf\"} 4\n"));
+  EXPECT_TRUE(Contains(text, "robopt_lat_us_count 4\n"));
+  EXPECT_TRUE(Contains(text, "robopt_lat_us_sum 106.2"));
+}
+
+TEST(JsonExportTest, SnapshotRoundTripsNamesAndValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total")->Add(2);
+  registry.GetHistogram("h_us", {4.0})->Observe(3.0);
+  const std::string json = ExportMetricsJson(registry.Snapshot());
+  ExpectBalancedJson(json);
+  EXPECT_TRUE(Contains(json, "\"c_total\": 2"));
+  EXPECT_TRUE(Contains(json, "\"h_us\": {\"sum\": 3"));
+  EXPECT_TRUE(Contains(json, "{\"le\": 4, \"count\": 1}"));
+  EXPECT_TRUE(Contains(json, "{\"le\": \"+Inf\", \"count\": 0}"));
+}
+
+TEST(ChromeTraceExportTest, EmitsCompleteEventsOnBothClocks) {
+  Tracer tracer(16);
+  const uint64_t trace = tracer.NewTrace();
+  SpanRecord span;
+  span.trace_id = trace;
+  span.span_id = tracer.NewSpanId();
+  span.parent_id = 0;
+  span.name = "execute";
+  span.start_us = 10.0;
+  span.dur_us = 25.0;
+  span.virt_start_s = 0.0;
+  span.virt_dur_s = 2.0;
+  span.arg_name_a = "ops";
+  span.arg_a = 4;
+  tracer.Record(span);
+  const std::string json = ExportChromeTrace(tracer.Collect(trace));
+  ExpectBalancedJson(json);
+  EXPECT_TRUE(Contains(json, "\"traceEvents\""));
+  EXPECT_TRUE(Contains(json, "\"name\": \"execute\""));
+  EXPECT_TRUE(Contains(json, "\"ph\": \"X\""));
+  EXPECT_TRUE(Contains(json, "\"pid\": 1"));  // Wall timeline.
+  EXPECT_TRUE(Contains(json, "\"pid\": 2"));  // Virtual timeline.
+  EXPECT_TRUE(Contains(json, "\"ts\": 10.000"));
+  EXPECT_TRUE(Contains(json, "\"dur\": 25.000"));
+  // 2 virtual seconds -> 2e6 trace micros.
+  EXPECT_TRUE(Contains(json, "\"dur\": 2000000.000"));
+  EXPECT_TRUE(Contains(json, "\"ops\": 4"));
+  EXPECT_TRUE(Contains(json, "\"displayTimeUnit\": \"ms\""));
+}
+
+TEST(ChromeTraceExportTest, WallOnlySpanEmitsOneEvent) {
+  Tracer tracer(16);
+  const uint64_t trace = tracer.NewTrace();
+  { SpanScope span(&tracer, trace, 0, "vectorize"); }
+  const std::string json = ExportChromeTrace(tracer.Collect(trace));
+  ExpectBalancedJson(json);
+  EXPECT_TRUE(Contains(json, "\"pid\": 1"));
+  EXPECT_FALSE(Contains(json, "\"pid\": 2"));
+}
+
+TEST(ChromeTraceExportTest, EmptySpanSetIsStillValidJson) {
+  ExpectBalancedJson(ExportChromeTrace({}));
+}
+
+}  // namespace
+}  // namespace robopt
