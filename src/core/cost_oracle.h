@@ -52,6 +52,13 @@ class CostOracle {
 /// (0 = unversioned, e.g. a plain long-lived oracle).
 struct PinnedOracle {
   std::shared_ptr<const CostOracle> oracle;
+  /// The same model through its quantized inference path, when the provider
+  /// published one *and* it passed the serving layer's holdout-error gate;
+  /// nullptr otherwise. Callers that request quantized inference
+  /// (OptimizeOptions::quantized_inference) use this oracle when present
+  /// and silently fall back to the exact one when not — an unvalidated
+  /// quantized table must never serve.
+  std::shared_ptr<const CostOracle> quantized_oracle;
   uint64_t version = 0;
 };
 
@@ -73,17 +80,27 @@ class OracleProvider {
 /// CostOracle backed by a trained runtime model (Robopt's default).
 class MlCostOracle : public CostOracle {
  public:
-  /// `model` must outlive the oracle.
-  explicit MlCostOracle(const RuntimeModel* model) : model_(model) {}
+  /// `model` must outlive the oracle. With `quantized`, batches go through
+  /// the model's reduced-precision path (PredictBatchQuantized) — identical
+  /// to the exact path for models without a quantized representation.
+  explicit MlCostOracle(const RuntimeModel* model, bool quantized = false)
+      : model_(model), quantized_(quantized) {}
 
   void EstimateBatch(const float* x, size_t n, size_t dim,
                      float* out) const override {
     Count(n);
-    model_->PredictBatch(x, n, dim, out);
+    if (quantized_) {
+      model_->PredictBatchQuantized(x, n, dim, out);
+    } else {
+      model_->PredictBatch(x, n, dim, out);
+    }
   }
+
+  bool quantized() const { return quantized_; }
 
  private:
   const RuntimeModel* model_;
+  const bool quantized_;
 };
 
 /// Oracle that deems every plan free. Used where the enumeration machinery

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "ml/simd_dispatch.h"
 
 namespace robopt {
 namespace {
@@ -246,9 +247,9 @@ void MergeRowsAt(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
   float* f = out->features(row);
   const float* fa = a.features(row_a);
   const float* fb = b.features(row_b);
-  // Cell-wise addition over the contiguous row — the hot loop the compiler
-  // vectorizes.
-  for (size_t c = 0; c < width; ++c) f[c] = fa[c] + fb[c];
+  // Cell-wise addition over the contiguous row — the Concat pair-space
+  // sweep's hot loop, through the active SIMD lane.
+  simd::Ops().add_rows_f32(f, fa, fb, width);
   // The two max-merged cells (pipeline count, tuple size).
   const size_t pipeline_cell = schema.TopologyCell(Topology::kPipeline);
   f[pipeline_cell] = std::max(fa[pipeline_cell], fb[pipeline_cell]);
@@ -259,8 +260,7 @@ void MergeRowsAt(const EnumerationContext& ctx, const PlanVectorEnumeration& a,
   uint8_t* assign = out->assignment(row);
   const uint8_t* aa = a.assignment(row_a);
   const uint8_t* ab = b.assignment(row_b);
-  const size_t num_ops = out->num_ops();
-  for (size_t i = 0; i < num_ops; ++i) assign[i] = aa[i] | ab[i];
+  simd::Ops().or_bytes(assign, aa, ab, out->num_ops());
 
   // Conversion accounting on edges crossing the two scopes.
   uint16_t switches = a.switches(row_a) + b.switches(row_b);
@@ -401,6 +401,96 @@ std::vector<size_t> GroupFootprints(size_t rows, const float* costs,
   return kept;
 }
 
+/// Packed-footprint grouping: same contract as GroupFootprints (kept row
+/// per footprint, serial first-seen order, strictly-cheaper tie-break), but
+/// the footprint store is a dense first-seen-ordered uint64 array probed
+/// with the SIMD dispatch shim's vector key compare instead of a hash map.
+/// Distinct footprints are few in the common case (platforms^|boundary|,
+/// tens on real plans), so the whole key array sits in a couple of cache
+/// lines and a linear vector probe beats hashing + pointer chasing. When a
+/// wide boundary does explode the footprint set, the shard migrates to a
+/// hash index at kFlatFootprintCap keys — the probe's O(distinct) cost must
+/// not go quadratic — while the dense arrays keep carrying the first-seen
+/// order and champions.
+constexpr size_t kFlatFootprintCap = 512;
+
+template <typename KeyFn>
+std::vector<size_t> GroupFootprintsPacked(size_t rows, const float* costs,
+                                          const KeyFn& key_of,
+                                          int num_threads) {
+  struct Shard {
+    std::vector<uint64_t> keys;  ///< Distinct footprints, first-seen order.
+    std::vector<size_t> best;    ///< Champion row per key, parallel.
+    /// footprint -> slot in keys/best; engaged past kFlatFootprintCap.
+    std::unordered_map<uint64_t, size_t> index;
+  };
+  const auto find_u64 = simd::Ops().find_u64;
+  auto insert = [&](Shard* shard, uint64_t key, size_t row) {
+    size_t slot;
+    if (shard->index.empty()) {
+      slot = find_u64(shard->keys.data(), shard->keys.size(), key);
+      if (slot == shard->keys.size()) {
+        shard->keys.push_back(key);
+        shard->best.push_back(row);
+        if (shard->keys.size() >= kFlatFootprintCap) {
+          shard->index.reserve(2 * shard->keys.size());
+          for (size_t i = 0; i < shard->keys.size(); ++i) {
+            shard->index.emplace(shard->keys[i], i);
+          }
+        }
+        return;
+      }
+    } else {
+      const auto [it, inserted] =
+          shard->index.try_emplace(key, shard->keys.size());
+      if (inserted) {
+        shard->keys.push_back(key);
+        shard->best.push_back(row);
+        return;
+      }
+      slot = it->second;
+    }
+    if (costs[row] < costs[shard->best[slot]]) shard->best[slot] = row;
+  };
+  auto scan = [&](size_t begin, size_t end, Shard* shard) {
+    for (size_t row = begin; row < end; ++row) {
+      insert(shard, key_of(row), row);
+    }
+  };
+
+  const size_t shard_count =
+      num_threads <= 1
+          ? 1
+          : std::min<size_t>(static_cast<size_t>(num_threads),
+                             rows / kParallelGrainRows);
+  if (shard_count <= 1) {
+    Shard all;
+    scan(0, rows, &all);
+    return std::move(all.best);
+  }
+
+  std::vector<Shard> shards(shard_count);
+  std::vector<size_t> starts(shard_count + 1, 0);
+  const size_t base = rows / shard_count;
+  const size_t extra = rows % shard_count;
+  for (size_t s = 0; s < shard_count; ++s) {
+    starts[s + 1] = starts[s] + base + (s < extra ? 1 : 0);
+  }
+  ParallelFor(num_threads, 0, shard_count, 1, [&](size_t s0, size_t s1) {
+    for (size_t s = s0; s < s1; ++s) scan(starts[s], starts[s + 1], &shards[s]);
+  });
+
+  // Ascending shard order reproduces the serial first-seen order and
+  // tie-break exactly: every row of shard s precedes every row of s+1.
+  Shard merged;
+  for (const Shard& shard : shards) {
+    for (size_t i = 0; i < shard.keys.size(); ++i) {
+      insert(&merged, shard.keys[i], shard.best[i]);
+    }
+  }
+  return std::move(merged.best);
+}
+
 }  // namespace
 
 PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
@@ -439,8 +529,7 @@ PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
       }
       return key;
     };
-    kept = GroupFootprints<uint64_t>(v.size(), costs.data(), key_of,
-                                     num_threads);
+    kept = GroupFootprintsPacked(v.size(), costs.data(), key_of, num_threads);
   } else {
     // Wide-boundary fallback (more than 8 boundary operators): the original
     // string keys, same grouping semantics.

@@ -78,6 +78,12 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
       return Status::Internal("oracle provider has no model published");
     }
     base_oracle = pinned.oracle.get();
+    // Quantized inference is opt-in per call and only served when the
+    // pinned model carries a *validated* quantized oracle; otherwise the
+    // exact path answers, so an unvalidated table can never serve.
+    if (options.quantized_inference && pinned.quantized_oracle != nullptr) {
+      base_oracle = pinned.quantized_oracle.get();
+    }
   }
 
   // The memoizing oracle fast path: dedupe and cache cost lookups for this

@@ -37,6 +37,15 @@ struct OptimizeOptions {
   /// memoize across Optimize calls instead, construct a long-lived
   /// CachingCostOracle and pass it as the optimizer's oracle.
   size_t oracle_cache_bytes = 0;
+  /// Estimate costs through the model's 8-bit quantized inference path for
+  /// this call. Default off. Only honored when the optimizer pins its
+  /// oracle from an OracleProvider whose current model published a
+  /// *validated* quantized table (PinnedOracle::quantized_oracle — the
+  /// serving layer fills it only after the quantized/exact holdout
+  /// log1p-MAE delta passed its bound); otherwise the exact oracle serves
+  /// the call unchanged. Part of the plan-cache key: quantized and exact
+  /// estimates may legitimately pick different plans.
+  bool quantized_inference = false;
   /// Observability sinks for this call: hot-path metrics, a span tree in
   /// the tracer, and/or a filled OptimizeResult::profile. All off by
   /// default; the chosen plan, its cost and every stat are bit-identical

@@ -3,14 +3,149 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "common/thread_pool.h"
+#include "ml/simd_dispatch.h"
 
 namespace robopt {
+
+static_assert(ForestKernel::kRowBlock % ForestKernel::kGroupRows == 0,
+              "speculation groups must tile the accumulator block exactly");
 
 namespace {
 std::atomic<uint64_t> g_rows_scored{0};
 std::atomic<uint64_t> g_batches{0};
+
+/// Raw pointers of the node pool, hoisted once per batch so the inner loops
+/// never touch vector objects.
+struct PoolView {
+  const int32_t* feature;
+  const float* threshold;
+  const int32_t* left;
+  const int32_t* right;
+  const float* value;
+  const uint8_t* threshold_q8;
+  const float* q8_base;  ///< Indexed by feature.
+  const float* q8_step;
+};
+
+/// The split threshold of `node` — exact, or dequantized from the 8-bit
+/// table. Only valid on internal nodes (feature >= 0).
+template <bool kQuantized>
+inline float NodeThreshold(const PoolView& p, int32_t node) {
+  if (kQuantized) {
+    const int32_t f = p.feature[node];
+    return p.q8_base[f] +
+           p.q8_step[f] * static_cast<float>(p.threshold_q8[node]);
+  }
+  return p.threshold[node];
+}
+
+/// The scalar-lane / guarded block walk: trees outer, rows inner, per-row
+/// double accumulators in fixed tree order. Reads a feature index beyond
+/// `dim` as 0.0, exactly like the reference path.
+template <bool kQuantized>
+void WalkBlockScalar(const PoolView& p, const int32_t* roots,
+                     size_t num_trees, const float* bx, size_t rows,
+                     size_t dim, double* acc) {
+  for (size_t t = 0; t < num_trees; ++t) {
+    const int32_t root = roots[t];
+    for (size_t row = 0; row < rows; ++row) {
+      const float* r = bx + row * dim;
+      int32_t node = root;
+      int32_t f = p.feature[node];
+      while (f >= 0) {
+        const float v = static_cast<size_t>(f) < dim ? r[f] : 0.0f;
+        node = v <= NodeThreshold<kQuantized>(p, node) ? p.left[node]
+                                                       : p.right[node];
+        f = p.feature[node];
+      }
+      acc[row] += p.value[node];
+    }
+  }
+}
+
+/// The extrema-speculation walk (non-scalar lanes, every split feature
+/// < dim): per kGroupRows-row group, a SIMD pass yields per-feature min/max
+/// summaries, then one scalar walk descends for the whole group —
+/// max[f] <= threshold sends every row left, min[f] > threshold sends every
+/// row right. A group that straddles a split (or contains a NaN, which the
+/// summary pass flags because vector min/max would silently drop it)
+/// diverges to interleaved per-row walks from that node, so decisions are
+/// exactly the reference's. Accumulation stays per-row in fixed tree order:
+/// bit-identical to WalkBlockScalar.
+template <bool kQuantized>
+void WalkBlockGrouped(const PoolView& p, const int32_t* roots,
+                      size_t num_trees, const float* bx, size_t rows,
+                      size_t dim, double* acc, float* minv, float* maxv) {
+  constexpr size_t W = ForestKernel::kGroupRows;
+  const auto min_max_group = simd::Ops().min_max_group_f32;
+  const size_t grouped = rows / W * W;
+  int32_t nd[W];
+  for (size_t r = 0; r < grouped; r += W) {
+    const float* g = bx + r * dim;
+    const bool nan_group = min_max_group(g, W, dim, minv, maxv);
+    for (size_t t = 0; t < num_trees; ++t) {
+      int32_t node = roots[t];
+      if (!nan_group) {
+        for (;;) {
+          const int32_t f = p.feature[node];
+          if (f < 0) break;
+          const float tv = NodeThreshold<kQuantized>(p, node);
+          if (maxv[f] <= tv) {  // Every row's value <= tv: all go left.
+            node = p.left[node];
+            continue;
+          }
+          if (!(minv[f] <= tv)) {  // Every row's value > tv: all go right.
+            node = p.right[node];
+            continue;
+          }
+          break;  // The group straddles this split: diverge below.
+        }
+      }
+      if (p.feature[node] < 0) {
+        const double leaf = static_cast<double>(p.value[node]);
+        for (size_t i = 0; i < W; ++i) acc[r + i] += leaf;
+      } else {
+        for (size_t i = 0; i < W; ++i) nd[i] = node;
+        for (;;) {
+          int32_t alive = -1;  // AND of features: < 0 iff all rows leafed.
+          for (size_t i = 0; i < W; ++i) {
+            const int32_t c = nd[i];
+            const int32_t f = p.feature[c];
+            if (f >= 0) {
+              nd[i] = g[i * dim + f] <= NodeThreshold<kQuantized>(p, c)
+                          ? p.left[c]
+                          : p.right[c];
+            }
+            alive &= f;
+          }
+          if (alive < 0) break;
+        }
+        for (size_t i = 0; i < W; ++i) {
+          acc[r + i] += static_cast<double>(p.value[nd[i]]);
+        }
+      }
+    }
+  }
+  // Tail rows below one group: plain per-row walks (every feature < dim
+  // here, so the unguarded read matches the reference's guarded one).
+  for (size_t r = grouped; r < rows; ++r) {
+    const float* row = bx + r * dim;
+    for (size_t t = 0; t < num_trees; ++t) {
+      int32_t node = roots[t];
+      int32_t f = p.feature[node];
+      while (f >= 0) {
+        node = row[f] <= NodeThreshold<kQuantized>(p, node) ? p.left[node]
+                                                            : p.right[node];
+        f = p.feature[node];
+      }
+      acc[r] += static_cast<double>(p.value[node]);
+    }
+  }
+}
+
 }  // namespace
 
 uint64_t ForestKernel::TotalRowsScored() {
@@ -28,6 +163,10 @@ void ForestKernel::Clear() {
   left_.clear();
   right_.clear();
   value_.clear();
+  max_feature_ = -1;
+  threshold_q8_.clear();
+  q8_base_.clear();
+  q8_step_.clear();
 }
 
 void ForestKernel::Build(const std::vector<DecisionTree>& trees) {
@@ -62,8 +201,58 @@ void ForestKernel::Build(const std::vector<DecisionTree>& trees) {
       left_.push_back(feature >= 0 ? base + tree.node_left(i) : -1);
       right_.push_back(feature >= 0 ? base + tree.node_right(i) : -1);
       value_.push_back(tree.node_value(i));
+      if (feature > max_feature_) max_feature_ = feature;
     }
   }
+  BuildQuantizedTables();
+}
+
+void ForestKernel::BuildQuantizedTables() {
+  const size_t nodes = feature_.size();
+  if (nodes == 0) return;
+  threshold_q8_.assign(nodes, 0);
+  const size_t nf = num_features();
+  q8_base_.assign(nf, 0.0f);
+  q8_step_.assign(nf, 0.0f);
+  if (nf == 0) return;
+  // Per-feature threshold range over all splits of that feature.
+  std::vector<float> lo(nf, std::numeric_limits<float>::infinity());
+  std::vector<float> hi(nf, -std::numeric_limits<float>::infinity());
+  for (size_t i = 0; i < nodes; ++i) {
+    const int32_t f = feature_[i];
+    if (f < 0) continue;
+    lo[f] = std::min(lo[f], threshold_[i]);
+    hi[f] = std::max(hi[f], threshold_[i]);
+  }
+  std::vector<double> step(nf, 0.0);
+  for (size_t f = 0; f < nf; ++f) {
+    if (!(lo[f] <= hi[f])) continue;  // Feature never split on.
+    step[f] = (static_cast<double>(hi[f]) - static_cast<double>(lo[f])) /
+              255.0;
+    q8_base_[f] = lo[f];
+    q8_step_[f] = static_cast<float>(step[f]);
+  }
+  for (size_t i = 0; i < nodes; ++i) {
+    const int32_t f = feature_[i];
+    if (f < 0 || step[f] == 0.0) continue;  // Leaf, or exact (single value).
+    const double q = std::nearbyint(
+        (static_cast<double>(threshold_[i]) - static_cast<double>(lo[f])) /
+        step[f]);
+    threshold_q8_[i] =
+        static_cast<uint8_t>(q < 0.0 ? 0.0 : (q > 255.0 ? 255.0 : q));
+  }
+}
+
+float ForestKernel::QuantizationMaxAbsError() const {
+  float worst = 0.0f;
+  for (size_t i = 0; i < feature_.size(); ++i) {
+    const int32_t f = feature_[i];
+    if (f < 0) continue;
+    const float dequantized =
+        q8_base_[f] + q8_step_[f] * static_cast<float>(threshold_q8_[i]);
+    worst = std::max(worst, std::fabs(threshold_[i] - dequantized));
+  }
+  return worst;
 }
 
 float ForestKernel::PredictTree(size_t t, const float* row, size_t dim) const {
@@ -82,8 +271,8 @@ float ForestKernel::PredictTree(size_t t, const float* row, size_t dim) const {
 }
 
 void ForestKernel::PredictBatch(const float* x, size_t n, size_t dim,
-                                float* out, bool log_label,
-                                int num_threads) const {
+                                float* out, bool log_label, int num_threads,
+                                bool quantized) const {
   if (n == 0) return;
   g_rows_scored.fetch_add(n, std::memory_order_relaxed);
   g_batches.fetch_add(1, std::memory_order_relaxed);
@@ -91,44 +280,51 @@ void ForestKernel::PredictBatch(const float* x, size_t n, size_t dim,
     std::fill(out, out + n, 0.0f);
     return;
   }
-  // Same blocking as the per-tree reference path: trees in the outer loop,
-  // rows of a fixed-size block in the inner one, per-row double
-  // accumulators in fixed tree order — so the output is bit-identical to
-  // the reference for every thread count.
   const double inv = 1.0 / static_cast<double>(roots_.size());
   const int threads = num_threads == 0 ? ThreadPool::HardwareThreads()
                                        : num_threads;
   const size_t num_blocks = (n + kRowBlock - 1) / kRowBlock;
-  const int32_t* feature = feature_.data();
-  const float* threshold = threshold_.data();
-  const int32_t* left = left_.data();
-  const int32_t* right = right_.data();
-  const float* value = value_.data();
+  const PoolView pool{feature_.data(), threshold_.data(), left_.data(),
+                      right_.data(),   value_.data(),     threshold_q8_.data(),
+                      q8_base_.data(), q8_step_.data()};
+  const int32_t* roots = roots_.data();
   const size_t num_trees = roots_.size();
+  // The grouped (extrema-speculation) kernel reads row[f] unguarded and
+  // only runs when every split feature is in range; narrower batches take
+  // the guarded scalar walk, as does the pinned scalar lane (for which the
+  // summary pass would cost about what it saves).
+  const bool grouped = num_features() <= dim &&
+                       simd::ActiveLane() != simd::Lane::kScalar;
+  const bool quantize = quantized && has_quantized();
   ParallelFor(threads, 0, num_blocks, 1, [&](size_t block0, size_t block1) {
     double acc[kRowBlock];
+    // Per-feature min/max summary scratch of the grouped kernel, reused
+    // across every group this shard walks.
+    std::vector<float> extrema(grouped ? 2 * dim : 0);
     for (size_t block = block0; block < block1; ++block) {
       const size_t row0 = block * kRowBlock;
-      const size_t row1 = std::min(n, row0 + kRowBlock);
-      std::fill(acc, acc + (row1 - row0), 0.0);
-      for (size_t t = 0; t < num_trees; ++t) {
-        const int32_t root = roots_[t];
-        for (size_t row = row0; row < row1; ++row) {
-          const float* r = x + row * dim;
-          int32_t node = root;
-          int32_t f = feature[node];
-          while (f >= 0) {
-            const float v = static_cast<size_t>(f) < dim ? r[f] : 0.0f;
-            node = v <= threshold[node] ? left[node] : right[node];
-            f = feature[node];
-          }
-          acc[row - row0] += value[node];
+      const size_t rows = std::min(n - row0, kRowBlock);
+      const float* bx = x + row0 * dim;
+      std::fill(acc, acc + rows, 0.0);
+      if (grouped) {
+        float* minv = extrema.data();
+        float* maxv = extrema.data() + dim;
+        if (quantize) {
+          WalkBlockGrouped<true>(pool, roots, num_trees, bx, rows, dim, acc,
+                                 minv, maxv);
+        } else {
+          WalkBlockGrouped<false>(pool, roots, num_trees, bx, rows, dim, acc,
+                                  minv, maxv);
         }
+      } else if (quantize) {
+        WalkBlockScalar<true>(pool, roots, num_trees, bx, rows, dim, acc);
+      } else {
+        WalkBlockScalar<false>(pool, roots, num_trees, bx, rows, dim, acc);
       }
-      for (size_t row = row0; row < row1; ++row) {
-        double result = acc[row - row0] * inv;
+      for (size_t row = 0; row < rows; ++row) {
+        double result = acc[row] * inv;
         if (log_label) result = std::expm1(result);
-        out[row] = static_cast<float>(result < 0 ? 0 : result);
+        out[row0 + row] = static_cast<float>(result < 0 ? 0 : result);
       }
     }
   });

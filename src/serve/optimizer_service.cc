@@ -17,11 +17,17 @@ namespace {
 /// training optimize the same quantity. An empty set has no error to
 /// measure: NaN (the "unvalidated" marker PublishExternal also records),
 /// never 0.0 — a zero would make any comparison against it vacuously pass.
-double LogSpaceMae(const RuntimeModel& model, const MlDataset& data) {
+double LogSpaceMae(const RuntimeModel& model, const MlDataset& data,
+                   bool quantized = false) {
   if (data.size() == 0) return std::numeric_limits<double>::quiet_NaN();
   std::vector<float> pred(data.size());
-  model.PredictBatch(data.features().data(), data.size(), data.dim(),
-                     pred.data());
+  if (quantized) {
+    model.PredictBatchQuantized(data.features().data(), data.size(),
+                                data.dim(), pred.data());
+  } else {
+    model.PredictBatch(data.features().data(), data.size(), data.dim(),
+                       pred.data());
+  }
   double sum = 0.0;
   for (size_t i = 0; i < data.size(); ++i) {
     const double p = std::log1p(std::max(0.0, static_cast<double>(pred[i])));
@@ -30,6 +36,23 @@ double LogSpaceMae(const RuntimeModel& model, const MlDataset& data) {
     sum += std::fabs(p - a);
   }
   return sum / static_cast<double>(data.size());
+}
+
+/// The quantized-serving gate: measures how much holdout log1p-MAE rises
+/// when the forest estimates through its 8-bit threshold tables instead of
+/// the exact ones, and passes only a measured delta within `max_delta`. An
+/// empty holdout cannot measure anything — the gate fails closed (exact
+/// serving), mirroring the promote_unvalidated philosophy: a bound that was
+/// never checked must never be treated as passed. `exact_mae` is the
+/// already-computed exact holdout MAE of the same forest.
+bool QuantizedGatePasses(const RandomForest& forest, const MlDataset& holdout,
+                         double exact_mae, double max_delta, double* delta) {
+  *delta = std::numeric_limits<double>::quiet_NaN();
+  if (holdout.size() == 0 || !forest.kernel().has_quantized()) return false;
+  const double quantized_mae =
+      LogSpaceMae(forest, holdout, /*quantized=*/true);
+  *delta = quantized_mae - exact_mae;
+  return *delta <= max_delta;
 }
 
 double AbsLogError(float predicted_s, double actual_s) {
@@ -105,7 +128,14 @@ StatusOr<std::unique_ptr<OptimizerService>> OptimizerService::Create(
     initial = std::move(forest);
   }
   const double mae = LogSpaceMae(*initial, service->holdout_);
-  service->models_.Publish(std::move(initial), mae);
+  bool quantized_ok = false;
+  if (service->options_.quantized_inference) {
+    double delta = 0.0;
+    quantized_ok = QuantizedGatePasses(
+        *initial, service->holdout_, mae,
+        service->options_.quantized_max_mae_delta, &delta);
+  }
+  service->models_.Publish(std::move(initial), mae, quantized_ok);
   if (service->options_.background_retrain) {
     service->worker_ = std::thread([s = service.get()] { s->WorkerLoop(); });
   }
@@ -158,6 +188,11 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
   const uint64_t open_mask = SyncBreakerState();
   OptimizeOptions options = caller_options;
   options.excluded_platform_mask |= open_mask;
+  // Serve-level quantized default: when the service was configured for
+  // quantized inference, every call requests it. The optimizer only honors
+  // the request if the pinned model was published quantized-validated (the
+  // gate in RetrainNow/Create), so an unvalidated table never serves.
+  options.quantized_inference |= options_.quantized_inference;
   // Service observability: route this call's metrics and span tree into the
   // service-owned sinks, unless the caller brought their own (theirs win —
   // a call-level override must not be silently redirected). obs is not part
@@ -404,7 +439,17 @@ StatusOr<RetrainOutcome> OptimizerService::RetrainNow(bool force) {
           : options_.promote_unvalidated;
   if (promote) {
     std::shared_ptr<RandomForest> forest = std::move(candidate.value());
-    outcome.version = models_.Publish(std::move(forest), outcome.candidate_mae);
+    // The quantized gate rides on the same holdout: the promoted version
+    // serves quantized estimates only when the measured quantized/exact
+    // MAE delta stays within the bound (unmeasurable — empty holdout —
+    // fails closed to exact serving).
+    if (options_.quantized_inference) {
+      outcome.quantized_enabled = QuantizedGatePasses(
+          *forest, holdout, outcome.candidate_mae,
+          options_.quantized_max_mae_delta, &outcome.quantized_mae_delta);
+    }
+    outcome.version = models_.Publish(std::move(forest), outcome.candidate_mae,
+                                      outcome.quantized_enabled);
     outcome.promoted = true;
     plan_cache_.InvalidateAll();
     std::lock_guard<std::mutex> counter_lock(counter_mu_);

@@ -54,6 +54,17 @@ struct ServeOptions {
   /// Hyper-parameters of retrained candidate forests (also used when the
   /// service trains v1 itself).
   RandomForest::Params forest;
+  /// Request 8-bit quantized-threshold inference for served Optimize()
+  /// calls. Default off. Even when on, quantized mode is *gated*: each
+  /// published model's quantized/exact holdout log1p-MAE delta is measured,
+  /// and only a model within quantized_max_mae_delta is published
+  /// quantized-validated (RetrainOutcome::quantized_enabled reports the
+  /// decision). Models that fail the bound — and models published with an
+  /// empty holdout, where the delta cannot be measured — serve exact.
+  bool quantized_inference = false;
+  /// The bound: max allowed increase of holdout log1p-MAE when estimating
+  /// through the quantized tables instead of the exact thresholds.
+  double quantized_max_mae_delta = 0.01;
   /// Plan-cache entries (0 disables the cache).
   size_t plan_cache_capacity = 256;
   /// EWMA smoothing factor of the per-version drift stats.
@@ -96,6 +107,13 @@ struct RetrainOutcome {
   double incumbent_mae = 0.0;  ///< Same holdout, current model.
   size_t holdout_rows = 0;
   size_t experience_rows = 0;  ///< Training log size at candidate time.
+  /// Quantized gate (only meaningful when promoted and
+  /// ServeOptions::quantized_inference is on): the measured holdout
+  /// log1p-MAE increase of quantized over exact inference, and whether it
+  /// passed quantized_max_mae_delta — i.e. whether the published version
+  /// serves quantized estimates.
+  double quantized_mae_delta = 0.0;
+  bool quantized_enabled = false;
 };
 
 /// Fault-recovery counters (the re-optimize-on-failure path).

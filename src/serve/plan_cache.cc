@@ -27,6 +27,9 @@ uint64_t PlanCache::HashOptions(const OptimizeOptions& options) {
   mix(options.single_platform ? 1 : 0);
   mix(static_cast<uint64_t>(options.priority));
   mix(static_cast<uint64_t>(options.prune));
+  // Quantized estimates may pick a different plan than exact ones, so the
+  // two modes must never share a cache entry.
+  mix(options.quantized_inference ? 1 : 0);
   return h;
 }
 

@@ -1,0 +1,123 @@
+// The Concat row merge and the PruneBoundary packed-footprint grouping call
+// through the runtime SIMD dispatch table (simd::Ops()). Lane selection must
+// be invisible in the results: the scalar lane and the best available lane
+// have to produce bit-identical enumerations, at every thread count, both on
+// small footprint sets (flat SIMD probe) and past the flat-array cap where
+// the grouping migrates to a hash index.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/operations.h"
+#include "ml/simd_dispatch.h"
+#include "test_oracles.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+class SimdLaneTest : public ::testing::Test {
+ protected:
+  SimdLaneTest() : initial_lane_(simd::ActiveLane()) {}
+  ~SimdLaneTest() override { simd::ForceLaneForTest(initial_lane_); }
+
+  static bool Identical(const PlanVectorEnumeration& a,
+                        const PlanVectorEnumeration& b) {
+    if (a.size() != b.size() || a.width() != b.width()) return false;
+    if (std::memcmp(a.feature_pool().data(), b.feature_pool().data(),
+                    a.feature_pool().size() * sizeof(float)) != 0) {
+      return false;
+    }
+    for (size_t row = 0; row < a.size(); ++row) {
+      if (std::memcmp(a.assignment(row), b.assignment(row), a.num_ops()) !=
+              0 ||
+          a.switches(row) != b.switches(row)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  simd::Lane initial_lane_;
+};
+
+TEST_F(SimdLaneTest, ConcatAndPruneBitIdenticalAcrossLanesAndThreads) {
+  PlatformRegistry registry = PlatformRegistry::Synthetic(3);
+  FeatureSchema schema(&registry);
+  LogicalPlan plan = MakeSyntheticPipeline(7, 1e5, 41);
+  auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+  ASSERT_TRUE(ctx.ok());
+  LinearFeatureOracle oracle(schema, 19);
+
+  // Fold the pipeline with concat + prune once per lane / thread count and
+  // demand identical bits everywhere.
+  auto fold = [&](int num_threads) {
+    PlanVectorEnumeration acc(schema.width(), plan.num_operators());
+    bool first = true;
+    for (int op = 0; op < plan.num_operators(); ++op) {
+      AbstractPlanVector single;
+      single.ops = {static_cast<OperatorId>(op)};
+      PlanVectorEnumeration sv = Enumerate(*ctx, single);
+      if (first) {
+        acc = std::move(sv);
+        first = false;
+      } else {
+        acc = PruneBoundary(*ctx, Concat(*ctx, acc, sv, num_threads), oracle,
+                            nullptr, num_threads);
+      }
+    }
+    return acc;
+  };
+
+  simd::ForceLaneForTest(simd::Lane::kScalar);
+  const PlanVectorEnumeration want = fold(1);
+  ASSERT_GT(want.size(), 0u);
+  for (simd::Lane lane : {simd::Lane::kScalar, simd::Lane::kAvx2,
+                          simd::Lane::kNeon}) {
+    simd::ForceLaneForTest(lane);  // Unavailable lanes clamp; still valid.
+    for (int threads : {1, 4}) {
+      const PlanVectorEnumeration got = fold(threads);
+      EXPECT_TRUE(Identical(got, want))
+          << "lane request " << simd::LaneName(lane) << " resolved to "
+          << simd::LaneName(simd::ActiveLane()) << ", threads=" << threads;
+    }
+  }
+}
+
+TEST_F(SimdLaneTest, PrunePastFlatCapMatchesScalarLane) {
+  // A non-contiguous operator subset makes every chosen operator a boundary
+  // operator: 6 boundary operators over 4 platforms yield 4^6 = 4096 rows
+  // with 4^5 = 1024 distinct footprints — past the 512-entry flat-probe cap,
+  // so the grouping migrates to its hash index mid-scan. (Operators 1..3 are
+  // contiguous, so operator 2 is interior; the rest are isolated.)
+  PlatformRegistry registry = PlatformRegistry::Synthetic(4);
+  FeatureSchema schema(&registry);
+  LogicalPlan plan = MakeSyntheticPipeline(11, 1e5, 43);
+  auto ctx = EnumerationContext::Make(&plan, &registry, &schema);
+  ASSERT_TRUE(ctx.ok());
+  AbstractPlanVector subset;
+  subset.ops = {1, 2, 3, 5, 7, 9};
+  const PlanVectorEnumeration v = Enumerate(*ctx, subset);
+  ASSERT_EQ(v.size(), 4096u);
+  LinearFeatureOracle oracle(schema, 47);
+
+  simd::ForceLaneForTest(simd::Lane::kScalar);
+  const PlanVectorEnumeration want = PruneBoundary(*ctx, v, oracle);
+  EXPECT_EQ(want.size(), 1024u);
+
+  for (simd::Lane lane : {simd::Lane::kAvx2, simd::Lane::kNeon}) {
+    simd::ForceLaneForTest(lane);
+    for (int threads : {1, 4}) {
+      const PlanVectorEnumeration got =
+          PruneBoundary(*ctx, v, oracle, nullptr, threads);
+      EXPECT_TRUE(Identical(got, want))
+          << "lane request " << simd::LaneName(lane) << " resolved to "
+          << simd::LaneName(simd::ActiveLane()) << ", threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robopt

@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/aligned_vector.h"
 #include "common/rng.h"
 #include "ml/forest_kernel.h"
 #include "ml/random_forest.h"
@@ -132,6 +135,110 @@ TEST(ForestKernelTest, ClearEmptiesThePool) {
   kernel.Clear();
   EXPECT_TRUE(kernel.empty());
   EXPECT_EQ(kernel.num_nodes(), 0u);
+}
+
+TEST(ForestKernelTest, EmptyBatchReturnsBeforeTelemetry) {
+  const MlDataset data = MakeDataset(8, 120, 21);
+  const RandomForest forest = TrainForest(data, 4);
+  const ForestKernel& kernel = forest.kernel();
+  const uint64_t batches_before = ForestKernel::TotalBatches();
+  const uint64_t rows_before = ForestKernel::TotalRowsScored();
+  float out = -1.0f;
+  kernel.PredictBatch(data.features().data(), 0, data.dim(), &out,
+                      /*log_label=*/false, /*num_threads=*/1);
+  EXPECT_EQ(ForestKernel::TotalBatches(), batches_before);
+  EXPECT_EQ(ForestKernel::TotalRowsScored(), rows_before);
+  EXPECT_EQ(out, -1.0f) << "n == 0 must not touch the output buffer";
+
+  float out3[3] = {0, 0, 0};
+  kernel.PredictBatch(data.features().data(), 3, data.dim(), out3,
+                      /*log_label=*/false, /*num_threads=*/1);
+  EXPECT_EQ(ForestKernel::TotalBatches(), batches_before + 1);
+  EXPECT_EQ(ForestKernel::TotalRowsScored(), rows_before + 3);
+}
+
+TEST(ForestKernelTest, NodeArraysAre64ByteAligned) {
+  static_assert(alignof(std::max_align_t) <= kCacheLineBytes,
+                "AlignedVector must widen, not narrow, default alignment");
+  const MlDataset data = MakeDataset(16, 200, 25);
+  const RandomForest forest = TrainForest(data, 10);
+  EXPECT_TRUE(forest.kernel().node_arrays_aligned());
+  // The allocator itself, across a spread of sizes (including ones that a
+  // size-classed malloc would place at 16-byte offsets).
+  for (size_t n : {1, 3, 17, 100, 1000}) {
+    AlignedVector<float> v(n);
+    EXPECT_TRUE(IsAligned(v.data())) << n;
+    AlignedVector<uint8_t> b(n);
+    EXPECT_TRUE(IsAligned(b.data())) << n;
+  }
+}
+
+TEST(ForestKernelTest, QuantizedThresholdErrorWithinAffineBound) {
+  // Features are drawn from [0, 50], so every per-feature threshold range
+  // is at most 50 and the documented bound (hi - lo) / 510 caps the
+  // dequantization error at ~0.098.
+  const MlDataset data = MakeDataset(16, 300, 27);
+  const RandomForest forest = TrainForest(data, 10);
+  const ForestKernel& kernel = forest.kernel();
+  ASSERT_TRUE(kernel.has_quantized());
+  EXPECT_LE(kernel.QuantizationMaxAbsError(), 50.0f / 510.0f + 1e-6f);
+}
+
+TEST(ForestKernelTest, QuantizedPredictionsDeterministicAcrossThreads) {
+  const MlDataset data = MakeDataset(16, 300, 31);
+  const RandomForest forest = TrainForest(data, 10);
+  const ForestKernel& kernel = forest.kernel();
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+  std::vector<float> canonical(n), got(n);
+  kernel.PredictBatch(data.features().data(), n, dim, canonical.data(),
+                      /*log_label=*/true, /*num_threads=*/1,
+                      /*quantized=*/true);
+  for (int threads : {2, 8}) {
+    kernel.PredictBatch(data.features().data(), n, dim, got.data(),
+                        /*log_label=*/true, threads, /*quantized=*/true);
+    EXPECT_EQ(std::memcmp(got.data(), canonical.data(), n * sizeof(float)), 0)
+        << threads << " threads";
+  }
+}
+
+TEST(ForestKernelTest, NaNRowsMatchReferenceBitForBit) {
+  // NaN compares false against every threshold, so a NaN feature always
+  // walks right — in the reference and in the kernel. The grouped SIMD path
+  // must detect NaN groups in the extrema pass and fall back to per-row
+  // walks; either way the bits must match.
+  MlDataset data = MakeDataset(12, 4 * ForestKernel::kRowBlock, 33);
+  RandomForest forest = TrainForest(data, 8);
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+  std::vector<float> features(data.features().begin(), data.features().end());
+  for (size_t i = 0; i < n; i += 7) {
+    features[i * dim + (i % dim)] = std::numeric_limits<float>::quiet_NaN();
+  }
+  std::vector<float> reference(n), got(n);
+  forest.PredictBatchReference(features.data(), n, dim, reference.data());
+  for (int threads : {1, 4}) {
+    forest.set_num_threads(threads);
+    forest.PredictBatch(features.data(), n, dim, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), reference.data(), n * sizeof(float)), 0)
+        << threads << " threads";
+  }
+}
+
+TEST(ForestKernelTest, NarrowBatchTakesGuardedPathAndMatchesReference) {
+  // Score a batch narrower than the trained feature space: missing features
+  // read as 0 in the reference walk, and the kernel must switch off the
+  // grouped path (which assumes full-width rows) and still match bitwise.
+  const MlDataset train = MakeDataset(20, 300, 35);
+  RandomForest forest = TrainForest(train, 10);
+  ASSERT_GT(forest.kernel().num_features(), 6u);
+  const MlDataset narrow = MakeDataset(6, 200, 37);
+  const size_t n = narrow.size();
+  std::vector<float> reference(n), got(n);
+  forest.PredictBatchReference(narrow.features().data(), n, narrow.dim(),
+                               reference.data());
+  forest.PredictBatch(narrow.features().data(), n, narrow.dim(), got.data());
+  EXPECT_EQ(std::memcmp(got.data(), reference.data(), n * sizeof(float)), 0);
 }
 
 TEST(ForestKernelTest, SaveLoadRebuildsKernelWithIdenticalPredictions) {
