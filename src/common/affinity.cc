@@ -1,0 +1,34 @@
+#include "common/affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace robopt {
+
+bool AffinitySupported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool PinCurrentThreadToCore(int core) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0 || core < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core) % hw, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace robopt

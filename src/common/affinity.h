@@ -1,0 +1,19 @@
+#ifndef ROBOPT_COMMON_AFFINITY_H_
+#define ROBOPT_COMMON_AFFINITY_H_
+
+namespace robopt {
+
+/// Pins the calling thread to logical core `core % hardware cores`.
+/// Best-effort: returns true on success, false where the platform does not
+/// support affinity (non-Linux) or the syscall fails (e.g. a restricted
+/// cpuset). Shard-per-core benchmarks pin their clients so per-shard cache
+/// warmth translates into per-core cache warmth; correctness never depends
+/// on pinning.
+bool PinCurrentThreadToCore(int core);
+
+/// Whether PinCurrentThreadToCore can work at all on this platform.
+bool AffinitySupported();
+
+}  // namespace robopt
+
+#endif  // ROBOPT_COMMON_AFFINITY_H_

@@ -37,6 +37,7 @@ void PlatformHealth::TripLocked(int platform) {
   breaker.opened_at_s = now_s_;
   ++breaker.trips;
   open_mask_.fetch_or(1ull << platform, std::memory_order_release);
+  trip_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 bool PlatformHealth::AllowRequest(PlatformId platform) {

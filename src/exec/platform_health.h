@@ -94,6 +94,15 @@ class PlatformHealth {
   uint64_t total_trips() const;
   uint64_t total_recoveries() const;
 
+  /// Monotone counter bumped on every breaker trip, readable without the
+  /// lock. Shards of the serving layer compare it against a cached value on
+  /// request entry: unchanged (the overwhelmingly common case) means no new
+  /// trips to reconcile against their plan caches, so the healthy hot path
+  /// costs one relaxed load instead of a shared mutex.
+  uint64_t trip_epoch() const {
+    return trip_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Mirrors the first `num_platforms` breakers into per-platform
   /// robopt_breaker_* gauges (label suffix {platform="i"}) plus the shared
   /// virtual clock. Gauges are *Set* from snapshots — the breaker structs
@@ -123,6 +132,8 @@ class PlatformHealth {
   /// cleared on open -> half-open). Read lock-free by OpenMask(): a zero
   /// mask means no breaker is open, hence no lazy transition to apply.
   std::atomic<uint64_t> open_mask_{0};
+  /// Bumped in TripLocked; see trip_epoch().
+  std::atomic<uint64_t> trip_epoch_{0};
 };
 
 }  // namespace robopt

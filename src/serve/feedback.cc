@@ -1,6 +1,9 @@
 #include "serve/feedback.h"
 
 #include <cmath>
+#include <functional>
+#include <string>
+#include <thread>
 
 #include "obs/metrics.h"
 
@@ -15,54 +18,94 @@ void FeedbackStats::ExportTo(MetricsRegistry* registry) const {
                 static_cast<double>(rejected_nonfinite));
   registry->Set("robopt_feedback_drained", static_cast<double>(drained));
   registry->Set("robopt_feedback_failures", static_cast<double>(failures));
+  for (size_t i = 0; i < stripe_dropped.size(); ++i) {
+    registry->Set(
+        "robopt_feedback_stripe_dropped{stripe=\"" + std::to_string(i) + "\"}",
+        static_cast<double>(stripe_dropped[i]));
+  }
+}
+
+FeedbackCollector::FeedbackCollector(size_t capacity, size_t stripes)
+    : capacity_(capacity),
+      lane_capacity_(stripes <= 1
+                         ? capacity
+                         : (capacity + stripes - 1) / stripes) {
+  if (stripes == 0) stripes = 1;
+  lanes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+FeedbackCollector::Lane& FeedbackCollector::LaneForThisThread() {
+  const size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return *lanes_[h % lanes_.size()];
 }
 
 bool FeedbackCollector::Offer(FeedbackEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.offered;
+  Lane& lane = LaneForThisThread();
+  std::lock_guard<std::mutex> lock(lane.mu);
+  ++lane.offered;
   if (!std::isfinite(event.actual_s)) {
     // An OOM is reported as +inf virtual seconds; a NaN is a measurement
     // bug. Either would poison the regression target if trained on.
-    ++stats_.rejected_nonfinite;
+    ++lane.rejected_nonfinite;
     return false;
   }
   if (capacity_ == 0) {
-    ++stats_.dropped;
+    ++lane.dropped;
     return false;
   }
-  while (queue_.size() >= capacity_) {
+  while (lane.queue.size() >= lane_capacity_) {
     // Ring semantics: evict the oldest observation, keep the newest — it
     // reflects the current workload (and current model) best.
-    queue_.pop_front();
-    ++stats_.dropped;
+    lane.queue.pop_front();
+    ++lane.dropped;
   }
-  queue_.push_back(std::move(event));
-  ++stats_.accepted;
+  lane.queue.push_back(std::move(event));
+  ++lane.accepted;
   return true;
 }
 
 void FeedbackCollector::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.failures;
+  failures_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<FeedbackEvent> FeedbackCollector::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<FeedbackEvent> out(std::make_move_iterator(queue_.begin()),
-                                 std::make_move_iterator(queue_.end()));
-  queue_.clear();
-  stats_.drained += out.size();
+  std::vector<FeedbackEvent> out;
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    out.insert(out.end(), std::make_move_iterator(lane->queue.begin()),
+               std::make_move_iterator(lane->queue.end()));
+    lane->queue.clear();
+  }
+  drained_.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
 }
 
 size_t FeedbackCollector::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  size_t total = 0;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    total += lane->queue.size();
+  }
+  return total;
 }
 
 FeedbackStats FeedbackCollector::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  FeedbackStats out;
+  out.stripe_dropped.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    out.offered += lane->offered;
+    out.accepted += lane->accepted;
+    out.dropped += lane->dropped;
+    out.rejected_nonfinite += lane->rejected_nonfinite;
+    out.stripe_dropped.push_back(lane->dropped);
+  }
+  out.drained = drained_.load(std::memory_order_relaxed);
+  out.failures = failures_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace robopt

@@ -1,8 +1,10 @@
 #ifndef ROBOPT_SERVE_FEEDBACK_H_
 #define ROBOPT_SERVE_FEEDBACK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -27,10 +29,17 @@ struct FeedbackStats {
   size_t rejected_nonfinite = 0;  ///< Events refused for a non-finite runtime.
   size_t drained = 0;   ///< Events handed to the consumer.
   size_t failures = 0;  ///< Execution failures observed (RecordFailure()).
+  /// Per-stripe slice of `dropped` (stripe i of a collector built with N
+  /// stripes; a single vector of size 1 for the unstriped collector). Under
+  /// overload this tells apart *which* producers' feedback is being lost —
+  /// the sharded serving layer sizes stripes to its shard count, so this
+  /// reads as per-shard feedback loss next to the per-shard shed counters.
+  std::vector<size_t> stripe_dropped;
 
-  /// Mirrors this struct into robopt_feedback_* gauges. The struct (already
-  /// cumulative over the collector's lifetime) stays the source of truth;
-  /// gauges are Set, so re-exporting is idempotent.
+  /// Mirrors this struct into robopt_feedback_* gauges — aggregates plus
+  /// one robopt_feedback_stripe_dropped{stripe="i"} gauge per stripe. The
+  /// struct (already cumulative over the collector's lifetime) stays the
+  /// source of truth; gauges are Set, so re-exporting is idempotent.
   void ExportTo(MetricsRegistry* registry) const;
 };
 
@@ -40,15 +49,23 @@ struct FeedbackStats {
 /// newest observation is always kept, since it reflects the current
 /// workload best, and a stalled trainer must never backpressure query
 /// execution. Evictions are counted in stats().dropped.
+///
+/// The queue is striped: `stripes` independent (deque, mutex, counters)
+/// lanes, each holding capacity/stripes events, with producers hashed to a
+/// lane by thread id. Concurrent executors therefore contend only 1/Nth of
+/// the time, and drop counters are attributable per stripe. Drain() merges
+/// all lanes in stripe order — arrival order is preserved within a stripe
+/// (which is all a producer thread can observe; cross-thread arrival order
+/// was never defined, with one mutex or several).
 class FeedbackCollector {
  public:
-  explicit FeedbackCollector(size_t capacity) : capacity_(capacity) {}
+  explicit FeedbackCollector(size_t capacity, size_t stripes = 1);
 
-  /// Enqueues one event. When the queue is at capacity the oldest event is
-  /// evicted (counted in dropped) and the new one accepted; returns true.
-  /// Returns false only for an invalid event: a non-finite actual_s (an OOM
-  /// reports +inf virtual seconds) must never reach training, so it is
-  /// refused and counted in rejected_nonfinite.
+  /// Enqueues one event. When the queue is at capacity the oldest event of
+  /// the producer's stripe is evicted (counted in dropped) and the new one
+  /// accepted; returns true. Returns false only for an invalid event: a
+  /// non-finite actual_s (an OOM reports +inf virtual seconds) must never
+  /// reach training, so it is refused and counted in rejected_nonfinite.
   bool Offer(FeedbackEvent event);
 
   /// Counts one failed execution (the observer's OnExecutionFailure hook).
@@ -56,18 +73,32 @@ class FeedbackCollector {
   /// the count lets the serving layer report fault pressure.
   void RecordFailure();
 
-  /// Moves out all queued events in arrival order (the consumer side).
+  /// Moves out all queued events, stripe by stripe in arrival order (the
+  /// consumer side).
   std::vector<FeedbackEvent> Drain();
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  size_t stripes() const { return lanes_.size(); }
   FeedbackStats stats() const;
 
  private:
-  const size_t capacity_;
-  mutable std::mutex mu_;  ///< Guards queue_ and stats_.
-  std::deque<FeedbackEvent> queue_;
-  FeedbackStats stats_;
+  struct Lane {
+    mutable std::mutex mu;  ///< Guards queue and the counters below.
+    std::deque<FeedbackEvent> queue;
+    size_t offered = 0;
+    size_t accepted = 0;
+    size_t dropped = 0;
+    size_t rejected_nonfinite = 0;
+  };
+
+  Lane& LaneForThisThread();
+
+  const size_t capacity_;       ///< Total across stripes.
+  const size_t lane_capacity_;  ///< Per stripe.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<size_t> drained_{0};
+  std::atomic<size_t> failures_{0};
 };
 
 }  // namespace robopt

@@ -31,6 +31,9 @@ uint64_t ModelRegistry::Publish(std::shared_ptr<RandomForest> forest,
   // The swap itself: one atomic store. In-flight readers holding the old
   // snapshot keep it alive; new readers see the new version.
   current_.store(std::move(snapshot), std::memory_order_release);
+  // After the snapshot store, so a reader that sees the new version and
+  // re-pins is guaranteed to pin this version or a later one.
+  published_version_.store(version, std::memory_order_release);
   return version;
 }
 

@@ -122,6 +122,15 @@ class ModelRegistry : public OracleProvider {
     return snapshot == nullptr ? 0 : snapshot->version();
   }
 
+  /// Same value as current_version(), but a plain relaxed uint64 load —
+  /// no shared_ptr refcount traffic (libstdc++ backs atomic<shared_ptr>
+  /// with a spinlock pool). Sharded serving polls this on every request to
+  /// decide whether to re-pin; acquire ordering is unnecessary because a
+  /// changed value only triggers a Current() load, which synchronizes.
+  uint64_t published_version() const {
+    return published_version_.load(std::memory_order_relaxed);
+  }
+
   /// Looks `version` up in the retained history (nullptr if evicted or
   /// never published).
   std::shared_ptr<const ModelSnapshot> Get(uint64_t version) const;
@@ -137,6 +146,7 @@ class ModelRegistry : public OracleProvider {
  private:
   const size_t history_;
   std::atomic<std::shared_ptr<const ModelSnapshot>> current_{nullptr};
+  std::atomic<uint64_t> published_version_{0};
   mutable std::mutex mu_;  ///< Guards next_version_ and history_list_.
   uint64_t next_version_ = 1;
   std::deque<std::shared_ptr<const ModelSnapshot>> history_list_;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/ticket_queue.h"
 #include "ml/forest_kernel.h"
 #include "obs/export.h"
 #include "plan/fingerprint.h"
@@ -61,7 +63,129 @@ double AbsLogError(float predicted_s, double actual_s) {
   return std::fabs(p - a);
 }
 
+/// Canonical correspondence between a plan instance's insertion-order ids
+/// and the order-independent fingerprint: per-operator Merkle hashes paired
+/// with ids, sorted. Cached assignments transfer through this order, never
+/// by raw id — fingerprint-equal plans may number the same operator
+/// differently (ties are structurally interchangeable operators, so the
+/// sorted pairing is valid for them too).
+void Canonicalize(const std::vector<uint64_t>& node_hashes,
+                  std::vector<std::pair<uint64_t, OperatorId>>* canonical,
+                  std::vector<uint64_t>* sorted_hashes) {
+  canonical->reserve(node_hashes.size());
+  for (size_t id = 0; id < node_hashes.size(); ++id) {
+    canonical->emplace_back(node_hashes[id], static_cast<OperatorId>(id));
+  }
+  std::sort(canonical->begin(), canonical->end());
+  sorted_hashes->reserve(canonical->size());
+  for (const auto& pair : *canonical) sorted_hashes->push_back(pair.first);
+}
+
+/// Replays a cache hit onto the caller's plan. Lookup verified the hash
+/// sequences match positionally, so the i-th cached alt belongs to the
+/// operator behind canonical[i]. The alt range could still disagree on a
+/// same-hash collision across operator kinds — checked per operator,
+/// returning false for a full re-optimize rather than tripping the
+/// ROBOPT_CHECK in ExecutionPlan::Assign.
+bool TransferCached(const PlanCache::Entry& cached,
+                    const std::vector<std::pair<uint64_t, OperatorId>>& canonical,
+                    const LogicalPlan& plan, const PlatformRegistry* registry,
+                    std::chrono::steady_clock::time_point start,
+                    OptimizerService::Result* result) {
+  result->cache_hit = true;
+  result->optimize.plan = ExecutionPlan(&plan, registry);
+  bool transferable = cached.assignment.size() == canonical.size();
+  for (size_t i = 0; i < canonical.size() && transferable; ++i) {
+    const OperatorId id = canonical[i].second;
+    const int alt = cached.assignment[i].second;
+    if (alt < 0) continue;
+    const auto& alts = registry->AlternativesFor(plan.op(id).kind);
+    if (alt >= static_cast<int>(alts.size())) {
+      transferable = false;
+    } else {
+      result->optimize.plan.Assign(id, alt);
+    }
+  }
+  if (!transferable) return false;
+  result->optimize.predicted_runtime_s = cached.predicted_runtime_s;
+  result->optimize.chosen_platform = cached.chosen_platform;
+  result->optimize.model_version = cached.model_version;
+  result->optimize.latency_ms = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+  return true;
+}
+
+PlanCache::Entry MakeCacheEntry(
+    const OptimizerService::Result& result,
+    const std::vector<std::pair<uint64_t, OperatorId>>& canonical,
+    uint32_t slot) {
+  PlanCache::Entry entry;
+  entry.assignment.reserve(canonical.size());
+  for (const auto& pair : canonical) {
+    entry.assignment.emplace_back(
+        pair.first,
+        static_cast<int16_t>(result.optimize.plan.alt_index(pair.second)));
+  }
+  // Canonical form sorts ties by alt as well, so equal-hash operators
+  // store and replay their alts in one deterministic order.
+  std::sort(entry.assignment.begin(), entry.assignment.end());
+  entry.predicted_runtime_s = result.optimize.predicted_runtime_s;
+  entry.chosen_platform = result.optimize.chosen_platform;
+  entry.model_version = result.optimize.model_version;
+  for (PlatformId platform : result.optimize.plan.PlatformsUsed()) {
+    entry.platform_mask |= 1ull << platform;
+  }
+  entry.slot = slot;
+  return entry;
+}
+
 }  // namespace
+
+/// One serving shard: a bounded FIFO admission queue whose admitted caller
+/// *becomes* the shard's executor (no cross-thread handoff), a PlanCache
+/// slice, and a pinned model handle with an optional long-lived oracle memo
+/// in front of it. Everything under "shard-local" is touched only while
+/// holding the queue's serving turn — the ticket chain's release/acquire
+/// ordering makes plain state safe without further locks.
+struct OptimizerService::Shard {
+  Shard(const PlatformRegistry* registry, const FeatureSchema* schema,
+        uint64_t queue_capacity, size_t cache_capacity)
+      : queue(queue_capacity),
+        cache(cache_capacity),
+        optimizer(registry, schema, &provider) {}
+
+  /// Hands the shard's pinned oracle to its optimizer. Acquire() is called
+  /// once per optimize call, always inside the serving turn, so the plain
+  /// `pinned` member needs no synchronization.
+  struct PinnedProvider final : public OracleProvider {
+    PinnedOracle pinned;
+    PinnedOracle Acquire() const override { return pinned; }
+  };
+
+  TicketQueue queue;
+  PlanCache cache;
+  PinnedProvider provider;
+  RoboptOptimizer optimizer;
+
+  // --- Shard-local (serving-turn only) ---
+  std::shared_ptr<const ModelSnapshot> snapshot;  ///< Pinned model.
+  uint64_t pinned_version = 0;
+  /// Long-lived memo in front of the pinned oracle (persists across calls
+  /// on this shard; rebuilt on re-pin). Null when the budget is 0.
+  std::unique_ptr<CachingCostOracle> memo_exact;
+  std::unique_ptr<CachingCostOracle> memo_quantized;
+  /// Breaker fan-out state: last reconciled trip epoch and per-platform
+  /// trip counts (mirrors the legacy path's last_trips_, but per shard).
+  uint64_t seen_trip_epoch = 0;
+  std::array<uint64_t, kMaxPlatforms> last_trips{};
+
+  // --- Read concurrently by producers at admission ---
+  std::atomic<double> ewma_service_s{0.0};
+  std::atomic<uint64_t> processed{0};
+  std::atomic<uint64_t> shed_queue_full{0};
+  std::atomic<uint64_t> shed_deadline{0};
+};
 
 void RecoveryStats::ExportTo(MetricsRegistry* registry) const {
   if (registry == nullptr) return;
@@ -92,6 +216,40 @@ void ServeStats::ExportTo(MetricsRegistry* registry) const {
                 static_cast<double>(experience_rows));
   registry->Set("robopt_serve_holdout_rows",
                 static_cast<double>(holdout_rows));
+  // Sharded-serving aggregates, exported unconditionally (all zero except
+  // the count on the legacy path) so the metric table is stable across
+  // shard configurations.
+  registry->Set("robopt_shard_count", static_cast<double>(num_shards));
+  registry->Set("robopt_shard_processed_total",
+                static_cast<double>(shard_processed));
+  registry->Set("robopt_shard_shed_queue_full_total",
+                static_cast<double>(shard_shed_queue_full));
+  registry->Set("robopt_shard_shed_deadline_total",
+                static_cast<double>(shard_shed_deadline));
+  registry->Set("robopt_shard_queue_depth",
+                static_cast<double>(shard_queue_depth));
+  registry->Set("robopt_router_rebalances_total",
+                static_cast<double>(router_rebalances));
+  registry->Set("robopt_router_slots_moved_total",
+                static_cast<double>(router_slots_moved));
+  // Per-shard breakdown (sharded mode only; label style matches the
+  // breaker and feedback-stripe gauges).
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardStats& shard = shards[i];
+    const std::string label = "{shard=\"" + std::to_string(i) + "\"}";
+    registry->Set("robopt_shard_processed" + label,
+                  static_cast<double>(shard.processed));
+    registry->Set("robopt_shard_shed_queue_full" + label,
+                  static_cast<double>(shard.shed_queue_full));
+    registry->Set("robopt_shard_shed_deadline" + label,
+                  static_cast<double>(shard.shed_deadline));
+    registry->Set("robopt_shard_queue_depth" + label,
+                  static_cast<double>(shard.queue_depth));
+    registry->Set("robopt_shard_routed" + label,
+                  static_cast<double>(shard.routed));
+    registry->Set("robopt_shard_cache_hits" + label,
+                  static_cast<double>(shard.plan_cache.hits));
+  }
   feedback.ExportTo(registry);
   plan_cache.ExportTo(registry);
   current_drift.ExportTo(registry);
@@ -151,14 +309,42 @@ OptimizerService::OptimizerService(const PlatformRegistry* registry,
       models_(options_.model_history),
       optimizer_(registry, schema,
                  static_cast<const OracleProvider*>(&models_)),
-      collector_(options_.feedback_capacity),
+      // Feedback stripes match the shard count, so per-stripe drop counters
+      // read as per-shard feedback loss next to the shed counters.
+      collector_(options_.feedback_capacity,
+                 static_cast<size_t>(
+                     ShardRouter::ResolveShardCount(options_.num_shards))),
       experience_(schema),
       plan_cache_(options_.plan_cache_capacity),
       base_train_(schema->width()),
       holdout_(schema->width()),
       last_train_(std::chrono::steady_clock::now()),
       health_(options_.breaker),
-      tracer_(options_.trace_capacity) {}
+      tracer_(options_.trace_capacity) {
+  num_shards_resolved_ = ShardRouter::ResolveShardCount(options_.num_shards);
+  if (num_shards_resolved_ > 1) {
+    router_ = std::make_unique<ShardRouter>(num_shards_resolved_,
+                                            options_.router_slots);
+    // The configured capacity is a service-wide budget, split evenly; each
+    // shard keeps at least one entry so warm routing still pays off at
+    // tiny capacities. 0 stays 0 (cache disabled everywhere).
+    const size_t per_shard_cache =
+        options_.plan_cache_capacity == 0
+            ? 0
+            : std::max<size_t>(1, options_.plan_cache_capacity /
+                                      static_cast<size_t>(
+                                          num_shards_resolved_));
+    const uint64_t queue_capacity =
+        options_.shard_queue_capacity == 0 ? 1
+                                           : options_.shard_queue_capacity;
+    shards_.reserve(static_cast<size_t>(num_shards_resolved_));
+    for (int i = 0; i < num_shards_resolved_; ++i) {
+      shards_.push_back(std::make_unique<Shard>(registry, schema,
+                                                queue_capacity,
+                                                per_shard_cache));
+    }
+  }
+}
 
 OptimizerService::~OptimizerService() {
   {
@@ -175,6 +361,19 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
 }
 
 StatusOr<OptimizerService::Result> OptimizerService::Optimize(
+    const LogicalPlan& plan, const Cardinalities* cards,
+    const OptimizeOptions& options) {
+  return Optimize(plan, cards, options, RequestContext{});
+}
+
+StatusOr<OptimizerService::Result> OptimizerService::Optimize(
+    const LogicalPlan& plan, const Cardinalities* cards,
+    const OptimizeOptions& options, const RequestContext& ctx) {
+  if (shards_.empty()) return OptimizeLegacy(plan, cards, options);
+  return OptimizeSharded(plan, cards, options, ctx);
+}
+
+StatusOr<OptimizerService::Result> OptimizerService::OptimizeLegacy(
     const LogicalPlan& plan, const Cardinalities* cards,
     const OptimizeOptions& caller_options) {
   const auto start = std::chrono::steady_clock::now();
@@ -218,12 +417,6 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
   // be pure per-call overhead — skip key computation and lookup entirely.
   const bool cache_on = plan_cache_.enabled();
   PlanCacheKey key;
-  // Canonical correspondence between this instance's insertion-order ids
-  // and the order-independent fingerprint: per-operator Merkle hashes
-  // paired with ids, sorted. Cached assignments transfer through this
-  // order, never by raw id — fingerprint-equal plans may number the same
-  // operator differently (ties are structurally interchangeable operators,
-  // so the sorted pairing is valid for them too).
   std::vector<std::pair<uint64_t, OperatorId>> canonical;
   std::vector<uint64_t> sorted_hashes;
   if (cache_on) {
@@ -231,45 +424,14 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
     key.plan = FingerprintPlan(plan, &node_hashes);
     key.cards_hash = cards == nullptr ? 0 : FingerprintCards(*cards);
     key.options_hash = PlanCache::HashOptions(options);
-    canonical.reserve(node_hashes.size());
-    for (size_t id = 0; id < node_hashes.size(); ++id) {
-      canonical.emplace_back(node_hashes[id], static_cast<OperatorId>(id));
-    }
-    std::sort(canonical.begin(), canonical.end());
-    sorted_hashes.reserve(canonical.size());
-    for (const auto& pair : canonical) sorted_hashes.push_back(pair.first);
+    Canonicalize(node_hashes, &canonical, &sorted_hashes);
 
     PlanCache::Entry cached;
     if (plan_cache_.Lookup(key, models_.current_version(), sorted_hashes,
                            &cached)) {
-      // Lookup verified the hash sequences match positionally, so the i-th
-      // cached alt belongs to the operator behind canonical[i]. The alt
-      // range could still disagree on a same-hash collision across operator
-      // kinds — checked per operator, falling back to a full optimize
-      // rather than tripping the ROBOPT_CHECK in ExecutionPlan::Assign.
       Result result;
-      result.cache_hit = true;
-      result.optimize.plan = ExecutionPlan(&plan, registry_);
-      bool transferable = cached.assignment.size() == canonical.size();
-      for (size_t i = 0; i < canonical.size() && transferable; ++i) {
-        const OperatorId id = canonical[i].second;
-        const int alt = cached.assignment[i].second;
-        if (alt < 0) continue;
-        const auto& alts = registry_->AlternativesFor(plan.op(id).kind);
-        if (alt >= static_cast<int>(alts.size())) {
-          transferable = false;
-        } else {
-          result.optimize.plan.Assign(id, alt);
-        }
-      }
-      if (transferable) {
-        result.optimize.predicted_runtime_s = cached.predicted_runtime_s;
-        result.optimize.chosen_platform = cached.chosen_platform;
-        result.optimize.model_version = cached.model_version;
-        result.optimize.latency_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - start)
-                .count();
+      if (TransferCached(cached, canonical, plan, registry_, start,
+                         &result)) {
         bump("robopt_serve_plan_cache_hits_total");
         return result;
       }
@@ -282,25 +444,237 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
   result.optimize = std::move(optimized.value());
 
   if (cache_on) {
-    PlanCache::Entry entry;
-    entry.assignment.reserve(canonical.size());
-    for (const auto& pair : canonical) {
-      entry.assignment.emplace_back(
-          pair.first,
-          static_cast<int16_t>(result.optimize.plan.alt_index(pair.second)));
-    }
-    // Canonical form sorts ties by alt as well, so equal-hash operators
-    // store and replay their alts in one deterministic order.
-    std::sort(entry.assignment.begin(), entry.assignment.end());
-    entry.predicted_runtime_s = result.optimize.predicted_runtime_s;
-    entry.chosen_platform = result.optimize.chosen_platform;
-    entry.model_version = result.optimize.model_version;
-    for (PlatformId platform : result.optimize.plan.PlatformsUsed()) {
-      entry.platform_mask |= 1ull << platform;
-    }
-    plan_cache_.Insert(key, std::move(entry));
+    plan_cache_.Insert(key, MakeCacheEntry(result, canonical, /*slot=*/0));
   }
   return result;
+}
+
+StatusOr<OptimizerService::Result> OptimizerService::OptimizeSharded(
+    const LogicalPlan& plan, const Cardinalities* cards,
+    const OptimizeOptions& caller_options, const RequestContext& ctx) {
+  const auto start = std::chrono::steady_clock::now();
+  // Fingerprint before admission: the canonical fingerprint is the routing
+  // key (and double-duties as the cache key inside the shard).
+  std::vector<uint64_t> node_hashes;
+  PlanCacheKey key;
+  key.plan = FingerprintPlan(plan, &node_hashes);
+  key.cards_hash = cards == nullptr ? 0 : FingerprintCards(*cards);
+  uint32_t slot = 0;
+  const uint32_t shard_index = router_->Route(ctx.tenant, key.plan, &slot);
+  Shard& shard = *shards_[shard_index];
+
+  // Admission control. Deadline shedding first: estimated queue delay is
+  // (depth + 1) waiting-plus-own service times at the shard's smoothed
+  // rate. A request that cannot make its deadline is rejected *now*, while
+  // the caller can still fall back, rather than after queueing through the
+  // very delay that dooms it.
+  double deadline_s = ctx.deadline_s;
+  if (deadline_s == 0.0) deadline_s = options_.default_deadline_s;
+  if (deadline_s > 0.0) {
+    const double ewma =
+        shard.ewma_service_s.load(std::memory_order_relaxed);
+    const uint64_t depth = shard.queue.depth();
+    if (ewma > 0.0 &&
+        static_cast<double>(depth + 1) * ewma > deadline_s) {
+      shard.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      // Decay the estimate on every rejection. The EWMA is otherwise
+      // only updated by served requests, so a single preemption-inflated
+      // sample above every caller's deadline would lock admission out
+      // permanently (nothing serves, nothing re-estimates). Shrinking it
+      // multiplicatively makes rejected traffic a slow probe: after
+      // enough sheds the estimate drops back under the deadline and a
+      // real request refreshes it. Racy multi-writer store is fine — the
+      // value is a heuristic and every writer moves it toward zero.
+      shard.ewma_service_s.store(ewma * 0.98, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "estimated shard queue delay exceeds the request deadline");
+    }
+  }
+  uint64_t ticket = 0;
+  if (!shard.queue.TryEnter(&ticket)) {
+    shard.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted("shard admission queue is full");
+  }
+  shard.queue.WaitTurn(ticket);
+  // ---- Serving turn: this thread is the shard's executor until Leave().
+  const auto serve_start = std::chrono::steady_clock::now();
+  auto result =
+      RunOnShard(shard, slot, plan, cards, caller_options, key, node_hashes,
+                 start);
+  const double service_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serve_start)
+          .count();
+  // Single writer (the turn holder); admission reads it relaxed.
+  const double prev = shard.ewma_service_s.load(std::memory_order_relaxed);
+  shard.ewma_service_s.store(
+      prev == 0.0 ? service_s : 0.8 * prev + 0.2 * service_s,
+      std::memory_order_relaxed);
+  shard.processed.fetch_add(1, std::memory_order_relaxed);
+  shard.queue.Leave();
+  return result;
+}
+
+StatusOr<OptimizerService::Result> OptimizerService::RunOnShard(
+    Shard& shard, uint32_t slot, const LogicalPlan& plan,
+    const Cardinalities* cards, const OptimizeOptions& caller_options,
+    const PlanCacheKey& route_key,
+    const std::vector<uint64_t>& node_hashes,
+    std::chrono::steady_clock::time_point start) {
+  // Promotion fan-out: one relaxed uint64 compare against the registry's
+  // publish counter. A promotion anywhere is picked up on the next entry
+  // into each shard — stale cache entries then die by their version tag
+  // (PlanCache's lazy invalidation), so no shard ever stops the world.
+  if (shard.pinned_version != models_.published_version()) {
+    RepinShard(shard);
+  }
+  // Breaker fan-out: one epoch compare; on change, reconcile new trips
+  // against this shard's cache slice (same delta logic as the legacy
+  // SyncBreakerState, but per shard).
+  const uint64_t trip_epoch = health_.trip_epoch();
+  if (trip_epoch != shard.seen_trip_epoch) {
+    uint64_t dropped = 0;
+    for (PlatformId p = 0; p < registry_->num_platforms(); ++p) {
+      const uint64_t trips = health_.snapshot(p).trips;
+      if (trips > shard.last_trips[p]) {
+        shard.last_trips[p] = trips;
+        dropped += shard.cache.InvalidatePlatform(p);
+      }
+    }
+    shard.seen_trip_epoch = trip_epoch;
+    if (dropped > 0) {
+      std::lock_guard<std::mutex> lock(recovery_mu_);
+      plans_invalidated_on_trip_ += dropped;
+    }
+  }
+
+  // From here the flow mirrors the legacy path (same masking, same obs
+  // counters, same cache discipline) over per-shard state.
+  const uint64_t open_mask = health_.OpenMask();
+  OptimizeOptions options = caller_options;
+  options.excluded_platform_mask |= open_mask;
+  options.quantized_inference |= options_.quantized_inference;
+  if (options_.observability && !options.obs.enabled()) {
+    options.obs.metrics = &metrics_;
+    options.obs.tracer = &tracer_;
+  }
+  auto bump = [&options](const char* name) {
+    if (!ROBOPT_OBS_ON(options.obs) || options.obs.metrics == nullptr) return;
+    if (Counter* counter = options.obs.metrics->GetCounter(name)) {
+      counter->Add(1);
+    }
+  };
+  bump("robopt_serve_optimize_calls_total");
+  if (open_mask & options.allowed_platform_mask &
+      ~caller_options.excluded_platform_mask) {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    ++masked_optimizes_;
+  }
+
+  const bool cache_on = shard.cache.enabled();
+  PlanCacheKey key = route_key;
+  std::vector<std::pair<uint64_t, OperatorId>> canonical;
+  std::vector<uint64_t> sorted_hashes;
+  if (cache_on) {
+    key.options_hash = PlanCache::HashOptions(options);
+    Canonicalize(node_hashes, &canonical, &sorted_hashes);
+    PlanCache::Entry cached;
+    if (shard.cache.Lookup(key, shard.provider.pinned.version, sorted_hashes,
+                           &cached)) {
+      Result result;
+      if (TransferCached(cached, canonical, plan, registry_, start,
+                         &result)) {
+        bump("robopt_serve_plan_cache_hits_total");
+        return result;
+      }
+    }
+  }
+
+  auto optimized = shard.optimizer.Optimize(plan, cards, options);
+  if (!optimized.ok()) return optimized.status();
+  Result result;
+  result.optimize = std::move(optimized.value());
+  if (cache_on) {
+    shard.cache.Insert(key, MakeCacheEntry(result, canonical, slot));
+  }
+  return result;
+}
+
+void OptimizerService::RepinShard(Shard& shard) {
+  const auto snapshot = models_.Current();
+  PinnedOracle pinned;
+  shard.memo_exact.reset();
+  shard.memo_quantized.reset();
+  if (snapshot != nullptr) {
+    pinned.version = snapshot->version();
+    std::shared_ptr<const CostOracle> exact(snapshot, &snapshot->oracle());
+    if (options_.shard_oracle_cache_bytes > 0) {
+      shard.memo_exact = std::make_unique<CachingCostOracle>(
+          exact.get(), options_.shard_oracle_cache_bytes);
+      // Aliasing ptr: addresses the memo, owns the snapshot. The memo's
+      // raw inner pointer stays valid because shard.snapshot pins it.
+      pinned.oracle = std::shared_ptr<const CostOracle>(
+          snapshot, shard.memo_exact.get());
+    } else {
+      pinned.oracle = std::move(exact);
+    }
+    if (snapshot->quantized_validated()) {
+      std::shared_ptr<const CostOracle> quantized(
+          snapshot, &snapshot->quantized_oracle());
+      if (options_.shard_oracle_cache_bytes > 0) {
+        shard.memo_quantized = std::make_unique<CachingCostOracle>(
+            quantized.get(), options_.shard_oracle_cache_bytes);
+        pinned.quantized_oracle = std::shared_ptr<const CostOracle>(
+            snapshot, shard.memo_quantized.get());
+      } else {
+        pinned.quantized_oracle = std::move(quantized);
+      }
+    }
+  }
+  shard.snapshot = snapshot;
+  // Tag with the *snapshot's* version, not the publish counter: if the
+  // counter ran ahead of the snapshot load, the mismatch re-pins on the
+  // next entry until they agree — never the reverse (believing we hold a
+  // version we don't).
+  shard.pinned_version = snapshot == nullptr ? 0 : snapshot->version();
+  shard.provider.pinned = std::move(pinned);
+}
+
+size_t OptimizerService::RebalanceNow() {
+  if (shards_.size() < 2) return 0;
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  ShardRouter::MigrationPlan plan;
+  if (!router_->DetectImbalance(options_.rebalance_imbalance_factor,
+                                options_.rebalance_min_checks, &plan)) {
+    return 0;
+  }
+  Shard& from = *shards_[plan.from];
+  Shard& to = *shards_[plan.to];
+  // Phase 1 (count): how much payload the move carries. Whether or not any
+  // cache entries exist, the slots themselves are retargeted — the load
+  // imbalance is real either way.
+  const size_t pending = from.cache.CountSlots(plan.slot_set);
+  // Retarget routing first: requests for these slots start landing on the
+  // destination immediately (cold at worst — a racing in-flight request on
+  // the source still serves correctly from its own cache).
+  for (uint32_t moved_slot : plan.slots) {
+    router_->MoveSlot(moved_slot, plan.to);
+  }
+  // Phase 2 (payload): hand the entries over, MRU-first, compacted into
+  // the destination's cold end. Both caches are internally locked, so this
+  // runs concurrently with serving on either shard.
+  size_t moved = 0;
+  if (pending > 0) {
+    moved = to.cache.InsertMigrated(from.cache.ExtractSlots(plan.slot_set));
+  }
+  return moved;
+}
+
+uint32_t OptimizerService::ShardFor(uint64_t tenant,
+                                    const LogicalPlan& plan) const {
+  if (router_ == nullptr) return 0;
+  return router_->ShardOf(
+      router_->SlotOf(ShardRouter::RouteHash(tenant, FingerprintPlan(plan))));
 }
 
 void OptimizerService::OnExecution(const ExecutionPlan& plan,
@@ -451,6 +825,9 @@ StatusOr<RetrainOutcome> OptimizerService::RetrainNow(bool force) {
     outcome.version = models_.Publish(std::move(forest), outcome.candidate_mae,
                                       outcome.quantized_enabled);
     outcome.promoted = true;
+    // Legacy-path eager invalidation. Shard caches need none: every entry
+    // is version-tagged, each shard re-pins on its next request entry, and
+    // stale entries die lazily on lookup — promotion never stops the world.
     plan_cache_.InvalidateAll();
     std::lock_guard<std::mutex> counter_lock(counter_mu_);
     ++promotions_;
@@ -464,6 +841,7 @@ StatusOr<RetrainOutcome> OptimizerService::RetrainNow(bool force) {
 uint64_t OptimizerService::PublishExternal(std::shared_ptr<RandomForest> forest) {
   const uint64_t version = models_.Publish(
       std::move(forest), std::numeric_limits<double>::quiet_NaN());
+  // Shard caches invalidate lazily via version tags (see RetrainNow).
   plan_cache_.InvalidateAll();
   return version;
 }
@@ -485,6 +863,36 @@ ServeStats OptimizerService::Stats() const {
   }
   stats.feedback = collector_.stats();
   stats.plan_cache = plan_cache_.stats();
+  stats.num_shards = num_shards_resolved_;
+  if (!shards_.empty()) {
+    const RouterStats router = router_->stats();
+    stats.router_rebalances = router.rebalances;
+    stats.router_slots_moved = router.slots_moved;
+    stats.shards.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const Shard& shard = *shards_[i];
+      ShardStats per_shard;
+      per_shard.processed =
+          shard.processed.load(std::memory_order_relaxed);
+      per_shard.shed_queue_full =
+          shard.shed_queue_full.load(std::memory_order_relaxed);
+      per_shard.shed_deadline =
+          shard.shed_deadline.load(std::memory_order_relaxed);
+      per_shard.queue_depth = shard.queue.depth();
+      per_shard.routed = i < router.routed.size() ? router.routed[i] : 0;
+      per_shard.ewma_service_s =
+          shard.ewma_service_s.load(std::memory_order_relaxed);
+      per_shard.plan_cache = shard.cache.stats();
+      stats.shard_processed += per_shard.processed;
+      stats.shard_shed_queue_full += per_shard.shed_queue_full;
+      stats.shard_shed_deadline += per_shard.shed_deadline;
+      stats.shard_queue_depth += per_shard.queue_depth;
+      // The service-wide cache view is the sum of the slices (the legacy
+      // plan_cache_ member stays empty in sharded mode).
+      stats.plan_cache.Accumulate(per_shard.plan_cache);
+      stats.shards.push_back(std::move(per_shard));
+    }
+  }
   if (const auto snapshot = models_.Current(); snapshot != nullptr) {
     stats.current_drift = snapshot->drift();
   }
@@ -543,6 +951,9 @@ void OptimizerService::WorkerLoop() {
     // Trigger evaluation + (maybe) a retrain cycle; failures surface only
     // through Stats() — the worker must keep running.
     (void)RetrainNow(false);
+    // Each poll closes one router load window; sustained imbalance across
+    // rebalance_min_checks windows migrates cache entries between shards.
+    if (shards_.size() > 1) (void)RebalanceNow();
     lock.lock();
   }
 }

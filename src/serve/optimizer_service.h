@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "core/optimizer.h"
 #include "exec/executor.h"
@@ -16,6 +17,7 @@
 #include "serve/feedback.h"
 #include "serve/model_registry.h"
 #include "serve/plan_cache.h"
+#include "serve/shard_router.h"
 #include "tdgen/experience.h"
 
 namespace robopt {
@@ -90,8 +92,56 @@ struct ServeOptions {
   /// Span-ring capacity of the service-owned Tracer (rounded up to a power
   /// of two; oldest spans are overwritten when it wraps).
   size_t trace_capacity = 8192;
+
+  // --- Sharded serving (thread-per-core) ---
+
+  /// Number of independent serving shards, mirroring the num_threads
+  /// convention: 0 (the default) resolves to one shard per hardware core,
+  /// 1 is the single-instance legacy path (bit-identical to the
+  /// pre-sharding service), n is exactly n shards. Each shard owns its own
+  /// PlanCache slice, pinned-model handle, oracle memo budget and bounded
+  /// admission queue; a lock-free router hashes (tenant, canonical plan
+  /// fingerprint) to a shard so repeat queries land on their warm cache.
+  /// Served plans are bit-identical across every shard count.
+  int num_shards = 0;
+  /// Bound of each shard's admission queue: at most this many requests may
+  /// be outstanding (waiting + executing) per shard. Beyond it, Optimize()
+  /// sheds with kResourceExhausted instead of queueing unboundedly.
+  size_t shard_queue_capacity = 64;
+  /// Default request deadline in seconds, used when the caller's
+  /// RequestContext carries none (0 = no deadline: requests shed only on a
+  /// full queue). A request is shed with kResourceExhausted when its
+  /// estimated queue delay — (queue depth + 1) times the shard's EWMA
+  /// service time — exceeds the deadline.
+  double default_deadline_s = 0.0;
+  /// Router slot-table size (rounded up to a power of two). More slots =
+  /// finer-grained migration; each slot is one atomic word.
+  size_t router_slots = 256;
+  /// Per-shard oracle memo budget in bytes: a CachingCostOracle is kept in
+  /// front of the shard's pinned model, persisting across calls (rebuilt on
+  /// promotion). 0 disables it. Estimates are bit-identical either way.
+  size_t shard_oracle_cache_bytes = 0;
+  /// Sustained-imbalance trigger of slot migration: the hottest shard must
+  /// exceed rebalance_imbalance_factor times the per-shard average load for
+  /// rebalance_min_checks consecutive observation windows (one window per
+  /// worker poll / RebalanceNow call) before cache entries move.
+  double rebalance_imbalance_factor = 2.0;
+  int rebalance_min_checks = 3;
+
   /// Default per-call optimize options.
   OptimizeOptions optimize;
+};
+
+/// Per-request serving context (sharded mode). The tenant joins the plan
+/// fingerprint in the routing hash, so one tenant's repeat queries stay on
+/// one warm shard without interleaving with another tenant's identical
+/// plans.
+struct RequestContext {
+  uint64_t tenant = 0;
+  /// Deadline budget in seconds for admission control: 0 defers to
+  /// ServeOptions::default_deadline_s, negative means explicitly no
+  /// deadline.
+  double deadline_s = 0.0;
 };
 
 /// What one RetrainNow()/worker cycle did.
@@ -137,6 +187,17 @@ struct RecoveryStats {
   void ExportTo(MetricsRegistry* registry) const;
 };
 
+/// Counters of one serving shard (sharded mode only).
+struct ShardStats {
+  uint64_t processed = 0;        ///< Requests served through the shard.
+  uint64_t shed_queue_full = 0;  ///< Rejected: admission queue at capacity.
+  uint64_t shed_deadline = 0;    ///< Rejected: estimated delay > deadline.
+  uint64_t queue_depth = 0;      ///< Outstanding admitted requests, now.
+  uint64_t routed = 0;           ///< Requests the router sent here.
+  double ewma_service_s = 0.0;   ///< Smoothed in-shard service time.
+  PlanCacheStats plan_cache;     ///< This shard's cache slice.
+};
+
 /// Aggregate serving counters.
 struct ServeStats {
   uint64_t current_version = 0;
@@ -146,7 +207,21 @@ struct ServeStats {
   size_t rejections = 0;  ///< Candidates that failed validation.
   size_t experience_rows = 0;
   size_t holdout_rows = 0;
+  /// Resolved shard count (1 = legacy single-instance path).
+  int num_shards = 1;
+  /// Per-shard counters; empty on the legacy path.
+  std::vector<ShardStats> shards;
+  /// Totals across shards (all zero on the legacy path, which has no
+  /// admission queue and never sheds).
+  uint64_t shard_processed = 0;
+  uint64_t shard_shed_queue_full = 0;
+  uint64_t shard_shed_deadline = 0;
+  uint64_t shard_queue_depth = 0;
+  uint64_t router_rebalances = 0;   ///< Migration decisions applied.
+  uint64_t router_slots_moved = 0;  ///< Slot reassignments applied.
   FeedbackStats feedback;
+  /// Aggregated over every shard's cache slice in sharded mode (the
+  /// migrated_in/out fields carry the cache-entry migration counters).
   PlanCacheStats plan_cache;
   DriftStats current_drift;  ///< Drift of the current version.
   RecoveryStats recovery;
@@ -171,7 +246,15 @@ struct ServeStats {
 ///     promotes only if MAE does not regress beyond the tolerance, and
 ///     records per-version drift (predicted-vs-actual error EWMA);
 ///   - a PlanCache keyed by the canonical logical-plan fingerprint serves
-///     repeat queries in O(plan size), invalidated on every promotion.
+///     repeat queries in O(plan size), invalidated on every promotion;
+///   - in sharded mode (resolved num_shards > 1) the service runs
+///     thread-per-core style: a lock-free ShardRouter hashes (tenant,
+///     fingerprint) to one of N shards, each owning its own PlanCache
+///     slice, pinned-model handle, oracle memo and bounded admission queue
+///     with deadline-based shedding. Model promotions, breaker trips and
+///     cache invalidations fan out to shards through per-shard
+///     epoch/version checks on request entry — no stop-the-world. See
+///     DESIGN.md, "Sharded serving & load shedding".
 ///
 /// Thread-safe throughout: any number of threads may call Optimize() and
 /// Execute() (with this service as the executor's observer) concurrently
@@ -200,12 +283,19 @@ class OptimizerService : public ExecutionObserver {
 
   /// Optimizes `plan` on the current model version. Safe to call from any
   /// number of threads, including while a promotion is in flight — the
-  /// whole call sees one consistent model.
+  /// whole call sees one consistent model. In sharded mode a call may be
+  /// shed with kResourceExhausted (full shard queue, or estimated queue
+  /// delay past the request deadline); plans that are served are
+  /// bit-identical to the single-shard path.
   StatusOr<Result> Optimize(const LogicalPlan& plan,
                             const Cardinalities* cards = nullptr);
   StatusOr<Result> Optimize(const LogicalPlan& plan,
                             const Cardinalities* cards,
                             const OptimizeOptions& options);
+  StatusOr<Result> Optimize(const LogicalPlan& plan,
+                            const Cardinalities* cards,
+                            const OptimizeOptions& options,
+                            const RequestContext& ctx);
 
   /// ExecutionObserver: encodes the executed plan under its observed
   /// cardinalities and offers (features, predicted, actual) to the
@@ -230,6 +320,23 @@ class OptimizerService : public ExecutionObserver {
   /// holdout validation — the snapshot records NaN MAE — and invalidates
   /// the plan cache. Returns the new version.
   uint64_t PublishExternal(std::shared_ptr<RandomForest> forest);
+
+  /// One imbalance check + (when warranted) one slot migration: closes the
+  /// router's load window, and on sustained imbalance retargets the chosen
+  /// slots to the coldest shard and moves their cache entries over in two
+  /// phases (count, then payload exchange). Called periodically by the
+  /// background worker; public so tests and benches without a worker can
+  /// drive it. Returns the number of cache entries migrated (0 when
+  /// balanced or in legacy mode). Safe to call concurrently with serving.
+  size_t RebalanceNow();
+
+  /// The shard (tenant, plan) routes to right now (0 in legacy mode).
+  /// Fingerprints the plan; touches no load counters. Benches use this to
+  /// build shard-affine workloads.
+  uint32_t ShardFor(uint64_t tenant, const LogicalPlan& plan) const;
+
+  /// Resolved shard count (1 = legacy single-instance path).
+  int num_shards() const { return num_shards_resolved_; }
 
   const ModelRegistry& registry() const { return models_; }
   const FeatureSchema& schema() const { return *schema_; }
@@ -261,8 +368,32 @@ class OptimizerService : public ExecutionObserver {
   std::string ExportTraceJson(uint64_t trace_id = 0) const;
 
  private:
+  struct Shard;
+
   OptimizerService(const PlatformRegistry* registry,
                    const FeatureSchema* schema, ServeOptions options);
+
+  /// The pre-sharding Optimize body, byte-for-byte (resolved num_shards 1).
+  StatusOr<Result> OptimizeLegacy(const LogicalPlan& plan,
+                                  const Cardinalities* cards,
+                                  const OptimizeOptions& caller_options);
+  /// Sharded path: route, admit/shed, then run serialized on the shard.
+  StatusOr<Result> OptimizeSharded(const LogicalPlan& plan,
+                                   const Cardinalities* cards,
+                                   const OptimizeOptions& caller_options,
+                                   const RequestContext& ctx);
+  /// The in-window shard body (caller holds the shard's ticket turn):
+  /// epoch checks, cache lookup, optimize, insert.
+  StatusOr<Result> RunOnShard(Shard& shard, uint32_t slot,
+                              const LogicalPlan& plan,
+                              const Cardinalities* cards,
+                              const OptimizeOptions& caller_options,
+                              const PlanCacheKey& route_key,
+                              const std::vector<uint64_t>& node_hashes,
+                              std::chrono::steady_clock::time_point start);
+  /// Re-pins the shard's model handle (and rebuilds its oracle memo) to
+  /// the registry's current snapshot. Caller holds the shard's turn.
+  void RepinShard(Shard& shard);
 
   /// Moves queued feedback into drift stats, the holdout set and the
   /// experience log. Caller holds retrain_mu_.
@@ -284,7 +415,13 @@ class OptimizerService : public ExecutionObserver {
   RoboptOptimizer optimizer_;  ///< Pins models_ per call (OracleProvider).
   FeedbackCollector collector_;
   ExperienceLog experience_;
-  PlanCache plan_cache_;
+  PlanCache plan_cache_;  ///< Legacy-path cache (unused in sharded mode).
+
+  /// Sharded serving state. Empty router/shards on the legacy path.
+  int num_shards_resolved_ = 1;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex rebalance_mu_;  ///< Serializes RebalanceNow (single consumer).
 
   MlDataset base_train_;  ///< Immutable after Create().
   mutable std::mutex holdout_mu_;

@@ -1,6 +1,7 @@
 #ifndef ROBOPT_SERVE_PLAN_CACHE_H_
 #define ROBOPT_SERVE_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -39,6 +40,14 @@ struct PlanCacheStats {
   /// Entries dropped by InvalidatePlatform (their plan routed through a
   /// platform whose circuit breaker tripped).
   size_t platform_invalidations = 0;
+  /// Entries received from / handed to another shard's cache by the
+  /// serving layer's rebalancer (ExtractSlots / InsertMigrated).
+  size_t migrated_in = 0;
+  size_t migrated_out = 0;
+
+  /// Folds `other` in field by field (the sharded serving layer aggregates
+  /// its per-shard caches into one ServeStats view).
+  void Accumulate(const PlanCacheStats& other);
 
   /// Mirrors this struct into robopt_plan_cache_* gauges (Set — idempotent;
   /// the struct stays the source of truth).
@@ -81,6 +90,10 @@ class PlanCache {
     /// ExecutionPlan::PlatformsUsed(). Lets InvalidatePlatform drop exactly
     /// the entries a dead platform poisons.
     uint64_t platform_mask = 0;
+    /// Router slot that owns this entry's key (sharded serving only; 0
+    /// otherwise). Migration extracts whole slots, so the rebalancer can
+    /// hand a re-routed slot's entries to their new shard.
+    uint32_t slot = 0;
   };
 
   /// `capacity` bounds the number of entries (LRU eviction).
@@ -113,6 +126,22 @@ class PlanCache {
   /// Returns the number of entries dropped.
   size_t InvalidatePlatform(PlatformId platform);
 
+  /// Phase 1 of a slot migration: how many entries belong to router slots
+  /// with set bits in `slots` (indexed by Entry::slot).
+  size_t CountSlots(const std::vector<bool>& slots) const;
+
+  /// Phase 2 of a slot migration: removes every entry of the selected slots
+  /// and returns them most-recently-used first (counted in migrated_out).
+  std::vector<std::pair<PlanCacheKey, Entry>> ExtractSlots(
+      const std::vector<bool>& slots);
+
+  /// Destination side of a migration: compacts `entries` (an ExtractSlots
+  /// result, MRU first) into this cache's *cold* end, preserving their
+  /// relative recency, so arriving entries never displace the destination's
+  /// hot set — they re-earn recency on their first hit. Entries beyond
+  /// capacity are dropped (counted as evictions). Returns entries inserted.
+  size_t InsertMigrated(std::vector<std::pair<PlanCacheKey, Entry>> entries);
+
   size_t size() const;
   PlanCacheStats stats() const;
 
@@ -120,6 +149,21 @@ class PlanCache {
   struct Node {
     PlanCacheKey key;
     Entry entry;
+  };
+
+  /// Internal counters on relaxed atomics: the hit/miss bumps happen on
+  /// the lookup hot path and stats() is called by exporters at arbitrary
+  /// cadence — neither should serialize on (or extend) the LRU critical
+  /// section. Monotone telemetry needs no ordering.
+  struct AtomicStats {
+    std::atomic<size_t> hits{0};
+    std::atomic<size_t> misses{0};
+    std::atomic<size_t> insertions{0};
+    std::atomic<size_t> evictions{0};
+    std::atomic<size_t> invalidations{0};
+    std::atomic<size_t> platform_invalidations{0};
+    std::atomic<size_t> migrated_in{0};
+    std::atomic<size_t> migrated_out{0};
   };
 
   struct KeyHash {
@@ -133,10 +177,10 @@ class PlanCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;  ///< Guards everything below.
+  mutable std::mutex mu_;  ///< Guards the LRU state below (not stats_).
   std::list<Node> lru_;    ///< Front = most recently used.
   std::unordered_map<PlanCacheKey, std::list<Node>::iterator, KeyHash> map_;
-  PlanCacheStats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace robopt

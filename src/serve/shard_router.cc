@@ -1,0 +1,161 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace robopt {
+
+namespace {
+
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// splitmix64 finalizer — full-avalanche so consecutive tenants / similar
+/// fingerprints spread over slots.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+int ShardRouter::ResolveShardCount(int num_shards) {
+  if (num_shards <= 0) return ThreadPool::HardwareThreads();
+  return num_shards;
+}
+
+uint64_t ShardRouter::RouteHash(uint64_t tenant, const PlanFingerprint& plan) {
+  uint64_t h = Mix64(tenant + 0x9e3779b97f4a7c15ULL);
+  h ^= plan.lo + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= plan.hi + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return Mix64(h);
+}
+
+ShardRouter::ShardRouter(int num_shards, size_t num_slots)
+    : num_shards_(std::max(1, num_shards)) {
+  size_t slots = RoundUpPow2(std::max<size_t>(
+      num_slots, static_cast<size_t>(num_shards_)));
+  slot_mask_ = slots - 1;
+  owner_ = std::vector<std::atomic<uint32_t>>(slots);
+  slot_window_ = std::vector<std::atomic<uint64_t>>(slots);
+  shard_routed_ =
+      std::vector<std::atomic<uint64_t>>(static_cast<size_t>(num_shards_));
+  // Round-robin initial ownership: with slots a power of two and any shard
+  // count, every shard owns either floor or ceil of slots/num_shards.
+  for (size_t i = 0; i < slots; ++i) {
+    owner_[i].store(static_cast<uint32_t>(i % num_shards_), kRelaxed);
+  }
+}
+
+uint32_t ShardRouter::Route(uint64_t tenant, const PlanFingerprint& plan,
+                            uint32_t* slot) {
+  const uint32_t s = SlotOf(RouteHash(tenant, plan));
+  if (slot != nullptr) *slot = s;
+  const uint32_t shard = owner_[s].load(kRelaxed);
+  slot_window_[s].fetch_add(1, kRelaxed);
+  shard_routed_[shard].fetch_add(1, kRelaxed);
+  return shard;
+}
+
+bool ShardRouter::DetectImbalance(double imbalance_factor, int min_checks,
+                                  ShardRouter::MigrationPlan* plan) {
+  ROBOPT_CHECK(plan != nullptr);
+  const size_t slots = owner_.size();
+  // Close the window: read-and-reset every slot counter, grouping load by
+  // current owner. exchange(0) keeps hits that race with the close — they
+  // simply land in the next window.
+  std::vector<uint64_t> slot_load(slots, 0);
+  std::vector<uint64_t> shard_load(static_cast<size_t>(num_shards_), 0);
+  uint64_t total = 0;
+  for (size_t i = 0; i < slots; ++i) {
+    const uint64_t n = slot_window_[i].exchange(0, kRelaxed);
+    slot_load[i] = n;
+    shard_load[owner_[i].load(kRelaxed)] += n;
+    total += n;
+  }
+  if (num_shards_ < 2 || total == 0) {
+    imbalance_streak_ = 0;
+    return false;
+  }
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(num_shards_);
+  uint32_t hot = 0, cold = 0;
+  for (uint32_t s = 1; s < static_cast<uint32_t>(num_shards_); ++s) {
+    if (shard_load[s] > shard_load[hot]) hot = s;
+    if (shard_load[s] < shard_load[cold]) cold = s;
+  }
+  if (static_cast<double>(shard_load[hot]) <= imbalance_factor * avg) {
+    imbalance_streak_ = 0;
+    return false;
+  }
+  if (++imbalance_streak_ < min_checks) return false;
+
+  // Sustained imbalance. Pick the hot shard's busiest slots, hottest first,
+  // until the excess over average is covered — but never drain the shard
+  // past the average itself (a single mega-hot slot that would overshoot to
+  // the cold side is skipped; hashing cannot split one key).
+  std::vector<uint32_t> hot_slots;
+  for (size_t i = 0; i < slots; ++i) {
+    if (owner_[i].load(kRelaxed) == hot && slot_load[i] > 0) {
+      hot_slots.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::sort(hot_slots.begin(), hot_slots.end(),
+            [&slot_load](uint32_t a, uint32_t b) {
+              if (slot_load[a] != slot_load[b]) {
+                return slot_load[a] > slot_load[b];
+              }
+              return a < b;  // Deterministic tie-break.
+            });
+  const uint64_t target = shard_load[hot] - static_cast<uint64_t>(avg);
+  uint64_t moved = 0;
+  plan->from = hot;
+  plan->to = cold;
+  plan->slots.clear();
+  plan->slot_set.assign(slots, false);
+  for (uint32_t s : hot_slots) {
+    if (moved >= target) break;
+    // Taking this slot must not push the destination above the average —
+    // otherwise the move just relocates the hotspot.
+    if (static_cast<double>(shard_load[cold] + moved + slot_load[s]) >
+        avg * 1.25) {
+      continue;
+    }
+    plan->slots.push_back(s);
+    plan->slot_set[s] = true;
+    moved += slot_load[s];
+  }
+  imbalance_streak_ = 0;
+  if (plan->slots.empty()) return false;
+  rebalances_.fetch_add(1, kRelaxed);
+  return true;
+}
+
+void ShardRouter::MoveSlot(uint32_t slot, uint32_t to) {
+  ROBOPT_CHECK(slot < owner_.size());
+  ROBOPT_CHECK(to < static_cast<uint32_t>(num_shards_));
+  owner_[slot].store(to, kRelaxed);
+  slots_moved_.fetch_add(1, kRelaxed);
+}
+
+RouterStats ShardRouter::stats() const {
+  RouterStats out;
+  out.routed.reserve(shard_routed_.size());
+  for (const auto& c : shard_routed_) out.routed.push_back(c.load(kRelaxed));
+  out.rebalances = rebalances_.load(kRelaxed);
+  out.slots_moved = slots_moved_.load(kRelaxed);
+  return out;
+}
+
+}  // namespace robopt

@@ -444,6 +444,36 @@ TEST_F(ObsServeTest, SnapshotMirrorsEveryExportedStatsStruct) {
          static_cast<double>(stats.plan_cache.invalidations));
   expect("robopt_plan_cache_platform_invalidations",
          static_cast<double>(stats.plan_cache.platform_invalidations));
+  expect("robopt_plan_cache_migrated_in",
+         static_cast<double>(stats.plan_cache.migrated_in));
+  expect("robopt_plan_cache_migrated_out",
+         static_cast<double>(stats.plan_cache.migrated_out));
+  // Per-stripe feedback drop counters (stripe 0 always exists; one stripe
+  // per resolved shard).
+  ASSERT_FALSE(stats.feedback.stripe_dropped.empty());
+  EXPECT_EQ(stats.feedback.stripe_dropped.size(),
+            static_cast<size_t>(stats.num_shards));
+  for (size_t i = 0; i < stats.feedback.stripe_dropped.size(); ++i) {
+    expect(("robopt_feedback_stripe_dropped{stripe=\"" + std::to_string(i) +
+            "\"}")
+               .c_str(),
+           static_cast<double>(stats.feedback.stripe_dropped[i]));
+  }
+  // Sharded-serving aggregates (exported in legacy mode too, mostly zero,
+  // so the metric table is stable across shard counts).
+  expect("robopt_shard_count", static_cast<double>(stats.num_shards));
+  expect("robopt_shard_processed_total",
+         static_cast<double>(stats.shard_processed));
+  expect("robopt_shard_shed_queue_full_total",
+         static_cast<double>(stats.shard_shed_queue_full));
+  expect("robopt_shard_shed_deadline_total",
+         static_cast<double>(stats.shard_shed_deadline));
+  expect("robopt_shard_queue_depth",
+         static_cast<double>(stats.shard_queue_depth));
+  expect("robopt_router_rebalances_total",
+         static_cast<double>(stats.router_rebalances));
+  expect("robopt_router_slots_moved_total",
+         static_cast<double>(stats.router_slots_moved));
   // DriftStats.
   expect("robopt_drift_error_ewma", stats.current_drift.error_ewma);
   expect("robopt_drift_observations",
@@ -541,12 +571,23 @@ TEST_F(ObsServeTest, PrometheusEndpointCoversTheWholeMetricTable) {
       "robopt_feedback_rejected_nonfinite",
       "robopt_feedback_drained",
       "robopt_feedback_failures",
+      "robopt_feedback_stripe_dropped",
       "robopt_plan_cache_hits",
       "robopt_plan_cache_misses",
       "robopt_plan_cache_insertions",
       "robopt_plan_cache_evictions",
       "robopt_plan_cache_invalidations",
       "robopt_plan_cache_platform_invalidations",
+      "robopt_plan_cache_migrated_in",
+      "robopt_plan_cache_migrated_out",
+      // Sharded serving (aggregates exist in legacy mode too).
+      "robopt_shard_count",
+      "robopt_shard_processed_total",
+      "robopt_shard_shed_queue_full_total",
+      "robopt_shard_shed_deadline_total",
+      "robopt_shard_queue_depth",
+      "robopt_router_rebalances_total",
+      "robopt_router_slots_moved_total",
       "robopt_drift_error_ewma",
       "robopt_drift_observations",
       "robopt_recovery_failures_observed",

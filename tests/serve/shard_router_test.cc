@@ -1,0 +1,160 @@
+#include "serve/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace robopt {
+namespace {
+
+PlanFingerprint Fp(uint64_t lo, uint64_t hi) {
+  PlanFingerprint fp;
+  fp.lo = lo;
+  fp.hi = hi;
+  return fp;
+}
+
+TEST(ShardRouterTest, ResolveShardCountFollowsTheThreadConvention) {
+  EXPECT_EQ(ShardRouter::ResolveShardCount(0), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ShardRouter::ResolveShardCount(-3), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ShardRouter::ResolveShardCount(1), 1);
+  EXPECT_EQ(ShardRouter::ResolveShardCount(4), 4);
+}
+
+TEST(ShardRouterTest, RouteHashIsDeterministicAndTenantSensitive) {
+  const PlanFingerprint fp = Fp(0x1234, 0x5678);
+  EXPECT_EQ(ShardRouter::RouteHash(7, fp), ShardRouter::RouteHash(7, fp));
+  EXPECT_NE(ShardRouter::RouteHash(7, fp), ShardRouter::RouteHash(8, fp));
+  EXPECT_NE(ShardRouter::RouteHash(7, fp),
+            ShardRouter::RouteHash(7, Fp(0x1235, 0x5678)));
+}
+
+TEST(ShardRouterTest, SlotTableIsPowerOfTwoAndCoversAllShards) {
+  ShardRouter router(3, /*num_slots=*/100);  // Rounds up to 128.
+  EXPECT_EQ(router.num_slots(), 128u);
+  std::set<uint32_t> owners;
+  for (uint32_t slot = 0; slot < router.num_slots(); ++slot) {
+    const uint32_t shard = router.ShardOf(slot);
+    ASSERT_LT(shard, 3u);
+    owners.insert(shard);
+  }
+  EXPECT_EQ(owners.size(), 3u);
+}
+
+TEST(ShardRouterTest, RoutingSpreadsDistinctKeysAcrossShards) {
+  ShardRouter router(4);
+  std::vector<uint64_t> per_shard(4, 0);
+  for (uint64_t i = 0; i < 4000; ++i) {
+    uint32_t slot = 0;
+    const uint32_t shard = router.Route(i % 7, Fp(i * 13, i * 31), &slot);
+    ASSERT_LT(shard, 4u);
+    ASSERT_EQ(router.ShardOf(slot), shard);
+    ++per_shard[shard];
+  }
+  // A full-avalanche hash over 1000 expected keys per shard stays well
+  // within a loose 2x band.
+  for (uint64_t count : per_shard) {
+    EXPECT_GT(count, 500u);
+    EXPECT_LT(count, 2000u);
+  }
+  const RouterStats stats = router.stats();
+  uint64_t routed = 0;
+  for (uint64_t r : stats.routed) routed += r;
+  EXPECT_EQ(routed, 4000u);
+}
+
+TEST(ShardRouterTest, SameKeyAlwaysLandsOnTheSameShard) {
+  ShardRouter router(4);
+  const PlanFingerprint fp = Fp(0xabcdef, 0x1357);
+  uint32_t slot = 0;
+  const uint32_t first = router.Route(42, fp, &slot);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(router.Route(42, fp, &slot), first);
+  }
+}
+
+TEST(ShardRouterTest, MoveSlotRetargetsRouting) {
+  ShardRouter router(2);
+  const PlanFingerprint fp = Fp(99, 11);
+  uint32_t slot = 0;
+  const uint32_t before = router.Route(0, fp, &slot);
+  const uint32_t other = before == 0 ? 1 : 0;
+  router.MoveSlot(slot, other);
+  EXPECT_EQ(router.Route(0, fp, &slot), other);
+  EXPECT_EQ(router.stats().slots_moved, 1u);
+}
+
+/// Drives `hits` routed requests whose slots are owned by `shard` right now.
+void LoadShard(ShardRouter* router, uint32_t shard, int hits) {
+  int sent = 0;
+  for (uint64_t i = 0; sent < hits; ++i) {
+    const PlanFingerprint fp = Fp(i * 7919, i * 104729);
+    const uint32_t slot =
+        router->SlotOf(ShardRouter::RouteHash(/*tenant=*/0, fp));
+    if (router->ShardOf(slot) != shard) continue;
+    uint32_t routed_slot = 0;
+    ASSERT_EQ(router->Route(0, fp, &routed_slot), shard);
+    ++sent;
+  }
+}
+
+TEST(ShardRouterTest, BalancedLoadNeverTriggersMigration) {
+  ShardRouter router(2);
+  ShardRouter::MigrationPlan plan;
+  for (int window = 0; window < 5; ++window) {
+    LoadShard(&router, 0, 100);
+    LoadShard(&router, 1, 100);
+    EXPECT_FALSE(router.DetectImbalance(1.5, 1, &plan));
+  }
+  EXPECT_EQ(router.stats().rebalances, 0u);
+}
+
+TEST(ShardRouterTest, SustainedImbalanceYieldsAMigrationPlan) {
+  ShardRouter router(2);
+  ShardRouter::MigrationPlan plan;
+  // min_checks = 3: two imbalanced windows are not "sustained" yet.
+  LoadShard(&router, 0, 300);
+  EXPECT_FALSE(router.DetectImbalance(1.5, 3, &plan));
+  LoadShard(&router, 0, 300);
+  EXPECT_FALSE(router.DetectImbalance(1.5, 3, &plan));
+  // A balanced window in between resets the streak.
+  LoadShard(&router, 0, 100);
+  LoadShard(&router, 1, 100);
+  EXPECT_FALSE(router.DetectImbalance(1.5, 3, &plan));
+  // Three consecutive imbalanced windows trigger.
+  LoadShard(&router, 0, 300);
+  EXPECT_FALSE(router.DetectImbalance(1.5, 3, &plan));
+  LoadShard(&router, 0, 300);
+  EXPECT_FALSE(router.DetectImbalance(1.5, 3, &plan));
+  LoadShard(&router, 0, 300);
+  ASSERT_TRUE(router.DetectImbalance(1.5, 3, &plan));
+  EXPECT_EQ(plan.from, 0u);
+  EXPECT_EQ(plan.to, 1u);
+  ASSERT_FALSE(plan.slots.empty());
+  ASSERT_EQ(plan.slot_set.size(), router.num_slots());
+  for (uint32_t slot : plan.slots) {
+    EXPECT_EQ(router.ShardOf(slot), 0u);
+    EXPECT_TRUE(plan.slot_set[slot]);
+  }
+  EXPECT_EQ(router.stats().rebalances, 1u);
+
+  // Applying the plan and re-driving the same skewed key set no longer
+  // reads as one-sided: the moved slots now land on shard 1.
+  for (uint32_t slot : plan.slots) router.MoveSlot(slot, plan.to);
+  const RouterStats before = router.stats();
+  LoadShard(&router, 1, 1);  // At least one key maps to shard 1 now.
+  EXPECT_GT(router.stats().routed[1], before.routed[1]);
+}
+
+TEST(ShardRouterTest, SingleShardNeverMigrates) {
+  ShardRouter router(1);
+  ShardRouter::MigrationPlan plan;
+  LoadShard(&router, 0, 200);
+  EXPECT_FALSE(router.DetectImbalance(1.1, 1, &plan));
+}
+
+}  // namespace
+}  // namespace robopt
