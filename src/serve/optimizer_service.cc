@@ -369,13 +369,39 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
 StatusOr<OptimizerService::Result> OptimizerService::Optimize(
     const LogicalPlan& plan, const Cardinalities* cards,
     const OptimizeOptions& options, const RequestContext& ctx) {
-  if (shards_.empty()) return OptimizeLegacy(plan, cards, options);
-  return OptimizeSharded(plan, cards, options, ctx);
+  RequestObserver* observer = options_.request_observer;
+  if (observer == nullptr) {
+    if (shards_.empty()) return OptimizeLegacy(plan, cards, options);
+    return OptimizeSharded(plan, cards, options, ctx);
+  }
+  PlanFingerprint fp;
+  auto result = shards_.empty()
+                    ? OptimizeLegacy(plan, cards, options, &fp)
+                    : OptimizeSharded(plan, cards, options, ctx, &fp);
+  ServedRequest served;
+  served.tenant = ctx.tenant;
+  served.plan = &plan;
+  served.cards = cards;
+  served.options_hash = PlanCache::HashOptions(options);
+  served.fp_lo = fp.lo;
+  served.fp_hi = fp.hi;
+  if (result.ok()) {
+    served.cache_hit = result->cache_hit;
+    served.predicted_runtime_s = result->optimize.predicted_runtime_s;
+    served.model_version = result->optimize.model_version;
+    served.chosen_platform =
+        static_cast<uint8_t>(result->optimize.chosen_platform);
+    served.optimized = &result->optimize.plan;
+  } else {
+    served.status = result.status().code();
+  }
+  observer->OnRequest(served);
+  return result;
 }
 
 StatusOr<OptimizerService::Result> OptimizerService::OptimizeLegacy(
     const LogicalPlan& plan, const Cardinalities* cards,
-    const OptimizeOptions& caller_options) {
+    const OptimizeOptions& caller_options, PlanFingerprint* fp_out) {
   const auto start = std::chrono::steady_clock::now();
 
   // Re-optimize-on-failure: mask every open-breaker platform out of the
@@ -422,6 +448,7 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeLegacy(
   if (cache_on) {
     std::vector<uint64_t> node_hashes;
     key.plan = FingerprintPlan(plan, &node_hashes);
+    if (fp_out != nullptr) *fp_out = key.plan;
     key.cards_hash = cards == nullptr ? 0 : FingerprintCards(*cards);
     key.options_hash = PlanCache::HashOptions(options);
     Canonicalize(node_hashes, &canonical, &sorted_hashes);
@@ -451,13 +478,15 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeLegacy(
 
 StatusOr<OptimizerService::Result> OptimizerService::OptimizeSharded(
     const LogicalPlan& plan, const Cardinalities* cards,
-    const OptimizeOptions& caller_options, const RequestContext& ctx) {
+    const OptimizeOptions& caller_options, const RequestContext& ctx,
+    PlanFingerprint* fp_out) {
   const auto start = std::chrono::steady_clock::now();
   // Fingerprint before admission: the canonical fingerprint is the routing
   // key (and double-duties as the cache key inside the shard).
   std::vector<uint64_t> node_hashes;
   PlanCacheKey key;
   key.plan = FingerprintPlan(plan, &node_hashes);
+  if (fp_out != nullptr) *fp_out = key.plan;
   key.cards_hash = cards == nullptr ? 0 : FingerprintCards(*cards);
   uint32_t slot = 0;
   const uint32_t shard_index = router_->Route(ctx.tenant, key.plan, &slot);
@@ -705,6 +734,11 @@ void OptimizerService::OnExecution(const ExecutionPlan& plan,
     event.predicted_s = predicted;
   }
   collector_.Offer(std::move(event));
+  // Past the screening above, so the trace records exactly the feedback the
+  // retrain loop accepted.
+  if (options_.request_observer != nullptr) {
+    options_.request_observer->OnFeedback(plan, result);
+  }
 }
 
 void OptimizerService::OnExecutionFailure(const ExecutionPlan& plan,
@@ -923,6 +957,9 @@ MetricsSnapshot OptimizerService::SnapshotMetrics() const {
   // live in metrics_ and need no sync.
   Stats().ExportTo(&metrics_);
   health_.ExportTo(&metrics_, registry_->num_platforms());
+  if (options_.request_observer != nullptr) {
+    options_.request_observer->ExportTo(&metrics_);
+  }
   // Process-wide inference telemetry (always on; see ForestKernel). Set
   // mirrors of monotone counters — idempotent like the other gauges.
   metrics_.Set("robopt_ml_forest_rows_scored_total",

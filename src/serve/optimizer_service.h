@@ -22,6 +22,61 @@
 
 namespace robopt {
 
+/// One served Optimize() call, as seen by a RequestObserver: the request
+/// (tenant, plan, injected cardinalities, the hash of the caller's
+/// options) and its outcome (shed/failed status, cache hit, prediction,
+/// serving model version, per-operator assignment). Pointers borrow the
+/// caller's arguments and are valid only for the duration of the
+/// OnRequest() call; `optimized` is null when the call did not produce a
+/// plan (shed or failed).
+struct ServedRequest {
+  uint64_t tenant = 0;
+  const LogicalPlan* plan = nullptr;
+  const Cardinalities* cards = nullptr;
+  /// PlanCache::HashOptions of the options the caller passed (pre
+  /// breaker-masking) — what a faithful re-drive would hash too.
+  uint64_t options_hash = 0;
+  /// Canonical plan fingerprint when the serving path already computed one
+  /// (sharded routing always does; the legacy path only with the plan cache
+  /// on). Zero otherwise — observers that need it recompute only then.
+  uint64_t fp_lo = 0;
+  uint64_t fp_hi = 0;
+  StatusCode status = StatusCode::kOk;
+  bool cache_hit = false;
+  float predicted_runtime_s = 0.0f;
+  uint64_t model_version = 0;
+  uint8_t chosen_platform = 0;
+  const ExecutionPlan* optimized = nullptr;
+};
+
+/// Hook into the serving hot paths: every Optimize() reports a
+/// ServedRequest, every accepted execution feedback reports the executed
+/// plan and its measured result. The workload layer's TraceRecorder
+/// implements this to capture production traffic for later replay
+/// (mirroring how ExecutionObserver feeds the retrain loop). Observers are
+/// called concurrently from every serving thread and must be thread-safe;
+/// they run inline on the request path, so implementations buffer and get
+/// out of the way.
+class RequestObserver {
+ public:
+  virtual ~RequestObserver() = default;
+
+  virtual void OnRequest(const ServedRequest& request) = 0;
+
+  /// One accepted feedback event (after the service's own finite /
+  /// fully-assigned screening — the trace sees exactly what the retrain
+  /// loop saw).
+  virtual void OnFeedback(const ExecutionPlan& plan,
+                          const ExecResult& result) {
+    (void)plan;
+    (void)result;
+  }
+
+  /// Mirrors the observer's counters into the service registry; called
+  /// from SnapshotMetrics() like the other derived-gauge sources.
+  virtual void ExportTo(MetricsRegistry* registry) { (void)registry; }
+};
+
 /// Configuration of the serving layer.
 struct ServeOptions {
   /// Bounded feedback queue between executors and the retrain worker.
@@ -127,6 +182,10 @@ struct ServeOptions {
   /// worker poll / RebalanceNow call) before cache entries move.
   double rebalance_imbalance_factor = 2.0;
   int rebalance_min_checks = 3;
+
+  /// Request/feedback tap (trace recording). Not owned; must outlive the
+  /// service. Null (the default) costs the hot paths nothing.
+  RequestObserver* request_observer = nullptr;
 
   /// Default per-call optimize options.
   OptimizeOptions optimize;
@@ -374,14 +433,19 @@ class OptimizerService : public ExecutionObserver {
                    const FeatureSchema* schema, ServeOptions options);
 
   /// The pre-sharding Optimize body, byte-for-byte (resolved num_shards 1).
+  /// `fp_out`, when non-null, receives the plan fingerprint if this call
+  /// computed one anyway (cache key / routing key) — lets the observer
+  /// dispatch hand it to RequestObservers without a second O(plan) pass.
   StatusOr<Result> OptimizeLegacy(const LogicalPlan& plan,
                                   const Cardinalities* cards,
-                                  const OptimizeOptions& caller_options);
+                                  const OptimizeOptions& caller_options,
+                                  PlanFingerprint* fp_out = nullptr);
   /// Sharded path: route, admit/shed, then run serialized on the shard.
   StatusOr<Result> OptimizeSharded(const LogicalPlan& plan,
                                    const Cardinalities* cards,
                                    const OptimizeOptions& caller_options,
-                                   const RequestContext& ctx);
+                                   const RequestContext& ctx,
+                                   PlanFingerprint* fp_out = nullptr);
   /// The in-window shard body (caller holds the shard's ticket turn):
   /// epoch checks, cache lookup, optimize, insert.
   StatusOr<Result> RunOnShard(Shard& shard, uint32_t slot,

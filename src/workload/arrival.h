@@ -1,0 +1,61 @@
+#ifndef ROBOPT_WORKLOAD_ARRIVAL_H_
+#define ROBOPT_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace robopt {
+
+/// Open-loop arrival processes for generated workload streams. All times
+/// are virtual stream seconds; the driver's time warp decides how fast they
+/// play out.
+struct ArrivalOptions {
+  enum class Kind {
+    /// No think time: every op arrives at t = 0 (classic closed-loop
+    /// saturation — the driver issues as fast as the service serves).
+    kClosedLoop,
+    /// Deterministic fixed spacing at `rate_per_s`.
+    kFixedRate,
+    /// Homogeneous Poisson at `rate_per_s`.
+    kPoisson,
+    /// Nonhomogeneous Poisson with a sinusoidal day curve:
+    /// rate(t) = rate_per_s * (1 + diurnal_amplitude * sin(2πt/period)),
+    /// sampled exactly by thinning.
+    kDiurnal,
+    /// 2-state Markov-modulated Poisson process: quiet periods at
+    /// `rate_per_s` interleaved with bursts at rate_per_s *
+    /// burst_rate_multiplier; state holding times are exponential.
+    kBursty,
+  };
+  Kind kind = Kind::kPoisson;
+  double rate_per_s = 100.0;
+  double diurnal_amplitude = 0.8;  ///< In [0, 1).
+  double diurnal_period_s = 60.0;
+  double burst_rate_multiplier = 10.0;
+  double mean_burst_s = 0.5;
+  double mean_quiet_s = 5.0;
+};
+
+/// Stateful arrival-time generator. Deterministic for a (options, seed)
+/// pair; Next() returns non-decreasing absolute stream times.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalOptions& options, uint64_t seed);
+
+  /// Absolute stream time of the next arrival, in seconds.
+  double Next();
+
+ private:
+  double Exponential(double rate);
+
+  const ArrivalOptions options_;
+  Rng rng_;
+  double now_s_ = 0.0;
+  bool in_burst_ = false;
+  double state_ends_s_ = 0.0;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_ARRIVAL_H_

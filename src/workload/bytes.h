@@ -1,0 +1,91 @@
+#ifndef ROBOPT_WORKLOAD_BYTES_H_
+#define ROBOPT_WORKLOAD_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace robopt {
+
+/// Little-endian append-only byte buffer. All trace payloads are built
+/// through this, so the on-disk encoding is identical across hosts this
+/// repo targets (fixed-width little-endian scalars, IEEE-754 doubles).
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, sizeof v); }
+  void U32(uint32_t v) { Raw(&v, sizeof v); }
+  void U64(uint64_t v) { Raw(&v, sizeof v); }
+  void I16(int16_t v) { Raw(&v, sizeof v); }
+  void I32(int32_t v) { Raw(&v, sizeof v); }
+  void F32(float v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+  /// Length-prefixed (u16) byte string.
+  void Str(std::string_view s) {
+    U16(static_cast<uint16_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  /// Unprefixed bytes; the caller writes its own length.
+  void Bytes(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  const std::string& bytes() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over an immutable buffer. Every Read
+/// returns false instead of running past the end, so a truncated or
+/// corrupted payload can never read out of bounds — callers turn a false
+/// into a structured Status.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) { return Raw(v, sizeof *v); }
+  bool U16(uint16_t* v) { return Raw(v, sizeof *v); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof *v); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof *v); }
+  bool I16(int16_t* v) { return Raw(v, sizeof *v); }
+  bool I32(int32_t* v) { return Raw(v, sizeof *v); }
+  bool F32(float* v) { return Raw(v, sizeof *v); }
+  bool F64(double* v) { return Raw(v, sizeof *v); }
+  bool Str(std::string* s, size_t max_len = 4096) {
+    uint16_t len = 0;
+    if (!U16(&len)) return false;
+    if (len > max_len || pos_ + len > data_.size()) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  /// Reads exactly `n` unprefixed bytes.
+  bool Bytes(std::string* s, size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  bool Raw(void* p, size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_BYTES_H_

@@ -1,0 +1,176 @@
+#include "workload/driver.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "platform/execution_plan.h"
+#include "serve/plan_cache.h"
+
+namespace robopt {
+namespace {
+
+/// The served assignment as a per-operator alt vector (-1 = unassigned),
+/// the shape the trace records.
+std::vector<int16_t> AssignmentOf(const ExecutionPlan& plan) {
+  const int n = plan.logical_plan().num_operators();
+  std::vector<int16_t> assignment(static_cast<size_t>(n), -1);
+  for (int id = 0; id < n; ++id) {
+    assignment[static_cast<size_t>(id)] =
+        static_cast<int16_t>(plan.alt_index(static_cast<OperatorId>(id)));
+  }
+  return assignment;
+}
+
+}  // namespace
+
+ReplayStats DriveWorkload(OptimizerService* service, WorkloadSource* source,
+                          const DriveOptions& options) {
+  ReplayStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  Histogram* lag_us = nullptr;
+  Counter* ops_total = nullptr;
+  Counter* mismatches_total = nullptr;
+  if (options.metrics != nullptr) {
+    lag_us = options.metrics->GetHistogram("robopt_replay_lag_us",
+                                           Histogram::LatencyBucketsUs());
+    ops_total = options.metrics->GetCounter("robopt_replay_ops_total");
+    mismatches_total =
+        options.metrics->GetCounter("robopt_replay_mismatches_total");
+  }
+  const uint64_t expected_options_hash =
+      PlanCache::HashOptions(options.optimize);
+  // Generated feedback ops carry no assignment; they apply to the tenant's
+  // last served plan (always a valid assignment, by construction).
+  struct LastServed {
+    LogicalPlan plan;
+    std::vector<int16_t> assignment;
+  };
+  std::unordered_map<uint64_t, LastServed> last_served;
+
+  WorkloadOp op;
+  while (source->GetNext(&op)) {
+    if (ops_total != nullptr) ops_total->Add(1);
+    // Time warp: speedup 0 never sleeps; otherwise honor the stream's
+    // arrival offsets compressed by the factor and track how far behind
+    // the pacing target the driver is running.
+    if (options.speedup > 0.0) {
+      const double target_s = op.arrival_s / options.speedup;
+      const auto target =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(target_s));
+      const auto now = std::chrono::steady_clock::now();
+      if (now < target) {
+        std::this_thread::sleep_until(target);
+      } else {
+        const double lag =
+            std::chrono::duration<double>(now - target).count();
+        if (lag > stats.max_lag_s) stats.max_lag_s = lag;
+        if (lag_us != nullptr) lag_us->Observe(lag * 1e6);
+      }
+    }
+
+    switch (op.kind) {
+      case WorkloadOpKind::kOptimize: {
+        ++stats.optimizes;
+        RequestContext ctx;
+        ctx.tenant = op.tenant;
+        auto result =
+            service->Optimize(op.plan, op.has_cards ? &op.cards : nullptr,
+                              options.optimize, ctx);
+        if (!result.ok()) {
+          ++stats.optimize_errors;
+          break;
+        }
+        last_served[op.tenant] =
+            LastServed{op.plan, AssignmentOf(result->optimize.plan)};
+        if (!options.verify || !op.recorded.valid ||
+            op.recorded.status != StatusCode::kOk) {
+          break;
+        }
+        ++stats.verified;
+        if (op.recorded.options_hash != expected_options_hash) {
+          ++stats.options_hash_mismatches;
+        }
+        const std::vector<int16_t> assignment =
+            AssignmentOf(result->optimize.plan);
+        const bool same =
+            assignment == op.recorded.assignment &&
+            result->optimize.predicted_runtime_s ==
+                op.recorded.predicted_runtime_s &&
+            result->optimize.model_version == op.recorded.model_version;
+        if (!same) {
+          ++stats.mismatches;
+          if (mismatches_total != nullptr) mismatches_total->Add(1);
+        }
+        break;
+      }
+      case WorkloadOpKind::kFeedback: {
+        if (options.registry == nullptr || !op.has_cards) {
+          ++stats.feedbacks_skipped;
+          break;
+        }
+        // Recorded feedback brings its own plan + assignment; generated
+        // feedback (empty assignment) applies to the tenant's last served
+        // plan.
+        const LogicalPlan* logical = &op.plan;
+        const std::vector<int16_t>* assignment = &op.assignment;
+        if (op.assignment.empty()) {
+          auto it = last_served.find(op.tenant);
+          if (it == last_served.end()) {
+            ++stats.feedbacks_skipped;
+            break;
+          }
+          logical = &it->second.plan;
+          assignment = &it->second.assignment;
+        }
+        // Dimensional safety: assignment and observed cards must both cover
+        // the plan they are applied to (a tenant may have optimized a
+        // different plan since a generated feedback op was scheduled).
+        if (static_cast<int>(assignment->size()) !=
+                logical->num_operators() ||
+            static_cast<int>(op.cards.input.size()) <
+                logical->num_operators() ||
+            static_cast<int>(op.cards.output.size()) <
+                logical->num_operators()) {
+          ++stats.feedbacks_skipped;
+          break;
+        }
+        ExecutionPlan plan(logical, options.registry);
+        bool usable = true;
+        for (int id = 0; id < logical->num_operators(); ++id) {
+          const int16_t alt = (*assignment)[static_cast<size_t>(id)];
+          if (alt < 0) {
+            usable = false;
+            break;
+          }
+          plan.Assign(static_cast<OperatorId>(id), alt);
+        }
+        if (!usable) {
+          ++stats.feedbacks_skipped;
+          break;
+        }
+        ExecResult result;
+        result.cost.total_s = op.actual_runtime_s;
+        result.observed = op.cards;
+        // Generated feedback may carry cards sized for a larger plan than
+        // the one it lands on; trim so downstream consumers (feature
+        // encoding, the trace recorder) see exactly-sized vectors.
+        const size_t n = static_cast<size_t>(logical->num_operators());
+        if (result.observed.input.size() > n) result.observed.input.resize(n);
+        if (result.observed.output.size() > n) result.observed.output.resize(n);
+        service->OnExecution(plan, result);
+        ++stats.feedbacks;
+        break;
+      }
+    }
+  }
+  stats.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace robopt

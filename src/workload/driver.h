@@ -1,0 +1,55 @@
+#ifndef ROBOPT_WORKLOAD_DRIVER_H_
+#define ROBOPT_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "serve/optimizer_service.h"
+#include "workload/workload.h"
+
+namespace robopt {
+
+/// How DriveWorkload paces and checks a stream.
+struct DriveOptions {
+  /// Time warp: 0 replays as fast as possible (no pacing at all); 1.0
+  /// honors the stream's arrival timestamps in real time; s > 1 compresses
+  /// them s-fold (2.0 = twice as fast as recorded).
+  double speedup = 0.0;
+  /// Verify each optimize against the op's RecordedOutcome (replay streams
+  /// only): served assignment, predicted cost and model version must match
+  /// byte-for-byte. Mismatches are counted, never fatal.
+  bool verify = false;
+  /// Optimize options passed on every call; HashOptions of this is checked
+  /// against each record's options_hash when verifying.
+  OptimizeOptions optimize;
+  /// Needed to rebuild ExecutionPlans for feedback ops; feedback ops are
+  /// skipped (and counted) when null.
+  const PlatformRegistry* registry = nullptr;
+  /// Replay-lag histogram + op counters land here when set.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// What one DriveWorkload run did.
+struct ReplayStats {
+  uint64_t optimizes = 0;         ///< Optimize ops attempted.
+  uint64_t optimize_errors = 0;   ///< Non-OK Optimize (sheds included).
+  uint64_t feedbacks = 0;         ///< Feedback ops applied.
+  uint64_t feedbacks_skipped = 0; ///< No registry / unusable assignment.
+  uint64_t verified = 0;          ///< Optimizes checked against a recording.
+  uint64_t mismatches = 0;        ///< Verified ops that did not reproduce.
+  uint64_t options_hash_mismatches = 0;
+  double wall_s = 0.0;
+  double max_lag_s = 0.0;  ///< Worst pacing lag (0 when speedup == 0).
+};
+
+/// Pulls `source` to exhaustion and drives every op into `service` — the
+/// one driver behind replay, benches and soak tests. Single-threaded by
+/// contract (sources are single-consumer); in sharded services the shards
+/// still fan out by (tenant, fingerprint). The source must already be
+/// Load()ed.
+ReplayStats DriveWorkload(OptimizerService* service, WorkloadSource* source,
+                          const DriveOptions& options = {});
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_DRIVER_H_

@@ -1,0 +1,266 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "plan/cardinality.h"
+#include "workloads/queries.h"
+#include "workloads/synthetic.h"
+
+namespace robopt {
+namespace {
+
+/// Noisy observed cardinalities: the propagated estimate with lognormal
+/// perturbation, the shape real execution logs have.
+Cardinalities NoisyCards(const LogicalPlan& plan, Rng* rng, double sigma) {
+  Cardinalities cards = CardinalityEstimator(&plan).Estimate();
+  for (std::vector<double>* column : {&cards.input, &cards.output}) {
+    for (double& v : *column) {
+      v = std::max(1.0, v * std::exp(sigma * rng->NextGaussian()));
+    }
+  }
+  return cards;
+}
+
+/// Stable arrival-order sort: ties resolve by generation order, so the
+/// stream is deterministic even when arrivals collide.
+void SortByArrival(std::vector<WorkloadOp>* ops) {
+  std::stable_sort(ops->begin(), ops->end(),
+                   [](const WorkloadOp& a, const WorkloadOp& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+}
+
+}  // namespace
+
+std::vector<LogicalPlan> MakePaperPlanPool(double scale_gb) {
+  RegisterWorkloadKernels();
+  const double scale_mb = scale_gb * 1024.0;
+  std::vector<LogicalPlan> pool;
+  pool.push_back(MakeWordCountPlan(scale_gb));
+  pool.push_back(MakeWord2NVecPlan(scale_mb));
+  pool.push_back(MakeSimWordsPlan(scale_mb));
+  pool.push_back(MakeTpchQ1Plan(scale_gb));
+  pool.push_back(MakeTpchQ3Plan(scale_gb));
+  pool.push_back(MakeAggregatePlan(scale_gb));
+  pool.push_back(MakeJoinPlan(scale_gb));
+  pool.push_back(MakeKmeansPlan(scale_mb, /*num_centroids=*/8,
+                                /*iterations=*/5));
+  pool.push_back(MakeSgdPlan(scale_gb, /*batch_size=*/64, /*iterations=*/5));
+  pool.push_back(MakeCrocoPrPlan(scale_gb, /*iterations=*/5));
+  return pool;
+}
+
+std::vector<LogicalPlan> MakeSyntheticPlanPool(int count, uint64_t seed) {
+  std::vector<LogicalPlan> pool;
+  pool.reserve(static_cast<size_t>(count));
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const double cardinality = std::pow(10.0, rng.NextUniform(4.0, 7.0));
+    const uint64_t plan_seed = rng.Next();
+    switch (i % 3) {
+      case 0:
+        pool.push_back(MakeSyntheticPipeline(
+            static_cast<int>(rng.NextInt(5, 12)), cardinality, plan_seed));
+        break;
+      case 1:
+        pool.push_back(MakeSyntheticJoinTree(
+            static_cast<int>(rng.NextInt(2, 4)), cardinality, plan_seed));
+        break;
+      default:
+        pool.push_back(MakeSyntheticLoopPlan(
+            static_cast<int>(rng.NextInt(9, 12)), cardinality,
+            static_cast<int>(rng.NextInt(3, 8)), plan_seed));
+        break;
+    }
+  }
+  return pool;
+}
+
+OpenLoopSource::OpenLoopSource(PlanPool pool, GeneratorOptions options)
+    : pool_kind_(pool), options_(std::move(options)) {
+  switch (pool_kind_) {
+    case PlanPool::kPaper:
+      name_ = "open_loop_paper";
+      break;
+    case PlanPool::kSynthetic:
+      name_ = "open_loop_synthetic";
+      break;
+    case PlanPool::kMixed:
+      name_ = "open_loop_mixed";
+      break;
+  }
+}
+
+Status OpenLoopSource::Load() {
+  if (loaded_) return Status::OK();
+  std::vector<LogicalPlan> pool;
+  if (pool_kind_ != PlanPool::kSynthetic) {
+    pool = MakePaperPlanPool(options_.paper_scale_gb);
+  }
+  if (pool_kind_ != PlanPool::kPaper) {
+    std::vector<LogicalPlan> synthetic = MakeSyntheticPlanPool(
+        options_.synthetic_pool_size, options_.base.seed ^ 0x5eedULL);
+    for (LogicalPlan& plan : synthetic) pool.push_back(std::move(plan));
+  }
+  if (pool.empty()) return Status::Internal("empty plan pool");
+  if (options_.base.num_tenants <= 0) {
+    return Status::InvalidArgument("num_tenants must be positive");
+  }
+
+  const size_t total =
+      options_.base.max_ops == 0 ? 256 : options_.base.max_ops;
+  Rng rng(options_.base.seed);
+  ArrivalProcess arrival(options_.arrival, options_.base.seed ^ 0x9e3779b9u);
+  ops_.reserve(total);
+  while (ops_.size() < total) {
+    WorkloadOp op;
+    op.kind = WorkloadOpKind::kOptimize;
+    op.arrival_s = arrival.Next();
+    op.tenant =
+        rng.NextZipf(static_cast<uint64_t>(options_.base.num_tenants),
+                     options_.base.tenant_zipf_s) -
+        1;
+    // Tenant affinity: each tenant owns two home plans (a deterministic
+    // function of its id); most of its traffic re-issues those.
+    size_t index;
+    if (rng.NextBernoulli(options_.tenant_affinity)) {
+      const uint64_t home = op.tenant * 2654435761u + rng.NextBounded(2);
+      index = static_cast<size_t>(home % pool.size());
+    } else {
+      index = static_cast<size_t>(rng.NextBounded(pool.size()));
+    }
+    op.plan = pool[index];
+    if (rng.NextBernoulli(options_.cards_fraction)) {
+      op.has_cards = true;
+      op.cards = NoisyCards(op.plan, &rng, /*sigma=*/0.2);
+    }
+    const uint64_t optimize_tenant = op.tenant;
+    const double optimize_arrival = op.arrival_s;
+    const LogicalPlan& optimize_plan = op.plan;
+    ops_.push_back(op);
+
+    if (ops_.size() < total &&
+        rng.NextBernoulli(options_.feedback_fraction)) {
+      WorkloadOp feedback;
+      feedback.kind = WorkloadOpKind::kFeedback;
+      feedback.tenant = optimize_tenant;
+      // The execution "finishes" a service-delay later.
+      feedback.arrival_s = optimize_arrival + rng.NextUniform(0.05, 0.5);
+      feedback.plan = optimize_plan;
+      feedback.actual_runtime_s =
+          std::exp(rng.NextGaussian() * 0.5) * 10.0;  // Lognormal runtimes.
+      feedback.has_cards = true;
+      feedback.cards = NoisyCards(feedback.plan, &rng, /*sigma=*/0.3);
+      // assignment left empty: the driver applies the feedback to the
+      // tenant's last served plan.
+      ops_.push_back(std::move(feedback));
+    }
+  }
+  SortByArrival(&ops_);
+  loaded_ = true;
+  return Status::OK();
+}
+
+bool OpenLoopSource::GetNext(WorkloadOp* op) {
+  if (!loaded_ || next_ >= ops_.size()) return false;
+  *op = ops_[next_++];
+  CountOp(options_.base, op);
+  return true;
+}
+
+CheckpointRestartSource::CheckpointRestartSource(Options options)
+    : options_(std::move(options)) {}
+
+double CheckpointRestartSource::daly_interval_s() const {
+  const double tau =
+      std::sqrt(2.0 * options_.checkpoint_cost_s * options_.mtbf_s);
+  return std::min(tau, options_.job_work_s);
+}
+
+Status CheckpointRestartSource::Load() {
+  if (loaded_) return Status::OK();
+  if (options_.mtbf_s <= 0.0 || options_.checkpoint_cost_s < 0.0 ||
+      options_.job_work_s <= 0.0) {
+    return Status::InvalidArgument(
+        "checkpoint/restart parameters must be positive");
+  }
+  const size_t total =
+      options_.base.max_ops == 0 ? 256 : options_.base.max_ops;
+  const double tau = daly_interval_s();
+  Rng rng(options_.base.seed);
+  double submit_s = 0.0;
+  uint64_t job = 0;
+  ops_.reserve(total);
+  while (ops_.size() < total) {
+    // Poisson job submissions.
+    double u = rng.NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    submit_s += -std::log(u) / options_.job_rate_per_s;
+    const uint64_t tenant =
+        job % static_cast<uint64_t>(std::max(1, options_.base.num_tenants));
+
+    WorkloadOp optimize;
+    optimize.kind = WorkloadOpKind::kOptimize;
+    optimize.tenant = tenant;
+    optimize.arrival_s = submit_s;
+    optimize.plan = MakeSyntheticLoopPlan(
+        /*num_ops=*/10, /*source_cardinality=*/1e6,
+        options_.loop_iterations, options_.base.seed ^ (job * 0x9e3779b9u));
+    const LogicalPlan job_plan = optimize.plan;
+    ops_.push_back(std::move(optimize));
+
+    // Run the job segment by segment: tau of work, then a checkpoint
+    // write. A failure inside a segment loses the progress since the last
+    // checkpoint (plus the time until the failure) and the segment
+    // restarts — the Daly rework model.
+    double clock_s = submit_s;
+    double done_s = 0.0;
+    double next_failure_s = rng.NextDouble();
+    next_failure_s = -std::log(next_failure_s < 1e-300 ? 1e-300
+                                                       : next_failure_s) *
+                     options_.mtbf_s;
+    while (done_s < options_.job_work_s && ops_.size() < total) {
+      const double segment = std::min(tau, options_.job_work_s - done_s);
+      double segment_wall = segment + options_.checkpoint_cost_s;
+      double attempt_elapsed = 0.0;
+      // Failures during this segment: each costs the elapsed attempt time
+      // and restarts the attempt from the checkpoint.
+      while (next_failure_s < segment_wall - attempt_elapsed) {
+        attempt_elapsed += next_failure_s;
+        segment_wall += next_failure_s;  // Rework.
+        double uf = rng.NextDouble();
+        next_failure_s =
+            -std::log(uf < 1e-300 ? 1e-300 : uf) * options_.mtbf_s;
+        attempt_elapsed = 0.0;
+      }
+      next_failure_s -= segment + options_.checkpoint_cost_s;
+      clock_s += segment_wall;
+      done_s += segment;
+
+      WorkloadOp feedback;
+      feedback.kind = WorkloadOpKind::kFeedback;
+      feedback.tenant = tenant;
+      feedback.arrival_s = clock_s;
+      feedback.plan = job_plan;
+      feedback.actual_runtime_s = segment_wall;
+      feedback.has_cards = true;
+      feedback.cards = NoisyCards(feedback.plan, &rng, /*sigma=*/0.1);
+      ops_.push_back(std::move(feedback));
+    }
+    ++job;
+  }
+  SortByArrival(&ops_);
+  loaded_ = true;
+  return Status::OK();
+}
+
+bool CheckpointRestartSource::GetNext(WorkloadOp* op) {
+  if (!loaded_ || next_ >= ops_.size()) return false;
+  *op = ops_[next_++];
+  CountOp(options_.base, op);
+  return true;
+}
+
+}  // namespace robopt

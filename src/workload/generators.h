@@ -1,0 +1,115 @@
+#ifndef ROBOPT_WORKLOAD_GENERATORS_H_
+#define ROBOPT_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/arrival.h"
+#include "workload/workload.h"
+
+namespace robopt {
+
+/// Plan pools the generated sources draw from. The paper pool adapts the
+/// existing src/workloads query builders (Table II); the synthetic pool
+/// adapts the src/workloads synthetic generators (pipelines, join trees,
+/// iterative plans).
+enum class PlanPool {
+  kPaper,
+  kSynthetic,
+  kMixed,
+};
+
+/// The Table II suite at a common scale (WordCount, Word2NVec, SimWords,
+/// TPC-H Q1/Q3, Aggregate, Join, K-means, SGD, CrocoPR). `scale_gb` sizes
+/// the text/relational inputs; MB-sized inputs scale proportionally. Also
+/// registers the suite's execution kernels (idempotent), so pool plans can
+/// really execute.
+std::vector<LogicalPlan> MakePaperPlanPool(double scale_gb);
+
+/// `count` deterministic synthetic plans seeded from `seed`: a rotation of
+/// pipelines, join trees and loop plans with varied sizes/cardinalities.
+std::vector<LogicalPlan> MakeSyntheticPlanPool(int count, uint64_t seed);
+
+/// Knobs of the open-loop multi-tenant generator.
+struct GeneratorOptions {
+  WorkloadOptions base;
+  ArrivalOptions arrival;
+  /// Probability an optimize is followed by a feedback op for the same
+  /// tenant (arriving a service-delay later). Generated feedback ops carry
+  /// an empty assignment — the driver applies them to the tenant's last
+  /// served plan, so the assignment is always valid.
+  double feedback_fraction = 0.3;
+  /// Probability a tenant re-issues one of its two home plans instead of a
+  /// uniform pool draw — repeat traffic for the plan cache and trace dedup.
+  double tenant_affinity = 0.8;
+  /// Fraction of optimize ops that inject (noisy estimated) cardinalities.
+  double cards_fraction = 0.5;
+  /// Input scale of the paper pool, in GB.
+  double paper_scale_gb = 0.02;
+  int synthetic_pool_size = 12;
+};
+
+/// Open-loop multi-tenant stream over a plan pool: arrivals from the
+/// configured ArrivalProcess, tenants drawn Zipf(s) (a few tenants dominate
+/// — the heavy-tailed mix), per-tenant plan affinity, optional feedback
+/// ops. The whole stream is pregenerated at Load() from the seed, so it is
+/// byte-identical for a (options, seed) pair regardless of how fast the
+/// consumer pulls.
+class OpenLoopSource : public WorkloadSource {
+ public:
+  explicit OpenLoopSource(PlanPool pool, GeneratorOptions options = {});
+
+  Status Load() override;
+  bool GetNext(WorkloadOp* op) override;
+  std::string_view name() const override { return name_; }
+
+ private:
+  const PlanPool pool_kind_;
+  const GeneratorOptions options_;
+  std::string name_;
+  std::vector<WorkloadOp> ops_;
+  size_t next_ = 0;
+  bool loaded_ = false;
+};
+
+/// Long-running checkpoint/restart jobs in the Daly model: each job owns
+/// `job_work_s` of work, fails with exponential MTBF, and checkpoints every
+/// tau = sqrt(2 * checkpoint_cost_s * mtbf_s) seconds (Daly's first-order
+/// optimum). The stream is one optimize per job submission plus one
+/// feedback per completed segment (its wall time includes the checkpoint
+/// write and any rework lost to failures) — the sparse, long-horizon
+/// traffic shape of scientific/batch tenants.
+class CheckpointRestartSource : public WorkloadSource {
+ public:
+  struct Options {
+    WorkloadOptions base;
+    double job_rate_per_s = 0.2;  ///< Poisson job submissions.
+    double mtbf_s = 600.0;
+    double checkpoint_cost_s = 5.0;
+    double job_work_s = 900.0;
+    int loop_iterations = 8;  ///< Loop depth of the job's iterative plan.
+  };
+
+  CheckpointRestartSource() : CheckpointRestartSource(Options()) {}
+  explicit CheckpointRestartSource(Options options);
+
+  Status Load() override;
+  bool GetNext(WorkloadOp* op) override;
+  std::string_view name() const override { return "checkpoint_restart"; }
+
+  /// The Daly interval the source checkpoints at.
+  double daly_interval_s() const;
+
+ private:
+  const Options options_;
+  std::vector<WorkloadOp> ops_;
+  size_t next_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,215 @@
+#include "workload/plan_serde.h"
+
+#include <utility>
+#include <vector>
+
+#include "workload/bytes.h"
+
+namespace robopt {
+namespace {
+
+constexpr uint8_t kPlanSerdeVersion = 1;
+constexpr size_t kMaxNameLen = 256;
+
+/// Writes one adjacency (per-operator neighbor lists, in stored order).
+void WriteAdjacency(ByteWriter* w, const LogicalPlan& plan,
+                    bool side) {
+  for (OperatorId id = 0; id < plan.num_operators(); ++id) {
+    const std::vector<OperatorId>& list =
+        side ? plan.side_children(id) : plan.children(id);
+    w->U16(static_cast<uint16_t>(list.size()));
+    for (OperatorId child : list) w->U16(child);
+  }
+  for (OperatorId id = 0; id < plan.num_operators(); ++id) {
+    const std::vector<OperatorId>& list =
+        side ? plan.side_parents(id) : plan.parents(id);
+    w->U16(static_cast<uint16_t>(list.size()));
+    for (OperatorId parent : list) w->U16(parent);
+  }
+}
+
+Status ReadLists(ByteReader* r, int num_ops,
+                 std::vector<std::vector<OperatorId>>* lists) {
+  lists->assign(static_cast<size_t>(num_ops), {});
+  for (int id = 0; id < num_ops; ++id) {
+    uint16_t count = 0;
+    if (!r->U16(&count)) return Status::OutOfRange("truncated adjacency");
+    if (count > num_ops * 2) {
+      return Status::InvalidArgument("adjacency list longer than the plan");
+    }
+    (*lists)[id].reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      uint16_t neighbor = 0;
+      if (!r->U16(&neighbor)) return Status::OutOfRange("truncated adjacency");
+      if (neighbor >= num_ops) {
+        return Status::InvalidArgument("edge endpoint out of range");
+      }
+      (*lists)[id].push_back(neighbor);
+    }
+  }
+  return Status::OK();
+}
+
+/// Replays a Connect()/ConnectBroadcast() sequence consistent with both the
+/// recorded children order (per `from`) and parents order (per `to`). Greedy:
+/// an edge is emittable when it is the next unconsumed entry of *both* its
+/// endpoint lists; a full pass with no progress means the two adjacencies
+/// disagree (corrupt input). O(E·V) worst case — plans cap at 256 operators.
+Status ReplayEdges(const std::vector<std::vector<OperatorId>>& children,
+                   const std::vector<std::vector<OperatorId>>& parents,
+                   bool side, LogicalPlan* plan) {
+  const int num_ops = static_cast<int>(children.size());
+  size_t total = 0, total_parents = 0;
+  for (const auto& list : children) total += list.size();
+  for (const auto& list : parents) total_parents += list.size();
+  if (total != total_parents) {
+    return Status::InvalidArgument("children/parents edge counts disagree");
+  }
+  std::vector<size_t> child_cursor(num_ops, 0), parent_cursor(num_ops, 0);
+  size_t emitted = 0;
+  while (emitted < total) {
+    bool progress = false;
+    for (int from = 0; from < num_ops; ++from) {
+      while (child_cursor[from] < children[from].size()) {
+        const OperatorId to = children[from][child_cursor[from]];
+        if (parent_cursor[to] >= parents[to].size() ||
+            parents[to][parent_cursor[to]] != from) {
+          break;  // `to` expects a different parent first.
+        }
+        ++child_cursor[from];
+        ++parent_cursor[to];
+        if (side) {
+          plan->ConnectBroadcast(from, to);
+        } else {
+          plan->Connect(from, to);
+        }
+        ++emitted;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      return Status::InvalidArgument(
+          "adjacency orders admit no consistent edge sequence");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SerializePlan(const LogicalPlan& plan, std::string* out) {
+  ByteWriter w;
+  w.U8(kPlanSerdeVersion);
+  w.U16(static_cast<uint16_t>(plan.num_operators()));
+  for (const LogicalOperator& op : plan.operators()) {
+    w.U8(static_cast<uint8_t>(op.kind));
+    w.U8(static_cast<uint8_t>(op.udf));
+    w.F64(op.selectivity);
+    w.F64(op.source_cardinality);
+    w.F64(op.tuple_bytes);
+    w.F64(op.param);
+    w.I32(op.loop_iterations);
+    w.U16(op.loop_begin);
+    w.Str(op.name);
+    w.Str(op.kernel);
+  }
+  WriteAdjacency(&w, plan, /*side=*/false);
+  WriteAdjacency(&w, plan, /*side=*/true);
+  out->append(w.bytes());
+}
+
+StatusOr<LogicalPlan> DeserializePlan(std::string_view bytes) {
+  ByteReader r(bytes);
+  uint8_t version = 0;
+  if (!r.U8(&version)) return Status::OutOfRange("truncated plan header");
+  if (version != kPlanSerdeVersion) {
+    return Status::InvalidArgument("unknown plan encoding version " +
+                                   std::to_string(version));
+  }
+  uint16_t num_ops = 0;
+  if (!r.U16(&num_ops)) return Status::OutOfRange("truncated plan header");
+  if (num_ops == 0 || num_ops > kMaxPlanOperators) {
+    return Status::InvalidArgument("operator count " + std::to_string(num_ops) +
+                                   " outside (0, " +
+                                   std::to_string(kMaxPlanOperators) + "]");
+  }
+  LogicalPlan plan;
+  for (uint16_t i = 0; i < num_ops; ++i) {
+    LogicalOperator op;
+    uint8_t kind = 0, udf = 0;
+    uint16_t loop_begin = 0;
+    if (!r.U8(&kind) || !r.U8(&udf) || !r.F64(&op.selectivity) ||
+        !r.F64(&op.source_cardinality) || !r.F64(&op.tuple_bytes) ||
+        !r.F64(&op.param) || !r.I32(&op.loop_iterations) ||
+        !r.U16(&loop_begin) || !r.Str(&op.name, kMaxNameLen) ||
+        !r.Str(&op.kernel, kMaxNameLen)) {
+      return Status::OutOfRange("truncated operator " + std::to_string(i));
+    }
+    if (kind >= static_cast<uint8_t>(LogicalOpKind::kKindCount)) {
+      return Status::InvalidArgument("operator kind " + std::to_string(kind) +
+                                     " out of range");
+    }
+    if (udf > static_cast<uint8_t>(UdfComplexity::kSuperQuadratic)) {
+      return Status::InvalidArgument("UDF complexity " + std::to_string(udf) +
+                                     " out of range");
+    }
+    if (loop_begin != kInvalidOperatorId && loop_begin >= num_ops) {
+      return Status::InvalidArgument("loop_begin out of range");
+    }
+    if (op.loop_iterations < 0) {
+      return Status::InvalidArgument("negative loop iteration count");
+    }
+    op.kind = static_cast<LogicalOpKind>(kind);
+    op.udf = static_cast<UdfComplexity>(udf);
+    op.loop_begin = loop_begin;
+    plan.Add(std::move(op));
+  }
+  std::vector<std::vector<OperatorId>> children, parents;
+  ROBOPT_RETURN_IF_ERROR(ReadLists(&r, num_ops, &children));
+  ROBOPT_RETURN_IF_ERROR(ReadLists(&r, num_ops, &parents));
+  ROBOPT_RETURN_IF_ERROR(ReplayEdges(children, parents, /*side=*/false, &plan));
+  std::vector<std::vector<OperatorId>> side_children, side_parents;
+  ROBOPT_RETURN_IF_ERROR(ReadLists(&r, num_ops, &side_children));
+  ROBOPT_RETURN_IF_ERROR(ReadLists(&r, num_ops, &side_parents));
+  ROBOPT_RETURN_IF_ERROR(
+      ReplayEdges(side_children, side_parents, /*side=*/true, &plan));
+  if (!r.Done()) {
+    return Status::InvalidArgument("trailing bytes after the plan");
+  }
+  return plan;
+}
+
+void SerializeCards(const Cardinalities& cards, std::string* out) {
+  ByteWriter w;
+  w.U16(static_cast<uint16_t>(cards.input.size()));
+  for (double v : cards.input) w.F64(v);
+  w.U16(static_cast<uint16_t>(cards.output.size()));
+  for (double v : cards.output) w.F64(v);
+  out->append(w.bytes());
+}
+
+StatusOr<Cardinalities> DeserializeCards(std::string_view bytes,
+                                         int num_operators) {
+  ByteReader r(bytes);
+  Cardinalities cards;
+  for (std::vector<double>* column : {&cards.input, &cards.output}) {
+    uint16_t n = 0;
+    if (!r.U16(&n)) return Status::OutOfRange("truncated cardinalities");
+    if (n > num_operators) {
+      return Status::InvalidArgument(
+          "cardinality vector longer than the plan");
+    }
+    column->resize(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      if (!r.F64(&(*column)[i])) {
+        return Status::OutOfRange("truncated cardinalities");
+      }
+    }
+  }
+  if (!r.Done()) {
+    return Status::InvalidArgument("trailing bytes after cardinalities");
+  }
+  return cards;
+}
+
+}  // namespace robopt

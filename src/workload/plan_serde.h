@@ -1,0 +1,43 @@
+#ifndef ROBOPT_WORKLOAD_PLAN_SERDE_H_
+#define ROBOPT_WORKLOAD_PLAN_SERDE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "plan/cardinality.h"
+#include "plan/logical_plan.h"
+
+namespace robopt {
+
+/// Compact binary serialization of logical plans for the trace log.
+///
+/// The encoding preserves the plan *exactly*: operator fields byte-for-byte
+/// and — crucially — the per-operator order of both adjacency lists.
+/// Children order steers the topological order and hence the enumeration
+/// order, so a deserialized plan must optimize bit-identically to the
+/// original; serializing only one side of the adjacency would let the
+/// rebuild permute the other. DeserializePlan therefore replays a Connect()
+/// sequence consistent with both recorded orders (such a sequence always
+/// exists — the original Connect calls are a witness — and any consistent
+/// interleaving rebuilds identical adjacency arrays).
+void SerializePlan(const LogicalPlan& plan, std::string* out);
+
+/// Rebuilds a plan from SerializePlan bytes. Every field is bounds-checked
+/// (operator count against kMaxPlanOperators, enum values against their
+/// sentinels, edge endpoints against the operator count, string lengths
+/// against the buffer) and violations surface as InvalidArgument /
+/// OutOfRange — corrupt input can reject, never crash.
+StatusOr<LogicalPlan> DeserializePlan(std::string_view bytes);
+
+/// Cardinalities ride next to the plan in optimize/feedback records.
+void SerializeCards(const Cardinalities& cards, std::string* out);
+
+/// `num_operators` bounds the vector sizes (a cards block must describe
+/// exactly the plan it was recorded with).
+StatusOr<Cardinalities> DeserializeCards(std::string_view bytes,
+                                         int num_operators);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_PLAN_SERDE_H_

@@ -1,0 +1,178 @@
+#include "workload/trace_format.h"
+
+#include <array>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "workload/bytes.h"
+
+namespace robopt {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status WriteError(const char* what) {
+  return Status::Internal(std::string("trace write failed: ") + what);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+StatusOr<std::unique_ptr<TraceFileWriter>> TraceFileWriter::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open trace file for writing: " + path);
+  }
+  return std::unique_ptr<TraceFileWriter>(new TraceFileWriter(file));
+}
+
+TraceFileWriter::~TraceFileWriter() { Close(); }
+
+Status TraceFileWriter::Append(std::string_view payload) {
+  if (file_ == nullptr) return WriteError("writer is closed");
+  if (payload.empty() || payload.size() > kMaxTracePayload) {
+    return Status::InvalidArgument("trace payload size out of range");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload);
+  if (std::fwrite(&len, sizeof len, 1, file_) != 1 ||
+      std::fwrite(&crc, sizeof crc, 1, file_) != 1 ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    return WriteError("fwrite");
+  }
+  bytes_written_ += sizeof len + sizeof crc + payload.size();
+  return Status::OK();
+}
+
+Status TraceFileWriter::AppendRaw(std::string_view bytes) {
+  if (file_ == nullptr) return WriteError("writer is closed");
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return WriteError("fwrite");
+  }
+  bytes_written_ += bytes.size();
+  return Status::OK();
+}
+
+Status TraceFileWriter::Sync() {
+  if (file_ == nullptr) return WriteError("writer is closed");
+  if (std::fflush(file_) != 0) return WriteError("fflush");
+#ifndef _WIN32
+  if (::fsync(fileno(file_)) != 0) return WriteError("fsync");
+#endif
+  return Status::OK();
+}
+
+Status TraceFileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status sync = Sync();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!sync.ok()) return sync;
+  if (rc != 0) return WriteError("fclose");
+  return Status::OK();
+}
+
+Status WriteTraceHeader(TraceFileWriter* writer, uint64_t created_wall_ns) {
+  // The header is written raw (not record-framed) so a reader can validate
+  // the magic before trusting any length fields.
+  ByteWriter w;
+  w.U32(kTraceVersion);
+  w.U32(/*flags=*/0);
+  w.U64(created_wall_ns);
+  const uint32_t crc = Crc32(w.bytes());
+  std::string header(kTraceMagic, sizeof kTraceMagic);
+  header += w.bytes();
+  header.append(reinterpret_cast<const char*>(&crc), sizeof crc);
+  if (writer == nullptr) return Status::InvalidArgument("null writer");
+  return writer->AppendRaw(header);
+}
+
+StatusOr<std::unique_ptr<TraceFileReader>> TraceFileReader::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  auto reader = std::unique_ptr<TraceFileReader>(new TraceFileReader(file));
+  char magic[sizeof kTraceMagic];
+  std::string body(16, '\0');
+  uint32_t crc = 0;
+  if (std::fread(magic, 1, sizeof magic, file) != sizeof magic ||
+      std::fread(body.data(), 1, body.size(), file) != body.size() ||
+      std::fread(&crc, sizeof crc, 1, file) != 1) {
+    return Status::OutOfRange("trace file shorter than its header: " + path);
+  }
+  if (std::memcmp(magic, kTraceMagic, sizeof kTraceMagic) != 0) {
+    return Status::InvalidArgument("not a robopt trace file: " + path);
+  }
+  if (Crc32(body) != crc) {
+    return Status::InvalidArgument("trace header CRC mismatch: " + path);
+  }
+  ByteReader r(body);
+  uint32_t version = 0, flags = 0;
+  uint64_t created = 0;
+  r.U32(&version);
+  r.U32(&flags);
+  r.U64(&created);
+  if (version != kTraceVersion) {
+    return Status::InvalidArgument("unsupported trace version " +
+                                   std::to_string(version));
+  }
+  reader->version_ = version;
+  reader->created_wall_ns_ = created;
+  return reader;
+}
+
+TraceFileReader::~TraceFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status TraceFileReader::Next(std::string* payload) {
+  if (file_ == nullptr) return Status::Internal("reader is closed");
+  uint32_t len = 0;
+  const size_t got_len = std::fread(&len, 1, sizeof len, file_);
+  if (got_len == 0) return Status::NotFound("end of trace");
+  if (got_len != sizeof len) {
+    return Status::OutOfRange("torn record length at end of trace");
+  }
+  if (len == 0 || len > kMaxTracePayload) {
+    return Status::InvalidArgument("record length " + std::to_string(len) +
+                                   " out of range (corrupt trace)");
+  }
+  uint32_t crc = 0;
+  if (std::fread(&crc, 1, sizeof crc, file_) != sizeof crc) {
+    return Status::OutOfRange("torn record header at end of trace");
+  }
+  payload->resize(len);
+  if (std::fread(payload->data(), 1, len, file_) != len) {
+    return Status::OutOfRange("truncated record payload at end of trace");
+  }
+  if (Crc32(*payload) != crc) {
+    return Status::InvalidArgument("record CRC mismatch (corrupt trace)");
+  }
+  return Status::OK();
+}
+
+}  // namespace robopt

@@ -1,0 +1,116 @@
+#ifndef ROBOPT_WORKLOAD_TRACE_FORMAT_H_
+#define ROBOPT_WORKLOAD_TRACE_FORMAT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace robopt {
+
+/// On-disk production trace format (see DESIGN.md, "Workload API & trace
+/// replay"). Layout:
+///
+///   header:  magic "RBTRACE\0" (8) | u32 version | u32 flags
+///            | u64 created_wall_ns | u32 header_crc
+///   record:  u32 payload_len | u32 payload_crc | payload bytes
+///
+/// Records are length-prefixed and individually CRC-framed, so a torn tail
+/// (crash mid-write) is detected at the exact record boundary and corrupt
+/// bytes anywhere surface as a structured Status, never a crash. Payloads
+/// start with a one-byte record type.
+
+inline constexpr char kTraceMagic[8] = {'R', 'B', 'T', 'R', 'A', 'C', 'E', 0};
+inline constexpr uint32_t kTraceVersion = 1;
+/// Sanity bound on one record: a 256-operator plan with maximal strings is
+/// well under this; anything larger is corruption, not data.
+inline constexpr uint32_t kMaxTracePayload = 1u << 22;
+
+/// Record types (first payload byte).
+enum class TraceRecordType : uint8_t {
+  /// Defines a plan once per canonical fingerprint: fp_hi, fp_lo, plan
+  /// bytes. Later records reference the fingerprint instead of re-carrying
+  /// the plan — repeat traffic costs ~100 bytes per record, not a plan copy.
+  kPlanDef = 0,
+  /// One served optimize request (tenant, fingerprint, options hash,
+  /// injected cardinalities, outcome, wall/stream timestamps).
+  kOptimize = 1,
+  /// One observed execution (fingerprint, executed assignment, observed
+  /// cardinalities, measured runtime).
+  kFeedback = 2,
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Used for both the header and
+/// every record payload.
+uint32_t Crc32(std::string_view data);
+
+/// Low-level framed writer. Not thread-safe — TraceRecorder owns the
+/// serialization discipline. Writes to `path` directly (the recorder points
+/// it at a .tmp sibling and renames on close).
+class TraceFileWriter {
+ public:
+  static StatusOr<std::unique_ptr<TraceFileWriter>> Open(
+      const std::string& path);
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  /// Appends one CRC-framed record. `payload` must start with the record
+  /// type byte.
+  Status Append(std::string_view payload);
+
+  /// Writes bytes without framing. Only the header writer uses this.
+  Status AppendRaw(std::string_view bytes);
+
+  /// Flushes userspace buffers and fsyncs the file descriptor. The file is
+  /// on stable storage when this returns OK.
+  Status Sync();
+
+  /// Sync + close. Idempotent; the destructor calls it best-effort.
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit TraceFileWriter(std::FILE* file) : file_(file) {}
+  std::FILE* file_ = nullptr;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Sequential reader with full validation: magic + version on open, CRC +
+/// bounds on every record. Next() returns kNotFound at a clean end of
+/// stream, kOutOfRange on a torn/truncated tail, kInvalidArgument on CRC or
+/// structural corruption.
+class TraceFileReader {
+ public:
+  static StatusOr<std::unique_ptr<TraceFileReader>> Open(
+      const std::string& path);
+  ~TraceFileReader();
+
+  TraceFileReader(const TraceFileReader&) = delete;
+  TraceFileReader& operator=(const TraceFileReader&) = delete;
+
+  /// Reads the next record payload (type byte included). See class comment
+  /// for the error contract.
+  Status Next(std::string* payload);
+
+  uint32_t version() const { return version_; }
+  uint64_t created_wall_ns() const { return created_wall_ns_; }
+
+ private:
+  explicit TraceFileReader(std::FILE* file) : file_(file) {}
+  std::FILE* file_ = nullptr;
+  uint32_t version_ = 0;
+  uint64_t created_wall_ns_ = 0;
+};
+
+/// Writes the versioned header (recorder side).
+Status WriteTraceHeader(TraceFileWriter* writer, uint64_t created_wall_ns);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_TRACE_FORMAT_H_

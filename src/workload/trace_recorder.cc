@@ -1,0 +1,271 @@
+#include "workload/trace_recorder.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "plan/fingerprint.h"
+#include "workload/plan_serde.h"
+#include "workload/trace_records.h"
+
+namespace robopt {
+namespace {
+
+std::string FingerprintKey(const PlanFingerprint& fp) {
+  std::string key(16, '\0');
+  std::memcpy(key.data(), &fp.lo, 8);
+  std::memcpy(key.data() + 8, &fp.hi, 8);
+  return key;
+}
+
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::string path, TraceRecorderOptions options)
+    : final_path_(std::move(path)),
+      tmp_path_(final_path_ + ".tmp"),
+      options_(options),
+      open_steady_(std::chrono::steady_clock::now()) {}
+
+StatusOr<std::unique_ptr<TraceRecorder>> TraceRecorder::Open(
+    const std::string& path, TraceRecorderOptions options) {
+  auto recorder =
+      std::unique_ptr<TraceRecorder>(new TraceRecorder(path, options));
+  auto writer = TraceFileWriter::Open(recorder->tmp_path_);
+  if (!writer.ok()) return writer.status();
+  recorder->writer_ = std::move(writer).value();
+  ROBOPT_RETURN_IF_ERROR(
+      WriteTraceHeader(recorder->writer_.get(), WallNowNs()));
+  recorder->writer_thread_ =
+      std::thread(&TraceRecorder::WriterLoop, recorder.get());
+  return recorder;
+}
+
+TraceRecorder::~TraceRecorder() { Close(); }
+
+void TraceRecorder::OnRequest(const ServedRequest& request) {
+  if (request.plan == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+
+  TraceOptimizeRecord rec;
+  rec.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
+  rec.tenant = request.tenant;
+  rec.wall_ns = WallNowNs();
+  rec.rel_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - open_steady_)
+          .count());
+  // The serving path usually already fingerprinted the plan (routing or
+  // cache key) and handed it over; only recompute when it could not.
+  PlanFingerprint fp;
+  fp.lo = request.fp_lo;
+  fp.hi = request.fp_hi;
+  if (fp.lo == 0 && fp.hi == 0) fp = FingerprintPlan(*request.plan);
+  rec.fp_hi = fp.hi;
+  rec.fp_lo = fp.lo;
+  rec.options_hash = request.options_hash;
+  rec.status_code = static_cast<uint8_t>(request.status);
+  rec.cache_hit = request.cache_hit;
+  rec.predicted_runtime_s = request.predicted_runtime_s;
+  rec.model_version = request.model_version;
+  rec.chosen_platform = request.chosen_platform;
+  if (request.optimized != nullptr) {
+    const int n = request.plan->num_operators();
+    rec.assignment.resize(n);
+    for (int id = 0; id < n; ++id) {
+      rec.assignment[static_cast<size_t>(id)] =
+          static_cast<int16_t>(request.optimized->alt_index(
+              static_cast<OperatorId>(id)));
+    }
+  }
+  if (request.cards != nullptr) {
+    rec.has_cards = true;
+    SerializeCards(*request.cards, &rec.cards_bytes);
+  }
+
+  MaybeDefineAndEnqueue(fp, *request.plan, EncodeOptimizeRecord(rec));
+}
+
+void TraceRecorder::OnFeedback(const ExecutionPlan& plan,
+                               const ExecResult& result) {
+  if (!options_.record_feedback) return;
+  const LogicalPlan& logical = plan.logical_plan();
+  const auto now = std::chrono::steady_clock::now();
+
+  TraceFeedbackRecord rec;
+  rec.rel_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - open_steady_)
+          .count());
+  const PlanFingerprint fp = FingerprintPlan(logical);
+  rec.fp_hi = fp.hi;
+  rec.fp_lo = fp.lo;
+  rec.actual_runtime_s = result.cost.total_s;
+  const int n = logical.num_operators();
+  rec.assignment.resize(n);
+  for (int id = 0; id < n; ++id) {
+    rec.assignment[static_cast<size_t>(id)] =
+        static_cast<int16_t>(plan.alt_index(static_cast<OperatorId>(id)));
+  }
+  SerializeCards(result.observed, &rec.cards_bytes);
+  MaybeDefineAndEnqueue(fp, logical, EncodeFeedbackRecord(rec));
+}
+
+void TraceRecorder::MaybeDefineAndEnqueue(const PlanFingerprint& fp,
+                                          const LogicalPlan& plan,
+                                          std::string record) {
+  const std::string key = FingerprintKey(fp);
+  // Fast path: plan already defined, only the record rides — one lock
+  // acquisition on the hot serving path.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (seen_plans_.find(key) != seen_plans_.end()) {
+      if (closed_ || queue_.size() + 1 > options_.queue_capacity) {
+        records_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // No notify: the writer polls on a short timed wait, so the hot
+      // serving path never pays a futex wake (or, single-core, a forced
+      // context switch into the writer) per request.
+      queue_.push_back(std::move(record));
+      return;
+    }
+  }
+  // Serialize the plan def outside the lock (O(plan) work); re-checked
+  // below in case another thread defined it meanwhile.
+  std::string plan_def;
+  {
+    TracePlanDef def;
+    def.fp_hi = fp.hi;
+    def.fp_lo = fp.lo;
+    SerializePlan(plan, &def.plan_bytes);
+    plan_def = EncodePlanDef(def);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!plan_def.empty() &&
+        seen_plans_.find(key) != seen_plans_.end()) {
+      plan_def.clear();  // Another thread defined it meanwhile.
+    }
+    const size_t need = plan_def.empty() ? 1 : 2;
+    if (closed_ || queue_.size() + need > options_.queue_capacity) {
+      // Shed the whole event. The fingerprint only becomes "seen" once its
+      // def is really queued, so no record on disk ever references an
+      // undefined plan.
+      records_dropped_.fetch_add(need, std::memory_order_relaxed);
+      return;
+    }
+    if (!plan_def.empty()) {
+      seen_plans_.insert(key);
+      plan_defs_.fetch_add(1, std::memory_order_relaxed);
+      queue_.push_back(std::move(plan_def));
+    }
+    queue_.push_back(std::move(record));
+  }
+}
+
+void TraceRecorder::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Timed wait instead of per-record notification: producers only ever
+    // push and return, and this thread drains whatever accumulated every
+    // couple of milliseconds (immediately on Close's notify).
+    cv_.wait_for(lock, std::chrono::milliseconds(2),
+                 [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (closed_) return;
+      continue;
+    }
+    std::deque<std::string> batch;
+    batch.swap(queue_);
+    lock.unlock();
+    for (const std::string& payload : batch) {
+      Status st = writer_->Append(payload);
+      if (st.ok()) {
+        records_written_.fetch_add(1, std::memory_order_relaxed);
+        bytes_written_.store(writer_->bytes_written(),
+                             std::memory_order_relaxed);
+      } else {
+        lock.lock();
+        if (first_error_.ok()) first_error_ = st;
+        lock.unlock();
+      }
+    }
+    lock.lock();
+  }
+}
+
+Status TraceRecorder::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ && !writer_thread_.joinable()) return first_error_;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  Status close_status = writer_->Close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_.ok() && !close_status.ok()) first_error_ = close_status;
+    if (!first_error_.ok()) {
+      std::remove(tmp_path_.c_str());
+      return first_error_;
+    }
+  }
+  // Durable publish: data is fsynced (TraceFileWriter::Close), now rename
+  // and persist the directory entry — the RandomForest::Save idiom.
+  if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    Status st = Status::Internal("cannot rename " + tmp_path_ + " into " +
+                                 final_path_);
+    std::lock_guard<std::mutex> lock(mu_);
+    first_error_ = st;
+    return st;
+  }
+#ifndef _WIN32
+  const size_t slash = final_path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : slash == 0 ? std::string("/")
+                                           : final_path_.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
+  return Status::OK();
+}
+
+TraceRecorderStats TraceRecorder::Stats() const {
+  TraceRecorderStats stats;
+  stats.records_written = records_written_.load(std::memory_order_relaxed);
+  stats.records_dropped = records_dropped_.load(std::memory_order_relaxed);
+  stats.plan_defs = plan_defs_.load(std::memory_order_relaxed);
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void TraceRecorder::ExportTo(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const TraceRecorderStats stats = Stats();
+  registry->Set("robopt_trace_records_written_total",
+                static_cast<double>(stats.records_written));
+  registry->Set("robopt_trace_records_dropped_total",
+                static_cast<double>(stats.records_dropped));
+  registry->Set("robopt_trace_plan_defs_total",
+                static_cast<double>(stats.plan_defs));
+  registry->Set("robopt_trace_bytes_written_total",
+                static_cast<double>(stats.bytes_written));
+}
+
+}  // namespace robopt

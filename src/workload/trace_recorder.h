@@ -1,0 +1,105 @@
+#ifndef ROBOPT_WORKLOAD_TRACE_RECORDER_H_
+#define ROBOPT_WORKLOAD_TRACE_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "plan/fingerprint.h"
+#include "serve/optimizer_service.h"
+#include "workload/trace_format.h"
+
+namespace robopt {
+
+struct TraceRecorderOptions {
+  /// Bounded buffer between serving threads and the writer thread, in
+  /// records. When full, new records are *dropped and counted* — recording
+  /// must shed before it ever backpressures the request path.
+  size_t queue_capacity = 4096;
+  /// Also record feedback (OnFeedback) events, not just optimizes.
+  bool record_feedback = true;
+};
+
+/// Point-in-time recorder counters.
+struct TraceRecorderStats {
+  uint64_t records_written = 0;  ///< Frames on disk (plan defs included).
+  uint64_t records_dropped = 0;  ///< Shed on a full queue.
+  uint64_t plan_defs = 0;        ///< Distinct plans defined in the trace.
+  uint64_t bytes_written = 0;
+};
+
+/// Captures production serving traffic into the binary trace format for
+/// later replay. Plugs into ServeOptions::request_observer; serving threads
+/// serialize their record on their own stack, push it onto a bounded queue
+/// and return — a background writer thread owns the file. On Close() the
+/// recorder drains, fsyncs and atomically renames "<path>.tmp" into place
+/// (the RandomForest::Save idiom), so a crash mid-recording leaves at most
+/// a stale .tmp, never a half-written final trace.
+///
+/// Thread-safe: any number of serving threads may call OnRequest /
+/// OnFeedback concurrently with each other and with Close().
+class TraceRecorder : public RequestObserver {
+ public:
+  /// Creates the recorder and opens "<path>.tmp" for writing; the header is
+  /// written immediately. The final `path` appears on Close().
+  static StatusOr<std::unique_ptr<TraceRecorder>> Open(
+      const std::string& path, TraceRecorderOptions options = {});
+
+  /// Close()s (best-effort) if the caller did not.
+  ~TraceRecorder() override;
+
+  void OnRequest(const ServedRequest& request) override;
+  void OnFeedback(const ExecutionPlan& plan, const ExecResult& result) override;
+  void ExportTo(MetricsRegistry* registry) override;
+
+  /// Stops the writer, drains the queue, fsyncs and renames the trace into
+  /// place. Idempotent; no records are accepted afterwards. Returns the
+  /// first error hit while writing/draining (the trace may be incomplete
+  /// but is still well-formed up to its last frame).
+  Status Close();
+
+  TraceRecorderStats Stats() const;
+
+ private:
+  TraceRecorder(std::string path, TraceRecorderOptions options);
+
+  /// Enqueues `record`, preceded by a plan-def frame when `fp` has not been
+  /// defined in this trace yet. Drops atomically: either every frame of the
+  /// event enters the queue or none does.
+  void MaybeDefineAndEnqueue(const PlanFingerprint& fp,
+                             const LogicalPlan& plan, std::string record);
+  void WriterLoop();
+
+  const std::string final_path_;
+  const std::string tmp_path_;
+  const TraceRecorderOptions options_;
+  std::chrono::steady_clock::time_point open_steady_;
+
+  std::mutex mu_;  ///< Guards queue_, seen_plans_, closed_, first_error_.
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  std::unordered_set<std::string> seen_plans_;  ///< 16-byte fingerprint keys.
+  bool closed_ = false;
+  Status first_error_;
+
+  std::unique_ptr<TraceFileWriter> writer_;  ///< Writer thread only.
+  std::thread writer_thread_;
+
+  std::atomic<uint64_t> sequence_{0};
+  std::atomic<uint64_t> records_written_{0};
+  std::atomic<uint64_t> records_dropped_{0};
+  std::atomic<uint64_t> plan_defs_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_TRACE_RECORDER_H_

@@ -1,0 +1,153 @@
+#include "workload/trace_records.h"
+
+#include "workload/bytes.h"
+
+namespace robopt {
+namespace {
+
+/// Assignments and cards blocks are bounded by the 256-operator plan cap;
+/// anything larger is corruption.
+constexpr size_t kMaxAssignment = 1024;
+constexpr size_t kMaxNestedBytes = kMaxTracePayload;
+
+void WriteAssignment(ByteWriter* w, const std::vector<int16_t>& assignment) {
+  w->U16(static_cast<uint16_t>(assignment.size()));
+  for (int16_t a : assignment) w->I16(a);
+}
+
+bool ReadAssignment(ByteReader* r, std::vector<int16_t>* assignment) {
+  uint16_t n = 0;
+  if (!r->U16(&n) || n > kMaxAssignment) return false;
+  assignment->resize(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    if (!r->I16(&(*assignment)[i])) return false;
+  }
+  return true;
+}
+
+/// Nested byte strings (plan / cards blocks) use a u32 length prefix — plan
+/// bytes can exceed the u16 Str limit.
+void WriteBytes(ByteWriter* w, std::string_view bytes) {
+  w->U32(static_cast<uint32_t>(bytes.size()));
+  w->Bytes(bytes);
+}
+
+bool ReadBytes(ByteReader* r, std::string* bytes) {
+  uint32_t n = 0;
+  if (!r->U32(&n) || n > kMaxNestedBytes) return false;
+  return r->Bytes(bytes, n);
+}
+
+bool ReadType(ByteReader* r, TraceRecordType want) {
+  uint8_t type = 0;
+  return r->U8(&type) && type == static_cast<uint8_t>(want);
+}
+
+}  // namespace
+
+std::string EncodePlanDef(const TracePlanDef& rec) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(TraceRecordType::kPlanDef));
+  w.U64(rec.fp_hi);
+  w.U64(rec.fp_lo);
+  WriteBytes(&w, rec.plan_bytes);
+  return w.Take();
+}
+
+StatusOr<TracePlanDef> DecodePlanDef(std::string_view payload) {
+  ByteReader r(payload);
+  TracePlanDef rec;
+  if (!ReadType(&r, TraceRecordType::kPlanDef)) {
+    return Status::InvalidArgument("payload is not a plan-def record");
+  }
+  if (!r.U64(&rec.fp_hi) || !r.U64(&rec.fp_lo) ||
+      !ReadBytes(&r, &rec.plan_bytes) || !r.Done()) {
+    return Status::OutOfRange("malformed plan-def record");
+  }
+  if (rec.plan_bytes.empty()) {
+    return Status::InvalidArgument("plan-def record carries no plan");
+  }
+  return rec;
+}
+
+std::string EncodeOptimizeRecord(const TraceOptimizeRecord& rec) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(TraceRecordType::kOptimize));
+  w.U64(rec.sequence);
+  w.U64(rec.tenant);
+  w.U64(rec.wall_ns);
+  w.U64(rec.rel_ns);
+  w.U64(rec.fp_hi);
+  w.U64(rec.fp_lo);
+  w.U64(rec.options_hash);
+  w.U8(rec.status_code);
+  w.U8(rec.cache_hit ? 1 : 0);
+  w.F32(rec.predicted_runtime_s);
+  w.U64(rec.model_version);
+  w.U8(rec.chosen_platform);
+  WriteAssignment(&w, rec.assignment);
+  w.U8(rec.has_cards ? 1 : 0);
+  if (rec.has_cards) WriteBytes(&w, rec.cards_bytes);
+  return w.Take();
+}
+
+StatusOr<TraceOptimizeRecord> DecodeOptimizeRecord(std::string_view payload) {
+  ByteReader r(payload);
+  TraceOptimizeRecord rec;
+  if (!ReadType(&r, TraceRecordType::kOptimize)) {
+    return Status::InvalidArgument("payload is not an optimize record");
+  }
+  uint8_t cache_hit = 0, has_cards = 0;
+  if (!r.U64(&rec.sequence) || !r.U64(&rec.tenant) || !r.U64(&rec.wall_ns) ||
+      !r.U64(&rec.rel_ns) || !r.U64(&rec.fp_hi) || !r.U64(&rec.fp_lo) ||
+      !r.U64(&rec.options_hash) || !r.U8(&rec.status_code) ||
+      !r.U8(&cache_hit) || !r.F32(&rec.predicted_runtime_s) ||
+      !r.U64(&rec.model_version) || !r.U8(&rec.chosen_platform) ||
+      !ReadAssignment(&r, &rec.assignment) || !r.U8(&has_cards)) {
+    return Status::OutOfRange("malformed optimize record");
+  }
+  if (cache_hit > 1 || has_cards > 1) {
+    return Status::InvalidArgument("optimize record flag out of range");
+  }
+  rec.cache_hit = cache_hit != 0;
+  rec.has_cards = has_cards != 0;
+  if (rec.has_cards && !ReadBytes(&r, &rec.cards_bytes)) {
+    return Status::OutOfRange("malformed optimize record cards");
+  }
+  if (!r.Done()) {
+    return Status::InvalidArgument("trailing bytes in optimize record");
+  }
+  return rec;
+}
+
+std::string EncodeFeedbackRecord(const TraceFeedbackRecord& rec) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(TraceRecordType::kFeedback));
+  w.U64(rec.tenant);
+  w.U64(rec.rel_ns);
+  w.U64(rec.fp_hi);
+  w.U64(rec.fp_lo);
+  w.F64(rec.actual_runtime_s);
+  WriteAssignment(&w, rec.assignment);
+  WriteBytes(&w, rec.cards_bytes);
+  return w.Take();
+}
+
+StatusOr<TraceFeedbackRecord> DecodeFeedbackRecord(std::string_view payload) {
+  ByteReader r(payload);
+  TraceFeedbackRecord rec;
+  if (!ReadType(&r, TraceRecordType::kFeedback)) {
+    return Status::InvalidArgument("payload is not a feedback record");
+  }
+  if (!r.U64(&rec.tenant) || !r.U64(&rec.rel_ns) || !r.U64(&rec.fp_hi) ||
+      !r.U64(&rec.fp_lo) || !r.F64(&rec.actual_runtime_s) ||
+      !ReadAssignment(&r, &rec.assignment) || !ReadBytes(&r, &rec.cards_bytes)) {
+    return Status::OutOfRange("malformed feedback record");
+  }
+  if (!r.Done()) {
+    return Status::InvalidArgument("trailing bytes in feedback record");
+  }
+  return rec;
+}
+
+}  // namespace robopt

@@ -1,0 +1,74 @@
+#ifndef ROBOPT_WORKLOAD_TRACE_RECORDS_H_
+#define ROBOPT_WORKLOAD_TRACE_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/trace_format.h"
+
+namespace robopt {
+
+/// In-memory forms of the three trace record payloads. These are
+/// serve-agnostic: the recorder converts a ServedRequest into one of these,
+/// the replayer converts them back into service calls. Plans and
+/// cardinalities ride as nested byte strings (see plan_serde.h) so this
+/// layer stays a pure container.
+
+struct TracePlanDef {
+  uint64_t fp_hi = 0;
+  uint64_t fp_lo = 0;
+  std::string plan_bytes;
+};
+
+struct TraceOptimizeRecord {
+  uint64_t sequence = 0;
+  uint64_t tenant = 0;
+  /// Wall-clock nanoseconds at serve time (diagnostics only).
+  uint64_t wall_ns = 0;
+  /// Nanoseconds since the recorder opened — the replay pacing clock.
+  uint64_t rel_ns = 0;
+  uint64_t fp_hi = 0;
+  uint64_t fp_lo = 0;
+  /// Hash of the OptimizeOptions the request ran under; replay verifies it
+  /// re-drives with the same knobs.
+  uint64_t options_hash = 0;
+  /// Outcome, for bit-identity verification on replay.
+  uint8_t status_code = 0;
+  bool cache_hit = false;
+  float predicted_runtime_s = 0.0f;
+  uint64_t model_version = 0;
+  uint8_t chosen_platform = 0;
+  std::vector<int16_t> assignment;
+  bool has_cards = false;
+  std::string cards_bytes;
+};
+
+struct TraceFeedbackRecord {
+  uint64_t tenant = 0;
+  uint64_t rel_ns = 0;
+  uint64_t fp_hi = 0;
+  uint64_t fp_lo = 0;
+  double actual_runtime_s = 0.0;
+  std::vector<int16_t> assignment;
+  std::string cards_bytes;
+};
+
+/// Each Encode* prepends the matching TraceRecordType byte, ready for
+/// TraceFileWriter::Append.
+std::string EncodePlanDef(const TracePlanDef& rec);
+std::string EncodeOptimizeRecord(const TraceOptimizeRecord& rec);
+std::string EncodeFeedbackRecord(const TraceFeedbackRecord& rec);
+
+/// Decoders expect the full payload (type byte included) and verify it.
+/// Every length is bounds-checked; malformed payloads return
+/// InvalidArgument/OutOfRange.
+StatusOr<TracePlanDef> DecodePlanDef(std::string_view payload);
+StatusOr<TraceOptimizeRecord> DecodeOptimizeRecord(std::string_view payload);
+StatusOr<TraceFeedbackRecord> DecodeFeedbackRecord(std::string_view payload);
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_TRACE_RECORDS_H_

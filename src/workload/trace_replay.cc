@@ -1,0 +1,121 @@
+#include "workload/trace_replay.h"
+
+#include <cstring>
+#include <utility>
+
+#include "workload/plan_serde.h"
+#include "workload/trace_format.h"
+#include "workload/trace_records.h"
+
+namespace robopt {
+namespace {
+
+std::string FingerprintKey(uint64_t lo, uint64_t hi) {
+  std::string key(16, '\0');
+  std::memcpy(key.data(), &lo, 8);
+  std::memcpy(key.data() + 8, &hi, 8);
+  return key;
+}
+
+}  // namespace
+
+Status TraceReplaySource::Load() {
+  if (loaded_) return Status::OK();
+  auto reader = TraceFileReader::Open(path_);
+  if (!reader.ok()) return reader.status();
+
+  std::string payload;
+  for (;;) {
+    Status st = (*reader)->Next(&payload);
+    if (st.code() == StatusCode::kNotFound) break;  // Clean end of stream.
+    ROBOPT_RETURN_IF_ERROR(st);
+    if (payload.empty()) return Status::InvalidArgument("empty trace record");
+    switch (static_cast<TraceRecordType>(payload[0])) {
+      case TraceRecordType::kPlanDef: {
+        auto def = DecodePlanDef(payload);
+        if (!def.ok()) return def.status();
+        auto plan = DeserializePlan(def->plan_bytes);
+        if (!plan.ok()) return plan.status();
+        // Duplicate defs are legal (concurrent recorders may race one);
+        // the fingerprint pins the content, so last-wins is a no-op.
+        plans_[FingerprintKey(def->fp_lo, def->fp_hi)] =
+            std::move(plan).value();
+        break;
+      }
+      case TraceRecordType::kOptimize: {
+        auto rec = DecodeOptimizeRecord(payload);
+        if (!rec.ok()) return rec.status();
+        auto it = plans_.find(FingerprintKey(rec->fp_lo, rec->fp_hi));
+        if (it == plans_.end()) {
+          return Status::InvalidArgument(
+              "optimize record references an undefined plan");
+        }
+        WorkloadOp op;
+        op.kind = WorkloadOpKind::kOptimize;
+        op.tenant = rec->tenant;
+        op.arrival_s = static_cast<double>(rec->rel_ns) * 1e-9;
+        op.plan = it->second;
+        if (rec->has_cards) {
+          auto cards =
+              DeserializeCards(rec->cards_bytes, op.plan.num_operators());
+          if (!cards.ok()) return cards.status();
+          op.has_cards = true;
+          op.cards = std::move(cards).value();
+        }
+        op.recorded.valid = true;
+        op.recorded.status = static_cast<StatusCode>(rec->status_code);
+        op.recorded.cache_hit = rec->cache_hit;
+        op.recorded.predicted_runtime_s = rec->predicted_runtime_s;
+        op.recorded.model_version = rec->model_version;
+        op.recorded.chosen_platform = rec->chosen_platform;
+        op.recorded.assignment = std::move(rec->assignment);
+        op.recorded.options_hash = rec->options_hash;
+        ops_.push_back(std::move(op));
+        break;
+      }
+      case TraceRecordType::kFeedback: {
+        auto rec = DecodeFeedbackRecord(payload);
+        if (!rec.ok()) return rec.status();
+        auto it = plans_.find(FingerprintKey(rec->fp_lo, rec->fp_hi));
+        if (it == plans_.end()) {
+          return Status::InvalidArgument(
+              "feedback record references an undefined plan");
+        }
+        WorkloadOp op;
+        op.kind = WorkloadOpKind::kFeedback;
+        op.tenant = rec->tenant;
+        op.arrival_s = static_cast<double>(rec->rel_ns) * 1e-9;
+        op.plan = it->second;
+        if (static_cast<int>(rec->assignment.size()) !=
+            op.plan.num_operators()) {
+          return Status::InvalidArgument(
+              "feedback assignment length does not match its plan");
+        }
+        op.assignment = std::move(rec->assignment);
+        op.actual_runtime_s = rec->actual_runtime_s;
+        auto cards =
+            DeserializeCards(rec->cards_bytes, op.plan.num_operators());
+        if (!cards.ok()) return cards.status();
+        op.has_cards = true;
+        op.cards = std::move(cards).value();
+        ops_.push_back(std::move(op));
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            "unknown trace record type " +
+            std::to_string(static_cast<int>(payload[0])));
+    }
+  }
+  loaded_ = true;
+  return Status::OK();
+}
+
+bool TraceReplaySource::GetNext(WorkloadOp* op) {
+  if (!loaded_ || next_ >= ops_.size()) return false;
+  *op = ops_[next_++];
+  CountOp(options_, op);
+  return true;
+}
+
+}  // namespace robopt

@@ -1,0 +1,45 @@
+#ifndef ROBOPT_WORKLOAD_TRACE_REPLAY_H_
+#define ROBOPT_WORKLOAD_TRACE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace robopt {
+
+/// Re-drives a recorded production trace as a workload stream. Load() reads
+/// and fully validates the trace (header magic/version, per-record CRC,
+/// bounds-checked plan deserialization) and surfaces any corruption as a
+/// structured Status — a trace that loads cleanly replays cleanly. Each
+/// optimize record carries its RecordedOutcome so the driver can verify
+/// bit-identity against the original run.
+class TraceReplaySource : public WorkloadSource {
+ public:
+  TraceReplaySource(std::string path, WorkloadOptions options = {})
+      : path_(std::move(path)), options_(options) {}
+
+  Status Load() override;
+  bool GetNext(WorkloadOp* op) override;
+  std::string_view name() const override { return "trace_replay"; }
+
+  size_t num_ops() const { return ops_.size(); }
+  size_t num_plans() const { return plans_.size(); }
+
+ private:
+  const std::string path_;
+  WorkloadOptions options_;
+  /// Deserialized plans keyed by 16-byte fingerprint.
+  std::unordered_map<std::string, LogicalPlan> plans_;
+  std::vector<WorkloadOp> ops_;
+  size_t next_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_TRACE_REPLAY_H_

@@ -1,0 +1,16 @@
+#include "workload/workload.h"
+
+namespace robopt {
+
+void WorkloadSource::CountOp(const WorkloadOptions& options, WorkloadOp* op) {
+  op->sequence = next_sequence_++;
+  if (options.metrics == nullptr) return;
+  if (!counter_resolved_) {
+    counter_resolved_ = true;
+    ops_counter_ = options.metrics->GetCounter(
+        "robopt_workload_ops_total{source=\"" + std::string(name()) + "\"}");
+  }
+  if (ops_counter_ != nullptr) ops_counter_->Add(1);
+}
+
+}  // namespace robopt

@@ -1,0 +1,119 @@
+#ifndef ROBOPT_WORKLOAD_WORKLOAD_H_
+#define ROBOPT_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "plan/cardinality.h"
+#include "plan/logical_plan.h"
+
+namespace robopt {
+
+/// The pluggable workload layer: every traffic shape the serving stack can
+/// be driven by — the paper's Table-II suite, synthetic plan streams,
+/// open-loop arrival processes, long checkpoint/restart jobs, and recorded
+/// production traces — speaks one pull interface, WorkloadSource, in the
+/// style of the CODES workload API (load() / get_next() over a stream of
+/// timestamped ops). Drivers (benches, soak tests, the replay engine) pull
+/// ops one at a time and never know which generator is behind the stream.
+
+/// What one workload op asks the driver to do.
+enum class WorkloadOpKind : uint8_t {
+  /// Optimize `plan` (with `cards` when has_cards) as tenant `tenant`.
+  kOptimize = 0,
+  /// Report an observed execution back into the serving feedback loop:
+  /// the plan ran with `assignment` and took `actual_runtime_s`.
+  kFeedback = 1,
+};
+
+/// Outcome a trace recorded for an op — replay verifies against it.
+/// `valid` is false on generator-produced (non-replay) streams.
+struct RecordedOutcome {
+  bool valid = false;
+  StatusCode status = StatusCode::kOk;
+  bool cache_hit = false;
+  float predicted_runtime_s = 0.0f;
+  uint64_t model_version = 0;
+  uint8_t chosen_platform = 0;
+  /// Hash of the OptimizeOptions the recorded call ran under.
+  uint64_t options_hash = 0;
+  /// Per-operator execution alternative, indexed by OperatorId (-1 =
+  /// unassigned). Empty when the recorded call failed or was shed.
+  std::vector<int16_t> assignment;
+};
+
+/// One element of a workload stream. Ops are yielded in non-decreasing
+/// `arrival_s` order; the driver decides how literally to honor the
+/// timestamps (see DriveOptions::speedup).
+struct WorkloadOp {
+  WorkloadOpKind kind = WorkloadOpKind::kOptimize;
+  /// Position in the stream (0-based, assigned by the source).
+  uint64_t sequence = 0;
+  uint64_t tenant = 0;
+  /// Stream-relative arrival time in seconds (virtual for generators, the
+  /// recorded steady-clock offset for traces).
+  double arrival_s = 0.0;
+  LogicalPlan plan;
+  bool has_cards = false;
+  Cardinalities cards;
+  /// kFeedback only: measured runtime and the executed assignment.
+  double actual_runtime_s = 0.0;
+  std::vector<int16_t> assignment;
+  /// Replay streams only: the recorded outcome to verify against.
+  RecordedOutcome recorded;
+};
+
+/// Options shared by every generator. One seed makes the whole stream —
+/// plans, tenants, arrival times — byte-identical across runs and thread
+/// counts (generators are pull-driven and never consult global state).
+struct WorkloadOptions {
+  uint64_t seed = 42;
+  /// Stream length in ops (generators always terminate; 0 picks the
+  /// generator's default).
+  size_t max_ops = 256;
+  /// Tenant population and the Zipf exponent of the traffic share — s > 1
+  /// gives the heavy-tailed multi-tenant mixes where a few tenants dominate.
+  int num_tenants = 16;
+  double tenant_zipf_s = 1.2;
+  /// Per-generator op counters (robopt_workload_ops_total{source="..."}) are
+  /// bumped here when set; the yielded ops are byte-identical either way.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// A pull-based stream of workload ops. Contract:
+///   - Load() must be called once, before the first GetNext(); it does the
+///     expensive preparation (building plan pools, reading trace files) and
+///     surfaces failures as Status instead of dying mid-stream;
+///   - GetNext() fills `op` and returns true, or returns false at end of
+///     stream (repeatable: keeps returning false);
+///   - sources are single-consumer and not thread-safe; drivers that fan
+///     ops out to threads own the synchronization.
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  virtual Status Load() = 0;
+  virtual bool GetNext(WorkloadOp* op) = 0;
+
+  /// Stable generator name — the `source` label of the per-generator op
+  /// counters and the prefix of log lines.
+  virtual std::string_view name() const = 0;
+
+ protected:
+  /// Stamps sequence, bumps the per-generator counter. Sources call this on
+  /// every op they yield.
+  void CountOp(const WorkloadOptions& options, WorkloadOp* op);
+
+ private:
+  uint64_t next_sequence_ = 0;
+  Counter* ops_counter_ = nullptr;  ///< Cached metrics series (or null).
+  bool counter_resolved_ = false;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_WORKLOAD_WORKLOAD_H_

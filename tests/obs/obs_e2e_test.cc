@@ -10,6 +10,7 @@
 ///     nothing (runs under the TSan CI leg via obs_test).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -24,6 +25,10 @@
 #include "obs/trace.h"
 #include "serve/optimizer_service.h"
 #include "tdgen/tdgen.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+#include "workload/trace_recorder.h"
+#include "workload/trace_replay.h"
 #include "workloads/datagen.h"
 #include "workloads/queries.h"
 
@@ -312,13 +317,15 @@ class ObsServeTest : public ::testing::Test {
     base_ = new MlDataset(std::move(base.value()));
   }
 
-  static std::unique_ptr<OptimizerService> MakeService() {
+  static std::unique_ptr<OptimizerService> MakeService(
+      RequestObserver* observer = nullptr) {
     ServeOptions options;
     options.background_retrain = false;
     options.retrain_min_events = 8;
     options.promote_tolerance = 0.5;
     options.forest.num_trees = 20;
     options.observability = true;
+    options.request_observer = observer;
     auto service = OptimizerService::Create(registry_, schema_, *base_,
                                             /*initial=*/nullptr, options);
     EXPECT_TRUE(service.ok()) << service.status().ToString();
@@ -518,8 +525,35 @@ TEST_F(ObsServeTest, SnapshotMirrorsEveryExportedStatsStruct) {
 // Prometheus exposition after real traffic. Names here are the table,
 // verbatim; a rename on either side fails this test.
 TEST_F(ObsServeTest, PrometheusEndpointCoversTheWholeMetricTable) {
-  auto service = MakeService();
+  // The service records its own traffic so the trace/replay/workload metric
+  // families materialize in the same exposition as everything else.
+  const std::string trace_path =
+      ::testing::TempDir() + "robopt_obs_e2e.trace";
+  auto recorder = TraceRecorder::Open(trace_path);
+  ASSERT_TRUE(recorder.ok()) << recorder.status().ToString();
+  auto service = MakeService(recorder->get());
   DriveTraffic(service.get());
+
+  // Workload-API traffic: a seeded open-loop stream into the recording
+  // service, then the closed trace replayed back through it.
+  GeneratorOptions gen;
+  gen.base.seed = 5;
+  gen.base.max_ops = 8;
+  gen.base.metrics = service->metrics();
+  OpenLoopSource source(PlanPool::kSynthetic, gen);
+  ASSERT_TRUE(source.Load().ok());
+  DriveOptions drive;
+  drive.registry = registry_;
+  drive.metrics = service->metrics();
+  DriveWorkload(service.get(), &source, drive);
+  ASSERT_TRUE(recorder->get()->Close().ok());
+  WorkloadOptions replay_options;
+  replay_options.metrics = service->metrics();
+  TraceReplaySource replay(trace_path, replay_options);
+  ASSERT_TRUE(replay.Load().ok());
+  DriveWorkload(service.get(), &replay, drive);
+  std::remove(trace_path.c_str());
+
   const std::string text = service->ExportPrometheus();
   const char* kTable[] = {
       // Optimizer (src/core).
@@ -599,6 +633,15 @@ TEST_F(ObsServeTest, PrometheusEndpointCoversTheWholeMetricTable) {
       // ML inference telemetry.
       "robopt_ml_forest_rows_scored_total",
       "robopt_ml_forest_batches_total",
+      // Workload API + trace record/replay (src/workload).
+      "robopt_workload_ops_total",
+      "robopt_trace_records_written_total",
+      "robopt_trace_records_dropped_total",
+      "robopt_trace_plan_defs_total",
+      "robopt_trace_bytes_written_total",
+      "robopt_replay_ops_total",
+      "robopt_replay_lag_us",
+      "robopt_replay_mismatches_total",
   };
   for (const char* name : kTable) {
     EXPECT_TRUE(Contains(text, name)) << "metric missing from /metrics: "

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tdgen/tdgen.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+#include "workload/trace_recorder.h"
+#include "workload/trace_replay.h"
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+/// Record a live serving run into a trace, then re-drive the trace through
+/// a *fresh* service and demand bit-identical outcomes. Both services train
+/// v1 from the same TDGEN base set with background retraining off, so any
+/// mismatch is a replay bug, not model drift.
+class RecordReplayTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RegisterWorkloadKernels();
+    registry_ = new PlatformRegistry(PlatformRegistry::Default(2));
+    schema_ = new FeatureSchema(registry_);
+    cost_ = new VirtualCost(registry_);
+    TdgenOptions options;
+    options.plans_per_shape = 4;
+    options.max_operators = 10;
+    options.max_structures_per_plan = 16;
+    options.seed = 321;
+    Executor plain(registry_, cost_);
+    Tdgen tdgen(registry_, schema_, &plain, options);
+    auto base = tdgen.Generate();
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    base_ = new MlDataset(std::move(base.value()));
+  }
+
+  void TearDown() override {
+    for (const std::string& path : cleanup_) {
+      std::remove(path.c_str());
+      std::remove((path + ".tmp").c_str());
+    }
+  }
+
+  std::string TracePath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "robopt_rr_" + name;
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  static ServeOptions SmallServeOptions(int num_shards) {
+    ServeOptions options;
+    options.background_retrain = false;
+    options.num_shards = num_shards;
+    options.forest.num_trees = 20;
+    return options;
+  }
+
+  static std::unique_ptr<OptimizerService> NewService(
+      const ServeOptions& options) {
+    auto service = OptimizerService::Create(registry_, schema_, *base_,
+                                            /*initial=*/nullptr, options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return std::move(service.value());
+  }
+
+  /// Serves a deterministic open-loop synthetic stream with a recorder
+  /// attached and closes the trace. Returns the live-run stats.
+  ReplayStats RecordRun(const std::string& trace_path, int num_shards,
+                        TraceRecorderStats* recorder_stats) {
+    auto recorder = TraceRecorder::Open(trace_path);
+    EXPECT_TRUE(recorder.ok()) << recorder.status().ToString();
+    // The atomic-publish contract: only the .tmp exists while recording.
+    EXPECT_TRUE(FileExists(trace_path + ".tmp"));
+    EXPECT_FALSE(FileExists(trace_path));
+
+    ServeOptions serve = SmallServeOptions(num_shards);
+    serve.request_observer = recorder->get();
+    auto service = NewService(serve);
+
+    GeneratorOptions gen;
+    gen.base.seed = 2026;
+    gen.base.max_ops = 48;
+    gen.base.num_tenants = 8;
+    gen.arrival.kind = ArrivalOptions::Kind::kBursty;
+    OpenLoopSource source(PlanPool::kSynthetic, gen);
+    EXPECT_TRUE(source.Load().ok());
+
+    DriveOptions drive;
+    drive.registry = registry_;
+    const ReplayStats live = DriveWorkload(service.get(), &source, drive);
+    EXPECT_GT(live.optimizes, 0u);
+    EXPECT_EQ(live.optimize_errors, 0u);
+    EXPECT_GT(live.feedbacks, 0u);
+
+    EXPECT_TRUE(recorder->get()->Close().ok());
+    *recorder_stats = recorder->get()->Stats();
+    // ...and after Close() the rename published the final trace.
+    EXPECT_TRUE(FileExists(trace_path));
+    EXPECT_FALSE(FileExists(trace_path + ".tmp"));
+    return live;
+  }
+
+  /// Replays `trace_path` through a fresh service and verifies every
+  /// recorded outcome byte-for-byte.
+  ReplayStats ReplayRun(const std::string& trace_path, int num_shards,
+                        size_t* out_num_plans = nullptr) {
+    auto service = NewService(SmallServeOptions(num_shards));
+    TraceReplaySource source(trace_path);
+    Status load = source.Load();
+    EXPECT_TRUE(load.ok()) << load.ToString();
+    DriveOptions drive;
+    drive.verify = true;
+    drive.registry = registry_;
+    const ReplayStats stats = DriveWorkload(service.get(), &source, drive);
+    if (out_num_plans != nullptr) *out_num_plans = source.num_plans();
+    return stats;
+  }
+
+  std::vector<std::string> cleanup_;
+
+  static PlatformRegistry* registry_;
+  static FeatureSchema* schema_;
+  static VirtualCost* cost_;
+  static MlDataset* base_;
+};
+
+PlatformRegistry* RecordReplayTest::registry_ = nullptr;
+FeatureSchema* RecordReplayTest::schema_ = nullptr;
+VirtualCost* RecordReplayTest::cost_ = nullptr;
+MlDataset* RecordReplayTest::base_ = nullptr;
+
+TEST_F(RecordReplayTest, ReplayReproducesTheLiveRunBitForBit) {
+  const std::string path = TracePath("single_shard");
+  TraceRecorderStats rec;
+  const ReplayStats live = RecordRun(path, /*num_shards=*/1, &rec);
+  ASSERT_GT(rec.records_written, 0u);
+  EXPECT_EQ(rec.records_dropped, 0u);
+
+  const ReplayStats replay = ReplayRun(path, /*num_shards=*/1);
+  EXPECT_EQ(replay.optimizes, live.optimizes);
+  EXPECT_EQ(replay.feedbacks, live.feedbacks);
+  EXPECT_EQ(replay.verified, live.optimizes - live.optimize_errors);
+  EXPECT_EQ(replay.mismatches, 0u);
+  EXPECT_EQ(replay.options_hash_mismatches, 0u);
+}
+
+TEST_F(RecordReplayTest, ReplayIsBitIdenticalAcrossShardCounts) {
+  // Serving guarantees shard-count-invariant plans; the trace pipeline must
+  // preserve that. Record on one shard, verify on four (and vice versa).
+  const std::string path = TracePath("sharded");
+  TraceRecorderStats rec;
+  const ReplayStats live = RecordRun(path, /*num_shards=*/4, &rec);
+  EXPECT_EQ(rec.records_dropped, 0u);
+
+  size_t num_plans = 0;
+  const ReplayStats on_four = ReplayRun(path, /*num_shards=*/4, &num_plans);
+  EXPECT_EQ(on_four.verified, live.optimizes - live.optimize_errors);
+  EXPECT_EQ(on_four.mismatches, 0u);
+  EXPECT_EQ(num_plans, rec.plan_defs);
+
+  const ReplayStats on_one = ReplayRun(path, /*num_shards=*/1);
+  EXPECT_EQ(on_one.verified, on_four.verified);
+  EXPECT_EQ(on_one.mismatches, 0u);
+  EXPECT_EQ(on_one.options_hash_mismatches, 0u);
+}
+
+TEST_F(RecordReplayTest, ConcurrentRecordingIsRaceFreeAndLossless) {
+  // Hammer one recorder from four serving threads sharing a small plan
+  // pool (maximum fingerprint-dedup contention) while a fifth thread polls
+  // SnapshotMetrics() to race ExportTo. Run under TSan in CI.
+  const std::string path = TracePath("concurrent");
+  auto recorder = TraceRecorder::Open(path);
+  ASSERT_TRUE(recorder.ok());
+  ServeOptions serve = SmallServeOptions(/*num_shards=*/2);
+  serve.request_observer = recorder->get();
+  auto service = NewService(serve);
+
+  const std::vector<LogicalPlan> pool = MakeSyntheticPlanPool(4, 99);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RequestContext ctx;
+      ctx.tenant = static_cast<uint64_t>(t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        auto result = service->Optimize(pool[(t + i) % pool.size()], nullptr,
+                                        OptimizeOptions{}, ctx);
+        (void)result;
+      }
+    });
+  }
+  std::thread poller([&] {
+    for (int i = 0; i < 16; ++i) (void)service->SnapshotMetrics();
+  });
+  for (std::thread& thread : threads) thread.join();
+  poller.join();
+
+  ASSERT_TRUE(recorder->get()->Close().ok());
+  const TraceRecorderStats stats = recorder->get()->Stats();
+  EXPECT_EQ(stats.records_dropped, 0u);
+  // Every optimize made it to disk exactly once, plus one def per plan.
+  EXPECT_EQ(stats.plan_defs, pool.size());
+  EXPECT_EQ(stats.records_written,
+            static_cast<uint64_t>(kThreads * kOpsPerThread) + stats.plan_defs);
+
+  TraceReplaySource source(path);
+  ASSERT_TRUE(source.Load().ok());
+  EXPECT_EQ(source.num_ops(), static_cast<size_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(source.num_plans(), pool.size());
+}
+
+TEST_F(RecordReplayTest, TraceAndReplayMetricsLandInTheRegistries) {
+  const std::string path = TracePath("metrics");
+  auto recorder = TraceRecorder::Open(path);
+  ASSERT_TRUE(recorder.ok());
+  ServeOptions serve = SmallServeOptions(/*num_shards=*/1);
+  serve.request_observer = recorder->get();
+  auto service = NewService(serve);
+  const std::vector<LogicalPlan> pool = MakeSyntheticPlanPool(2, 7);
+  for (const LogicalPlan& plan : pool) {
+    ASSERT_TRUE(service->Optimize(plan).ok());
+  }
+  // Close() first so the writer thread has drained and the counters are
+  // exact, then SnapshotMetrics() pulls the observer's counters into the
+  // service registry via RequestObserver::ExportTo.
+  ASSERT_TRUE(recorder->get()->Close().ok());
+  const MetricsSnapshot snapshot = service->SnapshotMetrics();
+  EXPECT_EQ(snapshot.Value("robopt_trace_records_written_total", -1.0), 4.0);
+  EXPECT_EQ(snapshot.Value("robopt_trace_plan_defs_total", -1.0), 2.0);
+  EXPECT_EQ(snapshot.Value("robopt_trace_records_dropped_total", -1.0), 0.0);
+  EXPECT_GT(snapshot.Value("robopt_trace_bytes_written_total", 0.0), 0.0);
+
+  // The replay side exports its own op counter and lag histogram.
+  auto replay_service = NewService(SmallServeOptions(/*num_shards=*/1));
+  TraceReplaySource source(path);
+  ASSERT_TRUE(source.Load().ok());
+  MetricsRegistry registry;
+  DriveOptions drive;
+  drive.metrics = &registry;
+  drive.registry = registry_;
+  const ReplayStats stats = DriveWorkload(replay_service.get(), &source, drive);
+  EXPECT_EQ(stats.optimizes, 2u);
+  const MetricsSnapshot replay_snapshot = registry.Snapshot();
+  EXPECT_EQ(replay_snapshot.Value("robopt_replay_ops_total", -1.0), 2.0);
+  EXPECT_EQ(replay_snapshot.Value("robopt_replay_mismatches_total", -1.0), 0.0);
+  EXPECT_TRUE(replay_snapshot.Has("robopt_replay_lag_us"));
+}
+
+TEST_F(RecordReplayTest, TimeWarpPacesRealTimeAndSkipsPacingWhenAsked) {
+  auto service = NewService(SmallServeOptions(/*num_shards=*/1));
+  GeneratorOptions gen;
+  gen.base.seed = 11;
+  gen.base.max_ops = 16;
+  gen.feedback_fraction = 0.0;  // Keep the stream's horizon tight.
+  gen.arrival.kind = ArrivalOptions::Kind::kFixedRate;
+  gen.arrival.rate_per_s = 100.0;  // Last arrival ~0.15s into the stream.
+  OpenLoopSource source(PlanPool::kSynthetic, gen);
+  ASSERT_TRUE(source.Load().ok());
+  DriveOptions realtime;
+  realtime.speedup = 1.0;
+  const ReplayStats paced = DriveWorkload(service.get(), &source, realtime);
+  EXPECT_EQ(paced.optimizes, 16u);
+  // 16 arrivals at 100/s ⇒ the run cannot finish before the last arrival.
+  EXPECT_GE(paced.wall_s, 0.14);
+
+  OpenLoopSource again(PlanPool::kSynthetic, gen);
+  ASSERT_TRUE(again.Load().ok());
+  const ReplayStats fast = DriveWorkload(service.get(), &again, DriveOptions{});
+  EXPECT_EQ(fast.optimizes, 16u);
+  EXPECT_EQ(fast.max_lag_s, 0.0);  // No pacing, no lag accounting.
+  EXPECT_LT(fast.wall_s, paced.wall_s);
+}
+
+}  // namespace
+}  // namespace robopt

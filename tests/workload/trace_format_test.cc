@@ -1,0 +1,224 @@
+#include "workload/trace_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "workload/generators.h"
+#include "workload/plan_serde.h"
+#include "workload/trace_records.h"
+#include "workload/trace_replay.h"
+
+namespace robopt {
+namespace {
+
+class TraceFormatTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "robopt_trace_" + name;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+
+  std::string NewTrace(const std::string& name,
+                       const std::vector<std::string>& payloads) {
+    const std::string path = Path(name);
+    cleanup_.push_back(path);
+    auto writer = TraceFileWriter::Open(path);
+    EXPECT_TRUE(writer.ok());
+    EXPECT_TRUE(WriteTraceHeader(writer->get(), 12345).ok());
+    for (const std::string& payload : payloads) {
+      EXPECT_TRUE((*writer)->Append(payload).ok());
+    }
+    EXPECT_TRUE((*writer)->Close().ok());
+    return path;
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  static void WriteFile(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(TraceFormatTest, Crc32MatchesTheIeeeReference) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST_F(TraceFormatTest, WriteThenReadRoundTrips) {
+  const std::string path =
+      NewTrace("roundtrip", {std::string("\x01week", 5),
+                             std::string("\x02", 1) + std::string(300, 'x')});
+  auto reader = TraceFileReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->version(), kTraceVersion);
+  EXPECT_EQ((*reader)->created_wall_ns(), 12345u);
+  std::string payload;
+  ASSERT_TRUE((*reader)->Next(&payload).ok());
+  EXPECT_EQ(payload, std::string("\x01week", 5));
+  ASSERT_TRUE((*reader)->Next(&payload).ok());
+  EXPECT_EQ(payload.size(), 301u);
+  // Clean end of stream is kNotFound, repeatably.
+  EXPECT_EQ((*reader)->Next(&payload).code(), StatusCode::kNotFound);
+  EXPECT_EQ((*reader)->Next(&payload).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TraceFormatTest, RejectsForeignAndTruncatedHeaders) {
+  const std::string not_a_trace = Path("not_a_trace");
+  cleanup_.push_back(not_a_trace);
+  WriteFile(not_a_trace, "definitely not a robopt trace file....");
+  EXPECT_EQ(TraceFileReader::Open(not_a_trace).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const std::string stub = Path("stub");
+  cleanup_.push_back(stub);
+  WriteFile(stub, std::string(kTraceMagic, 4));  // Shorter than the header.
+  EXPECT_EQ(TraceFileReader::Open(stub).status().code(),
+            StatusCode::kOutOfRange);
+
+  EXPECT_EQ(TraceFileReader::Open(Path("missing")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TraceFormatTest, RejectsHeaderCorruption) {
+  const std::string path = NewTrace("header_flip", {"\x01ok"});
+  std::string bytes = ReadFile(path);
+  bytes[10] ^= 0x40;  // Inside the versioned header body.
+  WriteFile(path, bytes);
+  EXPECT_EQ(TraceFileReader::Open(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceFormatTest, DetectsTornTailAtTheExactRecord) {
+  const std::string path =
+      NewTrace("torn", {"\x01first-record", "\x01second-record"});
+  const std::string bytes = ReadFile(path);
+  // Cut into the middle of the second record's payload.
+  WriteFile(path, bytes.substr(0, bytes.size() - 5));
+  auto reader = TraceFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  EXPECT_TRUE((*reader)->Next(&payload).ok());  // First record intact.
+  EXPECT_EQ((*reader)->Next(&payload).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(TraceFormatTest, DetectsPayloadBitFlips) {
+  const std::string path = NewTrace("bitflip", {"\1abcdefgh"});
+  std::string bytes = ReadFile(path);
+  bytes[bytes.size() - 2] ^= 0x01;  // Flip a payload byte.
+  WriteFile(path, bytes);
+  auto reader = TraceFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  EXPECT_EQ((*reader)->Next(&payload).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceFormatTest, RejectsInsaneRecordLengths) {
+  const std::string path = NewTrace("hugelen", {"\1abc"});
+  std::string bytes = ReadFile(path);
+  // The first record's u32 length field sits right after the 28-byte
+  // header (magic 8 + body 16 + crc 4); blow it past kMaxTracePayload.
+  const uint32_t huge = kMaxTracePayload + 1;
+  std::memcpy(bytes.data() + 28, &huge, sizeof huge);
+  WriteFile(path, bytes);
+  auto reader = TraceFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::string payload;
+  EXPECT_EQ((*reader)->Next(&payload).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceFormatTest, RecordPayloadsRoundTrip) {
+  TracePlanDef def;
+  def.fp_hi = 0x1122334455667788ull;
+  def.fp_lo = 0x99aabbccddeeff00ull;
+  SerializePlan(MakeSyntheticPlanPool(1, 77)[0], &def.plan_bytes);
+  auto def2 = DecodePlanDef(EncodePlanDef(def));
+  ASSERT_TRUE(def2.ok());
+  EXPECT_EQ(def2->fp_hi, def.fp_hi);
+  EXPECT_EQ(def2->fp_lo, def.fp_lo);
+  EXPECT_EQ(def2->plan_bytes, def.plan_bytes);
+
+  TraceOptimizeRecord opt;
+  opt.sequence = 42;
+  opt.tenant = 7;
+  opt.wall_ns = 111;
+  opt.rel_ns = 222;
+  opt.fp_hi = def.fp_hi;
+  opt.fp_lo = def.fp_lo;
+  opt.options_hash = 0xdeadbeef;
+  opt.status_code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+  opt.cache_hit = true;
+  opt.predicted_runtime_s = 1.5f;
+  opt.model_version = 3;
+  opt.chosen_platform = 1;
+  opt.assignment = {0, 2, -1, 5};
+  opt.has_cards = true;
+  Cardinalities cards;
+  cards.input = {1, 2};
+  cards.output = {3, 4};
+  SerializeCards(cards, &opt.cards_bytes);
+  auto opt2 = DecodeOptimizeRecord(EncodeOptimizeRecord(opt));
+  ASSERT_TRUE(opt2.ok()) << opt2.status().ToString();
+  EXPECT_EQ(opt2->sequence, opt.sequence);
+  EXPECT_EQ(opt2->tenant, opt.tenant);
+  EXPECT_EQ(opt2->rel_ns, opt.rel_ns);
+  EXPECT_EQ(opt2->options_hash, opt.options_hash);
+  EXPECT_EQ(opt2->status_code, opt.status_code);
+  EXPECT_EQ(opt2->cache_hit, opt.cache_hit);
+  EXPECT_EQ(opt2->predicted_runtime_s, opt.predicted_runtime_s);
+  EXPECT_EQ(opt2->model_version, opt.model_version);
+  EXPECT_EQ(opt2->assignment, opt.assignment);
+  EXPECT_EQ(opt2->cards_bytes, opt.cards_bytes);
+
+  TraceFeedbackRecord fb;
+  fb.tenant = 9;
+  fb.rel_ns = 333;
+  fb.fp_hi = 1;
+  fb.fp_lo = 2;
+  fb.actual_runtime_s = 12.25;
+  fb.assignment = {1, 1, 0};
+  SerializeCards(cards, &fb.cards_bytes);
+  auto fb2 = DecodeFeedbackRecord(EncodeFeedbackRecord(fb));
+  ASSERT_TRUE(fb2.ok());
+  EXPECT_EQ(fb2->actual_runtime_s, fb.actual_runtime_s);
+  EXPECT_EQ(fb2->assignment, fb.assignment);
+
+  // Decoders reject the wrong record type and trailing bytes.
+  EXPECT_FALSE(DecodePlanDef(EncodeOptimizeRecord(opt)).ok());
+  EXPECT_FALSE(DecodeOptimizeRecord(EncodeOptimizeRecord(opt) + "x").ok());
+  std::string truncated = EncodeFeedbackRecord(fb);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DecodeFeedbackRecord(truncated).ok());
+}
+
+TEST_F(TraceFormatTest, ReplaySourceRejectsCorruptTraces) {
+  // A record referencing an undefined plan is structural corruption.
+  TraceOptimizeRecord opt;
+  opt.fp_hi = 1;
+  opt.fp_lo = 2;
+  const std::string path =
+      NewTrace("undefined_plan", {EncodeOptimizeRecord(opt)});
+  TraceReplaySource source(path);
+  EXPECT_EQ(source.Load().code(), StatusCode::kInvalidArgument);
+
+  // A CRC-valid frame whose payload is not a known record type.
+  const std::string path2 = NewTrace("unknown_type", {"\x7fmystery"});
+  TraceReplaySource source2(path2);
+  EXPECT_EQ(source2.Load().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace robopt

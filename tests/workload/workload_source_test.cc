@@ -1,0 +1,336 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/arrival.h"
+#include "workload/generators.h"
+#include "workload/plan_serde.h"
+
+namespace robopt {
+namespace {
+
+/// Byte-level identity of two workload ops (plans compared through the
+/// serializer, which captures every field and both adjacency orders).
+std::string OpKey(const WorkloadOp& op) {
+  std::string key;
+  SerializePlan(op.plan, &key);
+  key += '|';
+  key += std::to_string(static_cast<int>(op.kind)) + '|' +
+         std::to_string(op.tenant) + '|' + std::to_string(op.arrival_s) +
+         '|' + std::to_string(op.actual_runtime_s) + '|' +
+         std::to_string(op.has_cards);
+  if (op.has_cards) {
+    SerializeCards(op.cards, &key);
+  }
+  return key;
+}
+
+std::vector<WorkloadOp> Drain(WorkloadSource* source) {
+  std::vector<WorkloadOp> ops;
+  WorkloadOp op;
+  while (source->GetNext(&op)) ops.push_back(op);
+  return ops;
+}
+
+TEST(OpenLoopSourceTest, SeedMakesTheStreamByteIdentical) {
+  GeneratorOptions options;
+  options.base.seed = 99;
+  options.base.max_ops = 64;
+  options.arrival.kind = ArrivalOptions::Kind::kBursty;
+  OpenLoopSource a(PlanPool::kSynthetic, options);
+  OpenLoopSource b(PlanPool::kSynthetic, options);
+  ASSERT_TRUE(a.Load().ok());
+  ASSERT_TRUE(b.Load().ok());
+  const std::vector<WorkloadOp> ops_a = Drain(&a);
+  const std::vector<WorkloadOp> ops_b = Drain(&b);
+  ASSERT_EQ(ops_a.size(), 64u);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  for (size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(OpKey(ops_a[i]), OpKey(ops_b[i])) << "op " << i;
+    EXPECT_EQ(ops_a[i].sequence, i);
+  }
+}
+
+TEST(OpenLoopSourceTest, DifferentSeedsDiverge) {
+  GeneratorOptions options;
+  options.base.max_ops = 32;
+  options.base.seed = 1;
+  OpenLoopSource a(PlanPool::kSynthetic, options);
+  options.base.seed = 2;
+  OpenLoopSource b(PlanPool::kSynthetic, options);
+  ASSERT_TRUE(a.Load().ok());
+  ASSERT_TRUE(b.Load().ok());
+  const std::vector<WorkloadOp> ops_a = Drain(&a);
+  const std::vector<WorkloadOp> ops_b = Drain(&b);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  bool any_diff = false;
+  for (size_t i = 0; i < ops_a.size() && !any_diff; ++i) {
+    any_diff = OpKey(ops_a[i]) != OpKey(ops_b[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(OpenLoopSourceTest, ArrivalsAreNonDecreasingAndTenantsHeavyTailed) {
+  GeneratorOptions options;
+  options.base.seed = 7;
+  options.base.max_ops = 512;
+  options.base.num_tenants = 16;
+  options.base.tenant_zipf_s = 1.5;
+  options.arrival.kind = ArrivalOptions::Kind::kDiurnal;
+  OpenLoopSource source(PlanPool::kSynthetic, options);
+  ASSERT_TRUE(source.Load().ok());
+  const std::vector<WorkloadOp> ops = Drain(&source);
+  ASSERT_EQ(ops.size(), 512u);
+  std::map<uint64_t, int> per_tenant;
+  double last = 0.0;
+  for (const WorkloadOp& op : ops) {
+    EXPECT_GE(op.arrival_s, last);
+    last = op.arrival_s;
+    EXPECT_LT(op.tenant, 16u);
+    ++per_tenant[op.tenant];
+  }
+  // Zipf s=1.5: the most popular tenant dominates any mid-rank tenant.
+  int top = 0;
+  for (const auto& [tenant, count] : per_tenant) top = std::max(top, count);
+  EXPECT_GT(top, static_cast<int>(ops.size()) / 8);
+}
+
+TEST(OpenLoopSourceTest, FeedbackOpsRideTheStream) {
+  GeneratorOptions options;
+  options.base.seed = 5;
+  options.base.max_ops = 128;
+  options.feedback_fraction = 0.5;
+  OpenLoopSource source(PlanPool::kSynthetic, options);
+  ASSERT_TRUE(source.Load().ok());
+  size_t feedbacks = 0;
+  for (const WorkloadOp& op : Drain(&source)) {
+    if (op.kind == WorkloadOpKind::kFeedback) {
+      ++feedbacks;
+      EXPECT_TRUE(op.has_cards);
+      EXPECT_TRUE(op.assignment.empty());
+      EXPECT_GT(op.actual_runtime_s, 0.0);
+    }
+  }
+  EXPECT_GT(feedbacks, 16u);
+}
+
+TEST(OpenLoopSourceTest, PaperPoolStreams) {
+  GeneratorOptions options;
+  options.base.seed = 3;
+  options.base.max_ops = 24;
+  OpenLoopSource source(PlanPool::kPaper, options);
+  ASSERT_TRUE(source.Load().ok());
+  EXPECT_EQ(source.name(), "open_loop_paper");
+  const std::vector<WorkloadOp> ops = Drain(&source);
+  ASSERT_EQ(ops.size(), 24u);
+  for (const WorkloadOp& op : ops) {
+    EXPECT_TRUE(op.plan.Validate().ok());
+  }
+}
+
+TEST(OpenLoopSourceTest, OpCounterLandsInTheRegistry) {
+  MetricsRegistry metrics;
+  GeneratorOptions options;
+  options.base.max_ops = 8;
+  options.base.metrics = &metrics;
+  OpenLoopSource source(PlanPool::kSynthetic, options);
+  ASSERT_TRUE(source.Load().ok());
+  (void)Drain(&source);
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.Value(
+                "robopt_workload_ops_total{source=\"open_loop_synthetic\"}",
+                -1.0),
+            8.0);
+}
+
+TEST(ArrivalProcessTest, EveryKindIsMonotoneAndDeterministic) {
+  for (const auto kind :
+       {ArrivalOptions::Kind::kClosedLoop, ArrivalOptions::Kind::kFixedRate,
+        ArrivalOptions::Kind::kPoisson, ArrivalOptions::Kind::kDiurnal,
+        ArrivalOptions::Kind::kBursty}) {
+    ArrivalOptions options;
+    options.kind = kind;
+    options.rate_per_s = 50.0;
+    ArrivalProcess a(options, 11);
+    ArrivalProcess b(options, 11);
+    double last = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const double t = a.Next();
+      EXPECT_EQ(t, b.Next());
+      EXPECT_GE(t, last);
+      last = t;
+    }
+  }
+}
+
+TEST(ArrivalProcessTest, PoissonRateIsRoughlyHonored) {
+  ArrivalOptions options;
+  options.kind = ArrivalOptions::Kind::kPoisson;
+  options.rate_per_s = 100.0;
+  ArrivalProcess arrivals(options, 23);
+  double last = 0.0;
+  for (int i = 0; i < 2000; ++i) last = arrivals.Next();
+  // 2000 arrivals at 100/s ≈ 20s of stream time (±30% is generous).
+  EXPECT_GT(last, 14.0);
+  EXPECT_LT(last, 26.0);
+}
+
+TEST(ArrivalProcessTest, BurstyIsBurstierThanPoisson) {
+  ArrivalOptions poisson;
+  poisson.kind = ArrivalOptions::Kind::kPoisson;
+  poisson.rate_per_s = 100.0;
+  ArrivalOptions bursty;
+  bursty.kind = ArrivalOptions::Kind::kBursty;
+  bursty.rate_per_s = 100.0;
+  bursty.burst_rate_multiplier = 20.0;
+  auto cv2 = [](ArrivalOptions options) {
+    ArrivalProcess arrivals(options, 31);
+    double last = 0.0, sum = 0.0, sum2 = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      const double t = arrivals.Next();
+      const double gap = t - last;
+      last = t;
+      sum += gap;
+      sum2 += gap * gap;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    return var / (mean * mean);  // Squared coefficient of variation.
+  };
+  // Poisson has CV² ≈ 1; an MMPP with a 20x burst state is well above it.
+  EXPECT_GT(cv2(bursty), cv2(poisson) * 1.5);
+}
+
+TEST(CheckpointRestartSourceTest, DalyIntervalAndSegmentStream) {
+  CheckpointRestartSource::Options options;
+  options.base.seed = 13;
+  options.base.max_ops = 96;
+  options.mtbf_s = 400.0;
+  options.checkpoint_cost_s = 2.0;
+  options.job_work_s = 300.0;
+  CheckpointRestartSource source(options);
+  EXPECT_NEAR(source.daly_interval_s(), std::sqrt(2.0 * 2.0 * 400.0), 1e-9);
+  ASSERT_TRUE(source.Load().ok());
+  const std::vector<WorkloadOp> ops = Drain(&source);
+  ASSERT_EQ(ops.size(), 96u);
+  size_t optimizes = 0, feedbacks = 0;
+  double last = 0.0;
+  for (const WorkloadOp& op : ops) {
+    EXPECT_GE(op.arrival_s, last);
+    last = op.arrival_s;
+    if (op.kind == WorkloadOpKind::kOptimize) {
+      ++optimizes;
+    } else {
+      ++feedbacks;
+      // A segment's wall time is at least its checkpoint write.
+      EXPECT_GE(op.actual_runtime_s, options.checkpoint_cost_s);
+    }
+  }
+  EXPECT_GT(optimizes, 0u);
+  // Long jobs: several checkpointed segments per submission.
+  EXPECT_GT(feedbacks, optimizes);
+
+  CheckpointRestartSource again(options);
+  ASSERT_TRUE(again.Load().ok());
+  const std::vector<WorkloadOp> ops2 = Drain(&again);
+  ASSERT_EQ(ops.size(), ops2.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(OpKey(ops[i]), OpKey(ops2[i])) << "op " << i;
+  }
+}
+
+TEST(PlanSerdeTest, PaperPlansRoundTripByteForByte) {
+  for (LogicalPlan& plan : MakePaperPlanPool(0.01)) {
+    std::string bytes;
+    SerializePlan(plan, &bytes);
+    auto restored = DeserializePlan(bytes);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    std::string bytes2;
+    SerializePlan(*restored, &bytes2);
+    EXPECT_EQ(bytes, bytes2);
+    EXPECT_TRUE(restored->Validate().ok());
+  }
+}
+
+TEST(PlanSerdeTest, AdjacencyOrderSurvivesTheRoundTrip) {
+  // A join whose build/probe order matters: children/parents list orders
+  // must come back exactly, or replayed optimizations could enumerate in a
+  // different order.
+  LogicalPlan plan;
+  auto source = [&](double cardinality) {
+    LogicalOperator op;
+    op.kind = LogicalOpKind::kCollectionSource;
+    op.source_cardinality = cardinality;
+    op.tuple_bytes = 8;
+    return plan.Add(op);
+  };
+  const OperatorId left = source(1000);
+  const OperatorId right = source(500);
+  LogicalOperator join_op;
+  join_op.kind = LogicalOpKind::kJoin;
+  join_op.selectivity = 0.1;
+  const OperatorId join = plan.Add(join_op);
+  LogicalOperator sink_op;
+  sink_op.kind = LogicalOpKind::kCollectionSink;
+  const OperatorId sink = plan.Add(sink_op);
+  plan.Connect(left, join);
+  plan.Connect(right, join);
+  plan.Connect(join, sink);
+
+  std::string bytes;
+  SerializePlan(plan, &bytes);
+  auto restored = DeserializePlan(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->parents(join).size(), 2u);
+  EXPECT_EQ(restored->parents(join)[0], left);
+  EXPECT_EQ(restored->parents(join)[1], right);
+  EXPECT_EQ(restored->children(left), plan.children(left));
+  EXPECT_EQ(restored->TopologicalOrder(), plan.TopologicalOrder());
+}
+
+TEST(PlanSerdeTest, CorruptPlansAreRejectedNotCrashed) {
+  LogicalPlan plan = MakeSyntheticPlanPool(1, 5)[0];
+  std::string bytes;
+  SerializePlan(plan, &bytes);
+
+  // Truncations at every prefix length must reject cleanly.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    auto truncated = DeserializePlan(bytes.substr(0, len));
+    EXPECT_FALSE(truncated.ok()) << "prefix " << len;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(DeserializePlan(bytes + "xx").ok());
+  // Version bump.
+  std::string wrong_version = bytes;
+  wrong_version[0] = 9;
+  EXPECT_FALSE(DeserializePlan(wrong_version).ok());
+  // Operator count out of range.
+  std::string too_many = bytes;
+  too_many[1] = '\xff';
+  too_many[2] = '\xff';
+  EXPECT_FALSE(DeserializePlan(too_many).ok());
+}
+
+TEST(PlanSerdeTest, CardsRoundTripAndBoundsCheck) {
+  Cardinalities cards;
+  cards.input = {10.0, 20.5, 30.0};
+  cards.output = {9.0, 19.5, 1.0};
+  std::string bytes;
+  SerializeCards(cards, &bytes);
+  auto restored = DeserializeCards(bytes, 3);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->input, cards.input);
+  EXPECT_EQ(restored->output, cards.output);
+  // A cards block longer than its plan is corruption.
+  EXPECT_FALSE(DeserializeCards(bytes, 2).ok());
+  EXPECT_FALSE(DeserializeCards(bytes.substr(0, bytes.size() - 3), 3).ok());
+}
+
+}  // namespace
+}  // namespace robopt
