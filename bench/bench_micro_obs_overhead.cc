@@ -6,12 +6,18 @@
 // loaded 1-core box where whole-rep QPS flaps by 10%+. The run fails if
 // observability costs more than 3% optimize throughput, and aborts if the
 // chosen plan or its predicted cost differ in any call — the bit-identical
-// contract of ObsOptions. Emits BENCH_obs.json plus a sample trace.json
+// contract of ObsOptions. A second A/B repeats the measurement one layer
+// up, on OptimizerService: decision diagnostics + latency sketch + SLO
+// engine on vs off, same min-of-reps discipline, same 3% gate, same
+// bit-identity abort. Emits BENCH_obs.json, BENCH_slo.json (burn-rate
+// reaction/recovery latency on a manual clock) plus a sample trace.json
 // (an optimize + execute round trip, loadable in chrome://tracing /
 // Perfetto).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,7 +29,10 @@
 #include "exec/executor.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
+#include "serve/optimizer_service.h"
+#include "tdgen/tdgen.h"
 #include "workloads/datagen.h"
 #include "workloads/queries.h"
 #include "workloads/synthetic.h"
@@ -34,34 +43,29 @@ namespace {
 constexpr int kReps = 7;
 constexpr double kMaxOverhead = 0.03;
 
-/// One rep of `calls` optimize calls; returns the minimum single-call
-/// latency (ms) and checks every call lands on the reference plan/cost.
-double RunRep(const RoboptOptimizer& optimizer, const LogicalPlan& plan,
-              const OptimizeOptions& options, const OptimizeResult& reference,
-              int calls) {
-  double min_ms = 1e18;
-  for (int i = 0; i < calls; ++i) {
-    Stopwatch stopwatch;
-    auto result = optimizer.Optimize(plan, nullptr, options);
-    const double ms = stopwatch.ElapsedMillis();
-    if (ms < min_ms) min_ms = ms;
-    if (!result.ok()) {
-      std::fprintf(stderr, "optimize: %s\n",
-                   result.status().ToString().c_str());
+/// One timed optimize call; checks it lands on the reference plan/cost and
+/// returns its latency (ms).
+double RunOne(const RoboptOptimizer& optimizer, const LogicalPlan& plan,
+              const OptimizeOptions& options,
+              const OptimizeResult& reference) {
+  Stopwatch stopwatch;
+  auto result = optimizer.Optimize(plan, nullptr, options);
+  const double ms = stopwatch.ElapsedMillis();
+  if (!result.ok()) {
+    std::fprintf(stderr, "optimize: %s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  if (result->predicted_runtime_s != reference.predicted_runtime_s) {
+    std::fprintf(stderr, "FATAL: predicted cost differs under obs\n");
+    std::abort();
+  }
+  for (const LogicalOperator& op : plan.operators()) {
+    if (result->plan.alt_index(op.id) != reference.plan.alt_index(op.id)) {
+      std::fprintf(stderr, "FATAL: chosen plan differs under obs\n");
       std::abort();
-    }
-    if (result->predicted_runtime_s != reference.predicted_runtime_s) {
-      std::fprintf(stderr, "FATAL: predicted cost differs under obs\n");
-      std::abort();
-    }
-    for (const LogicalOperator& op : plan.operators()) {
-      if (result->plan.alt_index(op.id) != reference.plan.alt_index(op.id)) {
-        std::fprintf(stderr, "FATAL: chosen plan differs under obs\n");
-        std::abort();
-      }
     }
   }
-  return min_ms;
+  return ms;
 }
 
 struct OverheadResult {
@@ -70,10 +74,12 @@ struct OverheadResult {
   double overhead = 0.0;
 };
 
-/// Minimum per-call latency per arm over `kReps` interleaved off/on reps,
-/// so thermal or frequency drift hits both arms equally and transient
-/// stalls fall out of the min. The instrumented arm pays for everything
-/// at once: sharded counters, the span ring, and the profile.
+/// Minimum per-call latency per arm over `kReps` reps of call-level
+/// interleaved off/on pairs: every off call is immediately followed by an
+/// on call, so thermal or frequency drift and scheduler stalls hit both
+/// arms in the same window and fall out of the per-arm min. The
+/// instrumented arm pays for everything at once: sharded counters, the
+/// span ring, and the profile.
 OverheadResult MeasureOverhead(const RoboptOptimizer& optimizer,
                                const LogicalPlan& plan, int calls,
                                MetricsRegistry* metrics, Tracer* tracer,
@@ -90,27 +96,236 @@ OverheadResult MeasureOverhead(const RoboptOptimizer& optimizer,
   on.obs.tracer = tracer;
   on.obs.profile = true;
 
-  RunRep(optimizer, plan, off, *reference, calls);  // Warm both arms.
-  RunRep(optimizer, plan, on, *reference, calls);
+  for (int i = 0; i < calls; ++i) {  // Warm both arms.
+    RunOne(optimizer, plan, off, *reference);
+    RunOne(optimizer, plan, on, *reference);
+  }
+  // The gate reads the *median* matched-pair ratio: each rep's on/off
+  // ratio pairs minima from the same time window, and the median over
+  // reps discards windows where a background stall hit one arm harder —
+  // robust in both directions, unlike a min (deflated when the off arm
+  // catches the noise) or a global-min ratio (pairs minima from
+  // different windows).
   double min_off_ms = 1e18;
   double min_on_ms = 1e18;
+  std::vector<double> ratios;
+  ratios.reserve(kReps);
   for (int rep = 0; rep < kReps; ++rep) {
-    const double off_ms = RunRep(optimizer, plan, off, *reference, calls);
-    const double on_ms = RunRep(optimizer, plan, on, *reference, calls);
+    double off_ms = 1e18;
+    double on_ms = 1e18;
+    for (int i = 0; i < calls; ++i) {
+      off_ms = std::min(off_ms, RunOne(optimizer, plan, off, *reference));
+      on_ms = std::min(on_ms, RunOne(optimizer, plan, on, *reference));
+    }
     if (off_ms < min_off_ms) min_off_ms = off_ms;
     if (on_ms < min_on_ms) min_on_ms = on_ms;
+    ratios.push_back(on_ms / off_ms);
     std::fprintf(stderr,
                  "[bench] %s rep %d: off min %.3f ms, on min %.3f ms\n",
                  what, rep, off_ms, on_ms);
   }
+  std::sort(ratios.begin(), ratios.end());
   OverheadResult result;
   result.qps_off = 1000.0 / min_off_ms;
   result.qps_on = 1000.0 / min_on_ms;
-  result.overhead = (min_on_ms - min_off_ms) / min_off_ms;
+  result.overhead = ratios[ratios.size() / 2] - 1.0;
   return result;
 }
 
+/// Builds a serving-layer instance over the shared TDGEN base. Training is
+/// fully seeded, so every service built here serves the identical v1
+/// forest — the precondition of the cross-service bit-identity check.
+std::unique_ptr<OptimizerService> MakeService(
+    const PlatformRegistry* registry, const FeatureSchema* schema,
+    const MlDataset& base, bool instrumented,
+    ServeSloOptions* slo_override = nullptr) {
+  ServeOptions options;
+  options.background_retrain = false;
+  options.forest.num_trees = 20;
+  // Sharded mode is the production path: both arms pay routing (incl. the
+  // plan fingerprint diagnostics reuse), so the A/B isolates the
+  // diagnostics layer itself.
+  options.num_shards = 2;
+  options.plan_cache_capacity = 0;  // Every call does real optimize work.
+  if (instrumented) {
+    options.diagnostics.enabled = true;
+    options.slo.enabled = true;
+  }
+  if (slo_override != nullptr) options.slo = *slo_override;
+  auto service = OptimizerService::Create(registry, schema, base,
+                                          /*initial=*/nullptr, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service create failed: %s\n",
+                 service.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(service.value());
+}
+
+/// Service-level A/B: the full second observability layer (per-query
+/// decision records + windowed latency sketch + SLO engine) on vs off.
+/// Same min-of-interleaved-reps discipline as MeasureOverhead, and every
+/// instrumented call must reproduce the plain service's plan, predicted
+/// cost and model version exactly.
+OverheadResult MeasureServiceOverhead(const PlatformRegistry* registry,
+                                      const FeatureSchema* schema,
+                                      const MlDataset& base) {
+  auto plain = MakeService(registry, schema, base, /*instrumented=*/false);
+  auto instrumented =
+      MakeService(registry, schema, base, /*instrumented=*/true);
+
+  // The same enumeration-heavy pipeline the core A/B gates on: the
+  // record/sketch cost is fixed per call, so it must vanish at the real
+  // optimize scale (a tiny plan would put the ~µs fixed cost at 5%+ the
+  // same way the tiny-plan diagnostic above does for spans).
+  const LogicalPlan plan = MakeSyntheticPipeline(16, 1e7, 3);
+  OptimizeOptions opt;
+  opt.num_threads = 1;  // Serial: the A/B delta measures obs, not scheduling.
+  RequestContext ctx;
+  ctx.tenant = 3;
+  auto reference = plain->Optimize(plan, nullptr, opt, ctx);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "reference serve failed: %s\n",
+                 reference.status().ToString().c_str());
+    std::abort();
+  }
+
+  auto timed_call = [&](OptimizerService* service) {
+    Stopwatch stopwatch;
+    auto result = service->Optimize(plan, nullptr, opt, ctx);
+    const double ms = stopwatch.ElapsedMillis();
+    if (!result.ok()) {
+      std::fprintf(stderr, "serve optimize: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    if (result->optimize.predicted_runtime_s !=
+            reference->optimize.predicted_runtime_s ||
+        result->optimize.model_version != reference->optimize.model_version) {
+      std::fprintf(stderr,
+                   "FATAL: served cost/version differ under diagnostics\n");
+      std::abort();
+    }
+    for (const LogicalOperator& op : plan.operators()) {
+      if (result->optimize.plan.alt_index(op.id) !=
+          reference->optimize.plan.alt_index(op.id)) {
+        std::fprintf(stderr, "FATAL: served plan differs under diagnostics\n");
+        std::abort();
+      }
+    }
+    return ms;
+  };
+
+  // Call-level interleave (off, on, off, on, ...): both arms' minima are
+  // drawn from the same machine windows, as in MeasureOverhead.
+  constexpr int kCalls = 60;
+  for (int i = 0; i < kCalls; ++i) {  // Warm both arms.
+    timed_call(plain.get());
+    timed_call(instrumented.get());
+  }
+  // Median matched-pair ratio, as MeasureOverhead.
+  double min_off_ms = 1e18;
+  double min_on_ms = 1e18;
+  std::vector<double> ratios;
+  ratios.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    double off_ms = 1e18;
+    double on_ms = 1e18;
+    for (int i = 0; i < kCalls; ++i) {
+      off_ms = std::min(off_ms, timed_call(plain.get()));
+      on_ms = std::min(on_ms, timed_call(instrumented.get()));
+    }
+    if (off_ms < min_off_ms) min_off_ms = off_ms;
+    if (on_ms < min_on_ms) min_on_ms = on_ms;
+    ratios.push_back(on_ms / off_ms);
+    std::fprintf(stderr,
+                 "[bench] service rep %d: off min %.3f ms, on min %.3f ms\n",
+                 r, off_ms, on_ms);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  OverheadResult result;
+  result.qps_off = 1000.0 / min_off_ms;
+  result.qps_on = 1000.0 / min_on_ms;
+  result.overhead = ratios[ratios.size() / 2] - 1.0;
+  return result;
+}
+
+struct SloReaction {
+  double reaction_s = -1.0;  // Degradation start -> critical burn.
+  double recovery_s = -1.0;  // Degradation end -> health ok again.
+  uint64_t evaluations = 0;
+};
+
+/// Burn-rate reaction latency on a manual clock: healthy traffic, then an
+/// injected 5s-per-request latency degradation. The clock steps in 50ms
+/// ticks with one served request + one evaluation per tick until the fast
+/// pair trips critical; then the injection stops and the clock steps in
+/// 250ms ticks until the windows drain and health clears.
+SloReaction MeasureSloReaction(const PlatformRegistry* registry,
+                               const FeatureSchema* schema,
+                               const MlDataset& base) {
+  ServeSloOptions slo;
+  slo.enabled = true;
+  slo.sketch_window_s = 0.5;
+  slo.sketch_windows = 64;
+  SloObjective objective;
+  objective.name = "optimize_latency";
+  objective.threshold_us = 1e6;
+  objective.target = 0.99;
+  objective.fast_window_s = 6.0;
+  objective.slow_window_s = 12.0;
+  objective.fast_burn = 2.0;
+  objective.slow_burn = 1.0;
+  slo.objectives.push_back(objective);
+  auto now = std::make_shared<double>(0.25);
+  slo.clock = [now] { return *now; };
+  auto service =
+      MakeService(registry, schema, base, /*instrumented=*/true, &slo);
+
+  const LogicalPlan plan = MakeWordCountPlan(0.001);
+  const OptimizeOptions opt;
+  RequestContext ctx;
+  ctx.tenant = 3;
+  for (int i = 0; i < 20; ++i) {
+    (void)service->Optimize(plan, nullptr, opt, ctx);
+  }
+  service->EvaluateSloNow();
+  SloReaction out;
+  ++out.evaluations;
+  if (service->slo_health() != SloHealth::kOk) {
+    std::fprintf(stderr, "FATAL: SLO not healthy before degradation\n");
+    std::abort();
+  }
+
+  const double t0 = 1.0;
+  *now = t0;
+  service->set_slo_inject_latency_us(5e6);
+  for (int step = 0; step < 400; ++step) {
+    *now += 0.05;
+    (void)service->Optimize(plan, nullptr, opt, ctx);
+    service->EvaluateSloNow();
+    ++out.evaluations;
+    if (service->slo_health() == SloHealth::kCritical) {
+      out.reaction_s = *now - t0;
+      break;
+    }
+  }
+  service->set_slo_inject_latency_us(0.0);
+  const double t1 = *now;
+  for (int step = 0; step < 400; ++step) {
+    *now += 0.25;
+    service->EvaluateSloNow();
+    ++out.evaluations;
+    if (service->slo_health() == SloHealth::kOk) {
+      out.recovery_s = *now - t1;
+      break;
+    }
+  }
+  return out;
+}
+
 int Main() {
+  RegisterWorkloadKernels();
   PlatformRegistry registry = PlatformRegistry::Default(3);
   FeatureSchema schema(&registry);
   LinearFeatureOracle oracle(schema, 5);
@@ -149,7 +364,7 @@ int Main() {
   // hiccup on a 1-core box can't fake a >3% delta on its own.
   const LogicalPlan heavy = MakeSyntheticPipeline(16, 1e7, 3);
   const OverheadResult gated =
-      MeasureOverhead(ml_optimizer, heavy, 50, &metrics, &tracer, "gated");
+      MeasureOverhead(ml_optimizer, heavy, 100, &metrics, &tracer, "gated");
   std::fprintf(stderr,
                "[bench] gated min-of-%d-reps: off %.1f qps, on %.1f qps "
                "(overhead %.2f%%, gate %.0f%%)\n",
@@ -167,10 +382,58 @@ int Main() {
                "(overhead %.2f%%)\n",
                small.qps_off, small.qps_on, small.overhead * 100.0);
 
+  // The serving-layer A/B and the SLO reaction probe share one TDGEN base:
+  // seeded training means every service arm serves the identical v1 model.
+  VirtualCost cost(&registry);
+  TdgenOptions tdgen_options;
+  tdgen_options.plans_per_shape = 4;
+  tdgen_options.max_operators = 10;
+  tdgen_options.max_structures_per_plan = 16;
+  tdgen_options.seed = 17;
+  Executor tdgen_executor(&registry, &cost);
+  Tdgen tdgen(&registry, &schema, &tdgen_executor, tdgen_options);
+  auto base = tdgen.Generate();
+  if (!base.ok()) {
+    std::fprintf(stderr, "tdgen failed: %s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  const OverheadResult service =
+      MeasureServiceOverhead(&registry, &schema, base.value());
+  std::fprintf(stderr,
+               "[bench] service diagnostics+sketch+slo: off %.1f qps, on "
+               "%.1f qps (overhead %.2f%%, gate %.0f%%)\n",
+               service.qps_off, service.qps_on, service.overhead * 100.0,
+               kMaxOverhead * 100.0);
+
+  const SloReaction reaction =
+      MeasureSloReaction(&registry, &schema, base.value());
+  std::fprintf(stderr,
+               "[bench] slo burn-rate: reaction %.2f s, recovery %.2f s "
+               "(%llu evaluations)\n",
+               reaction.reaction_s, reaction.recovery_s,
+               static_cast<unsigned long long>(reaction.evaluations));
+  FILE* slo_json = std::fopen("BENCH_slo.json", "w");
+  if (slo_json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_slo.json\n");
+    return 1;
+  }
+  std::fprintf(slo_json,
+               "{\n"
+               "  \"objective\": {\"threshold_us\": 1000000, \"target\": "
+               "0.99, \"fast_window_s\": 6.0, \"fast_burn\": 2.0, "
+               "\"slow_window_s\": 12.0, \"slow_burn\": 1.0},\n"
+               "  \"injected_latency_us\": 5000000,\n"
+               "  \"reaction_s\": %.3f,\n"
+               "  \"recovery_s\": %.3f,\n"
+               "  \"evaluations\": %llu\n"
+               "}\n",
+               reaction.reaction_s, reaction.recovery_s,
+               static_cast<unsigned long long>(reaction.evaluations));
+  std::fclose(slo_json);
+  std::fprintf(stderr, "[bench] wrote BENCH_slo.json\n");
+
   // A sample trace for the CI artifact: one real optimize + execute round
   // trip on one trace id, both clock timelines populated.
-  RegisterWorkloadKernels();
-  VirtualCost cost(&registry);
   LogicalPlan wc = MakeWordCountPlan(0.001);
   Tracer trace_ring(4096);
   OptimizeOptions traced;
@@ -218,14 +481,17 @@ int Main() {
                "\"overhead_fraction\": %.5f},\n"
                "  \"tiny_plan\": {\"qps_obs_off\": %.2f, \"qps_obs_on\": "
                "%.2f, \"overhead_fraction\": %.5f},\n"
+               "  \"service_diagnostics\": {\"qps_diag_off\": %.2f, "
+               "\"qps_diag_on\": %.2f, \"overhead_fraction\": %.5f},\n"
                "  \"gate_fraction\": %.3f,\n"
                "  \"instrumented_calls\": %.0f,\n"
                "  \"spans_recorded\": %llu,\n"
                "  \"bit_identical\": true\n"
                "}\n",
                kReps, gated.qps_off, gated.qps_on, gated.overhead,
-               small.qps_off, small.qps_on, small.overhead, kMaxOverhead,
-               snapshot.Value("robopt_optimize_calls_total"),
+               small.qps_off, small.qps_on, small.overhead,
+               service.qps_off, service.qps_on, service.overhead,
+               kMaxOverhead, snapshot.Value("robopt_optimize_calls_total"),
                static_cast<unsigned long long>(tracer.recorded()));
   std::fclose(json);
   std::fprintf(stderr, "[bench] wrote BENCH_obs.json\n");
@@ -235,6 +501,20 @@ int Main() {
                  "FAIL: observability costs %.2f%% optimize QPS "
                  "(gate: %.0f%%)\n",
                  gated.overhead * 100.0, kMaxOverhead * 100.0);
+    return 1;
+  }
+  if (service.overhead > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FAIL: diagnostics+sketch+slo cost %.2f%% served QPS "
+                 "(gate: %.0f%%)\n",
+                 service.overhead * 100.0, kMaxOverhead * 100.0);
+    return 1;
+  }
+  if (reaction.reaction_s < 0.0 || reaction.recovery_s < 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: SLO engine never %s (reaction %.2f, recovery %.2f)\n",
+                 reaction.reaction_s < 0.0 ? "tripped" : "recovered",
+                 reaction.reaction_s, reaction.recovery_s);
     return 1;
   }
   return 0;

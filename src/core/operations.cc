@@ -493,10 +493,11 @@ std::vector<size_t> GroupFootprintsPacked(size_t rows, const float* costs,
 
 }  // namespace
 
-PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
-                                    const PlanVectorEnumeration& v,
-                                    const CostOracle& oracle,
-                                    PruneStats* stats, int num_threads) {
+PlanVectorEnumeration PruneBoundary(
+    const EnumerationContext& ctx, const PlanVectorEnumeration& v,
+    const CostOracle& oracle, PruneStats* stats, int num_threads,
+    std::vector<std::pair<size_t, float>>* cheapest_out, size_t cheapest_k) {
+  if (cheapest_out != nullptr) cheapest_out->clear();
   PlanVectorEnumeration out(v.width(), v.num_ops());
   out.mutable_scope() = v.scope();
   out.set_boundary(v.boundary());
@@ -513,6 +514,27 @@ PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
   std::vector<float> costs(v.size());
   oracle.EstimateBatch(v.feature_pool().data(), v.size(), v.width(),
                        costs.data());
+
+  if (cheapest_out != nullptr && cheapest_k > 0) {
+    // Runner-up harvest off the batch just computed: the k cheapest input
+    // rows by (cost, row index) — the same tie order as the argmin scan.
+    // k is tiny (top_k + 1), so a bounded insertion scan beats building an
+    // index vector: one pass, no allocation on the prune hot path (the
+    // caller reuses cheapest_out's capacity across calls).
+    const size_t keep = std::min(cheapest_k, v.size());
+    cheapest_out->reserve(keep);
+    for (size_t row = 0; row < v.size(); ++row) {
+      const float cost = costs[row];
+      if (cheapest_out->size() == keep &&
+          cost >= cheapest_out->back().second) {
+        continue;  // Ties lose to the earlier row already held.
+      }
+      size_t pos = cheapest_out->size();
+      while (pos > 0 && (*cheapest_out)[pos - 1].second > cost) --pos;
+      cheapest_out->insert(cheapest_out->begin() + pos, {row, cost});
+      if (cheapest_out->size() > keep) cheapest_out->pop_back();
+    }
+  }
 
   // Group rows by pruning footprint: the *platform* of every boundary
   // operator (Definition 2); keep the cheapest row per footprint.
@@ -586,7 +608,8 @@ ExecutionPlan Unvectorize(const EnumerationContext& ctx,
 
 size_t ArgMinCost(const EnumerationContext& ctx,
                   const PlanVectorEnumeration& v, const CostOracle& oracle,
-                  float* cost_out, int num_threads) {
+                  float* cost_out, int num_threads,
+                  std::vector<float>* costs_out) {
   (void)ctx;
   ROBOPT_CHECK(v.size() > 0);
   std::vector<float> costs(v.size());
@@ -627,6 +650,7 @@ size_t ArgMinCost(const EnumerationContext& ctx,
     }
   }
   if (cost_out != nullptr) *cost_out = costs[best];
+  if (costs_out != nullptr) *costs_out = std::move(costs);
   return best;
 }
 

@@ -132,11 +132,18 @@ struct PruneStats {
 /// per-thread footprint maps that are reduced in ascending shard order,
 /// reproducing the serial first-seen group order and earliest-row
 /// tie-breaking exactly.
-PlanVectorEnumeration PruneBoundary(const EnumerationContext& ctx,
-                                    const PlanVectorEnumeration& v,
-                                    const CostOracle& oracle,
-                                    PruneStats* stats = nullptr,
-                                    int num_threads = 1);
+/// With `cheapest_out` non-null and `cheapest_k > 0`, additionally reports
+/// the `cheapest_k` cheapest *input* rows as (row, cost) pairs ascending by
+/// (cost, row index) — reusing the batch the prune computes anyway, so the
+/// diagnostics runner-up harvest costs zero extra oracle work. Left empty
+/// when `v` has at most one row (no batch is computed). The pruned output,
+/// every stat and the oracle row count are identical either way.
+PlanVectorEnumeration PruneBoundary(
+    const EnumerationContext& ctx, const PlanVectorEnumeration& v,
+    const CostOracle& oracle, PruneStats* stats = nullptr,
+    int num_threads = 1,
+    std::vector<std::pair<size_t, float>>* cheapest_out = nullptr,
+    size_t cheapest_k = 0);
 
 /// TDGEN's alternative prune: drops rows with more than `beta` platform
 /// switches (Section VI-A); keeps everything else.
@@ -154,10 +161,14 @@ ExecutionPlan Unvectorize(const EnumerationContext& ctx,
 /// evaluated); `cost_out` receives its predicted cost if non-null. The scan
 /// shards with `num_threads` (earliest-row tie-breaking, so the winner is
 /// thread-count-independent); the oracle batch itself parallelizes inside
-/// the model (see RandomForest::PredictBatch).
+/// the model (see RandomForest::PredictBatch). `costs_out`, when non-null,
+/// receives the whole per-row cost vector the scan already computed —
+/// diagnostics (top-k runner-up plans) read it for free, with zero extra
+/// oracle work.
 size_t ArgMinCost(const EnumerationContext& ctx,
                   const PlanVectorEnumeration& v, const CostOracle& oracle,
-                  float* cost_out = nullptr, int num_threads = 1);
+                  float* cost_out = nullptr, int num_threads = 1,
+                  std::vector<float>* costs_out = nullptr);
 
 /// Re-encodes a full-plan assignment (one byte per operator, alt index + 1)
 /// into a feature row under `ctx`'s cardinalities. TDGEN uses this to

@@ -1,5 +1,6 @@
 #include "core/optimizer.h"
 
+#include <algorithm>
 #include <limits>
 #include <memory>
 
@@ -40,6 +41,16 @@ void PublishOptimizeMetrics(MetricsRegistry* metrics,
   }
 }
 
+/// FNV-1a over an assignment row — a stable plan identity for diagnostics.
+uint64_t HashAssignment(const uint8_t* bytes, size_t n) {
+  uint64_t hash = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 }  // namespace
 
 StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
@@ -72,6 +83,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   // published concurrently (the shared_ptr keeps it alive, RCU-style).
   PinnedOracle pinned;
   const CostOracle* base_oracle = oracle_;
+  bool quantized_used = false;
   if (provider_ != nullptr) {
     pinned = provider_->Acquire();
     if (pinned.oracle == nullptr) {
@@ -83,6 +95,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     // exact path answers, so an unvalidated table can never serve.
     if (options.quantized_inference && pinned.quantized_oracle != nullptr) {
       base_oracle = pinned.quantized_oracle.get();
+      quantized_used = true;
     }
   }
 
@@ -104,6 +117,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   auto finalize = [&](OptimizeResult& result) {
     if (cache != nullptr) result.oracle_cache = cache->stats();
     result.model_version = pinned.version;
+    result.quantized_used = quantized_used;
     result.latency_ms = stopwatch.ElapsedMillis();
     if (prof != nullptr) {
       profile.plans_enumerated = result.stats.vectors_created;
@@ -137,6 +151,7 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   enum_options.obs.trace_id = trace_id;
   enum_options.obs.parent_span = root_span.id();
   enum_options.profile = prof;
+  enum_options.top_k_runners = options.top_k_runners;
 
   // Effective platform set: the caller's allowance minus the exclusions the
   // fault-recovery path injected (dead platforms' breakers).
@@ -150,6 +165,9 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     OptimizeResult best;
     best.predicted_runtime_s = std::numeric_limits<float>::infinity();
     bool found = false;
+    // In single-platform mode the natural runner-ups are the *other*
+    // platforms' per-platform bests, not same-platform variants.
+    std::vector<std::pair<PlatformId, PlanRunnerUp>> per_platform;
     for (const Platform& platform : registry_->platforms()) {
       if (!((allowed_mask >> platform.id) & 1ull)) continue;
       const uint64_t mask = 1ull << platform.id;
@@ -162,6 +180,14 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
       found = true;
       best.stats.vectors_created += run->stats.vectors_created;
       best.stats.oracle_rows += run->stats.oracle_rows;
+      if (options.top_k_runners > 0) {
+        PlanRunnerUp entry;
+        entry.predicted_runtime_s = run->predicted_runtime_s;
+        entry.assignment_hash = HashAssignment(
+            run->final_enumeration.assignment(run->best_row),
+            run->final_enumeration.num_ops());
+        per_platform.emplace_back(platform.id, entry);
+      }
       if (run->predicted_runtime_s < best.predicted_runtime_s) {
         best.plan = std::move(run->plan);
         best.predicted_runtime_s = run->predicted_runtime_s;
@@ -171,6 +197,18 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
     if (!found) {
       return Status::InvalidArgument(
           "no single platform can execute the whole plan");
+    }
+    if (options.top_k_runners > 0) {
+      std::stable_sort(per_platform.begin(), per_platform.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second.predicted_runtime_s <
+                                b.second.predicted_runtime_s;
+                       });
+      for (const auto& [platform_id, entry] : per_platform) {
+        if (platform_id == best.chosen_platform) continue;
+        if (best.runners_up.size() >= options.top_k_runners) break;
+        best.runners_up.push_back(entry);
+      }
     }
     finalize(best);
     return best;
@@ -187,6 +225,14 @@ StatusOr<OptimizeResult> RoboptOptimizer::Optimize(
   result.plan = std::move(run->plan);
   result.predicted_runtime_s = run->predicted_runtime_s;
   result.stats = run->stats;
+  result.runners_up.reserve(run->runner_ups.size());
+  for (const auto& [assignment, cost] : run->runner_ups) {
+    PlanRunnerUp entry;
+    entry.predicted_runtime_s = cost;
+    entry.assignment_hash =
+        HashAssignment(assignment.data(), assignment.size());
+    result.runners_up.push_back(entry);
+  }
   finalize(result);
   return result;
 }

@@ -52,6 +52,20 @@ struct OptimizeOptions {
   /// with observability on or off. Deliberately not part of the plan-cache
   /// key (PlanCache::HashOptions) for the same reason num_threads is not.
   ObsOptions obs;
+  /// Diagnostics: report up to k runner-up plans (OptimizeResult::
+  /// runners_up) next to the winner. Reuses the final getOptimal cost
+  /// batch — zero extra oracle work — and the chosen plan and every stat
+  /// are bit-identical for any value, so like obs/num_threads it is
+  /// excluded from the plan-cache key. 0 (default) skips the selection.
+  size_t top_k_runners = 0;
+};
+
+/// One runner-up plan the diagnostics path reports alongside the winner:
+/// its predicted cost and a stable FNV-1a hash of its assignment bytes
+/// (enough to tell "same plan as yesterday" without shipping the plan).
+struct PlanRunnerUp {
+  float predicted_runtime_s = 0.0f;
+  uint64_t assignment_hash = 0;
 };
 
 /// Result of one optimization call.
@@ -76,6 +90,14 @@ struct OptimizeResult {
   /// rows scored). Filled when options.obs.profile is set; all-zero with
   /// profile.enabled == false otherwise.
   OptimizeProfile profile;
+  /// True when the call's costs were estimated through a validated
+  /// quantized oracle (options.quantized_inference honored); false when
+  /// the exact path served it (including the silent fallback).
+  bool quantized_used = false;
+  /// With options.top_k_runners > 0: the next-cheapest plans after the
+  /// winner, ascending by predicted cost. In single-platform mode these
+  /// are the other platforms' per-platform bests. Empty otherwise.
+  std::vector<PlanRunnerUp> runners_up;
 
   OptimizeResult() : plan(nullptr, nullptr) {}
 };

@@ -133,8 +133,19 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
   const size_t oracle_rows_before = oracle_->rows_estimated();
   const size_t oracle_batches_before = oracle_->batches();
 
-  auto prune = [&](PlanVectorEnumeration&& merged,
-                   uint64_t span_parent) -> PlanVectorEnumeration {
+  // Runner-up harvest off the *final* prune's cost batch. The final
+  // concat's prune scores every full-plan candidate and then — with
+  // boundary pruning — typically keeps one row per footprint (often just
+  // the winner's), so the discarded rows are the real runner-ups. Earlier
+  // prunes see partial plans whose harvest would be overwritten anyway, so
+  // only the call that merges the last two enumerations (harvest_runners)
+  // pays for the scan. Zero extra oracle work, no stat changes.
+  std::vector<std::pair<std::vector<uint8_t>, float>> prune_harvest;
+  std::vector<std::pair<size_t, float>> prune_cheapest;
+
+  auto prune = [&](PlanVectorEnumeration&& merged, uint64_t span_parent,
+                   bool harvest_runners) -> PlanVectorEnumeration {
+    const bool harvest = harvest_runners && options_.top_k_runners > 0;
     PruneStats prune_stats;
     PlanVectorEnumeration pruned(0, 0);
     if (timed) phase_clock.Restart();
@@ -144,7 +155,21 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
         return std::move(merged);
       case PruneMode::kBoundary:
         pruned = PruneBoundary(*ctx_, merged, *oracle_, &prune_stats,
-                               num_threads_);
+                               num_threads_,
+                               harvest ? &prune_cheapest : nullptr,
+                               options_.top_k_runners + 1);
+        if (harvest) {
+          // Overwrite in place: the inner byte vectors keep their capacity
+          // across prune calls, so the steady state allocates nothing.
+          prune_harvest.resize(prune_cheapest.size());
+          for (size_t i = 0; i < prune_cheapest.size(); ++i) {
+            const auto& [row, cost] = prune_cheapest[i];
+            prune_harvest[i].first.assign(
+                merged.assignment(row),
+                merged.assignment(row) + merged.num_ops());
+            prune_harvest[i].second = cost;
+          }
+        }
         break;
       case PruneMode::kSwitchCap:
         pruned = PruneSwitchCap(*ctx_, merged, options_.beta, &prune_stats);
@@ -257,7 +282,10 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
         return Status::ResourceExhausted(
             "enumeration exceeded max_vectors; use pruning");
       }
-      enums_[best] = prune(std::move(merged), enumerate_span.id());
+      // alive_count == 2 here means this merge leaves one enumeration —
+      // the final, full-scope one whose prune batch feeds the harvest.
+      enums_[best] = prune(std::move(merged), enumerate_span.id(),
+                           /*harvest_runners=*/alive_count == 2);
       alive_[child] = 0;
       --alive_count;
       for (int op = 0; op < n; ++op) {
@@ -283,8 +311,51 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
   if (timed) phase_clock.Restart();
   SpanScope predict_span(tracer, trace, parent, "predict-batch");
   float best_cost = 0.0f;
-  const size_t best_row =
-      ArgMinCost(*ctx_, final_enum, *oracle_, &best_cost, num_threads_);
+  // The runner-up selection reuses the cost batch ArgMinCost computes
+  // anyway; requesting it changes neither the winner nor any stat.
+  std::vector<float> final_costs;
+  std::vector<float>* const costs_out =
+      options_.top_k_runners > 0 ? &final_costs : nullptr;
+  const size_t best_row = ArgMinCost(*ctx_, final_enum, *oracle_, &best_cost,
+                                     num_threads_, costs_out);
+  if (options_.top_k_runners > 0) {
+    // Candidate pool: the final enumeration's kept rows (costs from the
+    // getOptimal batch) plus the final prune's harvest (rows the prune
+    // discarded). Kept rows appear in both with identical costs — the
+    // oracle is deterministic over identical feature rows — so dedup by
+    // assignment, drop the winner, and keep the k cheapest by
+    // (cost, assignment bytes): a fully deterministic order.
+    const size_t num_ops = static_cast<size_t>(final_enum.num_ops());
+    const std::vector<uint8_t> winner(
+        final_enum.assignment(best_row),
+        final_enum.assignment(best_row) + num_ops);
+    std::vector<std::pair<std::vector<uint8_t>, float>> candidates;
+    candidates.reserve(final_enum.size() + prune_harvest.size());
+    for (size_t i = 0; i < final_enum.size(); ++i) {
+      if (i == best_row) continue;
+      candidates.emplace_back(
+          std::vector<uint8_t>(final_enum.assignment(i),
+                               final_enum.assignment(i) + num_ops),
+          final_costs[i]);
+    }
+    for (auto& harvested : prune_harvest) {
+      candidates.push_back(std::move(harvested));
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+    for (auto& candidate : candidates) {
+      if (result.runner_ups.size() >= options_.top_k_runners) break;
+      if (candidate.first == winner) continue;
+      if (!result.runner_ups.empty() &&
+          result.runner_ups.back().first == candidate.first) {
+        continue;
+      }
+      result.runner_ups.push_back(std::move(candidate));
+    }
+  }
   if (timed) {
     predict_span.SetArgA("rows", static_cast<int64_t>(final_enum.size()));
     if (prof != nullptr) prof->phase.predict_us += phase_clock.ElapsedMicros();
@@ -298,6 +369,7 @@ StatusOr<EnumerationResult> PriorityEnumerator::Run() {
   }
   unvectorize_span.End();
   result.predicted_runtime_s = best_cost;
+  result.best_row = best_row;
   result.stats.final_vectors = final_enum.size();
   result.stats.oracle_rows = oracle_->rows_estimated() - oracle_rows_before;
   result.stats.oracle_batches = oracle_->batches() - oracle_batches_before;

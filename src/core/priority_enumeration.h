@@ -50,6 +50,12 @@ struct EnumeratorOptions {
   /// When non-null, per-phase wall micros and pruning splits accumulate
   /// here (the optimizer points this at OptimizeResult::profile).
   OptimizeProfile* profile = nullptr;
+  /// Diagnostics: also report the k next-cheapest rows of the final
+  /// enumeration (EnumerationResult::runner_up_rows), reusing the cost
+  /// batch the final getOptimal computed anyway — zero extra oracle work.
+  /// 0 (default) skips the selection. The chosen plan and every stat are
+  /// bit-identical for any value.
+  size_t top_k_runners = 0;
 };
 
 struct EnumerationStats {
@@ -74,6 +80,17 @@ struct EnumerationResult {
   /// The final (pruned) enumeration over the full scope; TDGEN consumes all
   /// of its rows as candidate training plans.
   PlanVectorEnumeration final_enumeration{0, 0};
+  /// Row of final_enumeration the winner came from (getOptimal's argmin).
+  size_t best_row = 0;
+  /// With EnumeratorOptions::top_k_runners > 0: the next-cheapest full
+  /// plans after the winner, ascending by predicted cost, as (assignment
+  /// bytes, cost) pairs (assignment layout as in PlanVectorEnumeration).
+  /// Sourced from the final getOptimal cost batch *and* — under
+  /// PruneMode::kBoundary — from the final prune's batch, whose discarded
+  /// rows are the real runner-ups when the prune collapses the final set
+  /// to a single footprint. Empty otherwise; serving is bit-identical for
+  /// any value of top_k_runners.
+  std::vector<std::pair<std::vector<uint8_t>, float>> runner_ups;
 
   EnumerationResult() : plan(nullptr, nullptr) {}
 };

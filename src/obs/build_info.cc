@@ -1,0 +1,52 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace robopt {
+
+namespace {
+
+/// Captured at static-init time, so uptime measures the process, not the
+/// first export.
+const std::chrono::steady_clock::time_point kProcessEpoch =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+const char* BuildVersion() {
+#ifdef ROBOPT_VERSION
+  return ROBOPT_VERSION;
+#else
+  return "unknown";
+#endif
+}
+
+bool ObsCompiledOut() {
+#ifdef ROBOPT_NO_OBS
+  return true;
+#else
+  return false;
+#endif
+}
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       kProcessEpoch)
+      .count();
+}
+
+void ExportBuildInfo(MetricsRegistry* registry, std::string_view simd_lane) {
+  if (registry == nullptr) return;
+  const std::string name =
+      "robopt_build_info{version=\"" + PromEscapeLabelValue(BuildVersion()) +
+      "\",lane=\"" + PromEscapeLabelValue(simd_lane) + "\",no_obs=\"" +
+      (ObsCompiledOut() ? "1" : "0") + "\"}";
+  registry->Set(name, 1.0);
+  registry->Set("robopt_uptime_seconds", ProcessUptimeSeconds());
+}
+
+}  // namespace robopt

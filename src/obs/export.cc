@@ -19,7 +19,50 @@ std::string FormatValue(double v) {
   return buf;
 }
 
-/// Splits "name{label=\"x\"}" into (base, "{label=\"x\"}" or "").
+/// Defensive pass over a "{k=\"v\",...}" label block: inside quoted label
+/// values, a raw newline becomes \n and a backslash that does not start a
+/// valid exposition escape (\\, \", \n) is doubled. Values already built
+/// through PromEscapeLabelValue pass through unchanged — their escapes are
+/// valid — so the normalization is idempotent.
+std::string NormalizeLabels(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  bool in_value = false;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const char c = labels[i];
+    if (!in_value) {
+      out += c;
+      if (c == '"') in_value = true;
+      continue;
+    }
+    switch (c) {
+      case '\\': {
+        const char next = i + 1 < labels.size() ? labels[i + 1] : '\0';
+        if (next == '\\' || next == '"' || next == 'n') {
+          out += c;
+          out += next;
+          ++i;
+        } else {
+          out += "\\\\";
+        }
+        break;
+      }
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        out += c;
+        in_value = false;
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Splits "name{label=\"x\"}" into (base, "{label=\"x\"}" or ""),
+/// normalizing the label block.
 void SplitLabels(const std::string& series, std::string* base,
                  std::string* labels) {
   const size_t brace = series.find('{');
@@ -28,7 +71,7 @@ void SplitLabels(const std::string& series, std::string* base,
     labels->clear();
   } else {
     *base = series.substr(0, brace);
-    *labels = series.substr(brace);
+    *labels = NormalizeLabels(series.substr(brace));
   }
 }
 
@@ -53,8 +96,22 @@ std::string JsonEscape(std::string_view s) {
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
       default:
-        out += c;
+        // Remaining control characters are invalid raw JSON; \u-encode.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -93,6 +150,27 @@ void AppendTraceEvent(std::string* out, const SpanRecord& span, int pid,
 }
 
 }  // namespace
+
+std::string PromEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;

@@ -9,11 +9,21 @@
 
 namespace robopt {
 
+/// Escapes one label *value* per the Prometheus exposition format 0.0.4:
+/// backslash -> \\, double-quote -> \", newline -> \n. Metric builders that
+/// embed free-form strings (version labels, objective names, paths) must
+/// pass them through here before composing a `name{label="value"}` series
+/// key.
+std::string PromEscapeLabelValue(std::string_view value);
+
 /// Prometheus text exposition (version 0.0.4) of a metrics snapshot:
 /// counters/gauges as single samples, histograms as cumulative `_bucket`
 /// series with `le` labels plus `_sum` and `_count`. Series whose name
 /// carries a `{label="..."}` suffix keep it (the TYPE line uses the base
-/// name).
+/// name). Label blocks are defensively normalized on the way out: a raw
+/// newline or an un-escaped backslash inside a label value (a builder that
+/// skipped PromEscapeLabelValue) is escaped rather than emitted verbatim,
+/// so one bad series can never corrupt the whole exposition.
 std::string ExportPrometheus(const MetricsSnapshot& snapshot);
 
 /// The same snapshot as a JSON object: name -> value for counters/gauges,

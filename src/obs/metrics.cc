@@ -41,12 +41,15 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   }
 }
 
-std::vector<double> Histogram::LatencyBucketsUs() {
-  std::vector<double> bounds;
-  for (double edge = 1.0; edge <= 16.0 * 1e6; edge *= 4.0) {
-    bounds.push_back(edge);  // 1us, 4us, ..., ~16.8s (13 edges).
-  }
-  return bounds;
+const std::vector<double>& Histogram::LatencyBucketsUs() {
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> bounds;
+    for (double edge = 1.0; edge <= 16.0 * 1e6; edge *= 4.0) {
+      bounds.push_back(edge);  // 1us, 4us, ..., ~16.8s (13 edges).
+    }
+    return bounds;
+  }();
+  return kBounds;
 }
 
 void Histogram::Observe(double value) {
@@ -99,9 +102,25 @@ bool MetricsSnapshot::Has(const std::string& name) const {
   return false;
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+namespace {
+
+/// Transparent find-or-insert: the find is heterogeneous (no string
+/// construction), so the steady-state hit path of every instrumented call
+/// allocates nothing; only a first-time miss materialises the key.
+template <typename Map>
+typename Map::mapped_type& EntryOf(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  Entry& entry = metrics_[name];
+  Entry& entry = EntryOf(metrics_, name);
   if (entry.counter == nullptr) {
     if (entry.gauge != nullptr || entry.histogram != nullptr) return nullptr;
     entry.type = MetricPoint::Type::kCounter;
@@ -110,9 +129,9 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return entry.counter.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  Entry& entry = metrics_[name];
+  Entry& entry = EntryOf(metrics_, name);
   if (entry.gauge == nullptr) {
     if (entry.counter != nullptr || entry.histogram != nullptr) return nullptr;
     entry.type = MetricPoint::Type::kGauge;
@@ -121,19 +140,19 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   return entry.gauge.get();
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name,
-                                         std::vector<double> bounds) {
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& bounds) {
   std::lock_guard<std::mutex> lock(mu_);
-  Entry& entry = metrics_[name];
+  Entry& entry = EntryOf(metrics_, name);
   if (entry.histogram == nullptr) {
     if (entry.counter != nullptr || entry.gauge != nullptr) return nullptr;
     entry.type = MetricPoint::Type::kHistogram;
-    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    entry.histogram = std::make_unique<Histogram>(bounds);
   }
   return entry.histogram.get();
 }
 
-void MetricsRegistry::Set(const std::string& name, double value) {
+void MetricsRegistry::Set(std::string_view name, double value) {
   Gauge* gauge = GetGauge(name);
   if (gauge != nullptr) gauge->Set(value);
 }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace robopt {
@@ -74,7 +75,9 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   /// Default optimize-latency bucket edges: 1us .. ~16s, powers of 4.
-  static std::vector<double> LatencyBucketsUs();
+  /// Returns a shared immutable vector — per-call GetHistogram sites pass
+  /// it without constructing anything.
+  static const std::vector<double>& LatencyBucketsUs();
 
   void Observe(double value);
 
@@ -139,15 +142,18 @@ class MetricsRegistry {
 
   /// Returns the named metric, creating it on first use. A type clash with
   /// an existing name returns nullptr (callers treat it as disabled —
-  /// observability must never crash the query path).
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  /// `bounds` is used on first creation only (strictly increasing upper
+  /// observability must never crash the query path). Lookup is
+  /// heterogeneous (string_view against the string-keyed map), so a hit —
+  /// the steady state of every instrumented call — allocates nothing.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` is copied on first creation only (strictly increasing upper
   /// edges); later calls return the existing histogram.
-  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+  Histogram* GetHistogram(std::string_view name,
+                          const std::vector<double>& bounds);
 
   /// Export-time convenience: set `name` (gauge semantics) to `value`.
-  void Set(const std::string& name, double value);
+  void Set(std::string_view name, double value);
 
   MetricsSnapshot Snapshot() const;
 
@@ -163,7 +169,7 @@ class MetricsRegistry {
   };
 
   mutable std::mutex mu_;  ///< Guards metrics_ (map structure only).
-  std::map<std::string, Entry> metrics_;
+  std::map<std::string, Entry, std::less<>> metrics_;
 };
 
 }  // namespace robopt

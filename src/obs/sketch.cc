@@ -1,0 +1,315 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace robopt {
+
+QuantileSketch::QuantileSketch(double alpha) {
+  // Clamp into the meaningful range; alpha outside (0, 1) has no log-bucket
+  // interpretation.
+  alpha_ = std::min(0.5, std::max(1e-4, alpha));
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+int32_t QuantileSketch::IndexOf(double value) const {
+  // Bucket i covers (gamma^(i-1), gamma^i].
+  return static_cast<int32_t>(std::ceil(std::log(value) * inv_log_gamma_));
+}
+
+double QuantileSketch::EstimateOf(int32_t index) const {
+  // Midpoint estimate 2*gamma^i / (gamma + 1): within alpha relative error
+  // of every value in bucket i.
+  return 2.0 * std::pow(gamma_, static_cast<double>(index)) / (gamma_ + 1.0);
+}
+
+uint64_t& QuantileSketch::BucketAt(int32_t index) {
+  if (buckets_.empty()) {
+    min_index_ = index;
+    buckets_.push_back(0);
+    return buckets_[0];
+  }
+  if (index < min_index_) {
+    buckets_.insert(buckets_.begin(),
+                    static_cast<size_t>(min_index_ - index), 0);
+    min_index_ = index;
+  } else if (index >= min_index_ + static_cast<int32_t>(buckets_.size())) {
+    buckets_.resize(static_cast<size_t>(index - min_index_) + 1, 0);
+  }
+  // DDSketch collapse: fold the lowest buckets into the lowest retained one
+  // so memory stays bounded. High quantiles keep their guarantee.
+  if (buckets_.size() > kMaxBuckets) {
+    const size_t excess = buckets_.size() - kMaxBuckets;
+    uint64_t folded = 0;
+    for (size_t i = 0; i <= excess; ++i) folded += buckets_[i];
+    buckets_.erase(buckets_.begin(), buckets_.begin() + excess);
+    buckets_[0] = folded;
+    min_index_ += static_cast<int32_t>(excess);
+  }
+  return buckets_[static_cast<size_t>(index - min_index_)];
+}
+
+void QuantileSketch::Add(double value, uint64_t weight) {
+  if (weight == 0 || std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  count_ += weight;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (value <= kMinTrackable) {
+    zero_count_ += weight;
+    return;
+  }
+  BucketAt(IndexOf(value)) += weight;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (std::fabs(other.alpha_ - alpha_) > 1e-12) return;  // Incompatible.
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    if (other.buckets_[i] == 0) continue;
+    BucketAt(other.min_index_ + static_cast<int32_t>(i)) += other.buckets_[i];
+  }
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // The bucket holding the element of rank floor(q * (n - 1)) — the same
+  // element a sorted-reference oracle indexes.
+  const uint64_t rank = static_cast<uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  // The extreme ranks are the tracked min/max themselves; answering them
+  // exactly (not with a bucket midpoint) keeps q=0 and q=1 oracle-equal.
+  if (rank == 0) return min_;
+  if (rank == count_ - 1) return max_;
+  uint64_t cumulative = zero_count_;
+  double estimate = 0.0;
+  if (cumulative <= rank) {
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      cumulative += buckets_[i];
+      if (cumulative > rank) {
+        estimate = EstimateOf(min_index_ + static_cast<int32_t>(i));
+        break;
+      }
+    }
+  }
+  // Exact extremes tighten the tails (and q=0 / q=1 become exact).
+  return std::min(max_, std::max(min_, estimate));
+}
+
+uint64_t QuantileSketch::CountAbove(double threshold) const {
+  if (count_ == 0) return 0;
+  if (threshold < 0.0) return count_;
+  if (threshold >= max_) return 0;
+  uint64_t above = 0;
+  const int32_t threshold_index =
+      threshold <= kMinTrackable ? min_index_ - 1 : IndexOf(threshold);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (min_index_ + static_cast<int32_t>(i) > threshold_index) {
+      above += buckets_[i];
+    }
+  }
+  return above;
+}
+
+void QuantileSketch::Clear() {
+  buckets_.clear();
+  min_index_ = 0;
+  zero_count_ = 0;
+  count_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+ShardedSketch::ShardedSketch(double alpha)
+    : alpha_(alpha), shards_(kMetricShards) {
+  for (Shard& shard : shards_) shard.sketch = QuantileSketch(alpha);
+}
+
+void ShardedSketch::Add(double value) {
+  Shard& shard = shards_[MetricShardIndex()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sketch.Add(value);
+}
+
+QuantileSketch ShardedSketch::Snapshot() const {
+  QuantileSketch merged(alpha_);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.Merge(shard.sketch);
+  }
+  return merged;
+}
+
+void ShardedSketch::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.sketch.Clear();
+  }
+}
+
+uint64_t ShardedSketch::count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.sketch.count();
+  }
+  return total;
+}
+
+WindowedSketch::WindowedSketch(const Options& options)
+    : options_(options),
+      live_(options.alpha),
+      ring_(std::max<size_t>(1, options.windows)) {}
+
+int64_t WindowedSketch::WindowIndexOf(double now_s) const {
+  return static_cast<int64_t>(
+      std::floor(now_s / std::max(1e-9, options_.window_s)));
+}
+
+void WindowedSketch::MaybeRotate(double now_s) const {
+  const int64_t target = WindowIndexOf(now_s);
+  const int64_t live = live_index_.load(std::memory_order_acquire);
+  if (live == target) return;
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  const int64_t current = live_index_.load(std::memory_order_relaxed);
+  if (current == target) return;  // Raced; someone else rotated.
+  if (current >= 0 && target > current) {
+    // Seal the live window into the ring. Quiet gaps need no filler
+    // entries — rollups carry their own window index and trailing-window
+    // queries filter by it.
+    Rollup& slot = ring_[ring_next_];
+    slot.window_index = current;
+    slot.sketch = live_.Snapshot();
+    slot.bad_events = live_bad_;
+    slot.exemplars = live_exemplars_;
+    ring_next_ = (ring_next_ + 1) % ring_.size();
+    live_.Clear();
+    live_bad_ = 0;
+    live_exemplars_.clear();
+  }
+  live_index_.store(target, std::memory_order_release);
+}
+
+void WindowedSketch::OfferExemplarLocked(
+    const SketchExemplar& exemplar) const {
+  if (options_.exemplars_per_window == 0) return;
+  if (live_exemplars_.size() < options_.exemplars_per_window) {
+    live_exemplars_.push_back(exemplar);
+  } else {
+    // Replace the lowest-valued kept exemplar if this one beats it.
+    size_t lowest = 0;
+    for (size_t i = 1; i < live_exemplars_.size(); ++i) {
+      if (live_exemplars_[i].value < live_exemplars_[lowest].value) {
+        lowest = i;
+      }
+    }
+    if (exemplar.value <= live_exemplars_[lowest].value) return;
+    live_exemplars_[lowest] = exemplar;
+  }
+}
+
+void WindowedSketch::Record(double now_s, double value,
+                            const SketchExemplar* exemplar) {
+  MaybeRotate(now_s);
+  live_.Add(value);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  if (exemplar != nullptr) {
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    SketchExemplar copy = *exemplar;
+    copy.value = value;
+    OfferExemplarLocked(copy);
+  }
+}
+
+void WindowedSketch::RecordBad(double now_s) {
+  MaybeRotate(now_s);
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  ++live_bad_;
+}
+
+QuantileSketch WindowedSketch::Merged(double trailing_s, double now_s) const {
+  MaybeRotate(now_s);
+  QuantileSketch merged(options_.alpha);
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  const double cutoff_s = trailing_s <= 0.0
+                              ? -std::numeric_limits<double>::infinity()
+                              : now_s - trailing_s;
+  for (const Rollup& rollup : ring_) {
+    if (rollup.window_index < 0) continue;
+    const double window_end_s =
+        static_cast<double>(rollup.window_index + 1) * options_.window_s;
+    if (window_end_s <= cutoff_s) continue;
+    merged.Merge(rollup.sketch);
+  }
+  merged.Merge(live_.Snapshot());
+  return merged;
+}
+
+double WindowedSketch::Quantile(double q, double trailing_s,
+                                double now_s) const {
+  return Merged(trailing_s, now_s).Quantile(q);
+}
+
+double WindowedSketch::BadFraction(double threshold, double trailing_s,
+                                   double now_s,
+                                   bool count_bad_events) const {
+  MaybeRotate(now_s);
+  QuantileSketch merged(options_.alpha);
+  uint64_t bad_events = 0;
+  {
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    const double cutoff_s = trailing_s <= 0.0
+                                ? -std::numeric_limits<double>::infinity()
+                                : now_s - trailing_s;
+    for (const Rollup& rollup : ring_) {
+      if (rollup.window_index < 0) continue;
+      const double window_end_s =
+          static_cast<double>(rollup.window_index + 1) * options_.window_s;
+      if (window_end_s <= cutoff_s) continue;
+      merged.Merge(rollup.sketch);
+      bad_events += rollup.bad_events;
+    }
+    merged.Merge(live_.Snapshot());
+    bad_events += live_bad_;
+  }
+  if (!count_bad_events) bad_events = 0;
+  const uint64_t total = merged.count() + bad_events;
+  if (total == 0) return 0.0;
+  return static_cast<double>(merged.CountAbove(threshold) + bad_events) /
+         static_cast<double>(total);
+}
+
+std::vector<SketchExemplar> WindowedSketch::Exemplars(double trailing_s,
+                                                      double now_s) const {
+  MaybeRotate(now_s);
+  std::vector<SketchExemplar> out;
+  {
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    const double cutoff_s = trailing_s <= 0.0
+                                ? -std::numeric_limits<double>::infinity()
+                                : now_s - trailing_s;
+    for (const Rollup& rollup : ring_) {
+      if (rollup.window_index < 0) continue;
+      const double window_end_s =
+          static_cast<double>(rollup.window_index + 1) * options_.window_s;
+      if (window_end_s <= cutoff_s) continue;
+      out.insert(out.end(), rollup.exemplars.begin(), rollup.exemplars.end());
+    }
+    out.insert(out.end(), live_exemplars_.begin(), live_exemplars_.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SketchExemplar& a, const SketchExemplar& b) {
+              return a.value > b.value;
+            });
+  return out;
+}
+
+}  // namespace robopt

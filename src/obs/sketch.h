@@ -1,0 +1,211 @@
+#ifndef ROBOPT_OBS_SKETCH_H_
+#define ROBOPT_OBS_SKETCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace robopt {
+
+/// Mergeable DDSketch-style quantile sketch over positive values with a
+/// guaranteed *relative* error: for any quantile q, the returned estimate x̂
+/// satisfies |x̂ - x_q| <= alpha * x_q, where x_q is the true q-quantile of
+/// the inserted values (values below kMinTrackable collapse into an exact
+/// zero bucket; the bound holds for everything else while the bucket count
+/// stays under the collapse cap). Buckets are logarithmic — index(v) =
+/// ceil(log_gamma v) with gamma = (1+alpha)/(1-alpha) — so there are no
+/// fixed edges to pre-pick and two sketches with the same alpha merge by
+/// bucket-wise addition, losslessly.
+///
+/// Not internally synchronized; ShardedSketch / WindowedSketch below layer
+/// concurrency on top.
+class QuantileSketch {
+ public:
+  /// Values at or below this are exact (stored in the zero bucket).
+  static constexpr double kMinTrackable = 1e-9;
+  /// Collapse cap: when the bucket span would exceed this, the lowest
+  /// buckets fold into the lowest retained one (standard DDSketch collapse;
+  /// the error bound then degrades only for the lowest quantiles). 4096
+  /// buckets at alpha = 0.01 cover ~36 orders of magnitude — in practice
+  /// the cap never triggers for latency data.
+  static constexpr size_t kMaxBuckets = 4096;
+
+  explicit QuantileSketch(double alpha = 0.01);
+
+  void Add(double value, uint64_t weight = 1);
+
+  /// Bucket-wise merge. Both sketches must have been built with the same
+  /// alpha (checked; a mismatch is ignored rather than corrupting the
+  /// receiver — observability must never crash the host).
+  void Merge(const QuantileSketch& other);
+
+  /// Estimate of the q-quantile (q in [0, 1]), within alpha relative error.
+  /// Returns 0 when the sketch is empty. Estimates are clamped to the exact
+  /// observed [min, max], so q = 0 / q = 1 are exact.
+  double Quantile(double q) const;
+
+  /// Approximate count of inserted values strictly above `threshold`
+  /// (bucket-granular: values within alpha of the threshold may land on
+  /// either side — exactly the guarantee an SLO bound on the threshold
+  /// itself needs).
+  uint64_t CountAbove(double threshold) const;
+
+  uint64_t count() const { return count_; }
+  double alpha() const { return alpha_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void Clear();
+
+ private:
+  int32_t IndexOf(double value) const;
+  double EstimateOf(int32_t index) const;
+  /// Grows (or collapses) the contiguous store so `index` is addressable.
+  uint64_t& BucketAt(int32_t index);
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  /// Contiguous bucket counts; buckets_[i] holds log-bucket min_index_ + i.
+  std::vector<uint64_t> buckets_;
+  int32_t min_index_ = 0;
+  uint64_t zero_count_ = 0;  ///< Values <= kMinTrackable (exact).
+  uint64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One exemplar: a concrete request sampled into a sketch window, linking
+/// the latency distribution back to a trace (span id) and a plan
+/// (fingerprint). Windows keep the highest-valued exemplars — the requests
+/// an operator debugging a tail regression wants first.
+struct SketchExemplar {
+  double value = 0.0;  ///< The recorded value (latency in micros).
+  uint64_t fp_lo = 0;  ///< Canonical plan fingerprint.
+  uint64_t fp_hi = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+/// Thread-safe sharded front of a QuantileSketch: Add() takes one
+/// uncontended per-thread-shard mutex (threads map to shards via
+/// MetricShardIndex(), same cache-line discipline as Counter), so
+/// concurrent writers never serialize against each other or against
+/// readers merging a snapshot.
+class ShardedSketch {
+ public:
+  explicit ShardedSketch(double alpha = 0.01);
+
+  void Add(double value);
+
+  /// Point-in-time merge of every shard.
+  QuantileSketch Snapshot() const;
+
+  void Clear();
+  uint64_t count() const;
+  double alpha() const { return alpha_; }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    QuantileSketch sketch;
+    Shard() : sketch(0.01) {}
+  };
+
+  friend class WindowedSketch;
+
+  double alpha_;
+  std::vector<Shard> shards_;
+};
+
+/// Sliding-window quantiles: a ring of closed per-window rollups plus one
+/// live ShardedSketch. Record() lands in the live window (lock-free across
+/// threads up to the per-shard mutexes); when time crosses a window edge
+/// the live sketch is sealed into the ring and a trailing-window query
+/// merges the rollups covering the last T seconds with the live sketch.
+/// Each rollup also carries the window's highest-value exemplars and a
+/// count of *bad events* (requests that never produced a latency — sheds —
+/// which an availability-style objective may choose to count).
+///
+/// Time is always passed in explicitly (seconds on any monotone clock), so
+/// tests and replays drive rotation deterministically.
+class WindowedSketch {
+ public:
+  struct Options {
+    double alpha = 0.01;
+    double window_s = 60.0;  ///< Width of one rollup window.
+    size_t windows = 64;     ///< Retained closed windows (ring capacity).
+    size_t exemplars_per_window = 4;
+  };
+
+  explicit WindowedSketch(const Options& options);
+
+  /// Records one value at `now_s`; `exemplar` (optional) competes for the
+  /// window's highest-value exemplar slots.
+  void Record(double now_s, double value,
+              const SketchExemplar* exemplar = nullptr);
+
+  /// Records one bad event (no latency to record — e.g. a shed request).
+  void RecordBad(double now_s);
+
+  /// Merged sketch of the windows covering (now_s - trailing_s, now_s].
+  /// trailing_s <= 0 merges the full retention.
+  QuantileSketch Merged(double trailing_s, double now_s) const;
+
+  /// Quantile over the trailing window (0 when empty).
+  double Quantile(double q, double trailing_s, double now_s) const;
+
+  /// (count above threshold + bad events) / (total + bad events) over the
+  /// trailing window; 0 when no events at all. The burn-rate numerator of
+  /// a latency SLO.
+  double BadFraction(double threshold, double trailing_s, double now_s,
+                     bool count_bad_events = true) const;
+
+  /// Exemplars retained in the trailing window, highest value first.
+  std::vector<SketchExemplar> Exemplars(double trailing_s, double now_s) const;
+
+  /// Total values recorded over the sketch's lifetime (rotation-immune).
+  uint64_t total_count() const {
+    return total_count_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Rollup {
+    int64_t window_index = -1;  ///< floor(now_s / window_s); -1 = unused.
+    QuantileSketch sketch;
+    uint64_t bad_events = 0;
+    std::vector<SketchExemplar> exemplars;  ///< Sorted, highest value first.
+    Rollup() : sketch(0.01) {}
+  };
+
+  /// Seals the live window into the ring if `now_s` has crossed into a
+  /// newer window (queries call this too, so a long quiet period cannot
+  /// leave stale events looking current). Caller must NOT hold rotate_mu_.
+  void MaybeRotate(double now_s) const;
+  int64_t WindowIndexOf(double now_s) const;
+  /// Offers an exemplar to the live window's slots (rotate_mu_ held).
+  void OfferExemplarLocked(const SketchExemplar& exemplar) const;
+
+  const Options options_;
+  /// Guards rotation, the ring, the live window's bad/exemplar state and
+  /// the live window index. The per-value hot path only touches it on a
+  /// window edge (or for exemplar offers); plain Adds go through the
+  /// sharded sketch's own mutexes. Members are mutable because read paths
+  /// may apply the lazy rotation.
+  mutable std::mutex rotate_mu_;
+  mutable ShardedSketch live_;
+  mutable std::atomic<int64_t> live_index_{-1};  ///< Window index of live_.
+  mutable uint64_t live_bad_ = 0;
+  mutable std::vector<SketchExemplar> live_exemplars_;
+  mutable std::vector<Rollup> ring_;
+  mutable size_t ring_next_ = 0;
+  std::atomic<uint64_t> total_count_{0};
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_OBS_SKETCH_H_

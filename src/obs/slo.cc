@@ -1,0 +1,109 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace robopt {
+
+const char* SloHealthName(SloHealth health) {
+  switch (health) {
+    case SloHealth::kOk:
+      return "ok";
+    case SloHealth::kWarning:
+      return "warning";
+    case SloHealth::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+SloEngine::SloEngine(std::vector<SloObjective> objectives,
+                     const WindowedSketch* sketch)
+    : objectives_(objectives.empty() ? std::vector<SloObjective>{{}}
+                                     : std::move(objectives)),
+      sketch_(sketch) {}
+
+SloStatus SloEngine::Evaluate(double now_s) {
+  SloStatus status;
+  status.objectives.reserve(objectives_.size());
+  for (const SloObjective& objective : objectives_) {
+    SloObjectiveStatus os;
+    os.name = objective.name;
+    const double budget = std::max(1e-9, 1.0 - objective.target);
+    auto burn = [&](double window_s, double* bad_fraction_out) {
+      const double fraction =
+          sketch_ == nullptr
+              ? 0.0
+              : sketch_->BadFraction(objective.threshold_us, window_s, now_s,
+                                     objective.count_sheds_as_bad);
+      if (bad_fraction_out != nullptr) *bad_fraction_out = fraction;
+      return fraction / budget;
+    };
+    os.burn_fast = burn(objective.fast_window_s, &os.bad_fraction_fast);
+    os.burn_fast_short = burn(objective.fast_window_s / 12.0, nullptr);
+    os.burn_slow = burn(objective.slow_window_s, nullptr);
+    os.burn_slow_short = burn(objective.slow_window_s / 12.0, nullptr);
+    // Both windows of a pair must burn: the long window proves budget
+    // impact, the short one proves the burn is still live (hysteresis-free
+    // recovery once the regression stops).
+    if (os.burn_fast >= objective.fast_burn &&
+        os.burn_fast_short >= objective.fast_burn) {
+      os.health = SloHealth::kCritical;
+    } else if (os.burn_slow >= objective.slow_burn &&
+               os.burn_slow_short >= objective.slow_burn) {
+      os.health = SloHealth::kWarning;
+    }
+    if (static_cast<uint8_t>(os.health) >
+        static_cast<uint8_t>(status.health)) {
+      status.health = os.health;
+    }
+    status.objectives.push_back(std::move(os));
+  }
+  health_.store(static_cast<uint8_t>(status.health),
+                std::memory_order_relaxed);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    last_status_ = status;
+  }
+  return status;
+}
+
+SloStatus SloEngine::status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return last_status_;
+}
+
+void SloEngine::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  SloStatus status;
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status = last_status_;
+  }
+  registry->Set("robopt_slo_health",
+                static_cast<double>(static_cast<uint8_t>(health())));
+  registry->Set("robopt_slo_evaluations_total",
+                static_cast<double>(evaluations()));
+  // Before the first Evaluate the status has no per-objective rows yet;
+  // export zeros from the configuration so the series exist from scrape
+  // one (stable metric table).
+  if (status.objectives.empty()) {
+    for (const SloObjective& objective : objectives_) {
+      SloObjectiveStatus os;
+      os.name = objective.name;
+      status.objectives.push_back(std::move(os));
+    }
+  }
+  for (const SloObjectiveStatus& os : status.objectives) {
+    const std::string label =
+        "{objective=\"" + PromEscapeLabelValue(os.name) + "\"}";
+    registry->Set("robopt_slo_burn_fast" + label, os.burn_fast);
+    registry->Set("robopt_slo_burn_slow" + label, os.burn_slow);
+    registry->Set("robopt_slo_bad_fraction" + label, os.bad_fraction_fast);
+  }
+}
+
+}  // namespace robopt

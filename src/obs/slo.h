@@ -1,0 +1,119 @@
+#ifndef ROBOPT_OBS_SLO_H_
+#define ROBOPT_OBS_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/sketch.h"
+
+namespace robopt {
+
+class MetricsRegistry;
+
+/// Aggregate health the serving layer keys admission decisions off.
+/// Ordered: higher is worse.
+enum class SloHealth : uint8_t {
+  kOk = 0,
+  kWarning = 1,   ///< Slow burn: budget exhausting over the long horizon.
+  kCritical = 2,  ///< Fast burn: budget exhausting now — act.
+};
+
+const char* SloHealthName(SloHealth health);
+
+/// One declarative latency objective, e.g. "99% of optimizes complete
+/// within 5ms over 1h": target = 0.99, threshold_us = 5000,
+/// slow_window_s = 3600.
+///
+/// Evaluation follows the multiwindow, multi-burn-rate pattern (Google SRE
+/// Workbook ch. 5): the *burn rate* is the fraction of bad events divided
+/// by the error budget (1 - target); burning at rate 1 spends exactly the
+/// budget over the objective window. A page-worthy (critical) condition
+/// requires the fast burn threshold on BOTH the fast window and its 1/12
+/// short window — the short window confirms the burn is still happening,
+/// so a resolved spike stops alerting without waiting for the long window
+/// to drain. The warning (slow-burn) pair works the same way over the slow
+/// window.
+struct SloObjective {
+  std::string name = "optimize_latency";  ///< Label value in exports.
+  double threshold_us = 5000.0;  ///< A request above this is "bad".
+  double target = 0.99;          ///< Good fraction the objective demands.
+  double fast_window_s = 300.0;  ///< Long window of the critical pair.
+  double slow_window_s = 3600.0; ///< Long window of the warning pair.
+  double fast_burn = 14.4;       ///< Critical burn-rate threshold.
+  double slow_burn = 6.0;        ///< Warning burn-rate threshold.
+  /// Count bad events (sheds recorded via WindowedSketch::RecordBad) as
+  /// violations of this objective. Default off: a latency objective scores
+  /// *served* requests, and counting the sheds the SLO reaction itself
+  /// causes would latch the critical state forever. Shed visibility lives
+  /// in the shed counters (or a dedicated availability objective with this
+  /// flag on).
+  bool count_sheds_as_bad = false;
+};
+
+/// Evaluation of one objective at one instant.
+struct SloObjectiveStatus {
+  std::string name;
+  SloHealth health = SloHealth::kOk;
+  double burn_fast = 0.0;        ///< Burn rate over the fast (long) window.
+  double burn_fast_short = 0.0;  ///< Over fast_window_s / 12.
+  double burn_slow = 0.0;
+  double burn_slow_short = 0.0;
+  double bad_fraction_fast = 0.0;  ///< Raw violating fraction, fast window.
+};
+
+struct SloStatus {
+  SloHealth health = SloHealth::kOk;  ///< Max over objectives.
+  std::vector<SloObjectiveStatus> objectives;
+};
+
+/// Evaluates declarative objectives against a WindowedSketch of request
+/// latencies and caches an aggregate health state the serving hot path
+/// reads with one relaxed atomic load. Evaluate() is cheap (merges a
+/// handful of rollups per window) but not hot-path cheap — the serving
+/// layer calls it from its background worker / export path and tests drive
+/// it explicitly.
+class SloEngine {
+ public:
+  /// `sketch` must outlive the engine. An empty objective list gets the
+  /// default SloObjective.
+  SloEngine(std::vector<SloObjective> objectives, const WindowedSketch* sketch);
+
+  /// Re-evaluates every objective at `now_s` (same clock the sketch is fed
+  /// with) and updates the cached health.
+  SloStatus Evaluate(double now_s);
+
+  /// Cached aggregate health from the last Evaluate (kOk before the first).
+  SloHealth health() const {
+    return static_cast<SloHealth>(health_.load(std::memory_order_relaxed));
+  }
+
+  /// Copy of the last Evaluate's full status.
+  SloStatus status() const;
+
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+
+  /// Mirrors the last status into gauges: robopt_slo_health plus
+  /// per-objective robopt_slo_burn_fast / robopt_slo_burn_slow /
+  /// robopt_slo_bad_fraction{objective="..."} and
+  /// robopt_slo_evaluations_total.
+  void ExportTo(MetricsRegistry* registry) const;
+
+ private:
+  const std::vector<SloObjective> objectives_;
+  const WindowedSketch* sketch_;
+  std::atomic<uint8_t> health_{0};
+  std::atomic<uint64_t> evaluations_{0};
+  mutable std::mutex status_mu_;
+  SloStatus last_status_;
+};
+
+}  // namespace robopt
+
+#endif  // ROBOPT_OBS_SLO_H_

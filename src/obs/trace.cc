@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace robopt {
 
 namespace {
@@ -45,6 +47,16 @@ void Tracer::Record(const SpanRecord& record) {
   slot.record = record;
   slot.state.store(kReady, std::memory_order_release);
   recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const uint64_t total = recorded();
+  registry->Set("robopt_trace_spans_total", static_cast<double>(total));
+  registry->Set("robopt_trace_dropped_total", static_cast<double>(dropped()));
+  registry->Set("robopt_trace_ring_utilization",
+                static_cast<double>(std::min<uint64_t>(total, capacity_)) /
+                    static_cast<double>(capacity_));
 }
 
 std::vector<SpanRecord> Tracer::Collect(uint64_t trace_id) const {

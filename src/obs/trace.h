@@ -10,6 +10,8 @@
 
 namespace robopt {
 
+class MetricsRegistry;
+
 /// One completed span. POD-sized so a ring slot write is a plain struct
 /// copy; `name` and the arg names must point at static storage (string
 /// literals / enum name tables) — the ring never owns strings.
@@ -85,6 +87,13 @@ class Tracer {
   uint64_t recorded() const {
     return recorded_.load(std::memory_order_relaxed);
   }
+
+  /// Mirrors ring health into the registry so span loss is visible on a
+  /// scrape without touching the Tracer API:
+  /// robopt_trace_spans_total / robopt_trace_dropped_total gauges plus
+  /// robopt_trace_ring_utilization (live slots / capacity, saturating at 1
+  /// once the ring has wrapped).
+  void ExportTo(MetricsRegistry* registry) const;
 
  private:
   enum SlotState : uint32_t { kEmpty = 0, kWriting = 1, kReady = 2,

@@ -9,6 +9,8 @@
 
 #include "common/ticket_queue.h"
 #include "ml/forest_kernel.h"
+#include "ml/simd_dispatch.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "plan/fingerprint.h"
 
@@ -140,6 +142,27 @@ PlanCache::Entry MakeCacheEntry(
   return entry;
 }
 
+/// Maps the cache layer's self-contained miss vocabulary onto the decision
+/// record's (which adds hit/disabled/untransferable — states the cache
+/// itself never sees).
+DecisionCacheResult MapCacheResult(bool enabled, bool hit,
+                                   bool untransferable,
+                                   PlanCacheMissCause cause) {
+  if (!enabled) return DecisionCacheResult::kDisabled;
+  if (hit) return DecisionCacheResult::kHit;
+  if (untransferable) return DecisionCacheResult::kMissUntransferable;
+  switch (cause) {
+    case PlanCacheMissCause::kStaleVersion:
+      return DecisionCacheResult::kMissStaleVersion;
+    case PlanCacheMissCause::kHashMismatch:
+      return DecisionCacheResult::kMissHashMismatch;
+    case PlanCacheMissCause::kCold:
+    case PlanCacheMissCause::kNone:
+      return DecisionCacheResult::kMissCold;
+  }
+  return DecisionCacheResult::kMissCold;
+}
+
 }  // namespace
 
 /// One serving shard: a bounded FIFO admission queue whose admitted caller
@@ -185,6 +208,7 @@ struct OptimizerService::Shard {
   std::atomic<uint64_t> processed{0};
   std::atomic<uint64_t> shed_queue_full{0};
   std::atomic<uint64_t> shed_deadline{0};
+  std::atomic<uint64_t> shed_slo{0};
 };
 
 void RecoveryStats::ExportTo(MetricsRegistry* registry) const {
@@ -226,6 +250,8 @@ void ServeStats::ExportTo(MetricsRegistry* registry) const {
                 static_cast<double>(shard_shed_queue_full));
   registry->Set("robopt_shard_shed_deadline_total",
                 static_cast<double>(shard_shed_deadline));
+  registry->Set("robopt_shard_shed_slo_total",
+                static_cast<double>(shard_shed_slo));
   registry->Set("robopt_shard_queue_depth",
                 static_cast<double>(shard_queue_depth));
   registry->Set("robopt_router_rebalances_total",
@@ -243,6 +269,8 @@ void ServeStats::ExportTo(MetricsRegistry* registry) const {
                   static_cast<double>(shard.shed_queue_full));
     registry->Set("robopt_shard_shed_deadline" + label,
                   static_cast<double>(shard.shed_deadline));
+    registry->Set("robopt_shard_shed_slo" + label,
+                  static_cast<double>(shard.shed_slo));
     registry->Set("robopt_shard_queue_depth" + label,
                   static_cast<double>(shard.queue_depth));
     registry->Set("robopt_shard_routed" + label,
@@ -319,8 +347,23 @@ OptimizerService::OptimizerService(const PlatformRegistry* registry,
       base_train_(schema->width()),
       holdout_(schema->width()),
       last_train_(std::chrono::steady_clock::now()),
+      service_epoch_(std::chrono::steady_clock::now()),
       health_(options_.breaker),
       tracer_(options_.trace_capacity) {
+  if (options_.diagnostics.enabled) {
+    decisions_ =
+        std::make_unique<DecisionRing>(options_.diagnostics.ring_capacity);
+  }
+  if (options_.slo.enabled) {
+    WindowedSketch::Options sketch;
+    sketch.alpha = options_.slo.sketch_alpha;
+    sketch.window_s = options_.slo.sketch_window_s;
+    sketch.windows = options_.slo.sketch_windows;
+    sketch.exemplars_per_window = options_.slo.exemplars_per_window;
+    latency_sketch_ = std::make_unique<WindowedSketch>(sketch);
+    slo_ = std::make_unique<SloEngine>(options_.slo.objectives,
+                                       latency_sketch_.get());
+  }
   num_shards_resolved_ = ShardRouter::ResolveShardCount(options_.num_shards);
   if (num_shards_resolved_ > 1) {
     router_ = std::make_unique<ShardRouter>(num_shards_resolved_,
@@ -370,38 +413,140 @@ StatusOr<OptimizerService::Result> OptimizerService::Optimize(
     const LogicalPlan& plan, const Cardinalities* cards,
     const OptimizeOptions& options, const RequestContext& ctx) {
   RequestObserver* observer = options_.request_observer;
-  if (observer == nullptr) {
+  const bool diag_on = decisions_ != nullptr;
+  const bool slo_on = slo_ != nullptr;
+  if (observer == nullptr && !diag_on && !slo_on) {
     if (shards_.empty()) return OptimizeLegacy(plan, cards, options);
     return OptimizeSharded(plan, cards, options, ctx);
   }
-  PlanFingerprint fp;
-  auto result = shards_.empty()
-                    ? OptimizeLegacy(plan, cards, options, &fp)
-                    : OptimizeSharded(plan, cards, options, ctx, &fp);
-  ServedRequest served;
-  served.tenant = ctx.tenant;
-  served.plan = &plan;
-  served.cards = cards;
-  served.options_hash = PlanCache::HashOptions(options);
-  served.fp_lo = fp.lo;
-  served.fp_hi = fp.hi;
-  if (result.ok()) {
-    served.cache_hit = result->cache_hit;
-    served.predicted_runtime_s = result->optimize.predicted_runtime_s;
-    served.model_version = result->optimize.model_version;
-    served.chosen_platform =
-        static_cast<uint8_t>(result->optimize.chosen_platform);
-    served.optimized = &result->optimize.plan;
-  } else {
-    served.status = result.status().code();
+
+  // Diagnostics choke point: every overload funnels here, so one stopwatch
+  // measures true end-to-end service latency (queue wait included) and one
+  // scratch collects the inner paths' decision breadcrumbs.
+  const auto start = std::chrono::steady_clock::now();
+  // Diagnostics ask for runner-up plans; the selection reuses the final
+  // cost batch and is excluded from the cache key, so served plans stay
+  // bit-identical and cache entries stay shared with diagnostics off.
+  OptimizeOptions effective = options;
+  if (diag_on) {
+    effective.top_k_runners =
+        std::max(effective.top_k_runners,
+                 std::min(options_.diagnostics.top_k_runners,
+                          kDecisionRunners));
   }
-  observer->OnRequest(served);
+  PlanFingerprint fp;
+  DecisionScratch scratch;
+  auto result =
+      shards_.empty()
+          ? OptimizeLegacy(plan, cards, effective, &fp, &scratch)
+          : OptimizeSharded(plan, cards, effective, ctx, &fp, &scratch);
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (observer != nullptr) {
+    ServedRequest served;
+    served.tenant = ctx.tenant;
+    served.plan = &plan;
+    served.cards = cards;
+    served.options_hash = PlanCache::HashOptions(options);
+    served.fp_lo = fp.lo;
+    served.fp_hi = fp.hi;
+    if (result.ok()) {
+      served.cache_hit = result->cache_hit;
+      served.predicted_runtime_s = result->optimize.predicted_runtime_s;
+      served.model_version = result->optimize.model_version;
+      served.chosen_platform =
+          static_cast<uint8_t>(result->optimize.chosen_platform);
+      served.optimized = &result->optimize.plan;
+    } else {
+      served.status = result.status().code();
+    }
+    observer->OnRequest(served);
+  }
+
+  if (slo_on) {
+    const double now_s = SloNow();
+    if (result.ok()) {
+      // The chaos/test hook pads only what the sketch *observes* — the
+      // served request itself is untouched.
+      const double recorded_us =
+          latency_us +
+          slo_inject_latency_us_.load(std::memory_order_relaxed);
+      SketchExemplar exemplar;
+      exemplar.value = recorded_us;
+      exemplar.fp_lo = fp.lo;
+      exemplar.fp_hi = fp.hi;
+      latency_sketch_->Record(now_s, recorded_us, &exemplar);
+    } else if (scratch.shed != ShedReason::kNone) {
+      // Sheds carry no latency; they land as bad events, which only an
+      // objective with count_sheds_as_bad opts into (counting the sheds
+      // the SLO reaction itself causes would latch critical forever).
+      latency_sketch_->RecordBad(now_s);
+    }
+  }
+
+  if (diag_on) {
+    if (fp.lo == 0 && fp.hi == 0) {
+      // Legacy path with the cache off never fingerprints; diagnostics
+      // want the identity anyway.
+      fp = FingerprintPlan(plan);
+    }
+    DecisionRecord record;
+    record.wall_us = std::chrono::duration<double, std::micro>(
+                         start - service_epoch_)
+                         .count();
+    record.tenant = ctx.tenant;
+    record.fp_lo = fp.lo;
+    record.fp_hi = fp.hi;
+    record.options_hash = PlanCache::HashOptions(options);
+    record.shard = scratch.shard;
+    record.shed = scratch.shed;
+    record.slo_health = static_cast<uint8_t>(slo_health());
+    record.open_breaker_mask = scratch.open_mask;
+    record.excluded_platform_mask = scratch.excluded_mask;
+    record.latency_us = latency_us;
+    if (result.ok()) {
+      const OptimizeResult& opt = result->optimize;
+      record.cache =
+          MapCacheResult(scratch.cache_enabled, result->cache_hit,
+                         scratch.cache_untransferable, scratch.cache_cause);
+      record.quantized_used = opt.quantized_used;
+      record.chosen_platform = static_cast<uint8_t>(opt.chosen_platform);
+      record.model_version = opt.model_version;
+      record.predicted_runtime_s = opt.predicted_runtime_s;
+      record.vectors_created = opt.stats.vectors_created;
+      record.vectors_pruned = opt.stats.vectors_pruned;
+      record.final_vectors = opt.stats.final_vectors;
+      record.oracle_rows = opt.stats.oracle_rows;
+      record.num_runners = static_cast<uint32_t>(
+          std::min(opt.runners_up.size(), kDecisionRunners));
+      for (uint32_t i = 0; i < record.num_runners; ++i) {
+        record.runners[i].predicted_runtime_s =
+            opt.runners_up[i].predicted_runtime_s;
+        record.runners[i].assignment_hash = opt.runners_up[i].assignment_hash;
+      }
+    } else {
+      record.status = result.status().code();
+      // A shed never reached the cache; a failed optimize records its
+      // preceding miss cause.
+      record.cache =
+          scratch.shed != ShedReason::kNone
+              ? DecisionCacheResult::kDisabled
+              : MapCacheResult(scratch.cache_enabled, false,
+                               scratch.cache_untransferable,
+                               scratch.cache_cause);
+    }
+    decisions_->Record(record);
+  }
   return result;
 }
 
 StatusOr<OptimizerService::Result> OptimizerService::OptimizeLegacy(
     const LogicalPlan& plan, const Cardinalities* cards,
-    const OptimizeOptions& caller_options, PlanFingerprint* fp_out) {
+    const OptimizeOptions& caller_options, PlanFingerprint* fp_out,
+    DecisionScratch* scratch) {
   const auto start = std::chrono::steady_clock::now();
 
   // Re-optimize-on-failure: mask every open-breaker platform out of the
@@ -439,9 +584,14 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeLegacy(
     std::lock_guard<std::mutex> lock(recovery_mu_);
     ++masked_optimizes_;
   }
+  if (scratch != nullptr) {
+    scratch->open_mask = open_mask;
+    scratch->excluded_mask = options.excluded_platform_mask;
+  }
   // With the cache disabled (capacity 0) the O(plan) fingerprint work would
   // be pure per-call overhead — skip key computation and lookup entirely.
   const bool cache_on = plan_cache_.enabled();
+  if (scratch != nullptr) scratch->cache_enabled = cache_on;
   PlanCacheKey key;
   std::vector<std::pair<uint64_t, OperatorId>> canonical;
   std::vector<uint64_t> sorted_hashes;
@@ -454,15 +604,18 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeLegacy(
     Canonicalize(node_hashes, &canonical, &sorted_hashes);
 
     PlanCache::Entry cached;
+    PlanCacheMissCause cause = PlanCacheMissCause::kNone;
     if (plan_cache_.Lookup(key, models_.current_version(), sorted_hashes,
-                           &cached)) {
+                           &cached, &cause)) {
       Result result;
       if (TransferCached(cached, canonical, plan, registry_, start,
                          &result)) {
         bump("robopt_serve_plan_cache_hits_total");
         return result;
       }
+      if (scratch != nullptr) scratch->cache_untransferable = true;
     }
+    if (scratch != nullptr) scratch->cache_cause = cause;
   }
 
   auto optimized = optimizer_.Optimize(plan, cards, options);
@@ -479,7 +632,7 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeLegacy(
 StatusOr<OptimizerService::Result> OptimizerService::OptimizeSharded(
     const LogicalPlan& plan, const Cardinalities* cards,
     const OptimizeOptions& caller_options, const RequestContext& ctx,
-    PlanFingerprint* fp_out) {
+    PlanFingerprint* fp_out, DecisionScratch* scratch) {
   const auto start = std::chrono::steady_clock::now();
   // Fingerprint before admission: the canonical fingerprint is the routing
   // key (and double-duties as the cache key inside the shard).
@@ -491,6 +644,14 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeSharded(
   uint32_t slot = 0;
   const uint32_t shard_index = router_->Route(ctx.tenant, key.plan, &slot);
   Shard& shard = *shards_[shard_index];
+  if (scratch != nullptr) scratch->shard = shard_index;
+
+  // SLO feedback into admission: one relaxed load of the engine's cached
+  // health. Under critical burn the service prefers shedding early over
+  // serving doomed tail requests — the deadline and the queue bound both
+  // tighten by their configured factors.
+  const bool slo_critical =
+      slo_ != nullptr && slo_->health() == SloHealth::kCritical;
 
   // Admission control. Deadline shedding first: estimated queue delay is
   // (depth + 1) waiting-plus-own service times at the shard's smoothed
@@ -499,13 +660,29 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeSharded(
   // very delay that dooms it.
   double deadline_s = ctx.deadline_s;
   if (deadline_s == 0.0) deadline_s = options_.default_deadline_s;
-  if (deadline_s > 0.0) {
+  double effective_deadline_s = deadline_s;
+  if (slo_critical && deadline_s > 0.0) {
+    effective_deadline_s = deadline_s * options_.slo.critical_deadline_factor;
+  }
+  if (effective_deadline_s > 0.0) {
     const double ewma =
         shard.ewma_service_s.load(std::memory_order_relaxed);
     const uint64_t depth = shard.queue.depth();
-    if (ewma > 0.0 &&
-        static_cast<double>(depth + 1) * ewma > deadline_s) {
-      shard.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+    const double estimated_s = static_cast<double>(depth + 1) * ewma;
+    if (ewma > 0.0 && estimated_s > effective_deadline_s) {
+      // Attribution: a request the *untightened* deadline would also have
+      // rejected is an ordinary deadline shed; only one rejected purely by
+      // the SLO tightening counts as an SLO shed.
+      const bool slo_only = estimated_s <= deadline_s;
+      if (slo_only) {
+        shard.shed_slo.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shard.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (scratch != nullptr) {
+        scratch->shed =
+            slo_only ? ShedReason::kSloDeadline : ShedReason::kDeadline;
+      }
       // Decay the estimate on every rejection. The EWMA is otherwise
       // only updated by served requests, so a single preemption-inflated
       // sample above every caller's deadline would lock admission out
@@ -516,12 +693,31 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeSharded(
       // value is a heuristic and every writer moves it toward zero.
       shard.ewma_service_s.store(ewma * 0.98, std::memory_order_relaxed);
       return Status::ResourceExhausted(
-          "estimated shard queue delay exceeds the request deadline");
+          slo_only
+              ? "estimated shard queue delay exceeds the SLO-tightened "
+                "deadline"
+              : "estimated shard queue delay exceeds the request deadline");
+    }
+  }
+  if (slo_critical) {
+    // Tightened queue bound: pre-check depth against the reduced capacity.
+    // Racy reads are fine — at worst one extra request slips through to
+    // the hard TryEnter bound below.
+    const uint64_t cap = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(options_.shard_queue_capacity) *
+               options_.slo.critical_queue_factor));
+    if (shard.queue.depth() >= cap) {
+      shard.shed_slo.fetch_add(1, std::memory_order_relaxed);
+      if (scratch != nullptr) scratch->shed = ShedReason::kSloQueue;
+      return Status::ResourceExhausted(
+          "shard queue past the SLO-tightened bound");
     }
   }
   uint64_t ticket = 0;
   if (!shard.queue.TryEnter(&ticket)) {
     shard.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    if (scratch != nullptr) scratch->shed = ShedReason::kQueueFull;
     return Status::ResourceExhausted("shard admission queue is full");
   }
   shard.queue.WaitTurn(ticket);
@@ -529,7 +725,7 @@ StatusOr<OptimizerService::Result> OptimizerService::OptimizeSharded(
   const auto serve_start = std::chrono::steady_clock::now();
   auto result =
       RunOnShard(shard, slot, plan, cards, caller_options, key, node_hashes,
-                 start);
+                 start, scratch);
   const double service_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     serve_start)
@@ -549,7 +745,7 @@ StatusOr<OptimizerService::Result> OptimizerService::RunOnShard(
     const Cardinalities* cards, const OptimizeOptions& caller_options,
     const PlanCacheKey& route_key,
     const std::vector<uint64_t>& node_hashes,
-    std::chrono::steady_clock::time_point start) {
+    std::chrono::steady_clock::time_point start, DecisionScratch* scratch) {
   // Promotion fan-out: one relaxed uint64 compare against the registry's
   // publish counter. A promotion anywhere is picked up on the next entry
   // into each shard — stale cache entries then die by their version tag
@@ -600,7 +796,12 @@ StatusOr<OptimizerService::Result> OptimizerService::RunOnShard(
     ++masked_optimizes_;
   }
 
+  if (scratch != nullptr) {
+    scratch->open_mask = open_mask;
+    scratch->excluded_mask = options.excluded_platform_mask;
+  }
   const bool cache_on = shard.cache.enabled();
+  if (scratch != nullptr) scratch->cache_enabled = cache_on;
   PlanCacheKey key = route_key;
   std::vector<std::pair<uint64_t, OperatorId>> canonical;
   std::vector<uint64_t> sorted_hashes;
@@ -608,15 +809,18 @@ StatusOr<OptimizerService::Result> OptimizerService::RunOnShard(
     key.options_hash = PlanCache::HashOptions(options);
     Canonicalize(node_hashes, &canonical, &sorted_hashes);
     PlanCache::Entry cached;
+    PlanCacheMissCause cause = PlanCacheMissCause::kNone;
     if (shard.cache.Lookup(key, shard.provider.pinned.version, sorted_hashes,
-                           &cached)) {
+                           &cached, &cause)) {
       Result result;
       if (TransferCached(cached, canonical, plan, registry_, start,
                          &result)) {
         bump("robopt_serve_plan_cache_hits_total");
         return result;
       }
+      if (scratch != nullptr) scratch->cache_untransferable = true;
     }
+    if (scratch != nullptr) scratch->cache_cause = cause;
   }
 
   auto optimized = shard.optimizer.Optimize(plan, cards, options);
@@ -912,6 +1116,7 @@ ServeStats OptimizerService::Stats() const {
           shard.shed_queue_full.load(std::memory_order_relaxed);
       per_shard.shed_deadline =
           shard.shed_deadline.load(std::memory_order_relaxed);
+      per_shard.shed_slo = shard.shed_slo.load(std::memory_order_relaxed);
       per_shard.queue_depth = shard.queue.depth();
       per_shard.routed = i < router.routed.size() ? router.routed[i] : 0;
       per_shard.ewma_service_s =
@@ -920,6 +1125,7 @@ ServeStats OptimizerService::Stats() const {
       stats.shard_processed += per_shard.processed;
       stats.shard_shed_queue_full += per_shard.shed_queue_full;
       stats.shard_shed_deadline += per_shard.shed_deadline;
+      stats.shard_shed_slo += per_shard.shed_slo;
       stats.shard_queue_depth += per_shard.queue_depth;
       // The service-wide cache view is the sum of the slices (the legacy
       // plan_cache_ member stays empty in sharded mode).
@@ -966,7 +1172,55 @@ MetricsSnapshot OptimizerService::SnapshotMetrics() const {
                static_cast<double>(ForestKernel::TotalRowsScored()));
   metrics_.Set("robopt_ml_forest_batches_total",
                static_cast<double>(ForestKernel::TotalBatches()));
+  // Diagnostics & SLO plane: ring health, sliding-window latency
+  // quantiles, burn rates. Each export re-evaluates the objectives first,
+  // so a scrape always reads current burn.
+  if (decisions_ != nullptr) decisions_->ExportTo(&metrics_);
+  if (slo_ != nullptr) {
+    const double now_s = SloNow();
+    slo_->Evaluate(now_s);
+    slo_->ExportTo(&metrics_);
+    metrics_.Set("robopt_optimize_latency_p50_us",
+                 latency_sketch_->Quantile(0.5, 0.0, now_s));
+    metrics_.Set("robopt_optimize_latency_p95_us",
+                 latency_sketch_->Quantile(0.95, 0.0, now_s));
+    metrics_.Set("robopt_optimize_latency_p99_us",
+                 latency_sketch_->Quantile(0.99, 0.0, now_s));
+  }
+  // Tracer ring health and the build-info/uptime process gauges (the lane
+  // string comes from the ml dispatcher — obs stays lane-agnostic).
+  tracer_.ExportTo(&metrics_);
+  ExportBuildInfo(&metrics_, simd::LaneName(simd::ActiveLane()));
   return metrics_.Snapshot();
+}
+
+std::vector<DecisionRecord> OptimizerService::RecentDecisions(
+    size_t max_records) const {
+  if (decisions_ == nullptr) return {};
+  return decisions_->Collect(max_records);
+}
+
+std::string OptimizerService::ExportDecisionsJson(size_t max_records) const {
+  return ::robopt::ExportDecisionsJson(RecentDecisions(max_records));
+}
+
+double OptimizerService::SloNow() const {
+  if (options_.slo.clock) return options_.slo.clock();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       service_epoch_)
+      .count();
+}
+
+void OptimizerService::EvaluateSloNow() {
+  if (slo_ != nullptr) slo_->Evaluate(SloNow());
+}
+
+SloHealth OptimizerService::slo_health() const {
+  return slo_ == nullptr ? SloHealth::kOk : slo_->health();
+}
+
+SloStatus OptimizerService::slo_status() const {
+  return slo_ == nullptr ? SloStatus{} : slo_->status();
 }
 
 std::string OptimizerService::ExportPrometheus() const {
@@ -988,6 +1242,9 @@ void OptimizerService::WorkerLoop() {
     // Trigger evaluation + (maybe) a retrain cycle; failures surface only
     // through Stats() — the worker must keep running.
     (void)RetrainNow(false);
+    // Burn-rate evaluation each poll: the cached health the admission path
+    // reads is at most one poll period stale.
+    EvaluateSloNow();
     // Each poll closes one router load window; sustained imbalance across
     // rebalance_min_checks windows migrates cache entries between shards.
     if (shards_.size() > 1) (void)RebalanceNow();

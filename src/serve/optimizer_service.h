@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -12,7 +13,10 @@
 #include "core/optimizer.h"
 #include "exec/executor.h"
 #include "exec/platform_health.h"
+#include "obs/decision.h"
 #include "obs/metrics.h"
+#include "obs/sketch.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "serve/feedback.h"
 #include "serve/model_registry.h"
@@ -75,6 +79,48 @@ class RequestObserver {
   /// Mirrors the observer's counters into the service registry; called
   /// from SnapshotMetrics() like the other derived-gauge sources.
   virtual void ExportTo(MetricsRegistry* registry) { (void)registry; }
+};
+
+/// Per-query decision diagnostics ("query explain"): every served call
+/// assembles a DecisionRecord — shard routed, cache hit/miss cause, shed
+/// reason, breaker/exclusion masks, model version, quantized use,
+/// enumeration/prune counts, predicted cost and the top-k runner-up plans —
+/// into a bounded lock-free recent-queries ring, exportable as JSON.
+/// Served plans and every stat are bit-identical with diagnostics on or
+/// off (the runner-up selection reuses the final getOptimal cost batch).
+struct DiagnosticsOptions {
+  bool enabled = false;
+  /// Recent-queries ring capacity (rounded up to a power of two).
+  size_t ring_capacity = 1024;
+  /// Runner-up plans recorded per decision (capped at kDecisionRunners).
+  size_t top_k_runners = kDecisionRunners;
+};
+
+/// SLO burn-rate engine over served Optimize() latencies: a sliding-window
+/// DDSketch tracks end-to-end latency (queue included), declarative
+/// objectives evaluate fast/slow multi-window burn rates, and the cached
+/// health state feeds back into sharded admission — under critical burn
+/// the service tightens request deadlines and the effective queue bound,
+/// preferring early shedding over serving doomed tail requests.
+struct ServeSloOptions {
+  bool enabled = false;
+  /// Objectives to evaluate; empty gets the default SloObjective.
+  std::vector<SloObjective> objectives;
+  /// Latency sketch shape (see WindowedSketch::Options).
+  double sketch_window_s = 60.0;
+  size_t sketch_windows = 64;
+  double sketch_alpha = 0.01;
+  size_t exemplars_per_window = 4;
+  /// Under critical burn, the effective admission deadline becomes
+  /// deadline * this factor (only meaningful with a deadline configured).
+  double critical_deadline_factor = 0.5;
+  /// Under critical burn, the effective shard queue bound becomes
+  /// max(1, floor(capacity * this factor)).
+  double critical_queue_factor = 0.5;
+  /// Injectable clock (seconds, any monotone origin) driving sketch
+  /// rotation and burn evaluation. Null (default) uses the service's
+  /// steady clock. Tests and replays pin this for determinism.
+  std::function<double()> clock;
 };
 
 /// Configuration of the serving layer.
@@ -187,6 +233,11 @@ struct ServeOptions {
   /// service. Null (the default) costs the hot paths nothing.
   RequestObserver* request_observer = nullptr;
 
+  /// Per-query decision diagnostics (recent-queries ring). Off by default.
+  DiagnosticsOptions diagnostics;
+  /// Latency SLO engine wired into admission control. Off by default.
+  ServeSloOptions slo;
+
   /// Default per-call optimize options.
   OptimizeOptions optimize;
 };
@@ -251,6 +302,9 @@ struct ShardStats {
   uint64_t processed = 0;        ///< Requests served through the shard.
   uint64_t shed_queue_full = 0;  ///< Rejected: admission queue at capacity.
   uint64_t shed_deadline = 0;    ///< Rejected: estimated delay > deadline.
+  /// Rejected only because critical SLO burn tightened the deadline or the
+  /// queue bound (the request would have been admitted untightened).
+  uint64_t shed_slo = 0;
   uint64_t queue_depth = 0;      ///< Outstanding admitted requests, now.
   uint64_t routed = 0;           ///< Requests the router sent here.
   double ewma_service_s = 0.0;   ///< Smoothed in-shard service time.
@@ -275,6 +329,7 @@ struct ServeStats {
   uint64_t shard_processed = 0;
   uint64_t shard_shed_queue_full = 0;
   uint64_t shard_shed_deadline = 0;
+  uint64_t shard_shed_slo = 0;
   uint64_t shard_queue_depth = 0;
   uint64_t router_rebalances = 0;   ///< Migration decisions applied.
   uint64_t router_slots_moved = 0;  ///< Slot reassignments applied.
@@ -418,7 +473,8 @@ class OptimizerService : public ExecutionObserver {
   ObsOptions obs();
 
   /// Point-in-time snapshot of every metric, with the derived-gauge mirrors
-  /// (ServeStats / breaker state) refreshed first.
+  /// (ServeStats / breaker state / SLO burn / sketch quantiles) refreshed
+  /// first.
   MetricsSnapshot SnapshotMetrics() const;
   /// Prometheus text exposition (0.0.4) of SnapshotMetrics().
   std::string ExportPrometheus() const;
@@ -426,8 +482,50 @@ class OptimizerService : public ExecutionObserver {
   /// `trace_id` filters to one query's tree (0 = everything retained).
   std::string ExportTraceJson(uint64_t trace_id = 0) const;
 
+  // --- Diagnostics & SLO (ServeOptions::diagnostics / ::slo) ---
+
+  /// The most recent decision records, oldest first (empty with
+  /// diagnostics off). `max_records` 0 = everything retained.
+  std::vector<DecisionRecord> RecentDecisions(size_t max_records = 0) const;
+  /// JSON array of RecentDecisions() — the "explain recent queries" wire
+  /// shape.
+  std::string ExportDecisionsJson(size_t max_records = 0) const;
+
+  /// Re-evaluates every SLO objective now (no-op with the SLO off). The
+  /// background worker calls this each poll; tests and replay drivers call
+  /// it explicitly between batches.
+  void EvaluateSloNow();
+  /// Cached aggregate SLO health (kOk with the SLO off) — what sharded
+  /// admission reads.
+  SloHealth slo_health() const;
+  /// Full per-objective status from the last evaluation.
+  SloStatus slo_status() const;
+  /// Latency padding in micros added to every *recorded* latency (sketch
+  /// only — served requests are unaffected). Test/chaos hook: degrades the
+  /// observed distribution to trip burn rates deterministically.
+  void set_slo_inject_latency_us(double us) {
+    slo_inject_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  /// The latency sketch behind the SLO engine (null when the SLO is off).
+  const WindowedSketch* latency_sketch() const {
+    return latency_sketch_.get();
+  }
+
  private:
   struct Shard;
+
+  /// Decision breadcrumbs the inner serving paths deposit for the choke
+  /// point's record assembly (pointer-threaded; null when diagnostics and
+  /// SLO are both off).
+  struct DecisionScratch {
+    uint32_t shard = 0;
+    ShedReason shed = ShedReason::kNone;
+    bool cache_enabled = false;
+    PlanCacheMissCause cache_cause = PlanCacheMissCause::kNone;
+    bool cache_untransferable = false;
+    uint64_t open_mask = 0;
+    uint64_t excluded_mask = 0;
+  };
 
   OptimizerService(const PlatformRegistry* registry,
                    const FeatureSchema* schema, ServeOptions options);
@@ -439,13 +537,15 @@ class OptimizerService : public ExecutionObserver {
   StatusOr<Result> OptimizeLegacy(const LogicalPlan& plan,
                                   const Cardinalities* cards,
                                   const OptimizeOptions& caller_options,
-                                  PlanFingerprint* fp_out = nullptr);
+                                  PlanFingerprint* fp_out = nullptr,
+                                  DecisionScratch* scratch = nullptr);
   /// Sharded path: route, admit/shed, then run serialized on the shard.
   StatusOr<Result> OptimizeSharded(const LogicalPlan& plan,
                                    const Cardinalities* cards,
                                    const OptimizeOptions& caller_options,
                                    const RequestContext& ctx,
-                                   PlanFingerprint* fp_out = nullptr);
+                                   PlanFingerprint* fp_out = nullptr,
+                                   DecisionScratch* scratch = nullptr);
   /// The in-window shard body (caller holds the shard's ticket turn):
   /// epoch checks, cache lookup, optimize, insert.
   StatusOr<Result> RunOnShard(Shard& shard, uint32_t slot,
@@ -454,7 +554,11 @@ class OptimizerService : public ExecutionObserver {
                               const OptimizeOptions& caller_options,
                               const PlanCacheKey& route_key,
                               const std::vector<uint64_t>& node_hashes,
-                              std::chrono::steady_clock::time_point start);
+                              std::chrono::steady_clock::time_point start,
+                              DecisionScratch* scratch = nullptr);
+  /// Seconds on the SLO clock (ServeSloOptions::clock, or the service's
+  /// steady clock since construction).
+  double SloNow() const;
   /// Re-pins the shard's model handle (and rebuilds its oracle memo) to
   /// the registry's current snapshot. Caller holds the shard's turn.
   void RepinShard(Shard& shard);
@@ -500,6 +604,15 @@ class OptimizerService : public ExecutionObserver {
   size_t retrains_ = 0;
   size_t promotions_ = 0;
   size_t rejections_ = 0;
+
+  /// Diagnostics & SLO plane (null unless the respective option is on).
+  /// The ring and sketch are internally synchronized; mutable because the
+  /// const snapshot/export paths rotate windows and re-evaluate burn.
+  mutable std::unique_ptr<DecisionRing> decisions_;
+  mutable std::unique_ptr<WindowedSketch> latency_sketch_;
+  mutable std::unique_ptr<SloEngine> slo_;
+  std::atomic<double> slo_inject_latency_us_{0.0};
+  std::chrono::steady_clock::time_point service_epoch_;
 
   /// Internally synchronized; mutable because even read paths (Stats) may
   /// apply the lazy open -> half-open transition.

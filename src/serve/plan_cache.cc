@@ -71,11 +71,15 @@ bool HashesMatch(const std::vector<std::pair<uint64_t, int16_t>>& assignment,
 
 bool PlanCache::Lookup(const PlanCacheKey& key, uint64_t current_version,
                        const std::vector<uint64_t>& sorted_node_hashes,
-                       Entry* out) {
+                       Entry* out, PlanCacheMissCause* miss_cause) {
+  auto cause = [miss_cause](PlanCacheMissCause c) {
+    if (miss_cause != nullptr) *miss_cause = c;
+  };
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     stats_.misses.fetch_add(1, kRelaxed);
+    cause(PlanCacheMissCause::kCold);
     return false;
   }
   if (it->second->entry.model_version != current_version) {
@@ -84,6 +88,7 @@ bool PlanCache::Lookup(const PlanCacheKey& key, uint64_t current_version,
     map_.erase(it);
     stats_.invalidations.fetch_add(1, kRelaxed);
     stats_.misses.fetch_add(1, kRelaxed);
+    cause(PlanCacheMissCause::kStaleVersion);
     return false;
   }
   if (!HashesMatch(it->second->entry.assignment, sorted_node_hashes)) {
@@ -93,11 +98,13 @@ bool PlanCache::Lookup(const PlanCacheKey& key, uint64_t current_version,
     map_.erase(it);
     stats_.invalidations.fetch_add(1, kRelaxed);
     stats_.misses.fetch_add(1, kRelaxed);
+    cause(PlanCacheMissCause::kHashMismatch);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   *out = it->second->entry;
   stats_.hits.fetch_add(1, kRelaxed);
+  cause(PlanCacheMissCause::kNone);
   return true;
 }
 

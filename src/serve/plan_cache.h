@@ -31,6 +31,16 @@ struct PlanCacheKey {
   }
 };
 
+/// Why a Lookup missed (diagnostics; kNone on a hit). Self-contained here —
+/// the obs decision-record layer maps it onto its own vocabulary so the
+/// cache stays free of obs includes.
+enum class PlanCacheMissCause : uint8_t {
+  kNone = 0,          ///< Hit.
+  kCold = 1,          ///< No entry under the key.
+  kStaleVersion = 2,  ///< Entry predates the current model version.
+  kHashMismatch = 3,  ///< Fingerprint collision: node hashes disagreed.
+};
+
 struct PlanCacheStats {
   size_t hits = 0;
   size_t misses = 0;
@@ -110,9 +120,11 @@ class PlanCache {
   /// it to most-recently-used and returns true. An entry tagged with any
   /// other version counts as a miss and is dropped, as does an entry whose
   /// stored node-hash sequence differs from `sorted_node_hashes` (the
-  /// caller plan's per-operator hashes, sorted ascending).
+  /// caller plan's per-operator hashes, sorted ascending). `miss_cause`,
+  /// when non-null, receives why the lookup missed (kNone on a hit).
   bool Lookup(const PlanCacheKey& key, uint64_t current_version,
-              const std::vector<uint64_t>& sorted_node_hashes, Entry* out);
+              const std::vector<uint64_t>& sorted_node_hashes, Entry* out,
+              PlanCacheMissCause* miss_cause = nullptr);
 
   /// Inserts (or replaces) the entry for `key`, evicting the LRU tail when
   /// over capacity.

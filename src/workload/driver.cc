@@ -51,8 +51,19 @@ ReplayStats DriveWorkload(OptimizerService* service, WorkloadSource* source,
   std::unordered_map<uint64_t, LastServed> last_served;
 
   WorkloadOp op;
+  uint64_t ops_seen = 0;
   while (source->GetNext(&op)) {
     if (ops_total != nullptr) ops_total->Add(1);
+    // Deterministic SLO cadence: re-evaluate burn every slo_every ops so a
+    // replayed latency degradation tightens admission mid-drive without
+    // depending on the background worker's wall-clock poll.
+    if (options.slo_every > 0 && ++ops_seen % options.slo_every == 0) {
+      service->EvaluateSloNow();
+      ++stats.slo_evaluations;
+      const SloHealth health = service->slo_health();
+      stats.final_slo_health = health;
+      if (health > stats.worst_slo_health) stats.worst_slo_health = health;
+    }
     // Time warp: speedup 0 never sleeps; otherwise honor the stream's
     // arrival offsets compressed by the factor and track how far behind
     // the pacing target the driver is running.

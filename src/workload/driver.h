@@ -27,6 +27,11 @@ struct DriveOptions {
   const PlatformRegistry* registry = nullptr;
   /// Replay-lag histogram + op counters land here when set.
   MetricsRegistry* metrics = nullptr;
+  /// Re-evaluate the service's SLO burn every this many ops (0 = never),
+  /// so a replayed degradation trips admission tightening mid-drive at a
+  /// deterministic cadence instead of waiting on the background worker's
+  /// wall-clock poll. No-op when the service's SLO engine is off.
+  uint64_t slo_every = 0;
 };
 
 /// What one DriveWorkload run did.
@@ -40,6 +45,12 @@ struct ReplayStats {
   uint64_t options_hash_mismatches = 0;
   double wall_s = 0.0;
   double max_lag_s = 0.0;  ///< Worst pacing lag (0 when speedup == 0).
+  uint64_t slo_evaluations = 0;  ///< Mid-drive SLO evaluations triggered.
+  /// Worst aggregate SLO health seen at any mid-drive evaluation (the final
+  /// state may have recovered; this remembers the trip).
+  SloHealth worst_slo_health = SloHealth::kOk;
+  /// Health after the last evaluation (kOk when slo_every == 0).
+  SloHealth final_slo_health = SloHealth::kOk;
 };
 
 /// Pulls `source` to exhaustion and drives every op into `service` — the

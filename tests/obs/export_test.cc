@@ -93,6 +93,47 @@ TEST(PrometheusExportTest, HistogramIsCumulativeWithInfBucket) {
   EXPECT_TRUE(Contains(text, "robopt_lat_us_sum 106.2"));
 }
 
+TEST(PrometheusExportTest, EscapeLabelValueCoversTheExpositionTriple) {
+  // Exposition format 0.0.4: inside a quoted label value, backslash,
+  // double-quote and newline are the only characters that need escaping.
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PromEscapeLabelValue("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(PromEscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(PromEscapeLabelValue(""), "");
+  // Escaping an already-escaped value is stable under the normalizer (the
+  // doubled backslash is a valid \\ escape), not under re-escaping; callers
+  // must escape exactly once.
+  EXPECT_EQ(PromEscapeLabelValue("a\\\\b"), "a\\\\\\\\b");
+}
+
+TEST(PrometheusExportTest, ExpositionNormalizesUnescapedLabelValues) {
+  // A builder that skipped PromEscapeLabelValue and baked a raw newline and
+  // a stray backslash into its series key. The exposition must still come
+  // out as one sample per line with valid escapes.
+  MetricsRegistry registry;
+  registry.Set("robopt_model_info{version=\"v1\nbeta\"}", 1.0);
+  registry.Set("robopt_path_info{path=\"C:\\temp\"}", 2.0);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_TRUE(
+      Contains(text, "robopt_model_info{version=\"v1\\nbeta\"} 1\n"));
+  EXPECT_TRUE(Contains(text, "robopt_path_info{path=\"C:\\\\temp\"} 2\n"));
+  // The raw newline never reaches the wire inside a label block.
+  EXPECT_FALSE(Contains(text, "v1\nbeta"));
+  EXPECT_FALSE(Contains(text, "C:\\temp\""));
+}
+
+TEST(PrometheusExportTest, NormalizationIsIdempotentForEscapedValues) {
+  // A series built the right way (through PromEscapeLabelValue) must pass
+  // through the defensive normalizer byte-for-byte.
+  MetricsRegistry registry;
+  const std::string escaped = PromEscapeLabelValue("a\\b \"q\"\nend");
+  registry.Set("robopt_info{detail=\"" + escaped + "\"}", 3.0);
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_TRUE(Contains(text, "robopt_info{detail=\"" + escaped + "\"} 3\n"));
+}
+
 TEST(JsonExportTest, SnapshotRoundTripsNamesAndValues) {
   MetricsRegistry registry;
   registry.GetCounter("c_total")->Add(2);

@@ -326,6 +326,10 @@ class ObsServeTest : public ::testing::Test {
     options.forest.num_trees = 20;
     options.observability = true;
     options.request_observer = observer;
+    // The second observability layer rides along: decision diagnostics and
+    // the SLO engine, so their metric families join the exposition below.
+    options.diagnostics.enabled = true;
+    options.slo.enabled = true;
     auto service = OptimizerService::Create(registry_, schema_, *base_,
                                             /*initial=*/nullptr, options);
     EXPECT_TRUE(service.ok()) << service.status().ToString();
@@ -642,6 +646,24 @@ TEST_F(ObsServeTest, PrometheusEndpointCoversTheWholeMetricTable) {
       "robopt_replay_ops_total",
       "robopt_replay_lag_us",
       "robopt_replay_mismatches_total",
+      // Decision diagnostics, sketches & SLOs (src/obs second layer).
+      "robopt_decisions_recorded_total",
+      "robopt_decisions_dropped_total",
+      "robopt_optimize_latency_p50_us",
+      "robopt_optimize_latency_p95_us",
+      "robopt_optimize_latency_p99_us",
+      "robopt_slo_health",
+      "robopt_slo_burn_fast",
+      "robopt_slo_burn_slow",
+      "robopt_slo_bad_fraction",
+      "robopt_slo_evaluations_total",
+      "robopt_shard_shed_slo_total",
+      // Trace-ring health + process identity.
+      "robopt_trace_spans_total",
+      "robopt_trace_dropped_total",
+      "robopt_trace_ring_utilization",
+      "robopt_build_info",
+      "robopt_uptime_seconds",
   };
   for (const char* name : kTable) {
     EXPECT_TRUE(Contains(text, name)) << "metric missing from /metrics: "

@@ -1,0 +1,371 @@
+/// QuantileSketch / ShardedSketch / WindowedSketch correctness:
+///   - the DDSketch relative-error guarantee, property-tested against a
+///     sorted-reference oracle across adversarial distributions;
+///   - lossless bucket-wise merge (split + merge == one sketch);
+///   - CountAbove bucket-granular semantics on separated clusters;
+///   - windowed rotation: trailing-window filtering, ring overwrite, lazy
+///     rotation on quiet periods, bad-event accounting and exemplar
+///     retention;
+///   - concurrent shard adds + snapshot merge + window rotation (runs under
+///     the TSan CI leg via obs_test).
+#include "obs/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace robopt {
+namespace {
+
+/// The same rank the sketch targets: the element of rank floor(q * (n - 1))
+/// of the sorted values.
+double ReferenceQuantile(const std::vector<double>& sorted, double q) {
+  const size_t rank =
+      static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+/// Asserts the sketch answers every probed quantile within the alpha
+/// relative-error bound of the sorted-reference oracle.
+void ExpectWithinAlpha(const std::vector<double>& values, double alpha) {
+  QuantileSketch sketch(alpha);
+  for (double v : values) sketch.Add(v);
+  ASSERT_EQ(sketch.count(), values.size());
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double probes[] = {0.0,  0.01, 0.1,  0.25, 0.5,  0.75,
+                           0.9,  0.95, 0.99, 0.999, 1.0};
+  for (double q : probes) {
+    const double truth = ReferenceQuantile(sorted, q);
+    const double estimate = sketch.Quantile(q);
+    if (truth <= QuantileSketch::kMinTrackable) {
+      // Sub-trackable values are exact (the zero bucket).
+      EXPECT_LE(estimate, QuantileSketch::kMinTrackable) << "q=" << q;
+    } else {
+      EXPECT_NEAR(estimate, truth, alpha * truth + 1e-12)
+          << "q=" << q << " n=" << values.size() << " alpha=" << alpha;
+    }
+  }
+  // Extremes are exact, not just within alpha.
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), sorted.front());
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), sorted.back());
+}
+
+TEST(QuantileSketchTest, EmptySketchAnswersZero) {
+  QuantileSketch sketch(0.01);
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.CountAbove(1.0), 0u);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.0);
+}
+
+TEST(QuantileSketchTest, PropertyTestAgainstSortedReference) {
+  std::mt19937_64 rng(20260809);
+  for (double alpha : {0.005, 0.01, 0.05}) {
+    // Uniform latencies across three orders of magnitude.
+    {
+      std::uniform_real_distribution<double> dist(1.0, 1e6);
+      std::vector<double> values(20000);
+      for (double& v : values) v = dist(rng);
+      ExpectWithinAlpha(values, alpha);
+    }
+    // Log-normal: the canonical latency shape (heavy right tail).
+    {
+      std::lognormal_distribution<double> dist(4.0, 2.0);
+      std::vector<double> values(20000);
+      for (double& v : values) v = dist(rng);
+      ExpectWithinAlpha(values, alpha);
+    }
+    // Exponential with a long tail.
+    {
+      std::exponential_distribution<double> dist(1e-3);
+      std::vector<double> values(20000);
+      for (double& v : values) v = dist(rng);
+      ExpectWithinAlpha(values, alpha);
+    }
+    // Constant stream: every quantile is the constant, exactly.
+    {
+      std::vector<double> values(5000, 42.0);
+      ExpectWithinAlpha(values, alpha);
+    }
+    // Bimodal: cache hits around 5us, misses around 5ms.
+    {
+      std::normal_distribution<double> hit(5.0, 0.5);
+      std::normal_distribution<double> miss(5000.0, 200.0);
+      std::bernoulli_distribution pick(0.8);
+      std::vector<double> values(20000);
+      for (double& v : values) {
+        v = std::max(0.1, pick(rng) ? hit(rng) : miss(rng));
+      }
+      ExpectWithinAlpha(values, alpha);
+    }
+    // Zero-heavy: a third of the stream below the trackable floor.
+    {
+      std::uniform_real_distribution<double> dist(10.0, 1000.0);
+      std::vector<double> values;
+      values.reserve(9000);
+      for (int i = 0; i < 3000; ++i) values.push_back(0.0);
+      for (int i = 0; i < 6000; ++i) values.push_back(dist(rng));
+      std::shuffle(values.begin(), values.end(), rng);
+      ExpectWithinAlpha(values, alpha);
+    }
+  }
+}
+
+TEST(QuantileSketchTest, WeightedAddMatchesRepeatedAdd) {
+  QuantileSketch weighted(0.01);
+  QuantileSketch repeated(0.01);
+  weighted.Add(100.0, 7);
+  weighted.Add(2000.0, 3);
+  for (int i = 0; i < 7; ++i) repeated.Add(100.0);
+  for (int i = 0; i < 3; ++i) repeated.Add(2000.0);
+  EXPECT_EQ(weighted.count(), repeated.count());
+  for (double q : {0.0, 0.3, 0.5, 0.69, 0.71, 1.0}) {
+    EXPECT_DOUBLE_EQ(weighted.Quantile(q), repeated.Quantile(q)) << q;
+  }
+}
+
+TEST(QuantileSketchTest, MergeIsLossless) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(3.0, 1.5);
+  std::vector<double> values(10000);
+  for (double& v : values) v = dist(rng);
+
+  QuantileSketch whole(0.01);
+  QuantileSketch left(0.01);
+  QuantileSketch right(0.01);
+  for (size_t i = 0; i < values.size(); ++i) {
+    whole.Add(values[i]);
+    (i % 2 == 0 ? left : right).Add(values[i]);
+  }
+  left.Merge(right);
+  ASSERT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(left.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(left.CountAbove(50.0), whole.CountAbove(50.0));
+}
+
+TEST(QuantileSketchTest, MergeIgnoresIncompatibleAlpha) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.05);
+  a.Add(10.0);
+  b.Add(99999.0);
+  a.Merge(b);  // Dropped, not corrupted.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 10.0);
+}
+
+TEST(QuantileSketchTest, CountAboveIsExactBetweenSeparatedClusters) {
+  QuantileSketch sketch(0.01);
+  for (int i = 0; i < 700; ++i) sketch.Add(1000.0);
+  for (int i = 0; i < 300; ++i) sketch.Add(100000.0);
+  // The threshold sits far (>> alpha) from both clusters: exact answer.
+  EXPECT_EQ(sketch.CountAbove(5000.0), 300u);
+  EXPECT_EQ(sketch.CountAbove(0.5), 1000u);
+  EXPECT_EQ(sketch.CountAbove(200000.0), 0u);
+}
+
+TEST(QuantileSketchTest, ClearResetsEverything) {
+  QuantileSketch sketch(0.01);
+  sketch.Add(123.0);
+  sketch.Clear();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.99), 0.0);
+  sketch.Add(7.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 7.0);
+}
+
+TEST(ShardedSketchTest, SnapshotMergesEveryShard) {
+  ShardedSketch sharded(0.01);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sharded, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sharded.Add(100.0 * (t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(sharded.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  QuantileSketch merged = sharded.Snapshot();
+  EXPECT_EQ(merged.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(merged.Quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(merged.Quantile(1.0), 100.0 * kThreads);
+}
+
+/// The windowed fixture drives time by hand: window_s = 10, four retained
+/// windows, exemplar capacity 2.
+WindowedSketch::Options SmallWindowOptions() {
+  WindowedSketch::Options options;
+  options.alpha = 0.01;
+  options.window_s = 10.0;
+  options.windows = 4;
+  options.exemplars_per_window = 2;
+  return options;
+}
+
+TEST(WindowedSketchTest, TrailingWindowFiltersOldRollups) {
+  WindowedSketch sketch(SmallWindowOptions());
+  // Window [0, 10): 100 values at 1000us.
+  for (int i = 0; i < 100; ++i) sketch.Record(1.0, 1000.0);
+  // Window [10, 20): 100 values at 9000us.
+  for (int i = 0; i < 100; ++i) sketch.Record(11.0, 9000.0);
+
+  // Full retention sees both populations.
+  QuantileSketch all = sketch.Merged(0.0, 12.0);
+  EXPECT_EQ(all.count(), 200u);
+  EXPECT_NEAR(all.Quantile(0.25), 1000.0, 1000.0 * 0.011);
+  EXPECT_NEAR(all.Quantile(0.75), 9000.0, 9000.0 * 0.011);
+
+  // At t = 35 a 10s trailing window excludes both closed windows: only the
+  // (empty) live window remains.
+  EXPECT_EQ(sketch.Merged(10.0, 35.0).count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.99, 10.0, 35.0), 0.0);
+  // A 20s trailing window at t = 35 (cutoff 15) still covers window
+  // [10, 20) but not [0, 10).
+  QuantileSketch recent = sketch.Merged(20.0, 35.0);
+  EXPECT_EQ(recent.count(), 100u);
+  EXPECT_NEAR(recent.Quantile(0.5), 9000.0, 9000.0 * 0.011);
+  // Lifetime counter is rotation-immune.
+  EXPECT_EQ(sketch.total_count(), 200u);
+}
+
+TEST(WindowedSketchTest, RingOverwritesOldestWindows) {
+  WindowedSketch sketch(SmallWindowOptions());  // 4 retained windows.
+  for (int w = 0; w < 6; ++w) {
+    sketch.Record(w * 10.0 + 1.0, 100.0 * (w + 1));
+  }
+  // Rotate the last window closed; [0,10) and [10,20) fell off the ring.
+  QuantileSketch all = sketch.Merged(0.0, 61.0);
+  EXPECT_EQ(all.count(), 4u);
+  EXPECT_DOUBLE_EQ(all.Quantile(0.0), 300.0);
+  EXPECT_DOUBLE_EQ(all.Quantile(1.0), 600.0);
+}
+
+TEST(WindowedSketchTest, QuietPeriodRotatesLazilyOnQuery) {
+  WindowedSketch sketch(SmallWindowOptions());
+  for (int i = 0; i < 50; ++i) sketch.Record(5.0, 2000.0);
+  // No Record() since; a query an hour later must not see stale data as
+  // current. The query itself rotates.
+  EXPECT_EQ(sketch.Merged(20.0, 3600.0).count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.BadFraction(1000.0, 20.0, 3600.0), 0.0);
+}
+
+TEST(WindowedSketchTest, BadFractionCountsThresholdAndBadEvents) {
+  WindowedSketch sketch(SmallWindowOptions());
+  // 60 good (100us), 20 bad-by-latency (50000us), 20 shed (no latency).
+  for (int i = 0; i < 60; ++i) sketch.Record(1.0, 100.0);
+  for (int i = 0; i < 20; ++i) sketch.Record(1.0, 50000.0);
+  for (int i = 0; i < 20; ++i) sketch.RecordBad(1.0);
+
+  // Threshold separates the clusters, so the fractions are exact.
+  EXPECT_DOUBLE_EQ(sketch.BadFraction(5000.0, 0.0, 2.0,
+                                      /*count_bad_events=*/true),
+                   40.0 / 100.0);
+  EXPECT_DOUBLE_EQ(sketch.BadFraction(5000.0, 0.0, 2.0,
+                                      /*count_bad_events=*/false),
+                   20.0 / 80.0);
+  // Bad events survive rotation into the rollup.
+  EXPECT_DOUBLE_EQ(sketch.BadFraction(5000.0, 0.0, 15.0,
+                                      /*count_bad_events=*/true),
+                   40.0 / 100.0);
+}
+
+TEST(WindowedSketchTest, ExemplarsKeepHighestPerWindow) {
+  WindowedSketch sketch(SmallWindowOptions());  // 2 exemplars per window.
+  for (int i = 1; i <= 5; ++i) {
+    SketchExemplar exemplar;
+    exemplar.fp_lo = static_cast<uint64_t>(i);
+    exemplar.span_id = static_cast<uint64_t>(100 + i);
+    sketch.Record(1.0, 1000.0 * i, &exemplar);
+  }
+  std::vector<SketchExemplar> kept = sketch.Exemplars(0.0, 2.0);
+  ASSERT_EQ(kept.size(), 2u);  // Capacity 2, highest first.
+  EXPECT_DOUBLE_EQ(kept[0].value, 5000.0);
+  EXPECT_EQ(kept[0].fp_lo, 5u);
+  EXPECT_EQ(kept[0].span_id, 105u);
+  EXPECT_DOUBLE_EQ(kept[1].value, 4000.0);
+  EXPECT_EQ(kept[1].fp_lo, 4u);
+
+  // A second window's exemplars join the trailing view, still sorted.
+  SketchExemplar late;
+  late.fp_lo = 99;
+  sketch.Record(11.0, 4500.0, &late);
+  kept = sketch.Exemplars(0.0, 12.0);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept[0].value, 5000.0);
+  EXPECT_DOUBLE_EQ(kept[1].value, 4500.0);
+  EXPECT_EQ(kept[1].fp_lo, 99u);
+  EXPECT_DOUBLE_EQ(kept[2].value, 4000.0);
+}
+
+/// Writers hammer Record()/RecordBad() across window edges while readers
+/// merge trailing windows, pull quantiles and exemplars — the TSan check of
+/// the rotation lock discipline. Counts must balance exactly afterwards.
+TEST(WindowedSketchTest, ConcurrentRecordRotateAndQueryIsRaceFree) {
+  WindowedSketch::Options options;
+  options.alpha = 0.01;
+  options.window_s = 0.001;  // Many rotations over the run.
+  options.windows = 8;
+  options.exemplars_per_window = 2;
+  WindowedSketch sketch(options);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&sketch, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const double now_s = static_cast<double>(i) * 1e-5 * (t + 1);
+        if (i % 16 == 0) {
+          sketch.RecordBad(now_s);
+        } else if (i % 7 == 0) {
+          SketchExemplar exemplar;
+          exemplar.fp_lo = static_cast<uint64_t>(i);
+          sketch.Record(now_s, 1000.0 + i, &exemplar);
+        } else {
+          sketch.Record(now_s, 100.0 + (i % 100));
+        }
+      }
+    });
+  }
+  std::thread reader([&sketch, &stop] {
+    double now_s = 0.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      now_s += 0.002;
+      (void)sketch.Quantile(0.99, 0.01, now_s);
+      (void)sketch.BadFraction(500.0, 0.01, now_s);
+      (void)sketch.Exemplars(0.01, now_s);
+      (void)sketch.Merged(0.0, now_s).count();
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Every non-bad Record landed exactly once in the lifetime counter.
+  const uint64_t expected_records = [] {
+    uint64_t n = 0;
+    for (int i = 0; i < kPerWriter; ++i) {
+      if (i % 16 != 0) ++n;
+    }
+    return n * kWriters;
+  }();
+  EXPECT_EQ(sketch.total_count(), expected_records);
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,194 @@
+/// SloEngine burn-rate math against a hand-driven clock:
+///   - burn = bad_fraction / (1 - target), per window;
+///   - critical requires the fast threshold on BOTH the fast window and its
+///     1/12 confirmation window (same for the warning pair), so a resolved
+///     spike degrades critical -> warning -> ok as the short windows drain;
+///   - sheds (RecordBad) only count for objectives that opted in;
+///   - gauge export carries health, burns and bad fractions per objective.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sketch.h"
+
+namespace robopt {
+namespace {
+
+WindowedSketch::Options TenSecondWindows() {
+  WindowedSketch::Options options;
+  options.alpha = 0.01;
+  options.window_s = 10.0;
+  options.windows = 64;
+  return options;
+}
+
+SloObjective TestObjective() {
+  SloObjective objective;
+  objective.name = "optimize_latency";
+  objective.threshold_us = 1000.0;
+  objective.target = 0.99;  // Budget 0.01.
+  objective.fast_window_s = 120.0;
+  objective.slow_window_s = 240.0;
+  objective.fast_burn = 14.4;
+  objective.slow_burn = 6.0;
+  return objective;
+}
+
+TEST(SloEngineTest, EmptyObjectiveListGetsTheDefaultObjective) {
+  WindowedSketch sketch(TenSecondWindows());
+  SloEngine engine({}, &sketch);
+  ASSERT_EQ(engine.objectives().size(), 1u);
+  EXPECT_EQ(engine.objectives()[0].name, "optimize_latency");
+  EXPECT_EQ(engine.health(), SloHealth::kOk);
+  EXPECT_EQ(engine.evaluations(), 0u);
+}
+
+TEST(SloEngineTest, HealthyTrafficBurnsNothing) {
+  WindowedSketch sketch(TenSecondWindows());
+  SloEngine engine({TestObjective()}, &sketch);
+  for (int i = 0; i < 100; ++i) sketch.Record(5.0, 100.0);
+  const SloStatus status = engine.Evaluate(6.0);
+  EXPECT_EQ(status.health, SloHealth::kOk);
+  ASSERT_EQ(status.objectives.size(), 1u);
+  EXPECT_DOUBLE_EQ(status.objectives[0].burn_fast, 0.0);
+  EXPECT_DOUBLE_EQ(status.objectives[0].burn_slow, 0.0);
+  EXPECT_DOUBLE_EQ(status.objectives[0].bad_fraction_fast, 0.0);
+  EXPECT_EQ(engine.health(), SloHealth::kOk);
+  EXPECT_EQ(engine.evaluations(), 1u);
+}
+
+TEST(SloEngineTest, BurnIsBadFractionOverBudget) {
+  WindowedSketch sketch(TenSecondWindows());
+  SloEngine engine({TestObjective()}, &sketch);
+  // 80 good, 20 bad in one window: bad fraction 0.2, budget 0.01 -> 20x.
+  for (int i = 0; i < 80; ++i) sketch.Record(5.0, 100.0);
+  for (int i = 0; i < 20; ++i) sketch.Record(5.0, 50000.0);
+  const SloStatus status = engine.Evaluate(6.0);
+  ASSERT_EQ(status.objectives.size(), 1u);
+  EXPECT_DOUBLE_EQ(status.objectives[0].bad_fraction_fast, 0.2);
+  EXPECT_NEAR(status.objectives[0].burn_fast, 20.0, 1e-9);
+  EXPECT_NEAR(status.objectives[0].burn_fast_short, 20.0, 1e-9);
+  // 20x >= 14.4 on both fast windows: page.
+  EXPECT_EQ(status.health, SloHealth::kCritical);
+  EXPECT_EQ(engine.health(), SloHealth::kCritical);
+}
+
+TEST(SloEngineTest, ResolvedSpikeStepsDownCriticalWarningOk) {
+  WindowedSketch sketch(TenSecondWindows());
+  SloEngine engine({TestObjective()}, &sketch);
+
+  // Window [0, 10): healthy traffic.
+  for (int i = 0; i < 50; ++i) sketch.Record(5.0, 100.0);
+  EXPECT_EQ(engine.Evaluate(6.0).health, SloHealth::kOk);
+
+  // Window [10, 20): a hard regression — 50 requests all above threshold.
+  for (int i = 0; i < 50; ++i) sketch.Record(15.0, 50000.0);
+  // Fast window (120s) holds 50/100 bad -> burn 50; the 10s confirmation
+  // window still covers the bad window. Critical.
+  SloStatus status = engine.Evaluate(16.0);
+  EXPECT_EQ(status.health, SloHealth::kCritical);
+  EXPECT_GE(status.objectives[0].burn_fast, 14.4);
+  EXPECT_GE(status.objectives[0].burn_fast_short, 14.4);
+
+  // Window [30, 40): the regression stopped; fresh healthy traffic. The
+  // fast confirmation window (last 10s) is clean, so critical clears — but
+  // the slow pair (240s long, 20s confirmation reaching back to the bad
+  // window) still burns: warning.
+  for (int i = 0; i < 200; ++i) sketch.Record(35.0, 100.0);
+  status = engine.Evaluate(36.0);
+  EXPECT_EQ(status.health, SloHealth::kWarning);
+  EXPECT_LT(status.objectives[0].burn_fast_short, 14.4);
+  EXPECT_GE(status.objectives[0].burn_slow, 6.0);
+  EXPECT_GE(status.objectives[0].burn_slow_short, 6.0);
+
+  // By t = 45 the slow confirmation window (25s back) has shed the bad
+  // window too: fully recovered, even though the slow long window still
+  // remembers the spike.
+  status = engine.Evaluate(45.0);
+  EXPECT_EQ(status.health, SloHealth::kOk);
+  EXPECT_GE(status.objectives[0].burn_slow, 6.0);
+  EXPECT_LT(status.objectives[0].burn_slow_short, 6.0);
+  EXPECT_EQ(engine.evaluations(), 4u);
+}
+
+TEST(SloEngineTest, ShedsCountOnlyForOptedInObjectives) {
+  WindowedSketch sketch(TenSecondWindows());
+  SloObjective latency = TestObjective();
+  SloObjective availability = TestObjective();
+  availability.name = "availability";
+  availability.count_sheds_as_bad = true;
+
+  SloEngine engine({latency, availability}, &sketch);
+  // 50 served fast, 50 shed (no latency recorded).
+  for (int i = 0; i < 50; ++i) sketch.Record(5.0, 100.0);
+  for (int i = 0; i < 50; ++i) sketch.RecordBad(5.0);
+  const SloStatus status = engine.Evaluate(6.0);
+  ASSERT_EQ(status.objectives.size(), 2u);
+  // The latency objective scores served requests only: clean.
+  EXPECT_EQ(status.objectives[0].health, SloHealth::kOk);
+  EXPECT_DOUBLE_EQ(status.objectives[0].bad_fraction_fast, 0.0);
+  // The availability objective counts the sheds: half the traffic is bad.
+  EXPECT_EQ(status.objectives[1].health, SloHealth::kCritical);
+  EXPECT_DOUBLE_EQ(status.objectives[1].bad_fraction_fast, 0.5);
+  // Aggregate = worst objective.
+  EXPECT_EQ(status.health, SloHealth::kCritical);
+}
+
+TEST(SloEngineTest, StatusIsACopyOfTheLastEvaluation) {
+  WindowedSketch sketch(TenSecondWindows());
+  SloEngine engine({TestObjective()}, &sketch);
+  for (int i = 0; i < 10; ++i) sketch.Record(5.0, 50000.0);
+  const SloStatus live = engine.Evaluate(6.0);
+  const SloStatus copy = engine.status();
+  ASSERT_EQ(copy.objectives.size(), live.objectives.size());
+  EXPECT_EQ(copy.health, live.health);
+  EXPECT_DOUBLE_EQ(copy.objectives[0].burn_fast, live.objectives[0].burn_fast);
+}
+
+TEST(SloEngineTest, ExportsHealthBurnsAndFractionsPerObjective) {
+  WindowedSketch sketch(TenSecondWindows());
+  SloEngine engine({TestObjective()}, &sketch);
+  MetricsRegistry registry;
+
+  // Pre-evaluation export: series exist (zeros) for a stable metric table.
+  engine.ExportTo(&registry);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Value("robopt_slo_health", -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Value("robopt_slo_evaluations_total", -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      snap.Value("robopt_slo_burn_fast{objective=\"optimize_latency\"}", -1.0),
+      0.0);
+
+  for (int i = 0; i < 80; ++i) sketch.Record(5.0, 100.0);
+  for (int i = 0; i < 20; ++i) sketch.Record(5.0, 50000.0);
+  engine.Evaluate(6.0);
+  engine.ExportTo(&registry);
+  snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Value("robopt_slo_health", -1.0),
+                   static_cast<double>(
+                       static_cast<uint8_t>(SloHealth::kCritical)));
+  EXPECT_DOUBLE_EQ(snap.Value("robopt_slo_evaluations_total", -1.0), 1.0);
+  EXPECT_NEAR(
+      snap.Value("robopt_slo_burn_fast{objective=\"optimize_latency\"}", -1.0),
+      20.0, 1e-9);
+  EXPECT_NEAR(
+      snap.Value("robopt_slo_burn_slow{objective=\"optimize_latency\"}", -1.0),
+      20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(
+      snap.Value("robopt_slo_bad_fraction{objective=\"optimize_latency\"}",
+                 -1.0),
+      0.2);
+}
+
+TEST(SloEngineTest, HealthNamesAreStable) {
+  EXPECT_STREQ(SloHealthName(SloHealth::kOk), "ok");
+  EXPECT_STREQ(SloHealthName(SloHealth::kWarning), "warning");
+  EXPECT_STREQ(SloHealthName(SloHealth::kCritical), "critical");
+}
+
+}  // namespace
+}  // namespace robopt

@@ -1,0 +1,220 @@
+/// End-to-end SLO control loop on a manual clock, the acceptance scenario:
+/// an injected latency degradation trips the fast-burn pair, the service
+/// visibly tightens admission (kSloDeadline sheds, the shed_slo counters
+/// rise, shed decision records carry the critical health), and once the
+/// degradation stops and the windows drain the health clears and serving
+/// resumes. Also pins the sliding-window p99 view of the degradation and
+/// DriveWorkload's slo_every evaluation cadence.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/decision.h"
+#include "obs/slo.h"
+#include "serve/optimizer_service.h"
+#include "tdgen/tdgen.h"
+#include "workload/driver.h"
+#include "workload/generators.h"
+#include "workloads/queries.h"
+
+namespace robopt {
+namespace {
+
+class SloE2eTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RegisterWorkloadKernels();
+    registry_ = new PlatformRegistry(PlatformRegistry::Default(2));
+    schema_ = new FeatureSchema(registry_);
+    cost_ = new VirtualCost(registry_);
+    TdgenOptions options;
+    options.plans_per_shape = 4;
+    options.max_operators = 10;
+    options.max_structures_per_plan = 16;
+    options.seed = 17;
+    Executor plain(registry_, cost_);
+    Tdgen tdgen(registry_, schema_, &plain, options);
+    auto base = tdgen.Generate();
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    base_ = new MlDataset(std::move(base.value()));
+  }
+
+  /// Sharded service with the SLO engine on a test-pinned clock. The
+  /// objective: 99% of optimizes under 1s; fast pair = 12s window (1s
+  /// confirmation), burn threshold 2x budget. The plan cache is off so
+  /// every served call does real work (a warm EWMA for admission), and the
+  /// critical deadline factor crushes the 1h default deadline to
+  /// microseconds — any request sheds while burn is critical.
+  std::unique_ptr<OptimizerService> MakeService() {
+    ServeOptions options;
+    options.background_retrain = false;
+    options.forest.num_trees = 20;
+    options.num_shards = 2;
+    options.plan_cache_capacity = 0;
+    options.default_deadline_s = 3600.0;
+    options.diagnostics.enabled = true;
+    options.slo.enabled = true;
+    options.slo.sketch_alpha = 0.01;
+    options.slo.sketch_window_s = 1.0;
+    options.slo.sketch_windows = 64;
+    options.slo.critical_deadline_factor = 1e-9;
+    options.slo.critical_queue_factor = 1.0;
+    SloObjective objective;
+    objective.name = "optimize_latency";
+    objective.threshold_us = 1e6;
+    objective.target = 0.99;
+    objective.fast_window_s = 12.0;
+    objective.slow_window_s = 24.0;
+    objective.fast_burn = 2.0;
+    objective.slow_burn = 1.0;
+    options.slo.objectives.push_back(objective);
+    now_ = std::make_shared<double>(0.5);
+    const std::shared_ptr<double> clock = now_;
+    options.slo.clock = [clock] { return *clock; };
+    auto service = OptimizerService::Create(registry_, schema_, *base_,
+                                            /*initial=*/nullptr, options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return std::move(service.value());
+  }
+
+  std::shared_ptr<double> now_;
+  static PlatformRegistry* registry_;
+  static FeatureSchema* schema_;
+  static VirtualCost* cost_;
+  static MlDataset* base_;
+};
+
+PlatformRegistry* SloE2eTest::registry_ = nullptr;
+FeatureSchema* SloE2eTest::schema_ = nullptr;
+VirtualCost* SloE2eTest::cost_ = nullptr;
+MlDataset* SloE2eTest::base_ = nullptr;
+
+TEST_F(SloE2eTest, DegradationTripsFastBurnTightensAdmissionAndRecovers) {
+  auto service = MakeService();
+  const LogicalPlan plan = MakeWordCountPlan(0.001);
+  const OptimizeOptions opt;
+  RequestContext ctx;
+  ctx.tenant = 7;  // One tenant + one plan -> one shard, warm EWMA.
+
+  // --- Phase 1: healthy traffic in window [0, 1). ---
+  *now_ = 0.5;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service->Optimize(plan, nullptr, opt, ctx)
+                    .ok());
+  }
+  service->EvaluateSloNow();
+  EXPECT_EQ(service->slo_health(), SloHealth::kOk);
+  EXPECT_EQ(service->Stats().shard_shed_slo, 0u);
+
+  // --- Phase 2: a 5s latency degradation lands in window [1, 2). The
+  // requests still serve (the injection only pads what the sketch
+  // observes), but every one of them blows the 1s objective. ---
+  service->set_slo_inject_latency_us(5e6);
+  *now_ = 1.5;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service->Optimize(plan, nullptr, opt, ctx)
+                    .ok());
+  }
+  *now_ = 1.6;
+  service->EvaluateSloNow();
+  ASSERT_EQ(service->slo_health(), SloHealth::kCritical);
+  const SloStatus tripped = service->slo_status();
+  ASSERT_EQ(tripped.objectives.size(), 1u);
+  EXPECT_GE(tripped.objectives[0].burn_fast, 2.0);
+  EXPECT_GE(tripped.objectives[0].burn_fast_short, 2.0);
+  EXPECT_DOUBLE_EQ(tripped.objectives[0].bad_fraction_fast, 0.5);
+
+  // The sliding-window p99 sees the degradation within the sketch's
+  // relative-error bound (alpha = 0.01, plus the real serving latency the
+  // injection rides on).
+  const double p99 =
+      service->latency_sketch()->Quantile(0.99, 12.0, *now_);
+  EXPECT_GE(p99, 5e6 * (1.0 - 0.011));
+  EXPECT_LE(p99, 6e6);
+
+  // --- Phase 3: under critical burn, admission is tightened. The 1h
+  // deadline is now microseconds; the shard's EWMA service time (real
+  // optimizes) dwarfs it, so requests shed as kSloDeadline — attributed to
+  // the SLO, not the deadline, because the untightened deadline would have
+  // admitted them. ---
+  *now_ = 2.5;
+  int sheds = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto result = service->Optimize(plan, nullptr, opt, ctx);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      ++sheds;
+    }
+  }
+  EXPECT_EQ(sheds, 5);
+  const ServeStats degraded = service->Stats();
+  EXPECT_EQ(degraded.shard_shed_slo, 5u);
+  EXPECT_EQ(degraded.shard_shed_deadline, 0u);
+  EXPECT_EQ(degraded.shard_shed_queue_full, 0u);
+
+  // The shed decisions are in the explain ring, stamped with the critical
+  // health and the SLO shed reason.
+  const std::vector<DecisionRecord> records = service->RecentDecisions(5);
+  ASSERT_EQ(records.size(), 5u);
+  for (const DecisionRecord& record : records) {
+    EXPECT_EQ(record.status, StatusCode::kResourceExhausted);
+    EXPECT_EQ(record.shed, ShedReason::kSloDeadline);
+    EXPECT_EQ(record.slo_health,
+              static_cast<uint8_t>(SloHealth::kCritical));
+    EXPECT_EQ(record.cache, DecisionCacheResult::kDisabled);
+  }
+  const std::string json = service->ExportDecisionsJson(1);
+  EXPECT_NE(json.find("\"shed\": \"slo_deadline\""), std::string::npos);
+
+  // --- Phase 4: the degradation stops and the windows drain. 38s later
+  // every bad window is outside the fast pair; the sheds were recorded as
+  // bad *events*, which the latency objective deliberately does not count
+  // (that would latch critical forever). Health clears, serving resumes. ---
+  service->set_slo_inject_latency_us(0.0);
+  *now_ = 40.0;
+  service->EvaluateSloNow();
+  EXPECT_EQ(service->slo_health(), SloHealth::kOk);
+  auto recovered = service->Optimize(plan, nullptr, opt, ctx);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(service->Stats().shard_shed_slo, 5u);  // No new sheds.
+
+  // The shed counter is visible on the metrics endpoint.
+  const MetricsSnapshot snap = service->SnapshotMetrics();
+  EXPECT_DOUBLE_EQ(snap.Value("robopt_shard_shed_slo_total", -1.0), 5.0);
+  EXPECT_GT(snap.Value("robopt_slo_evaluations_total", -1.0), 0.0);
+}
+
+TEST_F(SloE2eTest, DriveWorkloadEvaluatesBurnAtTheConfiguredCadence) {
+  auto service = MakeService();
+  // Replayed degradation: everything the drive serves is recorded 5s slow,
+  // so the very first mid-drive evaluation after a served op trips
+  // critical and the rest of the stream sheds.
+  service->set_slo_inject_latency_us(5e6);
+  *now_ = 50.5;
+
+  GeneratorOptions gen;
+  gen.base.seed = 11;
+  gen.base.max_ops = 64;
+  OpenLoopSource source(PlanPool::kSynthetic, gen);
+  ASSERT_TRUE(source.Load().ok());
+  DriveOptions drive;
+  drive.registry = registry_;
+  drive.slo_every = 1;
+  const ReplayStats stats = DriveWorkload(service.get(), &source, drive);
+
+  EXPECT_GT(stats.optimizes, 0u);
+  // Every op in the stream triggered one mid-drive evaluation.
+  EXPECT_EQ(stats.slo_evaluations,
+            stats.optimizes + stats.feedbacks + stats.feedbacks_skipped);
+  EXPECT_EQ(stats.worst_slo_health, SloHealth::kCritical);
+  EXPECT_EQ(stats.final_slo_health, SloHealth::kCritical);
+  // The tightened admission visibly shed mid-drive.
+  EXPECT_GT(stats.optimize_errors, 0u);
+  EXPECT_GT(service->Stats().shard_shed_slo, 0u);
+}
+
+}  // namespace
+}  // namespace robopt
